@@ -1,0 +1,78 @@
+// Ablation: randomized (Huang-Yi-Zhang, the paper's Lemma 4) vs
+// deterministic threshold counters (prior art, paper reference [22]) under
+// the same NONUNIFORM error allocation. The randomized counter's O(√k)
+// site-dependence is the reason the paper adopts it; this sweep shows the
+// gap growing with k.
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "common/table.h"
+#include "core/mle_tracker.h"
+#include "harness/experiment.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 200000, "training instances");
+  flags.DefineString("network", "alarm", "network name");
+  flags.DefineString("site-counts", "5,10,30,60", "site sweep");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  StatusOr<BayesianNetwork> net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    std::cerr << net.status() << "\n";
+    return 1;
+  }
+  const int64_t events = flags.GetInt64("events");
+
+  TablePrinter table("Ablation (" + flags.GetString("network") +
+                     "): randomized vs deterministic counters, NONUNIFORM, " +
+                     FormatInstances(events) + " instances");
+  table.SetHeader({"sites", "randomized msgs", "deterministic msgs",
+                   "deterministic/randomized"});
+  for (const std::string& sites_text : SplitCommaList(flags.GetString("site-counts"))) {
+    const int sites = std::stoi(sites_text);
+    uint64_t messages[2] = {0, 0};
+    int index = 0;
+    for (CounterType type : {CounterType::kRandomized, CounterType::kDeterministic}) {
+      TrackerConfig config;
+      config.strategy = TrackingStrategy::kNonUniform;
+      config.counter_type = type;
+      config.num_sites = sites;
+      config.epsilon = flags.GetDouble("eps");
+      config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+      MleTracker tracker(*net, config);
+      ForwardSampler sampler(*net, config.seed + 1);
+      Rng router(config.seed + 2);
+      Instance x;
+      for (int64_t e = 0; e < events; ++e) {
+        sampler.Sample(&x);
+        tracker.Observe(x, static_cast<int>(
+                               router.NextBounded(static_cast<uint64_t>(sites))));
+      }
+      messages[index++] = tracker.comm().TotalMessages();
+    }
+    table.AddRow({sites_text, FormatScientific(static_cast<double>(messages[0])),
+                  FormatScientific(static_cast<double>(messages[1])),
+                  FormatDouble(static_cast<double>(messages[1]) /
+                                   static_cast<double>(messages[0]),
+                               3) +
+                      "x"});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(The deterministic counter pays O(k) messages per doubling "
+               "vs the randomized counter's O(sqrt(k)) — the gap widens with "
+               "the number of sites, which is why the paper builds on the "
+               "Huang-Yi-Zhang sampler.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

@@ -1,0 +1,63 @@
+// Ablation (paper future-work item 1): events routed to sites with a skewed
+// (Zipf) distribution instead of uniformly. Measures the effect on both
+// communication and accuracy for the randomized algorithms.
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 200000, "training instances");
+  flags.DefineString("network", "alarm", "network name");
+  flags.DefineString("zipf-exponents", "0,0.5,1.0,2.0",
+                     "site-routing skew sweep (0 = uniform)");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  StatusOr<BayesianNetwork> net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    std::cerr << net.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter table("Ablation (" + flags.GetString("network") +
+                     "): site-skew sensitivity, " +
+                     FormatInstances(flags.GetInt64("events")) + " instances");
+  table.SetHeader({"zipf exponent", "uniform msgs", "non-uniform msgs",
+                   "uniform err-to-MLE", "non-uniform err-to-MLE"});
+  for (const std::string& skew_text :
+       SplitCommaList(flags.GetString("zipf-exponents"))) {
+    ExperimentOptions options;
+    ApplyCommonFlags(flags, &options);
+    options.checkpoints = {flags.GetInt64("events")};
+    options.strategies = {TrackingStrategy::kUniform, TrackingStrategy::kNonUniform};
+    options.zipf_exponent = std::stod(skew_text);
+    options.test_events = 200;
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(*net, options);
+    const Snapshot& uniform =
+        FindSnapshot(snapshots, TrackingStrategy::kUniform, options.checkpoints[0]);
+    const Snapshot& nonuniform = FindSnapshot(
+        snapshots, TrackingStrategy::kNonUniform, options.checkpoints[0]);
+    table.AddRow(
+        {skew_text,
+         FormatScientific(static_cast<double>(uniform.comm.TotalMessages())),
+         FormatScientific(static_cast<double>(nonuniform.comm.TotalMessages())),
+         FormatDouble(uniform.error_to_mle.Mean()),
+         FormatDouble(nonuniform.error_to_mle.Mean())});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(The per-site last-report estimator keeps its guarantees "
+               "under skew; only constants shift.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

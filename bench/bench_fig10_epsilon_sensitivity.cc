@@ -1,0 +1,57 @@
+// Figure 10: mean testing error (to the ground truth) vs the approximation
+// factor epsilon, for BASELINE and NONUNIFORM on HEPAR II, at several
+// stream lengths.
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineString("epsilons", "0.05,0.1,0.15,0.2,0.25,0.3,0.35,0.4",
+                     "epsilon sweep");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const BayesianNetwork net = Hepar();
+  const std::vector<int64_t> checkpoints =
+      flags.GetBool("full") ? std::vector<int64_t>{50000, 500000, 1000000, 2000000}
+                            : std::vector<int64_t>{5000, 50000, 500000};
+
+  for (TrackingStrategy strategy :
+       {TrackingStrategy::kBaseline, TrackingStrategy::kNonUniform}) {
+    TablePrinter table("Fig. 10 (" + std::string(ToString(strategy)) +
+                       "): HEPAR II mean error to ground truth vs epsilon");
+    std::vector<std::string> header = {"epsilon"};
+    for (int64_t c : checkpoints) header.push_back(FormatInstances(c));
+    table.SetHeader(header);
+    for (const std::string& eps_text : SplitCommaList(flags.GetString("epsilons"))) {
+      ExperimentOptions options;
+      ApplyCommonFlags(flags, &options);
+      options.checkpoints = checkpoints;
+      options.epsilon = std::stod(eps_text);
+      options.strategies = {strategy};
+      const std::vector<Snapshot> snapshots = RunStreamExperiment(net, options);
+      std::vector<std::string> row = {eps_text};
+      for (int64_t c : checkpoints) {
+        row.push_back(
+            FormatDouble(FindSnapshot(snapshots, strategy, c).error_to_truth.Mean()));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

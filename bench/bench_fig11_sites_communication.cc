@@ -1,0 +1,54 @@
+// Figure 11: communication cost vs number of sites (ALARM). The paper
+// observes sub-linear growth in k for the randomized algorithms.
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 100000, "training instances (paper: 500000)");
+  flags.DefineString("site-counts", "10,20,30,40,50,60,70", "site sweep");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const int64_t events =
+      flags.GetBool("full") ? 500000 : flags.GetInt64("events");
+  const BayesianNetwork net = Alarm();
+  const std::vector<TrackingStrategy> strategies = {TrackingStrategy::kBaseline,
+                                                    TrackingStrategy::kUniform,
+                                                    TrackingStrategy::kNonUniform};
+  TablePrinter table("Fig. 11 (ALARM): total messages vs number of sites, " +
+                     FormatInstances(events) + " instances");
+  std::vector<std::string> header = {"sites"};
+  for (TrackingStrategy s : strategies) header.push_back(ToString(s));
+  table.SetHeader(header);
+  for (const std::string& sites_text : SplitCommaList(flags.GetString("site-counts"))) {
+    ExperimentOptions options;
+    ApplyCommonFlags(flags, &options);
+    options.sites = std::stoi(sites_text);
+    options.checkpoints = {events};
+    options.strategies = strategies;
+    options.test_events = 10;
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(net, options);
+    std::vector<std::string> row = {sites_text};
+    for (TrackingStrategy strategy : strategies) {
+      row.push_back(FormatScientific(static_cast<double>(
+          FindSnapshot(snapshots, strategy, events).comm.TotalMessages())));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

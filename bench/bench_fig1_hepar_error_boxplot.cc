@@ -1,0 +1,30 @@
+// Figure 1: testing error (relative to the ground truth) vs number of
+// training instances on HEPAR II; boxplot quantiles per algorithm.
+
+#include "bayes/repository.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+  const BayesianNetwork net = Hepar();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, options);
+  PrintBoxplotTable(
+      "Fig. 1: error to ground truth vs training instances (HEPAR II, eps=" +
+          FormatDouble(options.epsilon) + ", k=" + std::to_string(options.sites) + ")",
+      snapshots, options.strategies, options.checkpoints, ErrorMetric::kToTruth);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

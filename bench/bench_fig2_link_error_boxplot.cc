@@ -1,0 +1,30 @@
+// Figure 2: testing error (relative to the ground truth) vs number of
+// training instances on LINK; boxplot quantiles per algorithm.
+
+#include "bayes/repository.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+  const BayesianNetwork net = Link();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, options);
+  PrintBoxplotTable(
+      "Fig. 2: error to ground truth vs training instances (LINK, eps=" +
+          FormatDouble(options.epsilon) + ", k=" + std::to_string(options.sites) + ")",
+      snapshots, options.strategies, options.checkpoints, ErrorMetric::kToTruth);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

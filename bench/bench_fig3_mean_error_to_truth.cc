@@ -1,0 +1,38 @@
+// Figure 3: mean testing error (relative to the ground truth) vs number of
+// training instances, on all four networks.
+
+#include "bayes/repository.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineString("networks", "alarm,hepar,link,munin",
+                     "comma-separated network list");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+
+  for (const std::string& name : SplitCommaList(flags.GetString("networks"))) {
+    StatusOr<BayesianNetwork> net = NetworkByName(name);
+    if (!net.ok()) {
+      std::cerr << net.status() << "\n";
+      return 1;
+    }
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(*net, options);
+    PrintMeanErrorTable("Fig. 3 (" + name + "): mean error to ground truth",
+                        snapshots, options.strategies, options.checkpoints,
+                        ErrorMetric::kToTruth);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

@@ -1,0 +1,39 @@
+// Figure 4: testing error relative to EXACTMLE vs number of training
+// instances, for UNIFORM and NONUNIFORM on all four networks.
+
+#include "bayes/repository.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineString("networks", "alarm,hepar,link,munin",
+                     "comma-separated network list");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+  options.strategies = {TrackingStrategy::kUniform, TrackingStrategy::kNonUniform};
+
+  for (const std::string& name : SplitCommaList(flags.GetString("networks"))) {
+    StatusOr<BayesianNetwork> net = NetworkByName(name);
+    if (!net.ok()) {
+      std::cerr << net.status() << "\n";
+      return 1;
+    }
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(*net, options);
+    PrintBoxplotTable("Fig. 4 (" + name + "): error relative to EXACTMLE",
+                      snapshots, options.strategies, options.checkpoints,
+                      ErrorMetric::kToMle);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

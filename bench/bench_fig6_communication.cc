@@ -1,0 +1,40 @@
+// Figure 6: communication cost (number of messages, log scale in the paper)
+// vs number of training instances, for all four algorithms on all four
+// networks.
+
+#include "bayes/repository.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineString("networks", "alarm,hepar,link,munin",
+                     "comma-separated network list");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+  // Error evaluation is irrelevant here; keep it cheap.
+  options.test_events = 10;
+
+  for (const std::string& name : SplitCommaList(flags.GetString("networks"))) {
+    StatusOr<BayesianNetwork> net = NetworkByName(name);
+    if (!net.ok()) {
+      std::cerr << net.status() << "\n";
+      return 1;
+    }
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(*net, options);
+    PrintCommTable("Fig. 6 (" + name + "): total messages vs training instances",
+                   snapshots, options.strategies, options.checkpoints);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

@@ -1,0 +1,66 @@
+// Figure 8: cluster throughput (events/sec) vs number of sites, for ALARM
+// and HEPAR II, on the threaded cluster substrate.
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "cluster/cluster_runner.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 100000,
+                    "training instances per run (paper: 500000)");
+  flags.DefineString("networks", "alarm,hepar", "comma-separated network list");
+  flags.DefineString("site-counts", "2,4,6,8,10", "cluster sizes to sweep");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const int64_t events =
+      flags.GetBool("full") ? 500000 : flags.GetInt64("events");
+  const std::vector<TrackingStrategy> strategies = {
+      TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
+      TrackingStrategy::kUniform, TrackingStrategy::kNonUniform};
+
+  for (const std::string& name : SplitCommaList(flags.GetString("networks"))) {
+    StatusOr<BayesianNetwork> net = NetworkByName(name);
+    if (!net.ok()) {
+      std::cerr << net.status() << "\n";
+      return 1;
+    }
+    TablePrinter table("Fig. 8 (" + name +
+                       "): cluster throughput (events/sec) vs sites, " +
+                       FormatInstances(events) + " instances");
+    std::vector<std::string> header = {"sites"};
+    for (TrackingStrategy s : strategies) header.push_back(ToString(s));
+    table.SetHeader(header);
+    for (const std::string& sites_text : SplitCommaList(flags.GetString("site-counts"))) {
+      const int sites = std::stoi(sites_text);
+      std::vector<std::string> row = {std::to_string(sites)};
+      for (TrackingStrategy strategy : strategies) {
+        ClusterConfig config;
+        config.tracker.strategy = strategy;
+        config.tracker.num_sites = sites;
+        config.tracker.epsilon = flags.GetDouble("eps");
+        config.tracker.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+        config.num_events = events;
+        const ClusterResult result = RunCluster(*net, config);
+        row.push_back(FormatCount(
+            static_cast<int64_t>(result.throughput_events_per_sec)));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

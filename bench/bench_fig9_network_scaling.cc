@@ -1,0 +1,58 @@
+// Figure 9: communication cost as the network scales. The LINK network is
+// shrunk by iterative sink removal to {24, 124, ..., 724} variables
+// (Fig. 9a keyed by variable count, Fig. 9b by edge count).
+
+#include <iostream>
+
+#include "bayes/generator.h"
+#include "bayes/repository.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 100000,
+                    "training instances per network size (paper: 500000)");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const int64_t events =
+      flags.GetBool("full") ? 500000 : flags.GetInt64("events");
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+  options.checkpoints = {events};
+  options.test_events = 10;  // Communication-only experiment.
+
+  const BayesianNetwork link = Link();
+  TablePrinter table(
+      "Fig. 9: total messages vs network size (LINK sink-removal series, " +
+      FormatInstances(events) + " instances)");
+  std::vector<std::string> header = {"variables", "edges"};
+  for (TrackingStrategy s : options.strategies) header.push_back(ToString(s));
+  table.SetHeader(header);
+  for (int target : {24, 124, 224, 324, 424, 524, 624, 724}) {
+    const BayesianNetwork net = RemoveSinksToSize(link, target);
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(net, options);
+    std::vector<std::string> row = {std::to_string(net.num_variables()),
+                                    std::to_string(net.dag().num_edges())};
+    for (TrackingStrategy strategy : options.strategies) {
+      const Snapshot& snap = FindSnapshot(snapshots, strategy, events);
+      row.push_back(
+          FormatScientific(static_cast<double>(snap.comm.TotalMessages())));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n(Fig. 9a reads this table by the `variables` column, "
+               "Fig. 9b by the `edges` column.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

@@ -1,0 +1,61 @@
+// Section VI-B (NEW-ALARM): on a network with strongly skewed domain sizes,
+// NONUNIFORM's cardinality-aware error split saves communication relative
+// to UNIFORM (the paper reports ~35%).
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 500000, "training instances");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  ExperimentOptions options;
+  ApplyCommonFlags(flags, &options);
+  options.checkpoints = {flags.GetInt64("events")};
+  options.strategies = {TrackingStrategy::kUniform, TrackingStrategy::kNonUniform};
+  options.test_events = 200;
+
+  TablePrinter table("NEW-ALARM: UNIFORM vs NONUNIFORM (" +
+                     FormatInstances(flags.GetInt64("events")) + " instances)");
+  table.SetHeader({"network", "uniform msgs", "non-uniform msgs", "saving",
+                   "uniform err-to-MLE", "non-uniform err-to-MLE"});
+  for (const char* name : {"alarm", "new-alarm"}) {
+    StatusOr<BayesianNetwork> net = NetworkByName(name);
+    if (!net.ok()) {
+      std::cerr << net.status() << "\n";
+      return 1;
+    }
+    const std::vector<Snapshot> snapshots = RunStreamExperiment(*net, options);
+    const Snapshot& uniform =
+        FindSnapshot(snapshots, TrackingStrategy::kUniform, options.checkpoints[0]);
+    const Snapshot& nonuniform = FindSnapshot(
+        snapshots, TrackingStrategy::kNonUniform, options.checkpoints[0]);
+    const double saving =
+        1.0 - static_cast<double>(nonuniform.comm.TotalMessages()) /
+                  static_cast<double>(uniform.comm.TotalMessages());
+    table.AddRow({name,
+                  FormatScientific(static_cast<double>(uniform.comm.TotalMessages())),
+                  FormatScientific(static_cast<double>(nonuniform.comm.TotalMessages())),
+                  FormatDouble(100.0 * saving, 3) + "%",
+                  FormatDouble(uniform.error_to_mle.Mean()),
+                  FormatDouble(nonuniform.error_to_mle.Mean())});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(The paper reports ~35% fewer messages for NONUNIFORM on "
+               "NEW-ALARM and near-parity on the original ALARM.)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

@@ -1,0 +1,77 @@
+// Shared driver for the classification experiments (paper Tables II-III).
+
+#ifndef DSGM_BENCH_HARNESS_CLASSIFICATION_H_
+#define DSGM_BENCH_HARNESS_CLASSIFICATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "bayes/network.h"
+#include "bayes/sampler.h"
+#include "core/classifier.h"
+#include "core/mle_tracker.h"
+#include "harness/experiment.h"
+
+namespace dsgm {
+
+struct ClassificationResult {
+  TrackingStrategy strategy;
+  double error_rate = 0.0;
+  uint64_t messages = 0;
+};
+
+/// Trains one tracker per strategy on `train_instances` events, then runs
+/// `tests` predictions: each test samples a fresh instance from the ground
+/// truth, hides one uniformly random variable, predicts it from the rest
+/// (Section VI-B "Classification"), and compares with the true value.
+inline std::vector<ClassificationResult> RunClassificationExperiment(
+    const BayesianNetwork& network, const std::vector<TrackingStrategy>& strategies,
+    int64_t train_instances, int tests, int sites, double epsilon, uint64_t seed) {
+  std::vector<std::unique_ptr<MleTracker>> trackers;
+  for (TrackingStrategy strategy : strategies) {
+    TrackerConfig config;
+    config.strategy = strategy;
+    config.epsilon = epsilon;
+    config.num_sites = sites;
+    config.seed = seed ^ (0x77 + static_cast<uint64_t>(strategy));
+    trackers.push_back(std::make_unique<MleTracker>(network, config));
+  }
+
+  Rng master(seed);
+  ForwardSampler sampler(network, master.Next());
+  Rng router = master.Split();
+  Instance x;
+  for (int64_t e = 0; e < train_instances; ++e) {
+    sampler.Sample(&x);
+    const int site =
+        static_cast<int>(router.NextBounded(static_cast<uint64_t>(sites)));
+    for (auto& tracker : trackers) tracker->Observe(x, site);
+  }
+
+  ForwardSampler test_sampler(network, master.Next());
+  Rng picker = master.Split();
+  std::vector<int> errors(strategies.size(), 0);
+  for (int t = 0; t < tests; ++t) {
+    test_sampler.Sample(&x);
+    const int target = static_cast<int>(
+        picker.NextBounded(static_cast<uint64_t>(network.num_variables())));
+    const int truth = x[static_cast<size_t>(target)];
+    for (size_t s = 0; s < trackers.size(); ++s) {
+      errors[s] += (PredictWithTracker(*trackers[s], target, x) != truth);
+    }
+  }
+
+  std::vector<ClassificationResult> results;
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    ClassificationResult result;
+    result.strategy = strategies[s];
+    result.error_rate = static_cast<double>(errors[s]) / tests;
+    result.messages = trackers[s]->comm().TotalMessages();
+    results.push_back(result);
+  }
+  return results;
+}
+
+}  // namespace dsgm
+
+#endif  // DSGM_BENCH_HARNESS_CLASSIFICATION_H_

@@ -1,0 +1,166 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dsgm {
+
+std::vector<Snapshot> RunStreamExperiment(const BayesianNetwork& network,
+                                          const ExperimentOptions& options) {
+  DSGM_CHECK(!options.strategies.empty());
+  DSGM_CHECK(!options.checkpoints.empty());
+  DSGM_CHECK(std::is_sorted(options.checkpoints.begin(), options.checkpoints.end()));
+
+  // Trackers: one per requested strategy, plus a hidden exact tracker as the
+  // MLE reference if the exact strategy was not requested.
+  std::vector<std::unique_ptr<MleTracker>> trackers;
+  const MleTracker* exact_reference = nullptr;
+  for (TrackingStrategy strategy : options.strategies) {
+    TrackerConfig config;
+    config.strategy = strategy;
+    config.epsilon = options.epsilon;
+    config.num_sites = options.sites;
+    config.seed = options.seed ^ (0x9e37 + static_cast<uint64_t>(strategy) * 0x51ed);
+    config.probability_constant = options.probability_constant;
+    trackers.push_back(std::make_unique<MleTracker>(network, config));
+    if (strategy == TrackingStrategy::kExactMle) {
+      exact_reference = trackers.back().get();
+    }
+  }
+  std::unique_ptr<MleTracker> hidden_exact;
+  if (exact_reference == nullptr) {
+    TrackerConfig config;
+    config.strategy = TrackingStrategy::kExactMle;
+    config.num_sites = options.sites;
+    config.seed = options.seed;
+    hidden_exact = std::make_unique<MleTracker>(network, config);
+    exact_reference = hidden_exact.get();
+  }
+
+  // Test events are fixed up front so every checkpoint and strategy is
+  // evaluated on the same queries.
+  Rng master(options.seed);
+  Rng event_rng = master.Split();
+  TestEventOptions event_options;
+  event_options.count = options.test_events;
+  event_options.min_prob = options.test_event_min_prob;
+  const std::vector<TestEvent> events =
+      GenerateTestEvents(network, event_options, event_rng);
+
+  ForwardSampler sampler(network, master.Next());
+  Rng router = master.Split();
+  std::unique_ptr<ZipfDistribution> zipf;
+  if (options.zipf_exponent > 0.0) {
+    zipf = std::make_unique<ZipfDistribution>(options.sites, options.zipf_exponent);
+  }
+
+  std::vector<Snapshot> snapshots;
+  Instance instance;
+  int64_t streamed = 0;
+  for (int64_t checkpoint : options.checkpoints) {
+    for (; streamed < checkpoint; ++streamed) {
+      sampler.Sample(&instance);
+      const int site =
+          zipf ? zipf->Sample(router)
+               : static_cast<int>(
+                     router.NextBounded(static_cast<uint64_t>(options.sites)));
+      for (auto& tracker : trackers) tracker->Observe(instance, site);
+      if (hidden_exact) hidden_exact->Observe(instance, site);
+    }
+    for (auto& tracker : trackers) {
+      Snapshot snap;
+      snap.strategy = tracker->config().strategy;
+      snap.instances = checkpoint;
+      snap.comm = tracker->comm();
+      for (const TestEvent& event : events) {
+        const double estimate = tracker->JointProbability(event.assignment);
+        snap.error_to_truth.Add(std::abs(estimate - event.truth_prob) /
+                                event.truth_prob);
+        if (tracker->config().strategy != TrackingStrategy::kExactMle) {
+          const double mle = exact_reference->JointProbability(event.assignment);
+          if (mle > 0.0) {
+            snap.error_to_mle.Add(std::abs(estimate - mle) / mle);
+          }
+        }
+      }
+      snapshots.push_back(std::move(snap));
+    }
+  }
+  return snapshots;
+}
+
+const Snapshot& FindSnapshot(const std::vector<Snapshot>& snapshots,
+                             TrackingStrategy strategy, int64_t instances) {
+  for (const Snapshot& snap : snapshots) {
+    if (snap.strategy == strategy && snap.instances == instances) return snap;
+  }
+  DSGM_CHECK(false) << "no snapshot for" << ToString(strategy) << "at" << instances;
+  std::abort();  // Unreachable.
+}
+
+void DefineCommonFlags(Flags* flags) {
+  flags->DefineInt64("seed", 42, "master random seed");
+  flags->DefineInt64("sites", 30, "number of distributed sites (paper: 30)");
+  flags->DefineDouble("eps", 0.1, "approximation factor epsilon (paper: 0.1)");
+  flags->DefineInt64("test-events", 1000, "number of evaluation queries");
+  flags->DefineBool("full", false,
+                    "use the paper's full stream lengths (5K..5M) instead of "
+                    "the reduced default (5K..500K)");
+  flags->DefineInt64("trials", 1, "independent repetitions (median reported)");
+}
+
+void ParseFlagsOrDie(Flags* flags, int argc, char** argv) {
+  const Status status = flags->Parse(argc, argv);
+  if (status.ok()) return;
+  if (status.code() == StatusCode::kNotFound) {
+    std::cout << status.message();
+    std::exit(0);
+  }
+  std::cerr << "error: " << status.message() << "\n";
+  std::cerr << flags->Usage(argv[0]);
+  std::exit(1);
+}
+
+void ApplyCommonFlags(const Flags& flags, ExperimentOptions* options) {
+  options->seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  options->sites = static_cast<int>(flags.GetInt64("sites"));
+  options->epsilon = flags.GetDouble("eps");
+  options->test_events = static_cast<int>(flags.GetInt64("test-events"));
+  options->checkpoints = CheckpointsFromFlags(flags);
+}
+
+std::vector<int64_t> CheckpointsFromFlags(const Flags& flags) {
+  if (flags.GetBool("full")) return {5000, 50000, 500000, 5000000};
+  return {5000, 50000, 500000};
+}
+
+std::string FormatInstances(int64_t instances) {
+  if (instances % 1000000 == 0) return std::to_string(instances / 1000000) + "M";
+  if (instances % 1000 == 0) return std::to_string(instances / 1000) + "K";
+  return std::to_string(instances);
+}
+
+std::vector<std::string> SplitCommaList(const std::string& text) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    std::string item = text.substr(start, comma - start);
+    const size_t first = item.find_first_not_of(" \t");
+    const size_t last = item.find_last_not_of(" \t");
+    if (first != std::string::npos) {
+      items.push_back(item.substr(first, last - first + 1));
+    }
+    start = comma + 1;
+  }
+  return items;
+}
+
+}  // namespace dsgm

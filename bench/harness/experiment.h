@@ -1,0 +1,89 @@
+// Shared experiment driver for the paper-reproduction benches.
+//
+// One streaming pass feeds all requested strategies simultaneously (they see
+// the identical event sequence and site routing), and snapshots are taken at
+// the requested checkpoints: communication statistics plus per-test-event
+// error samples against the ground truth and against the exact MLE.
+
+#ifndef DSGM_BENCH_HARNESS_EXPERIMENT_H_
+#define DSGM_BENCH_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bayes/network.h"
+#include "bayes/sampler.h"
+#include "common/flags.h"
+#include "common/statistics.h"
+#include "core/mle_tracker.h"
+#include "monitor/comm_stats.h"
+
+namespace dsgm {
+
+/// Configuration of one streaming experiment.
+struct ExperimentOptions {
+  std::vector<TrackingStrategy> strategies = {
+      TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
+      TrackingStrategy::kUniform, TrackingStrategy::kNonUniform};
+  /// Snapshot points (ascending); the stream length is the last checkpoint.
+  std::vector<int64_t> checkpoints = {5000, 50000, 500000};
+  int sites = 30;
+  double epsilon = 0.1;
+  uint64_t seed = 42;
+  int test_events = 1000;
+  double test_event_min_prob = 0.01;
+  /// 0 routes events uniformly across sites (the paper's setting); > 0
+  /// routes with a Zipf(exponent) distribution (site-skew ablation).
+  double zipf_exponent = 0.0;
+  /// Counter round-schedule constant (counter ablation).
+  double probability_constant = 1.0;
+};
+
+/// Measurements of one (strategy, checkpoint) pair.
+struct Snapshot {
+  TrackingStrategy strategy;
+  int64_t instances = 0;
+  CommStats comm;
+  /// |P~ - P*| / P* over the test events (paper's "error to ground truth").
+  SampleSet error_to_truth;
+  /// |P~ - P^| / P^ against the exact-counter MLE (paper's "error to MLE");
+  /// empty for the exact strategy itself.
+  SampleSet error_to_mle;
+};
+
+/// Runs the streaming pass and returns one Snapshot per strategy per
+/// checkpoint, ordered by checkpoint then by strategy (options order).
+std::vector<Snapshot> RunStreamExperiment(const BayesianNetwork& network,
+                                          const ExperimentOptions& options);
+
+/// Selects the snapshot for (strategy, instances); CHECK-fails if absent.
+const Snapshot& FindSnapshot(const std::vector<Snapshot>& snapshots,
+                             TrackingStrategy strategy, int64_t instances);
+
+// --- Flag helpers shared by every bench binary -------------------------
+
+/// Registers the common experiment flags (--seed, --sites, --eps,
+/// --test-events, --full, --trials) on `flags`.
+void DefineCommonFlags(Flags* flags);
+
+/// Parses argv; on --help prints usage and exits 0; on error prints the
+/// message and exits 1.
+void ParseFlagsOrDie(Flags* flags, int argc, char** argv);
+
+/// Applies the common flags to `options`.
+void ApplyCommonFlags(const Flags& flags, ExperimentOptions* options);
+
+/// Default checkpoints: {5K, 50K, 500K}, or the paper's full x-axis
+/// {5K, 50K, 500K, 5M} when --full is set.
+std::vector<int64_t> CheckpointsFromFlags(const Flags& flags);
+
+/// Human-readable instance count, e.g. "5K", "500K", "5M".
+std::string FormatInstances(int64_t instances);
+
+/// Splits "alarm,hepar , link" into {"alarm","hepar","link"}.
+std::vector<std::string> SplitCommaList(const std::string& text);
+
+}  // namespace dsgm
+
+#endif  // DSGM_BENCH_HARNESS_EXPERIMENT_H_

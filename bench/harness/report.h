@@ -1,0 +1,93 @@
+// Report rendering shared by the bench binaries: turns experiment snapshots
+// into the table/series layout of the corresponding paper figure.
+
+#ifndef DSGM_BENCH_HARNESS_REPORT_H_
+#define DSGM_BENCH_HARNESS_REPORT_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace dsgm {
+
+enum class ErrorMetric { kToTruth, kToMle };
+
+inline const SampleSet& MetricOf(const Snapshot& snap, ErrorMetric metric) {
+  return metric == ErrorMetric::kToTruth ? snap.error_to_truth : snap.error_to_mle;
+}
+
+/// Boxplot figures (Figs. 1, 2, 4): one row per (strategy, checkpoint) with
+/// p10/p25/median/p75/p90 of the chosen error metric.
+inline void PrintBoxplotTable(const std::string& title,
+                              const std::vector<Snapshot>& snapshots,
+                              const std::vector<TrackingStrategy>& strategies,
+                              const std::vector<int64_t>& checkpoints,
+                              ErrorMetric metric) {
+  TablePrinter table(title);
+  table.SetHeader({"algorithm", "instances", "p10", "p25", "median", "p75", "p90",
+                   "mean"});
+  for (TrackingStrategy strategy : strategies) {
+    for (int64_t checkpoint : checkpoints) {
+      const Snapshot& snap = FindSnapshot(snapshots, strategy, checkpoint);
+      const BoxplotSummary box = MetricOf(snap, metric).Boxplot();
+      table.AddRow({ToString(strategy), FormatInstances(checkpoint),
+                    FormatDouble(box.p10), FormatDouble(box.p25),
+                    FormatDouble(box.p50), FormatDouble(box.p75),
+                    FormatDouble(box.p90), FormatDouble(box.mean)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+/// Mean-error figures (Figs. 3, 5): instances on rows, strategies on columns.
+inline void PrintMeanErrorTable(const std::string& title,
+                                const std::vector<Snapshot>& snapshots,
+                                const std::vector<TrackingStrategy>& strategies,
+                                const std::vector<int64_t>& checkpoints,
+                                ErrorMetric metric) {
+  TablePrinter table(title);
+  std::vector<std::string> header = {"instances"};
+  for (TrackingStrategy strategy : strategies) header.push_back(ToString(strategy));
+  table.SetHeader(header);
+  for (int64_t checkpoint : checkpoints) {
+    std::vector<std::string> row = {FormatInstances(checkpoint)};
+    for (TrackingStrategy strategy : strategies) {
+      const Snapshot& snap = FindSnapshot(snapshots, strategy, checkpoint);
+      row.push_back(FormatDouble(MetricOf(snap, metric).Mean()));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+/// Communication figures (Fig. 6 and friends): total messages per strategy
+/// per checkpoint, in the paper's scientific notation.
+inline void PrintCommTable(const std::string& title,
+                           const std::vector<Snapshot>& snapshots,
+                           const std::vector<TrackingStrategy>& strategies,
+                           const std::vector<int64_t>& checkpoints) {
+  TablePrinter table(title);
+  std::vector<std::string> header = {"instances"};
+  for (TrackingStrategy strategy : strategies) header.push_back(ToString(strategy));
+  table.SetHeader(header);
+  for (int64_t checkpoint : checkpoints) {
+    std::vector<std::string> row = {FormatInstances(checkpoint)};
+    for (TrackingStrategy strategy : strategies) {
+      const Snapshot& snap = FindSnapshot(snapshots, strategy, checkpoint);
+      row.push_back(
+          FormatScientific(static_cast<double>(snap.comm.TotalMessages())));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace dsgm
+
+#endif  // DSGM_BENCH_HARNESS_REPORT_H_

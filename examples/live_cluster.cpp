@@ -1,0 +1,47 @@
+// Live cluster demo: runs the threaded site/coordinator implementation
+// (one OS thread per site, real message queues) on the ALARM network and
+// reports runtime, throughput, and communication for each algorithm —
+// a miniature of the paper's Figures 7-8 EC2 experiment.
+//
+//   $ ./build/examples/live_cluster
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "cluster/cluster_runner.h"
+#include "common/table.h"
+
+int main() {
+  using namespace dsgm;
+  const BayesianNetwork net = Alarm();
+  constexpr int kSites = 6;
+  constexpr int64_t kEvents = 100000;
+
+  std::cout << "Running a " << kSites << "-site threaded cluster on '"
+            << net.name() << "' (" << kEvents << " events per run)...\n\n";
+
+  TablePrinter table;
+  table.SetHeader({"algorithm", "runtime (s)", "throughput (events/s)",
+                   "wire messages", "counter updates", "max rel. counter err"});
+  for (TrackingStrategy strategy :
+       {TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
+        TrackingStrategy::kUniform, TrackingStrategy::kNonUniform}) {
+    ClusterConfig config;
+    config.tracker.strategy = strategy;
+    config.tracker.num_sites = kSites;
+    config.tracker.epsilon = 0.1;
+    config.tracker.seed = 99;
+    config.num_events = kEvents;
+    const ClusterResult result = RunCluster(net, config);
+    table.AddRow({ToString(strategy), FormatDouble(result.runtime_seconds, 3),
+                  FormatCount(static_cast<int64_t>(result.throughput_events_per_sec)),
+                  FormatCount(static_cast<int64_t>(result.comm.wire_messages)),
+                  FormatCount(static_cast<int64_t>(result.comm.update_messages)),
+                  FormatDouble(result.max_counter_rel_error, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe randomized algorithms finish faster because the "
+               "coordinator processes\nfar fewer counter updates; their "
+               "estimates stay within the epsilon band.\n";
+  return 0;
+}

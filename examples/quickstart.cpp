@@ -1,0 +1,83 @@
+// Quickstart: learn the parameters of a known-structure Bayesian network
+// from a distributed stream with ~100x less communication than exact
+// maintenance, and query the model continuously.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the full public API surface: repository networks, forward
+// sampling, the MLE tracker with the NONUNIFORM strategy, joint-probability
+// queries, and communication accounting.
+
+#include <cmath>
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "common/table.h"
+#include "core/mle_tracker.h"
+
+int main() {
+  using namespace dsgm;
+
+  // 1. A Bayesian network structure. Here: the classic 5-variable student
+  //    network; its CPDs act as the unknown ground truth we learn from data.
+  const BayesianNetwork truth = StudentNetwork();
+  std::cout << "Network '" << truth.name() << "': " << truth.num_variables()
+            << " variables, " << truth.dag().num_edges() << " edges, "
+            << truth.FreeParams() << " free parameters.\n\n";
+
+  // 2. Two trackers on a 10-site distributed stream: the exact-MLE strawman
+  //    and the paper's NONUNIFORM algorithm with epsilon = 0.1.
+  TrackerConfig exact_config;
+  exact_config.strategy = TrackingStrategy::kExactMle;
+  exact_config.num_sites = 10;
+  MleTracker exact(truth, exact_config);
+
+  TrackerConfig approx_config;
+  approx_config.strategy = TrackingStrategy::kNonUniform;
+  approx_config.epsilon = 0.1;
+  approx_config.num_sites = 10;
+  MleTracker approx(truth, approx_config);
+
+  // 3. Stream 500K observations; each event arrives at a random site
+  //    (Algorithm 2 runs site-side, counters talk to the coordinator).
+  ForwardSampler sampler(truth, /*seed=*/2024);
+  Rng router(7);
+  Instance event;
+  for (int i = 0; i < 500000; ++i) {
+    sampler.Sample(&event);
+    const int site = static_cast<int>(router.NextBounded(10));
+    exact.Observe(event, site);
+    approx.Observe(event, site);
+  }
+
+  // 4. Query the continuously-maintained model (Algorithm 3).
+  const Instance probe = {0, 1, 0, 1, 1};  // easy course, smart student, A...
+  std::cout << "P(d0,i1,g0,s1,l1)  ground truth: "
+            << FormatDouble(truth.JointProbability(probe)) << "\n"
+            << "                   exact MLE:    "
+            << FormatDouble(exact.JointProbability(probe)) << "\n"
+            << "                   non-uniform:  "
+            << FormatDouble(approx.JointProbability(probe)) << "\n\n";
+
+  // Partial queries over ancestrally-closed subsets work too.
+  PartialAssignment grades;
+  grades.nodes = {0, 1, 2};  // Difficulty, Intelligence, Grade
+  grades.values = {0, 1, 0};
+  std::cout << "P(d0,i1,g0)        ground truth: "
+            << FormatDouble(truth.ClosedSubsetProbability(grades)) << "\n"
+            << "                   non-uniform:  "
+            << FormatDouble(approx.JointProbability(grades)) << "\n\n";
+
+  // 5. The payoff: communication.
+  const double ratio = static_cast<double>(exact.comm().TotalMessages()) /
+                       static_cast<double>(approx.comm().TotalMessages());
+  std::cout << "Communication for 500K distributed events:\n"
+            << "  exact MLE:   " << FormatCount(static_cast<int64_t>(
+                                        exact.comm().TotalMessages()))
+            << " messages\n"
+            << "  non-uniform: " << FormatCount(static_cast<int64_t>(
+                                        approx.comm().TotalMessages()))
+            << " messages  (" << FormatDouble(ratio, 3) << "x fewer)\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Sensor-network monitoring: the motivating scenario from the paper's
+// introduction. A fleet of highway sensors observes correlated event
+// features (duration, scale, weather, congestion, ...); a coordinator
+// continuously maintains the joint model and answers "how likely is this
+// pattern?" queries in real time, while the model keeps adapting.
+//
+//   $ ./build/examples/sensor_network
+//
+// Demonstrates: building a custom network by hand, continuous queries
+// during streaming, and watching the approximation error shrink while
+// communication grows only logarithmically.
+
+#include <cmath>
+#include <iostream>
+
+#include "bayes/network.h"
+#include "bayes/sampler.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "core/mle_tracker.h"
+
+namespace {
+
+// Traffic-event model over 7 variables:
+//   0 TimeOfDay(4: night/morning/midday/evening)   (root)
+//   1 Weather(3: clear/rain/snow)                  (root)
+//   2 Congestion(3)   <- TimeOfDay, Weather
+//   3 Incident(2)     <- Congestion, Weather
+//   4 Duration(3)     <- Incident
+//   5 Scale(3)        <- Incident, Congestion
+//   6 Diversion(2)    <- Incident
+dsgm::BayesianNetwork BuildTrafficNetwork() {
+  using namespace dsgm;
+  std::vector<Variable> variables = {
+      {"TimeOfDay", 4}, {"Weather", 3}, {"Congestion", 3}, {"Incident", 2},
+      {"Duration", 3},  {"Scale", 3},   {"Diversion", 2},
+  };
+  Dag dag(7);
+  DSGM_CHECK(dag.AddEdge(0, 2).ok());
+  DSGM_CHECK(dag.AddEdge(1, 2).ok());
+  DSGM_CHECK(dag.AddEdge(2, 3).ok());
+  DSGM_CHECK(dag.AddEdge(1, 3).ok());
+  DSGM_CHECK(dag.AddEdge(3, 4).ok());
+  DSGM_CHECK(dag.AddEdge(3, 5).ok());
+  DSGM_CHECK(dag.AddEdge(2, 5).ok());
+  DSGM_CHECK(dag.AddEdge(3, 6).ok());
+
+  // Ground-truth CPDs: skewed Dirichlet draws with a probability floor
+  // (a real deployment would not know these; they generate the stream).
+  Rng rng(0xbeef);
+  std::vector<CpdTable> cpds;
+  for (int i = 0; i < 7; ++i) {
+    std::vector<int> parent_cards;
+    for (int parent : dag.parents(i)) {
+      parent_cards.push_back(variables[static_cast<size_t>(parent)].cardinality);
+    }
+    CpdTable cpd(variables[static_cast<size_t>(i)].cardinality,
+                 std::move(parent_cards));
+    cpd.FillRandom(rng, /*alpha=*/0.6, /*min_prob=*/0.03);
+    cpds.push_back(std::move(cpd));
+  }
+  StatusOr<BayesianNetwork> net = BayesianNetwork::Create(
+      "traffic", std::move(variables), std::move(dag), std::move(cpds));
+  DSGM_CHECK(net.ok()) << net.status();
+  return std::move(net).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsgm;
+  const BayesianNetwork truth = BuildTrafficNetwork();
+  constexpr int kSensors = 25;  // 25 roadside sensor sites.
+
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kNonUniform;
+  config.epsilon = 0.1;
+  config.num_sites = kSensors;
+  MleTracker model(truth, config);
+
+  // The "pattern of interest": a snow-day incident pattern, queried live.
+  // {TimeOfDay, Weather, Congestion, Incident} is ancestrally closed.
+  PartialAssignment snow_incident;
+  snow_incident.nodes = {0, 1, 2, 3};
+  snow_incident.values = {1, 2, 2, 1};  // morning, snow, heavy, incident
+  const double truth_prob = truth.ClosedSubsetProbability(snow_incident);
+
+  std::cout << "Streaming traffic events from " << kSensors
+            << " sensors; querying P(morning, snow, heavy congestion, "
+               "incident) as the model learns.\n\n";
+  TablePrinter table;
+  table.SetHeader({"events seen", "model estimate", "ground truth", "rel. error",
+                   "messages", "msgs/event"});
+
+  ForwardSampler sampler(truth, 11);
+  Rng router(12);
+  Instance event;
+  int64_t streamed = 0;
+  for (int64_t checkpoint : {1000, 10000, 100000, 1000000}) {
+    for (; streamed < checkpoint; ++streamed) {
+      sampler.Sample(&event);
+      model.Observe(event, static_cast<int>(router.NextBounded(kSensors)));
+    }
+    const double estimate = model.JointProbability(snow_incident);
+    const double rel_error = std::abs(estimate - truth_prob) / truth_prob;
+    const uint64_t messages = model.comm().TotalMessages();
+    table.AddRow({FormatCount(checkpoint), FormatDouble(estimate),
+                  FormatDouble(truth_prob), FormatDouble(rel_error, 3),
+                  FormatCount(static_cast<int64_t>(messages)),
+                  FormatDouble(static_cast<double>(messages) /
+                                   static_cast<double>(checkpoint),
+                               3)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nNote how messages/event falls as the stream grows: heavy "
+               "counters go quiet\n(logarithmic communication) while the "
+               "estimate keeps converging to the truth.\n";
+  return 0;
+}

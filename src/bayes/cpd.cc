@@ -1,0 +1,79 @@
+#include "bayes/cpd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+CpdTable::CpdTable(int cardinality, std::vector<int> parent_cards)
+    : cardinality_(cardinality), parent_cards_(std::move(parent_cards)) {
+  DSGM_CHECK_GE(cardinality_, 2) << "a categorical variable needs >= 2 values";
+  num_rows_ = 1;
+  for (int card : parent_cards_) {
+    DSGM_CHECK_GE(card, 2);
+    num_rows_ *= card;
+  }
+  probs_.assign(static_cast<size_t>(num_rows_) * cardinality_,
+                1.0 / cardinality_);
+}
+
+int64_t CpdTable::ParentIndex(const std::vector<int>& parent_values) const {
+  DSGM_DCHECK(parent_values.size() == parent_cards_.size());
+  int64_t index = 0;
+  for (size_t i = 0; i < parent_cards_.size(); ++i) {
+    DSGM_DCHECK(parent_values[i] >= 0 && parent_values[i] < parent_cards_[i]);
+    index = index * parent_cards_[i] + parent_values[i];
+  }
+  return index;
+}
+
+Status CpdTable::SetRow(int64_t parent_index, const std::vector<double>& row) {
+  if (parent_index < 0 || parent_index >= num_rows_) {
+    return OutOfRangeError("parent index out of range");
+  }
+  if (static_cast<int>(row.size()) != cardinality_) {
+    return InvalidArgumentError("row has wrong arity");
+  }
+  double total = 0.0;
+  for (double p : row) {
+    if (p < 0.0) return InvalidArgumentError("negative probability");
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return InvalidArgumentError("row does not sum to 1");
+  }
+  std::copy(row.begin(), row.end(),
+            probs_.begin() + static_cast<size_t>(parent_index) * cardinality_);
+  return Status::Ok();
+}
+
+void CpdTable::FillRandom(Rng& rng, double alpha, double min_prob) {
+  const double floor = std::min(min_prob, 0.5 / cardinality_);
+  const double scale = 1.0 - floor * cardinality_;
+  for (int64_t row = 0; row < num_rows_; ++row) {
+    const std::vector<double> raw = rng.NextDirichlet(cardinality_, alpha);
+    double* out = &probs_[static_cast<size_t>(row) * cardinality_];
+    for (int j = 0; j < cardinality_; ++j) out[j] = floor + scale * raw[j];
+  }
+}
+
+int CpdTable::Sample(int64_t parent_index, Rng& rng) const {
+  DSGM_DCHECK(parent_index >= 0 && parent_index < num_rows_);
+  const double* row = &probs_[static_cast<size_t>(parent_index) * cardinality_];
+  double target = rng.NextDouble();
+  for (int j = 0; j < cardinality_; ++j) {
+    target -= row[j];
+    if (target < 0.0) return j;
+  }
+  return cardinality_ - 1;
+}
+
+double CpdTable::MinProb() const {
+  double result = 1.0;
+  for (double p : probs_) result = std::min(result, p);
+  return result;
+}
+
+}  // namespace dsgm

@@ -1,0 +1,66 @@
+// Conditional probability distribution table (CPT) of one variable.
+
+#ifndef DSGM_BAYES_CPD_H_
+#define DSGM_BAYES_CPD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+/// The CPD P[X = x | par(X) = u] of a categorical variable, stored as a
+/// dense table with one row per joint parent assignment.
+///
+/// Parent assignments are linearized in row-major order over the parents
+/// sorted ascending by node id (the Dag contract): the LAST parent varies
+/// fastest. `ParentIndex` maps a vector of parent values to the row id.
+class CpdTable {
+ public:
+  /// `cardinality` is J (domain size of X); `parent_cards` are the domain
+  /// sizes of par(X) in ascending-node-id order (empty for root variables).
+  CpdTable(int cardinality, std::vector<int> parent_cards);
+
+  int cardinality() const { return cardinality_; }
+  const std::vector<int>& parent_cards() const { return parent_cards_; }
+  /// K: the number of joint parent assignments (1 for roots).
+  int64_t num_rows() const { return num_rows_; }
+  /// Free parameters of this CPD: K * (J - 1), the convention used by the
+  /// bnlearn repository figures quoted in the paper's Table I.
+  int64_t FreeParams() const { return num_rows_ * (cardinality_ - 1); }
+
+  /// Linearizes parent values (same order as parent_cards) into a row index.
+  int64_t ParentIndex(const std::vector<int>& parent_values) const;
+
+  double prob(int value, int64_t parent_index) const {
+    return probs_[static_cast<size_t>(parent_index) * cardinality_ + value];
+  }
+
+  /// Replaces the distribution of one row. Returns InvalidArgument unless
+  /// `row` has exactly J non-negative entries summing to 1 (within 1e-9).
+  Status SetRow(int64_t parent_index, const std::vector<double>& row);
+
+  /// Fills every row with Dirichlet(alpha) draws, then mixes each row with
+  /// the uniform distribution so that every probability is at least
+  /// `min_prob` (the floor lambda of the paper's Lemma 3). `min_prob` is
+  /// clamped to at most 0.5/J to keep rows valid.
+  void FillRandom(Rng& rng, double alpha, double min_prob);
+
+  /// Samples a value of X given the parent row.
+  int Sample(int64_t parent_index, Rng& rng) const;
+
+  /// Smallest probability anywhere in the table.
+  double MinProb() const;
+
+ private:
+  int cardinality_;
+  std::vector<int> parent_cards_;
+  int64_t num_rows_;
+  std::vector<double> probs_;  // num_rows_ x cardinality_, row-major.
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_CPD_H_

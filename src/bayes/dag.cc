@@ -1,0 +1,135 @@
+#include "bayes/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+Dag::Dag(int num_nodes) {
+  DSGM_CHECK_GT(num_nodes, 0) << "a DAG needs at least one node";
+  parents_.resize(static_cast<size_t>(num_nodes));
+  children_.resize(static_cast<size_t>(num_nodes));
+}
+
+Status Dag::AddEdge(int from, int to) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return InvalidArgumentError("edge endpoint out of range");
+  }
+  if (from == to) {
+    return InvalidArgumentError("self-loop on node " + std::to_string(from));
+  }
+  if (HasEdge(from, to)) {
+    return InvalidArgumentError("duplicate edge " + std::to_string(from) + "->" +
+                                std::to_string(to));
+  }
+  auto& parents = parents_[static_cast<size_t>(to)];
+  parents.insert(std::lower_bound(parents.begin(), parents.end(), from), from);
+  auto& children = children_[static_cast<size_t>(from)];
+  children.insert(std::lower_bound(children.begin(), children.end(), to), to);
+  ++num_edges_;
+  return Status::Ok();
+}
+
+bool Dag::HasEdge(int from, int to) const {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) return false;
+  const auto& parents = parents_[static_cast<size_t>(to)];
+  return std::binary_search(parents.begin(), parents.end(), from);
+}
+
+StatusOr<std::vector<int>> Dag::TopologicalOrder() const {
+  // Kahn's algorithm; smallest-id-first to make the order deterministic.
+  const int n = num_nodes();
+  std::vector<int> in_degree(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    in_degree[static_cast<size_t>(v)] = static_cast<int>(parents(v).size());
+  }
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  for (int v = 0; v < n; ++v) {
+    if (in_degree[static_cast<size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    const int v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (int child : children(v)) {
+      if (--in_degree[static_cast<size_t>(child)] == 0) ready.push(child);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return FailedPreconditionError("graph contains a directed cycle");
+  }
+  return order;
+}
+
+bool Dag::IsAcyclic() const { return TopologicalOrder().ok(); }
+
+std::vector<int> Dag::AncestralClosure(const std::vector<int>& seeds) const {
+  std::vector<bool> visited(static_cast<size_t>(num_nodes()), false);
+  std::vector<int> stack;
+  for (int seed : seeds) {
+    DSGM_CHECK(seed >= 0 && seed < num_nodes()) << "seed out of range:" << seed;
+    if (!visited[static_cast<size_t>(seed)]) {
+      visited[static_cast<size_t>(seed)] = true;
+      stack.push_back(seed);
+    }
+  }
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int parent : parents(v)) {
+      if (!visited[static_cast<size_t>(parent)]) {
+        visited[static_cast<size_t>(parent)] = true;
+        stack.push_back(parent);
+      }
+    }
+  }
+  std::vector<int> closure;
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (visited[static_cast<size_t>(v)]) closure.push_back(v);
+  }
+  return closure;
+}
+
+std::vector<int> Dag::Sinks() const {
+  std::vector<int> sinks;
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (children(v).empty()) sinks.push_back(v);
+  }
+  return sinks;
+}
+
+std::vector<int> Dag::Roots() const {
+  std::vector<int> roots;
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (parents(v).empty()) roots.push_back(v);
+  }
+  return roots;
+}
+
+Dag Dag::InducedSubgraph(const std::vector<int>& keep) const {
+  DSGM_CHECK(!keep.empty());
+  DSGM_CHECK(std::is_sorted(keep.begin(), keep.end()));
+  std::vector<int> new_id(static_cast<size_t>(num_nodes()), -1);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const int old = keep[i];
+    DSGM_CHECK(old >= 0 && old < num_nodes());
+    DSGM_CHECK_EQ(new_id[static_cast<size_t>(old)], -1) << "duplicate node in keep";
+    new_id[static_cast<size_t>(old)] = static_cast<int>(i);
+  }
+  Dag result(static_cast<int>(keep.size()));
+  for (int old_to : keep) {
+    for (int old_from : parents(old_to)) {
+      const int mapped_from = new_id[static_cast<size_t>(old_from)];
+      if (mapped_from >= 0) {
+        DSGM_CHECK(result.AddEdge(mapped_from, new_id[static_cast<size_t>(old_to)]).ok());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dsgm

@@ -1,0 +1,69 @@
+// Directed acyclic graph structure of a Bayesian network.
+
+#ifndef DSGM_BAYES_DAG_H_
+#define DSGM_BAYES_DAG_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace dsgm {
+
+/// Directed graph over nodes {0, ..., n-1} with parent/child adjacency.
+///
+/// Parents of each node are kept sorted by node id; this ordering is the
+/// contract used by CpdTable parent indexing throughout the library.
+/// The class itself does not forbid cycles while edges are being added;
+/// call Validate() (or TopologicalOrder()) once construction is complete.
+class Dag {
+ public:
+  explicit Dag(int num_nodes);
+
+  /// Adds edge from -> to. Returns InvalidArgument on out-of-range ids,
+  /// self-loops, or duplicate edges.
+  Status AddEdge(int from, int to);
+
+  int num_nodes() const { return static_cast<int>(parents_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Parents of `node`, sorted ascending by id.
+  const std::vector<int>& parents(int node) const { return parents_[node]; }
+  /// Children of `node`, sorted ascending by id.
+  const std::vector<int>& children(int node) const { return children_[node]; }
+
+  bool HasEdge(int from, int to) const;
+
+  /// True iff the graph has no directed cycle.
+  bool IsAcyclic() const;
+
+  /// Nodes in an order where every parent precedes its children, or
+  /// FailedPrecondition if the graph has a cycle.
+  StatusOr<std::vector<int>> TopologicalOrder() const;
+
+  /// The ancestral closure of `seeds`: the seeds plus all their ancestors,
+  /// returned sorted ascending. For any assignment restricted to such a set,
+  /// the joint probability factorizes exactly by the chain rule (every
+  /// parent of a member is itself a member).
+  std::vector<int> AncestralClosure(const std::vector<int>& seeds) const;
+
+  /// Nodes with no outgoing edge, ascending.
+  std::vector<int> Sinks() const;
+
+  /// Nodes with no incoming edge, ascending.
+  std::vector<int> Roots() const;
+
+  /// The subgraph induced by `keep` (which must be closed under parents is
+  /// NOT required; edges to dropped nodes are removed). Node i of the result
+  /// corresponds to keep[i]; `keep` must be sorted ascending and duplicate
+  /// free.
+  Dag InducedSubgraph(const std::vector<int>& keep) const;
+
+ private:
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+  int num_edges_ = 0;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_DAG_H_

@@ -1,0 +1,311 @@
+#include "bayes/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dsgm {
+namespace {
+
+/// Free parameters implied by `cards` on `dag`: sum of K_i * (J_i - 1).
+int64_t FreeParamsFor(const Dag& dag, const std::vector<int>& cards) {
+  int64_t total = 0;
+  for (int i = 0; i < dag.num_nodes(); ++i) {
+    int64_t rows = 1;
+    for (int parent : dag.parents(i)) rows *= cards[static_cast<size_t>(parent)];
+    total += rows * (cards[static_cast<size_t>(i)] - 1);
+  }
+  return total;
+}
+
+/// Change in FreeParamsFor if cards[node] moves to new_card: affects the
+/// node's own row width and the row counts of all its children.
+int64_t ParamDelta(const Dag& dag, const std::vector<int>& cards, int node,
+                   int new_card) {
+  const int old_card = cards[static_cast<size_t>(node)];
+  int64_t own_rows = 1;
+  for (int parent : dag.parents(node)) own_rows *= cards[static_cast<size_t>(parent)];
+  int64_t delta = own_rows * (new_card - old_card);
+  for (int child : dag.children(node)) {
+    int64_t child_rows_other = 1;
+    for (int parent : dag.parents(child)) {
+      if (parent != node) child_rows_other *= cards[static_cast<size_t>(parent)];
+    }
+    const int64_t child_cols = cards[static_cast<size_t>(child)] - 1;
+    delta += child_rows_other * child_cols * (new_card - old_card);
+  }
+  return delta;
+}
+
+std::vector<CpdTable> BuildCpds(const Dag& dag, const std::vector<int>& cards,
+                                double alpha, double min_prob, Rng& rng) {
+  std::vector<CpdTable> cpds;
+  cpds.reserve(static_cast<size_t>(dag.num_nodes()));
+  for (int i = 0; i < dag.num_nodes(); ++i) {
+    std::vector<int> parent_cards;
+    parent_cards.reserve(dag.parents(i).size());
+    for (int parent : dag.parents(i)) {
+      parent_cards.push_back(cards[static_cast<size_t>(parent)]);
+    }
+    CpdTable cpd(cards[static_cast<size_t>(i)], std::move(parent_cards));
+    cpd.FillRandom(rng, alpha, min_prob);
+    cpds.push_back(std::move(cpd));
+  }
+  return cpds;
+}
+
+std::vector<Variable> BuildVariables(const std::string& prefix,
+                                     const std::vector<int>& cards) {
+  std::vector<Variable> variables;
+  variables.reserve(cards.size());
+  for (size_t i = 0; i < cards.size(); ++i) {
+    variables.push_back(Variable{prefix + std::to_string(i), cards[i]});
+  }
+  return variables;
+}
+
+}  // namespace
+
+StatusOr<BayesianNetwork> GenerateNetwork(const NetworkSpec& spec, uint64_t seed) {
+  const int n = spec.num_nodes;
+  if (n < 2) return InvalidArgumentError("spec needs at least two nodes");
+  if (spec.num_edges < n - 1) {
+    return InvalidArgumentError("spec needs at least num_nodes-1 edges for the spine");
+  }
+  if (spec.min_cardinality < 2 || spec.max_cardinality < spec.min_cardinality) {
+    return InvalidArgumentError("invalid cardinality range");
+  }
+  const int64_t max_possible_edges =
+      std::min<int64_t>(static_cast<int64_t>(n) * spec.max_parents,
+                        static_cast<int64_t>(n) * (n - 1) / 2);
+  if (spec.num_edges > max_possible_edges) {
+    return InvalidArgumentError("edge count exceeds in-degree cap capacity");
+  }
+
+  Rng rng(seed);
+
+  // --- Edges: spine first (every non-root gets one parent), then extras.
+  Dag dag(n);
+  const int window = spec.edge_window > 0 ? spec.edge_window : n;
+  auto pick_parent = [&](int child) {
+    const int lo = std::max(0, child - window);
+    return static_cast<int>(rng.NextInt(lo, child - 1));
+  };
+  for (int child = 1; child < n; ++child) {
+    DSGM_CHECK(dag.AddEdge(pick_parent(child), child).ok());
+  }
+  int placed = n - 1;
+  int64_t attempts = 0;
+  const int64_t max_attempts = static_cast<int64_t>(spec.num_edges) * 1000 + 100000;
+  while (placed < spec.num_edges) {
+    if (++attempts > max_attempts) {
+      return InternalError("could not place all edges under the in-degree cap");
+    }
+    const int child = static_cast<int>(rng.NextInt(1, n - 1));
+    if (static_cast<int>(dag.parents(child).size()) >= spec.max_parents) continue;
+    const int parent = pick_parent(child);
+    if (dag.HasEdge(parent, child)) continue;
+    DSGM_CHECK(dag.AddEdge(parent, child).ok());
+    ++placed;
+  }
+
+  // --- Cardinalities: random start, then greedy repair toward the target.
+  std::vector<int> cards(static_cast<size_t>(n));
+  for (int& card : cards) {
+    card = static_cast<int>(rng.NextInt(spec.min_cardinality, spec.max_cardinality));
+  }
+  if (spec.target_params > 0) {
+    int64_t current = FreeParamsFor(dag, cards);
+    const int64_t tolerance = static_cast<int64_t>(
+        std::llround(spec.param_tolerance * static_cast<double>(spec.target_params)));
+    const int max_iters = 200 * n + 20000;
+    for (int iter = 0; iter < max_iters; ++iter) {
+      const int64_t error = current - spec.target_params;
+      if (std::llabs(error) <= tolerance) break;
+      const int direction = error > 0 ? -1 : +1;
+      // Greedy among a random candidate pool: apply the move that brings the
+      // total closest to the target without overshooting wildly.
+      int best_node = -1;
+      int64_t best_result = std::numeric_limits<int64_t>::max();
+      for (int c = 0; c < 12; ++c) {
+        const int node = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(n)));
+        const int new_card = cards[static_cast<size_t>(node)] + direction;
+        if (new_card < spec.min_cardinality || new_card > spec.max_cardinality) {
+          continue;
+        }
+        const int64_t next =
+            current + ParamDelta(dag, cards, node, new_card);
+        if (std::llabs(next - spec.target_params) < std::llabs(best_result - spec.target_params)) {
+          best_result = next;
+          best_node = node;
+        }
+      }
+      if (best_node < 0) continue;  // Pool had no movable card; resample.
+      // Only take moves that reduce the distance to the target.
+      if (std::llabs(best_result - spec.target_params) >= std::llabs(error)) continue;
+      cards[static_cast<size_t>(best_node)] += direction;
+      current = best_result;
+    }
+    current = FreeParamsFor(dag, cards);
+    const double relative_miss =
+        std::abs(static_cast<double>(current - spec.target_params)) /
+        static_cast<double>(spec.target_params);
+    if (relative_miss > 0.20) {
+      return InternalError("parameter target unreachable: wanted " +
+                           std::to_string(spec.target_params) + ", best " +
+                           std::to_string(current));
+    }
+  }
+
+  std::vector<CpdTable> cpds =
+      BuildCpds(dag, cards, spec.dirichlet_alpha, spec.min_prob, rng);
+  return BayesianNetwork::Create(spec.name, BuildVariables("X", cards),
+                                 std::move(dag), std::move(cpds));
+}
+
+BayesianNetwork MakeNaiveBayes(int num_features, int class_cardinality,
+                               int feature_cardinality, uint64_t seed,
+                               double dirichlet_alpha, double min_prob) {
+  DSGM_CHECK_GE(num_features, 1);
+  const int n = num_features + 1;
+  Dag dag(n);
+  for (int i = 1; i < n; ++i) DSGM_CHECK(dag.AddEdge(0, i).ok());
+  std::vector<int> cards(static_cast<size_t>(n), feature_cardinality);
+  cards[0] = class_cardinality;
+  Rng rng(seed);
+  std::vector<CpdTable> cpds = BuildCpds(dag, cards, dirichlet_alpha, min_prob, rng);
+  std::vector<Variable> variables = BuildVariables("F", cards);
+  variables[0].name = "Class";
+  StatusOr<BayesianNetwork> net = BayesianNetwork::Create(
+      "naive_bayes", std::move(variables), std::move(dag), std::move(cpds));
+  DSGM_CHECK(net.ok()) << net.status();
+  return std::move(net).value();
+}
+
+BayesianNetwork InflateDomains(const BayesianNetwork& network, int count,
+                               int new_cardinality, uint64_t seed,
+                               double dirichlet_alpha, double min_prob) {
+  const int n = network.num_variables();
+  DSGM_CHECK(count >= 0 && count <= n);
+  DSGM_CHECK_GE(new_cardinality, 2);
+  Rng rng(seed);
+
+  // Choose `count` distinct variables via partial Fisher-Yates.
+  std::vector<int> ids(static_cast<size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  for (int i = 0; i < count; ++i) {
+    const int j = static_cast<int>(rng.NextInt(i, n - 1));
+    std::swap(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+  }
+
+  std::vector<int> cards(static_cast<size_t>(n));
+  std::vector<Variable> variables;
+  variables.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    variables.push_back(network.variable(i));
+    cards[static_cast<size_t>(i)] = network.cardinality(i);
+  }
+  std::vector<bool> inflated(static_cast<size_t>(n), false);
+  for (int i = 0; i < count; ++i) {
+    const int node = ids[static_cast<size_t>(i)];
+    inflated[static_cast<size_t>(node)] = true;
+    cards[static_cast<size_t>(node)] = new_cardinality;
+    variables[static_cast<size_t>(node)].cardinality = new_cardinality;
+  }
+
+  // Rebuild copies of the DAG and CPDs; shapes change for inflated variables
+  // and for the children of inflated variables.
+  Dag dag(n);
+  for (int child = 0; child < n; ++child) {
+    for (int parent : network.dag().parents(child)) {
+      DSGM_CHECK(dag.AddEdge(parent, child).ok());
+    }
+  }
+  std::vector<CpdTable> cpds;
+  cpds.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    bool shape_changed = inflated[static_cast<size_t>(i)];
+    for (int parent : dag.parents(i)) {
+      shape_changed = shape_changed || inflated[static_cast<size_t>(parent)];
+    }
+    if (!shape_changed) {
+      cpds.push_back(network.cpd(i));
+      continue;
+    }
+    std::vector<int> parent_cards;
+    for (int parent : dag.parents(i)) {
+      parent_cards.push_back(cards[static_cast<size_t>(parent)]);
+    }
+    CpdTable cpd(cards[static_cast<size_t>(i)], std::move(parent_cards));
+    cpd.FillRandom(rng, dirichlet_alpha, min_prob);
+    cpds.push_back(std::move(cpd));
+  }
+
+  StatusOr<BayesianNetwork> result =
+      BayesianNetwork::Create(network.name() + "-inflated", std::move(variables),
+                              std::move(dag), std::move(cpds));
+  DSGM_CHECK(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+BayesianNetwork RemoveSinksToSize(const BayesianNetwork& network, int target_nodes) {
+  DSGM_CHECK(target_nodes >= 1 && target_nodes <= network.num_variables());
+
+  // Peel sinks (largest id first) on a mutable child-count view.
+  const Dag& dag = network.dag();
+  const int n = network.num_variables();
+  std::vector<int> live_children(static_cast<size_t>(n));
+  std::vector<bool> removed(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    live_children[static_cast<size_t>(i)] = static_cast<int>(dag.children(i).size());
+  }
+  int remaining = n;
+  while (remaining > target_nodes) {
+    int victim = -1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (!removed[static_cast<size_t>(i)] && live_children[static_cast<size_t>(i)] == 0) {
+        victim = i;
+        break;
+      }
+    }
+    DSGM_CHECK_GE(victim, 0) << "no sink found; DAG invariant violated";
+    removed[static_cast<size_t>(victim)] = true;
+    for (int parent : dag.parents(victim)) {
+      if (!removed[static_cast<size_t>(parent)]) {
+        --live_children[static_cast<size_t>(parent)];
+      }
+    }
+    --remaining;
+  }
+
+  std::vector<int> keep;
+  keep.reserve(static_cast<size_t>(target_nodes));
+  for (int i = 0; i < n; ++i) {
+    if (!removed[static_cast<size_t>(i)]) keep.push_back(i);
+  }
+
+  // Sinks have no children, so every retained variable keeps its parents and
+  // its exact CPD.
+  Dag sub = dag.InducedSubgraph(keep);
+  std::vector<Variable> variables;
+  std::vector<CpdTable> cpds;
+  variables.reserve(keep.size());
+  cpds.reserve(keep.size());
+  for (int old_id : keep) {
+    variables.push_back(network.variable(old_id));
+    cpds.push_back(network.cpd(old_id));
+  }
+  StatusOr<BayesianNetwork> result = BayesianNetwork::Create(
+      network.name() + "-" + std::to_string(target_nodes), std::move(variables),
+      std::move(sub), std::move(cpds));
+  DSGM_CHECK(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+}  // namespace dsgm

@@ -1,0 +1,199 @@
+#include "bayes/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace dsgm {
+namespace {
+
+Status ParseError(int line_no, const std::string& message) {
+  return InvalidArgumentError("line " + std::to_string(line_no) + ": " + message);
+}
+
+}  // namespace
+
+std::string SerializeNetwork(const BayesianNetwork& network) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "dsgm_network v1\n";
+  os << "name " << network.name() << "\n";
+  os << "nodes " << network.num_variables() << "\n";
+  for (int i = 0; i < network.num_variables(); ++i) {
+    os << "node " << i << " " << network.cardinality(i) << " "
+       << network.variable(i).name << "\n";
+  }
+  os << "edges " << network.dag().num_edges() << "\n";
+  for (int child = 0; child < network.num_variables(); ++child) {
+    for (int parent : network.dag().parents(child)) {
+      os << "edge " << parent << " " << child << "\n";
+    }
+  }
+  for (int i = 0; i < network.num_variables(); ++i) {
+    const CpdTable& cpd = network.cpd(i);
+    os << "cpd " << i << "\n";
+    for (int64_t row = 0; row < cpd.num_rows(); ++row) {
+      os << "row " << row;
+      for (int j = 0; j < cpd.cardinality(); ++j) {
+        os << " " << cpd.prob(j, row);
+      }
+      os << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+StatusOr<BayesianNetwork> ParseNetwork(const std::string& text) {
+  std::istringstream input(text);
+  std::string line;
+  int line_no = 0;
+
+  auto next_line = [&](std::string* out) {
+    while (std::getline(input, line)) {
+      ++line_no;
+      const size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      *out = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string current;
+  if (!next_line(&current) || current.rfind("dsgm_network", 0) != 0) {
+    return ParseError(line_no, "expected 'dsgm_network v1' header");
+  }
+
+  std::string name = "unnamed";
+  int n = -1;
+  std::vector<Variable> variables;
+  std::vector<std::pair<int, int>> edges;
+  int declared_edges = -1;
+  // CPD rows keyed by variable; assembled after structure is known.
+  std::vector<std::vector<std::pair<int64_t, std::vector<double>>>> cpd_rows;
+  int active_cpd = -1;  // Variable the current `row` lines belong to.
+
+  while (next_line(&current)) {
+    std::istringstream fields(current);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "end") break;
+    if (keyword == "name") {
+      std::string rest;
+      std::getline(fields, rest);
+      const size_t start = rest.find_first_not_of(' ');
+      name = start == std::string::npos ? "" : rest.substr(start);
+    } else if (keyword == "nodes") {
+      if (!(fields >> n) || n <= 0) return ParseError(line_no, "bad node count");
+      variables.resize(static_cast<size_t>(n));
+      cpd_rows.resize(static_cast<size_t>(n));
+    } else if (keyword == "node") {
+      int id = -1;
+      int card = -1;
+      if (!(fields >> id >> card)) return ParseError(line_no, "bad node line");
+      if (n < 0 || id < 0 || id >= n) return ParseError(line_no, "node id out of range");
+      if (card < 2) return ParseError(line_no, "cardinality must be >= 2");
+      std::string rest;
+      std::getline(fields, rest);
+      const size_t start = rest.find_first_not_of(' ');
+      variables[static_cast<size_t>(id)].name =
+          start == std::string::npos ? ("X" + std::to_string(id)) : rest.substr(start);
+      variables[static_cast<size_t>(id)].cardinality = card;
+    } else if (keyword == "edges") {
+      if (!(fields >> declared_edges) || declared_edges < 0) {
+        return ParseError(line_no, "bad edge count");
+      }
+    } else if (keyword == "edge") {
+      int from = -1;
+      int to = -1;
+      if (!(fields >> from >> to)) return ParseError(line_no, "bad edge line");
+      edges.emplace_back(from, to);
+    } else if (keyword == "cpd") {
+      int id = -1;
+      if (!(fields >> id) || n < 0 || id < 0 || id >= n) {
+        return ParseError(line_no, "bad cpd id");
+      }
+      // Subsequent `row` lines belong to this variable.
+      active_cpd = id;
+    } else if (keyword == "row") {
+      if (active_cpd < 0) return ParseError(line_no, "row before any cpd");
+      int64_t row_index = -1;
+      if (!(fields >> row_index)) return ParseError(line_no, "bad row index");
+      std::vector<double> probs;
+      double p = 0.0;
+      while (fields >> p) probs.push_back(p);
+      cpd_rows[static_cast<size_t>(active_cpd)].emplace_back(row_index,
+                                                             std::move(probs));
+    } else {
+      return ParseError(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (n < 0) return ParseError(line_no, "missing 'nodes' section");
+  if (declared_edges >= 0 && static_cast<int>(edges.size()) != declared_edges) {
+    return ParseError(line_no, "edge count mismatch");
+  }
+  Dag dag(n);
+  for (const auto& [from, to] : edges) {
+    Status added = dag.AddEdge(from, to);
+    if (!added.ok()) return added;
+  }
+
+  std::vector<CpdTable> cpds;
+  cpds.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> parent_cards;
+    for (int parent : dag.parents(i)) {
+      parent_cards.push_back(variables[static_cast<size_t>(parent)].cardinality);
+    }
+    CpdTable cpd(variables[static_cast<size_t>(i)].cardinality,
+                 std::move(parent_cards));
+    const auto& rows = cpd_rows[static_cast<size_t>(i)];
+    if (static_cast<int64_t>(rows.size()) != cpd.num_rows()) {
+      return InvalidArgumentError("cpd " + std::to_string(i) + " has " +
+                                  std::to_string(rows.size()) + " rows, expected " +
+                                  std::to_string(cpd.num_rows()));
+    }
+    for (const auto& [row_index, probs] : rows) {
+      // Tolerate rounding: renormalize rows that sum close to (but not
+      // exactly) 1. Rows already exact to 1e-12 are kept bit-identical so
+      // serialization round trips are stable.
+      double total = 0.0;
+      for (double q : probs) total += q;
+      if (std::abs(total - 1.0) > 1e-6 || probs.empty()) {
+        return InvalidArgumentError("cpd " + std::to_string(i) + " row " +
+                                    std::to_string(row_index) +
+                                    " does not sum to 1");
+      }
+      std::vector<double> normalized = probs;
+      if (std::abs(total - 1.0) > 1e-12) {
+        for (double& q : normalized) q /= total;
+      }
+      Status set = cpd.SetRow(row_index, normalized);
+      if (!set.ok()) return set;
+    }
+    cpds.push_back(std::move(cpd));
+  }
+
+  return BayesianNetwork::Create(name, std::move(variables), std::move(dag),
+                                 std::move(cpds));
+}
+
+Status WriteNetworkToFile(const BayesianNetwork& network, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return InternalError("cannot open '" + path + "' for writing");
+  file << SerializeNetwork(network);
+  if (!file.good()) return InternalError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<BayesianNetwork> ReadNetworkFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseNetwork(buffer.str());
+}
+
+}  // namespace dsgm

@@ -1,0 +1,40 @@
+// Plain-text serialization of Bayesian networks.
+//
+// Format (line oriented, '#' comments allowed):
+//
+//   dsgm_network v1
+//   name <free text up to end of line>
+//   nodes <n>
+//   node <id> <cardinality> <name up to end of line>
+//   edges <m>
+//   edge <from> <to>
+//   cpd <id>
+//   row <parent_index> <p_0> ... <p_{J-1}>
+//   end
+//
+// Every variable must have a `cpd` block covering all its rows.
+
+#ifndef DSGM_BAYES_IO_H_
+#define DSGM_BAYES_IO_H_
+
+#include <string>
+
+#include "bayes/network.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+/// Renders `network` in the format above.
+std::string SerializeNetwork(const BayesianNetwork& network);
+
+/// Parses a network from text; returns InvalidArgument with a line number
+/// on malformed input.
+StatusOr<BayesianNetwork> ParseNetwork(const std::string& text);
+
+/// File convenience wrappers.
+Status WriteNetworkToFile(const BayesianNetwork& network, const std::string& path);
+StatusOr<BayesianNetwork> ReadNetworkFromFile(const std::string& path);
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_IO_H_

@@ -1,0 +1,144 @@
+#include "bayes/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+StatusOr<BayesianNetwork> BayesianNetwork::Create(std::string name,
+                                                  std::vector<Variable> variables,
+                                                  Dag dag,
+                                                  std::vector<CpdTable> cpds) {
+  const int n = static_cast<int>(variables.size());
+  if (n == 0) return InvalidArgumentError("network needs at least one variable");
+  if (dag.num_nodes() != n) {
+    return InvalidArgumentError("DAG node count differs from variable count");
+  }
+  if (static_cast<int>(cpds.size()) != n) {
+    return InvalidArgumentError("CPD count differs from variable count");
+  }
+  for (int i = 0; i < n; ++i) {
+    const Variable& var = variables[static_cast<size_t>(i)];
+    const CpdTable& cpd = cpds[static_cast<size_t>(i)];
+    if (var.cardinality < 2) {
+      return InvalidArgumentError("variable " + var.name + " has cardinality < 2");
+    }
+    if (cpd.cardinality() != var.cardinality) {
+      return InvalidArgumentError("CPD arity mismatch for variable " + var.name);
+    }
+    const std::vector<int>& parents = dag.parents(i);
+    if (cpd.parent_cards().size() != parents.size()) {
+      return InvalidArgumentError("CPD parent count mismatch for variable " + var.name);
+    }
+    for (size_t j = 0; j < parents.size(); ++j) {
+      const int parent_card =
+          variables[static_cast<size_t>(parents[j])].cardinality;
+      if (cpd.parent_cards()[j] != parent_card) {
+        return InvalidArgumentError("CPD parent cardinality mismatch for variable " +
+                                    var.name);
+      }
+    }
+  }
+  StatusOr<std::vector<int>> topo = dag.TopologicalOrder();
+  if (!topo.ok()) return topo.status();
+  return BayesianNetwork(std::move(name), std::move(variables), std::move(dag),
+                         std::move(cpds), std::move(topo).value());
+}
+
+BayesianNetwork::BayesianNetwork(std::string name, std::vector<Variable> variables,
+                                 Dag dag, std::vector<CpdTable> cpds,
+                                 std::vector<int> topo_order)
+    : name_(std::move(name)),
+      variables_(std::move(variables)),
+      dag_(std::move(dag)),
+      cpds_(std::move(cpds)),
+      topo_order_(std::move(topo_order)) {}
+
+int64_t BayesianNetwork::FreeParams() const {
+  int64_t total = 0;
+  for (const CpdTable& cpd : cpds_) total += cpd.FreeParams();
+  return total;
+}
+
+int64_t BayesianNetwork::TotalJointCells() const {
+  int64_t total = 0;
+  for (const CpdTable& cpd : cpds_) total += cpd.num_rows() * cpd.cardinality();
+  return total;
+}
+
+int64_t BayesianNetwork::TotalParentCells() const {
+  int64_t total = 0;
+  for (const CpdTable& cpd : cpds_) total += cpd.num_rows();
+  return total;
+}
+
+int64_t BayesianNetwork::ParentIndexOf(int i, const Instance& instance) const {
+  DSGM_DCHECK(static_cast<int>(instance.size()) == num_variables());
+  const std::vector<int>& parents = dag_.parents(i);
+  const CpdTable& cpd = cpds_[static_cast<size_t>(i)];
+  int64_t index = 0;
+  for (size_t j = 0; j < parents.size(); ++j) {
+    index = index * cpd.parent_cards()[j] +
+            instance[static_cast<size_t>(parents[j])];
+  }
+  return index;
+}
+
+double BayesianNetwork::LogJointProbability(const Instance& instance) const {
+  DSGM_CHECK_EQ(static_cast<int>(instance.size()), num_variables());
+  double log_prob = 0.0;
+  for (int i = 0; i < num_variables(); ++i) {
+    const int64_t row = ParentIndexOf(i, instance);
+    log_prob += std::log(cpds_[static_cast<size_t>(i)].prob(
+        instance[static_cast<size_t>(i)], row));
+  }
+  return log_prob;
+}
+
+double BayesianNetwork::JointProbability(const Instance& instance) const {
+  return std::exp(LogJointProbability(instance));
+}
+
+double BayesianNetwork::ClosedSubsetProbability(const PartialAssignment& pa) const {
+  DSGM_DCHECK(pa.nodes.size() == pa.values.size());
+  DSGM_DCHECK(std::is_sorted(pa.nodes.begin(), pa.nodes.end()));
+  // Map node -> position in the subset for parent lookup.
+  double prob = 1.0;
+  for (size_t j = 0; j < pa.nodes.size(); ++j) {
+    const int i = pa.nodes[j];
+    const CpdTable& cpd = cpds_[static_cast<size_t>(i)];
+    const std::vector<int>& parents = dag_.parents(i);
+    int64_t row = 0;
+    for (size_t u = 0; u < parents.size(); ++u) {
+      const auto it = std::lower_bound(pa.nodes.begin(), pa.nodes.end(), parents[u]);
+      DSGM_DCHECK(it != pa.nodes.end() && *it == parents[u])
+          << "subset is not ancestrally closed";
+      const size_t pos = static_cast<size_t>(it - pa.nodes.begin());
+      row = row * cpd.parent_cards()[u] + pa.values[pos];
+    }
+    prob *= cpd.prob(pa.values[j], row);
+  }
+  return prob;
+}
+
+double BayesianNetwork::MinCpdEntry() const {
+  double result = 1.0;
+  for (const CpdTable& cpd : cpds_) result = std::min(result, cpd.MinProb());
+  return result;
+}
+
+std::vector<int> BayesianNetwork::MarkovBlanket(int i) const {
+  std::set<int> blanket;
+  for (int parent : dag_.parents(i)) blanket.insert(parent);
+  for (int child : dag_.children(i)) {
+    blanket.insert(child);
+    for (int co_parent : dag_.parents(child)) blanket.insert(co_parent);
+  }
+  blanket.erase(i);
+  return std::vector<int>(blanket.begin(), blanket.end());
+}
+
+}  // namespace dsgm

@@ -1,0 +1,96 @@
+// Bayesian network: DAG structure plus one CPD per variable.
+
+#ifndef DSGM_BAYES_NETWORK_H_
+#define DSGM_BAYES_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bayes/cpd.h"
+#include "bayes/dag.h"
+#include "bayes/variable.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+/// A full assignment of values to all variables: instance[i] is the value of
+/// variable i, in {0, ..., J_i - 1}.
+using Instance = std::vector<int>;
+
+/// An assignment restricted to a subset of variables. `nodes` must be sorted
+/// ascending; `values[j]` is the value of `nodes[j]`.
+struct PartialAssignment {
+  std::vector<int> nodes;
+  std::vector<int> values;
+};
+
+/// Immutable Bayesian network over categorical variables (Definition 1 of
+/// the paper): a DAG whose node i carries variable i and the CPD
+/// P[X_i | par(X_i)]. Parents are ordered ascending by node id; CPD parent
+/// rows use that order (see CpdTable).
+class BayesianNetwork {
+ public:
+  /// Validates and assembles a network. Errors if sizes disagree, the graph
+  /// is cyclic, or a CPD's shape does not match the variable/parent
+  /// cardinalities.
+  static StatusOr<BayesianNetwork> Create(std::string name,
+                                          std::vector<Variable> variables, Dag dag,
+                                          std::vector<CpdTable> cpds);
+
+  const std::string& name() const { return name_; }
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  const Variable& variable(int i) const { return variables_[static_cast<size_t>(i)]; }
+  const Dag& dag() const { return dag_; }
+  const CpdTable& cpd(int i) const { return cpds_[static_cast<size_t>(i)]; }
+
+  /// J_i: domain size of variable i.
+  int cardinality(int i) const { return variables_[static_cast<size_t>(i)].cardinality; }
+  /// K_i: number of joint parent assignments of variable i (1 for roots).
+  int64_t parent_cardinality(int i) const { return cpds_[static_cast<size_t>(i)].num_rows(); }
+
+  /// Variables in an order where parents precede children.
+  const std::vector<int>& topological_order() const { return topo_order_; }
+
+  /// Total free parameters: sum over i of K_i * (J_i - 1). This is the
+  /// "Number of Parameters" column of the paper's Table I.
+  int64_t FreeParams() const;
+  /// Total tracked counters the MLE tracker will allocate:
+  /// sum of J_i * K_i (joint) plus sum of K_i (parent).
+  int64_t TotalJointCells() const;
+  int64_t TotalParentCells() const;
+
+  /// Row index into cpd(i) for the parent values found in `instance`.
+  int64_t ParentIndexOf(int i, const Instance& instance) const;
+
+  /// log P[instance] under this network (chain rule, eq. 1).
+  double LogJointProbability(const Instance& instance) const;
+  double JointProbability(const Instance& instance) const;
+
+  /// Probability of an assignment over an ancestrally-closed subset: every
+  /// parent of every node in `pa.nodes` must itself be in `pa.nodes` (checked
+  /// in debug builds). For such subsets the marginal equals the product of
+  /// the member CPD entries, with all excluded variables summing out to 1.
+  double ClosedSubsetProbability(const PartialAssignment& pa) const;
+
+  /// Smallest CPD entry across all variables (the lambda of Lemma 3).
+  double MinCpdEntry() const;
+
+  /// The Markov blanket of variable i: parents, children, and the children's
+  /// other parents, sorted ascending, excluding i itself.
+  std::vector<int> MarkovBlanket(int i) const;
+
+ private:
+  BayesianNetwork(std::string name, std::vector<Variable> variables, Dag dag,
+                  std::vector<CpdTable> cpds, std::vector<int> topo_order);
+
+  std::string name_;
+  std::vector<Variable> variables_;
+  Dag dag_;
+  std::vector<CpdTable> cpds_;
+  std::vector<int> topo_order_;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_NETWORK_H_

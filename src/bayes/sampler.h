@@ -1,0 +1,64 @@
+// Generation of training instances and evaluation queries from a network.
+
+#ifndef DSGM_BAYES_SAMPLER_H_
+#define DSGM_BAYES_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/network.h"
+#include "common/rng.h"
+
+namespace dsgm {
+
+/// Ancestral (forward) sampler: draws full instances from the ground-truth
+/// joint distribution by assigning variables in topological order from their
+/// CPDs, exactly the training-data procedure of the paper's Section VI-A.
+class ForwardSampler {
+ public:
+  ForwardSampler(const BayesianNetwork& network, uint64_t seed);
+
+  /// Fills `instance` (resized to n) with one draw from the joint.
+  void Sample(Instance* instance);
+
+  /// Convenience: draws `count` instances.
+  std::vector<Instance> SampleMany(int64_t count);
+
+ private:
+  const BayesianNetwork& network_;
+  Rng rng_;
+};
+
+/// One evaluation query: an assignment over an ancestrally-closed variable
+/// subset together with its exact ground-truth probability.
+struct TestEvent {
+  PartialAssignment assignment;
+  double truth_prob = 0.0;
+};
+
+/// Controls test-event generation (Section VI-A, "Testing Data").
+struct TestEventOptions {
+  int count = 1000;
+  /// Reject events with ground-truth probability below this floor (the
+  /// paper uses 0.01 to exclude events too rare to estimate).
+  double min_prob = 0.01;
+  /// Upper bound on the subset size; seeds whose ancestral closure is larger
+  /// are rejected so the events stay local (full joint assignments of large
+  /// networks all have negligible probability).
+  int max_subset = 12;
+  /// Attempts per event before relaxing min_prob by 10x (re-relaxed until 0).
+  int max_tries = 400;
+};
+
+/// Generates events by (1) sampling a full instance from the ground truth,
+/// (2) picking a random seed variable, (3) taking the ancestral closure of
+/// the seed, and (4) projecting the instance onto the closure. The closure
+/// is ancestrally closed by construction, so both the ground-truth network
+/// and the tracked model can evaluate the event exactly by the chain rule.
+std::vector<TestEvent> GenerateTestEvents(const BayesianNetwork& network,
+                                          const TestEventOptions& options,
+                                          Rng& rng);
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_SAMPLER_H_

@@ -1,0 +1,178 @@
+#include "bayes/structure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+double EmpiricalMutualInformation(const std::vector<Instance>& data, int i, int j,
+                                  int card_i, int card_j) {
+  DSGM_CHECK(!data.empty());
+  std::vector<int64_t> joint(static_cast<size_t>(card_i) * card_j, 0);
+  std::vector<int64_t> margin_i(static_cast<size_t>(card_i), 0);
+  std::vector<int64_t> margin_j(static_cast<size_t>(card_j), 0);
+  for (const Instance& x : data) {
+    const int a = x[static_cast<size_t>(i)];
+    const int b = x[static_cast<size_t>(j)];
+    ++joint[static_cast<size_t>(a) * card_j + b];
+    ++margin_i[static_cast<size_t>(a)];
+    ++margin_j[static_cast<size_t>(b)];
+  }
+  const double n = static_cast<double>(data.size());
+  double mi = 0.0;
+  for (int a = 0; a < card_i; ++a) {
+    for (int b = 0; b < card_j; ++b) {
+      const int64_t count = joint[static_cast<size_t>(a) * card_j + b];
+      if (count == 0) continue;
+      const double p_ab = static_cast<double>(count) / n;
+      const double p_a = static_cast<double>(margin_i[static_cast<size_t>(a)]) / n;
+      const double p_b = static_cast<double>(margin_j[static_cast<size_t>(b)]) / n;
+      mi += p_ab * std::log(p_ab / (p_a * p_b));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+StatusOr<BayesianNetwork> LearnChowLiuTree(const std::vector<Instance>& data,
+                                           const std::vector<int>& cardinalities,
+                                           const ChowLiuOptions& options) {
+  const int n = static_cast<int>(cardinalities.size());
+  if (n < 2) return InvalidArgumentError("need at least two variables");
+  if (data.empty()) return InvalidArgumentError("need at least one instance");
+  if (options.root < 0 || options.root >= n) {
+    return InvalidArgumentError("root out of range");
+  }
+  if (options.laplace_alpha < 0.0) {
+    return InvalidArgumentError("laplace_alpha must be non-negative");
+  }
+  for (const Instance& x : data) {
+    if (static_cast<int>(x.size()) != n) {
+      return InvalidArgumentError("instance arity mismatch");
+    }
+    for (int i = 0; i < n; ++i) {
+      if (x[static_cast<size_t>(i)] < 0 ||
+          x[static_cast<size_t>(i)] >= cardinalities[static_cast<size_t>(i)]) {
+        return InvalidArgumentError("value out of domain for variable " +
+                                    std::to_string(i));
+      }
+    }
+  }
+
+  // 1. Pairwise mutual information.
+  std::vector<double> mi(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double value = EmpiricalMutualInformation(
+          data, i, j, cardinalities[static_cast<size_t>(i)],
+          cardinalities[static_cast<size_t>(j)]);
+      mi[static_cast<size_t>(i) * n + j] = value;
+      mi[static_cast<size_t>(j) * n + i] = value;
+    }
+  }
+
+  // 2. Maximum-weight spanning tree (Prim from the root).
+  std::vector<bool> in_tree(static_cast<size_t>(n), false);
+  std::vector<double> best_weight(static_cast<size_t>(n),
+                                  -std::numeric_limits<double>::infinity());
+  std::vector<int> best_neighbor(static_cast<size_t>(n), -1);
+  in_tree[static_cast<size_t>(options.root)] = true;
+  for (int j = 0; j < n; ++j) {
+    if (j == options.root) continue;
+    best_weight[static_cast<size_t>(j)] =
+        mi[static_cast<size_t>(options.root) * n + j];
+    best_neighbor[static_cast<size_t>(j)] = options.root;
+  }
+  std::vector<std::pair<int, int>> tree_edges;  // (parent-side, child-side)
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    for (int j = 0; j < n; ++j) {
+      if (in_tree[static_cast<size_t>(j)]) continue;
+      if (pick < 0 ||
+          best_weight[static_cast<size_t>(j)] > best_weight[static_cast<size_t>(pick)]) {
+        pick = j;
+      }
+    }
+    DSGM_CHECK_GE(pick, 0);
+    in_tree[static_cast<size_t>(pick)] = true;
+    tree_edges.emplace_back(best_neighbor[static_cast<size_t>(pick)], pick);
+    for (int j = 0; j < n; ++j) {
+      if (in_tree[static_cast<size_t>(j)]) continue;
+      const double w = mi[static_cast<size_t>(pick) * n + j];
+      if (w > best_weight[static_cast<size_t>(j)]) {
+        best_weight[static_cast<size_t>(j)] = w;
+        best_neighbor[static_cast<size_t>(j)] = pick;
+      }
+    }
+  }
+
+  // 3. Prim grows outward from the root, so (from, to) is already oriented
+  //    away from it.
+  Dag dag(n);
+  for (const auto& [from, to] : tree_edges) {
+    DSGM_CHECK(dag.AddEdge(from, to).ok());
+  }
+
+  // 4. CPD estimation with Laplace smoothing.
+  std::vector<Variable> variables;
+  variables.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    variables.push_back(
+        Variable{"X" + std::to_string(i), cardinalities[static_cast<size_t>(i)]});
+  }
+  std::vector<CpdTable> cpds;
+  cpds.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int card = cardinalities[static_cast<size_t>(i)];
+    std::vector<int> parent_cards;
+    for (int parent : dag.parents(i)) {
+      parent_cards.push_back(cardinalities[static_cast<size_t>(parent)]);
+    }
+    CpdTable cpd(card, parent_cards);
+    // Count (value, parent-row) occurrences.
+    std::vector<double> counts(static_cast<size_t>(cpd.num_rows()) * card,
+                               options.laplace_alpha);
+    for (const Instance& x : data) {
+      int64_t row = 0;
+      const std::vector<int>& parents = dag.parents(i);
+      for (size_t u = 0; u < parents.size(); ++u) {
+        row = row * parent_cards[u] + x[static_cast<size_t>(parents[u])];
+      }
+      counts[static_cast<size_t>(row) * card + x[static_cast<size_t>(i)]] += 1.0;
+    }
+    for (int64_t row = 0; row < cpd.num_rows(); ++row) {
+      double total = 0.0;
+      std::vector<double> probs(static_cast<size_t>(card));
+      for (int v = 0; v < card; ++v) {
+        probs[static_cast<size_t>(v)] = counts[static_cast<size_t>(row) * card + v];
+        total += probs[static_cast<size_t>(v)];
+      }
+      if (total <= 0.0) {
+        // alpha = 0 and the row never occurred: fall back to uniform.
+        std::fill(probs.begin(), probs.end(), 1.0 / card);
+      } else {
+        for (double& p : probs) p /= total;
+      }
+      DSGM_CHECK(cpd.SetRow(row, probs).ok());
+    }
+    cpds.push_back(std::move(cpd));
+  }
+
+  return BayesianNetwork::Create(options.name, std::move(variables), std::move(dag),
+                                 std::move(cpds));
+}
+
+std::vector<std::pair<int, int>> UndirectedSkeleton(const BayesianNetwork& network) {
+  std::vector<std::pair<int, int>> edges;
+  for (int child = 0; child < network.num_variables(); ++child) {
+    for (int parent : network.dag().parents(child)) {
+      edges.emplace_back(std::min(parent, child), std::max(parent, child));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace dsgm

@@ -1,0 +1,54 @@
+// Offline structure learning: Chow-Liu trees.
+//
+// The paper treats the graph G as given ("the graph structure can be learned
+// offline based on a suitable sample of the data", Section III). This module
+// supplies that offline step: the classic Chow-Liu algorithm builds the
+// maximum-likelihood TREE-structured network from a sample by computing all
+// pairwise mutual informations and taking a maximum-weight spanning tree.
+// The result plugs directly into MleTracker (whose Lemma 10 specialization
+// covers tree networks).
+
+#ifndef DSGM_BAYES_STRUCTURE_H_
+#define DSGM_BAYES_STRUCTURE_H_
+
+#include <vector>
+
+#include "bayes/network.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+/// Options for Chow-Liu learning.
+struct ChowLiuOptions {
+  /// Root of the learned tree (edges are oriented away from it).
+  int root = 0;
+  /// Laplace pseudo-count used when estimating the CPDs of the result.
+  double laplace_alpha = 1.0;
+  std::string name = "chow-liu";
+};
+
+/// Empirical mutual information I(X_i; X_j) of two columns of `data` under
+/// add-zero (raw frequency) estimates, in nats. Exposed for tests.
+double EmpiricalMutualInformation(const std::vector<Instance>& data, int i, int j,
+                                  int card_i, int card_j);
+
+/// Learns a tree-structured Bayesian network over `cardinalities.size()`
+/// variables from `data` (each instance one full assignment):
+///
+///  1. compute I(X_i; X_j) for all pairs,
+///  2. take a maximum-weight spanning tree (Prim),
+///  3. orient edges away from `options.root`,
+///  4. estimate each CPD from the data with Laplace smoothing.
+///
+/// Errors if data is empty, dimensions mismatch, or a value is out of range.
+StatusOr<BayesianNetwork> LearnChowLiuTree(const std::vector<Instance>& data,
+                                           const std::vector<int>& cardinalities,
+                                           const ChowLiuOptions& options = {});
+
+/// The undirected skeleton of a network as a sorted edge list (min, max);
+/// convenience for comparing learned structure against ground truth.
+std::vector<std::pair<int, int>> UndirectedSkeleton(const BayesianNetwork& network);
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_STRUCTURE_H_

@@ -1,0 +1,19 @@
+// Categorical random variable metadata.
+
+#ifndef DSGM_BAYES_VARIABLE_H_
+#define DSGM_BAYES_VARIABLE_H_
+
+#include <string>
+
+namespace dsgm {
+
+/// A categorical random variable: a name plus a finite domain
+/// {0, 1, ..., cardinality-1}. The paper calls the domain size J_i.
+struct Variable {
+  std::string name;
+  int cardinality = 2;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_BAYES_VARIABLE_H_

@@ -1,0 +1,149 @@
+#include "cluster/cluster_runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bayes/sampler.h"
+#include "cluster/coordinator_node.h"
+#include "cluster/queue.h"
+#include "cluster/site_node.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/error_allocation.h"
+
+namespace dsgm {
+namespace {
+
+/// Per-counter epsilons in tracker layout, or empty for exact mode.
+std::vector<float> LayoutEpsilons(const BayesianNetwork& network,
+                                  const TrackerConfig& config) {
+  if (config.strategy == TrackingStrategy::kExactMle) return {};
+  const ErrorAllocation allocation =
+      ComputeAllocation(network, config.strategy, config.epsilon);
+  auto effective = [&config](double nu) {
+    return static_cast<float>(std::min(0.999, config.allocation_relaxation * nu));
+  };
+  const int n = network.num_variables();
+  std::vector<float> epsilons;
+  epsilons.reserve(static_cast<size_t>(network.TotalJointCells() +
+                                       network.TotalParentCells()));
+  for (int i = 0; i < n; ++i) {
+    const int64_t cells = network.parent_cardinality(i) * network.cardinality(i);
+    for (int64_t c = 0; c < cells; ++c) {
+      epsilons.push_back(effective(allocation.joint[static_cast<size_t>(i)]));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < network.parent_cardinality(i); ++c) {
+      epsilons.push_back(effective(allocation.parent[static_cast<size_t>(i)]));
+    }
+  }
+  return epsilons;
+}
+
+}  // namespace
+
+ClusterResult RunCluster(const BayesianNetwork& network,
+                         const ClusterConfig& config) {
+  DSGM_CHECK(config.tracker.Validate().ok());
+  DSGM_CHECK_GT(config.num_events, 0);
+  const int k = config.tracker.num_sites;
+  const int64_t total_counters =
+      network.TotalJointCells() + network.TotalParentCells();
+
+  WallTimer wall;
+
+  // --- Plumbing.
+  BoundedQueue<UpdateBundle> to_coordinator(8192);
+  std::vector<std::unique_ptr<BoundedQueue<EventBatch>>> event_queues;
+  std::vector<std::unique_ptr<BoundedQueue<RoundAdvance>>> command_queues;
+  std::vector<BoundedQueue<RoundAdvance>*> command_ptrs;
+  for (int s = 0; s < k; ++s) {
+    event_queues.push_back(std::make_unique<BoundedQueue<EventBatch>>(64));
+    command_queues.push_back(std::make_unique<BoundedQueue<RoundAdvance>>(1 << 16));
+    command_ptrs.push_back(command_queues.back().get());
+  }
+
+  CoordinatorNode coordinator(LayoutEpsilons(network, config.tracker),
+                              total_counters, k,
+                              config.tracker.probability_constant, &to_coordinator,
+                              command_ptrs);
+
+  Rng seeder(config.tracker.seed);
+  std::vector<std::unique_ptr<SiteNode>> sites;
+  for (int s = 0; s < k; ++s) {
+    sites.push_back(std::make_unique<SiteNode>(s, network, seeder.Next(),
+                                               event_queues[static_cast<size_t>(s)].get(),
+                                               command_queues[static_cast<size_t>(s)].get(),
+                                               &to_coordinator));
+  }
+
+  // --- Threads.
+  std::vector<std::thread> threads;
+  threads.emplace_back([&coordinator] { coordinator.Run(); });
+  for (int s = 0; s < k; ++s) {
+    threads.emplace_back([&sites, s] { sites[static_cast<size_t>(s)]->Run(); });
+  }
+
+  // --- Dispatch: sample instances, route each to a uniformly random site.
+  {
+    ForwardSampler sampler(network, seeder.Next());
+    Rng router(seeder.Next());
+    const int n = network.num_variables();
+    std::vector<EventBatch> pending(static_cast<size_t>(k));
+    Instance instance;
+    for (int64_t e = 0; e < config.num_events; ++e) {
+      const int site = static_cast<int>(router.NextBounded(static_cast<uint64_t>(k)));
+      EventBatch& batch = pending[static_cast<size_t>(site)];
+      sampler.Sample(&instance);
+      batch.values.insert(batch.values.end(), instance.begin(), instance.end());
+      if (++batch.num_events >= config.batch_size) {
+        event_queues[static_cast<size_t>(site)]->Push(std::move(batch));
+        batch = EventBatch{};
+        batch.values.reserve(static_cast<size_t>(config.batch_size) * n);
+      }
+    }
+    for (int s = 0; s < k; ++s) {
+      EventBatch& batch = pending[static_cast<size_t>(s)];
+      if (batch.num_events > 0) {
+        event_queues[static_cast<size_t>(s)]->Push(std::move(batch));
+      }
+      event_queues[static_cast<size_t>(s)]->Close();
+    }
+  }
+
+  for (std::thread& thread : threads) thread.join();
+
+  // --- Results & validation.
+  ClusterResult result;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.runtime_seconds = coordinator.ActiveSeconds();
+  result.comm = coordinator.comm();
+  for (const auto& site : sites) result.events_processed += site->events_processed();
+  result.throughput_events_per_sec =
+      result.runtime_seconds > 0.0
+          ? static_cast<double>(result.events_processed) / result.runtime_seconds
+          : 0.0;
+  // Site -> coordinator wire/update accounting happened coordinator-side.
+  DSGM_CHECK_EQ(result.events_processed, config.num_events);
+
+  // Validate coordinator estimates against summed exact site counts; the
+  // threshold skips tiny counters whose relative error is noise-dominated.
+  for (int64_t c = 0; c < total_counters; ++c) {
+    uint64_t exact = 0;
+    for (const auto& site : sites) {
+      exact += site->local_counts()[static_cast<size_t>(c)];
+    }
+    if (exact < 64) continue;
+    const double rel = std::abs(coordinator.Estimate(c) - static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    result.max_counter_rel_error = std::max(result.max_counter_rel_error, rel);
+  }
+
+  return result;
+}
+
+}  // namespace dsgm

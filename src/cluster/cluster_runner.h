@@ -1,0 +1,46 @@
+// Orchestration of the threaded cluster experiment (paper Figs. 7-8).
+
+#ifndef DSGM_CLUSTER_CLUSTER_RUNNER_H_
+#define DSGM_CLUSTER_CLUSTER_RUNNER_H_
+
+#include <cstdint>
+
+#include "bayes/network.h"
+#include "core/tracker_config.h"
+#include "monitor/comm_stats.h"
+
+namespace dsgm {
+
+/// Configuration of one cluster run.
+struct ClusterConfig {
+  TrackerConfig tracker;  // strategy, epsilon, num_sites, seed
+  int64_t num_events = 100000;
+  /// Events handed to a site per dispatch batch.
+  int batch_size = 256;
+};
+
+/// Measurements of one cluster run.
+struct ClusterResult {
+  /// Wall-clock seconds from the first to the last message the coordinator
+  /// received (the paper's runtime metric).
+  double runtime_seconds = 0.0;
+  /// End-to-end wall-clock of the whole run including setup.
+  double wall_seconds = 0.0;
+  /// num_events / runtime_seconds (the paper's throughput metric).
+  double throughput_events_per_sec = 0.0;
+  CommStats comm;
+  int64_t events_processed = 0;
+  /// Validation: max relative error of coordinator estimates against the
+  /// summed site-local exact counts, over counters with exact total >= 64.
+  double max_counter_rel_error = 0.0;
+};
+
+/// Spawns one thread per site plus a coordinator thread, streams
+/// `num_events` instances sampled from `network`'s ground truth to uniformly
+/// random sites, and reports timing/communication. Deterministic in
+/// `config.tracker.seed` up to thread scheduling (which only affects timing).
+ClusterResult RunCluster(const BayesianNetwork& network, const ClusterConfig& config);
+
+}  // namespace dsgm
+
+#endif  // DSGM_CLUSTER_CLUSTER_RUNNER_H_

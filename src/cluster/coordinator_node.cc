@@ -1,0 +1,153 @@
+#include "cluster/coordinator_node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "monitor/round_schedule.h"
+
+namespace dsgm {
+namespace {
+
+// Approximate wire payloads, matching monitor/approx_counter.cc.
+constexpr uint64_t kUpdateBytes = 12;
+constexpr uint64_t kBroadcastBytes = 10;
+constexpr uint64_t kSyncBytes = 12;
+
+}  // namespace
+
+CoordinatorNode::CoordinatorNode(std::vector<float> epsilons, int64_t num_counters,
+                                 int num_sites, double probability_constant,
+                                 BoundedQueue<UpdateBundle>* from_sites,
+                                 std::vector<BoundedQueue<RoundAdvance>*> commands)
+    : num_counters_(num_counters),
+      num_sites_(num_sites),
+      safety_(probability_constant),
+      exact_mode_(epsilons.empty()),
+      from_sites_(from_sites),
+      commands_(std::move(commands)),
+      epsilons_(std::move(epsilons)) {
+  DSGM_CHECK_EQ(static_cast<int>(commands_.size()), num_sites_);
+  if (!exact_mode_) {
+    DSGM_CHECK_EQ(static_cast<int64_t>(epsilons_.size()), num_counters_);
+  }
+  const size_t n = static_cast<size_t>(num_counters_);
+  probs_.assign(n, 1.0f);
+  estimates_.assign(n, 0.0);
+  thresholds_.assign(n, RoundThreshold(0));
+  rounds_.assign(n, 0);
+  sync_pending_.assign(n, 0);
+  sync_counts_.assign(n * static_cast<size_t>(num_sites_), 0);
+  best_reports_.assign(n * static_cast<size_t>(num_sites_), 0);
+}
+
+double CoordinatorNode::SiteEstimate(size_t cell, double p) const {
+  const uint32_t sync = sync_counts_[cell];
+  const uint32_t best = best_reports_[cell];
+  if (best <= sync) return static_cast<double>(sync);
+  return static_cast<double>(best) + (1.0 / p - 1.0);
+}
+
+void CoordinatorNode::OnReport(int site, const CounterReport& report) {
+  const size_t c = static_cast<size_t>(report.counter);
+  const size_t cell = c * static_cast<size_t>(num_sites_) + site;
+  const double p = probs_[c];
+  const double before = SiteEstimate(cell, p);
+  if (report.value > std::max(best_reports_[cell], sync_counts_[cell])) {
+    best_reports_[cell] = report.value;
+  }
+  estimates_[c] += SiteEstimate(cell, p) - before;
+  if (!exact_mode_) MaybeAdvance(report.counter);
+}
+
+void CoordinatorNode::OnSync(int site, const CounterReport& report) {
+  const size_t c = static_cast<size_t>(report.counter);
+  const size_t cell = c * static_cast<size_t>(num_sites_) + site;
+  const double p = probs_[c];
+  const double before = SiteEstimate(cell, p);
+  sync_counts_[cell] = std::max(sync_counts_[cell], report.value);
+  // A sync settles this round's state: reports older than the sync carry no
+  // information beyond it.
+  best_reports_[cell] = std::max(best_reports_[cell], sync_counts_[cell]);
+  estimates_[c] += SiteEstimate(cell, p) - before;
+  --outstanding_syncs_;
+  if (sync_pending_[c] > 0 && --sync_pending_[c] == 0) {
+    MaybeAdvance(report.counter);
+  }
+}
+
+void CoordinatorNode::MaybeAdvance(int64_t counter) {
+  const size_t c = static_cast<size_t>(counter);
+  if (sync_pending_[c] > 0) return;  // Wait for the current round to settle.
+  if (estimates_[c] < thresholds_[c]) return;
+
+  int round = rounds_[c];
+  while (estimates_[c] >= RoundThreshold(round) && round < kMaxRound) ++round;
+  const double new_p = RoundProbability(epsilons_[c], round, num_sites_, safety_);
+  rounds_[c] = static_cast<uint8_t>(round);
+  thresholds_[c] = RoundThreshold(round);
+  if (new_p >= 1.0) {
+    probs_[c] = 1.0f;  // Still exact; transition is silent.
+    return;
+  }
+  probs_[c] = static_cast<float>(new_p);
+  ++comm_.rounds_advanced;
+  sync_pending_[c] = static_cast<uint8_t>(num_sites_);
+  outstanding_syncs_ += num_sites_;
+  comm_.broadcast_messages += static_cast<uint64_t>(num_sites_);
+  comm_.wire_messages += static_cast<uint64_t>(num_sites_);
+  comm_.bytes_down += kBroadcastBytes * static_cast<uint64_t>(num_sites_);
+  for (int s = 0; s < num_sites_; ++s) {
+    RoundAdvance advance;
+    advance.counter = counter;
+    advance.round = round;
+    advance.probability = static_cast<float>(new_p);
+    commands_[static_cast<size_t>(s)]->Push(advance);
+  }
+}
+
+void CoordinatorNode::Run() {
+  std::vector<UpdateBundle> batch;
+  while (true) {
+    if (done_sites_ == num_sites_ && outstanding_syncs_ == 0) break;
+    batch.clear();
+    const size_t got = from_sites_->PopBatch(&batch, 64);
+    if (got == 0) break;  // Queue closed externally (shouldn't happen).
+    const auto now = Clock::now();
+    if (!saw_message_) {
+      first_message_ = now;
+      saw_message_ = true;
+    }
+    last_message_ = now;
+    for (const UpdateBundle& bundle : batch) {
+      switch (bundle.kind) {
+        case UpdateBundle::Kind::kReports:
+          ++comm_.wire_messages;
+          comm_.update_messages += bundle.reports.size();
+          comm_.bytes_up += kUpdateBytes * bundle.reports.size();
+          for (const CounterReport& report : bundle.reports) {
+            OnReport(bundle.site, report);
+          }
+          break;
+        case UpdateBundle::Kind::kSync:
+          ++comm_.wire_messages;
+          comm_.sync_messages += bundle.reports.size();
+          comm_.bytes_up += kSyncBytes * bundle.reports.size();
+          for (const CounterReport& report : bundle.reports) {
+            OnSync(bundle.site, report);
+          }
+          break;
+        case UpdateBundle::Kind::kSiteDone:
+          ++done_sites_;
+          break;
+      }
+    }
+  }
+  for (BoundedQueue<RoundAdvance>* queue : commands_) queue->Close();
+}
+
+double CoordinatorNode::ActiveSeconds() const {
+  if (!saw_message_) return 0.0;
+  return std::chrono::duration<double>(last_message_ - first_message_).count();
+}
+
+}  // namespace dsgm

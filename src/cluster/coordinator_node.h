@@ -1,0 +1,82 @@
+// Coordinator-side logic of the threaded cluster.
+
+#ifndef DSGM_CLUSTER_COORDINATOR_NODE_H_
+#define DSGM_CLUSTER_COORDINATOR_NODE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/queue.h"
+#include "cluster/wire.h"
+#include "monitor/comm_stats.h"
+
+namespace dsgm {
+
+/// The coordinator thread: consumes update bundles from all sites, maintains
+/// the per-counter estimates with the unbiased last-report estimator, and
+/// drives round advances. Asynchrony is handled by cumulative-count
+/// semantics (stale messages are max()-ed away) and by a per-counter
+/// "sync pending" gate that defers further advances until every site has
+/// acknowledged the current round.
+class CoordinatorNode {
+ public:
+  /// `epsilons` follows the MleTracker counter layout; empty means exact
+  /// mode (reporting probability pinned to 1, no rounds). `commands[s]` is
+  /// site s's command queue.
+  CoordinatorNode(std::vector<float> epsilons, int64_t num_counters, int num_sites,
+                  double probability_constant,
+                  BoundedQueue<UpdateBundle>* from_sites,
+                  std::vector<BoundedQueue<RoundAdvance>*> commands);
+
+  /// Thread body: runs until every site reported done and no sync replies
+  /// are outstanding, then closes the command queues.
+  void Run();
+
+  const CommStats& comm() const { return comm_; }
+  double Estimate(int64_t counter) const {
+    return estimates_[static_cast<size_t>(counter)];
+  }
+  int64_t num_counters() const { return num_counters_; }
+
+  /// Seconds between the first and the last message the coordinator
+  /// received — the paper's Fig. 7 "total runtime" definition.
+  double ActiveSeconds() const;
+
+ private:
+  void OnReport(int site, const CounterReport& report);
+  void OnSync(int site, const CounterReport& report);
+  void MaybeAdvance(int64_t counter);
+  /// Current per-site estimate contribution of a cell.
+  double SiteEstimate(size_t cell, double p) const;
+
+  int64_t num_counters_;
+  int num_sites_;
+  double safety_;
+  bool exact_mode_;
+  BoundedQueue<UpdateBundle>* from_sites_;
+  std::vector<BoundedQueue<RoundAdvance>*> commands_;
+
+  // Coordinator protocol state (see monitor/approx_counter.h).
+  std::vector<float> epsilons_;
+  std::vector<float> probs_;
+  std::vector<double> estimates_;
+  std::vector<double> thresholds_;
+  std::vector<uint8_t> rounds_;
+  std::vector<uint8_t> sync_pending_;   // outstanding sync replies per counter
+  std::vector<uint32_t> sync_counts_;   // [counter * k + site]
+  std::vector<uint32_t> best_reports_;  // [counter * k + site]
+
+  int done_sites_ = 0;
+  int64_t outstanding_syncs_ = 0;
+  CommStats comm_;
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point first_message_;
+  Clock::time_point last_message_;
+  bool saw_message_ = false;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_CLUSTER_COORDINATOR_NODE_H_

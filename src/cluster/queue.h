@@ -1,0 +1,101 @@
+// Bounded blocking queue connecting cluster threads.
+
+#ifndef DSGM_CLUSTER_QUEUE_H_
+#define DSGM_CLUSTER_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace dsgm {
+
+/// Multi-producer multi-consumer bounded FIFO with close semantics:
+/// after Close(), pushes fail and pops drain the remaining items then fail.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity = 4096) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns false iff the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pushes a whole batch (may transiently exceed capacity by one batch to
+  /// keep the operation atomic). Returns false iff closed.
+  bool PushBatch(std::vector<T>&& batch) {
+    if (batch.empty()) return true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    for (T& item : batch) items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_all();
+    batch.clear();
+    return true;
+  }
+
+  /// Blocks until at least one item or close. Appends up to `max_items` to
+  /// `out` and returns the number appended (0 means closed and drained).
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    const size_t take = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (take > 0) not_full_.notify_all();
+    return take;
+  }
+
+  /// Non-blocking variant: appends whatever is immediately available.
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const size_t take = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (take > 0) not_full_.notify_all();
+    return take;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_CLUSTER_QUEUE_H_

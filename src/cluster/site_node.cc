@@ -1,0 +1,123 @@
+#include "cluster/site_node.h"
+
+#include "common/check.h"
+
+namespace dsgm {
+
+SiteNode::SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
+                   BoundedQueue<EventBatch>* events,
+                   BoundedQueue<RoundAdvance>* commands,
+                   BoundedQueue<UpdateBundle>* to_coordinator)
+    : site_id_(site_id),
+      network_(&network),
+      rng_(seed),
+      events_(events),
+      commands_(commands),
+      to_coordinator_(to_coordinator),
+      num_vars_(network.num_variables()) {
+  cards_.resize(static_cast<size_t>(num_vars_));
+  parent_begin_.resize(static_cast<size_t>(num_vars_) + 1);
+  joint_base_.resize(static_cast<size_t>(num_vars_));
+  parent_base_.resize(static_cast<size_t>(num_vars_));
+  int64_t total_joint = 0;
+  for (int i = 0; i < num_vars_; ++i) {
+    cards_[static_cast<size_t>(i)] = network.cardinality(i);
+    joint_base_[static_cast<size_t>(i)] = total_joint;
+    total_joint += network.parent_cardinality(i) * network.cardinality(i);
+    parent_begin_[static_cast<size_t>(i)] = static_cast<int64_t>(parent_ids_.size());
+    for (int parent : network.dag().parents(i)) {
+      parent_ids_.push_back(parent);
+      parent_cards_.push_back(network.cardinality(parent));
+    }
+  }
+  parent_begin_[static_cast<size_t>(num_vars_)] =
+      static_cast<int64_t>(parent_ids_.size());
+  int64_t total_parent = 0;
+  for (int i = 0; i < num_vars_; ++i) {
+    parent_base_[static_cast<size_t>(i)] = total_joint + total_parent;
+    total_parent += network.parent_cardinality(i);
+  }
+  local_counts_.assign(static_cast<size_t>(total_joint + total_parent), 0);
+  probs_.assign(static_cast<size_t>(total_joint + total_parent), 1.0f);
+}
+
+void SiteNode::ProcessEvent(const int32_t* values) {
+  outbox_.clear();
+  auto increment = [this](int64_t counter) {
+    const uint32_t local = ++local_counts_[static_cast<size_t>(counter)];
+    const float p = probs_[static_cast<size_t>(counter)];
+    if (p >= 1.0f || rng_.NextBernoulli(p)) {
+      outbox_.push_back(CounterReport{counter, local});
+    }
+  };
+  for (int i = 0; i < num_vars_; ++i) {
+    const int64_t begin = parent_begin_[static_cast<size_t>(i)];
+    const int64_t end = parent_begin_[static_cast<size_t>(i) + 1];
+    int64_t row = 0;
+    for (int64_t j = begin; j < end; ++j) {
+      row = row * parent_cards_[static_cast<size_t>(j)] +
+            values[parent_ids_[static_cast<size_t>(j)]];
+    }
+    const int value = values[i];
+    increment(joint_base_[static_cast<size_t>(i)] +
+              row * cards_[static_cast<size_t>(i)] + value);
+    increment(parent_base_[static_cast<size_t>(i)] + row);
+  }
+  ++events_processed_;
+  if (!outbox_.empty()) {
+    UpdateBundle bundle;
+    bundle.kind = UpdateBundle::Kind::kReports;
+    bundle.site = site_id_;
+    bundle.reports = outbox_;
+    to_coordinator_->Push(std::move(bundle));
+  }
+}
+
+void SiteNode::DrainCommands(bool block_until_closed) {
+  std::vector<RoundAdvance> commands;
+  while (true) {
+    commands.clear();
+    size_t got = block_until_closed ? commands_->PopBatch(&commands, 256)
+                                    : commands_->TryPopBatch(&commands, 256);
+    if (got == 0) {
+      // Blocking mode: queue closed and drained. Non-blocking: nothing now.
+      return;
+    }
+    UpdateBundle sync;
+    sync.kind = UpdateBundle::Kind::kSync;
+    sync.site = site_id_;
+    for (const RoundAdvance& advance : commands) {
+      probs_[static_cast<size_t>(advance.counter)] = advance.probability;
+      sync.round = advance.round;
+      sync.reports.push_back(CounterReport{
+          advance.counter, local_counts_[static_cast<size_t>(advance.counter)]});
+    }
+    to_coordinator_->Push(std::move(sync));
+    if (!block_until_closed) return;
+  }
+}
+
+void SiteNode::Run() {
+  std::vector<EventBatch> batches;
+  while (true) {
+    batches.clear();
+    const size_t got = events_->PopBatch(&batches, 4);
+    if (got == 0) break;  // Stream finished.
+    for (const EventBatch& batch : batches) {
+      const int32_t* cursor = batch.values.data();
+      for (int32_t e = 0; e < batch.num_events; ++e) {
+        ProcessEvent(cursor);
+        cursor += num_vars_;
+      }
+    }
+    DrainCommands(/*block_until_closed=*/false);
+  }
+  UpdateBundle done;
+  done.kind = UpdateBundle::Kind::kSiteDone;
+  done.site = site_id_;
+  to_coordinator_->Push(std::move(done));
+  // Keep answering round advances until the coordinator closes our queue.
+  DrainCommands(/*block_until_closed=*/true);
+}
+
+}  // namespace dsgm

@@ -1,0 +1,69 @@
+// Site-side logic of the threaded cluster.
+
+#ifndef DSGM_CLUSTER_SITE_NODE_H_
+#define DSGM_CLUSTER_SITE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/network.h"
+#include "cluster/queue.h"
+#include "cluster/wire.h"
+#include "common/rng.h"
+
+namespace dsgm {
+
+/// One remote site: consumes its event stream, keeps cumulative local
+/// counts for every counter, makes the Bernoulli reporting decisions, and
+/// answers round advances with exact sync replies.
+///
+/// Counter ids use the MleTracker layout (joint counters first, then parent
+/// counters); the structural metadata needed to map an instance to counter
+/// ids is precomputed at construction.
+class SiteNode {
+ public:
+  SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
+           BoundedQueue<EventBatch>* events, BoundedQueue<RoundAdvance>* commands,
+           BoundedQueue<UpdateBundle>* to_coordinator);
+
+  /// Thread body: runs until the event queue closes and drains, then keeps
+  /// serving round advances until the command queue closes.
+  void Run();
+
+  int64_t events_processed() const { return events_processed_; }
+
+  /// Exact cumulative local counts; read only after the thread has joined
+  /// (used by the runner to validate coordinator estimates).
+  const std::vector<uint32_t>& local_counts() const { return local_counts_; }
+
+ private:
+  void ProcessEvent(const int32_t* values);
+  void DrainCommands(bool block_until_closed);
+
+  int site_id_;
+  const BayesianNetwork* network_;
+  Rng rng_;
+  BoundedQueue<EventBatch>* events_;
+  BoundedQueue<RoundAdvance>* commands_;
+  BoundedQueue<UpdateBundle>* to_coordinator_;
+
+  // Structure metadata (same flattening as MleTracker).
+  int num_vars_;
+  std::vector<int32_t> cards_;
+  std::vector<int32_t> parent_ids_;
+  std::vector<int32_t> parent_cards_;
+  std::vector<int64_t> parent_begin_;
+  std::vector<int64_t> joint_base_;
+  std::vector<int64_t> parent_base_;
+
+  // Per-counter site state.
+  std::vector<uint32_t> local_counts_;
+  std::vector<float> probs_;
+
+  std::vector<CounterReport> outbox_;
+  int64_t events_processed_ = 0;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_CLUSTER_SITE_NODE_H_

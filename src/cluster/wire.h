@@ -1,0 +1,56 @@
+// Wire messages exchanged between cluster threads.
+//
+// The threaded cluster speaks the same counter protocol as the synchronous
+// simulation (monitor/round_schedule.h documents the rounds); these are the
+// concrete message frames. Site->coordinator traffic is bundled: all counter
+// updates caused by one event travel in one UpdateBundle, the optimization
+// described in the paper's Section VI-A.
+
+#ifndef DSGM_CLUSTER_WIRE_H_
+#define DSGM_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dsgm {
+
+/// One counter report inside an UpdateBundle: the site's cumulative local
+/// count of `counter` at the moment of reporting.
+struct CounterReport {
+  int64_t counter = 0;
+  uint32_t value = 0;
+};
+
+/// Site -> coordinator frame.
+struct UpdateBundle {
+  enum class Kind : uint8_t {
+    kReports,   // sampled counter reports of one event
+    kSync,      // exact counts replying to a round advance
+    kSiteDone,  // the site has processed its whole stream
+  };
+  Kind kind = Kind::kReports;
+  int32_t site = -1;
+  /// Round the sync replies to (kSync only); stale replies are harmless
+  /// because reports carry cumulative counts.
+  int32_t round = -1;
+  std::vector<CounterReport> reports;
+};
+
+/// Coordinator -> site frame: counter `counter` enters `round` with
+/// reporting probability `probability`; the site must reply with a sync.
+struct RoundAdvance {
+  int64_t counter = 0;
+  int32_t round = 0;
+  float probability = 1.0f;
+};
+
+/// Stream events are dispatched to sites as batches of instances, flattened
+/// into one values array (num_vars values per event).
+struct EventBatch {
+  int32_t num_events = 0;
+  std::vector<int32_t> values;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_CLUSTER_WIRE_H_

@@ -1,0 +1,171 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dsgm {
+namespace {
+
+bool ParseBoolText(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Flags::DefineInt64(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  entries_[name] = Entry{Type::kInt64, std::to_string(default_value),
+                         std::to_string(default_value), help};
+}
+
+void Flags::DefineDouble(const std::string& name, double default_value,
+                         const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  entries_[name] = Entry{Type::kDouble, os.str(), os.str(), help};
+}
+
+void Flags::DefineBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  const char* text = default_value ? "true" : "false";
+  entries_[name] = Entry{Type::kBool, text, text, help};
+}
+
+void Flags::DefineString(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  entries_[name] = Entry{Type::kString, default_value, default_value, help};
+}
+
+Status Flags::SetValue(const std::string& name, const std::string& text) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return InvalidArgumentError("unknown flag --" + name);
+  }
+  Entry& entry = it->second;
+  switch (entry.type) {
+    case Type::kInt64: {
+      char* end = nullptr;
+      (void)std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return InvalidArgumentError("flag --" + name + " expects an integer, got '" +
+                                    text + "'");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return InvalidArgumentError("flag --" + name + " expects a number, got '" +
+                                    text + "'");
+      }
+      break;
+    }
+    case Type::kBool: {
+      bool parsed = false;
+      if (!ParseBoolText(text, &parsed)) {
+        return InvalidArgumentError("flag --" + name + " expects a boolean, got '" +
+                                    text + "'");
+      }
+      break;
+    }
+    case Type::kString:
+      break;
+  }
+  entry.value = text;
+  return Status::Ok();
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::ostringstream os;
+      os << Usage(argv[0]);
+      // NotFound doubles as the "printed help, stop" signal.
+      return NotFoundError(os.str());
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return InvalidArgumentError("unexpected positional argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      DSGM_RETURN_IF_ERROR(SetValue(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    auto it = entries_.find(arg);
+    if (it == entries_.end()) {
+      return InvalidArgumentError("unknown flag --" + arg);
+    }
+    if (it->second.type == Type::kBool) {
+      // `--flag` alone means true; `--flag value` also accepted below.
+      const bool has_value_next =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+      bool parsed = false;
+      if (has_value_next && ParseBoolText(argv[i + 1], &parsed)) {
+        DSGM_RETURN_IF_ERROR(SetValue(arg, argv[++i]));
+      } else {
+        DSGM_RETURN_IF_ERROR(SetValue(arg, "true"));
+      }
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return InvalidArgumentError("flag --" + arg + " is missing a value");
+    }
+    DSGM_RETURN_IF_ERROR(SetValue(arg, argv[++i]));
+  }
+  return Status::Ok();
+}
+
+int64_t Flags::GetInt64(const std::string& name) const {
+  auto it = entries_.find(name);
+  DSGM_CHECK(it != entries_.end()) << "flag --" << name << "not defined";
+  DSGM_CHECK(it->second.type == Type::kInt64);
+  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  auto it = entries_.find(name);
+  DSGM_CHECK(it != entries_.end()) << "flag --" << name << "not defined";
+  DSGM_CHECK(it->second.type == Type::kDouble);
+  return std::strtod(it->second.value.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  auto it = entries_.find(name);
+  DSGM_CHECK(it != entries_.end()) << "flag --" << name << "not defined";
+  DSGM_CHECK(it->second.type == Type::kBool);
+  bool value = false;
+  DSGM_CHECK(ParseBoolText(it->second.value, &value));
+  return value;
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  auto it = entries_.find(name);
+  DSGM_CHECK(it != entries_.end()) << "flag --" << name << "not defined";
+  DSGM_CHECK(it->second.type == Type::kString);
+  return it->second.value;
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, entry] : entries_) {
+    os << "  --" << name << " (default: " << entry.fallback << ")  " << entry.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsgm

@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error so typos in experiment sweeps fail loudly instead of
+// silently running the default configuration.
+
+#ifndef DSGM_COMMON_FLAGS_H_
+#define DSGM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dsgm {
+
+/// Declarative flag set: define flags with defaults, then Parse(argc, argv).
+class Flags {
+ public:
+  /// Registers a flag with its default value and one-line help text.
+  void DefineInt64(const std::string& name, int64_t default_value, const std::string& help);
+  void DefineDouble(const std::string& name, double default_value, const std::string& help);
+  void DefineBool(const std::string& name, bool default_value, const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  /// Parses argv. Returns an error for unknown flags or malformed values.
+  /// `--help` prints usage and returns a NotFound status the caller should
+  /// treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  /// Renders registered flags with defaults and help strings.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Entry {
+    Type type;
+    std::string value;   // Current value, textual.
+    std::string fallback;  // Default, textual (for usage output).
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& text);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_COMMON_FLAGS_H_

@@ -1,0 +1,94 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsgm {
+
+double Rng::NextGaussian() {
+  // Polar method; loop terminates with probability 1.
+  while (true) {
+    const double u = 2.0 * NextDouble() - 1.0;
+    const double v = 2.0 * NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::NextGamma(double shape) {
+  DSGM_CHECK(shape > 0.0) << "gamma shape must be positive, got" << shape;
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+    const double u = NextDouble();
+    return NextGamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::NextDirichlet(int dim, double alpha) {
+  DSGM_CHECK(dim > 0);
+  std::vector<double> sample(static_cast<size_t>(dim));
+  double total = 0.0;
+  for (double& value : sample) {
+    value = NextGamma(alpha);
+    total += value;
+  }
+  if (total <= 0.0) {
+    // Numerically possible for tiny alpha: fall back to a one-hot vector.
+    std::fill(sample.begin(), sample.end(), 0.0);
+    sample[NextBounded(static_cast<uint64_t>(dim))] = 1.0;
+    return sample;
+  }
+  for (double& value : sample) value /= total;
+  return sample;
+}
+
+int Rng::NextCategorical(const std::vector<double>& weights) {
+  DSGM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    DSGM_DCHECK(w >= 0.0);
+    total += w;
+  }
+  DSGM_CHECK(total > 0.0) << "categorical weights sum to zero";
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+ZipfDistribution::ZipfDistribution(int n, double exponent) {
+  DSGM_CHECK(n > 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (double& value : cdf_) value /= total;
+}
+
+int ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(it - cdf_.begin()), cdf_.size() - 1));
+}
+
+}  // namespace dsgm

@@ -1,0 +1,62 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsgm {
+
+void OnlineStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::Mean() const {
+  if (values_.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double SampleSet::Quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+BoxplotSummary SampleSet::Boxplot() const {
+  BoxplotSummary box;
+  box.p10 = Quantile(0.10);
+  box.p25 = Quantile(0.25);
+  box.p50 = Quantile(0.50);
+  box.p75 = Quantile(0.75);
+  box.p90 = Quantile(0.90);
+  box.mean = Mean();
+  box.count = count();
+  return box;
+}
+
+}  // namespace dsgm

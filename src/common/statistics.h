@@ -1,0 +1,71 @@
+// Streaming and batch summary statistics used by tests and benchmarks.
+
+#ifndef DSGM_COMMON_STATISTICS_H_
+#define DSGM_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsgm {
+
+/// Welford-style accumulator for mean and variance of a stream of doubles.
+class OnlineStats {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number boxplot summary (10th/25th/50th/75th/90th percentiles) plus
+/// mean; the terminal-friendly rendering of the paper's boxplot figures.
+struct BoxplotSummary {
+  double p10 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double mean = 0.0;
+  int64_t count = 0;
+};
+
+/// Collects samples and answers quantile queries. Stores all samples;
+/// experiment sample counts here are at most a few hundred thousand.
+class SampleSet {
+ public:
+  void Add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  double Mean() const;
+
+  /// Quantile in [0,1] with linear interpolation; 0 when empty.
+  double Quantile(double q) const;
+
+  BoxplotSummary Boxplot() const;
+
+ private:
+  // Sorted lazily by Quantile(); mutable cache keeps Add cheap.
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_COMMON_STATISTICS_H_

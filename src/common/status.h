@@ -1,0 +1,129 @@
+// Error propagation without exceptions: Status and StatusOr<T>.
+//
+// Follows the conventions of absl::Status in miniature. Functions that can
+// fail for reasons outside the programmer's control (parsing, I/O,
+// infeasible generator specs) return Status or StatusOr<T>; broken
+// invariants use DSGM_CHECK instead.
+
+#ifndef DSGM_COMMON_STATUS_H_
+#define DSGM_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns the canonical spelling of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic result of an operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+/// Usage:
+///   StatusOr<BayesianNetwork> net = ParseNetwork(text);
+///   if (!net.ok()) return net.status();
+///   Use(net.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: the common success path reads naturally
+  /// (`return my_network;`).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+
+  /// Implicit from a non-OK status: `return InvalidArgumentError(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    DSGM_CHECK(!status_.ok()) << "StatusOr constructed from OK status without a value";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DSGM_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DSGM_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DSGM_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dsgm
+
+/// Propagates a non-OK status to the caller.
+#define DSGM_RETURN_IF_ERROR(expr)               \
+  do {                                           \
+    ::dsgm::Status dsgm_status_ = (expr);        \
+    if (!dsgm_status_.ok()) return dsgm_status_; \
+  } while (false)
+
+#endif  // DSGM_COMMON_STATUS_H_

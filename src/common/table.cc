@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", digits, value);
+  return buffer;
+}
+
+std::string FormatScientific(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", digits, value);
+  return buffer;
+}
+
+std::string FormatCount(int64_t value) {
+  std::string digits = std::to_string(value);
+  std::string result;
+  const size_t start = (digits[0] == '-') ? 1 : 0;
+  const size_t length = digits.size() - start;
+  result.reserve(digits.size() + length / 3);
+  if (start == 1) result.push_back('-');
+  for (size_t i = 0; i < length; ++i) {
+    if (i > 0 && (length - i) % 3 == 0) result.push_back(',');
+    result.push_back(digits[start + i]);
+  }
+  return result;
+}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    DSGM_CHECK_EQ(row.size(), header_.size()) << "row width differs from header";
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << row[i];
+      // Pad right to the column width (skip trailing padding).
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dsgm

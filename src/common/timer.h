@@ -1,0 +1,30 @@
+// Wall-clock timing for the cluster experiments (Figs. 7-8).
+
+#ifndef DSGM_COMMON_TIMER_H_
+#define DSGM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dsgm {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_COMMON_TIMER_H_

@@ -1,0 +1,54 @@
+#include "core/classifier.h"
+
+#include "common/check.h"
+
+namespace dsgm {
+namespace {
+
+/// Shared argmax loop: `factor(variable, value, parent_row)` supplies either
+/// tracked estimates or exact CPD entries.
+template <typename FactorFn>
+int PredictImpl(const BayesianNetwork& network, int target,
+                const Instance& evidence, FactorFn&& factor) {
+  DSGM_CHECK(target >= 0 && target < network.num_variables());
+  DSGM_CHECK_EQ(static_cast<int>(evidence.size()), network.num_variables());
+
+  Instance scratch = evidence;
+  const int cardinality = network.cardinality(target);
+  int best_value = 0;
+  double best_score = -1.0;
+  for (int y = 0; y < cardinality; ++y) {
+    scratch[static_cast<size_t>(target)] = y;
+    double score = factor(target, y, network.ParentIndexOf(target, scratch));
+    for (int child : network.dag().children(target)) {
+      score *= factor(child, scratch[static_cast<size_t>(child)],
+                      network.ParentIndexOf(child, scratch));
+      if (score <= 0.0) break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_value = y;
+    }
+  }
+  return best_value;
+}
+
+}  // namespace
+
+int PredictWithTracker(const MleTracker& tracker, int target,
+                       const Instance& evidence) {
+  return PredictImpl(tracker.network(), target, evidence,
+                     [&tracker](int variable, int value, int64_t row) {
+                       return tracker.CpdEstimate(variable, value, row);
+                     });
+}
+
+int PredictWithNetwork(const BayesianNetwork& network, int target,
+                       const Instance& evidence) {
+  return PredictImpl(network, target, evidence,
+                     [&network](int variable, int value, int64_t row) {
+                       return network.cpd(variable).prob(value, row);
+                     });
+}
+
+}  // namespace dsgm

@@ -1,0 +1,27 @@
+// Approximate Bayesian classification over a tracked model (Section V).
+
+#ifndef DSGM_CORE_CLASSIFIER_H_
+#define DSGM_CORE_CLASSIFIER_H_
+
+#include "bayes/network.h"
+#include "core/mle_tracker.h"
+
+namespace dsgm {
+
+/// Predicts the value of `target` given the values of all other variables
+/// in `evidence` (evidence[target] is ignored), using the CPD estimates of
+/// `tracker`. This is the classifier of Definition 4: the score of a
+/// candidate value y is the product of the Markov-blanket factors
+///   p̃(y | par(target)) * prod_{c in children(target)} p̃(x_c | par(c)[target<-y]),
+/// the only chain-rule terms that depend on the target's value.
+int PredictWithTracker(const MleTracker& tracker, int target,
+                       const Instance& evidence);
+
+/// Same decision rule evaluated on a network's exact CPDs; used to measure
+/// the Bayes-optimal error of the ground-truth model.
+int PredictWithNetwork(const BayesianNetwork& network, int target,
+                       const Instance& evidence);
+
+}  // namespace dsgm
+
+#endif  // DSGM_CORE_CLASSIFIER_H_

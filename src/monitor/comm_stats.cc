@@ -1,0 +1,15 @@
+#include "monitor/comm_stats.h"
+
+#include <sstream>
+
+namespace dsgm {
+
+std::string CommStats::ToString() const {
+  std::ostringstream os;
+  os << "updates=" << update_messages << " broadcasts=" << broadcast_messages
+     << " syncs=" << sync_messages << " total=" << TotalMessages()
+     << " wire=" << wire_messages << " rounds=" << rounds_advanced;
+  return os.str();
+}
+
+}  // namespace dsgm

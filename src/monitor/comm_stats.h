@@ -1,0 +1,48 @@
+// Communication accounting for the continuous monitoring substrate.
+
+#ifndef DSGM_MONITOR_COMM_STATS_H_
+#define DSGM_MONITOR_COMM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dsgm {
+
+/// Message counters shared by every counter family of one tracker.
+///
+/// The unit of `update_messages` is ONE counter update, matching the paper's
+/// Table III convention (EXACTMLE sends 2n of them per event). Broadcasts
+/// fan out to every site, so a round announcement adds k. `wire_messages`
+/// counts physically distinct transmissions after the paper's bundling
+/// optimization (all updates one event causes at one site travel together).
+struct CommStats {
+  uint64_t update_messages = 0;     // site -> coordinator counter updates
+  uint64_t broadcast_messages = 0;  // coordinator -> site round announcements
+  uint64_t sync_messages = 0;       // site -> coordinator round-sync replies
+  uint64_t wire_messages = 0;       // bundled transmissions (see above)
+  uint64_t rounds_advanced = 0;     // sampled-phase round transitions
+  uint64_t bytes_up = 0;            // site -> coordinator payload bytes
+  uint64_t bytes_down = 0;          // coordinator -> site payload bytes
+
+  /// Total logical messages: the paper's "number of messages" metric.
+  uint64_t TotalMessages() const {
+    return update_messages + broadcast_messages + sync_messages;
+  }
+
+  CommStats& operator+=(const CommStats& other) {
+    update_messages += other.update_messages;
+    broadcast_messages += other.broadcast_messages;
+    sync_messages += other.sync_messages;
+    wire_messages += other.wire_messages;
+    rounds_advanced += other.rounds_advanced;
+    bytes_up += other.bytes_up;
+    bytes_down += other.bytes_down;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_MONITOR_COMM_STATS_H_

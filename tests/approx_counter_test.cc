@@ -1,0 +1,231 @@
+// Tests for monitor/approx_counter.h — empirical verification of the
+// Lemma 4 contract: E[A] = C, Var[A] <= O((eps C)^2), logarithmic
+// communication, and exactness below the sampling threshold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "monitor/approx_counter.h"
+#include "monitor/round_schedule.h"
+
+namespace dsgm {
+namespace {
+
+ApproxCounterOptions Options(int sites, uint64_t seed) {
+  ApproxCounterOptions options;
+  options.num_sites = sites;
+  options.seed = seed;
+  return options;
+}
+
+TEST(RoundScheduleTest, ProbabilityHalvesAsRoundsAdvance) {
+  // sqrt(16)/0.1 = 40, so rounds 6+ (2^6 = 64) are in the sampled regime.
+  const double p6 = RoundProbability(0.1, 6, 16, 1.0);
+  const double p7 = RoundProbability(0.1, 7, 16, 1.0);
+  ASSERT_LT(p6, 1.0);
+  EXPECT_NEAR(p6 / p7, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(RoundProbability(0.1, 0, 16, 1.0), 1.0);  // 40 >> 1
+  EXPECT_DOUBLE_EQ(RoundThreshold(3), 16.0);
+}
+
+TEST(ApproxCounterTest, ExactWhileSmall) {
+  CommStats stats;
+  ApproxCounterFamily family({0.1f}, Options(4, 1), &stats);
+  // Exact phase lasts until ~sqrt(k)/eps = 20.
+  for (int i = 0; i < 15; ++i) family.Increment(0, i % 4);
+  EXPECT_DOUBLE_EQ(family.Estimate(0), 15.0);
+  EXPECT_EQ(family.ExactTotal(0), 15u);
+  EXPECT_EQ(stats.update_messages, 15u);
+  EXPECT_EQ(stats.sync_messages, 0u);
+  EXPECT_DOUBLE_EQ(family.probability(0), 1.0);
+}
+
+TEST(ApproxCounterTest, EntersSampledRegimeForLargeCounts) {
+  CommStats stats;
+  ApproxCounterFamily family({0.1f}, Options(4, 2), &stats);
+  for (int i = 0; i < 10000; ++i) family.Increment(0, i % 4);
+  EXPECT_LT(family.probability(0), 1.0);
+  EXPECT_GT(family.round(0), 5);
+  EXPECT_GT(stats.rounds_advanced, 0u);
+  EXPECT_GT(stats.broadcast_messages, 0u);
+}
+
+TEST(ApproxCounterTest, EstimateTracksCountWithinTolerance) {
+  CommStats stats;
+  ApproxCounterFamily family({0.05f}, Options(8, 3), &stats);
+  constexpr int kTotal = 200000;
+  for (int i = 0; i < kTotal; ++i) family.Increment(0, i % 8);
+  const double estimate = family.Estimate(0);
+  // Chebyshev with the (eps C)^2 variance bound: being 5 sigma out has
+  // probability < 5%; the seed is fixed so this is deterministic anyway.
+  EXPECT_NEAR(estimate, kTotal, 5 * 0.05 * kTotal);
+}
+
+TEST(ApproxCounterTest, CommunicationIsLogarithmicInCount) {
+  CommStats stats;
+  ApproxCounterFamily family({0.1f}, Options(4, 4), &stats);
+  constexpr int kTotal = 1 << 18;  // 262144
+  uint64_t messages_at_half = 0;
+  for (int i = 0; i < kTotal; ++i) {
+    family.Increment(0, i % 4);
+    if (i + 1 == kTotal / 2) messages_at_half = stats.TotalMessages();
+  }
+  const uint64_t total_messages = stats.TotalMessages();
+  // Exact maintenance would send 262144 updates; the sampled counter must be
+  // far below (one extra doubling costs O(sqrt(k)/eps + k), not O(C)).
+  EXPECT_LT(total_messages, static_cast<uint64_t>(kTotal) / 10);
+  const uint64_t last_doubling = total_messages - messages_at_half;
+  EXPECT_LT(last_doubling, static_cast<uint64_t>(kTotal) / 64);
+}
+
+TEST(ApproxCounterTest, SmallerEpsilonCostsMoreMessages) {
+  uint64_t messages[2];
+  int index = 0;
+  for (float eps : {0.2f, 0.02f}) {
+    CommStats stats;
+    ApproxCounterFamily family({eps}, Options(4, 5), &stats);
+    for (int i = 0; i < 100000; ++i) family.Increment(0, i % 4);
+    messages[index++] = stats.TotalMessages();
+  }
+  EXPECT_LT(messages[0], messages[1]);
+}
+
+TEST(ApproxCounterTest, PerCounterEpsilonsAreIndependent) {
+  CommStats stats;
+  ApproxCounterFamily family({0.2f, 0.02f}, Options(4, 6), &stats);
+  for (int i = 0; i < 50000; ++i) {
+    family.Increment(0, i % 4);
+    family.Increment(1, i % 4);
+  }
+  // The tighter counter must still be accurate; both should be close but
+  // counter 1 is guaranteed a smaller deviation band.
+  EXPECT_NEAR(family.Estimate(0), 50000.0, 5 * 0.2 * 50000);
+  EXPECT_NEAR(family.Estimate(1), 50000.0, 5 * 0.02 * 50000);
+}
+
+TEST(ApproxCounterTest, UnbiasedAcrossTrials) {
+  // Mean of the estimator over many independent trials must converge to the
+  // true count (Lemma 4: E[A] = C).
+  constexpr int kTrials = 400;
+  constexpr int kCount = 5000;
+  constexpr double kEps = 0.1;
+  OnlineStats estimates;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CommStats stats;
+    ApproxCounterFamily family({static_cast<float>(kEps)},
+                               Options(4, 1000 + static_cast<uint64_t>(trial)),
+                               &stats);
+    for (int i = 0; i < kCount; ++i) family.Increment(0, i % 4);
+    estimates.Add(family.Estimate(0));
+  }
+  // Standard error of the mean is ~ eps*C/sqrt(trials) = 25; allow 4x.
+  EXPECT_NEAR(estimates.mean(), kCount, 4 * kEps * kCount / std::sqrt(kTrials));
+}
+
+TEST(ApproxCounterTest, VarianceBoundHolds) {
+  constexpr int kTrials = 400;
+  constexpr int kCount = 5000;
+  constexpr double kEps = 0.1;
+  OnlineStats estimates;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CommStats stats;
+    ApproxCounterFamily family({static_cast<float>(kEps)},
+                               Options(4, 5000 + static_cast<uint64_t>(trial)),
+                               &stats);
+    for (int i = 0; i < kCount; ++i) family.Increment(0, i % 4);
+    estimates.Add(family.Estimate(0));
+  }
+  // Lemma 4 contract: Var[A] <= (eps C)^2 (small constant slack for the
+  // finite-trial variance estimate).
+  EXPECT_LE(estimates.variance(), 1.5 * (kEps * kCount) * (kEps * kCount));
+}
+
+TEST(ApproxCounterTest, SkewedSiteDistributionStillAccurate) {
+  // All mass on one site out of many: per-site estimator must cope.
+  CommStats stats;
+  ApproxCounterFamily family({0.1f}, Options(30, 7), &stats);
+  constexpr int kCount = 100000;
+  for (int i = 0; i < kCount; ++i) family.Increment(0, 0);
+  EXPECT_NEAR(family.Estimate(0), kCount, 5 * 0.1 * kCount);
+}
+
+TEST(ApproxCounterTest, ManyCountersShareAccounting) {
+  CommStats stats;
+  std::vector<float> epsilons(100, 0.1f);
+  ApproxCounterFamily family(epsilons, Options(4, 8), &stats);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    family.Increment(static_cast<int64_t>(rng.NextBounded(100)),
+                     static_cast<int>(rng.NextBounded(4)));
+  }
+  uint64_t exact_total = 0;
+  for (int64_t c = 0; c < 100; ++c) exact_total += family.ExactTotal(c);
+  EXPECT_EQ(exact_total, 20000u);
+  EXPECT_GT(stats.TotalMessages(), 0u);
+}
+
+TEST(ApproxCounterTest, RoundsAreMonotoneAndProbabilityNonIncreasing) {
+  CommStats stats;
+  ApproxCounterFamily family({0.1f}, Options(4, 9), &stats);
+  int last_round = 0;
+  double last_p = 1.0;
+  for (int i = 0; i < 100000; ++i) {
+    family.Increment(0, i % 4);
+    EXPECT_GE(family.round(0), last_round);
+    EXPECT_LE(family.probability(0), last_p + 1e-12);
+    last_round = family.round(0);
+    last_p = family.probability(0);
+  }
+}
+
+TEST(ApproxCounterTest, SafetyConstantTradesErrorForMessages) {
+  uint64_t messages_low = 0;
+  uint64_t messages_high = 0;
+  for (double safety : {0.5, 4.0}) {
+    CommStats stats;
+    ApproxCounterOptions options = Options(4, 10);
+    options.probability_constant = safety;
+    ApproxCounterFamily family({0.1f}, options, &stats);
+    for (int i = 0; i < 100000; ++i) family.Increment(0, i % 4);
+    (safety < 1.0 ? messages_low : messages_high) = stats.TotalMessages();
+  }
+  EXPECT_LT(messages_low, messages_high);
+}
+
+TEST(ApproxCounterTest, RejectsInvalidEpsilon) {
+  CommStats stats;
+  EXPECT_DEATH(ApproxCounterFamily({0.0f}, Options(4, 11), &stats), "epsilon");
+  EXPECT_DEATH(ApproxCounterFamily({1.5f}, Options(4, 11), &stats), "epsilon");
+}
+
+// Parameterized sweep of the variance contract over (epsilon, sites).
+class CounterContractTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(CounterContractTest, MeanAndVarianceWithinContract) {
+  const double eps = std::get<0>(GetParam());
+  const int sites = std::get<1>(GetParam());
+  constexpr int kTrials = 150;
+  constexpr int kCount = 4000;
+  OnlineStats estimates;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CommStats stats;
+    ApproxCounterFamily family(
+        {static_cast<float>(eps)},
+        Options(sites, 77000 + static_cast<uint64_t>(trial)), &stats);
+    for (int i = 0; i < kCount; ++i) family.Increment(0, i % sites);
+    estimates.Add(family.Estimate(0));
+  }
+  EXPECT_NEAR(estimates.mean(), kCount, 5 * eps * kCount / std::sqrt(kTrials));
+  EXPECT_LE(estimates.variance(), 2.0 * (eps * kCount) * (eps * kCount));
+}
+
+INSTANTIATE_TEST_SUITE_P(Contract, CounterContractTest,
+                         ::testing::Combine(::testing::Values(0.05, 0.1, 0.3),
+                                            ::testing::Values(2, 8, 30)));
+
+}  // namespace
+}  // namespace dsgm

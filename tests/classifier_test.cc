@@ -1,0 +1,129 @@
+// Tests for core/classifier.h — approximate Bayesian classification.
+
+#include <gtest/gtest.h>
+
+#include "bayes/generator.h"
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "core/classifier.h"
+#include "core/mle_tracker.h"
+
+namespace dsgm {
+namespace {
+
+TEST(ClassifierTest, GroundTruthPredictorPicksArgmax) {
+  const BayesianNetwork net = StudentNetwork();
+  // With Grade observed g2, Letter's best prediction is l1
+  // (P(l1|g2) = 0.99). Letter has no children, so the blanket factor is
+  // just its own CPD row.
+  Instance evidence = {0, 0, 2, 0, /*Letter=*/0};
+  EXPECT_EQ(PredictWithNetwork(net, 4, evidence), 1);
+  evidence[2] = 0;  // g0: P(l0|g0) = 0.9 wins.
+  EXPECT_EQ(PredictWithNetwork(net, 4, evidence), 0);
+}
+
+TEST(ClassifierTest, BlanketScoringUsesChildren) {
+  const BayesianNetwork net = StudentNetwork();
+  // Predict Intelligence with evidence: easy class (d0), top grade (g0),
+  // high SAT (s1). Children Grade and SAT both favour i1 strongly:
+  // score(i0) = .7 * P(g0|d0,i0) * P(s1|i0) = .7*.3*.05
+  // score(i1) = .3 * P(g0|d0,i1) * P(s1|i1) = .3*.9*.8.
+  const Instance evidence = {0, /*target*/ 0, 0, 1, 0};
+  EXPECT_EQ(PredictWithNetwork(net, 1, evidence), 1);
+}
+
+TEST(ClassifierTest, ExactTrackerMatchesGroundTruthModelPredictions) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kExactMle;
+  config.num_sites = 4;
+  MleTracker tracker(net, config);
+  ForwardSampler sampler(net, 7);
+  Rng router(8);
+  Instance x;
+  for (int e = 0; e < 100000; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, static_cast<int>(router.NextBounded(4)));
+  }
+  // With this much data, tracker-based predictions should agree with the
+  // ground-truth model's predictions nearly always.
+  ForwardSampler test_sampler(net, 97);
+  Rng picker(98);
+  int agree = 0;
+  constexpr int kTests = 500;
+  for (int t = 0; t < kTests; ++t) {
+    test_sampler.Sample(&x);
+    const int target = static_cast<int>(picker.NextBounded(5));
+    agree += (PredictWithTracker(tracker, target, x) ==
+              PredictWithNetwork(net, target, x));
+  }
+  EXPECT_GE(agree, kTests * 95 / 100);
+}
+
+TEST(ClassifierTest, ApproxTrackerErrorCloseToExact) {
+  // Table II behaviour: approximate strategies predict nearly as well as
+  // EXACTMLE.
+  const BayesianNetwork net = Alarm();
+  TrackerConfig exact_config;
+  exact_config.strategy = TrackingStrategy::kExactMle;
+  exact_config.num_sites = 5;
+  TrackerConfig approx_config = exact_config;
+  approx_config.strategy = TrackingStrategy::kNonUniform;
+  approx_config.epsilon = 0.1;
+  MleTracker exact(net, exact_config);
+  MleTracker approx(net, approx_config);
+
+  ForwardSampler sampler(net, 301);
+  Rng router(302);
+  Instance x;
+  for (int e = 0; e < 20000; ++e) {
+    sampler.Sample(&x);
+    const int site = static_cast<int>(router.NextBounded(5));
+    exact.Observe(x, site);
+    approx.Observe(x, site);
+  }
+
+  ForwardSampler test_sampler(net, 303);
+  Rng picker(304);
+  int exact_errors = 0;
+  int approx_errors = 0;
+  constexpr int kTests = 500;
+  for (int t = 0; t < kTests; ++t) {
+    test_sampler.Sample(&x);
+    const int target =
+        static_cast<int>(picker.NextBounded(static_cast<uint64_t>(net.num_variables())));
+    const int truth = x[static_cast<size_t>(target)];
+    exact_errors += (PredictWithTracker(exact, target, x) != truth);
+    approx_errors += (PredictWithTracker(approx, target, x) != truth);
+  }
+  // Approximate error rate within 5 percentage points of exact.
+  EXPECT_LE(std::abs(approx_errors - exact_errors), kTests * 5 / 100);
+}
+
+TEST(ClassifierTest, NaiveBayesClassPrediction) {
+  const BayesianNetwork nb = MakeNaiveBayes(12, 2, 3, 41, /*alpha=*/0.4);
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kNaiveBayes;
+  config.num_sites = 6;
+  MleTracker tracker(nb, config);
+  ForwardSampler sampler(nb, 42);
+  Rng router(43);
+  Instance x;
+  for (int e = 0; e < 30000; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, static_cast<int>(router.NextBounded(6)));
+  }
+  // Tracker predictions of the class variable should match the Bayes
+  // decision of the ground-truth model most of the time.
+  ForwardSampler test_sampler(nb, 44);
+  int agree = 0;
+  constexpr int kTests = 400;
+  for (int t = 0; t < kTests; ++t) {
+    test_sampler.Sample(&x);
+    agree += (PredictWithTracker(tracker, 0, x) == PredictWithNetwork(nb, 0, x));
+  }
+  EXPECT_GE(agree, kTests * 90 / 100);
+}
+
+}  // namespace
+}  // namespace dsgm

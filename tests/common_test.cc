@@ -1,0 +1,156 @@
+// Tests for common/: Status, StatusOr, flags, and table formatting.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace dsgm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad thing");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValueSupported) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> result = InternalError("boom");
+  EXPECT_DEATH((void)result.value(), "boom");
+}
+
+TEST(FlagsTest, DefaultsAreReturnedWithoutParsing) {
+  Flags flags;
+  flags.DefineInt64("instances", 500, "stream length");
+  flags.DefineDouble("eps", 0.1, "approximation factor");
+  flags.DefineBool("full", false, "full sweep");
+  flags.DefineString("network", "alarm", "network name");
+  EXPECT_EQ(flags.GetInt64("instances"), 500);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps"), 0.1);
+  EXPECT_FALSE(flags.GetBool("full"));
+  EXPECT_EQ(flags.GetString("network"), "alarm");
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  Flags flags;
+  flags.DefineInt64("instances", 500, "");
+  flags.DefineDouble("eps", 0.1, "");
+  flags.DefineString("network", "alarm", "");
+  const char* argv[] = {"prog", "--instances=1000", "--eps", "0.25",
+                        "--network=link"};
+  ASSERT_TRUE(flags.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("instances"), 1000);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps"), 0.25);
+  EXPECT_EQ(flags.GetString("network"), "link");
+}
+
+TEST(FlagsTest, BareBoolFlagMeansTrue) {
+  Flags flags;
+  flags.DefineBool("full", false, "");
+  const char* argv[] = {"prog", "--full"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_TRUE(flags.GetBool("full"));
+}
+
+TEST(FlagsTest, BoolFlagAcceptsExplicitValue) {
+  Flags flags;
+  flags.DefineBool("full", true, "");
+  const char* argv[] = {"prog", "--full", "false"};
+  ASSERT_TRUE(flags.Parse(3, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(flags.GetBool("full"));
+}
+
+TEST(FlagsTest, UnknownFlagIsAnError) {
+  Flags flags;
+  flags.DefineInt64("instances", 500, "");
+  const char* argv[] = {"prog", "--instancez=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, MalformedNumberIsAnError) {
+  Flags flags;
+  flags.DefineInt64("instances", 500, "");
+  const char* argv[] = {"prog", "--instances=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, HelpReturnsNotFoundWithUsageText) {
+  Flags flags;
+  flags.DefineInt64("instances", 500, "stream length");
+  const char* argv[] = {"prog", "--help"};
+  Status status = flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("--instances"), std::string::npos);
+}
+
+TEST(TableTest, FormatCountInsertsSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(5000000), "5,000,000");
+  EXPECT_EQ(FormatCount(-1234567), "-1,234,567");
+}
+
+TEST(TableTest, FormatScientificMatchesPaperStyle) {
+  EXPECT_EQ(FormatScientific(3.70e6, 2), "3.70e+06");
+  EXPECT_EQ(FormatScientific(1.04e8, 2), "1.04e+08");
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  TablePrinter table("demo");
+  table.SetHeader({"a", "bbbb", "c"});
+  table.AddRow({"xx", "y", "zzz"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("a   bbbb  c"), std::string::npos);
+  EXPECT_NE(out.find("xx  y     zzz"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchDies) {
+  TablePrinter table;
+  table.SetHeader({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,117 @@
+// Tests for bayes/cpd.h.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bayes/cpd.h"
+#include "common/rng.h"
+
+namespace dsgm {
+namespace {
+
+TEST(CpdTest, RootVariableHasOneRow) {
+  CpdTable cpd(3, {});
+  EXPECT_EQ(cpd.num_rows(), 1);
+  EXPECT_EQ(cpd.cardinality(), 3);
+  EXPECT_EQ(cpd.FreeParams(), 2);
+  // Default-initialized to uniform.
+  EXPECT_DOUBLE_EQ(cpd.prob(0, 0), 1.0 / 3.0);
+}
+
+TEST(CpdTest, ParentIndexIsRowMajorLastParentFastest) {
+  CpdTable cpd(2, {2, 3});
+  EXPECT_EQ(cpd.num_rows(), 6);
+  EXPECT_EQ(cpd.ParentIndex({0, 0}), 0);
+  EXPECT_EQ(cpd.ParentIndex({0, 1}), 1);
+  EXPECT_EQ(cpd.ParentIndex({0, 2}), 2);
+  EXPECT_EQ(cpd.ParentIndex({1, 0}), 3);
+  EXPECT_EQ(cpd.ParentIndex({1, 2}), 5);
+}
+
+TEST(CpdTest, FreeParamsMatchesBnlearnConvention) {
+  CpdTable cpd(4, {3, 2});
+  EXPECT_EQ(cpd.num_rows(), 6);
+  EXPECT_EQ(cpd.FreeParams(), 6 * 3);
+}
+
+TEST(CpdTest, SetRowValidation) {
+  CpdTable cpd(2, {2});
+  EXPECT_TRUE(cpd.SetRow(0, {0.3, 0.7}).ok());
+  EXPECT_DOUBLE_EQ(cpd.prob(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(cpd.prob(1, 0), 0.7);
+  EXPECT_FALSE(cpd.SetRow(0, {0.3, 0.6}).ok());       // doesn't sum to 1
+  EXPECT_FALSE(cpd.SetRow(0, {-0.1, 1.1}).ok());      // negative
+  EXPECT_FALSE(cpd.SetRow(0, {1.0}).ok());            // wrong arity
+  EXPECT_FALSE(cpd.SetRow(5, {0.5, 0.5}).ok());       // row out of range
+  EXPECT_FALSE(cpd.SetRow(-1, {0.5, 0.5}).ok());      // row out of range
+}
+
+TEST(CpdTest, FillRandomRowsAreDistributions) {
+  Rng rng(3);
+  CpdTable cpd(4, {3, 3});
+  cpd.FillRandom(rng, 0.5, 0.02);
+  for (int64_t row = 0; row < cpd.num_rows(); ++row) {
+    double total = 0.0;
+    for (int j = 0; j < cpd.cardinality(); ++j) {
+      const double p = cpd.prob(j, row);
+      EXPECT_GE(p, 0.02);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  EXPECT_GE(cpd.MinProb(), 0.02);
+}
+
+TEST(CpdTest, FillRandomClampsExcessiveFloor) {
+  Rng rng(5);
+  CpdTable cpd(10, {});
+  // A floor of 0.3 with 10 values is impossible; must clamp to 0.5/J = 0.05.
+  cpd.FillRandom(rng, 1.0, 0.3);
+  double total = 0.0;
+  for (int j = 0; j < 10; ++j) total += cpd.prob(j, 0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GE(cpd.MinProb(), 0.05 - 1e-12);
+}
+
+TEST(CpdTest, SampleFollowsRowDistribution) {
+  Rng rng(7);
+  CpdTable cpd(3, {2});
+  ASSERT_TRUE(cpd.SetRow(0, {0.7, 0.2, 0.1}).ok());
+  ASSERT_TRUE(cpd.SetRow(1, {0.1, 0.1, 0.8}).ok());
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(cpd.Sample(0, rng))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.7, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.1, 0.01);
+  std::fill(counts.begin(), counts.end(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(cpd.Sample(1, rng))];
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.8, 0.01);
+}
+
+// Parameterized sweep: FillRandom respects the floor across shapes/alphas.
+class CpdFillTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CpdFillTest, FloorHolds) {
+  const int cardinality = std::get<0>(GetParam());
+  const double alpha = std::get<1>(GetParam());
+  Rng rng(static_cast<uint64_t>(cardinality * 100) + static_cast<uint64_t>(alpha * 10));
+  CpdTable cpd(cardinality, {2, 2});
+  cpd.FillRandom(rng, alpha, 0.02);
+  EXPECT_GE(cpd.MinProb(), std::min(0.02, 0.5 / cardinality) - 1e-12);
+  for (int64_t row = 0; row < cpd.num_rows(); ++row) {
+    double total = 0.0;
+    for (int j = 0; j < cardinality; ++j) total += cpd.prob(j, row);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CpdFillTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 10, 20),
+                       ::testing::Values(0.1, 0.5, 1.0, 5.0)));
+
+}  // namespace
+}  // namespace dsgm

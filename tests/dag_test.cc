@@ -1,0 +1,135 @@
+// Tests for bayes/dag.h.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bayes/dag.h"
+#include "common/rng.h"
+
+namespace dsgm {
+namespace {
+
+TEST(DagTest, AddEdgeMaintainsSortedAdjacency) {
+  Dag dag(4);
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 3).ok());
+  EXPECT_EQ(dag.parents(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(dag.num_edges(), 3);
+  EXPECT_TRUE(dag.HasEdge(0, 3));
+  EXPECT_FALSE(dag.HasEdge(3, 0));
+}
+
+TEST(DagTest, RejectsBadEdges) {
+  Dag dag(3);
+  EXPECT_FALSE(dag.AddEdge(0, 0).ok());   // self loop
+  EXPECT_FALSE(dag.AddEdge(-1, 2).ok());  // out of range
+  EXPECT_FALSE(dag.AddEdge(0, 3).ok());   // out of range
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_FALSE(dag.AddEdge(0, 1).ok());  // duplicate
+  EXPECT_EQ(dag.num_edges(), 1);
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag(5);
+  ASSERT_TRUE(dag.AddEdge(3, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 0).ok());
+  ASSERT_TRUE(dag.AddEdge(4, 2).ok());
+  StatusOr<std::vector<int>> order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> position(5);
+  for (int i = 0; i < 5; ++i) position[static_cast<size_t>((*order)[static_cast<size_t>(i)])] = i;
+  EXPECT_LT(position[3], position[1]);
+  EXPECT_LT(position[1], position[0]);
+  EXPECT_LT(position[4], position[2]);
+}
+
+TEST(DagTest, CycleDetected) {
+  Dag dag(3);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 0).ok());
+  EXPECT_FALSE(dag.IsAcyclic());
+  EXPECT_FALSE(dag.TopologicalOrder().ok());
+}
+
+TEST(DagTest, AncestralClosureIncludesAllAncestors) {
+  // 0 -> 1 -> 3, 2 -> 3, 3 -> 4.
+  Dag dag(5);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(3, 4).ok());
+  EXPECT_EQ(dag.AncestralClosure({4}), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(dag.AncestralClosure({1}), (std::vector<int>{0, 1}));
+  EXPECT_EQ(dag.AncestralClosure({0}), (std::vector<int>{0}));
+  EXPECT_EQ(dag.AncestralClosure({1, 2}), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DagTest, SinksAndRoots) {
+  Dag dag(4);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  EXPECT_EQ(dag.Roots(), (std::vector<int>{0, 3}));
+  EXPECT_EQ(dag.Sinks(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DagTest, InducedSubgraphRemapsEdges) {
+  // 0 -> 1 -> 2, 0 -> 2; keep {0, 2}.
+  Dag dag(3);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 2).ok());
+  Dag sub = dag.InducedSubgraph({0, 2});
+  EXPECT_EQ(sub.num_nodes(), 2);
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_TRUE(sub.HasEdge(0, 1));  // old 0 -> old 2
+}
+
+TEST(DagTest, ClosureOfSortedSeedsIsSorted) {
+  Rng rng(5);
+  Dag dag(50);
+  for (int child = 1; child < 50; ++child) {
+    ASSERT_TRUE(dag.AddEdge(static_cast<int>(rng.NextBounded(static_cast<uint64_t>(child))), child).ok());
+  }
+  const std::vector<int> closure = dag.AncestralClosure({49, 25});
+  EXPECT_TRUE(std::is_sorted(closure.begin(), closure.end()));
+  // Closure is idempotent.
+  EXPECT_EQ(dag.AncestralClosure(closure), closure);
+}
+
+// Property sweep: random DAGs built parent->child by construction are always
+// acyclic, and the topological order is consistent with every edge.
+class RandomDagTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagTest, TopologicalOrderIsValid) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const int n = 2 + static_cast<int>(rng.NextBounded(60));
+  Dag dag(n);
+  const int edges = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(2 * n)));
+  for (int e = 0; e < edges; ++e) {
+    const int to = 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(n - 1)));
+    const int from = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(to)));
+    (void)dag.AddEdge(from, to);  // Duplicates rejected; fine.
+  }
+  ASSERT_TRUE(dag.IsAcyclic());
+  StatusOr<std::vector<int>> order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> position(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    position[static_cast<size_t>((*order)[static_cast<size_t>(i)])] = i;
+  }
+  for (int child = 0; child < n; ++child) {
+    for (int parent : dag.parents(child)) {
+      EXPECT_LT(position[static_cast<size_t>(parent)],
+                position[static_cast<size_t>(child)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dsgm

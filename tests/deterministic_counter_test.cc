@@ -1,0 +1,141 @@
+// Tests for monitor/deterministic_counter.h — the prior-art threshold
+// counter (paper reference [22]) used by the counter-type ablation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "core/mle_tracker.h"
+#include "monitor/deterministic_counter.h"
+
+namespace dsgm {
+namespace {
+
+TEST(DeterministicCounterTest, FirstIncrementAlwaysReports) {
+  CommStats stats;
+  DeterministicCounterFamily family({0.5f}, 4, &stats);
+  EXPECT_TRUE(family.Increment(0, 0));
+  EXPECT_DOUBLE_EQ(family.Estimate(0), 1.0);
+  EXPECT_EQ(stats.update_messages, 1u);
+}
+
+TEST(DeterministicCounterTest, EstimateWithinOneSidedBand) {
+  // Deterministic guarantee: (1 - eps/(1+eps)) * C <= A <= C.
+  CommStats stats;
+  const float eps = 0.2f;
+  DeterministicCounterFamily family({eps}, 8, &stats);
+  constexpr int kCount = 100000;
+  for (int i = 0; i < kCount; ++i) family.Increment(0, i % 8);
+  const double estimate = family.Estimate(0);
+  EXPECT_LE(estimate, static_cast<double>(kCount));
+  EXPECT_GE(estimate, (1.0 - eps / (1.0 + eps)) * kCount);
+  EXPECT_EQ(family.ExactTotal(0), static_cast<uint64_t>(kCount));
+}
+
+TEST(DeterministicCounterTest, CommunicationIsLogarithmicPerSite) {
+  CommStats stats;
+  DeterministicCounterFamily family({0.1f}, 4, &stats);
+  constexpr int kCount = 1 << 18;
+  for (int i = 0; i < kCount; ++i) family.Increment(0, i % 4);
+  // Per site: ~log_{1.1}(C/k) ~ 116 reports; 4 sites ~ 465. Far below C.
+  EXPECT_LT(stats.update_messages, 1000u);
+  EXPECT_GT(stats.update_messages, 100u);
+}
+
+TEST(DeterministicCounterTest, TighterEpsilonCostsMore) {
+  uint64_t messages[2];
+  int index = 0;
+  for (float eps : {0.2f, 0.02f}) {
+    CommStats stats;
+    DeterministicCounterFamily family({eps}, 4, &stats);
+    for (int i = 0; i < 100000; ++i) family.Increment(0, i % 4);
+    messages[index++] = stats.TotalMessages();
+  }
+  EXPECT_LT(messages[0], messages[1]);
+}
+
+TEST(DeterministicCounterTest, SkewedSitesStillBounded) {
+  CommStats stats;
+  const float eps = 0.1f;
+  DeterministicCounterFamily family({eps}, 30, &stats);
+  constexpr int kCount = 50000;
+  for (int i = 0; i < kCount; ++i) family.Increment(0, 0);  // one hot site
+  EXPECT_GE(family.Estimate(0), (1.0 - eps / (1.0 + eps)) * kCount);
+  EXPECT_LE(family.Estimate(0), static_cast<double>(kCount));
+}
+
+TEST(DeterministicCounterTest, RejectsInvalidEpsilon) {
+  CommStats stats;
+  EXPECT_DEATH(DeterministicCounterFamily({0.0f}, 4, &stats), "epsilon");
+}
+
+TEST(DeterministicTrackerTest, TracksMleWithinBand) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kUniform;
+  config.counter_type = CounterType::kDeterministic;
+  config.num_sites = 5;
+  config.epsilon = 0.1;
+  MleTracker exact(net, [] {
+    TrackerConfig c;
+    c.strategy = TrackingStrategy::kExactMle;
+    c.num_sites = 5;
+    return c;
+  }());
+  MleTracker deterministic(net, config);
+  ForwardSampler sampler(net, 808);
+  Rng router(809);
+  Instance x;
+  for (int e = 0; e < 50000; ++e) {
+    sampler.Sample(&x);
+    const int site = static_cast<int>(router.NextBounded(5));
+    exact.Observe(x, site);
+    deterministic.Observe(x, site);
+  }
+  ForwardSampler probe(net, 810);
+  for (int q = 0; q < 30; ++q) {
+    probe.Sample(&x);
+    const double mle = exact.JointProbability(x);
+    if (mle <= 0.0) continue;
+    const double ratio = deterministic.JointProbability(x) / mle;
+    EXPECT_GT(ratio, std::exp(-0.2));
+    EXPECT_LT(ratio, std::exp(0.2));
+  }
+}
+
+TEST(DeterministicTrackerTest, RandomizedBeatsDeterministicOnManySites) {
+  // The motivation for the paper's randomized counter: O(√k) vs O(k)
+  // dependence on the number of sites. With k = 30 the gap must be visible.
+  const BayesianNetwork net = Alarm();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kNonUniform;
+  config.num_sites = 30;
+  config.epsilon = 0.1;
+  config.seed = 4;
+  config.counter_type = CounterType::kRandomized;
+  MleTracker randomized(net, config);
+  config.counter_type = CounterType::kDeterministic;
+  MleTracker deterministic(net, config);
+
+  ForwardSampler sampler(net, 811);
+  Rng router(812);
+  Instance x;
+  for (int e = 0; e < 200000; ++e) {
+    sampler.Sample(&x);
+    const int site = static_cast<int>(router.NextBounded(30));
+    randomized.Observe(x, site);
+    deterministic.Observe(x, site);
+  }
+  EXPECT_LT(randomized.comm().TotalMessages(),
+            deterministic.comm().TotalMessages());
+}
+
+TEST(DeterministicTrackerTest, CounterTypeNameRoundTrip) {
+  EXPECT_STREQ(ToString(CounterType::kRandomized), "randomized");
+  EXPECT_STREQ(ToString(CounterType::kDeterministic), "deterministic");
+}
+
+}  // namespace
+}  // namespace dsgm

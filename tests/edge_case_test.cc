@@ -1,0 +1,171 @@
+// Edge-case and failure-injection tests across modules: degenerate
+// networks, boundary configurations, and misuse that must fail loudly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/generator.h"
+#include "bayes/io.h"
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "core/classifier.h"
+#include "core/mle_tracker.h"
+
+namespace dsgm {
+namespace {
+
+BayesianNetwork SingleVariableNetwork() {
+  std::vector<Variable> variables = {{"Only", 3}};
+  Dag dag(1);
+  std::vector<CpdTable> cpds;
+  CpdTable cpd(3, {});
+  EXPECT_TRUE(cpd.SetRow(0, {0.5, 0.3, 0.2}).ok());
+  cpds.push_back(std::move(cpd));
+  StatusOr<BayesianNetwork> net = BayesianNetwork::Create(
+      "single", std::move(variables), std::move(dag), std::move(cpds));
+  EXPECT_TRUE(net.ok());
+  return std::move(net).value();
+}
+
+TEST(EdgeCaseTest, SingleVariableNetworkWorksEndToEnd) {
+  const BayesianNetwork net = SingleVariableNetwork();
+  EXPECT_EQ(net.FreeParams(), 2);
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kNonUniform;
+  config.num_sites = 2;
+  MleTracker tracker(net, config);
+  ForwardSampler sampler(net, 3);
+  Instance x;
+  for (int e = 0; e < 10000; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, e % 2);
+  }
+  // Estimated marginal close to the CPD.
+  EXPECT_NEAR(tracker.CpdEstimate(0, 0, 0), 0.5, 0.05);
+  EXPECT_NEAR(tracker.CpdEstimate(0, 1, 0), 0.3, 0.05);
+  // Classification degenerates to the prior argmax.
+  EXPECT_EQ(PredictWithTracker(tracker, 0, {0}), 0);
+}
+
+TEST(EdgeCaseTest, EmptyPartialAssignmentHasProbabilityOne) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kExactMle;
+  config.num_sites = 2;
+  MleTracker tracker(net, config);
+  PartialAssignment empty;
+  EXPECT_DOUBLE_EQ(tracker.JointProbability(empty), 1.0);
+  EXPECT_DOUBLE_EQ(net.ClosedSubsetProbability(empty), 1.0);
+}
+
+TEST(EdgeCaseTest, SingleSiteTrackerIsStillCorrect) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kUniform;
+  config.num_sites = 1;  // k = 1 degenerates gracefully
+  MleTracker tracker(net, config);
+  ForwardSampler sampler(net, 5);
+  Instance x;
+  for (int e = 0; e < 20000; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, 0);
+  }
+  const Instance probe = {0, 0, 0, 0, 0};
+  EXPECT_NEAR(tracker.JointProbability(probe), net.JointProbability(probe),
+              0.2 * net.JointProbability(probe));
+}
+
+TEST(EdgeCaseTest, LargeEpsilonStillValidates) {
+  TrackerConfig config;
+  config.epsilon = 0.99;
+  EXPECT_TRUE(config.Validate().ok());
+  config.epsilon = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.epsilon = 0.1;
+  config.num_sites = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.num_sites = 4;
+  config.replicas = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.replicas = 1;
+  config.allocation_relaxation = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.allocation_relaxation = 1.0;
+  config.laplace_alpha = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(EdgeCaseTest, NaiveBayesStrategyRejectsNonNbNetwork) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kNaiveBayes;
+  config.num_sites = 2;
+  EXPECT_DEATH(MleTracker(net, config), "naive-bayes");
+}
+
+TEST(EdgeCaseTest, MaxCardinalityDomainsWork) {
+  // A variable with a large domain exercises the counter layout arithmetic.
+  const BayesianNetwork nb = MakeNaiveBayes(3, 2, 64, 11);
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kNonUniform;
+  config.num_sites = 3;
+  MleTracker tracker(nb, config);
+  EXPECT_EQ(tracker.num_joint_counters(), 2 + 3 * 64 * 2);
+  ForwardSampler sampler(nb, 12);
+  Instance x;
+  for (int e = 0; e < 5000; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, e % 3);
+  }
+  double total = 0.0;
+  for (int v = 0; v < 64; ++v) total += tracker.CpdEstimate(1, v, 0);
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(EdgeCaseTest, GeneratorMinimumSizes) {
+  NetworkSpec spec;
+  spec.name = "tiny";
+  spec.num_nodes = 2;
+  spec.num_edges = 1;
+  spec.target_params = 0;
+  StatusOr<BayesianNetwork> net = GenerateNetwork(spec, 1);
+  ASSERT_TRUE(net.ok()) << net.status();
+  EXPECT_EQ(net->num_variables(), 2);
+  EXPECT_EQ(net->dag().num_edges(), 1);
+}
+
+TEST(EdgeCaseTest, RemoveSinksToSingleNode) {
+  const BayesianNetwork alarm = Alarm();
+  const BayesianNetwork one = RemoveSinksToSize(alarm, 1);
+  EXPECT_EQ(one.num_variables(), 1);
+  EXPECT_EQ(one.dag().num_edges(), 0);
+  // The survivor's CPD must still be a valid distribution.
+  double total = 0.0;
+  for (int v = 0; v < one.cardinality(0); ++v) total += one.cpd(0).prob(v, 0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EdgeCaseTest, SerializationOfSingleVariableNetwork) {
+  const BayesianNetwork net = SingleVariableNetwork();
+  StatusOr<BayesianNetwork> parsed = ParseNetwork(SerializeNetwork(net));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->cpd(0).prob(0, 0), 0.5);
+}
+
+TEST(EdgeCaseTest, ReplicatedExactTrackerForcedToOneReplica) {
+  // Replicas only make sense for randomized counters; exact ignores them.
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kExactMle;
+  config.num_sites = 2;
+  config.replicas = 5;
+  MleTracker tracker(net, config);
+  tracker.Observe({0, 0, 0, 0, 0}, 0);
+  // One replica => exactly 2n update messages for the single event.
+  EXPECT_EQ(tracker.comm().update_messages,
+            static_cast<uint64_t>(2 * net.num_variables()));
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,201 @@
+// Tests for core/error_allocation.h — the Lagrange split (eqs. 5-9).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/generator.h"
+#include "bayes/repository.h"
+#include "common/rng.h"
+#include "core/error_allocation.h"
+
+namespace dsgm {
+namespace {
+
+double SumSquares(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v * v;
+  return total;
+}
+
+TEST(AllocateBudgetTest, SatisfiesConstraintExactly) {
+  const std::vector<double> weights = {1.0, 8.0, 27.0, 64.0};
+  const std::vector<double> nus = AllocateBudget(weights, 0.00625);
+  EXPECT_NEAR(SumSquares(nus), 0.00625 * 0.00625, 1e-15);
+}
+
+TEST(AllocateBudgetTest, ClosedFormProportionalToCubeRoot) {
+  const std::vector<double> weights = {1.0, 8.0, 27.0};
+  const std::vector<double> nus = AllocateBudget(weights, 1.0);
+  // nu_i proportional to w^{1/3}: ratios 1 : 2 : 3.
+  EXPECT_NEAR(nus[1] / nus[0], 2.0, 1e-12);
+  EXPECT_NEAR(nus[2] / nus[0], 3.0, 1e-12);
+}
+
+TEST(AllocateBudgetTest, UniformWeightsGiveUniformSplit) {
+  const std::vector<double> weights(10, 3.5);
+  const std::vector<double> nus = AllocateBudget(weights, 0.1);
+  for (double nu : nus) EXPECT_NEAR(nu, 0.1 / std::sqrt(10.0), 1e-12);
+}
+
+TEST(AllocateBudgetTest, LagrangeSolutionIsOptimal) {
+  // Property: any perturbation that still satisfies the constraint must not
+  // beat the closed-form optimum's communication cost.
+  Rng rng(17);
+  const std::vector<double> weights = {2.0, 10.0, 1.0, 40.0, 7.0};
+  const double budget = 0.01;
+  const std::vector<double> optimal = AllocateBudget(weights, budget);
+  const double optimal_cost = AllocationCost(weights, optimal);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random positive direction, renormalized to the constraint sphere.
+    std::vector<double> candidate(weights.size());
+    for (double& v : candidate) v = 0.05 + rng.NextDouble();
+    const double scale = budget / std::sqrt(SumSquares(candidate));
+    for (double& v : candidate) v *= scale;
+    EXPECT_GE(AllocationCost(weights, candidate), optimal_cost - 1e-9);
+  }
+}
+
+TEST(ComputeAllocationTest, BaselineIsEpsOver3n) {
+  const BayesianNetwork net = StudentNetwork();
+  const ErrorAllocation allocation =
+      ComputeAllocation(net, TrackingStrategy::kBaseline, 0.1);
+  for (int i = 0; i < net.num_variables(); ++i) {
+    EXPECT_NEAR(allocation.joint[static_cast<size_t>(i)], 0.1 / 15.0, 1e-12);
+    EXPECT_NEAR(allocation.parent[static_cast<size_t>(i)], 0.1 / 15.0, 1e-12);
+  }
+}
+
+TEST(ComputeAllocationTest, UniformIsEpsOver16SqrtN) {
+  const BayesianNetwork net = StudentNetwork();
+  const ErrorAllocation allocation =
+      ComputeAllocation(net, TrackingStrategy::kUniform, 0.1);
+  const double expected = 0.1 / (16.0 * std::sqrt(5.0));
+  for (int i = 0; i < net.num_variables(); ++i) {
+    EXPECT_NEAR(allocation.joint[static_cast<size_t>(i)], expected, 1e-12);
+    EXPECT_NEAR(allocation.parent[static_cast<size_t>(i)], expected, 1e-12);
+  }
+}
+
+TEST(ComputeAllocationTest, NonUniformMatchesEquationSeven) {
+  const BayesianNetwork net = StudentNetwork();
+  const double eps = 0.2;
+  const ErrorAllocation allocation =
+      ComputeAllocation(net, TrackingStrategy::kNonUniform, eps);
+  // Equation (7): nu_i = (J_i K_i)^{1/3} eps / (16 alpha),
+  // alpha = (sum (J_i K_i)^{2/3})^{1/2}.
+  double alpha_sq = 0.0;
+  for (int i = 0; i < net.num_variables(); ++i) {
+    const double w = static_cast<double>(net.cardinality(i)) *
+                     static_cast<double>(net.parent_cardinality(i));
+    alpha_sq += std::cbrt(w * w);
+  }
+  const double alpha = std::sqrt(alpha_sq);
+  for (int i = 0; i < net.num_variables(); ++i) {
+    const double w = static_cast<double>(net.cardinality(i)) *
+                     static_cast<double>(net.parent_cardinality(i));
+    EXPECT_NEAR(allocation.joint[static_cast<size_t>(i)],
+                std::cbrt(w) * eps / (16.0 * alpha), 1e-12);
+  }
+  // Equation (4)/(5) constraint: sum nu^2 = eps^2/256 for both blocks.
+  EXPECT_NEAR(SumSquares(allocation.joint), eps * eps / 256.0, 1e-12);
+  EXPECT_NEAR(SumSquares(allocation.parent), eps * eps / 256.0, 1e-12);
+}
+
+TEST(ComputeAllocationTest, UniformConstraintAlsoEpsSquaredOver256) {
+  const BayesianNetwork net = StudentNetwork();
+  const ErrorAllocation allocation =
+      ComputeAllocation(net, TrackingStrategy::kUniform, 0.1);
+  EXPECT_NEAR(SumSquares(allocation.joint), 0.1 * 0.1 / 256.0, 1e-12);
+}
+
+TEST(ComputeAllocationTest, NaiveBayesMatchesEquationNine) {
+  const BayesianNetwork nb = MakeNaiveBayes(8, 3, 5, 123);
+  const double eps = 0.1;
+  const ErrorAllocation allocation =
+      ComputeAllocation(nb, TrackingStrategy::kNaiveBayes, eps);
+  // Equation (9): for features i >= 1 (paper's i >= 2 with 1-based ids),
+  // nu_i = eps J_i^{1/3} / (16 sqrt(sum_j J_j^{2/3} J_1^{2/3} terms)) — the
+  // generic solver uses w_i = J_i * K_i with K_i = J_root; the closed form
+  // says the nu of every equal-cardinality feature is identical, and the
+  // parent split is uniform over the J_root-row counters.
+  for (int i = 2; i <= 8; ++i) {
+    EXPECT_NEAR(allocation.joint[static_cast<size_t>(i)], allocation.joint[1], 1e-12);
+    EXPECT_NEAR(allocation.parent[static_cast<size_t>(i)], allocation.parent[1],
+                1e-12);
+  }
+  // Feature joint weights J_i*K_i = 5*3 = 15 > root weight 3*1, so the root
+  // gets a smaller share.
+  EXPECT_LT(allocation.joint[0], allocation.joint[1]);
+  EXPECT_NEAR(SumSquares(allocation.joint), eps * eps / 256.0, 1e-12);
+}
+
+TEST(ComputeAllocationTest, NaiveBayesStrategyRejectsWrongShape) {
+  const BayesianNetwork net = StudentNetwork();
+  EXPECT_DEATH(ComputeAllocation(net, TrackingStrategy::kNaiveBayes, 0.1),
+               "naive-bayes");
+}
+
+TEST(ComputeAllocationTest, ExactStrategyIsAnError) {
+  const BayesianNetwork net = StudentNetwork();
+  EXPECT_DEATH(ComputeAllocation(net, TrackingStrategy::kExactMle, 0.1),
+               "exact");
+}
+
+TEST(ComputeAllocationTest, SkewedCardinalitiesSeparateNonUniformFromUniform) {
+  // NEW-ALARM-style: when some domains are much larger, NONUNIFORM gives the
+  // high-cardinality variables a larger error share than the low-cardinality
+  // ones (ratio (w_big/w_small)^{1/3}), and its predicted communication cost
+  // sum(w/nu) beats the uniform split's.
+  const BayesianNetwork net = NewAlarm();
+  const ErrorAllocation uniform =
+      ComputeAllocation(net, TrackingStrategy::kUniform, 0.1);
+  const ErrorAllocation nonuniform =
+      ComputeAllocation(net, TrackingStrategy::kNonUniform, 0.1);
+  // Find an inflated variable and a binary one.
+  int big = -1;
+  int small = -1;
+  for (int i = 0; i < net.num_variables(); ++i) {
+    if (net.cardinality(i) == 20 && big < 0) big = i;
+    if (net.cardinality(i) == 2 && net.parent_cardinality(i) <= 4 && small < 0) {
+      small = i;
+    }
+  }
+  ASSERT_GE(big, 0);
+  ASSERT_GE(small, 0);
+  const double w_big = static_cast<double>(net.cardinality(big)) *
+                       static_cast<double>(net.parent_cardinality(big));
+  const double w_small = static_cast<double>(net.cardinality(small)) *
+                         static_cast<double>(net.parent_cardinality(small));
+  EXPECT_GT(nonuniform.joint[static_cast<size_t>(big)],
+            nonuniform.joint[static_cast<size_t>(small)]);
+  EXPECT_NEAR(nonuniform.joint[static_cast<size_t>(big)] /
+                  nonuniform.joint[static_cast<size_t>(small)],
+              std::cbrt(w_big / w_small), 1e-9);
+
+  // Predicted asymptotic communication: the Lagrange split strictly beats
+  // the uniform split on this skewed network.
+  std::vector<double> weights;
+  for (int i = 0; i < net.num_variables(); ++i) {
+    weights.push_back(static_cast<double>(net.cardinality(i)) *
+                      static_cast<double>(net.parent_cardinality(i)));
+  }
+  EXPECT_LT(AllocationCost(weights, nonuniform.joint),
+            AllocationCost(weights, uniform.joint));
+}
+
+TEST(TrackingStrategyTest, NamesRoundTrip) {
+  for (TrackingStrategy s :
+       {TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
+        TrackingStrategy::kUniform, TrackingStrategy::kNonUniform,
+        TrackingStrategy::kNaiveBayes}) {
+    StatusOr<TrackingStrategy> parsed = TrackingStrategyFromName(ToString(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_TRUE(TrackingStrategyFromName("NON_UNIFORM").ok());
+  EXPECT_FALSE(TrackingStrategyFromName("bogus").ok());
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,57 @@
+// Tests for monitor/exact_counter.h.
+
+#include <gtest/gtest.h>
+
+#include "monitor/exact_counter.h"
+
+namespace dsgm {
+namespace {
+
+TEST(ExactCounterTest, CountsExactly) {
+  CommStats stats;
+  ExactCounterFamily family(4, 3, &stats);
+  for (int i = 0; i < 100; ++i) family.Increment(0, i % 3);
+  for (int i = 0; i < 7; ++i) family.Increment(2, 0);
+  EXPECT_DOUBLE_EQ(family.Estimate(0), 100.0);
+  EXPECT_DOUBLE_EQ(family.Estimate(1), 0.0);
+  EXPECT_DOUBLE_EQ(family.Estimate(2), 7.0);
+  EXPECT_EQ(family.ExactTotal(0), 100u);
+  EXPECT_EQ(family.ExactTotal(2), 7u);
+}
+
+TEST(ExactCounterTest, OneMessagePerIncrement) {
+  CommStats stats;
+  ExactCounterFamily family(2, 5, &stats);
+  for (int i = 0; i < 250; ++i) {
+    EXPECT_TRUE(family.Increment(i % 2, i % 5));
+  }
+  EXPECT_EQ(stats.update_messages, 250u);
+  EXPECT_EQ(stats.broadcast_messages, 0u);
+  EXPECT_EQ(stats.sync_messages, 0u);
+  EXPECT_EQ(stats.TotalMessages(), 250u);
+  EXPECT_GT(stats.bytes_up, 0u);
+}
+
+TEST(ExactCounterTest, AccessorsAndMemory) {
+  CommStats stats;
+  ExactCounterFamily family(10, 4, &stats);
+  EXPECT_EQ(family.num_counters(), 10);
+  EXPECT_EQ(family.num_sites(), 4);
+  EXPECT_EQ(family.MemoryBytes(), 10 * sizeof(uint64_t));
+}
+
+TEST(CommStatsTest, AccumulateAndPrint) {
+  CommStats a;
+  a.update_messages = 5;
+  a.broadcast_messages = 2;
+  CommStats b;
+  b.update_messages = 3;
+  b.sync_messages = 1;
+  a += b;
+  EXPECT_EQ(a.update_messages, 8u);
+  EXPECT_EQ(a.TotalMessages(), 11u);
+  EXPECT_NE(a.ToString().find("updates=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsgm

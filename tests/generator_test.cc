@@ -1,0 +1,176 @@
+// Tests for bayes/generator.h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/generator.h"
+#include "bayes/io.h"
+#include "bayes/repository.h"
+
+namespace dsgm {
+namespace {
+
+NetworkSpec SmallSpec() {
+  NetworkSpec spec;
+  spec.name = "small";
+  spec.num_nodes = 20;
+  spec.num_edges = 30;
+  spec.min_cardinality = 2;
+  spec.max_cardinality = 4;
+  spec.target_params = 300;
+  return spec;
+}
+
+TEST(GeneratorTest, MatchesStructuralSpec) {
+  StatusOr<BayesianNetwork> net = GenerateNetwork(SmallSpec(), 1);
+  ASSERT_TRUE(net.ok()) << net.status();
+  EXPECT_EQ(net->num_variables(), 20);
+  EXPECT_EQ(net->dag().num_edges(), 30);
+  const double miss = std::abs(static_cast<double>(net->FreeParams() - 300)) / 300.0;
+  EXPECT_LE(miss, 0.05) << "achieved params: " << net->FreeParams();
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  StatusOr<BayesianNetwork> a = GenerateNetwork(SmallSpec(), 5);
+  StatusOr<BayesianNetwork> b = GenerateNetwork(SmallSpec(), 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeNetwork(*a), SerializeNetwork(*b));
+}
+
+TEST(GeneratorTest, DifferentSeedsGiveDifferentNetworks) {
+  StatusOr<BayesianNetwork> a = GenerateNetwork(SmallSpec(), 5);
+  StatusOr<BayesianNetwork> b = GenerateNetwork(SmallSpec(), 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(SerializeNetwork(*a), SerializeNetwork(*b));
+}
+
+TEST(GeneratorTest, RespectsInDegreeCap) {
+  NetworkSpec spec = SmallSpec();
+  spec.max_parents = 2;
+  spec.target_params = 0;  // No repair; structure only.
+  StatusOr<BayesianNetwork> net = GenerateNetwork(spec, 2);
+  ASSERT_TRUE(net.ok()) << net.status();
+  for (int i = 0; i < net->num_variables(); ++i) {
+    EXPECT_LE(static_cast<int>(net->dag().parents(i).size()), 2);
+  }
+}
+
+TEST(GeneratorTest, CpdFloorRespected) {
+  NetworkSpec spec = SmallSpec();
+  spec.min_prob = 0.03;
+  StatusOr<BayesianNetwork> net = GenerateNetwork(spec, 3);
+  ASSERT_TRUE(net.ok());
+  EXPECT_GE(net->MinCpdEntry(), std::min(0.03, 0.5 / spec.max_cardinality) - 1e-12);
+}
+
+TEST(GeneratorTest, InfeasibleSpecsRejected) {
+  NetworkSpec spec = SmallSpec();
+  spec.num_edges = 10;  // Below num_nodes - 1.
+  EXPECT_FALSE(GenerateNetwork(spec, 1).ok());
+
+  spec = SmallSpec();
+  spec.num_nodes = 1;
+  EXPECT_FALSE(GenerateNetwork(spec, 1).ok());
+
+  spec = SmallSpec();
+  spec.min_cardinality = 5;
+  spec.max_cardinality = 4;
+  EXPECT_FALSE(GenerateNetwork(spec, 1).ok());
+
+  spec = SmallSpec();
+  spec.max_parents = 1;  // 20 nodes can host at most 19 edges with cap 1.
+  EXPECT_FALSE(GenerateNetwork(spec, 1).ok());
+}
+
+TEST(GeneratorTest, UnreachableParamTargetRejected) {
+  NetworkSpec spec = SmallSpec();
+  spec.target_params = 1000000;  // Impossible with cards <= 4, 20 nodes.
+  EXPECT_FALSE(GenerateNetwork(spec, 1).ok());
+}
+
+TEST(MakeNaiveBayesTest, ShapeIsTwoLayerTree) {
+  const BayesianNetwork nb = MakeNaiveBayes(10, 3, 4, 77);
+  EXPECT_EQ(nb.num_variables(), 11);
+  EXPECT_EQ(nb.cardinality(0), 3);
+  EXPECT_TRUE(nb.dag().parents(0).empty());
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(nb.dag().parents(i), (std::vector<int>{0}));
+    EXPECT_EQ(nb.cardinality(i), 4);
+    EXPECT_EQ(nb.parent_cardinality(i), 3);
+  }
+}
+
+TEST(InflateDomainsTest, NewAlarmShape) {
+  const BayesianNetwork alarm = Alarm();
+  const BayesianNetwork inflated = InflateDomains(alarm, 6, 20, 9);
+  EXPECT_EQ(inflated.num_variables(), alarm.num_variables());
+  EXPECT_EQ(inflated.dag().num_edges(), alarm.dag().num_edges());
+  // Exactly 6 variables have cardinality 20 (ALARM's own cards are <= 4).
+  int big = 0;
+  for (int i = 0; i < inflated.num_variables(); ++i) {
+    if (inflated.cardinality(i) == 20) ++big;
+    // Structure preserved.
+    EXPECT_EQ(inflated.dag().parents(i), alarm.dag().parents(i));
+  }
+  EXPECT_EQ(big, 6);
+  EXPECT_GT(inflated.FreeParams(), alarm.FreeParams());
+}
+
+TEST(InflateDomainsTest, UntouchedCpdsPreserved) {
+  const BayesianNetwork alarm = Alarm();
+  const BayesianNetwork inflated = InflateDomains(alarm, 6, 20, 9);
+  for (int i = 0; i < alarm.num_variables(); ++i) {
+    bool touched = inflated.cardinality(i) != alarm.cardinality(i);
+    for (int parent : alarm.dag().parents(i)) {
+      touched = touched || inflated.cardinality(parent) != alarm.cardinality(parent);
+    }
+    if (touched) continue;
+    ASSERT_EQ(inflated.cpd(i).num_rows(), alarm.cpd(i).num_rows());
+    for (int64_t row = 0; row < alarm.cpd(i).num_rows(); ++row) {
+      for (int j = 0; j < alarm.cardinality(i); ++j) {
+        EXPECT_DOUBLE_EQ(inflated.cpd(i).prob(j, row), alarm.cpd(i).prob(j, row));
+      }
+    }
+  }
+}
+
+TEST(RemoveSinksTest, ShrinksToTargetAndPreservesCpds) {
+  const BayesianNetwork link = Link();
+  const BayesianNetwork small = RemoveSinksToSize(link, 224);
+  EXPECT_EQ(small.num_variables(), 224);
+  EXPECT_TRUE(small.dag().IsAcyclic());
+  EXPECT_LT(small.dag().num_edges(), link.dag().num_edges());
+  // Every retained variable keeps its exact CPD (spot check the first few).
+  for (int i = 0; i < 10; ++i) {
+    const CpdTable& cpd = small.cpd(i);
+    for (int64_t row = 0; row < std::min<int64_t>(cpd.num_rows(), 4); ++row) {
+      double total = 0.0;
+      for (int j = 0; j < cpd.cardinality(); ++j) total += cpd.prob(j, row);
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(RemoveSinksTest, SeriesIsMonotone) {
+  const BayesianNetwork link = Link();
+  int prev_edges = link.dag().num_edges();
+  for (int target : {624, 524, 424}) {
+    const BayesianNetwork net = RemoveSinksToSize(link, target);
+    EXPECT_EQ(net.num_variables(), target);
+    EXPECT_LE(net.dag().num_edges(), prev_edges);
+    prev_edges = net.dag().num_edges();
+  }
+}
+
+TEST(RemoveSinksTest, IdentityWhenTargetIsCurrentSize) {
+  const BayesianNetwork alarm = Alarm();
+  const BayesianNetwork same = RemoveSinksToSize(alarm, alarm.num_variables());
+  EXPECT_EQ(same.num_variables(), alarm.num_variables());
+  EXPECT_EQ(same.dag().num_edges(), alarm.dag().num_edges());
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,122 @@
+// Tests for the shared bench harness (bench/harness/experiment.*): the
+// experiment driver every figure/table binary relies on.
+
+#include <gtest/gtest.h>
+
+#include "bayes/repository.h"
+#include "harness/experiment.h"
+
+namespace dsgm {
+namespace {
+
+ExperimentOptions SmallOptions() {
+  ExperimentOptions options;
+  options.checkpoints = {500, 2000};
+  options.sites = 4;
+  options.test_events = 50;
+  options.seed = 7;
+  return options;
+}
+
+TEST(StreamExperimentTest, ProducesOneSnapshotPerStrategyPerCheckpoint) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, SmallOptions());
+  ASSERT_EQ(snapshots.size(), 4u * 2u);  // 4 strategies x 2 checkpoints.
+  for (TrackingStrategy strategy :
+       {TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
+        TrackingStrategy::kUniform, TrackingStrategy::kNonUniform}) {
+    for (int64_t checkpoint : {500, 2000}) {
+      const Snapshot& snap = FindSnapshot(snapshots, strategy, checkpoint);
+      EXPECT_EQ(snap.instances, checkpoint);
+      EXPECT_EQ(snap.error_to_truth.count(), 50);
+    }
+  }
+}
+
+TEST(StreamExperimentTest, CommunicationGrowsAcrossCheckpoints) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, SmallOptions());
+  for (TrackingStrategy strategy :
+       {TrackingStrategy::kExactMle, TrackingStrategy::kUniform}) {
+    const Snapshot& early = FindSnapshot(snapshots, strategy, 500);
+    const Snapshot& late = FindSnapshot(snapshots, strategy, 2000);
+    EXPECT_GT(late.comm.TotalMessages(), early.comm.TotalMessages());
+  }
+}
+
+TEST(StreamExperimentTest, ExactStrategyHasEmptyErrorToMle) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, SmallOptions());
+  EXPECT_EQ(FindSnapshot(snapshots, TrackingStrategy::kExactMle, 500)
+                .error_to_mle.count(),
+            0);
+  EXPECT_EQ(FindSnapshot(snapshots, TrackingStrategy::kUniform, 500)
+                .error_to_mle.count(),
+            50);
+}
+
+TEST(StreamExperimentTest, ExactCommunicationIsTwoNPerEvent) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, SmallOptions());
+  const Snapshot& snap = FindSnapshot(snapshots, TrackingStrategy::kExactMle, 2000);
+  EXPECT_EQ(snap.comm.update_messages,
+            static_cast<uint64_t>(2000 * 2 * net.num_variables()));
+}
+
+TEST(StreamExperimentTest, DeterministicInSeed) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::vector<Snapshot> a = RunStreamExperiment(net, SmallOptions());
+  const std::vector<Snapshot> b = RunStreamExperiment(net, SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].comm.TotalMessages(), b[i].comm.TotalMessages());
+    EXPECT_DOUBLE_EQ(a[i].error_to_truth.Mean(), b[i].error_to_truth.Mean());
+  }
+}
+
+TEST(StreamExperimentTest, ZipfRoutingRuns) {
+  const BayesianNetwork net = StudentNetwork();
+  ExperimentOptions options = SmallOptions();
+  options.zipf_exponent = 1.5;
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, options);
+  EXPECT_EQ(snapshots.size(), 8u);
+  EXPECT_GT(FindSnapshot(snapshots, TrackingStrategy::kUniform, 2000)
+                .comm.TotalMessages(),
+            0u);
+}
+
+TEST(StreamExperimentTest, MissingSnapshotDies) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::vector<Snapshot> snapshots = RunStreamExperiment(net, SmallOptions());
+  EXPECT_DEATH(FindSnapshot(snapshots, TrackingStrategy::kUniform, 999),
+               "no snapshot");
+}
+
+TEST(HarnessHelpersTest, FormatInstances) {
+  EXPECT_EQ(FormatInstances(5000), "5K");
+  EXPECT_EQ(FormatInstances(500000), "500K");
+  EXPECT_EQ(FormatInstances(5000000), "5M");
+  EXPECT_EQ(FormatInstances(1234), "1234");
+}
+
+TEST(HarnessHelpersTest, SplitCommaList) {
+  EXPECT_EQ(SplitCommaList("alarm,hepar , link"),
+            (std::vector<std::string>{"alarm", "hepar", "link"}));
+  EXPECT_EQ(SplitCommaList(""), std::vector<std::string>{});
+  EXPECT_EQ(SplitCommaList("one"), std::vector<std::string>{"one"});
+  EXPECT_EQ(SplitCommaList("a,,b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(HarnessHelpersTest, CheckpointsFromFlags) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  EXPECT_EQ(CheckpointsFromFlags(flags),
+            (std::vector<int64_t>{5000, 50000, 500000}));
+  const char* argv[] = {"prog", "--full"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(CheckpointsFromFlags(flags),
+            (std::vector<int64_t>{5000, 50000, 500000, 5000000}));
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,141 @@
+// Tests for bayes/io.h: serialization round trips and parse diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bayes/generator.h"
+#include "bayes/io.h"
+#include "bayes/repository.h"
+
+namespace dsgm {
+namespace {
+
+void ExpectNetworksEqual(const BayesianNetwork& a, const BayesianNetwork& b) {
+  ASSERT_EQ(a.num_variables(), b.num_variables());
+  EXPECT_EQ(a.name(), b.name());
+  for (int i = 0; i < a.num_variables(); ++i) {
+    EXPECT_EQ(a.variable(i).name, b.variable(i).name);
+    ASSERT_EQ(a.cardinality(i), b.cardinality(i));
+    ASSERT_EQ(a.dag().parents(i), b.dag().parents(i));
+    ASSERT_EQ(a.cpd(i).num_rows(), b.cpd(i).num_rows());
+    for (int64_t row = 0; row < a.cpd(i).num_rows(); ++row) {
+      for (int j = 0; j < a.cardinality(i); ++j) {
+        EXPECT_NEAR(a.cpd(i).prob(j, row), b.cpd(i).prob(j, row), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(IoTest, StudentRoundTrip) {
+  const BayesianNetwork net = StudentNetwork();
+  StatusOr<BayesianNetwork> parsed = ParseNetwork(SerializeNetwork(net));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectNetworksEqual(net, *parsed);
+}
+
+TEST(IoTest, GeneratedNetworkRoundTrip) {
+  NetworkSpec spec;
+  spec.name = "roundtrip";
+  spec.num_nodes = 25;
+  spec.num_edges = 40;
+  spec.target_params = 400;
+  StatusOr<BayesianNetwork> net = GenerateNetwork(spec, 11);
+  ASSERT_TRUE(net.ok());
+  StatusOr<BayesianNetwork> parsed = ParseNetwork(SerializeNetwork(*net));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectNetworksEqual(*net, *parsed);
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const BayesianNetwork net = StudentNetwork();
+  const std::string path = ::testing::TempDir() + "/student.bn";
+  ASSERT_TRUE(WriteNetworkToFile(net, path).ok());
+  StatusOr<BayesianNetwork> parsed = ReadNetworkFromFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ExpectNetworksEqual(net, *parsed);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  StatusOr<BayesianNetwork> result = ReadNetworkFromFile("/nonexistent/x.bn");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, RejectsBadHeader) {
+  EXPECT_FALSE(ParseNetwork("not_a_network v1\nnodes 1\n").ok());
+  EXPECT_FALSE(ParseNetwork("").ok());
+}
+
+TEST(IoTest, RejectsUnknownKeyword) {
+  const std::string text =
+      "dsgm_network v1\nnodes 1\nnode 0 2 A\nfrobnicate 3\nend\n";
+  StatusOr<BayesianNetwork> result = ParseNetwork(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("frobnicate"), std::string::npos);
+}
+
+TEST(IoTest, RejectsRowNotSummingToOne) {
+  const std::string text =
+      "dsgm_network v1\n"
+      "nodes 1\n"
+      "node 0 2 A\n"
+      "edges 0\n"
+      "cpd 0\n"
+      "row 0 0.5 0.4\n"
+      "end\n";
+  EXPECT_FALSE(ParseNetwork(text).ok());
+}
+
+TEST(IoTest, RejectsMissingCpdRows) {
+  const std::string text =
+      "dsgm_network v1\n"
+      "nodes 2\n"
+      "node 0 2 A\n"
+      "node 1 2 B\n"
+      "edges 1\n"
+      "edge 0 1\n"
+      "cpd 0\n"
+      "row 0 0.5 0.5\n"
+      "cpd 1\n"
+      "row 0 0.5 0.5\n"
+      "end\n";  // cpd 1 needs 2 rows.
+  EXPECT_FALSE(ParseNetwork(text).ok());
+}
+
+TEST(IoTest, RejectsEdgeCountMismatch) {
+  const std::string text =
+      "dsgm_network v1\n"
+      "nodes 2\n"
+      "node 0 2 A\n"
+      "node 1 2 B\n"
+      "edges 2\n"
+      "edge 0 1\n"
+      "cpd 0\nrow 0 0.5 0.5\n"
+      "cpd 1\nrow 0 0.5 0.5\nrow 1 0.5 0.5\n"
+      "end\n";
+  EXPECT_FALSE(ParseNetwork(text).ok());
+}
+
+TEST(IoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "dsgm_network v1\n"
+      "# a comment\n"
+      "\n"
+      "name demo net\n"
+      "nodes 1\n"
+      "node 0 2 OnlyVar\n"
+      "edges 0\n"
+      "cpd 0\n"
+      "row 0 0.25 0.75\n"
+      "end\n";
+  StatusOr<BayesianNetwork> net = ParseNetwork(text);
+  ASSERT_TRUE(net.ok()) << net.status();
+  EXPECT_EQ(net->name(), "demo net");
+  EXPECT_EQ(net->variable(0).name, "OnlyVar");
+  EXPECT_DOUBLE_EQ(net->cpd(0).prob(1, 0), 0.75);
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,142 @@
+// Tests for bayes/network.h using the hand-coded student network whose
+// probabilities can be checked by hand.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/network.h"
+#include "bayes/repository.h"
+
+namespace dsgm {
+namespace {
+
+TEST(NetworkTest, CreateValidatesShapes) {
+  std::vector<Variable> variables = {{"A", 2}, {"B", 2}};
+  Dag dag(2);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+
+  // CPD of B must have parent cards {2}.
+  std::vector<CpdTable> wrong;
+  wrong.emplace_back(2, std::vector<int>{});
+  wrong.emplace_back(2, std::vector<int>{3});  // wrong parent cardinality
+  EXPECT_FALSE(
+      BayesianNetwork::Create("bad", variables, dag, std::move(wrong)).ok());
+
+  std::vector<CpdTable> right;
+  right.emplace_back(2, std::vector<int>{});
+  right.emplace_back(2, std::vector<int>{2});
+  EXPECT_TRUE(
+      BayesianNetwork::Create("good", variables, dag, std::move(right)).ok());
+}
+
+TEST(NetworkTest, CreateRejectsCycles) {
+  std::vector<Variable> variables = {{"A", 2}, {"B", 2}};
+  Dag dag(2);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 0).ok());
+  std::vector<CpdTable> cpds;
+  cpds.emplace_back(2, std::vector<int>{2});
+  cpds.emplace_back(2, std::vector<int>{2});
+  EXPECT_FALSE(BayesianNetwork::Create("cyclic", variables, dag, std::move(cpds)).ok());
+}
+
+TEST(NetworkTest, CreateRejectsCountMismatches) {
+  std::vector<Variable> variables = {{"A", 2}};
+  Dag dag(2);  // 2 nodes vs 1 variable
+  std::vector<CpdTable> cpds;
+  cpds.emplace_back(2, std::vector<int>{});
+  EXPECT_FALSE(BayesianNetwork::Create("bad", variables, dag, std::move(cpds)).ok());
+}
+
+TEST(StudentNetworkTest, StructureAndCounts) {
+  const BayesianNetwork net = StudentNetwork();
+  EXPECT_EQ(net.num_variables(), 5);
+  EXPECT_EQ(net.dag().num_edges(), 4);
+  // Free params: D 1, I 1, G 4*2=8, S 2*1=2, L 3*1=3 => 15.
+  EXPECT_EQ(net.FreeParams(), 15);
+  EXPECT_EQ(net.cardinality(2), 3);
+  EXPECT_EQ(net.parent_cardinality(2), 4);
+  EXPECT_EQ(net.parent_cardinality(0), 1);
+  // Joint cells: 2 + 2 + 12 + 4 + 6 = 26; parent cells: 1+1+4+2+3 = 11.
+  EXPECT_EQ(net.TotalJointCells(), 26);
+  EXPECT_EQ(net.TotalParentCells(), 11);
+}
+
+TEST(StudentNetworkTest, JointProbabilityByHand) {
+  const BayesianNetwork net = StudentNetwork();
+  // P(d0, i1, g0, s1, l1) = 0.6 * 0.3 * P(g0|d0,i1) * P(s1|i1) * P(l1|g0)
+  //                       = 0.6 * 0.3 * 0.9 * 0.8 * 0.1 = 0.012960.
+  const Instance x = {0, 1, 0, 1, 1};
+  EXPECT_NEAR(net.JointProbability(x), 0.6 * 0.3 * 0.9 * 0.8 * 0.1, 1e-12);
+  EXPECT_NEAR(net.LogJointProbability(x),
+              std::log(0.6 * 0.3 * 0.9 * 0.8 * 0.1), 1e-9);
+}
+
+TEST(StudentNetworkTest, FullJointSumsToOne) {
+  const BayesianNetwork net = StudentNetwork();
+  double total = 0.0;
+  Instance x(5);
+  for (x[0] = 0; x[0] < 2; ++x[0])
+    for (x[1] = 0; x[1] < 2; ++x[1])
+      for (x[2] = 0; x[2] < 3; ++x[2])
+        for (x[3] = 0; x[3] < 2; ++x[3])
+          for (x[4] = 0; x[4] < 2; ++x[4]) total += net.JointProbability(x);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StudentNetworkTest, ClosedSubsetProbabilityMatchesMarginal) {
+  const BayesianNetwork net = StudentNetwork();
+  // {Difficulty, Intelligence, Grade} is ancestrally closed.
+  PartialAssignment pa;
+  pa.nodes = {0, 1, 2};
+  pa.values = {1, 0, 2};
+  // P(d1, i0, g2) = 0.4 * 0.7 * P(g2 | d1, i0) = 0.4 * 0.7 * 0.7.
+  EXPECT_NEAR(net.ClosedSubsetProbability(pa), 0.4 * 0.7 * 0.7, 1e-12);
+
+  // Must equal the brute-force marginal over SAT and Letter.
+  double marginal = 0.0;
+  Instance x = {1, 0, 2, 0, 0};
+  for (x[3] = 0; x[3] < 2; ++x[3])
+    for (x[4] = 0; x[4] < 2; ++x[4]) marginal += net.JointProbability(x);
+  EXPECT_NEAR(net.ClosedSubsetProbability(pa), marginal, 1e-12);
+}
+
+TEST(StudentNetworkTest, SingleRootSubset) {
+  const BayesianNetwork net = StudentNetwork();
+  PartialAssignment pa;
+  pa.nodes = {1};
+  pa.values = {1};
+  EXPECT_NEAR(net.ClosedSubsetProbability(pa), 0.3, 1e-12);
+}
+
+TEST(StudentNetworkTest, ParentIndexOf) {
+  const BayesianNetwork net = StudentNetwork();
+  // Grade's parents are (Difficulty, Intelligence); last parent fastest.
+  EXPECT_EQ(net.ParentIndexOf(2, {0, 0, 0, 0, 0}), 0);
+  EXPECT_EQ(net.ParentIndexOf(2, {0, 1, 0, 0, 0}), 1);
+  EXPECT_EQ(net.ParentIndexOf(2, {1, 0, 0, 0, 0}), 2);
+  EXPECT_EQ(net.ParentIndexOf(2, {1, 1, 0, 0, 0}), 3);
+  // Letter's parent is Grade.
+  EXPECT_EQ(net.ParentIndexOf(4, {0, 0, 2, 0, 0}), 2);
+  // Roots always map to row 0.
+  EXPECT_EQ(net.ParentIndexOf(0, {1, 1, 2, 1, 1}), 0);
+}
+
+TEST(StudentNetworkTest, MarkovBlanket) {
+  const BayesianNetwork net = StudentNetwork();
+  // Blanket of Intelligence: children Grade+SAT, co-parent Difficulty.
+  EXPECT_EQ(net.MarkovBlanket(1), (std::vector<int>{0, 2, 3}));
+  // Blanket of Grade: parents D,I and child Letter.
+  EXPECT_EQ(net.MarkovBlanket(2), (std::vector<int>{0, 1, 4}));
+  // Blanket of Letter: just Grade.
+  EXPECT_EQ(net.MarkovBlanket(4), (std::vector<int>{2}));
+}
+
+TEST(StudentNetworkTest, MinCpdEntry) {
+  const BayesianNetwork net = StudentNetwork();
+  EXPECT_NEAR(net.MinCpdEntry(), 0.01, 1e-12);  // P(l0 | g2) = 0.01.
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,198 @@
+// Property-based sweeps over randomized inputs (parameterized gtest):
+// invariants that must hold for every generated network, seed, and
+// configuration, not just hand-picked examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/generator.h"
+#include "bayes/io.h"
+#include "bayes/sampler.h"
+#include "core/error_allocation.h"
+#include "core/mle_tracker.h"
+
+namespace dsgm {
+namespace {
+
+BayesianNetwork RandomNetwork(uint64_t seed) {
+  Rng rng(seed);
+  NetworkSpec spec;
+  spec.name = "prop" + std::to_string(seed);
+  spec.num_nodes = 8 + static_cast<int>(rng.NextBounded(30));
+  spec.num_edges = spec.num_nodes - 1 + static_cast<int>(rng.NextBounded(
+                                            static_cast<uint64_t>(spec.num_nodes)));
+  spec.min_cardinality = 2;
+  spec.max_cardinality = 2 + static_cast<int>(rng.NextBounded(4));
+  spec.target_params = 0;  // Structure-driven; no repair loop.
+  StatusOr<BayesianNetwork> net = GenerateNetwork(spec, seed * 31 + 7);
+  EXPECT_TRUE(net.ok()) << net.status();
+  return std::move(net).value();
+}
+
+class NetworkPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkPropertyTest, GeneratedNetworksAreValidAndRoundTrip) {
+  const BayesianNetwork net = RandomNetwork(static_cast<uint64_t>(GetParam()));
+  EXPECT_TRUE(net.dag().IsAcyclic());
+  // Every CPD row is a distribution.
+  for (int i = 0; i < net.num_variables(); ++i) {
+    for (int64_t row = 0; row < net.cpd(i).num_rows(); ++row) {
+      double total = 0.0;
+      for (int j = 0; j < net.cardinality(i); ++j) total += net.cpd(i).prob(j, row);
+      ASSERT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+  // Serialization round trip preserves the network.
+  StatusOr<BayesianNetwork> parsed = ParseNetwork(SerializeNetwork(net));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeNetwork(net), SerializeNetwork(*parsed));
+}
+
+TEST_P(NetworkPropertyTest, SampledInstancesAreInDomain) {
+  const BayesianNetwork net = RandomNetwork(static_cast<uint64_t>(GetParam()));
+  ForwardSampler sampler(net, static_cast<uint64_t>(GetParam()) + 99);
+  Instance x;
+  for (int draw = 0; draw < 200; ++draw) {
+    sampler.Sample(&x);
+    ASSERT_EQ(static_cast<int>(x.size()), net.num_variables());
+    for (int i = 0; i < net.num_variables(); ++i) {
+      ASSERT_GE(x[static_cast<size_t>(i)], 0);
+      ASSERT_LT(x[static_cast<size_t>(i)], net.cardinality(i));
+    }
+  }
+}
+
+TEST_P(NetworkPropertyTest, ClosedSubsetProbabilityPositiveAndAtMostOne) {
+  const BayesianNetwork net = RandomNetwork(static_cast<uint64_t>(GetParam()));
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1234);
+  TestEventOptions options;
+  options.count = 30;
+  options.min_prob = 1e-6;
+  const std::vector<TestEvent> events = GenerateTestEvents(net, options, rng);
+  for (const TestEvent& event : events) {
+    ASSERT_GT(event.truth_prob, 0.0);
+    ASSERT_LE(event.truth_prob, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(NetworkPropertyTest, AllocationConstraintHoldsForAllStrategies) {
+  const BayesianNetwork net = RandomNetwork(static_cast<uint64_t>(GetParam()));
+  for (TrackingStrategy strategy :
+       {TrackingStrategy::kUniform, TrackingStrategy::kNonUniform}) {
+    const ErrorAllocation allocation = ComputeAllocation(net, strategy, 0.1);
+    double joint_sq = 0.0;
+    double parent_sq = 0.0;
+    for (double nu : allocation.joint) joint_sq += nu * nu;
+    for (double mu : allocation.parent) parent_sq += mu * mu;
+    // Both blocks satisfy sum nu^2 = eps^2/256 (eq. 5).
+    EXPECT_NEAR(joint_sq, 0.1 * 0.1 / 256.0, 1e-12);
+    EXPECT_NEAR(parent_sq, 0.1 * 0.1 / 256.0, 1e-12);
+  }
+}
+
+TEST_P(NetworkPropertyTest, ExactTrackerCpdRowsSumToOne) {
+  const BayesianNetwork net = RandomNetwork(static_cast<uint64_t>(GetParam()));
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kExactMle;
+  config.num_sites = 3;
+  MleTracker tracker(net, config);
+  ForwardSampler sampler(net, static_cast<uint64_t>(GetParam()) + 5);
+  Rng router(static_cast<uint64_t>(GetParam()) + 6);
+  Instance x;
+  for (int e = 0; e < 3000; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, static_cast<int>(router.NextBounded(3)));
+  }
+  // For every observed parent row, the estimated CPD row is a distribution.
+  for (int i = 0; i < net.num_variables(); ++i) {
+    for (int64_t row = 0; row < net.parent_cardinality(i); ++row) {
+      if (tracker.ParentCounterExact(i, row) == 0) continue;
+      double total = 0.0;
+      for (int j = 0; j < net.cardinality(i); ++j) {
+        total += tracker.CpdEstimate(i, j, row);
+      }
+      ASSERT_NEAR(total, 1.0, 1e-9) << "variable " << i << " row " << row;
+    }
+  }
+}
+
+TEST_P(NetworkPropertyTest, JointCountersSumToParentCounter) {
+  // Structural invariant of Algorithm 2: for every variable and parent row,
+  // sum_x F_i(x, row) == F_i(row), and summing parent counters over rows
+  // gives the number of events.
+  const BayesianNetwork net = RandomNetwork(static_cast<uint64_t>(GetParam()));
+  TrackerConfig config;
+  config.strategy = TrackingStrategy::kUniform;  // Exact totals tracked too.
+  config.num_sites = 4;
+  MleTracker tracker(net, config);
+  ForwardSampler sampler(net, static_cast<uint64_t>(GetParam()) + 7);
+  Rng router(static_cast<uint64_t>(GetParam()) + 8);
+  Instance x;
+  constexpr int kEvents = 2000;
+  for (int e = 0; e < kEvents; ++e) {
+    sampler.Sample(&x);
+    tracker.Observe(x, static_cast<int>(router.NextBounded(4)));
+  }
+  for (int i = 0; i < net.num_variables(); ++i) {
+    uint64_t variable_total = 0;
+    for (int64_t row = 0; row < net.parent_cardinality(i); ++row) {
+      uint64_t joint_sum = 0;
+      for (int j = 0; j < net.cardinality(i); ++j) {
+        joint_sum += tracker.JointCounterExact(i, j, row);
+      }
+      ASSERT_EQ(joint_sum, tracker.ParentCounterExact(i, row));
+      variable_total += joint_sum;
+    }
+    ASSERT_EQ(variable_total, static_cast<uint64_t>(kEvents));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkPropertyTest, ::testing::Range(1, 13));
+
+// Approximation-quality property across epsilons: the tracked joint stays
+// within the e^{±eps} band of the exact MLE on a moderate stream.
+class EpsilonPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonPropertyTest, TrackedJointWithinBandOfExact) {
+  const double eps = GetParam();
+  const BayesianNetwork net = RandomNetwork(3);
+  TrackerConfig config;
+  config.num_sites = 8;
+  config.epsilon = eps;
+  config.seed = 1717;
+  config.strategy = TrackingStrategy::kExactMle;
+  MleTracker exact(net, config);
+  config.strategy = TrackingStrategy::kNonUniform;
+  MleTracker approx(net, config);
+  ForwardSampler sampler(net, 1718);
+  Rng router(1719);
+  Instance x;
+  for (int e = 0; e < 40000; ++e) {
+    sampler.Sample(&x);
+    const int site = static_cast<int>(router.NextBounded(8));
+    exact.Observe(x, site);
+    approx.Observe(x, site);
+  }
+  Rng event_rng(1720);
+  TestEventOptions options;
+  options.count = 100;
+  options.min_prob = 0.01;
+  const std::vector<TestEvent> events = GenerateTestEvents(net, options, event_rng);
+  int outside = 0;
+  for (const TestEvent& event : events) {
+    const double mle = exact.JointProbability(event.assignment);
+    if (mle <= 0.0) continue;
+    const double ratio = approx.JointProbability(event.assignment) / mle;
+    if (ratio < std::exp(-eps) || ratio > std::exp(eps)) ++outside;
+  }
+  // The analysis gives the band with probability 3/4 per instance; in
+  // practice nearly all queries are inside. Allow a 10% tail.
+  EXPECT_LE(outside, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonPropertyTest,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,185 @@
+// Tests for common/rng.h: determinism and distributional sanity of the
+// xoshiro-based generator that drives every randomized counter decision.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dsgm {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitStreamsAreUncorrelated) {
+  Rng parent(99);
+  Rng child = parent.Split();
+  // Crude correlation check on sign bits.
+  int agree = 0;
+  for (int i = 0; i < 4096; ++i) {
+    agree += ((parent.Next() >> 63) == (child.Next() >> 63));
+  }
+  EXPECT_NEAR(agree, 2048, 200);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(11);
+  constexpr int kBound = 10;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t v = rng.NextBounded(kBound);
+    ASSERT_LT(v, static_cast<uint64_t>(kBound));
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, kDraws / kBound, 500);
+}
+
+TEST(RngTest, NextIntInclusiveEndpointsReached) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  for (double p : {0.01, 0.25, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i) hits += rng.NextBernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(29);
+  for (double shape : {0.5, 1.0, 3.0, 10.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.NextGamma(shape);
+    EXPECT_NEAR(sum / kDraws, shape, 0.15 * shape) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, DirichletRowsSumToOne) {
+  Rng rng(31);
+  for (double alpha : {0.2, 0.5, 1.0, 5.0}) {
+    for (int dim : {2, 4, 20}) {
+      const std::vector<double> row = rng.NextDirichlet(dim, alpha);
+      ASSERT_EQ(static_cast<int>(row.size()), dim);
+      double total = 0.0;
+      for (double p : row) {
+        ASSERT_GE(p, 0.0);
+        total += p;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(RngTest, SmallAlphaDirichletIsSkewed) {
+  Rng rng(37);
+  // With alpha << 1 the largest coordinate should usually dominate.
+  int dominated = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::vector<double> row = rng.NextDirichlet(4, 0.1);
+    const double max = *std::max_element(row.begin(), row.end());
+    dominated += (max > 0.7);
+  }
+  EXPECT_GT(dominated, 300);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(rng.NextCategorical(weights))];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(ZipfTest, FirstRankDominates) {
+  Rng rng(43);
+  ZipfDistribution zipf(10, 1.2);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, kDraws);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  Rng rng(47);
+  ZipfDistribution zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 4, 600);
+}
+
+}  // namespace
+}  // namespace dsgm

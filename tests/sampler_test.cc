@@ -1,0 +1,115 @@
+// Tests for bayes/sampler.h: forward sampling and test-event generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+
+namespace dsgm {
+namespace {
+
+TEST(ForwardSamplerTest, MarginalsMatchGroundTruth) {
+  const BayesianNetwork net = StudentNetwork();
+  ForwardSampler sampler(net, 42);
+  constexpr int kDraws = 200000;
+  std::vector<double> difficulty(2, 0.0);
+  std::vector<double> grade(3, 0.0);
+  Instance x;
+  for (int i = 0; i < kDraws; ++i) {
+    sampler.Sample(&x);
+    ++difficulty[static_cast<size_t>(x[0])];
+    ++grade[static_cast<size_t>(x[2])];
+  }
+  EXPECT_NEAR(difficulty[0] / kDraws, 0.6, 0.01);
+  // P(g0) = sum over d,i of P(d)P(i)P(g0|d,i)
+  //       = .6*.7*.3 + .6*.3*.9 + .4*.7*.05 + .4*.3*.5 = 0.362.
+  EXPECT_NEAR(grade[0] / kDraws, 0.362, 0.01);
+}
+
+TEST(ForwardSamplerTest, DeterministicForFixedSeed) {
+  const BayesianNetwork net = StudentNetwork();
+  ForwardSampler a(net, 7);
+  ForwardSampler b(net, 7);
+  Instance xa;
+  Instance xb;
+  for (int i = 0; i < 100; ++i) {
+    a.Sample(&xa);
+    b.Sample(&xb);
+    EXPECT_EQ(xa, xb);
+  }
+}
+
+TEST(ForwardSamplerTest, JointFrequencyMatchesProbability) {
+  const BayesianNetwork net = StudentNetwork();
+  ForwardSampler sampler(net, 99);
+  constexpr int kDraws = 300000;
+  std::map<Instance, int> counts;
+  Instance x;
+  for (int i = 0; i < kDraws; ++i) {
+    sampler.Sample(&x);
+    ++counts[x];
+  }
+  // Check a handful of assignments against the exact joint.
+  for (const Instance probe :
+       {Instance{0, 0, 0, 0, 0}, Instance{1, 1, 2, 1, 1}, Instance{0, 1, 0, 1, 0}}) {
+    const double expected = net.JointProbability(probe);
+    const double observed = counts[probe] / static_cast<double>(kDraws);
+    EXPECT_NEAR(observed, expected, 0.01) << "assignment mismatch";
+  }
+}
+
+TEST(TestEventsTest, EventsAreAncestrallyClosedAndAboveFloor) {
+  const BayesianNetwork net = StudentNetwork();
+  Rng rng(1);
+  TestEventOptions options;
+  options.count = 200;
+  options.min_prob = 0.01;
+  const std::vector<TestEvent> events = GenerateTestEvents(net, options, rng);
+  ASSERT_EQ(events.size(), 200u);
+  for (const TestEvent& event : events) {
+    EXPECT_GE(event.truth_prob, 0.01);
+    // Verify closure: every parent of every node is present.
+    for (int node : event.assignment.nodes) {
+      for (int parent : net.dag().parents(node)) {
+        EXPECT_TRUE(std::binary_search(event.assignment.nodes.begin(),
+                                       event.assignment.nodes.end(), parent));
+      }
+    }
+    // Stored probability must match recomputation.
+    EXPECT_NEAR(event.truth_prob, net.ClosedSubsetProbability(event.assignment),
+                1e-12);
+  }
+}
+
+TEST(TestEventsTest, SubsetSizeRespected) {
+  const BayesianNetwork net = Alarm();
+  Rng rng(2);
+  TestEventOptions options;
+  options.count = 100;
+  options.max_subset = 8;
+  const std::vector<TestEvent> events = GenerateTestEvents(net, options, rng);
+  for (const TestEvent& event : events) {
+    EXPECT_LE(static_cast<int>(event.assignment.nodes.size()), 8);
+  }
+}
+
+TEST(TestEventsTest, WorksOnLargeNetworks) {
+  // LINK has 724 variables; full assignments have negligible probability, so
+  // event generation must rely on small ancestral closures.
+  const BayesianNetwork net = Link();
+  Rng rng(3);
+  TestEventOptions options;
+  options.count = 50;
+  const std::vector<TestEvent> events = GenerateTestEvents(net, options, rng);
+  ASSERT_EQ(events.size(), 50u);
+  for (const TestEvent& event : events) {
+    EXPECT_GT(event.truth_prob, 0.0);
+    EXPECT_LE(static_cast<int>(event.assignment.nodes.size()), options.max_subset);
+  }
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,78 @@
+// Tests for common/statistics.h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace dsgm {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MatchesDirectComputation) {
+  OnlineStats stats;
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of the classic example is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(SampleSetTest, QuantilesOfKnownSequence) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.Add(static_cast<double>(i));
+  EXPECT_EQ(samples.count(), 100);
+  EXPECT_NEAR(samples.Quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(samples.Quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(samples.Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(samples.Mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSetTest, QuantileAfterLaterAddIsCorrect) {
+  SampleSet samples;
+  samples.Add(1.0);
+  samples.Add(3.0);
+  EXPECT_NEAR(samples.Quantile(0.5), 2.0, 1e-12);
+  samples.Add(100.0);  // Must invalidate the sorted cache.
+  EXPECT_NEAR(samples.Quantile(1.0), 100.0, 1e-12);
+}
+
+TEST(SampleSetTest, BoxplotOrdering) {
+  SampleSet samples;
+  for (int i = 0; i < 1000; ++i) samples.Add(static_cast<double>(i % 97));
+  const BoxplotSummary box = samples.Boxplot();
+  EXPECT_LE(box.p10, box.p25);
+  EXPECT_LE(box.p25, box.p50);
+  EXPECT_LE(box.p50, box.p75);
+  EXPECT_LE(box.p75, box.p90);
+  EXPECT_EQ(box.count, 1000);
+}
+
+TEST(SampleSetTest, EmptyQuantileIsZero) {
+  SampleSet samples;
+  EXPECT_DOUBLE_EQ(samples.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(samples.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -1,0 +1,180 @@
+// Tests for bayes/structure.h — the offline Chow-Liu structure learner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/generator.h"
+#include "bayes/sampler.h"
+#include "bayes/structure.h"
+
+namespace dsgm {
+namespace {
+
+TEST(MutualInformationTest, IndependentColumnsNearZero) {
+  Rng rng(1);
+  std::vector<Instance> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back({static_cast<int>(rng.NextBounded(3)),
+                    static_cast<int>(rng.NextBounded(4))});
+  }
+  EXPECT_LT(EmpiricalMutualInformation(data, 0, 1, 3, 4), 0.005);
+}
+
+TEST(MutualInformationTest, IdenticalColumnsGiveEntropy) {
+  Rng rng(2);
+  std::vector<Instance> data;
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 50000; ++i) {
+    const int v = static_cast<int>(rng.NextBounded(3));
+    data.push_back({v, v});
+    ++counts[v];
+  }
+  double entropy = 0.0;
+  for (int c : counts) {
+    const double p = c / 50000.0;
+    entropy -= p * std::log(p);
+  }
+  EXPECT_NEAR(EmpiricalMutualInformation(data, 0, 1, 3, 3), entropy, 1e-9);
+}
+
+TEST(MutualInformationTest, SymmetricInArguments) {
+  Rng rng(3);
+  std::vector<Instance> data;
+  for (int i = 0; i < 5000; ++i) {
+    const int a = static_cast<int>(rng.NextBounded(2));
+    const int b = rng.NextBernoulli(0.8) ? a : static_cast<int>(rng.NextBounded(2));
+    data.push_back({a, b});
+  }
+  EXPECT_NEAR(EmpiricalMutualInformation(data, 0, 1, 2, 2),
+              EmpiricalMutualInformation(data, 1, 0, 2, 2), 1e-12);
+}
+
+TEST(ChowLiuTest, InputValidation) {
+  EXPECT_FALSE(LearnChowLiuTree({}, {2, 2}).ok());          // no data
+  EXPECT_FALSE(LearnChowLiuTree({{0}}, {2}).ok());          // one variable
+  EXPECT_FALSE(LearnChowLiuTree({{0, 1, 0}}, {2, 2}).ok()); // arity mismatch
+  EXPECT_FALSE(LearnChowLiuTree({{0, 5}}, {2, 2}).ok());    // out of domain
+  ChowLiuOptions options;
+  options.root = 9;
+  EXPECT_FALSE(LearnChowLiuTree({{0, 1}}, {2, 2}, options).ok());  // bad root
+}
+
+TEST(ChowLiuTest, ResultIsATreeRootedAtRequestedNode) {
+  Rng rng(4);
+  std::vector<Instance> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back({static_cast<int>(rng.NextBounded(2)),
+                    static_cast<int>(rng.NextBounded(2)),
+                    static_cast<int>(rng.NextBounded(2)),
+                    static_cast<int>(rng.NextBounded(2))});
+  }
+  ChowLiuOptions options;
+  options.root = 2;
+  StatusOr<BayesianNetwork> learned =
+      LearnChowLiuTree(data, {2, 2, 2, 2}, options);
+  ASSERT_TRUE(learned.ok()) << learned.status();
+  EXPECT_EQ(learned->dag().num_edges(), 3);  // spanning tree over 4 nodes
+  EXPECT_TRUE(learned->dag().parents(2).empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LE(learned->dag().parents(i).size(), 1u);  // tree: <= 1 parent
+  }
+  EXPECT_TRUE(learned->dag().IsAcyclic());
+}
+
+TEST(ChowLiuTest, RecoversTreeSkeletonFromSampledData) {
+  // Ground truth: a random tree-structured network (spine only).
+  NetworkSpec spec;
+  spec.name = "truth-tree";
+  spec.num_nodes = 12;
+  spec.num_edges = 11;  // exactly a tree
+  spec.min_cardinality = 2;
+  spec.max_cardinality = 3;
+  spec.target_params = 0;
+  spec.max_parents = 1;
+  spec.dirichlet_alpha = 0.25;  // strong dependencies, easy to detect
+  StatusOr<BayesianNetwork> truth = GenerateNetwork(spec, 99);
+  ASSERT_TRUE(truth.ok()) << truth.status();
+
+  ForwardSampler sampler(*truth, 100);
+  const std::vector<Instance> data = sampler.SampleMany(30000);
+  std::vector<int> cards;
+  for (int i = 0; i < truth->num_variables(); ++i) {
+    cards.push_back(truth->cardinality(i));
+  }
+  StatusOr<BayesianNetwork> learned = LearnChowLiuTree(data, cards);
+  ASSERT_TRUE(learned.ok()) << learned.status();
+
+  // Chow-Liu provably recovers the skeleton of a tree-factored distribution
+  // given enough data (all edges here have noticeable mutual information).
+  EXPECT_EQ(UndirectedSkeleton(*learned), UndirectedSkeleton(*truth));
+}
+
+TEST(ChowLiuTest, LearnedCpdsApproximateTruthAlongTreeEdges) {
+  NetworkSpec spec;
+  spec.name = "truth-tree";
+  spec.num_nodes = 6;
+  spec.num_edges = 5;
+  spec.max_parents = 1;
+  spec.target_params = 0;
+  spec.dirichlet_alpha = 0.3;
+  StatusOr<BayesianNetwork> truth = GenerateNetwork(spec, 7);
+  ASSERT_TRUE(truth.ok());
+  ForwardSampler sampler(*truth, 8);
+  const std::vector<Instance> data = sampler.SampleMany(50000);
+  std::vector<int> cards;
+  for (int i = 0; i < truth->num_variables(); ++i) {
+    cards.push_back(truth->cardinality(i));
+  }
+  ChowLiuOptions options;
+  options.root = 0;
+  StatusOr<BayesianNetwork> learned = LearnChowLiuTree(data, cards, options);
+  ASSERT_TRUE(learned.ok());
+
+  // The learned model must reproduce the joint distribution of the truth:
+  // compare probabilities of sampled assignments (tree factorizations of the
+  // same distribution agree regardless of edge orientation).
+  ForwardSampler probe(*truth, 9);
+  Instance x;
+  for (int q = 0; q < 50; ++q) {
+    probe.Sample(&x);
+    const double p_truth = truth->JointProbability(x);
+    const double p_learned = learned->JointProbability(x);
+    EXPECT_NEAR(p_learned, p_truth, 0.25 * p_truth + 1e-4);
+  }
+}
+
+TEST(ChowLiuTest, ZeroAlphaUnseenRowsFallBackToUniform) {
+  // Two perfectly correlated binary variables: rows for the unseen parent
+  // value must become uniform when alpha = 0.
+  std::vector<Instance> data(100, Instance{0, 0});
+  ChowLiuOptions options;
+  options.laplace_alpha = 0.0;
+  StatusOr<BayesianNetwork> learned = LearnChowLiuTree(data, {2, 2}, options);
+  ASSERT_TRUE(learned.ok());
+  // Variable 1's CPD row for parent value 1 was never observed.
+  const CpdTable& cpd = learned->cpd(1);
+  if (cpd.num_rows() == 2) {
+    EXPECT_DOUBLE_EQ(cpd.prob(0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(cpd.prob(1, 1), 0.5);
+  }
+}
+
+TEST(UndirectedSkeletonTest, SortedAndOrientationInvariant) {
+  Dag a(3);
+  ASSERT_TRUE(a.AddEdge(0, 1).ok());
+  ASSERT_TRUE(a.AddEdge(2, 1).ok());
+  std::vector<Variable> vars = {{"A", 2}, {"B", 2}, {"C", 2}};
+  std::vector<CpdTable> cpds;
+  cpds.emplace_back(2, std::vector<int>{});
+  cpds.emplace_back(2, std::vector<int>{2, 2});
+  cpds.emplace_back(2, std::vector<int>{});
+  StatusOr<BayesianNetwork> net =
+      BayesianNetwork::Create("skel", vars, a, std::move(cpds));
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(UndirectedSkeleton(*net),
+            (std::vector<std::pair<int, int>>{{0, 1}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace dsgm

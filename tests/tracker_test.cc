@@ -1,0 +1,260 @@
+// Tests for core/mle_tracker.h — Algorithms 1-3 over exact and randomized
+// counters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "core/mle_tracker.h"
+
+namespace dsgm {
+namespace {
+
+TrackerConfig Config(TrackingStrategy strategy, int sites = 5,
+                     double epsilon = 0.1) {
+  TrackerConfig config;
+  config.strategy = strategy;
+  config.num_sites = sites;
+  config.epsilon = epsilon;
+  config.seed = 99;
+  return config;
+}
+
+/// Streams `count` instances into `tracker`, routing uniformly to sites,
+/// and returns the instances for reference counting.
+std::vector<Instance> Stream(const BayesianNetwork& net, MleTracker* tracker,
+                             int64_t count, uint64_t seed = 1234) {
+  ForwardSampler sampler(net, seed);
+  Rng router(seed ^ 0xabcdef);
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<size_t>(count));
+  Instance x;
+  for (int64_t e = 0; e < count; ++e) {
+    sampler.Sample(&x);
+    tracker->Observe(x, static_cast<int>(router.NextBounded(
+                            static_cast<uint64_t>(tracker->config().num_sites))));
+    instances.push_back(x);
+  }
+  return instances;
+}
+
+TEST(MleTrackerTest, CounterLayoutSizes) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  EXPECT_EQ(tracker.num_joint_counters(), net.TotalJointCells());
+  EXPECT_EQ(tracker.num_parent_counters(), net.TotalParentCells());
+}
+
+TEST(MleTrackerTest, ExactCpdEstimateIsEmpiricalFrequency) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  const std::vector<Instance> data = Stream(net, &tracker, 5000);
+
+  // Hand-count P(Grade=g | D=d, I=i) for one parent row.
+  int64_t row_count = 0;
+  int64_t joint_count = 0;
+  for (const Instance& x : data) {
+    if (x[0] == 0 && x[1] == 1) {
+      ++row_count;
+      if (x[2] == 0) ++joint_count;
+    }
+  }
+  ASSERT_GT(row_count, 0);
+  // Parent row of Grade for (d0, i1) is 1 (last parent fastest).
+  EXPECT_DOUBLE_EQ(tracker.ParentCounterExact(2, 1),
+                   static_cast<double>(row_count));
+  EXPECT_DOUBLE_EQ(tracker.JointCounterExact(2, 0, 1),
+                   static_cast<double>(joint_count));
+  EXPECT_NEAR(tracker.CpdEstimate(2, 0, 1),
+              static_cast<double>(joint_count) / static_cast<double>(row_count),
+              1e-12);
+}
+
+TEST(MleTrackerTest, ExactJointProbabilityIsProductOfFrequencies) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  Stream(net, &tracker, 2000);
+
+  const Instance probe = {0, 1, 0, 1, 1};
+  double expected = 1.0;
+  for (int i = 0; i < net.num_variables(); ++i) {
+    const int64_t row = net.ParentIndexOf(i, probe);
+    expected *= tracker.CpdEstimate(i, probe[static_cast<size_t>(i)], row);
+  }
+  EXPECT_NEAR(tracker.JointProbability(probe), expected, 1e-12);
+}
+
+TEST(MleTrackerTest, ExactMleConvergesToGroundTruth) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  Stream(net, &tracker, 100000);
+  const Instance probe = {0, 1, 0, 1, 1};
+  EXPECT_NEAR(tracker.JointProbability(probe), net.JointProbability(probe),
+              0.15 * net.JointProbability(probe));
+}
+
+TEST(MleTrackerTest, ExactCommunicationIsTwoNPerEvent) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  constexpr int64_t kEvents = 1000;
+  Stream(net, &tracker, kEvents);
+  EXPECT_EQ(tracker.comm().update_messages,
+            static_cast<uint64_t>(kEvents * 2 * net.num_variables()));
+  // Bundling: one wire message per event.
+  EXPECT_EQ(tracker.comm().wire_messages, static_cast<uint64_t>(kEvents));
+  EXPECT_EQ(tracker.events_observed(), kEvents);
+}
+
+TEST(MleTrackerTest, PartialAssignmentQueryMatchesManualProduct) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  Stream(net, &tracker, 5000);
+  PartialAssignment pa;
+  pa.nodes = {0, 1, 2};
+  pa.values = {0, 1, 0};
+  const double expected = tracker.CpdEstimate(0, 0, 0) *
+                          tracker.CpdEstimate(1, 1, 0) *
+                          tracker.CpdEstimate(2, 0, 1);
+  EXPECT_NEAR(tracker.JointProbability(pa), expected, 1e-12);
+}
+
+TEST(MleTrackerTest, UnseenParentRowFallsBackToUniform) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kExactMle));
+  // No data at all: every estimate must be the uniform fallback.
+  EXPECT_DOUBLE_EQ(tracker.CpdEstimate(2, 0, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tracker.CpdEstimate(0, 1, 0), 1.0 / 2.0);
+}
+
+TEST(MleTrackerTest, LaplaceSmoothingChangesZeroCounts) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config = Config(TrackingStrategy::kExactMle);
+  config.laplace_alpha = 1.0;
+  MleTracker tracker(net, config);
+  // One event: (d0, i0, g0, s0, l0).
+  tracker.Observe({0, 0, 0, 0, 0}, 0);
+  // P(g1 | d0,i0) with Laplace-1: (0+1)/(1+3) = 0.25.
+  EXPECT_NEAR(tracker.CpdEstimate(2, 1, 0), 0.25, 1e-12);
+  // P(g0 | d0,i0) = (1+1)/(1+3) = 0.5.
+  EXPECT_NEAR(tracker.CpdEstimate(2, 0, 0), 0.5, 1e-12);
+}
+
+TEST(MleTrackerTest, ApproxTrackerStaysCloseToExactMle) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker exact(net, Config(TrackingStrategy::kExactMle));
+  MleTracker uniform(net, Config(TrackingStrategy::kUniform, 5, 0.1));
+  constexpr int64_t kEvents = 50000;
+  {
+    ForwardSampler sampler(net, 555);
+    Rng router(777);
+    Instance x;
+    for (int64_t e = 0; e < kEvents; ++e) {
+      sampler.Sample(&x);
+      const int site = static_cast<int>(router.NextBounded(5));
+      exact.Observe(x, site);
+      uniform.Observe(x, site);
+    }
+  }
+  // Definition 2: e^-eps <= P~/P^ <= e^eps. Check on several assignments
+  // with non-trivial mass.
+  ForwardSampler probe_sampler(net, 999);
+  Instance probe;
+  for (int q = 0; q < 50; ++q) {
+    probe_sampler.Sample(&probe);
+    const double approx = uniform.JointProbability(probe);
+    const double mle = exact.JointProbability(probe);
+    if (mle <= 0.0) continue;
+    const double ratio = approx / mle;
+    EXPECT_GT(ratio, std::exp(-0.15));
+    EXPECT_LT(ratio, std::exp(0.15));
+  }
+}
+
+TEST(MleTrackerTest, ApproxUsesFewerMessagesThanExactOnLongStreams) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker exact(net, Config(TrackingStrategy::kExactMle));
+  MleTracker nonuniform(net, Config(TrackingStrategy::kNonUniform, 5, 0.1));
+  constexpr int64_t kEvents = 200000;
+  {
+    ForwardSampler sampler(net, 2024);
+    Rng router(4048);
+    Instance x;
+    for (int64_t e = 0; e < kEvents; ++e) {
+      sampler.Sample(&x);
+      const int site = static_cast<int>(router.NextBounded(5));
+      exact.Observe(x, site);
+      nonuniform.Observe(x, site);
+    }
+  }
+  EXPECT_LT(nonuniform.comm().TotalMessages(),
+            exact.comm().TotalMessages() / 4);
+}
+
+TEST(MleTrackerTest, StrategiesShareExactCounts) {
+  // Whatever the messaging policy, the ground-truth per-counter totals must
+  // agree: the strategies differ only in what the coordinator knows.
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker exact(net, Config(TrackingStrategy::kExactMle));
+  MleTracker baseline(net, Config(TrackingStrategy::kBaseline));
+  {
+    ForwardSampler sampler(net, 31);
+    Rng router(32);
+    Instance x;
+    for (int64_t e = 0; e < 20000; ++e) {
+      sampler.Sample(&x);
+      const int site = static_cast<int>(router.NextBounded(5));
+      exact.Observe(x, site);
+      baseline.Observe(x, site);
+    }
+  }
+  for (int i = 0; i < net.num_variables(); ++i) {
+    for (int64_t row = 0; row < net.parent_cardinality(i); ++row) {
+      EXPECT_EQ(exact.ParentCounterExact(i, row),
+                baseline.ParentCounterExact(i, row));
+    }
+  }
+}
+
+TEST(MleTrackerTest, ReplicatedTrackerMultipliesCommunication) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig single = Config(TrackingStrategy::kUniform);
+  TrackerConfig triple = Config(TrackingStrategy::kUniform);
+  triple.replicas = 3;
+  MleTracker one(net, single);
+  MleTracker three(net, triple);
+  {
+    ForwardSampler sampler(net, 61);
+    Rng router(62);
+    Instance x;
+    for (int64_t e = 0; e < 20000; ++e) {
+      sampler.Sample(&x);
+      const int site = static_cast<int>(router.NextBounded(5));
+      one.Observe(x, site);
+      three.Observe(x, site);
+    }
+  }
+  EXPECT_GT(three.comm().TotalMessages(), 2 * one.comm().TotalMessages());
+  // And the median estimate still tracks the exact count.
+  const Instance probe = {0, 0, 0, 0, 0};
+  EXPECT_NEAR(three.JointProbability(probe), one.JointProbability(probe),
+              0.2 * one.JointProbability(probe) + 1e-9);
+}
+
+TEST(MleTrackerTest, InvalidConfigDies) {
+  const BayesianNetwork net = StudentNetwork();
+  TrackerConfig config = Config(TrackingStrategy::kUniform);
+  config.epsilon = 0.0;
+  EXPECT_DEATH(MleTracker(net, config), "epsilon");
+}
+
+TEST(MleTrackerTest, MemoryAccountingPositive) {
+  const BayesianNetwork net = StudentNetwork();
+  MleTracker tracker(net, Config(TrackingStrategy::kUniform));
+  EXPECT_GT(tracker.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dsgm
