@@ -1,0 +1,37 @@
+# Opt-in sanitizer support, driven by the DSGM_SANITIZE cache variable.
+#
+#   cmake -B build -DDSGM_SANITIZE=address,undefined
+#   cmake -B build -DDSGM_SANITIZE=thread        # for the threaded cluster/ layer
+#
+# Sanitizers are applied globally (compile + link) so the static layer
+# libraries, tests, benches, and examples all agree on instrumentation.
+
+function(dsgm_enable_sanitizers spec)
+  if(spec STREQUAL "")
+    return()
+  endif()
+
+  string(REPLACE "," ";" requested "${spec}")
+  set(flags "")
+  foreach(san IN LISTS requested)
+    string(STRIP "${san}" san)
+    if(san STREQUAL "")
+      continue()
+    endif()
+    if(san MATCHES "^(address|thread|undefined|leak)$")
+      list(APPEND flags "-fsanitize=${san}")
+    else()
+      message(FATAL_ERROR
+        "DSGM_SANITIZE: unknown sanitizer '${san}' (expected address, thread, undefined, or leak)")
+    endif()
+  endforeach()
+
+  if("-fsanitize=thread" IN_LIST flags
+     AND ("-fsanitize=address" IN_LIST flags OR "-fsanitize=leak" IN_LIST flags))
+    message(FATAL_ERROR "DSGM_SANITIZE: thread is mutually exclusive with address/leak")
+  endif()
+
+  message(STATUS "Sanitizers enabled: ${spec}")
+  add_compile_options(${flags} -fno-omit-frame-pointer)
+  add_link_options(${flags})
+endfunction()

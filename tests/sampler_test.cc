@@ -53,7 +53,7 @@ TEST(ForwardSamplerTest, JointFrequencyMatchesProbability) {
     ++counts[x];
   }
   // Check a handful of assignments against the exact joint.
-  for (const Instance probe :
+  for (const Instance& probe :
        {Instance{0, 0, 0, 0, 0}, Instance{1, 1, 2, 1, 1}, Instance{0, 1, 0, 1, 0}}) {
     const double expected = net.JointProbability(probe);
     const double observed = counts[probe] / static_cast<double>(kDraws);
