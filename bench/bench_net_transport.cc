@@ -1,0 +1,104 @@
+// Transport comparison: the same cluster runs on the in-process loopback
+// and on localhost TCP (codec-serialized frames through the kernel socket
+// layer), reporting throughput side by side plus the measured wire bytes
+// the TCP substrate actually moved. Quantifies the serialization + syscall
+// tax the transport abstraction introduces, and gives the honest bytes the
+// estimated CommStats can be checked against.
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "cluster/cluster_runner.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+
+namespace dsgm {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 100000, "training instances per run");
+  flags.DefineString("network", "alarm", "network to stream");
+  flags.DefineString("site-counts", "2,4,8", "cluster sizes to sweep");
+  flags.DefineString("json", "BENCH_net.json",
+                     "machine-readable results file (empty disables)");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const int64_t events = flags.GetInt64("events");
+  const StatusOr<BayesianNetwork> net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    std::cerr << net.status() << "\n";
+    return 1;
+  }
+  const std::vector<TrackingStrategy> strategies = {TrackingStrategy::kExactMle,
+                                                    TrackingStrategy::kNonUniform};
+
+  TablePrinter table("Transport comparison (" + net->name() + ", " +
+                     FormatInstances(events) +
+                     " instances): loopback vs localhost TCP");
+  table.SetHeader({"sites", "algorithm", "loopback events/s", "tcp events/s",
+                   "tcp/loopback", "tcp MiB up", "tcp MiB down"});
+  Json records = Json::Array();
+  for (const std::string& sites_text : SplitCommaList(flags.GetString("site-counts"))) {
+    const int sites = std::stoi(sites_text);
+    for (TrackingStrategy strategy : strategies) {
+      ClusterConfig config;
+      config.tracker.strategy = strategy;
+      config.tracker.num_sites = sites;
+      config.tracker.epsilon = flags.GetDouble("eps");
+      config.tracker.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+      config.num_events = events;
+
+      const ClusterResult loopback = RunCluster(*net, config);
+      config.transport = MakeLocalTcpTransport;
+      const ClusterResult tcp = RunCluster(*net, config);
+
+      const double ratio =
+          loopback.throughput_events_per_sec > 0.0
+              ? tcp.throughput_events_per_sec / loopback.throughput_events_per_sec
+              : 0.0;
+      table.AddRow({std::to_string(sites), ToString(strategy),
+                    FormatCount(static_cast<int64_t>(loopback.throughput_events_per_sec)),
+                    FormatCount(static_cast<int64_t>(tcp.throughput_events_per_sec)),
+                    FormatDouble(ratio, 2),
+                    FormatDouble(static_cast<double>(tcp.transport_bytes_up) / (1 << 20), 1),
+                    FormatDouble(static_cast<double>(tcp.transport_bytes_down) / (1 << 20), 1)});
+
+      for (const auto& entry :
+           {std::pair<const char*, const ClusterResult*>{"loopback", &loopback},
+            std::pair<const char*, const ClusterResult*>{"tcp", &tcp}}) {
+        Json record = ClusterResultToJson(*entry.second);
+        record.Add("network", Json::Str(net->name()))
+            .Add("sites", Json::Int(sites))
+            .Add("strategy", Json::Str(ToString(strategy)))
+            .Add("transport", Json::Str(entry.first));
+        records.Append(std::move(record));
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+
+  if (!flags.GetString("json").empty()) {
+    Json root = Json::Object();
+    root.Add("bench", Json::Str("net_transport"))
+        .Add("events_per_run", Json::Int(events))
+        .Add("epsilon", Json::Double(flags.GetDouble("eps")))
+        .Add("seed", Json::Int(flags.GetInt64("seed")))
+        .Add("results", std::move(records));
+    const Status written = WriteJsonReport(flags.GetString("json"), root);
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.GetString("json") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

@@ -1,0 +1,197 @@
+#include "harness/json_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dsgm {
+namespace {
+
+void DumpEscapedString(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Json Json::Bool(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::Int(int64_t value) {
+  Json json;
+  json.kind_ = Kind::kInt;
+  json.int_ = value;
+  return json;
+}
+
+Json Json::Double(double value) {
+  Json json;
+  json.kind_ = Kind::kDouble;
+  json.double_ = value;
+  return json;
+}
+
+Json Json::Str(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::Array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::Object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+Json& Json::Add(const std::string& key, Json value) {
+  DSGM_CHECK(is_object()) << "Json::Add on a non-object";
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::Append(Json value) {
+  DSGM_CHECK(is_array()) << "Json::Append on a non-array";
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpIndented(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      os << int_;
+      break;
+    case Kind::kDouble:
+      if (!std::isfinite(double_)) {
+        os << "null";
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", double_);
+        os << buffer;
+      }
+      break;
+    case Kind::kString:
+      DumpEscapedString(os, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        os << inner_pad;
+        array_[i].DumpIndented(os, indent + 1);
+        if (i + 1 < array_.size()) os << ',';
+        os << '\n';
+      }
+      os << pad << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        os << inner_pad;
+        DumpEscapedString(os, object_[i].first);
+        os << ": ";
+        object_[i].second.DumpIndented(os, indent + 1);
+        if (i + 1 < object_.size()) os << ',';
+        os << '\n';
+      }
+      os << pad << '}';
+      break;
+    }
+  }
+}
+
+void Json::Dump(std::ostream& os) const { DumpIndented(os, 0); }
+
+std::string Json::ToString() const {
+  std::ostringstream os;
+  Dump(os);
+  return os.str();
+}
+
+Json ClusterResultToJson(const ClusterResult& result) {
+  Json record = Json::Object();
+  record.Add("events", Json::Int(result.events_processed))
+      .Add("runtime_seconds", Json::Double(result.runtime_seconds))
+      .Add("wall_seconds", Json::Double(result.wall_seconds))
+      .Add("throughput_events_per_sec", Json::Double(result.throughput_events_per_sec))
+      .Add("max_counter_rel_error", Json::Double(result.max_counter_rel_error))
+      .Add("update_messages", Json::Int(static_cast<int64_t>(result.comm.update_messages)))
+      .Add("broadcast_messages", Json::Int(static_cast<int64_t>(result.comm.broadcast_messages)))
+      .Add("sync_messages", Json::Int(static_cast<int64_t>(result.comm.sync_messages)))
+      .Add("wire_messages", Json::Int(static_cast<int64_t>(result.comm.wire_messages)))
+      .Add("total_messages", Json::Int(static_cast<int64_t>(result.comm.TotalMessages())))
+      .Add("rounds_advanced", Json::Int(static_cast<int64_t>(result.comm.rounds_advanced)))
+      .Add("bytes_up_estimated", Json::Int(static_cast<int64_t>(result.comm.bytes_up)))
+      .Add("bytes_down_estimated", Json::Int(static_cast<int64_t>(result.comm.bytes_down)))
+      .Add("transport_measured", Json::Bool(result.transport_measured));
+  if (result.transport_measured) {
+    record.Add("transport_bytes_up", Json::Int(static_cast<int64_t>(result.transport_bytes_up)))
+        .Add("transport_bytes_down", Json::Int(static_cast<int64_t>(result.transport_bytes_down)));
+  }
+  return record;
+}
+
+Status WriteJsonReport(const std::string& path, const Json& root) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return InternalError("cannot open " + tmp + " for writing");
+    root.Dump(out);
+    out << "\n";
+    if (!out) return InternalError("write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return InternalError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dsgm

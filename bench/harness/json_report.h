@@ -1,0 +1,77 @@
+// Machine-readable bench output, next to report.h's human tables: a
+// minimal JSON value tree plus WriteJsonReport, so bench binaries can emit
+// BENCH_*.json files and runs accumulate a perf trajectory that tooling
+// can diff across commits.
+
+#ifndef DSGM_BENCH_HARNESS_JSON_REPORT_H_
+#define DSGM_BENCH_HARNESS_JSON_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_runner.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+/// A JSON value: null, bool, number, string, array, or object. Objects keep
+/// insertion order so reports read stably. Build with the static factories
+/// and Add/Append; render with Dump or WriteJsonReport.
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Int(int64_t value);
+  static Json Double(double value);
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Object member (CHECK-fails unless this is an object). Returns *this
+  /// for chaining.
+  Json& Add(const std::string& key, Json value);
+
+  /// Array element (CHECK-fails unless this is an array).
+  Json& Append(Json value);
+
+  /// Serializes with 2-space indentation. Non-finite numbers render as
+  /// null, keeping the output standard JSON.
+  void Dump(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void DumpIndented(std::ostream& os, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Writes `root` to `path` (atomically: temp file + rename), with a
+/// trailing newline.
+Status WriteJsonReport(const std::string& path, const Json& root);
+
+/// Flattens one cluster run into the record shape shared by the cluster
+/// benches (fig8, net transport comparison): timing, throughput,
+/// communication counters, and measured transport bytes.
+Json ClusterResultToJson(const ClusterResult& result);
+
+}  // namespace dsgm
+
+#endif  // DSGM_BENCH_HARNESS_JSON_REPORT_H_

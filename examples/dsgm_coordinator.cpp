@@ -1,0 +1,98 @@
+// Multi-process cluster, coordinator side: listens for `--sites` dsgm_site
+// processes on localhost TCP, streams `--events` sampled instances to them,
+// runs the paper's counter protocol over the wire, and validates its final
+// estimates against the sites' exact counts.
+//
+// Two-terminal quickstart (see README "Transport architecture"):
+//
+//   $ ./build/examples/dsgm_coordinator --network alarm --sites 2 --port 7700
+//   $ ./build/examples/dsgm_site --network alarm --site 0 --port 7700 &
+//     ./build/examples/dsgm_site --network alarm --site 1 --port 7700
+//
+// Exit code is non-zero if --max-rel-error is set and the validation bound
+// is violated (used by the ctest multi-process smoke test).
+
+#include <iostream>
+
+#include "bayes/repository.h"
+#include "cluster/remote_runner.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/tracker_config.h"
+
+int main(int argc, char** argv) {
+  using namespace dsgm;
+  Flags flags;
+  flags.DefineString("network", "alarm", "Bayesian network to stream (see bayes/repository.h)");
+  flags.DefineString("strategy", "uniform", "exact | baseline | uniform | nonuniform");
+  flags.DefineDouble("eps", 0.1, "global approximation factor");
+  flags.DefineInt64("sites", 2, "number of site processes to wait for");
+  flags.DefineInt64("events", 100000, "training instances to stream");
+  flags.DefineInt64("batch-size", 256, "events per dispatch batch");
+  flags.DefineInt64("seed", 7, "seed for sampling and routing");
+  flags.DefineInt64("port", 7700, "TCP port to listen on (0 = ephemeral)");
+  flags.DefineString("port-file", "", "write the bound port to this file (for scripts)");
+  flags.DefineDouble("max-rel-error", -1.0,
+                     "fail (exit 1) if the max counter relative error exceeds this; "
+                     "negative disables the gate");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    if (parsed.code() == StatusCode::kNotFound) return 0;  // --help
+    std::cerr << parsed << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+
+  const StatusOr<BayesianNetwork> net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    std::cerr << net.status() << "\n";
+    return 1;
+  }
+  const StatusOr<TrackingStrategy> strategy =
+      TrackingStrategyFromName(flags.GetString("strategy"));
+  if (!strategy.ok()) {
+    std::cerr << strategy.status() << "\n";
+    return 1;
+  }
+
+  RemoteCoordinatorConfig config;
+  config.cluster.tracker.strategy = *strategy;
+  config.cluster.tracker.epsilon = flags.GetDouble("eps");
+  config.cluster.tracker.num_sites = static_cast<int>(flags.GetInt64("sites"));
+  config.cluster.tracker.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  config.cluster.num_events = flags.GetInt64("events");
+  config.cluster.batch_size = static_cast<int>(flags.GetInt64("batch-size"));
+  config.port = static_cast<int>(flags.GetInt64("port"));
+  config.port_file = flags.GetString("port-file");
+
+  std::cout << "dsgm_coordinator: waiting for " << config.cluster.tracker.num_sites
+            << " site(s) on port " << (config.port == 0 ? "<ephemeral>" : std::to_string(config.port))
+            << " (network '" << net->name() << "', "
+            << config.cluster.num_events << " events)...\n";
+
+  const StatusOr<ClusterResult> result = RunRemoteCoordinator(*net, config);
+  if (!result.ok()) {
+    std::cerr << "coordinator failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter table("Multi-process cluster run (" + std::string(ToString(*strategy)) + ")");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"events dispatched", FormatCount(result->events_processed)});
+  table.AddRow({"runtime (s)", FormatDouble(result->runtime_seconds, 3)});
+  table.AddRow({"throughput (events/s)",
+                FormatCount(static_cast<int64_t>(result->throughput_events_per_sec))});
+  table.AddRow({"wire messages", FormatCount(static_cast<int64_t>(result->comm.wire_messages))});
+  table.AddRow({"counter updates", FormatCount(static_cast<int64_t>(result->comm.update_messages))});
+  table.AddRow({"TCP bytes up", FormatCount(static_cast<int64_t>(result->transport_bytes_up))});
+  table.AddRow({"TCP bytes down", FormatCount(static_cast<int64_t>(result->transport_bytes_down))});
+  table.AddRow({"max rel. counter error", FormatDouble(result->max_counter_rel_error, 4)});
+  table.Print(std::cout);
+
+  const double bound = flags.GetDouble("max-rel-error");
+  if (bound >= 0.0 && result->max_counter_rel_error > bound) {
+    std::cerr << "VALIDATION FAILED: max counter relative error "
+              << result->max_counter_rel_error << " exceeds bound " << bound << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -8,16 +8,13 @@
 
 #include "bayes/sampler.h"
 #include "cluster/coordinator_node.h"
-#include "cluster/queue.h"
 #include "cluster/site_node.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/error_allocation.h"
 
 namespace dsgm {
-namespace {
 
-/// Per-counter epsilons in tracker layout, or empty for exact mode.
 std::vector<float> LayoutEpsilons(const BayesianNetwork& network,
                                   const TrackerConfig& config) {
   if (config.strategy == TrackingStrategy::kExactMle) return {};
@@ -44,7 +41,56 @@ std::vector<float> LayoutEpsilons(const BayesianNetwork& network,
   return epsilons;
 }
 
-}  // namespace
+void FinalizeClusterResult(const CoordinatorNode& coordinator,
+                           const std::vector<uint64_t>& exact_totals,
+                           ClusterResult* result) {
+  result->runtime_seconds = coordinator.ActiveSeconds();
+  result->comm = coordinator.comm();
+  result->throughput_events_per_sec =
+      result->runtime_seconds > 0.0
+          ? static_cast<double>(result->events_processed) / result->runtime_seconds
+          : 0.0;
+  result->max_counter_rel_error = 0.0;
+  for (size_t c = 0; c < exact_totals.size(); ++c) {
+    const uint64_t exact = exact_totals[c];
+    if (exact < 64) continue;
+    const double rel = std::abs(coordinator.Estimate(static_cast<int64_t>(c)) -
+                                static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    result->max_counter_rel_error = std::max(result->max_counter_rel_error, rel);
+  }
+}
+
+void DispatchEvents(const BayesianNetwork& network, int64_t num_events,
+                    int batch_size, uint64_t sampler_seed, uint64_t router_seed,
+                    const std::vector<Channel<EventBatch>*>& events) {
+  const int k = static_cast<int>(events.size());
+  DSGM_CHECK_GT(k, 0);
+  DSGM_CHECK_GT(batch_size, 0);
+  ForwardSampler sampler(network, sampler_seed);
+  Rng router(router_seed);
+  const int n = network.num_variables();
+  std::vector<EventBatch> pending(static_cast<size_t>(k));
+  Instance instance;
+  for (int64_t e = 0; e < num_events; ++e) {
+    const int site = static_cast<int>(router.NextBounded(static_cast<uint64_t>(k)));
+    EventBatch& batch = pending[static_cast<size_t>(site)];
+    sampler.Sample(&instance);
+    batch.values.insert(batch.values.end(), instance.begin(), instance.end());
+    if (++batch.num_events >= batch_size) {
+      events[static_cast<size_t>(site)]->Push(std::move(batch));
+      batch = EventBatch{};
+      batch.values.reserve(static_cast<size_t>(batch_size) * n);
+    }
+  }
+  for (int s = 0; s < k; ++s) {
+    EventBatch& batch = pending[static_cast<size_t>(s)];
+    if (batch.num_events > 0) {
+      events[static_cast<size_t>(s)]->Push(std::move(batch));
+    }
+    events[static_cast<size_t>(s)]->Close();
+  }
+}
 
 ClusterResult RunCluster(const BayesianNetwork& network,
                          const ClusterConfig& config) {
@@ -56,29 +102,26 @@ ClusterResult RunCluster(const BayesianNetwork& network,
 
   WallTimer wall;
 
-  // --- Plumbing.
-  BoundedQueue<UpdateBundle> to_coordinator(8192);
-  std::vector<std::unique_ptr<BoundedQueue<EventBatch>>> event_queues;
-  std::vector<std::unique_ptr<BoundedQueue<RoundAdvance>>> command_queues;
-  std::vector<BoundedQueue<RoundAdvance>*> command_ptrs;
-  for (int s = 0; s < k; ++s) {
-    event_queues.push_back(std::make_unique<BoundedQueue<EventBatch>>(64));
-    command_queues.push_back(std::make_unique<BoundedQueue<RoundAdvance>>(1 << 16));
-    command_ptrs.push_back(command_queues.back().get());
-  }
+  // --- Plumbing: loopback queues unless the config supplies a transport.
+  std::unique_ptr<ClusterTransport> transport =
+      config.transport ? config.transport(k) : MakeLoopbackTransport(k);
+  DSGM_CHECK_EQ(transport->num_sites(), k);
+  const CoordinatorEndpoints coordinator_endpoints = transport->coordinator();
 
   CoordinatorNode coordinator(LayoutEpsilons(network, config.tracker),
                               total_counters, k,
-                              config.tracker.probability_constant, &to_coordinator,
-                              command_ptrs);
+                              config.tracker.probability_constant,
+                              coordinator_endpoints.updates,
+                              coordinator_endpoints.commands);
 
   Rng seeder(config.tracker.seed);
   std::vector<std::unique_ptr<SiteNode>> sites;
   for (int s = 0; s < k; ++s) {
+    const SiteEndpoints endpoints = transport->site(s);
     sites.push_back(std::make_unique<SiteNode>(s, network, seeder.Next(),
-                                               event_queues[static_cast<size_t>(s)].get(),
-                                               command_queues[static_cast<size_t>(s)].get(),
-                                               &to_coordinator));
+                                               endpoints.events,
+                                               endpoints.commands,
+                                               endpoints.updates));
   }
 
   // --- Threads.
@@ -90,29 +133,10 @@ ClusterResult RunCluster(const BayesianNetwork& network,
 
   // --- Dispatch: sample instances, route each to a uniformly random site.
   {
-    ForwardSampler sampler(network, seeder.Next());
-    Rng router(seeder.Next());
-    const int n = network.num_variables();
-    std::vector<EventBatch> pending(static_cast<size_t>(k));
-    Instance instance;
-    for (int64_t e = 0; e < config.num_events; ++e) {
-      const int site = static_cast<int>(router.NextBounded(static_cast<uint64_t>(k)));
-      EventBatch& batch = pending[static_cast<size_t>(site)];
-      sampler.Sample(&instance);
-      batch.values.insert(batch.values.end(), instance.begin(), instance.end());
-      if (++batch.num_events >= config.batch_size) {
-        event_queues[static_cast<size_t>(site)]->Push(std::move(batch));
-        batch = EventBatch{};
-        batch.values.reserve(static_cast<size_t>(config.batch_size) * n);
-      }
-    }
-    for (int s = 0; s < k; ++s) {
-      EventBatch& batch = pending[static_cast<size_t>(s)];
-      if (batch.num_events > 0) {
-        event_queues[static_cast<size_t>(s)]->Push(std::move(batch));
-      }
-      event_queues[static_cast<size_t>(s)]->Close();
-    }
+    const uint64_t sampler_seed = seeder.Next();
+    const uint64_t router_seed = seeder.Next();
+    DispatchEvents(network, config.num_events, config.batch_size, sampler_seed,
+                   router_seed, coordinator_endpoints.events);
   }
 
   for (std::thread& thread : threads) thread.join();
@@ -120,29 +144,25 @@ ClusterResult RunCluster(const BayesianNetwork& network,
   // --- Results & validation.
   ClusterResult result;
   result.wall_seconds = wall.ElapsedSeconds();
-  result.runtime_seconds = coordinator.ActiveSeconds();
-  result.comm = coordinator.comm();
+  const TransportStats transport_stats = transport->stats();
+  result.transport_bytes_up = transport_stats.bytes_up;
+  result.transport_bytes_down = transport_stats.bytes_down;
+  result.transport_measured = transport_stats.measured;
   for (const auto& site : sites) result.events_processed += site->events_processed();
-  result.throughput_events_per_sec =
-      result.runtime_seconds > 0.0
-          ? static_cast<double>(result.events_processed) / result.runtime_seconds
-          : 0.0;
   // Site -> coordinator wire/update accounting happened coordinator-side.
   DSGM_CHECK_EQ(result.events_processed, config.num_events);
 
-  // Validate coordinator estimates against summed exact site counts; the
-  // threshold skips tiny counters whose relative error is noise-dominated.
-  for (int64_t c = 0; c < total_counters; ++c) {
-    uint64_t exact = 0;
-    for (const auto& site : sites) {
-      exact += site->local_counts()[static_cast<size_t>(c)];
+  // Validate coordinator estimates against summed exact site counts.
+  std::vector<uint64_t> exact_totals(static_cast<size_t>(total_counters), 0);
+  for (const auto& site : sites) {
+    for (int64_t c = 0; c < total_counters; ++c) {
+      exact_totals[static_cast<size_t>(c)] +=
+          site->local_counts()[static_cast<size_t>(c)];
     }
-    if (exact < 64) continue;
-    const double rel = std::abs(coordinator.Estimate(c) - static_cast<double>(exact)) /
-                       static_cast<double>(exact);
-    result.max_counter_rel_error = std::max(result.max_counter_rel_error, rel);
   }
+  FinalizeClusterResult(coordinator, exact_totals, &result);
 
+  transport->Shutdown();
   return result;
 }
 

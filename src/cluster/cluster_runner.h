@@ -4,10 +4,12 @@
 #define DSGM_CLUSTER_CLUSTER_RUNNER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "bayes/network.h"
 #include "core/tracker_config.h"
 #include "monitor/comm_stats.h"
+#include "net/cluster_transport.h"
 
 namespace dsgm {
 
@@ -17,6 +19,10 @@ struct ClusterConfig {
   int64_t num_events = 100000;
   /// Events handed to a site per dispatch batch.
   int batch_size = 256;
+  /// Builds the plumbing between coordinator and sites. Empty means the
+  /// in-process loopback (the pre-transport behavior); pass
+  /// MakeLocalTcpTransport to run the same threads over real sockets.
+  TransportFactory transport;
 };
 
 /// Measurements of one cluster run.
@@ -33,7 +39,39 @@ struct ClusterResult {
   /// Validation: max relative error of coordinator estimates against the
   /// summed site-local exact counts, over counters with exact total >= 64.
   double max_counter_rel_error = 0.0;
+  /// Wire bytes actually observed by the transport (framing included).
+  /// Zero with transport_measured == false on loopback, which moves no
+  /// bytes; CommStats keeps the protocol-level estimate either way.
+  uint64_t transport_bytes_up = 0;
+  uint64_t transport_bytes_down = 0;
+  bool transport_measured = false;
 };
+
+/// Per-counter epsilons in the MleTracker counter layout for the given
+/// strategy, or empty for exact mode. Shared by the in-process and remote
+/// (multi-process) coordinator drivers.
+std::vector<float> LayoutEpsilons(const BayesianNetwork& network,
+                                  const TrackerConfig& config);
+
+class CoordinatorNode;
+
+/// Fills the protocol-side measurements both drivers share once the
+/// coordinator finished: comm stats, runtime (the paper's first-to-last
+/// message definition), throughput from result->events_processed (which
+/// the caller sets beforehand), and the validation metric — max relative
+/// error of the coordinator's estimates against `exact_totals`, skipping
+/// counters whose exact total is below 64 (noise-dominated).
+void FinalizeClusterResult(const CoordinatorNode& coordinator,
+                           const std::vector<uint64_t>& exact_totals,
+                           ClusterResult* result);
+
+/// Samples `num_events` instances from `network`'s ground truth and routes
+/// each to a uniformly random site's event channel in batches of
+/// `batch_size`, closing every channel afterwards. Shared by RunCluster and
+/// the multi-process coordinator driver.
+void DispatchEvents(const BayesianNetwork& network, int64_t num_events,
+                    int batch_size, uint64_t sampler_seed, uint64_t router_seed,
+                    const std::vector<Channel<EventBatch>*>& events);
 
 /// Spawns one thread per site plus a coordinator thread, streams
 /// `num_events` instances sampled from `network`'s ground truth to uniformly

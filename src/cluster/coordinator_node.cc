@@ -17,8 +17,8 @@ constexpr uint64_t kSyncBytes = 12;
 
 CoordinatorNode::CoordinatorNode(std::vector<float> epsilons, int64_t num_counters,
                                  int num_sites, double probability_constant,
-                                 BoundedQueue<UpdateBundle>* from_sites,
-                                 std::vector<BoundedQueue<RoundAdvance>*> commands)
+                                 Channel<UpdateBundle>* from_sites,
+                                 std::vector<Channel<RoundAdvance>*> commands)
     : num_counters_(num_counters),
       num_sites_(num_sites),
       safety_(probability_constant),
@@ -38,6 +38,7 @@ CoordinatorNode::CoordinatorNode(std::vector<float> epsilons, int64_t num_counte
   sync_pending_.assign(n, 0);
   sync_counts_.assign(n * static_cast<size_t>(num_sites_), 0);
   best_reports_.assign(n * static_cast<size_t>(num_sites_), 0);
+  site_done_.assign(static_cast<size_t>(num_sites_), 0);
 }
 
 double CoordinatorNode::SiteEstimate(size_t cell, double p) const {
@@ -69,9 +70,14 @@ void CoordinatorNode::OnSync(int site, const CounterReport& report) {
   // information beyond it.
   best_reports_[cell] = std::max(best_reports_[cell], sync_counts_[cell]);
   estimates_[c] += SiteEstimate(cell, p) - before;
-  --outstanding_syncs_;
-  if (sync_pending_[c] > 0 && --sync_pending_[c] == 0) {
-    MaybeAdvance(report.counter);
+  // Count the reply against the round only while replies are actually
+  // outstanding for this counter: an unsolicited (forged or duplicate) sync
+  // must not drive outstanding_syncs_ negative, which would keep Run's exit
+  // condition false forever. This keeps the invariant
+  // outstanding_syncs_ == sum(sync_pending_).
+  if (sync_pending_[c] > 0) {
+    --outstanding_syncs_;
+    if (--sync_pending_[c] == 0) MaybeAdvance(report.counter);
   }
 }
 
@@ -119,12 +125,18 @@ void CoordinatorNode::Run() {
     }
     last_message_ = now;
     for (const UpdateBundle& bundle : batch) {
+      // Bundles can arrive from a real network peer; ids must be validated
+      // before they index protocol state (a forged site/counter would be an
+      // out-of-bounds write, not just a bad estimate).
+      const bool site_ok = bundle.site >= 0 && bundle.site < num_sites_;
       switch (bundle.kind) {
         case UpdateBundle::Kind::kReports:
           ++comm_.wire_messages;
           comm_.update_messages += bundle.reports.size();
           comm_.bytes_up += kUpdateBytes * bundle.reports.size();
+          if (!site_ok) break;
           for (const CounterReport& report : bundle.reports) {
+            if (report.counter < 0 || report.counter >= num_counters_) continue;
             OnReport(bundle.site, report);
           }
           break;
@@ -132,17 +144,29 @@ void CoordinatorNode::Run() {
           ++comm_.wire_messages;
           comm_.sync_messages += bundle.reports.size();
           comm_.bytes_up += kSyncBytes * bundle.reports.size();
+          if (!site_ok) break;
           for (const CounterReport& report : bundle.reports) {
+            if (report.counter < 0 || report.counter >= num_counters_) continue;
             OnSync(bundle.site, report);
           }
           break;
         case UpdateBundle::Kind::kSiteDone:
-          ++done_sites_;
+          // One done per real site: a forged or repeated marker must not
+          // end the run while genuine sites are still streaming.
+          if (site_ok && !site_done_[static_cast<size_t>(bundle.site)]) {
+            site_done_[static_cast<size_t>(bundle.site)] = 1;
+            ++done_sites_;
+          }
+          break;
+        case UpdateBundle::Kind::kFinalCounts:
+          // Validation frames for the multi-process driver; they are sent
+          // only after the protocol finished, so Run never sees one. Ignore
+          // defensively.
           break;
       }
     }
   }
-  for (BoundedQueue<RoundAdvance>* queue : commands_) queue->Close();
+  for (Channel<RoundAdvance>* channel : commands_) channel->Close();
 }
 
 double CoordinatorNode::ActiveSeconds() const {

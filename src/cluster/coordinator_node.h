@@ -7,8 +7,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "cluster/queue.h"
-#include "cluster/wire.h"
+#include "net/wire.h"
+#include "net/channel.h"
 #include "monitor/comm_stats.h"
 
 namespace dsgm {
@@ -26,8 +26,8 @@ class CoordinatorNode {
   /// site s's command queue.
   CoordinatorNode(std::vector<float> epsilons, int64_t num_counters, int num_sites,
                   double probability_constant,
-                  BoundedQueue<UpdateBundle>* from_sites,
-                  std::vector<BoundedQueue<RoundAdvance>*> commands);
+                  Channel<UpdateBundle>* from_sites,
+                  std::vector<Channel<RoundAdvance>*> commands);
 
   /// Thread body: runs until every site reported done and no sync replies
   /// are outstanding, then closes the command queues.
@@ -54,8 +54,8 @@ class CoordinatorNode {
   int num_sites_;
   double safety_;
   bool exact_mode_;
-  BoundedQueue<UpdateBundle>* from_sites_;
-  std::vector<BoundedQueue<RoundAdvance>*> commands_;
+  Channel<UpdateBundle>* from_sites_;
+  std::vector<Channel<RoundAdvance>*> commands_;
 
   // Coordinator protocol state (see monitor/approx_counter.h).
   std::vector<float> epsilons_;
@@ -66,6 +66,7 @@ class CoordinatorNode {
   std::vector<uint8_t> sync_pending_;   // outstanding sync replies per counter
   std::vector<uint32_t> sync_counts_;   // [counter * k + site]
   std::vector<uint32_t> best_reports_;  // [counter * k + site]
+  std::vector<uint8_t> site_done_;      // which sites reported kSiteDone
 
   int done_sites_ = 0;
   int64_t outstanding_syncs_ = 0;

@@ -1,0 +1,68 @@
+// Drivers for the genuinely multi-process cluster: one coordinator process
+// and k site processes talking localhost (or LAN) TCP through net/. The
+// dsgm_coordinator and dsgm_site example binaries are thin wrappers over
+// these functions, which keeps the protocol logic testable in-process.
+//
+// Roles:
+//   RunRemoteCoordinator — listens, accepts k hello-identified connections,
+//     runs the CoordinatorNode plus the event dispatcher against them, and
+//     after protocol shutdown collects each site's exact counter totals
+//     (UpdateBundle::kFinalCounts) to compute the same
+//     max_counter_rel_error validation metric as the in-process run.
+//   RunRemoteSite — connects (with retry while the coordinator boots),
+//     announces its site id, runs the SiteNode, then reports final counts.
+
+#ifndef DSGM_CLUSTER_REMOTE_RUNNER_H_
+#define DSGM_CLUSTER_REMOTE_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bayes/network.h"
+#include "cluster/cluster_runner.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+struct RemoteCoordinatorConfig {
+  /// Strategy, epsilon, num_sites (= number of site processes expected),
+  /// seed, num_events, batch_size. The transport field is ignored; the
+  /// coordinator always serves TCP.
+  ClusterConfig cluster;
+  /// Port to listen on; 0 picks an ephemeral port.
+  int port = 0;
+  /// When non-empty, the bound port is written here (atomically, via
+  /// rename) once the coordinator is accepting — lets scripts start site
+  /// processes without guessing ports.
+  std::string port_file;
+};
+
+/// Serves one full cluster run. Blocks until all sites finished and
+/// reported their final counts. `result.events_processed` is the number of
+/// events dispatched (the sites are remote; their processed totals arrive
+/// only via the validation counts).
+StatusOr<ClusterResult> RunRemoteCoordinator(const BayesianNetwork& network,
+                                             const RemoteCoordinatorConfig& config);
+
+struct RemoteSiteConfig {
+  int site_id = 0;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Seed for the site's Bernoulli reporting decisions.
+  uint64_t seed = 7;
+  /// How long to keep retrying the initial connect while the coordinator
+  /// is still starting up.
+  int connect_timeout_ms = 10000;
+};
+
+struct RemoteSiteResult {
+  int64_t events_processed = 0;
+};
+
+/// Runs one site process's lifetime against a remote coordinator.
+StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
+                                         const RemoteSiteConfig& config);
+
+}  // namespace dsgm
+
+#endif  // DSGM_CLUSTER_REMOTE_RUNNER_H_

@@ -5,9 +5,8 @@
 namespace dsgm {
 
 SiteNode::SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
-                   BoundedQueue<EventBatch>* events,
-                   BoundedQueue<RoundAdvance>* commands,
-                   BoundedQueue<UpdateBundle>* to_coordinator)
+                   Channel<EventBatch>* events, Channel<RoundAdvance>* commands,
+                   Channel<UpdateBundle>* to_coordinator)
     : site_id_(site_id),
       network_(&network),
       rng_(seed),
@@ -87,10 +86,20 @@ void SiteNode::DrainCommands(bool block_until_closed) {
     sync.kind = UpdateBundle::Kind::kSync;
     sync.site = site_id_;
     for (const RoundAdvance& advance : commands) {
+      // Commands can arrive from a real network peer; reject out-of-range
+      // counter ids before indexing.
+      if (advance.counter < 0 ||
+          advance.counter >= static_cast<int64_t>(probs_.size())) {
+        continue;
+      }
       probs_[static_cast<size_t>(advance.counter)] = advance.probability;
       sync.round = advance.round;
       sync.reports.push_back(CounterReport{
           advance.counter, local_counts_[static_cast<size_t>(advance.counter)]});
+    }
+    if (sync.reports.empty()) {
+      if (!block_until_closed) return;
+      continue;
     }
     to_coordinator_->Push(std::move(sync));
     if (!block_until_closed) return;

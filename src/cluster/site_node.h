@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "bayes/network.h"
-#include "cluster/queue.h"
-#include "cluster/wire.h"
+#include "net/wire.h"
 #include "common/rng.h"
+#include "net/channel.h"
 
 namespace dsgm {
 
@@ -23,8 +23,8 @@ namespace dsgm {
 class SiteNode {
  public:
   SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
-           BoundedQueue<EventBatch>* events, BoundedQueue<RoundAdvance>* commands,
-           BoundedQueue<UpdateBundle>* to_coordinator);
+           Channel<EventBatch>* events, Channel<RoundAdvance>* commands,
+           Channel<UpdateBundle>* to_coordinator);
 
   /// Thread body: runs until the event queue closes and drains, then keeps
   /// serving round advances until the command queue closes.
@@ -43,9 +43,9 @@ class SiteNode {
   int site_id_;
   const BayesianNetwork* network_;
   Rng rng_;
-  BoundedQueue<EventBatch>* events_;
-  BoundedQueue<RoundAdvance>* commands_;
-  BoundedQueue<UpdateBundle>* to_coordinator_;
+  Channel<EventBatch>* events_;
+  Channel<RoundAdvance>* commands_;
+  Channel<UpdateBundle>* to_coordinator_;
 
   // Structure metadata (same flattening as MleTracker).
   int num_vars_;

@@ -1,7 +1,7 @@
 // Bounded blocking queue connecting cluster threads.
 
-#ifndef DSGM_CLUSTER_QUEUE_H_
-#define DSGM_CLUSTER_QUEUE_H_
+#ifndef DSGM_COMMON_QUEUE_H_
+#define DSGM_COMMON_QUEUE_H_
 
 #include <condition_variable>
 #include <deque>
@@ -31,16 +31,24 @@ class BoundedQueue {
     return true;
   }
 
-  /// Pushes a whole batch (may transiently exceed capacity by one batch to
-  /// keep the operation atomic). Returns false iff closed.
+  /// Pushes a whole batch, chunking against the capacity bound: the queue
+  /// never grows past `capacity`, and a batch larger than the remaining
+  /// room waits for consumers between chunks. Items of one batch stay
+  /// contiguous and in order, but other producers may interleave between
+  /// chunks. Returns false iff closed (a close mid-batch drops the
+  /// unpushed remainder; already-pushed chunks stay poppable).
   bool PushBatch(std::vector<T>&& batch) {
     if (batch.empty()) return true;
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    for (T& item : batch) items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_all();
+    size_t pushed = 0;
+    while (pushed < batch.size()) {
+      not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      while (pushed < batch.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(batch[pushed++]));
+      }
+      not_empty_.notify_all();
+    }
     batch.clear();
     return true;
   }
@@ -87,6 +95,12 @@ class BoundedQueue {
     return closed_;
   }
 
+  /// Momentary item count (for tests and introspection; racy by nature).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
@@ -98,4 +112,4 @@ class BoundedQueue {
 
 }  // namespace dsgm
 
-#endif  // DSGM_CLUSTER_QUEUE_H_
+#endif  // DSGM_COMMON_QUEUE_H_

@@ -1,0 +1,313 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+namespace dsgm {
+namespace {
+
+/// Bounds-checked forward reader over a payload buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  Status ReadU8(uint8_t* out) {
+    if (remaining() < 1) return InvalidArgumentError("codec: truncated frame");
+    *out = data_[pos_++];
+    return Status::Ok();
+  }
+
+  Status ReadVarint(uint64_t* out) {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= size_) return InvalidArgumentError("codec: truncated varint");
+      const uint8_t byte = data_[pos_++];
+      value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = value;
+        return Status::Ok();
+      }
+    }
+    return InvalidArgumentError("codec: varint longer than 64 bits");
+  }
+
+  Status ReadZigzag(int64_t* out) {
+    uint64_t raw = 0;
+    DSGM_RETURN_IF_ERROR(ReadVarint(&raw));
+    *out = ZigzagDecode(raw);
+    return Status::Ok();
+  }
+
+  Status ReadFloat(float* out) {
+    if (remaining() < 4) return InvalidArgumentError("codec: truncated float");
+    uint32_t bits = 0;
+    for (int i = 0; i < 4; ++i) {
+      bits |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos_ += 4;
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::Ok();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendZigzag(int64_t value, std::vector<uint8_t>* out) {
+  AppendVarint(ZigzagEncode(value), out);
+}
+
+void AppendFloat(float value, std::vector<uint8_t>* out) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+/// Caps a decoder-side reserve() by what the remaining bytes could possibly
+/// hold, so a forged element count cannot force a huge allocation.
+size_t SafeReserve(uint64_t claimed, size_t bytes_left, size_t min_bytes_per_item) {
+  const uint64_t cap = bytes_left / min_bytes_per_item;
+  return static_cast<size_t>(claimed < cap ? claimed : cap);
+}
+
+void AppendBundleBody(const UpdateBundle& bundle, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(bundle.kind));
+  AppendZigzag(bundle.site, out);
+  AppendZigzag(bundle.round, out);
+  AppendVarint(bundle.reports.size(), out);
+  int64_t previous = 0;
+  for (const CounterReport& report : bundle.reports) {
+    // Two's-complement delta (wraps instead of signed overflow); the
+    // decoder accumulates with the same unsigned arithmetic.
+    AppendZigzag(static_cast<int64_t>(static_cast<uint64_t>(report.counter) -
+                                      static_cast<uint64_t>(previous)),
+                 out);
+    AppendVarint(report.value, out);
+    previous = report.counter;
+  }
+}
+
+Status DecodeBundleBody(ByteReader* reader, UpdateBundle* out) {
+  uint8_t kind = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadU8(&kind));
+  if (kind > static_cast<uint8_t>(UpdateBundle::Kind::kFinalCounts)) {
+    return InvalidArgumentError("codec: bad UpdateBundle kind tag");
+  }
+  out->kind = static_cast<UpdateBundle::Kind>(kind);
+  int64_t site = 0;
+  int64_t round = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&site));
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&round));
+  if (site < INT32_MIN || site > INT32_MAX || round < INT32_MIN || round > INT32_MAX) {
+    return InvalidArgumentError("codec: UpdateBundle site/round out of range");
+  }
+  out->site = static_cast<int32_t>(site);
+  out->round = static_cast<int32_t>(round);
+  uint64_t count = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  out->reports.clear();
+  out->reports.reserve(SafeReserve(count, reader->remaining(), 2));
+  int64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t delta = 0;
+    uint64_t value = 0;
+    DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&delta));
+    DSGM_RETURN_IF_ERROR(reader->ReadVarint(&value));
+    if (value > UINT32_MAX) {
+      return InvalidArgumentError("codec: CounterReport value out of range");
+    }
+    // Unsigned accumulation: a crafted delta must not be signed overflow
+    // (UB); wraparound just yields an id the consumer's bounds checks drop.
+    previous = static_cast<int64_t>(static_cast<uint64_t>(previous) +
+                                    static_cast<uint64_t>(delta));
+    out->reports.push_back(CounterReport{previous, static_cast<uint32_t>(value)});
+  }
+  return Status::Ok();
+}
+
+void AppendAdvanceBody(const RoundAdvance& advance, std::vector<uint8_t>* out) {
+  AppendZigzag(advance.counter, out);
+  AppendZigzag(advance.round, out);
+  AppendFloat(advance.probability, out);
+}
+
+Status DecodeAdvanceBody(ByteReader* reader, RoundAdvance* out) {
+  int64_t round = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&out->counter));
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&round));
+  if (round < INT32_MIN || round > INT32_MAX) {
+    return InvalidArgumentError("codec: RoundAdvance round out of range");
+  }
+  out->round = static_cast<int32_t>(round);
+  return reader->ReadFloat(&out->probability);
+}
+
+void AppendBatchBody(const EventBatch& batch, std::vector<uint8_t>* out) {
+  AppendZigzag(batch.num_events, out);
+  AppendVarint(batch.values.size(), out);
+  for (int32_t value : batch.values) AppendZigzag(value, out);
+}
+
+Status DecodeBatchBody(ByteReader* reader, EventBatch* out) {
+  int64_t num_events = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&num_events));
+  if (num_events < 0 || num_events > INT32_MAX) {
+    return InvalidArgumentError("codec: EventBatch num_events out of range");
+  }
+  out->num_events = static_cast<int32_t>(num_events);
+  uint64_t count = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  out->values.clear();
+  out->values.reserve(SafeReserve(count, reader->remaining(), 1));
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t value = 0;
+    DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&value));
+    if (value < INT32_MIN || value > INT32_MAX) {
+      return InvalidArgumentError("codec: EventBatch value out of range");
+    }
+    out->values.push_back(static_cast<int32_t>(value));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+Frame MakeFrame(UpdateBundle bundle) {
+  Frame frame;
+  frame.type = FrameType::kUpdateBundle;
+  frame.bundle = std::move(bundle);
+  return frame;
+}
+
+Frame MakeFrame(RoundAdvance advance) {
+  Frame frame;
+  frame.type = FrameType::kRoundAdvance;
+  frame.advance = advance;
+  return frame;
+}
+
+Frame MakeFrame(EventBatch batch) {
+  Frame frame;
+  frame.type = FrameType::kEventBatch;
+  frame.batch = std::move(batch);
+  return frame;
+}
+
+Frame MakeChannelClose(FrameType channel) {
+  Frame frame;
+  frame.type = FrameType::kChannelClose;
+  frame.channel = channel;
+  return frame;
+}
+
+Frame MakeHello(int32_t site) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.site = site;
+  return frame;
+}
+
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  const size_t prefix_at = out->size();
+  out->resize(prefix_at + 4);  // Patched below.
+  out->push_back(static_cast<uint8_t>(frame.type));
+  switch (frame.type) {
+    case FrameType::kUpdateBundle:
+      AppendBundleBody(frame.bundle, out);
+      break;
+    case FrameType::kRoundAdvance:
+      AppendAdvanceBody(frame.advance, out);
+      break;
+    case FrameType::kEventBatch:
+      AppendBatchBody(frame.batch, out);
+      break;
+    case FrameType::kChannelClose:
+      out->push_back(static_cast<uint8_t>(frame.channel));
+      break;
+    case FrameType::kHello:
+      AppendZigzag(frame.site, out);
+      break;
+  }
+  const size_t payload = out->size() - prefix_at - 4;
+  DSGM_CHECK_LE(payload, kMaxFramePayload);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[prefix_at + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(payload >> (8 * i));
+  }
+}
+
+Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
+  ByteReader reader(data, size);
+  uint8_t type = 0;
+  DSGM_RETURN_IF_ERROR(reader.ReadU8(&type));
+  if (type < static_cast<uint8_t>(FrameType::kUpdateBundle) ||
+      type > static_cast<uint8_t>(FrameType::kHello)) {
+    return InvalidArgumentError("codec: bad frame type tag");
+  }
+  out->type = static_cast<FrameType>(type);
+  switch (out->type) {
+    case FrameType::kUpdateBundle:
+      DSGM_RETURN_IF_ERROR(DecodeBundleBody(&reader, &out->bundle));
+      break;
+    case FrameType::kRoundAdvance:
+      DSGM_RETURN_IF_ERROR(DecodeAdvanceBody(&reader, &out->advance));
+      break;
+    case FrameType::kEventBatch:
+      DSGM_RETURN_IF_ERROR(DecodeBatchBody(&reader, &out->batch));
+      break;
+    case FrameType::kChannelClose: {
+      uint8_t channel = 0;
+      DSGM_RETURN_IF_ERROR(reader.ReadU8(&channel));
+      if (channel < static_cast<uint8_t>(FrameType::kUpdateBundle) ||
+          channel > static_cast<uint8_t>(FrameType::kEventBatch)) {
+        return InvalidArgumentError("codec: bad channel tag in close frame");
+      }
+      out->channel = static_cast<FrameType>(channel);
+      break;
+    }
+    case FrameType::kHello: {
+      int64_t site = 0;
+      DSGM_RETURN_IF_ERROR(reader.ReadZigzag(&site));
+      if (site < INT32_MIN || site > INT32_MAX) {
+        return InvalidArgumentError("codec: hello site out of range");
+      }
+      out->site = static_cast<int32_t>(site);
+      break;
+    }
+  }
+  if (!reader.done()) {
+    return InvalidArgumentError("codec: trailing bytes after frame payload");
+  }
+  return Status::Ok();
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, Frame* out, size_t* consumed) {
+  if (size < 4) return InvalidArgumentError("codec: truncated length prefix");
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(data[i]) << (8 * i);
+  }
+  if (length > kMaxFramePayload) {
+    return InvalidArgumentError("codec: frame payload exceeds kMaxFramePayload");
+  }
+  if (size - 4 < length) return InvalidArgumentError("codec: truncated frame payload");
+  DSGM_RETURN_IF_ERROR(DecodeFramePayload(data + 4, length, out));
+  *consumed = 4 + static_cast<size_t>(length);
+  return Status::Ok();
+}
+
+}  // namespace dsgm

@@ -1,0 +1,89 @@
+// Binary wire codec for the cluster protocol frames.
+//
+// Every frame crossing a transport is encoded as
+//
+//   u32-LE payload_length | payload
+//   payload := u8 frame_type | body
+//
+// with varint (LEB128) packed bodies; signed integers use zigzag coding and
+// counter ids inside a bundle are delta-coded (sync bundles enumerate dense
+// counter ranges, so deltas collapse to one byte each). Three frame types
+// carry the net/wire.h messages; two more (kChannelClose, kHello) are
+// transport control frames that never reach application code.
+//
+// Decoding is defensive: truncated frames, oversized length prefixes, bad
+// enum tags, and trailing bytes all return a Status error and never touch
+// memory outside the input buffer.
+
+#ifndef DSGM_NET_CODEC_H_
+#define DSGM_NET_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace dsgm {
+
+enum class FrameType : uint8_t {
+  kUpdateBundle = 1,  // site -> coordinator
+  kRoundAdvance = 2,  // coordinator -> site
+  kEventBatch = 3,    // dispatcher -> site
+  kChannelClose = 4,  // transport control: sender closed one logical channel
+  kHello = 5,         // transport control: connection announces its site id
+};
+
+/// Tagged union of everything a connection can carry. Only the member
+/// selected by `type` is meaningful.
+struct Frame {
+  FrameType type = FrameType::kUpdateBundle;
+  UpdateBundle bundle;   // kUpdateBundle
+  RoundAdvance advance;  // kRoundAdvance
+  EventBatch batch;      // kEventBatch
+  /// kChannelClose: which logical channel the sender closed.
+  FrameType channel = FrameType::kUpdateBundle;
+  /// kHello: the connecting site's id.
+  int32_t site = -1;
+};
+
+Frame MakeFrame(UpdateBundle bundle);
+Frame MakeFrame(RoundAdvance advance);
+Frame MakeFrame(EventBatch batch);
+Frame MakeChannelClose(FrameType channel);
+Frame MakeHello(int32_t site);
+
+/// Upper bound on one frame's payload; a length prefix above this is
+/// rejected before any allocation (protects against corrupt peers).
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Appends the length prefix plus encoded payload of `frame` to `out`.
+void AppendFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+/// Decodes one payload (the bytes after the length prefix). The payload
+/// must be consumed exactly; trailing bytes are an error.
+Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out);
+
+/// Decodes one length-prefixed frame from the front of a buffer. On success
+/// `*consumed` is the number of bytes the frame occupied. A buffer that
+/// ends mid-frame is an error (transports read exact lengths, so a short
+/// buffer means corruption, not "try again").
+Status DecodeFrame(const uint8_t* data, size_t size, Frame* out, size_t* consumed);
+
+// --- Primitives, exposed for tests.
+
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out);
+
+constexpr uint64_t ZigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+constexpr int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_CODEC_H_

@@ -1,0 +1,197 @@
+#include "net/tcp_socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace dsgm {
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpSocket::~TcpSocket() { Close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<TcpSocket> TcpSocket::Connect(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return InvalidArgumentError("tcp: bad port " + std::to_string(port));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string target = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("tcp: cannot parse host address '" + target + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("tcp: socket()");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = ErrnoError("tcp: connect(" + target + ":" +
+                                     std::to_string(port) + ")");
+    ::close(fd);
+    return status;
+  }
+  SetNoDelay(fd);
+  return TcpSocket(fd);
+}
+
+Status TcpSocket::SendAll(const uint8_t* data, size_t size) {
+  if (!valid()) return FailedPreconditionError("tcp: send on closed socket");
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process kill.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("tcp: send()");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpSocket::RecvAll(uint8_t* data, size_t size, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  if (!valid()) return FailedPreconditionError("tcp: recv on closed socket");
+  size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd_, data + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("tcp: recv()");
+    }
+    if (n == 0) {
+      if (received == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return OutOfRangeError("tcp: connection closed by peer");
+      }
+      return InternalError("tcp: connection closed mid-frame");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void TcpSocket::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpSocket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+StatusOr<TcpListener> TcpListener::Listen(int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError("tcp: bad port " + std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("tcp: socket()");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = ErrnoError("tcp: bind(:" + std::to_string(port) + ")");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = ErrnoError("tcp: listen()");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status status = ErrnoError("tcp: getsockname()");
+    ::close(fd);
+    return status;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = static_cast<int>(ntohs(addr.sin_port));
+  return listener;
+}
+
+StatusOr<TcpSocket> TcpListener::Accept() {
+  if (!valid()) return FailedPreconditionError("tcp: accept on closed listener");
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return TcpSocket(fd);
+    }
+    if (errno == EINTR) continue;
+    return ErrnoError("tcp: accept()");
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dsgm

@@ -1,0 +1,90 @@
+// Thin RAII wrappers over POSIX TCP sockets: full-length blocking reads and
+// writes, TCP_NODELAY (the protocol is latency-sensitive small frames), and
+// Status-based error reporting. No epoll/nonblocking machinery — the
+// transport dedicates a reader thread per connection, which keeps the
+// semantics identical to the in-process queues.
+
+#ifndef DSGM_NET_TCP_SOCKET_H_
+#define DSGM_NET_TCP_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dsgm {
+
+/// One connected stream socket. Movable, closes on destruction.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (host is a dotted quad or "localhost").
+  static StatusOr<TcpSocket> Connect(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes exactly `size` bytes (looping over partial writes). A peer that
+  /// disappeared mid-write is an error, never a SIGPIPE.
+  Status SendAll(const uint8_t* data, size_t size);
+
+  /// Reads exactly `size` bytes. EOF before `size` bytes is an error;
+  /// `eof_ok` distinguishes "clean EOF before the first byte" (returns
+  /// kOutOfRange) from corruption (kInternal).
+  Status RecvAll(uint8_t* data, size_t size, bool* clean_eof = nullptr);
+
+  /// Receive timeout in milliseconds (0 restores fully blocking reads).
+  /// While set, RecvAll fails instead of blocking forever — used to bound
+  /// the accept-side handshake against silent peers.
+  void SetRecvTimeout(int timeout_ms);
+
+  /// shutdown(2) both directions without releasing the fd: unblocks a
+  /// thread parked in RecvAll (it sees EOF) so the fd can then be closed
+  /// safely after the thread is joined.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket bound to the given port (0 picks an ephemeral port,
+/// readable via port()). Binds 127.0.0.1 only: everything the transport
+/// promises today is localhost; multi-host bind control is a ROADMAP item.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static StatusOr<TcpListener> Listen(int port, int backlog = 64);
+
+  int port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Blocks for the next connection.
+  StatusOr<TcpSocket> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_TCP_SOCKET_H_

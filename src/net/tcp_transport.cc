@@ -1,0 +1,211 @@
+#include "net/tcp_transport.h"
+
+#include <utility>
+
+namespace dsgm {
+
+TcpConnection::TcpConnection(TcpSocket socket)
+    : TcpConnection(std::move(socket), Options()) {}
+
+TcpConnection::TcpConnection(TcpSocket socket, const Options& options)
+    : socket_(std::move(socket)),
+      event_inbox_(options.event_capacity),
+      command_inbox_(options.command_capacity),
+      owned_update_inbox_(options.shared_updates == nullptr
+                              ? std::make_unique<BoundedQueue<UpdateBundle>>(
+                                    options.update_capacity)
+                              : nullptr),
+      update_inbox_(options.shared_updates != nullptr ? options.shared_updates
+                                                      : owned_update_inbox_.get()),
+      shared_updates_(options.shared_updates != nullptr),
+      on_reader_exit_(options.on_reader_exit),
+      command_outbox_(options.buffered_commands
+                          ? std::make_unique<BoundedQueue<Frame>>(
+                                options.command_capacity)
+                          : nullptr),
+      events_(this, FrameType::kEventBatch, &event_inbox_),
+      commands_(this, FrameType::kRoundAdvance, &command_inbox_,
+                command_outbox_.get()),
+      updates_(this, FrameType::kUpdateBundle, update_inbox_) {}
+
+TcpConnection::~TcpConnection() { Shutdown(); }
+
+Status TcpConnection::SendHello(int32_t site) {
+  if (!SendFrame(MakeHello(site))) {
+    return InternalError("tcp: hello send failed");
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::ReadFrame(Frame* out, uint32_t max_payload) {
+  uint8_t prefix[4];
+  DSGM_RETURN_IF_ERROR(socket_.RecvAll(prefix, 4));
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (length > max_payload) {
+    return InvalidArgumentError("tcp: frame payload exceeds limit");
+  }
+  read_buffer_.resize(length);
+  DSGM_RETURN_IF_ERROR(socket_.RecvAll(read_buffer_.data(), read_buffer_.size()));
+  bytes_received_.fetch_add(4 + length, std::memory_order_relaxed);
+  return DecodeFramePayload(read_buffer_.data(), read_buffer_.size(), out);
+}
+
+StatusOr<int32_t> TcpConnection::ReadHello() {
+  Frame frame;
+  // A hello is a handful of bytes; anything bigger is not a dsgm site.
+  DSGM_RETURN_IF_ERROR(ReadFrame(&frame, /*max_payload=*/16));
+  if (frame.type != FrameType::kHello) {
+    return InvalidArgumentError("tcp: expected hello frame");
+  }
+  return frame.site;
+}
+
+void TcpConnection::Start() {
+  DSGM_CHECK(!started_);
+  started_ = true;
+  reader_ = std::thread([this] { ReaderLoop(); });
+  if (command_outbox_ != nullptr) {
+    writer_ = std::thread([this] { WriterLoop(); });
+  }
+}
+
+void TcpConnection::WriterLoop() {
+  std::vector<Frame> frames;
+  while (true) {
+    frames.clear();
+    if (command_outbox_->PopBatch(&frames, 64) == 0) break;  // Outbox closed.
+    for (const Frame& frame : frames) {
+      // A failed send means the peer is gone; keep draining so stagers
+      // never block on a full outbox nobody will empty.
+      SendFrame(frame);
+    }
+  }
+}
+
+bool TcpConnection::SendFrame(const Frame& frame) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (send_broken_) return false;
+  send_buffer_.clear();
+  AppendFrame(frame, &send_buffer_);
+  if (!socket_.SendAll(send_buffer_.data(), send_buffer_.size()).ok()) {
+    send_broken_ = true;
+    return false;
+  }
+  bytes_sent_.fetch_add(send_buffer_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void TcpConnection::ReaderLoop() {
+  while (true) {
+    Frame frame;
+    // EOF, connection error, or a malformed frame all end the stream.
+    if (!ReadFrame(&frame, kMaxFramePayload).ok()) break;
+    switch (frame.type) {
+      case FrameType::kEventBatch:
+        event_inbox_.Push(std::move(frame.batch));
+        break;
+      case FrameType::kRoundAdvance:
+        command_inbox_.Push(frame.advance);
+        break;
+      case FrameType::kUpdateBundle:
+        update_inbox_->Push(std::move(frame.bundle));
+        break;
+      case FrameType::kChannelClose:
+        switch (frame.channel) {
+          case FrameType::kEventBatch:
+            event_inbox_.Close();
+            break;
+          case FrameType::kRoundAdvance:
+            command_inbox_.Close();
+            break;
+          case FrameType::kUpdateBundle:
+            if (!shared_updates_) update_inbox_->Close();
+            break;
+          default:
+            break;  // Unreachable: the codec validates channel tags.
+        }
+        break;
+      case FrameType::kHello:
+        break;  // Only legal during the handshake; ignore defensively.
+    }
+  }
+  CloseInboxes();
+  reader_done_.store(true, std::memory_order_release);
+  if (on_reader_exit_) on_reader_exit_();
+}
+
+void TcpConnection::CloseInboxes() {
+  event_inbox_.Close();
+  command_inbox_.Close();
+  // A shared update queue aggregates several connections; losing one
+  // connection must not end the stream for the others.
+  if (!shared_updates_) update_inbox_->Close();
+}
+
+StatusOr<std::vector<std::unique_ptr<TcpConnection>>> AcceptSiteConnections(
+    TcpListener* listener, int num_sites, const TcpConnection::Options& options) {
+  std::vector<std::unique_ptr<TcpConnection>> connections(
+      static_cast<size_t>(num_sites));
+  int accepted = 0;
+  // Stray connections (port probes, peers that die before their hello) are
+  // dropped and the slot re-accepted rather than failing or hanging the
+  // whole cluster; the handshake read is bounded so a silent peer cannot
+  // stall the accept loop. A duplicate *valid* site id stays fatal — that
+  // is a misconfiguration of real sites, not line noise.
+  constexpr int kHelloTimeoutMs = 10000;
+  int rejects_left = 16 + 4 * num_sites;
+  while (accepted < num_sites) {
+    StatusOr<TcpSocket> socket = listener->Accept();
+    if (!socket.ok()) return socket.status();
+    socket->SetRecvTimeout(kHelloTimeoutMs);
+    auto connection =
+        std::make_unique<TcpConnection>(std::move(socket).value(), options);
+    StatusOr<int32_t> site = connection->ReadHello();
+    if (!site.ok() || *site < 0 || *site >= num_sites) {
+      if (--rejects_left < 0) {
+        return InvalidArgumentError(
+            "too many defective connections while waiting for sites");
+      }
+      continue;  // Drop the stray connection; keep listening.
+    }
+    if (connections[static_cast<size_t>(*site)] != nullptr) {
+      return InvalidArgumentError("two connections announced site id " +
+                                  std::to_string(*site));
+    }
+    connection->SetRecvTimeout(0);  // Steady-state reads block indefinitely.
+    connection->Start();
+    connections[static_cast<size_t>(*site)] = std::move(connection);
+    ++accepted;
+  }
+  return connections;
+}
+
+void TcpConnection::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    send_broken_ = true;
+  }
+  socket_.ShutdownBoth();
+  // Close inboxes BEFORE joining: the reader may be parked in Push on a
+  // full inbox nobody will drain anymore, and only a close releases it
+  // (the socket shutdown alone can't). At Shutdown time this includes a
+  // shared update queue — every connection sharing it is torn down
+  // together, and close still lets the owner drain buffered bundles.
+  CloseInboxes();
+  // Closing a shared update queue exists to release a reader parked in a
+  // Push nobody will drain — only possible if this connection's reader ever
+  // started. A rejected handshake connection being destroyed must NOT close
+  // the queue the real connections still feed.
+  if (shared_updates_ && started_) update_inbox_->Close();
+  if (command_outbox_ != nullptr) command_outbox_->Close();
+  if (writer_.joinable()) writer_.join();
+  if (reader_.joinable()) reader_.join();
+  socket_.Close();
+}
+
+}  // namespace dsgm

@@ -1,0 +1,207 @@
+// TCP implementation of the cluster transport.
+//
+// One TcpConnection multiplexes the three logical cluster channels over a
+// single framed socket: the frame type doubles as the channel id, so no
+// extra demux header is needed. Each connection runs one reader thread that
+// decodes incoming frames into per-channel BoundedQueues (backpressure is
+// the queue bound plus the kernel socket buffers); sends serialize under a
+// mutex so the dispatcher and the coordinator can share a connection. On
+// the coordinator side the command lane is additionally staged through a
+// writer thread (Options::buffered_commands) so the protocol loop never
+// waits on that mutex.
+//
+// Close semantics mirror BoundedQueue: Close() on a channel sends a
+// kChannelClose control frame, and the peer's inbox closes when that frame
+// arrives (drain-then-fail). A dropped connection closes every inbox.
+
+#ifndef DSGM_NET_TCP_TRANSPORT_H_
+#define DSGM_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "net/wire.h"
+#include "net/channel.h"
+#include "net/codec.h"
+#include "net/tcp_socket.h"
+
+namespace dsgm {
+
+class TcpConnection;
+
+/// One logical lane of a TcpConnection. Push encodes and writes to the
+/// socket; PopBatch reads from the local inbox fed by the reader thread.
+/// Each endpoint uses a lane in only one direction (the cluster protocol is
+/// unidirectional per channel), but the object supports both.
+template <typename T>
+class TcpChannel : public Channel<T> {
+ public:
+  /// With an `outbox`, Push stages the frame for the connection's writer
+  /// thread instead of writing the socket inline (see
+  /// Options::buffered_commands).
+  TcpChannel(TcpConnection* connection, FrameType type, BoundedQueue<T>* inbox,
+             BoundedQueue<Frame>* outbox = nullptr)
+      : connection_(connection), type_(type), inbox_(inbox), outbox_(outbox) {}
+
+  bool Push(T item) override;
+  size_t PopBatch(std::vector<T>* out, size_t max_items) override {
+    return inbox_->PopBatch(out, max_items);
+  }
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) override {
+    return inbox_->TryPopBatch(out, max_items);
+  }
+  void Close() override;
+
+ private:
+  TcpConnection* connection_;
+  FrameType type_;
+  BoundedQueue<T>* inbox_;
+  BoundedQueue<Frame>* outbox_;
+  std::atomic<bool> send_closed_{false};
+};
+
+/// A framed, bidirectional cluster connection over one TCP socket.
+class TcpConnection {
+ public:
+  struct Options {
+    /// Inbox bounds; they match the loopback queue capacities so both
+    /// transports exert the same backpressure.
+    size_t event_capacity = 64;
+    size_t command_capacity = 1 << 16;
+    size_t update_capacity = 8192;
+    /// When set, incoming UpdateBundles land in this external queue instead
+    /// of a per-connection inbox — the coordinator merges all sites' update
+    /// lanes into one stream this way. A connection losing its peer does
+    /// NOT close the queue (other connections may still feed it), but
+    /// Shutdown() does: by then every connection sharing it is being torn
+    /// down together.
+    BoundedQueue<UpdateBundle>* shared_updates = nullptr;
+    /// Invoked exactly once when the reader thread exits (peer EOF, frame
+    /// error, or Shutdown). Lets an owner of several connections detect
+    /// "no more frames will ever arrive" — e.g. the remote coordinator
+    /// closes the shared update queue when the last reader exits, so a
+    /// vanished site fails the run instead of hanging it.
+    std::function<void()> on_reader_exit;
+    /// Coordinator side only: stage RoundAdvance frames in a bounded outbox
+    /// (command_capacity, matching the loopback command queue) drained by a
+    /// dedicated writer thread, so pushing a command never blocks on the
+    /// send mutex while the event dispatcher holds it mid-write. Without
+    /// this, a full event lane + full merged update queue can deadlock the
+    /// whole cluster in a cycle through the shared socket mutex.
+    bool buffered_commands = false;
+  };
+
+  explicit TcpConnection(TcpSocket socket);
+  TcpConnection(TcpSocket socket, const Options& options);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Handshake, before Start(): the connecting side announces its site id,
+  /// the accepting side reads it.
+  Status SendHello(int32_t site);
+  StatusOr<int32_t> ReadHello();
+
+  /// Receive timeout for handshake reads (0 = blocking again); delegates
+  /// to the socket. Only meaningful before Start().
+  void SetRecvTimeout(int timeout_ms) { socket_.SetRecvTimeout(timeout_ms); }
+
+  /// Spawns the reader thread. Call exactly once, after the handshake.
+  void Start();
+
+  Channel<EventBatch>* events() { return &events_; }
+  Channel<RoundAdvance>* commands() { return &commands_; }
+  Channel<UpdateBundle>* updates() { return &updates_; }
+
+  /// Wire bytes actually written / read, including frame prefixes.
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the reader thread exited (peer EOF, error, or Shutdown):
+  /// no further frames will arrive on this connection.
+  bool finished() const { return reader_done_.load(std::memory_order_acquire); }
+
+  /// Unblocks and joins the reader, closes the socket and every inbox.
+  /// Idempotent; also runs on destruction.
+  void Shutdown();
+
+  /// Encodes and writes one frame. Returns false once the peer is gone.
+  bool SendFrame(const Frame& frame);
+
+ private:
+  void ReaderLoop();
+  void WriterLoop();
+  void CloseInboxes();
+  /// Reads one length-prefixed frame (shared by the handshake and the
+  /// reader loop so the framing can never diverge between them).
+  Status ReadFrame(Frame* out, uint32_t max_payload);
+
+  TcpSocket socket_;
+  std::mutex send_mutex_;
+  std::vector<uint8_t> send_buffer_;
+  std::vector<uint8_t> read_buffer_;  // handshake + reader thread only
+  bool send_broken_ = false;
+
+  BoundedQueue<EventBatch> event_inbox_;
+  BoundedQueue<RoundAdvance> command_inbox_;
+  std::unique_ptr<BoundedQueue<UpdateBundle>> owned_update_inbox_;
+  BoundedQueue<UpdateBundle>* update_inbox_;
+  bool shared_updates_;
+  std::function<void()> on_reader_exit_;
+  std::unique_ptr<BoundedQueue<Frame>> command_outbox_;  // buffered_commands
+
+  TcpChannel<EventBatch> events_;
+  TcpChannel<RoundAdvance> commands_;
+  TcpChannel<UpdateBundle> updates_;
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<bool> reader_done_{false};
+
+  std::thread reader_;
+  std::thread writer_;
+  bool started_ = false;
+  bool shutdown_ = false;
+};
+
+/// Accepts `num_sites` connections from `listener` and pairs each by its
+/// hello-announced site id, which must be unique and in [0, num_sites).
+/// Every connection gets `options` (shared update queue, reader-exit hook)
+/// and is started. Shared by the in-process LocalTcpTransport (which CHECKs
+/// the status) and the multi-process coordinator (which propagates it).
+StatusOr<std::vector<std::unique_ptr<TcpConnection>>> AcceptSiteConnections(
+    TcpListener* listener, int num_sites, const TcpConnection::Options& options);
+
+template <typename T>
+bool TcpChannel<T>::Push(T item) {
+  if (send_closed_.load(std::memory_order_acquire)) return false;
+  if (outbox_ != nullptr) return outbox_->Push(MakeFrame(std::move(item)));
+  return connection_->SendFrame(MakeFrame(std::move(item)));
+}
+
+template <typename T>
+void TcpChannel<T>::Close() {
+  if (!send_closed_.exchange(true, std::memory_order_acq_rel)) {
+    // Through the outbox when buffered, so the close marker stays ordered
+    // after every staged frame.
+    if (outbox_ != nullptr) {
+      outbox_->Push(MakeChannelClose(type_));
+    } else {
+      connection_->SendFrame(MakeChannelClose(type_));
+    }
+  }
+}
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_TCP_TRANSPORT_H_

@@ -1,4 +1,4 @@
-// Wire messages exchanged between cluster threads.
+// Wire messages exchanged between cluster nodes.
 //
 // The threaded cluster speaks the same counter protocol as the synchronous
 // simulation (monitor/round_schedule.h documents the rounds); these are the
@@ -6,8 +6,8 @@
 // updates caused by one event travel in one UpdateBundle, the optimization
 // described in the paper's Section VI-A.
 
-#ifndef DSGM_CLUSTER_WIRE_H_
-#define DSGM_CLUSTER_WIRE_H_
+#ifndef DSGM_NET_WIRE_H_
+#define DSGM_NET_WIRE_H_
 
 #include <cstdint>
 #include <vector>
@@ -24,9 +24,11 @@ struct CounterReport {
 /// Site -> coordinator frame.
 struct UpdateBundle {
   enum class Kind : uint8_t {
-    kReports,   // sampled counter reports of one event
-    kSync,      // exact counts replying to a round advance
-    kSiteDone,  // the site has processed its whole stream
+    kReports,      // sampled counter reports of one event
+    kSync,         // exact counts replying to a round advance
+    kSiteDone,     // the site has processed its whole stream
+    kFinalCounts,  // exact per-counter totals, sent after protocol shutdown
+                   // so a remote coordinator can validate its estimates
   };
   Kind kind = Kind::kReports;
   int32_t site = -1;
@@ -51,6 +53,23 @@ struct EventBatch {
   std::vector<int32_t> values;
 };
 
+// Structural equality, used by the codec round-trip and transport
+// conformance tests.
+inline bool operator==(const CounterReport& a, const CounterReport& b) {
+  return a.counter == b.counter && a.value == b.value;
+}
+inline bool operator==(const UpdateBundle& a, const UpdateBundle& b) {
+  return a.kind == b.kind && a.site == b.site && a.round == b.round &&
+         a.reports == b.reports;
+}
+inline bool operator==(const RoundAdvance& a, const RoundAdvance& b) {
+  return a.counter == b.counter && a.round == b.round &&
+         a.probability == b.probability;
+}
+inline bool operator==(const EventBatch& a, const EventBatch& b) {
+  return a.num_events == b.num_events && a.values == b.values;
+}
+
 }  // namespace dsgm
 
-#endif  // DSGM_CLUSTER_WIRE_H_
+#endif  // DSGM_NET_WIRE_H_

@@ -1,0 +1,269 @@
+// Tests for net/codec.h: exact round-trips over randomized frames, and
+// malformed-input robustness — every corrupt buffer must come back as a
+// Status error, never a crash or an out-of-bounds read (the ASan/UBSan CI
+// job runs this suite to enforce the latter).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "common/rng.h"
+#include "net/codec.h"
+
+namespace dsgm {
+namespace {
+
+std::vector<uint8_t> Encode(const Frame& frame) {
+  std::vector<uint8_t> buffer;
+  AppendFrame(frame, &buffer);
+  return buffer;
+}
+
+Frame DecodeOrDie(const std::vector<uint8_t>& buffer) {
+  Frame frame;
+  size_t consumed = 0;
+  const Status status = DecodeFrame(buffer.data(), buffer.size(), &frame, &consumed);
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(consumed, buffer.size());
+  return frame;
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (uint64_t value : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                         uint64_t{16383}, uint64_t{16384},
+                         std::numeric_limits<uint64_t>::max()}) {
+    std::vector<uint8_t> buffer;
+    AppendVarint(value, &buffer);
+    EXPECT_LE(buffer.size(), 10u);
+  }
+}
+
+TEST(CodecTest, ZigzagRoundTrip) {
+  for (int64_t value : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-64},
+                        std::numeric_limits<int64_t>::min(),
+                        std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(value)), value);
+  }
+}
+
+TEST(CodecTest, UpdateBundleRoundTrip) {
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  bundle.site = 13;
+  bundle.round = 7;
+  bundle.reports = {{0, 1}, {5, 1000}, {4, 42}, {1000000007, 0xffffffffu}};
+  const Frame decoded = DecodeOrDie(Encode(MakeFrame(bundle)));
+  ASSERT_EQ(decoded.type, FrameType::kUpdateBundle);
+  EXPECT_TRUE(decoded.bundle == bundle);
+}
+
+TEST(CodecTest, EmptyBundleAndDefaults) {
+  UpdateBundle bundle;  // kReports, site -1, round -1, no reports.
+  const Frame decoded = DecodeOrDie(Encode(MakeFrame(bundle)));
+  EXPECT_TRUE(decoded.bundle == bundle);
+}
+
+TEST(CodecTest, RoundAdvanceRoundTripPreservesFloatBits) {
+  RoundAdvance advance;
+  advance.counter = 123456789012345;
+  advance.round = 31;
+  advance.probability = 0.0437f;
+  const Frame decoded = DecodeOrDie(Encode(MakeFrame(advance)));
+  ASSERT_EQ(decoded.type, FrameType::kRoundAdvance);
+  EXPECT_TRUE(decoded.advance == advance);
+  uint32_t want_bits = 0;
+  uint32_t got_bits = 0;
+  std::memcpy(&want_bits, &advance.probability, 4);
+  std::memcpy(&got_bits, &decoded.advance.probability, 4);
+  EXPECT_EQ(got_bits, want_bits);
+}
+
+TEST(CodecTest, EventBatchRoundTrip) {
+  EventBatch batch;
+  batch.num_events = 3;
+  batch.values = {0, 1, 2, 5, 0, 3, 1, 1, 0};
+  const Frame decoded = DecodeOrDie(Encode(MakeFrame(batch)));
+  ASSERT_EQ(decoded.type, FrameType::kEventBatch);
+  EXPECT_TRUE(decoded.batch == batch);
+}
+
+TEST(CodecTest, ControlFramesRoundTrip) {
+  Frame close = DecodeOrDie(Encode(MakeChannelClose(FrameType::kRoundAdvance)));
+  ASSERT_EQ(close.type, FrameType::kChannelClose);
+  EXPECT_EQ(close.channel, FrameType::kRoundAdvance);
+
+  Frame hello = DecodeOrDie(Encode(MakeHello(17)));
+  ASSERT_EQ(hello.type, FrameType::kHello);
+  EXPECT_EQ(hello.site, 17);
+}
+
+TEST(CodecTest, RandomizedBundleRoundTripProperty) {
+  Rng rng(20260727);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    UpdateBundle bundle;
+    bundle.kind = static_cast<UpdateBundle::Kind>(rng.NextBounded(4));
+    bundle.site = static_cast<int32_t>(rng.NextBounded(1000)) - 1;
+    bundle.round = static_cast<int32_t>(rng.NextBounded(64)) - 1;
+    const size_t reports = rng.NextBounded(64);
+    int64_t counter = 0;
+    for (size_t r = 0; r < reports; ++r) {
+      // Deliberately non-monotone ids to exercise negative deltas.
+      counter += static_cast<int64_t>(rng.NextBounded(1 << 20)) - (1 << 18);
+      bundle.reports.push_back(
+          CounterReport{counter, static_cast<uint32_t>(rng.Next())});
+    }
+    const Frame decoded = DecodeOrDie(Encode(MakeFrame(bundle)));
+    ASSERT_TRUE(decoded.bundle == bundle) << "iteration " << iteration;
+  }
+}
+
+TEST(CodecTest, RandomizedEventBatchRoundTripProperty) {
+  Rng rng(424242);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    EventBatch batch;
+    batch.num_events = static_cast<int32_t>(rng.NextBounded(100));
+    const size_t values = rng.NextBounded(512);
+    for (size_t v = 0; v < values; ++v) {
+      batch.values.push_back(static_cast<int32_t>(rng.NextBounded(128)));
+    }
+    const Frame decoded = DecodeOrDie(Encode(MakeFrame(batch)));
+    ASSERT_TRUE(decoded.batch == batch) << "iteration " << iteration;
+  }
+}
+
+TEST(CodecTest, DeltaPackingIsCompactForDenseCounters) {
+  // A sync over a dense counter range (the common case) should cost a
+  // couple of bytes per report, not the 12 of the naive fixed layout.
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  bundle.site = 1;
+  bundle.round = 3;
+  for (int64_t c = 0; c < 1000; ++c) {
+    bundle.reports.push_back(CounterReport{c, static_cast<uint32_t>(c % 100)});
+  }
+  const std::vector<uint8_t> encoded = Encode(MakeFrame(bundle));
+  EXPECT_LT(encoded.size(), bundle.reports.size() * 3 + 16);
+}
+
+// --- Malformed inputs: errors, never crashes. --------------------------
+
+TEST(CodecTest, TruncationAtEveryPrefixFailsCleanly) {
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kReports;
+  bundle.site = 3;
+  bundle.round = 2;
+  bundle.reports = {{100, 5}, {200, 6}, {300, 7}};
+  const std::vector<uint8_t> encoded = Encode(MakeFrame(bundle));
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    Frame frame;
+    size_t consumed = 0;
+    const Status status = DecodeFrame(encoded.data(), cut, &frame, &consumed);
+    EXPECT_FALSE(status.ok()) << "prefix of length " << cut << " decoded";
+  }
+}
+
+TEST(CodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  std::vector<uint8_t> buffer = {0xff, 0xff, 0xff, 0xff, 0x01};
+  Frame frame;
+  size_t consumed = 0;
+  const Status status = DecodeFrame(buffer.data(), buffer.size(), &frame, &consumed);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecTest, BadFrameTypeTagFails) {
+  for (uint8_t tag : {uint8_t{0}, uint8_t{6}, uint8_t{99}, uint8_t{255}}) {
+    const std::vector<uint8_t> payload = {tag};
+    Frame frame;
+    EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+  }
+}
+
+TEST(CodecTest, BadBundleKindTagFails) {
+  std::vector<uint8_t> encoded = Encode(MakeFrame(UpdateBundle{}));
+  encoded[5] = 99;  // Byte 4 is the frame type; byte 5 the bundle kind.
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_FALSE(DecodeFrame(encoded.data(), encoded.size(), &frame, &consumed).ok());
+}
+
+TEST(CodecTest, BadChannelCloseTagFails) {
+  std::vector<uint8_t> encoded = Encode(MakeChannelClose(FrameType::kEventBatch));
+  encoded[5] = static_cast<uint8_t>(FrameType::kHello);  // Not a channel.
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_FALSE(DecodeFrame(encoded.data(), encoded.size(), &frame, &consumed).ok());
+}
+
+TEST(CodecTest, TrailingGarbageInPayloadFails) {
+  std::vector<uint8_t> encoded = Encode(MakeHello(3));
+  // Grow the payload by one byte and patch the length prefix to match: the
+  // frame parses but leaves an unconsumed byte.
+  encoded.push_back(0x00);
+  encoded[0] = static_cast<uint8_t>(encoded.size() - 4);
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_FALSE(DecodeFrame(encoded.data(), encoded.size(), &frame, &consumed).ok());
+}
+
+TEST(CodecTest, ForgedHugeReportCountFailsWithoutHugeAllocation) {
+  // Claim 2^40 reports with a 6-byte payload. The decoder must bail once
+  // bytes run out, and SafeReserve must not pre-allocate the claimed count.
+  std::vector<uint8_t> payload = {static_cast<uint8_t>(FrameType::kUpdateBundle),
+                                  0 /* kind */, 0 /* site */, 0 /* round */};
+  AppendVarint(uint64_t{1} << 40, &payload);
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
+TEST(CodecTest, OverlongVarintFails) {
+  // 11 continuation bytes: more than a 64-bit varint can carry.
+  std::vector<uint8_t> payload = {static_cast<uint8_t>(FrameType::kEventBatch)};
+  for (int i = 0; i < 11; ++i) payload.push_back(0x80);
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
+TEST(CodecTest, RandomizedFuzzNeverCrashes) {
+  Rng rng(777);
+  std::vector<uint8_t> buffer;
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    buffer.clear();
+    const size_t size = rng.NextBounded(64);
+    for (size_t i = 0; i < size; ++i) {
+      buffer.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    Frame frame;
+    size_t consumed = 0;
+    // Outcome (ok or error) is irrelevant; surviving under ASan/UBSan is
+    // the assertion.
+    DecodeFrame(buffer.data(), buffer.size(), &frame, &consumed).ok();
+  }
+}
+
+TEST(CodecTest, BitflipFuzzOnValidFramesNeverCrashes) {
+  Rng rng(31337);
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  bundle.site = 2;
+  bundle.round = 4;
+  for (int64_t c = 0; c < 50; ++c) {
+    bundle.reports.push_back(CounterReport{c * 3, static_cast<uint32_t>(c)});
+  }
+  const std::vector<uint8_t> pristine = Encode(MakeFrame(bundle));
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::vector<uint8_t> corrupted = pristine;
+    const size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t at = rng.NextBounded(corrupted.size());
+      corrupted[at] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    }
+    Frame frame;
+    size_t consumed = 0;
+    DecodeFrame(corrupted.data(), corrupted.size(), &frame, &consumed).ok();
+  }
+}
+
+}  // namespace
+}  // namespace dsgm

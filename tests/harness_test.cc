@@ -1,13 +1,85 @@
 // Tests for the shared bench harness (bench/harness/experiment.*): the
-// experiment driver every figure/table binary relies on.
+// experiment driver every figure/table binary relies on, and the JSON
+// report writer (bench/harness/json_report.*).
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
 #include "bayes/repository.h"
 #include "harness/experiment.h"
+#include "harness/json_report.h"
 
 namespace dsgm {
 namespace {
+
+TEST(JsonReportTest, RendersNestedStructure) {
+  Json root = Json::Object();
+  root.Add("name", Json::Str("fig8"))
+      .Add("count", Json::Int(42))
+      .Add("ratio", Json::Double(0.5))
+      .Add("ok", Json::Bool(true))
+      .Add("missing", Json::Null());
+  Json list = Json::Array();
+  list.Append(Json::Int(1)).Append(Json::Int(2));
+  root.Add("list", std::move(list));
+  const std::string text = root.ToString();
+  EXPECT_NE(text.find("\"name\": \"fig8\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"missing\": null"), std::string::npos);
+}
+
+TEST(JsonReportTest, EscapesStringsAndHandlesNonFiniteNumbers) {
+  Json root = Json::Object();
+  root.Add("quote\"back\\slash\nnewline", Json::Str("tab\there"));
+  root.Add("inf", Json::Double(std::numeric_limits<double>::infinity()));
+  root.Add("nan", Json::Double(std::numeric_limits<double>::quiet_NaN()));
+  const std::string text = root.ToString();
+  EXPECT_NE(text.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+  EXPECT_NE(text.find("tab\\there"), std::string::npos);
+  EXPECT_NE(text.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos);
+}
+
+TEST(JsonReportTest, EmptyContainersRenderCompactly) {
+  Json root = Json::Object();
+  root.Add("empty_list", Json::Array()).Add("empty_obj", Json::Object());
+  const std::string text = root.ToString();
+  EXPECT_NE(text.find("\"empty_list\": []"), std::string::npos);
+  EXPECT_NE(text.find("\"empty_obj\": {}"), std::string::npos);
+}
+
+TEST(JsonReportTest, WriteJsonReportRoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/dsgm_json_report_test.json";
+  Json root = Json::Object();
+  root.Add("bench", Json::Str("test")).Add("value", Json::Int(7));
+  ASSERT_TRUE(WriteJsonReport(path, root).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), root.ToString() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(JsonReportTest, ClusterResultRecordCarriesTransportBytesWhenMeasured) {
+  ClusterResult result;
+  result.events_processed = 10;
+  result.transport_measured = true;
+  result.transport_bytes_up = 123;
+  result.transport_bytes_down = 456;
+  const std::string text = ClusterResultToJson(result).ToString();
+  EXPECT_NE(text.find("\"transport_bytes_up\": 123"), std::string::npos);
+  EXPECT_NE(text.find("\"transport_bytes_down\": 456"), std::string::npos);
+
+  ClusterResult loopback;
+  const std::string loopback_text = ClusterResultToJson(loopback).ToString();
+  EXPECT_EQ(loopback_text.find("transport_bytes_up"), std::string::npos);
+  EXPECT_NE(loopback_text.find("\"transport_measured\": false"), std::string::npos);
+}
 
 ExperimentOptions SmallOptions() {
   ExperimentOptions options;

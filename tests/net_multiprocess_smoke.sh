@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke test, run by ctest as net.multiprocess_smoke:
+# starts one dsgm_coordinator and two dsgm_site processes on localhost TCP
+# (ephemeral port via a port file), streams 50k events, and requires the
+# coordinator's estimates to satisfy the same max_counter_rel_error bound
+# as the in-process run (cluster_test.cc's ApproxModeBoundedError: 0.05).
+#
+# Usage: net_multiprocess_smoke.sh <dsgm_coordinator> <dsgm_site>
+set -euo pipefail
+
+COORDINATOR_BIN="$1"
+SITE_BIN="$2"
+NETWORK=student
+EVENTS=50000
+SITES=2
+BOUND=0.05
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+PORT_FILE="$WORKDIR/port"
+
+"$COORDINATOR_BIN" \
+  --network "$NETWORK" --strategy uniform --sites "$SITES" \
+  --events "$EVENTS" --seed 12345 \
+  --port 0 --port-file "$PORT_FILE" --max-rel-error "$BOUND" &
+COORDINATOR_PID=$!
+PIDS+=("$COORDINATOR_PID")
+
+# Wait for the coordinator to publish its ephemeral port.
+for _ in $(seq 1 200); do
+  [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$COORDINATOR_PID" 2>/dev/null; then
+    echo "FAIL: coordinator exited before publishing its port" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "FAIL: port file never appeared" >&2
+  exit 1
+fi
+PORT="$(cat "$PORT_FILE")"
+echo "coordinator listening on port $PORT"
+
+SITE_PIDS=()
+for site in $(seq 0 $((SITES - 1))); do
+  "$SITE_BIN" --network "$NETWORK" --site "$site" --port "$PORT" --seed 12345 &
+  SITE_PIDS+=("$!")
+  PIDS+=("$!")
+done
+
+STATUS=0
+for pid in "${SITE_PIDS[@]}"; do
+  wait "$pid" || STATUS=$?
+done
+wait "$COORDINATOR_PID" || STATUS=$?
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: a cluster process exited with status $STATUS" >&2
+  exit "$STATUS"
+fi
+echo "PASS: $SITES site processes, $EVENTS events over localhost TCP, rel error <= $BOUND"

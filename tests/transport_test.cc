@@ -1,0 +1,215 @@
+// Shared conformance suite for cluster transports: every behavior the
+// cluster nodes rely on, asserted against BOTH implementations (in-process
+// loopback and localhost TCP) through the same parameterized tests. A new
+// transport earns its place by passing this suite.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/cluster_transport.h"
+
+namespace dsgm {
+namespace {
+
+struct TransportParam {
+  const char* name;
+  TransportFactory factory;
+};
+
+class TransportConformanceTest : public ::testing::TestWithParam<TransportParam> {
+ protected:
+  std::unique_ptr<ClusterTransport> Make(int num_sites) {
+    return GetParam().factory(num_sites);
+  }
+
+  /// Pop helper with a real deadline, for channels fed asynchronously: a
+  /// transport that drops a frame makes the caller's size check fail with
+  /// context instead of hanging the binary until the ctest timeout.
+  template <typename T>
+  std::vector<T> PopExactly(Channel<T>* channel, size_t want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    std::vector<T> out;
+    while (out.size() < want && std::chrono::steady_clock::now() < deadline) {
+      if (channel->TryPopBatch(&out, want - out.size()) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return out;
+  }
+};
+
+TEST_P(TransportConformanceTest, EventBatchesArriveInOrderPerSite) {
+  auto transport = Make(2);
+  const CoordinatorEndpoints coordinator = transport->coordinator();
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      EventBatch batch;
+      batch.num_events = 1;
+      batch.values = {s, i, i * i};
+      ASSERT_TRUE(coordinator.events[static_cast<size_t>(s)]->Push(std::move(batch)));
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    const std::vector<EventBatch> got = PopExactly(transport->site(s).events, 5);
+    ASSERT_EQ(got.size(), 5u) << "site " << s;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(got[static_cast<size_t>(i)].values,
+                (std::vector<int32_t>{s, i, i * i}));
+    }
+  }
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, CommandsReachTheRightSite) {
+  auto transport = Make(3);
+  const CoordinatorEndpoints coordinator = transport->coordinator();
+  for (int s = 0; s < 3; ++s) {
+    RoundAdvance advance;
+    advance.counter = 100 + s;
+    advance.round = s;
+    advance.probability = 0.5f / static_cast<float>(s + 1);
+    ASSERT_TRUE(coordinator.commands[static_cast<size_t>(s)]->Push(advance));
+  }
+  for (int s = 0; s < 3; ++s) {
+    const std::vector<RoundAdvance> got = PopExactly(transport->site(s).commands, 1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].counter, 100 + s);
+    EXPECT_EQ(got[0].round, s);
+    EXPECT_EQ(got[0].probability, 0.5f / static_cast<float>(s + 1));
+  }
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, UpdatesMergeFromAllSites) {
+  auto transport = Make(4);
+  const CoordinatorEndpoints coordinator = transport->coordinator();
+  for (int s = 0; s < 4; ++s) {
+    UpdateBundle bundle;
+    bundle.kind = UpdateBundle::Kind::kReports;
+    bundle.site = s;
+    bundle.reports = {{s, static_cast<uint32_t>(10 * s + 1)}};
+    ASSERT_TRUE(transport->site(s).updates->Push(std::move(bundle)));
+  }
+  std::vector<UpdateBundle> got = PopExactly(coordinator.updates, 4);
+  ASSERT_EQ(got.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (const UpdateBundle& bundle : got) {
+    ASSERT_GE(bundle.site, 0);
+    ASSERT_LT(bundle.site, 4);
+    EXPECT_FALSE(seen[static_cast<size_t>(bundle.site)]);
+    seen[static_cast<size_t>(bundle.site)] = true;
+    ASSERT_EQ(bundle.reports.size(), 1u);
+    EXPECT_EQ(bundle.reports[0].counter, bundle.site);
+    EXPECT_EQ(bundle.reports[0].value, static_cast<uint32_t>(10 * bundle.site + 1));
+  }
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, CloseDrainsThenReportsEnd) {
+  auto transport = Make(1);
+  const CoordinatorEndpoints coordinator = transport->coordinator();
+  for (int i = 0; i < 3; ++i) {
+    EventBatch batch;
+    batch.num_events = i;
+    ASSERT_TRUE(coordinator.events[0]->Push(std::move(batch)));
+  }
+  coordinator.events[0]->Close();
+  Channel<EventBatch>* site_events = transport->site(0).events;
+  std::vector<EventBatch> got;
+  size_t total = 0;
+  while (true) {
+    const size_t n = site_events->PopBatch(&got, 16);
+    if (n == 0) break;
+    total += n;
+  }
+  EXPECT_EQ(total, 3u);  // All pre-close items delivered before the end.
+  // And the end state is sticky.
+  EXPECT_EQ(site_events->PopBatch(&got, 16), 0u);
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, PushAfterCloseFails) {
+  auto transport = Make(1);
+  const CoordinatorEndpoints coordinator = transport->coordinator();
+  coordinator.commands[0]->Close();
+  EXPECT_FALSE(coordinator.commands[0]->Push(RoundAdvance{}));
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, TryPopDoesNotBlockOnEmptyChannel) {
+  auto transport = Make(1);
+  std::vector<RoundAdvance> out;
+  EXPECT_EQ(transport->site(0).commands->TryPopBatch(&out, 8), 0u);
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, LargeFrameSurvivesIntact) {
+  auto transport = Make(1);
+  EventBatch batch;
+  batch.num_events = 20000;
+  batch.values.reserve(100000);
+  for (int i = 0; i < 100000; ++i) batch.values.push_back(i % 97);
+  const EventBatch expected = batch;
+  ASSERT_TRUE(transport->coordinator().events[0]->Push(std::move(batch)));
+  const std::vector<EventBatch> got = PopExactly(transport->site(0).events, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0] == expected);
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, ConcurrentBidirectionalTraffic) {
+  constexpr int kFrames = 500;
+  auto transport = Make(1);
+  const CoordinatorEndpoints coordinator = transport->coordinator();
+  const SiteEndpoints site = transport->site(0);
+
+  std::thread downstream([&coordinator] {
+    for (int i = 0; i < kFrames; ++i) {
+      EventBatch batch;
+      batch.num_events = i;
+      ASSERT_TRUE(coordinator.events[0]->Push(std::move(batch)));
+    }
+  });
+  std::thread site_echo([this, &site] {
+    // The site drains events while pushing its own updates upstream.
+    const std::vector<EventBatch> got = PopExactly(site.events, kFrames);
+    ASSERT_EQ(got.size(), static_cast<size_t>(kFrames));
+    for (int i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(got[static_cast<size_t>(i)].num_events, i);
+      UpdateBundle bundle;
+      bundle.kind = UpdateBundle::Kind::kReports;
+      bundle.site = 0;
+      bundle.reports = {{i, static_cast<uint32_t>(i)}};
+      ASSERT_TRUE(site.updates->Push(std::move(bundle)));
+    }
+  });
+  const std::vector<UpdateBundle> updates = PopExactly(coordinator.updates, kFrames);
+  downstream.join();
+  site_echo.join();
+  ASSERT_EQ(updates.size(), static_cast<size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(updates[static_cast<size_t>(i)].reports[0].counter, i);
+  }
+  transport->Shutdown();
+}
+
+TEST_P(TransportConformanceTest, ShutdownIsIdempotent) {
+  auto transport = Make(2);
+  transport->Shutdown();
+  transport->Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportConformanceTest,
+    ::testing::Values(TransportParam{"Loopback", MakeLoopbackTransport},
+                      TransportParam{"LocalTcp", MakeLocalTcpTransport}),
+    [](const ::testing::TestParamInfo<TransportParam>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace dsgm
