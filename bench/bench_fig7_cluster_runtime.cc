@@ -6,8 +6,8 @@
 #include <iostream>
 
 #include "bayes/repository.h"
-#include "cluster/cluster_runner.h"
 #include "common/table.h"
+#include "dsgm/dsgm.h"
 #include "harness/experiment.h"
 
 namespace dsgm {
@@ -43,14 +43,28 @@ int Main(int argc, char** argv) {
       const int sites = std::stoi(sites_text);
       std::vector<std::string> row = {std::to_string(sites)};
       for (TrackingStrategy strategy : strategies) {
-        ClusterConfig config;
-        config.tracker.strategy = strategy;
-        config.tracker.num_sites = sites;
-        config.tracker.epsilon = flags.GetDouble("eps");
-        config.tracker.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
-        config.num_events = events;
-        const ClusterResult result = RunCluster(*net, config);
-        row.push_back(FormatDouble(result.runtime_seconds, 3));
+        auto session = SessionBuilder(*net)
+                           .WithBackend(Backend::kThreads)
+                           .WithStrategy(strategy)
+                           .WithSites(sites)
+                           .WithEpsilon(flags.GetDouble("eps"))
+                           .WithSeed(static_cast<uint64_t>(flags.GetInt64("seed")))
+                           .Build();
+        if (!session.ok()) {
+          std::cerr << session.status() << "\n";
+          return 1;
+        }
+        const Status streamed = (*session)->StreamGroundTruth(events);
+        if (!streamed.ok()) {
+          std::cerr << streamed << "\n";
+          return 1;
+        }
+        const auto report = (*session)->Finish();
+        if (!report.ok()) {
+          std::cerr << report.status() << "\n";
+          return 1;
+        }
+        row.push_back(FormatDouble(report->runtime_seconds, 3));
       }
       table.AddRow(row);
     }

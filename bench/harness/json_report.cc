@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/backends.h"
 #include "common/check.h"
 
 namespace dsgm {
@@ -156,25 +157,41 @@ std::string Json::ToString() const {
   return os.str();
 }
 
-Json ClusterResultToJson(const ClusterResult& result) {
+Json ClusterResultToJson(const ClusterResult& result, Backend backend) {
+  // One serialization for both shapes: lift the legacy result into the
+  // unified report.
+  return RunReportToJson(internal::ReportFromClusterResult(result, backend));
+}
+
+Json RunReportToJson(const RunReport& report) {
   Json record = Json::Object();
-  record.Add("events", Json::Int(result.events_processed))
-      .Add("runtime_seconds", Json::Double(result.runtime_seconds))
-      .Add("wall_seconds", Json::Double(result.wall_seconds))
-      .Add("throughput_events_per_sec", Json::Double(result.throughput_events_per_sec))
-      .Add("max_counter_rel_error", Json::Double(result.max_counter_rel_error))
-      .Add("update_messages", Json::Int(static_cast<int64_t>(result.comm.update_messages)))
-      .Add("broadcast_messages", Json::Int(static_cast<int64_t>(result.comm.broadcast_messages)))
-      .Add("sync_messages", Json::Int(static_cast<int64_t>(result.comm.sync_messages)))
-      .Add("wire_messages", Json::Int(static_cast<int64_t>(result.comm.wire_messages)))
-      .Add("total_messages", Json::Int(static_cast<int64_t>(result.comm.TotalMessages())))
-      .Add("rounds_advanced", Json::Int(static_cast<int64_t>(result.comm.rounds_advanced)))
-      .Add("bytes_up_estimated", Json::Int(static_cast<int64_t>(result.comm.bytes_up)))
-      .Add("bytes_down_estimated", Json::Int(static_cast<int64_t>(result.comm.bytes_down)))
-      .Add("transport_measured", Json::Bool(result.transport_measured));
-  if (result.transport_measured) {
-    record.Add("transport_bytes_up", Json::Int(static_cast<int64_t>(result.transport_bytes_up)))
-        .Add("transport_bytes_down", Json::Int(static_cast<int64_t>(result.transport_bytes_down)));
+  record.Add("backend", Json::Str(ToString(report.backend)))
+      .Add("events", Json::Int(report.events_processed))
+      .Add("runtime_seconds", Json::Double(report.runtime_seconds))
+      .Add("wall_seconds", Json::Double(report.wall_seconds))
+      .Add("throughput_events_per_sec", Json::Double(report.throughput_events_per_sec))
+      .Add("max_counter_rel_error", Json::Double(report.max_counter_rel_error))
+      .Add("update_messages", Json::Int(static_cast<int64_t>(report.comm.update_messages)))
+      .Add("broadcast_messages", Json::Int(static_cast<int64_t>(report.comm.broadcast_messages)))
+      .Add("sync_messages", Json::Int(static_cast<int64_t>(report.comm.sync_messages)))
+      .Add("wire_messages", Json::Int(static_cast<int64_t>(report.comm.wire_messages)))
+      .Add("total_messages", Json::Int(static_cast<int64_t>(report.comm.TotalMessages())))
+      .Add("rounds_advanced", Json::Int(static_cast<int64_t>(report.comm.rounds_advanced)))
+      .Add("bytes_up_estimated", Json::Int(static_cast<int64_t>(report.comm.bytes_up)))
+      .Add("bytes_down_estimated", Json::Int(static_cast<int64_t>(report.comm.bytes_down)))
+      .Add("transport_measured", Json::Bool(report.transport_measured));
+  if (report.transport_measured) {
+    const uint64_t wire = report.transport_bytes_up + report.transport_bytes_down;
+    const uint64_t estimated = report.comm.bytes_up + report.comm.bytes_down;
+    record.Add("transport_bytes_up", Json::Int(static_cast<int64_t>(report.transport_bytes_up)))
+        .Add("transport_bytes_down", Json::Int(static_cast<int64_t>(report.transport_bytes_down)))
+        .Add("estimated_to_wire_byte_ratio",
+             Json::Double(wire > 0 ? static_cast<double>(estimated) /
+                                         static_cast<double>(wire)
+                                   : 0.0));
+  }
+  if (report.memory_bytes > 0) {
+    record.Add("memory_bytes", Json::Int(static_cast<int64_t>(report.memory_bytes)));
   }
   return record;
 }

@@ -16,6 +16,7 @@
 
 #include "cluster/cluster_runner.h"
 #include "common/status.h"
+#include "dsgm/report.h"
 
 namespace dsgm {
 
@@ -67,10 +68,17 @@ class Json {
 /// trailing newline.
 Status WriteJsonReport(const std::string& path, const Json& root);
 
-/// Flattens one cluster run into the record shape shared by the cluster
-/// benches (fig8, net transport comparison): timing, throughput,
-/// communication counters, and measured transport bytes.
-Json ClusterResultToJson(const ClusterResult& result);
+/// Flattens one legacy ClusterResult into the same record shape as
+/// RunReportToJson. `backend` tags the record: pass Backend::kLocalTcp for
+/// a RunRemoteCoordinator result (the default fits RunCluster and the
+/// threaded benches).
+Json ClusterResultToJson(const ClusterResult& result,
+                         Backend backend = Backend::kThreads);
+
+/// Same record shape for a Session's RunReport, plus the backend tag and —
+/// when the transport measured real bytes — the estimated/wire byte ratio,
+/// so BENCH_*.json tracks how honest the CommStats estimates are.
+Json RunReportToJson(const RunReport& report);
 
 }  // namespace dsgm
 

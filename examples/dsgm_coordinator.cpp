@@ -1,6 +1,7 @@
-// Multi-process cluster, coordinator side: listens for `--sites` dsgm_site
-// processes on localhost TCP, streams `--events` sampled instances to them,
-// runs the paper's counter protocol over the wire, and validates its final
+// Multi-process cluster, coordinator side: a dsgm::Session on the
+// local-TCP backend with external sites — listens for `--sites` dsgm_site
+// processes, streams `--events` sampled instances to them, runs the
+// paper's counter protocol over the wire, and validates its final
 // estimates against the sites' exact counts.
 //
 // Two-terminal quickstart (see README "Transport architecture"):
@@ -15,10 +16,9 @@
 #include <iostream>
 
 #include "bayes/repository.h"
-#include "cluster/remote_runner.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "core/tracker_config.h"
+#include "dsgm/dsgm.h"
 
 int main(int argc, char** argv) {
   using namespace dsgm;
@@ -54,44 +54,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  RemoteCoordinatorConfig config;
-  config.cluster.tracker.strategy = *strategy;
-  config.cluster.tracker.epsilon = flags.GetDouble("eps");
-  config.cluster.tracker.num_sites = static_cast<int>(flags.GetInt64("sites"));
-  config.cluster.tracker.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
-  config.cluster.num_events = flags.GetInt64("events");
-  config.cluster.batch_size = static_cast<int>(flags.GetInt64("batch-size"));
-  config.port = static_cast<int>(flags.GetInt64("port"));
-  config.port_file = flags.GetString("port-file");
-
-  std::cout << "dsgm_coordinator: waiting for " << config.cluster.tracker.num_sites
-            << " site(s) on port " << (config.port == 0 ? "<ephemeral>" : std::to_string(config.port))
+  const int port = static_cast<int>(flags.GetInt64("port"));
+  std::cout << "dsgm_coordinator: waiting for " << flags.GetInt64("sites")
+            << " site(s) on port " << (port == 0 ? "<ephemeral>" : std::to_string(port))
             << " (network '" << net->name() << "', "
-            << config.cluster.num_events << " events)...\n";
+            << flags.GetInt64("events") << " events)...\n";
 
-  const StatusOr<ClusterResult> result = RunRemoteCoordinator(*net, config);
-  if (!result.ok()) {
-    std::cerr << "coordinator failed: " << result.status() << "\n";
+  // Build() blocks until every external site completes its hello handshake.
+  const StatusOr<std::unique_ptr<Session>> session =
+      SessionBuilder(*net)
+          .WithBackend(Backend::kLocalTcp)
+          .WithExternalSites()
+          .WithStrategy(*strategy)
+          .WithEpsilon(flags.GetDouble("eps"))
+          .WithSites(static_cast<int>(flags.GetInt64("sites")))
+          .WithSeed(static_cast<uint64_t>(flags.GetInt64("seed")))
+          .WithBatchSize(static_cast<int>(flags.GetInt64("batch-size")))
+          .WithListenPort(port)
+          .WithPortFile(flags.GetString("port-file"))
+          .Build();
+  if (!session.ok()) {
+    std::cerr << "coordinator failed: " << session.status() << "\n";
+    return 1;
+  }
+  const Status streamed = (*session)->StreamGroundTruth(flags.GetInt64("events"));
+  if (!streamed.ok()) {
+    std::cerr << "coordinator failed: " << streamed << "\n";
+    return 1;
+  }
+  const StatusOr<RunReport> report = (*session)->Finish();
+  if (!report.ok()) {
+    std::cerr << "coordinator failed: " << report.status() << "\n";
     return 1;
   }
 
   TablePrinter table("Multi-process cluster run (" + std::string(ToString(*strategy)) + ")");
   table.SetHeader({"metric", "value"});
-  table.AddRow({"events dispatched", FormatCount(result->events_processed)});
-  table.AddRow({"runtime (s)", FormatDouble(result->runtime_seconds, 3)});
+  table.AddRow({"events dispatched", FormatCount(report->events_processed)});
+  table.AddRow({"runtime (s)", FormatDouble(report->runtime_seconds, 3)});
   table.AddRow({"throughput (events/s)",
-                FormatCount(static_cast<int64_t>(result->throughput_events_per_sec))});
-  table.AddRow({"wire messages", FormatCount(static_cast<int64_t>(result->comm.wire_messages))});
-  table.AddRow({"counter updates", FormatCount(static_cast<int64_t>(result->comm.update_messages))});
-  table.AddRow({"TCP bytes up", FormatCount(static_cast<int64_t>(result->transport_bytes_up))});
-  table.AddRow({"TCP bytes down", FormatCount(static_cast<int64_t>(result->transport_bytes_down))});
-  table.AddRow({"max rel. counter error", FormatDouble(result->max_counter_rel_error, 4)});
+                FormatCount(static_cast<int64_t>(report->throughput_events_per_sec))});
+  table.AddRow({"wire messages", FormatCount(static_cast<int64_t>(report->comm.wire_messages))});
+  table.AddRow({"counter updates", FormatCount(static_cast<int64_t>(report->comm.update_messages))});
+  table.AddRow({"TCP bytes up", FormatCount(static_cast<int64_t>(report->transport_bytes_up))});
+  table.AddRow({"TCP bytes down", FormatCount(static_cast<int64_t>(report->transport_bytes_down))});
+  table.AddRow({"max rel. counter error", FormatDouble(report->max_counter_rel_error, 4)});
   table.Print(std::cout);
 
   const double bound = flags.GetDouble("max-rel-error");
-  if (bound >= 0.0 && result->max_counter_rel_error > bound) {
+  if (bound >= 0.0 && report->max_counter_rel_error > bound) {
     std::cerr << "VALIDATION FAILED: max counter relative error "
-              << result->max_counter_rel_error << " exceeds bound " << bound << "\n";
+              << report->max_counter_rel_error << " exceeds bound " << bound << "\n";
     return 1;
   }
   return 0;

@@ -1,7 +1,9 @@
-// Multi-process cluster, site side: connects to a dsgm_coordinator over
-// TCP, announces its site id, and serves the paper's site role — consuming
-// its share of the event stream, making Bernoulli reporting decisions, and
-// answering round syncs — until the coordinator ends the protocol.
+// Multi-process cluster, site side: serves the public dsgm::ServeSite role
+// — connects to a dsgm_coordinator (a Session on the local-TCP backend
+// with external sites) over TCP, announces its site id and protocol
+// version, and runs the paper's site role — consuming its share of the
+// event stream, making Bernoulli reporting decisions, and answering round
+// syncs — until the coordinator ends the protocol.
 //
 // See examples/dsgm_coordinator.cpp for the two-terminal quickstart.
 
@@ -9,8 +11,8 @@
 #include <iostream>
 
 #include "bayes/repository.h"
-#include "cluster/remote_runner.h"
 #include "common/flags.h"
+#include "dsgm/dsgm.h"
 
 int main(int argc, char** argv) {
   using namespace dsgm;
@@ -38,10 +40,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  RemoteSiteConfig config;
+  SiteServiceConfig config;
   config.site_id = static_cast<int>(flags.GetInt64("site"));
-  config.host = flags.GetString("host");
-  config.port = static_cast<int>(flags.GetInt64("port"));
+  config.coordinator_host = flags.GetString("host");
+  config.coordinator_port = static_cast<int>(flags.GetInt64("port"));
   config.connect_timeout_ms = static_cast<int>(flags.GetInt64("connect-timeout-ms"));
   // Decorrelate the per-site reporting decisions while keeping runs
   // reproducible from one --seed.
@@ -55,14 +57,14 @@ int main(int argc, char** argv) {
       std::cerr << "cannot read port from " << flags.GetString("port-file") << "\n";
       return 1;
     }
-    config.port = port;
+    config.coordinator_port = port;
   }
 
   std::cout << "dsgm_site " << config.site_id << ": connecting to "
-            << config.host << ":" << config.port << " (network '"
-            << net->name() << "')...\n";
+            << config.coordinator_host << ":" << config.coordinator_port
+            << " (network '" << net->name() << "')...\n";
 
-  const StatusOr<RemoteSiteResult> result = RunRemoteSite(*net, config);
+  const StatusOr<SiteServiceResult> result = ServeSite(*net, config);
   if (!result.ok()) {
     std::cerr << "site " << config.site_id << " failed: " << result.status() << "\n";
     return 1;

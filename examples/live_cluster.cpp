@@ -1,15 +1,18 @@
-// Live cluster demo: runs the threaded site/coordinator implementation
-// (one OS thread per site, real message queues) on the ALARM network and
-// reports runtime, throughput, and communication for each algorithm —
-// a miniature of the paper's Figures 7-8 EC2 experiment.
+// Live cluster demo: runs the threaded site/coordinator backend (one OS
+// thread per site, real message queues) on the ALARM network through the
+// Session API, and reports runtime, throughput, and communication per
+// algorithm — a miniature of the paper's Figures 7-8 EC2 experiment, plus
+// the capability the paper leads with: querying the model WHILE the
+// cluster is streaming.
 //
 //   $ ./build/examples/live_cluster
 
+#include <cmath>
 #include <iostream>
 
 #include "bayes/repository.h"
-#include "cluster/cluster_runner.h"
 #include "common/table.h"
+#include "dsgm/dsgm.h"
 
 int main() {
   using namespace dsgm;
@@ -17,31 +20,62 @@ int main() {
   constexpr int kSites = 6;
   constexpr int64_t kEvents = 100000;
 
+  // A live query target: P(first variable = 0), ancestrally closed.
+  PartialAssignment probe;
+  probe.nodes = {0};
+  probe.values = {0};
+  const double probe_truth = net.ClosedSubsetProbability(probe);
+
   std::cout << "Running a " << kSites << "-site threaded cluster on '"
             << net.name() << "' (" << kEvents << " events per run)...\n\n";
 
   TablePrinter table;
   table.SetHeader({"algorithm", "runtime (s)", "throughput (events/s)",
-                   "wire messages", "counter updates", "max rel. counter err"});
+                   "wire messages", "mid-run query err", "max rel. counter err"});
   for (TrackingStrategy strategy :
        {TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
         TrackingStrategy::kUniform, TrackingStrategy::kNonUniform}) {
-    ClusterConfig config;
-    config.tracker.strategy = strategy;
-    config.tracker.num_sites = kSites;
-    config.tracker.epsilon = 0.1;
-    config.tracker.seed = 99;
-    config.num_events = kEvents;
-    const ClusterResult result = RunCluster(net, config);
-    table.AddRow({ToString(strategy), FormatDouble(result.runtime_seconds, 3),
-                  FormatCount(static_cast<int64_t>(result.throughput_events_per_sec)),
-                  FormatCount(static_cast<int64_t>(result.comm.wire_messages)),
-                  FormatCount(static_cast<int64_t>(result.comm.update_messages)),
-                  FormatDouble(result.max_counter_rel_error, 3)});
+    auto session = SessionBuilder(net)
+                       .WithBackend(Backend::kThreads)
+                       .WithStrategy(strategy)
+                       .WithEpsilon(0.1)
+                       .WithSites(kSites)
+                       .WithSeed(99)
+                       .Build();
+    if (!session.ok()) {
+      std::cerr << session.status() << "\n";
+      return 1;
+    }
+    // Stream half, query the live model mid-run, stream the rest.
+    Status streamed = (*session)->StreamGroundTruth(kEvents / 2);
+    if (!streamed.ok()) {
+      std::cerr << streamed << "\n";
+      return 1;
+    }
+    const ModelView live = *(*session)->Snapshot();
+    const double mid_error =
+        std::abs(live.JointProbability(probe) - probe_truth) / probe_truth;
+    streamed = (*session)->StreamGroundTruth(kEvents - kEvents / 2);
+    if (!streamed.ok()) {
+      std::cerr << streamed << "\n";
+      return 1;
+    }
+
+    const auto report = (*session)->Finish();
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return 1;
+    }
+    table.AddRow({ToString(strategy), FormatDouble(report->runtime_seconds, 3),
+                  FormatCount(static_cast<int64_t>(report->throughput_events_per_sec)),
+                  FormatCount(static_cast<int64_t>(report->comm.wire_messages)),
+                  FormatDouble(mid_error, 4),
+                  FormatDouble(report->max_counter_rel_error, 3)});
   }
   table.Print(std::cout);
   std::cout << "\nThe randomized algorithms finish faster because the "
-               "coordinator processes\nfar fewer counter updates; their "
-               "estimates stay within the epsilon band.\n";
+               "coordinator processes\nfar fewer counter updates — and the "
+               "mid-run snapshot shows the model was\nalready accurate while "
+               "the stream was still flowing.\n";
   return 0;
 }

@@ -1,20 +1,20 @@
 // Quickstart: learn the parameters of a known-structure Bayesian network
 // from a distributed stream with ~100x less communication than exact
-// maintenance, and query the model continuously.
+// maintenance, and query the model continuously — through the public
+// Session API (include/dsgm/dsgm.h).
 //
 //   $ ./build/examples/quickstart
 //
-// Walks through the full public API surface: repository networks, forward
-// sampling, the MLE tracker with the NONUNIFORM strategy, joint-probability
-// queries, and communication accounting.
+// Walks through the full surface: SessionBuilder, streaming, mid-run
+// Snapshot() queries (the paper's Algorithm 3 QUERY at any time t), the
+// final RunReport, and communication accounting.
 
 #include <cmath>
 #include <iostream>
 
 #include "bayes/repository.h"
-#include "bayes/sampler.h"
 #include "common/table.h"
-#include "core/mle_tracker.h"
+#include "dsgm/dsgm.h"
 
 int main() {
   using namespace dsgm;
@@ -26,39 +26,44 @@ int main() {
             << " variables, " << truth.dag().num_edges() << " edges, "
             << truth.FreeParams() << " free parameters.\n\n";
 
-  // 2. Two trackers on a 10-site distributed stream: the exact-MLE strawman
-  //    and the paper's NONUNIFORM algorithm with epsilon = 0.1.
-  TrackerConfig exact_config;
-  exact_config.strategy = TrackingStrategy::kExactMle;
-  exact_config.num_sites = 10;
-  MleTracker exact(truth, exact_config);
-
-  TrackerConfig approx_config;
-  approx_config.strategy = TrackingStrategy::kNonUniform;
-  approx_config.epsilon = 0.1;
-  approx_config.num_sites = 10;
-  MleTracker approx(truth, approx_config);
-
-  // 3. Stream 500K observations; each event arrives at a random site
-  //    (Algorithm 2 runs site-side, counters talk to the coordinator).
-  ForwardSampler sampler(truth, /*seed=*/2024);
-  Rng router(7);
-  Instance event;
-  for (int i = 0; i < 500000; ++i) {
-    sampler.Sample(&event);
-    const int site = static_cast<int>(router.NextBounded(10));
-    exact.Observe(event, site);
-    approx.Observe(event, site);
+  // 2. Two sessions on a 10-site distributed stream: the exact-MLE strawman
+  //    and the paper's NONUNIFORM algorithm with epsilon = 0.1. Identical
+  //    configs stream identical events, so the comparison is apples to
+  //    apples.
+  auto exact = SessionBuilder(truth)
+                   .WithStrategy(TrackingStrategy::kExactMle)
+                   .WithSites(10)
+                   .Build();
+  auto approx = SessionBuilder(truth)
+                    .WithStrategy(TrackingStrategy::kNonUniform)
+                    .WithEpsilon(0.1)
+                    .WithSites(10)
+                    .Build();
+  if (!exact.ok() || !approx.ok()) {
+    std::cerr << exact.status() << " " << approx.status() << "\n";
+    return 1;
   }
 
-  // 4. Query the continuously-maintained model (Algorithm 3).
+  // 3. Stream 500K observations sampled from the ground truth; the session
+  //    routes each event to a random site (Algorithm 2 runs site-side,
+  //    counters talk to the coordinator).
+  if (!(*exact)->StreamGroundTruth(500000).ok() ||
+      !(*approx)->StreamGroundTruth(500000).ok()) {
+    std::cerr << "streaming failed\n";
+    return 1;
+  }
+
+  // 4. Query the continuously-maintained model (Algorithm 3). Snapshot()
+  //    works at ANY point — here mid-session, before Finish().
+  const ModelView exact_view = *(*exact)->Snapshot();
+  const ModelView approx_view = *(*approx)->Snapshot();
   const Instance probe = {0, 1, 0, 1, 1};  // easy course, smart student, A...
   std::cout << "P(d0,i1,g0,s1,l1)  ground truth: "
             << FormatDouble(truth.JointProbability(probe)) << "\n"
             << "                   exact MLE:    "
-            << FormatDouble(exact.JointProbability(probe)) << "\n"
+            << FormatDouble(exact_view.JointProbability(probe)) << "\n"
             << "                   non-uniform:  "
-            << FormatDouble(approx.JointProbability(probe)) << "\n\n";
+            << FormatDouble(approx_view.JointProbability(probe)) << "\n\n";
 
   // Partial queries over ancestrally-closed subsets work too.
   PartialAssignment grades;
@@ -67,17 +72,19 @@ int main() {
   std::cout << "P(d0,i1,g0)        ground truth: "
             << FormatDouble(truth.ClosedSubsetProbability(grades)) << "\n"
             << "                   non-uniform:  "
-            << FormatDouble(approx.JointProbability(grades)) << "\n\n";
+            << FormatDouble(approx_view.JointProbability(grades)) << "\n\n";
 
-  // 5. The payoff: communication.
-  const double ratio = static_cast<double>(exact.comm().TotalMessages()) /
-                       static_cast<double>(approx.comm().TotalMessages());
+  // 5. The payoff: communication. Finish() returns the unified report.
+  const RunReport exact_report = *(*exact)->Finish();
+  const RunReport approx_report = *(*approx)->Finish();
+  const double ratio = static_cast<double>(exact_report.comm.TotalMessages()) /
+                       static_cast<double>(approx_report.comm.TotalMessages());
   std::cout << "Communication for 500K distributed events:\n"
-            << "  exact MLE:   " << FormatCount(static_cast<int64_t>(
-                                        exact.comm().TotalMessages()))
+            << "  exact MLE:   "
+            << FormatCount(static_cast<int64_t>(exact_report.comm.TotalMessages()))
             << " messages\n"
-            << "  non-uniform: " << FormatCount(static_cast<int64_t>(
-                                        approx.comm().TotalMessages()))
+            << "  non-uniform: "
+            << FormatCount(static_cast<int64_t>(approx_report.comm.TotalMessages()))
             << " messages  (" << FormatDouble(ratio, 3) << "x fewer)\n";
   return 0;
 }

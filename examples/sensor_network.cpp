@@ -6,18 +6,18 @@
 //
 //   $ ./build/examples/sensor_network
 //
-// Demonstrates: building a custom network by hand, continuous queries
-// during streaming, and watching the approximation error shrink while
-// communication grows only logarithmically.
+// Demonstrates: building a custom network by hand, checkpointed streaming
+// with mid-run Snapshot() queries through the Session API, and watching
+// the approximation error shrink while communication grows only
+// logarithmically.
 
 #include <cmath>
 #include <iostream>
 
 #include "bayes/network.h"
-#include "bayes/sampler.h"
 #include "common/check.h"
 #include "common/table.h"
-#include "core/mle_tracker.h"
+#include "dsgm/dsgm.h"
 
 namespace {
 
@@ -72,11 +72,13 @@ int main() {
   const BayesianNetwork truth = BuildTrafficNetwork();
   constexpr int kSensors = 25;  // 25 roadside sensor sites.
 
-  TrackerConfig config;
-  config.strategy = TrackingStrategy::kNonUniform;
-  config.epsilon = 0.1;
-  config.num_sites = kSensors;
-  MleTracker model(truth, config);
+  auto session = SessionBuilder(truth)
+                     .WithStrategy(TrackingStrategy::kNonUniform)
+                     .WithEpsilon(0.1)
+                     .WithSites(kSensors)
+                     .WithSeed(11)
+                     .Build();
+  DSGM_CHECK(session.ok()) << session.status();
 
   // The "pattern of interest": a snow-day incident pattern, queried live.
   // {TimeOfDay, Weather, Congestion, Incident} is ancestrally closed.
@@ -92,15 +94,13 @@ int main() {
   table.SetHeader({"events seen", "model estimate", "ground truth", "rel. error",
                    "messages", "msgs/event"});
 
-  ForwardSampler sampler(truth, 11);
-  Rng router(12);
-  Instance event;
   int64_t streamed = 0;
   for (int64_t checkpoint : {1000, 10000, 100000, 1000000}) {
-    for (; streamed < checkpoint; ++streamed) {
-      sampler.Sample(&event);
-      model.Observe(event, static_cast<int>(router.NextBounded(kSensors)));
-    }
+    // The ground-truth sampler persists inside the session, so each call
+    // continues the same stream up to the checkpoint.
+    DSGM_CHECK((*session)->StreamGroundTruth(checkpoint - streamed).ok());
+    streamed = checkpoint;
+    const ModelView model = *(*session)->Snapshot();  // live, mid-stream
     const double estimate = model.JointProbability(snow_incident);
     const double rel_error = std::abs(estimate - truth_prob) / truth_prob;
     const uint64_t messages = model.comm().TotalMessages();

@@ -2,9 +2,11 @@
 // structure is provided by a domain expert or "learned offline based on a
 // suitable sample of the data" (Section III). This example does exactly
 // that: (1) collect a modest offline sample, (2) learn a Chow-Liu tree from
-// it, (3) hand the learned structure to the distributed tracker and learn
-// the parameters from the live stream with NONUNIFORM counters (whose
-// Lemma 10 specialization covers tree networks).
+// it, (3) hand the learned structure to a Session and learn the parameters
+// from the live stream with NONUNIFORM counters (whose Lemma 10
+// specialization covers tree networks). The stream comes from the hidden
+// truth through a pluggable EventSource — the session's network is the
+// LEARNED structure, so StreamGroundTruth would sample the wrong model.
 //
 //   $ ./build/examples/structure_learning
 
@@ -17,7 +19,7 @@
 #include "bayes/structure.h"
 #include "common/check.h"
 #include "common/table.h"
-#include "core/mle_tracker.h"
+#include "dsgm/dsgm.h"
 
 int main() {
   using namespace dsgm;
@@ -54,36 +56,35 @@ int main() {
             << " ground-truth edges from a 20K offline sample.\n\n";
 
   // --- Phase 2: continuous distributed parameter learning on the learned
-  //     structure (the tracker never sees the truth's CPDs).
-  TrackerConfig config;
-  config.strategy = TrackingStrategy::kNonUniform;
-  config.epsilon = 0.1;
-  config.num_sites = 12;
-  MleTracker tracker(*learned_structure, config);
-
-  ForwardSampler stream(*truth, 2);
-  Rng router(3);
-  Instance event;
-  for (int i = 0; i < 300000; ++i) {
-    stream.Sample(&event);
-    tracker.Observe(event, static_cast<int>(router.NextBounded(12)));
-  }
+  //     structure (the session never sees the truth's CPDs — the live
+  //     stream arrives through an EventSource sampling the hidden truth).
+  auto session = SessionBuilder(*learned_structure)
+                     .WithStrategy(TrackingStrategy::kNonUniform)
+                     .WithEpsilon(0.1)
+                     .WithSites(12)
+                     .Build();
+  DSGM_CHECK(session.ok()) << session.status();
+  auto live_stream = MakeSamplerSource(*truth, /*seed=*/2, /*limit=*/300000);
+  DSGM_CHECK((*session)->Drain(live_stream.get()).ok());
 
   // --- Phase 3: the tracked model approximates the true joint.
+  const RunReport report = *(*session)->Finish();
+  const ModelView& model = report.model;
   TablePrinter table;
   table.SetHeader({"query", "ground truth", "tracked model", "rel. error"});
   ForwardSampler probe(*truth, 4);
+  Instance event;
   for (int q = 0; q < 5; ++q) {
     probe.Sample(&event);
     const double p_truth = truth->JointProbability(event);
-    const double p_model = tracker.JointProbability(event);
+    const double p_model = model.JointProbability(event);
     table.AddRow({"sampled assignment #" + std::to_string(q + 1),
                   FormatDouble(p_truth), FormatDouble(p_model),
                   FormatDouble(std::abs(p_model - p_truth) / p_truth, 3)});
   }
   table.Print(std::cout);
   std::cout << "\nCommunication for 300K distributed events: "
-            << FormatCount(static_cast<int64_t>(tracker.comm().TotalMessages()))
+            << FormatCount(static_cast<int64_t>(report.comm.TotalMessages()))
             << " messages (exact maintenance would use "
             << FormatCount(300000LL * 2 * truth->num_variables()) << ").\n";
   return 0;

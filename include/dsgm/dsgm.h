@@ -1,0 +1,21 @@
+// Umbrella header of the dsgm public API.
+//
+//   #include "dsgm/dsgm.h"
+//
+// pulls in the Session/SessionBuilder entry point, the ModelView query
+// surface, event sources, the run report, and the site-service role, plus
+// the config and network types they traffic in. Internal layers
+// (monitor/, cluster/, net/ internals) stay out of this surface; reach for
+// their headers directly only when extending the library itself.
+
+#ifndef DSGM_INCLUDE_DSGM_DSGM_H_
+#define DSGM_INCLUDE_DSGM_DSGM_H_
+
+#include "bayes/repository.h"  // standard networks: Alarm(), StudentNetwork(), ...
+#include "dsgm/event_source.h"
+#include "dsgm/model_view.h"
+#include "dsgm/report.h"
+#include "dsgm/session.h"
+#include "dsgm/site_service.h"
+
+#endif  // DSGM_INCLUDE_DSGM_DSGM_H_

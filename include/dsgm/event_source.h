@@ -1,0 +1,44 @@
+// Pluggable event sources for dsgm::Session::Drain(): where the training
+// stream comes from when the caller does not want to Push() instances by
+// hand. Three stock sources cover the common cases — sampling a
+// ground-truth network (simulation / benchmarks), replaying a recorded
+// trace, and pulling from an arbitrary callback (live ingestion).
+
+#ifndef DSGM_INCLUDE_DSGM_EVENT_SOURCE_H_
+#define DSGM_INCLUDE_DSGM_EVENT_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bayes/network.h"
+
+namespace dsgm {
+
+/// A pull-based stream of training instances. Sources are single-pass and
+/// not thread-safe; a Session drains one from its own calling thread.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Fills `*out` with the next instance and returns true, or returns
+  /// false once the source is exhausted (then stays exhausted).
+  virtual bool Next(Instance* out) = 0;
+};
+
+/// Forward-samples `limit` instances from `network`'s ground-truth CPDs.
+/// The network must outlive the source.
+std::unique_ptr<EventSource> MakeSamplerSource(const BayesianNetwork& network,
+                                               uint64_t seed, int64_t limit);
+
+/// Replays a recorded trace in order.
+std::unique_ptr<EventSource> MakeReplaySource(std::vector<Instance> events);
+
+/// Adapts a callback with EventSource::Next semantics (false = exhausted).
+std::unique_ptr<EventSource> MakeCallbackSource(
+    std::function<bool(Instance*)> next);
+
+}  // namespace dsgm
+
+#endif  // DSGM_INCLUDE_DSGM_EVENT_SOURCE_H_

@@ -1,0 +1,84 @@
+// A queryable snapshot of the continuously-tracked model — the answer side
+// of the paper's Algorithm 3 QUERY. A ModelView owns an immutable copy of
+// every counter estimate taken at one instant (mid-run or final), so its
+// queries stay consistent while the session keeps streaming underneath.
+// It references the session's BayesianNetwork (structure and domain sizes)
+// by pointer: the network must outlive every view taken from the session,
+// including the final one inside RunReport.
+
+#ifndef DSGM_INCLUDE_DSGM_MODEL_VIEW_H_
+#define DSGM_INCLUDE_DSGM_MODEL_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bayes/network.h"
+#include "core/counter_layout.h"
+#include "monitor/comm_stats.h"
+
+namespace dsgm {
+
+class ModelView {
+ public:
+  /// An empty view: no network, zero counters. Queries are invalid until a
+  /// Session populates the view; empty() tells the two apart.
+  ModelView() = default;
+
+  /// Assembles a view over `estimates`, one value per counter in the
+  /// canonical CounterLayout order. Sessions call this; user code receives
+  /// views from Session::Snapshot() / RunReport.
+  ModelView(const BayesianNetwork& network,
+            std::shared_ptr<const CounterLayout> layout,
+            std::vector<double> estimates, int64_t events_observed,
+            CommStats comm, double laplace_alpha);
+
+  bool empty() const { return network_ == nullptr; }
+
+  /// Estimated CPD entry p̃_i(value | parent_row) = A_i(v,row)/A_i(row),
+  /// with the tracker's Laplace smoothing applied when configured and the
+  /// uniform 1/J_i fallback when the parent row has no observed mass.
+  double CpdEstimate(int variable, int value, int64_t parent_row) const;
+
+  /// Estimated probability of a full instance (chain rule over CPDs).
+  double JointProbability(const Instance& instance) const;
+
+  /// Estimated probability of an ancestrally-closed partial assignment
+  /// (nodes sorted ascending; every parent of a member must be a member).
+  double JointProbability(const PartialAssignment& assignment) const;
+
+  /// Raw counter estimate by canonical counter id (tests, diagnostics).
+  double CounterEstimate(int64_t counter) const {
+    return estimates_[static_cast<size_t>(counter)];
+  }
+  int64_t num_counters() const {
+    return static_cast<int64_t>(estimates_.size());
+  }
+
+  /// Events the session had accepted when the snapshot was taken. For the
+  /// cluster backends a few of them may still be in flight to the sites.
+  int64_t events_observed() const { return events_observed_; }
+
+  /// Communication spent up to the snapshot instant.
+  const CommStats& comm() const { return comm_; }
+
+  const BayesianNetwork& network() const { return *network_; }
+
+ private:
+  const BayesianNetwork* network_ = nullptr;
+  std::shared_ptr<const CounterLayout> layout_;
+  std::vector<double> estimates_;
+  int64_t events_observed_ = 0;
+  CommStats comm_;
+  double laplace_alpha_ = 0.0;
+};
+
+/// Predicts the value of `target` given the other variables in `evidence`
+/// (evidence[target] is ignored): the classifier of Definition 4 — argmax
+/// over candidate values of the Markov-blanket factors — evaluated on a
+/// snapshot (shares the decision rule with core/classifier.h).
+int Predict(const ModelView& model, int target, const Instance& evidence);
+
+}  // namespace dsgm
+
+#endif  // DSGM_INCLUDE_DSGM_MODEL_VIEW_H_

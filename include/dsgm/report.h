@@ -1,0 +1,70 @@
+// The unified end-of-run report every Session backend returns from
+// Finish(): the threaded-cluster measurements (runtime, throughput,
+// validation) and the single-process tracker observability (memory), plus
+// a final queryable model snapshot.
+
+#ifndef DSGM_INCLUDE_DSGM_REPORT_H_
+#define DSGM_INCLUDE_DSGM_REPORT_H_
+
+#include <cstdint>
+
+#include "dsgm/model_view.h"
+#include "monitor/comm_stats.h"
+
+namespace dsgm {
+
+/// Which substrate a Session runs the paper's protocol on.
+enum class Backend {
+  /// Single-process simulation wrapping MleTracker: sites are bookkeeping,
+  /// no threads. Fastest; the substrate of the error/communication figures.
+  kInProcess,
+  /// One OS thread per site plus a coordinator thread, talking through
+  /// in-process channels (or any TransportFactory). The Figs. 7-8 substrate.
+  kThreads,
+  /// One localhost TCP socket per site with codec-serialized frames; site
+  /// threads in-process by default, or external dsgm_site processes.
+  kLocalTcp,
+};
+
+const char* ToString(Backend backend);
+
+struct RunReport {
+  Backend backend = Backend::kInProcess;
+
+  int64_t events_processed = 0;
+  /// Wall-clock seconds from the first to the last message the coordinator
+  /// received (the paper's Fig. 7 runtime; equals wall_seconds in-process).
+  double runtime_seconds = 0.0;
+  /// End-to-end wall-clock of the whole session including setup.
+  double wall_seconds = 0.0;
+  /// events_processed / runtime_seconds (the paper's Fig. 8 metric).
+  double throughput_events_per_sec = 0.0;
+
+  /// Protocol-level communication accounting (logical messages and
+  /// estimated payload bytes; see README on estimate vs wire honesty).
+  CommStats comm;
+
+  /// Validation: max relative error of the coordinator's estimates against
+  /// exact counts, over counters with exact total >= 64 (noise-dominated
+  /// cells are skipped). Zero in exact mode by construction.
+  double max_counter_rel_error = 0.0;
+
+  /// Wire bytes actually moved, when the substrate can observe them
+  /// (kLocalTcp, or kThreads over a TCP TransportFactory).
+  uint64_t transport_bytes_up = 0;
+  uint64_t transport_bytes_down = 0;
+  bool transport_measured = false;
+
+  /// Counter-state memory (kInProcess only; the cluster backends spread
+  /// state across site threads/processes).
+  uint64_t memory_bytes = 0;
+
+  /// Final model snapshot, queryable after the session is gone. Like
+  /// every ModelView it references the session's BayesianNetwork by
+  /// pointer: the network must outlive this report, not just the session.
+  ModelView model;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_INCLUDE_DSGM_REPORT_H_

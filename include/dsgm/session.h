@@ -1,0 +1,176 @@
+// The public entry point of dsgm: one Session API over every substrate the
+// paper's protocol runs on.
+//
+// A Session continuously maintains the approximate MLE of a known-structure
+// Bayesian network over a distributed event stream (Algorithms 1-3) and —
+// the paper's defining capability — answers model queries at ANY point
+// while the stream flows: Snapshot() returns a consistent, immutable
+// ModelView without pausing ingestion.
+//
+//   SessionBuilder builder(network);
+//   auto session = builder.WithBackend(Backend::kThreads)
+//                      .WithStrategy(TrackingStrategy::kNonUniform)
+//                      .WithEpsilon(0.1)
+//                      .WithSites(10)
+//                      .Build();                       // StatusOr
+//   (*session)->StreamGroundTruth(100000);             // or Push / Drain
+//   ModelView live = *(*session)->Snapshot();          // query mid-run
+//   RunReport report = *(*session)->Finish();          // join + validate
+//
+// Sessions are single-owner objects: call all methods from one thread (the
+// backend's protocol threads run underneath and Snapshot() synchronizes
+// with them internally). The network must outlive the session.
+
+#ifndef DSGM_INCLUDE_DSGM_SESSION_H_
+#define DSGM_INCLUDE_DSGM_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bayes/network.h"
+#include "bayes/sampler.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/tracker_config.h"
+#include "dsgm/event_source.h"
+#include "dsgm/model_view.h"
+#include "dsgm/report.h"
+#include "net/cluster_transport.h"
+
+namespace dsgm {
+
+class Session {
+ public:
+  virtual ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Feeds one training instance; the session routes it to a uniformly
+  /// random site (the paper's arrival model). Validates domain bounds.
+  /// Fails with kFailedPrecondition after Finish().
+  Status Push(const Instance& event);
+
+  /// Push() in bulk.
+  Status PushBatch(const std::vector<Instance>& events);
+
+  /// Pulls `source` until it is exhausted, pushing every instance.
+  Status Drain(EventSource* source);
+
+  /// Convenience for simulations: samples `num_events` instances from the
+  /// session network's ground-truth CPDs and pushes them. The sampler
+  /// persists across calls, so successive calls continue one stream —
+  /// stream 10k, Snapshot(), stream 90k more, and the session has seen
+  /// 100k distinct events. Deterministic in the tracker seed.
+  Status StreamGroundTruth(int64_t num_events);
+
+  /// Queryable model snapshot at this instant — Algorithm 3's QUERY while
+  /// the run is live. On the cluster backends any staged dispatch batches
+  /// are flushed to the sites first, so the view reflects every accepted
+  /// event modulo in-flight delivery. After a successful Finish() it
+  /// returns the final model; after a failed one, an error.
+  virtual StatusOr<ModelView> Snapshot() = 0;
+
+  /// Closes the stream, runs the protocol to completion, joins every
+  /// backend thread, and returns the unified report (timing, communication,
+  /// validation against exact counts, final model). Call exactly once.
+  virtual StatusOr<RunReport> Finish() = 0;
+
+  Backend backend() const { return backend_; }
+  const BayesianNetwork& network() const { return *network_; }
+  /// Events accepted so far (some may still be in flight to the sites).
+  int64_t events_pushed() const { return events_pushed_; }
+
+ protected:
+  /// `stream_seed` seeds StreamGroundTruth's sampler; `router_seed` the
+  /// uniform site routing. Backends derive both from the tracker seed with
+  /// the same schedule the legacy free-function drivers used, so identical
+  /// configs produce identical streams on every backend.
+  Session(Backend backend, const BayesianNetwork& network, int num_sites,
+          uint64_t stream_seed, uint64_t router_seed);
+
+  /// Backend-specific delivery of one validated instance.
+  virtual Status PushImpl(const Instance& event) = 0;
+
+  int NextSite() {
+    return static_cast<int>(
+        router_.NextBounded(static_cast<uint64_t>(num_sites_)));
+  }
+
+  bool finished_ = false;
+  int64_t events_pushed_ = 0;
+
+ private:
+  Backend backend_;
+  const BayesianNetwork* network_;
+  int num_sites_;
+  uint64_t stream_seed_;
+  Rng router_;
+  std::unique_ptr<ForwardSampler> ground_truth_;  // lazy, StreamGroundTruth
+};
+
+/// Everything a SessionBuilder can configure. Builders validate on Build();
+/// the struct is public so callers can also fill it wholesale.
+struct SessionOptions {
+  Backend backend = Backend::kInProcess;
+  /// Strategy, epsilon, num_sites, seed, replicas, ... (core/tracker_config.h).
+  TrackerConfig tracker;
+  /// Events per dispatch batch on the cluster backends.
+  int batch_size = 256;
+  /// kThreads only: plumbing override (e.g. MakeLocalTcpTransport to run
+  /// the threaded cluster over real sockets). Empty = in-process loopback.
+  TransportFactory transport;
+  /// kLocalTcp only: listen port (0 = ephemeral) and optional file the
+  /// bound port is atomically published to (for scripts).
+  int listen_port = 0;
+  std::string port_file;
+  /// kLocalTcp only: expect `tracker.num_sites` external dsgm_site
+  /// processes to connect instead of spawning in-process site threads.
+  /// Build() then blocks until all sites complete the hello handshake.
+  bool external_sites = false;
+  /// kLocalTcp internal sites: how long each site retries its connect.
+  int site_connect_timeout_ms = 10000;
+};
+
+class SessionBuilder {
+ public:
+  /// The network provides the structure and domain sizes; its CPDs are
+  /// only read by StreamGroundTruth/MakeSamplerSource (they are what the
+  /// session learns). Must outlive the built session.
+  explicit SessionBuilder(const BayesianNetwork& network);
+
+  /// Replaces the whole configuration at once; the With* setters below
+  /// tweak individual fields on top.
+  SessionBuilder& WithOptions(const SessionOptions& options);
+
+  SessionBuilder& WithBackend(Backend backend);
+  SessionBuilder& WithTracker(const TrackerConfig& tracker);
+  SessionBuilder& WithStrategy(TrackingStrategy strategy);
+  SessionBuilder& WithCounterType(CounterType type);
+  SessionBuilder& WithEpsilon(double epsilon);
+  SessionBuilder& WithSites(int num_sites);
+  SessionBuilder& WithSeed(uint64_t seed);
+  SessionBuilder& WithBatchSize(int batch_size);
+  SessionBuilder& WithTransport(TransportFactory transport);
+  SessionBuilder& WithListenPort(int port);
+  SessionBuilder& WithPortFile(std::string path);
+  SessionBuilder& WithExternalSites();
+  SessionBuilder& WithSiteConnectTimeout(int timeout_ms);
+
+  const SessionOptions& options() const { return options_; }
+
+  /// Validates the configuration and spins up the backend (threads,
+  /// sockets, listeners). For kLocalTcp with WithExternalSites() this
+  /// blocks until every site process has connected.
+  StatusOr<std::unique_ptr<Session>> Build() const;
+
+ private:
+  const BayesianNetwork* network_;
+  SessionOptions options_;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_INCLUDE_DSGM_SESSION_H_

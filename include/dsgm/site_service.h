@@ -1,0 +1,43 @@
+// The site-side role of a multi-host deployment: while a coordinator-side
+// dsgm::Session (Backend::kLocalTcp + WithExternalSites) drives the run,
+// each remote machine serves one site with ServeSite(). The pair is the
+// public surface of the multi-process cluster; examples/dsgm_site.cpp is a
+// thin CLI over this function.
+
+#ifndef DSGM_INCLUDE_DSGM_SITE_SERVICE_H_
+#define DSGM_INCLUDE_DSGM_SITE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bayes/network.h"
+#include "common/status.h"
+
+namespace dsgm {
+
+struct SiteServiceConfig {
+  /// This site's id, in [0, coordinator sites).
+  int site_id = 0;
+  std::string coordinator_host = "127.0.0.1";
+  int coordinator_port = 0;
+  /// Seed for the site's Bernoulli reporting decisions.
+  uint64_t seed = 7;
+  /// How long to keep retrying the initial connect while the coordinator
+  /// is still starting up.
+  int connect_timeout_ms = 10000;
+};
+
+struct SiteServiceResult {
+  int64_t events_processed = 0;
+};
+
+/// Connects to the coordinator, announces the site id (and protocol
+/// version), serves the paper's site role until the coordinator ends the
+/// protocol, then reports exact totals for validation. Blocks for the
+/// lifetime of the run. The network must match the coordinator's.
+StatusOr<SiteServiceResult> ServeSite(const BayesianNetwork& network,
+                                      const SiteServiceConfig& config);
+
+}  // namespace dsgm
+
+#endif  // DSGM_INCLUDE_DSGM_SITE_SERVICE_H_

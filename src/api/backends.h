@@ -1,0 +1,90 @@
+// Internal plumbing shared by the Session backends (not installed as part
+// of the public surface; include "dsgm/dsgm.h" instead).
+
+#ifndef DSGM_API_BACKENDS_H_
+#define DSGM_API_BACKENDS_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_runner.h"
+#include "cluster/coordinator_node.h"
+#include "common/timer.h"
+#include "core/counter_layout.h"
+#include "dsgm/session.h"
+#include "net/channel.h"
+#include "net/wire.h"
+
+namespace dsgm {
+namespace internal {
+
+/// The seed schedule every backend derives from the tracker seed — the
+/// same burn order the legacy free-function drivers used (k site seeds,
+/// then the ground-truth sampler seed, then the router seed), so identical
+/// configs produce identical event streams on every backend.
+struct SeedSchedule {
+  std::vector<uint64_t> site_seeds;
+  uint64_t sampler_seed = 0;
+  uint64_t router_seed = 0;
+};
+
+SeedSchedule DeriveSeedSchedule(const TrackerConfig& tracker);
+
+/// Converts between the legacy ClusterResult shape and the unified report
+/// (everything except the model snapshot, which only sessions can take).
+RunReport ReportFromClusterResult(const ClusterResult& result, Backend backend);
+ClusterResult ClusterResultFromReport(const RunReport& report);
+
+/// Machinery shared by the kThreads and kLocalTcp backends: a
+/// CoordinatorNode running on its own thread, per-site event lanes with
+/// batch staging, and mid-run snapshots via CoordinatorNode::SnapshotState.
+class ClusterSessionBase : public Session {
+ public:
+  StatusOr<ModelView> Snapshot() override;
+
+ protected:
+  ClusterSessionBase(Backend backend, const BayesianNetwork& network,
+                     const SessionOptions& options, const SeedSchedule& seeds);
+
+  Status PushImpl(const Instance& event) override;
+
+  /// Builds the coordinator over the given plumbing and starts its thread.
+  /// Called once from the derived constructor/Init after the transport is
+  /// wired.
+  void StartCoordinator(Channel<UpdateBundle>* updates,
+                        std::vector<Channel<RoundAdvance>*> commands);
+
+  /// Pushes the staged batch of `site` (no-op when empty). Fails if the
+  /// site's event lane has closed underneath the session.
+  Status FlushSite(int site);
+  Status FlushAll();
+  void CloseEventChannels();
+  void JoinCoordinator();
+
+  /// Consistent model snapshot from the (possibly live) coordinator.
+  ModelView ViewFromCoordinator(int64_t events_observed) const;
+
+  const SessionOptions options_;
+  const int num_sites_;
+  std::shared_ptr<const CounterLayout> layout_;
+  WallTimer wall_;
+  std::unique_ptr<CoordinatorNode> coordinator_;
+  std::thread coordinator_thread_;
+  /// One event lane per site, filled by the derived backend.
+  std::vector<Channel<EventBatch>*> event_channels_;
+  std::vector<EventBatch> pending_;
+  ModelView final_view_;
+};
+
+StatusOr<std::unique_ptr<Session>> CreateInProcessSession(
+    const BayesianNetwork& network, const SessionOptions& options);
+StatusOr<std::unique_ptr<Session>> CreateThreadsSession(
+    const BayesianNetwork& network, const SessionOptions& options);
+StatusOr<std::unique_ptr<Session>> CreateLocalTcpSession(
+    const BayesianNetwork& network, const SessionOptions& options);
+
+}  // namespace internal
+}  // namespace dsgm
+
+#endif  // DSGM_API_BACKENDS_H_

@@ -1,0 +1,70 @@
+#include "dsgm/event_source.h"
+
+#include <utility>
+
+#include "bayes/sampler.h"
+
+namespace dsgm {
+namespace {
+
+class SamplerSource final : public EventSource {
+ public:
+  SamplerSource(const BayesianNetwork& network, uint64_t seed, int64_t limit)
+      : sampler_(network, seed), remaining_(limit) {}
+
+  bool Next(Instance* out) override {
+    if (remaining_ <= 0) return false;
+    --remaining_;
+    sampler_.Sample(out);
+    return true;
+  }
+
+ private:
+  ForwardSampler sampler_;
+  int64_t remaining_;
+};
+
+class ReplaySource final : public EventSource {
+ public:
+  explicit ReplaySource(std::vector<Instance> events)
+      : events_(std::move(events)) {}
+
+  bool Next(Instance* out) override {
+    if (next_ >= events_.size()) return false;
+    *out = events_[next_++];
+    return true;
+  }
+
+ private:
+  std::vector<Instance> events_;
+  size_t next_ = 0;
+};
+
+class CallbackSource final : public EventSource {
+ public:
+  explicit CallbackSource(std::function<bool(Instance*)> next)
+      : next_(std::move(next)) {}
+
+  bool Next(Instance* out) override { return next_(out); }
+
+ private:
+  std::function<bool(Instance*)> next_;
+};
+
+}  // namespace
+
+std::unique_ptr<EventSource> MakeSamplerSource(const BayesianNetwork& network,
+                                               uint64_t seed, int64_t limit) {
+  return std::make_unique<SamplerSource>(network, seed, limit);
+}
+
+std::unique_ptr<EventSource> MakeReplaySource(std::vector<Instance> events) {
+  return std::make_unique<ReplaySource>(std::move(events));
+}
+
+std::unique_ptr<EventSource> MakeCallbackSource(
+    std::function<bool(Instance*)> next) {
+  return std::make_unique<CallbackSource>(std::move(next));
+}
+
+}  // namespace dsgm

@@ -1,0 +1,87 @@
+// Deprecated free-function entry points, kept as thin wrappers over the
+// Session API so code written against the pre-session interface keeps
+// working unchanged. New code should use dsgm/session.h directly — these
+// wrappers discard the mid-run query capability (they only report after
+// the run ends) and will be removed once nothing links them.
+
+#include <utility>
+
+#include "api/backends.h"
+#include "cluster/cluster_runner.h"
+#include "cluster/remote_runner.h"
+#include "common/check.h"
+
+namespace dsgm {
+namespace internal {
+
+RunReport ReportFromClusterResult(const ClusterResult& result, Backend backend) {
+  RunReport report;
+  report.backend = backend;
+  report.events_processed = result.events_processed;
+  report.runtime_seconds = result.runtime_seconds;
+  report.wall_seconds = result.wall_seconds;
+  report.throughput_events_per_sec = result.throughput_events_per_sec;
+  report.comm = result.comm;
+  report.max_counter_rel_error = result.max_counter_rel_error;
+  report.transport_bytes_up = result.transport_bytes_up;
+  report.transport_bytes_down = result.transport_bytes_down;
+  report.transport_measured = result.transport_measured;
+  return report;
+}
+
+ClusterResult ClusterResultFromReport(const RunReport& report) {
+  ClusterResult result;
+  result.events_processed = report.events_processed;
+  result.runtime_seconds = report.runtime_seconds;
+  result.wall_seconds = report.wall_seconds;
+  result.throughput_events_per_sec = report.throughput_events_per_sec;
+  result.comm = report.comm;
+  result.max_counter_rel_error = report.max_counter_rel_error;
+  result.transport_bytes_up = report.transport_bytes_up;
+  result.transport_bytes_down = report.transport_bytes_down;
+  result.transport_measured = report.transport_measured;
+  return result;
+}
+
+}  // namespace internal
+
+ClusterResult RunCluster(const BayesianNetwork& network,
+                         const ClusterConfig& config) {
+  DSGM_CHECK(config.tracker.Validate().ok());
+  DSGM_CHECK_GT(config.num_events, 0);
+  SessionBuilder builder(network);
+  builder.WithBackend(Backend::kThreads)
+      .WithTracker(config.tracker)
+      .WithBatchSize(config.batch_size);
+  if (config.transport) builder.WithTransport(config.transport);
+  StatusOr<std::unique_ptr<Session>> session = builder.Build();
+  DSGM_CHECK(session.ok()) << session.status();
+  const Status streamed = (*session)->StreamGroundTruth(config.num_events);
+  DSGM_CHECK(streamed.ok()) << streamed;
+  StatusOr<RunReport> report = (*session)->Finish();
+  DSGM_CHECK(report.ok()) << report.status();
+  return internal::ClusterResultFromReport(*report);
+}
+
+StatusOr<ClusterResult> RunRemoteCoordinator(
+    const BayesianNetwork& network, const RemoteCoordinatorConfig& config) {
+  DSGM_RETURN_IF_ERROR(config.cluster.tracker.Validate());
+  if (config.cluster.num_events <= 0) {
+    return InvalidArgumentError("num_events must be positive");
+  }
+  SessionBuilder builder(network);
+  builder.WithBackend(Backend::kLocalTcp)
+      .WithTracker(config.cluster.tracker)
+      .WithBatchSize(config.cluster.batch_size)
+      .WithListenPort(config.port)
+      .WithPortFile(config.port_file)
+      .WithExternalSites();
+  StatusOr<std::unique_ptr<Session>> session = builder.Build();
+  if (!session.ok()) return session.status();
+  DSGM_RETURN_IF_ERROR((*session)->StreamGroundTruth(config.cluster.num_events));
+  StatusOr<RunReport> report = (*session)->Finish();
+  if (!report.ok()) return report.status();
+  return internal::ClusterResultFromReport(*report);
+}
+
+}  // namespace dsgm

@@ -1,0 +1,308 @@
+// Session base class, SessionBuilder, and the kInProcess backend.
+
+#include "dsgm/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "api/backends.h"
+#include "common/check.h"
+#include "core/mle_tracker.h"
+
+namespace dsgm {
+
+const char* ToString(Backend backend) {
+  switch (backend) {
+    case Backend::kInProcess:
+      return "in-process";
+    case Backend::kThreads:
+      return "threads";
+    case Backend::kLocalTcp:
+      return "local-tcp";
+  }
+  return "unknown";
+}
+
+// --- Session base -------------------------------------------------------
+
+Session::Session(Backend backend, const BayesianNetwork& network, int num_sites,
+                 uint64_t stream_seed, uint64_t router_seed)
+    : backend_(backend),
+      network_(&network),
+      num_sites_(num_sites),
+      stream_seed_(stream_seed),
+      router_(router_seed) {}
+
+Session::~Session() = default;
+
+Status Session::Push(const Instance& event) {
+  if (finished_) {
+    return FailedPreconditionError("session: Push after Finish");
+  }
+  const int n = network_->num_variables();
+  if (static_cast<int>(event.size()) != n) {
+    return InvalidArgumentError(
+        "session: instance has " + std::to_string(event.size()) +
+        " values, network has " + std::to_string(n) + " variables");
+  }
+  for (int i = 0; i < n; ++i) {
+    const int value = event[static_cast<size_t>(i)];
+    if (value < 0 || value >= network_->cardinality(i)) {
+      return InvalidArgumentError(
+          "session: value " + std::to_string(value) + " for variable " +
+          std::to_string(i) + " is outside [0, " +
+          std::to_string(network_->cardinality(i)) + ")");
+    }
+  }
+  DSGM_RETURN_IF_ERROR(PushImpl(event));
+  ++events_pushed_;
+  return Status::Ok();
+}
+
+Status Session::PushBatch(const std::vector<Instance>& events) {
+  for (const Instance& event : events) {
+    DSGM_RETURN_IF_ERROR(Push(event));
+  }
+  return Status::Ok();
+}
+
+Status Session::Drain(EventSource* source) {
+  Instance event;
+  while (source->Next(&event)) {
+    DSGM_RETURN_IF_ERROR(Push(event));
+  }
+  return Status::Ok();
+}
+
+Status Session::StreamGroundTruth(int64_t num_events) {
+  if (num_events < 0) {
+    return InvalidArgumentError("session: num_events must be non-negative");
+  }
+  if (finished_) {
+    return FailedPreconditionError("session: StreamGroundTruth after Finish");
+  }
+  if (ground_truth_ == nullptr) {
+    ground_truth_ = std::make_unique<ForwardSampler>(*network_, stream_seed_);
+  }
+  Instance event;
+  for (int64_t e = 0; e < num_events; ++e) {
+    ground_truth_->Sample(&event);
+    // Straight to the backend: the sampler produces in-domain values by
+    // construction, and this is the Figs. 7-8 dispatch hot path — Push's
+    // per-event domain validation is for external input.
+    DSGM_RETURN_IF_ERROR(PushImpl(event));
+    ++events_pushed_;
+  }
+  return Status::Ok();
+}
+
+// --- kInProcess backend -------------------------------------------------
+
+namespace internal {
+
+SeedSchedule DeriveSeedSchedule(const TrackerConfig& tracker) {
+  Rng seeder(tracker.seed);
+  SeedSchedule seeds;
+  seeds.site_seeds.reserve(static_cast<size_t>(tracker.num_sites));
+  for (int s = 0; s < tracker.num_sites; ++s) {
+    seeds.site_seeds.push_back(seeder.Next());
+  }
+  seeds.sampler_seed = seeder.Next();
+  seeds.router_seed = seeder.Next();
+  return seeds;
+}
+
+namespace {
+
+class InProcessSession final : public Session {
+ public:
+  InProcessSession(const BayesianNetwork& network, const SessionOptions& options,
+                   const SeedSchedule& seeds)
+      : Session(Backend::kInProcess, network, options.tracker.num_sites,
+                seeds.sampler_seed, seeds.router_seed),
+        layout_(std::make_shared<CounterLayout>(network)),
+        tracker_(network, options.tracker) {}
+
+  StatusOr<ModelView> Snapshot() override {
+    if (finished_) return final_view_;
+    return BuildView();
+  }
+
+  StatusOr<RunReport> Finish() override {
+    if (finished_) return FailedPreconditionError("session: Finish called twice");
+    finished_ = true;
+    RunReport report;
+    report.backend = Backend::kInProcess;
+    report.events_processed = tracker_.events_observed();
+    report.wall_seconds = wall_.ElapsedSeconds();
+    report.runtime_seconds = report.wall_seconds;
+    report.throughput_events_per_sec =
+        report.runtime_seconds > 0.0
+            ? static_cast<double>(report.events_processed) / report.runtime_seconds
+            : 0.0;
+    report.comm = tracker_.comm();
+    report.memory_bytes = tracker_.MemoryBytes();
+    report.max_counter_rel_error = MaxRelErrorToExact();
+    report.model = BuildView();
+    final_view_ = report.model;
+    return report;
+  }
+
+ protected:
+  Status PushImpl(const Instance& event) override {
+    tracker_.Observe(event, NextSite());
+    return Status::Ok();
+  }
+
+ private:
+  ModelView BuildView() const {
+    std::vector<double> estimates(
+        static_cast<size_t>(layout_->total_counters()), 0.0);
+    ForEachCell([&estimates](int64_t id, double estimate, uint64_t /*exact*/) {
+      estimates[static_cast<size_t>(id)] = estimate;
+    });
+    return ModelView(network(), layout_, std::move(estimates),
+                     tracker_.events_observed(), tracker_.comm(),
+                     tracker_.config().laplace_alpha);
+  }
+
+  /// Same validation metric as the cluster backends: max relative error of
+  /// the estimates against the exact totals, over counters with exact
+  /// total >= 64.
+  double MaxRelErrorToExact() const {
+    double max_rel = 0.0;
+    ForEachCell([&max_rel](int64_t /*id*/, double estimate, uint64_t exact) {
+      if (exact < 64) return;
+      const double rel = std::abs(estimate - static_cast<double>(exact)) /
+                         static_cast<double>(exact);
+      max_rel = std::max(max_rel, rel);
+    });
+    return max_rel;
+  }
+
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    const int n = layout_->num_vars;
+    for (int i = 0; i < n; ++i) {
+      const int64_t rows = network().parent_cardinality(i);
+      const int card = network().cardinality(i);
+      for (int64_t row = 0; row < rows; ++row) {
+        for (int value = 0; value < card; ++value) {
+          fn(layout_->JointId(i, row, value),
+             tracker_.JointCounterEstimate(i, value, row),
+             tracker_.JointCounterExact(i, value, row));
+        }
+        fn(layout_->ParentId(i, row), tracker_.ParentCounterEstimate(i, row),
+           tracker_.ParentCounterExact(i, row));
+      }
+    }
+  }
+
+  std::shared_ptr<const CounterLayout> layout_;
+  MleTracker tracker_;
+  WallTimer wall_;
+  ModelView final_view_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Session>> CreateInProcessSession(
+    const BayesianNetwork& network, const SessionOptions& options) {
+  return std::unique_ptr<Session>(new InProcessSession(
+      network, options, DeriveSeedSchedule(options.tracker)));
+}
+
+}  // namespace internal
+
+// --- SessionBuilder -----------------------------------------------------
+
+SessionBuilder::SessionBuilder(const BayesianNetwork& network)
+    : network_(&network) {}
+
+SessionBuilder& SessionBuilder::WithOptions(const SessionOptions& options) {
+  options_ = options;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithBackend(Backend backend) {
+  options_.backend = backend;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithTracker(const TrackerConfig& tracker) {
+  options_.tracker = tracker;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithStrategy(TrackingStrategy strategy) {
+  options_.tracker.strategy = strategy;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithCounterType(CounterType type) {
+  options_.tracker.counter_type = type;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithEpsilon(double epsilon) {
+  options_.tracker.epsilon = epsilon;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSites(int num_sites) {
+  options_.tracker.num_sites = num_sites;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSeed(uint64_t seed) {
+  options_.tracker.seed = seed;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithBatchSize(int batch_size) {
+  options_.batch_size = batch_size;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithTransport(TransportFactory transport) {
+  options_.transport = std::move(transport);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithListenPort(int port) {
+  options_.listen_port = port;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithPortFile(std::string path) {
+  options_.port_file = std::move(path);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithExternalSites() {
+  options_.external_sites = true;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithSiteConnectTimeout(int timeout_ms) {
+  options_.site_connect_timeout_ms = timeout_ms;
+  return *this;
+}
+
+StatusOr<std::unique_ptr<Session>> SessionBuilder::Build() const {
+  DSGM_RETURN_IF_ERROR(options_.tracker.Validate());
+  if (options_.batch_size <= 0) {
+    return InvalidArgumentError("session: batch_size must be positive");
+  }
+  if (options_.transport && options_.backend != Backend::kThreads) {
+    return InvalidArgumentError(
+        "session: WithTransport applies only to Backend::kThreads");
+  }
+  const bool has_tcp_options = options_.external_sites ||
+                               options_.listen_port != 0 ||
+                               !options_.port_file.empty();
+  if (has_tcp_options && options_.backend != Backend::kLocalTcp) {
+    return InvalidArgumentError(
+        "session: listener options apply only to Backend::kLocalTcp");
+  }
+  switch (options_.backend) {
+    case Backend::kInProcess:
+      return internal::CreateInProcessSession(*network_, options_);
+    case Backend::kThreads:
+      return internal::CreateThreadsSession(*network_, options_);
+    case Backend::kLocalTcp:
+      return internal::CreateLocalTcpSession(*network_, options_);
+  }
+  return InvalidArgumentError("session: unknown backend");
+}
+
+}  // namespace dsgm

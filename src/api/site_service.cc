@@ -1,0 +1,22 @@
+#include "dsgm/site_service.h"
+
+#include "cluster/remote_runner.h"
+
+namespace dsgm {
+
+StatusOr<SiteServiceResult> ServeSite(const BayesianNetwork& network,
+                                      const SiteServiceConfig& config) {
+  RemoteSiteConfig remote;
+  remote.site_id = config.site_id;
+  remote.host = config.coordinator_host;
+  remote.port = config.coordinator_port;
+  remote.seed = config.seed;
+  remote.connect_timeout_ms = config.connect_timeout_ms;
+  StatusOr<RemoteSiteResult> result = RunRemoteSite(network, remote);
+  if (!result.ok()) return result.status();
+  SiteServiceResult out;
+  out.events_processed = result->events_processed;
+  return out;
+}
+
+}  // namespace dsgm

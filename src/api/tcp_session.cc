@@ -1,0 +1,241 @@
+// The kLocalTcp backend: the coordinator side of a genuinely socketed
+// cluster. One TCP connection per site carries codec-serialized frames;
+// sites either run as in-process threads serving the full site role
+// through ServeSite/RunRemoteSite (the default, self-contained mode) or as
+// external dsgm_site processes (SessionOptions::external_sites — the
+// multi-host deployment the dsgm_coordinator binary drives).
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/backends.h"
+#include "cluster/remote_runner.h"
+#include "common/check.h"
+#include "net/tcp_socket.h"
+#include "net/tcp_transport.h"
+
+namespace dsgm {
+namespace internal {
+namespace {
+
+Status WritePortFile(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return InternalError("cannot write port file " + tmp);
+    out << port << "\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return InternalError("cannot rename port file into place: " + path);
+  }
+  return Status::Ok();
+}
+
+class LocalTcpSession final : public ClusterSessionBase {
+ public:
+  LocalTcpSession(const BayesianNetwork& network, const SessionOptions& options,
+                  const SeedSchedule& seeds)
+      : ClusterSessionBase(Backend::kLocalTcp, network, options, seeds),
+        seeds_(seeds),
+        merged_updates_(8192),
+        update_channel_(&merged_updates_),
+        active_readers_(options.tracker.num_sites) {}
+
+  ~LocalTcpSession() override { Abort(); }
+
+  /// Listens, (optionally) spawns the in-process site threads, accepts one
+  /// hello-identified connection per site, and starts the coordinator.
+  Status Init() {
+    const int k = num_sites_;
+    StatusOr<TcpListener> listener =
+        TcpListener::Listen(options_.listen_port, k + 8);
+    if (!listener.ok()) return listener.status();
+    if (!options_.port_file.empty()) {
+      DSGM_RETURN_IF_ERROR(WritePortFile(options_.port_file, listener->port()));
+    }
+
+    TcpConnection::Options connection_options;
+    connection_options.shared_updates = &merged_updates_;
+    connection_options.buffered_commands = true;  // Deadlock avoidance.
+    // When the last reader exits (every site gone), the merged update queue
+    // closes, so a cluster whose sites all vanished fails cleanly instead
+    // of blocking forever in a pop.
+    connection_options.on_reader_exit = [this] {
+      if (active_readers_.fetch_sub(1) == 1) merged_updates_.Close();
+    };
+
+    if (!options_.external_sites) {
+      site_status_.assign(static_cast<size_t>(k), Status::Ok());
+      const int port = listener->port();
+      for (int s = 0; s < k; ++s) {
+        RemoteSiteConfig site_config;
+        site_config.site_id = s;
+        site_config.port = port;
+        site_config.seed = seeds_.site_seeds[static_cast<size_t>(s)];
+        site_config.connect_timeout_ms = options_.site_connect_timeout_ms;
+        site_threads_.emplace_back([this, s, site_config] {
+          site_status_[static_cast<size_t>(s)] =
+              RunRemoteSite(network(), site_config).status();
+        });
+      }
+    }
+
+    StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+        AcceptSiteConnections(&listener.value(), k, connection_options);
+    if (!accepted.ok()) {
+      // Partial accepts were torn down by the StatusOr. Close the listener
+      // BEFORE joining: a site parked in the accept backlog only sees its
+      // connection die when the listening socket goes away, and a site
+      // still retrying its connect runs out its (bounded) timeout.
+      listener->Close();
+      JoinSiteThreads();
+      return accepted.status();
+    }
+    connections_ = std::move(accepted).value();
+
+    std::vector<Channel<RoundAdvance>*> command_channels;
+    for (int s = 0; s < k; ++s) {
+      event_channels_.push_back(connections_[static_cast<size_t>(s)]->events());
+      command_channels.push_back(connections_[static_cast<size_t>(s)]->commands());
+    }
+    StartCoordinator(&update_channel_, std::move(command_channels));
+    return Status::Ok();
+  }
+
+  StatusOr<RunReport> Finish() override {
+    if (finished_) return FailedPreconditionError("session: Finish called twice");
+    finished_ = true;
+    const Status flushed = FlushAll();
+    if (!flushed.ok()) {
+      // A site vanished mid-run: tear everything down before reporting,
+      // so the error return does not leak live threads and sockets.
+      Abort();
+      return flushed;
+    }
+    CloseEventChannels();
+    JoinCoordinator();
+
+    // Protocol finished (every site acknowledged; command channels
+    // closed). Each site now reports its exact totals for validation.
+    std::vector<uint64_t> exact_totals(
+        static_cast<size_t>(layout_->total_counters()), 0);
+    const Status collected = CollectFinalCounts(&exact_totals);
+    if (!collected.ok()) {
+      Abort();
+      return collected;
+    }
+
+    ClusterResult result;
+    result.wall_seconds = wall_.ElapsedSeconds();
+    // In external mode the sites are remote; "processed" is the accepted
+    // stream length (the validation counts confirm delivery).
+    result.events_processed = events_pushed_;
+    result.transport_measured = true;
+    for (const auto& connection : connections_) {
+      result.transport_bytes_down += connection->bytes_sent();
+      result.transport_bytes_up += connection->bytes_received();
+    }
+    FinalizeClusterResult(*coordinator_, exact_totals, &result);
+
+    for (auto& connection : connections_) connection->Shutdown();
+    JoinSiteThreads();
+    // A failed in-process site fails the run BEFORE the final model is
+    // published: Snapshot() after a failed Finish must error, not present
+    // a model validated against incomplete sites.
+    DSGM_RETURN_IF_ERROR(FirstSiteError());
+
+    RunReport report = ReportFromClusterResult(result, Backend::kLocalTcp);
+    report.model = ViewFromCoordinator(result.events_processed);
+    final_view_ = report.model;
+    return report;
+  }
+
+ private:
+  Status CollectFinalCounts(std::vector<uint64_t>* exact_totals) {
+    const int k = num_sites_;
+    const int64_t total_counters = layout_->total_counters();
+    std::vector<uint8_t> reported(static_cast<size_t>(k), 0);
+    int final_reports = 0;
+    std::vector<UpdateBundle> batch;
+    while (final_reports < k) {
+      batch.clear();
+      if (update_channel_.PopBatch(&batch, 64) == 0) {
+        // Closed and drained: every site's connection ended without all
+        // final counts arriving.
+        return InternalError("a site disconnected before sending final counts");
+      }
+      for (UpdateBundle& bundle : batch) {
+        // One report per distinct site: a duplicated or forged bundle must
+        // not satisfy the wait while a real site's totals are missing.
+        if (bundle.kind != UpdateBundle::Kind::kFinalCounts) continue;
+        if (bundle.site < 0 || bundle.site >= k ||
+            reported[static_cast<size_t>(bundle.site)]) {
+          continue;
+        }
+        reported[static_cast<size_t>(bundle.site)] = 1;
+        ++final_reports;
+        for (const CounterReport& report : bundle.reports) {
+          if (report.counter < 0 || report.counter >= total_counters) {
+            return InvalidArgumentError(
+                "final counts report an unknown counter id");
+          }
+          (*exact_totals)[static_cast<size_t>(report.counter)] += report.value;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  void JoinSiteThreads() {
+    for (std::thread& thread : site_threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  Status FirstSiteError() const {
+    for (size_t s = 0; s < site_status_.size(); ++s) {
+      if (!site_status_[s].ok()) {
+        return InternalError("site " + std::to_string(s) +
+                             " failed: " + site_status_[s].message());
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Best-effort teardown for sessions dropped mid-run (or failed runs):
+  /// shutting every connection down unblocks the site threads and the
+  /// coordinator (the merged queue closes when the last reader exits).
+  void Abort() {
+    for (auto& connection : connections_) {
+      if (connection != nullptr) connection->Shutdown();
+    }
+    merged_updates_.Close();
+    JoinCoordinator();
+    JoinSiteThreads();
+  }
+
+  const SeedSchedule seeds_;
+  BoundedQueue<UpdateBundle> merged_updates_;
+  QueueChannel<UpdateBundle> update_channel_;
+  std::atomic<int> active_readers_;
+  std::vector<std::unique_ptr<TcpConnection>> connections_;
+  std::vector<std::thread> site_threads_;
+  std::vector<Status> site_status_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Session>> CreateLocalTcpSession(
+    const BayesianNetwork& network, const SessionOptions& options) {
+  auto session = std::unique_ptr<LocalTcpSession>(new LocalTcpSession(
+      network, options, DeriveSeedSchedule(options.tracker)));
+  DSGM_RETURN_IF_ERROR(session->Init());
+  return std::unique_ptr<Session>(std::move(session));
+}
+
+}  // namespace internal
+}  // namespace dsgm

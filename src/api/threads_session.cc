@@ -1,0 +1,203 @@
+// Cluster-session machinery shared by the kThreads and kLocalTcp backends,
+// plus the kThreads backend itself (one OS thread per site and a
+// coordinator thread, wired by a pluggable ClusterTransport — the
+// substrate of the paper's Figs. 7-8).
+
+#include <string>
+#include <utility>
+
+#include "api/backends.h"
+#include "cluster/site_node.h"
+#include "common/check.h"
+
+namespace dsgm {
+namespace internal {
+
+// --- ClusterSessionBase -------------------------------------------------
+
+ClusterSessionBase::ClusterSessionBase(Backend backend,
+                                       const BayesianNetwork& network,
+                                       const SessionOptions& options,
+                                       const SeedSchedule& seeds)
+    : Session(backend, network, options.tracker.num_sites, seeds.sampler_seed,
+              seeds.router_seed),
+      options_(options),
+      num_sites_(options.tracker.num_sites),
+      layout_(std::make_shared<CounterLayout>(network)),
+      pending_(static_cast<size_t>(options.tracker.num_sites)) {
+  const size_t reserve = static_cast<size_t>(options_.batch_size) *
+                         static_cast<size_t>(layout_->num_vars);
+  for (EventBatch& batch : pending_) batch.values.reserve(reserve);
+}
+
+void ClusterSessionBase::StartCoordinator(
+    Channel<UpdateBundle>* updates,
+    std::vector<Channel<RoundAdvance>*> commands) {
+  coordinator_ = std::make_unique<CoordinatorNode>(
+      LayoutEpsilons(network(), options_.tracker), layout_->total_counters(),
+      num_sites_, options_.tracker.probability_constant, updates,
+      std::move(commands));
+  coordinator_thread_ = std::thread([this] { coordinator_->Run(); });
+}
+
+Status ClusterSessionBase::PushImpl(const Instance& event) {
+  const int site = NextSite();
+  EventBatch& batch = pending_[static_cast<size_t>(site)];
+  batch.values.insert(batch.values.end(), event.begin(), event.end());
+  if (++batch.num_events >= options_.batch_size) {
+    return FlushSite(site);
+  }
+  return Status::Ok();
+}
+
+Status ClusterSessionBase::FlushSite(int site) {
+  EventBatch& batch = pending_[static_cast<size_t>(site)];
+  if (batch.num_events == 0) return Status::Ok();
+  const bool pushed =
+      event_channels_[static_cast<size_t>(site)]->Push(std::move(batch));
+  batch = EventBatch{};
+  batch.values.reserve(static_cast<size_t>(options_.batch_size) *
+                       static_cast<size_t>(layout_->num_vars));
+  if (!pushed) {
+    return InternalError("session: site " + std::to_string(site) +
+                         "'s event lane closed mid-run");
+  }
+  return Status::Ok();
+}
+
+Status ClusterSessionBase::FlushAll() {
+  for (int s = 0; s < num_sites_; ++s) {
+    DSGM_RETURN_IF_ERROR(FlushSite(s));
+  }
+  return Status::Ok();
+}
+
+void ClusterSessionBase::CloseEventChannels() {
+  for (Channel<EventBatch>* channel : event_channels_) channel->Close();
+}
+
+void ClusterSessionBase::JoinCoordinator() {
+  if (coordinator_thread_.joinable()) coordinator_thread_.join();
+}
+
+ModelView ClusterSessionBase::ViewFromCoordinator(int64_t events_observed) const {
+  std::vector<double> estimates;
+  CommStats comm;
+  coordinator_->SnapshotState(&estimates, &comm);
+  return ModelView(network(), layout_, std::move(estimates), events_observed,
+                   comm, options_.tracker.laplace_alpha);
+}
+
+StatusOr<ModelView> ClusterSessionBase::Snapshot() {
+  if (finished_) {
+    if (final_view_.empty()) {
+      return FailedPreconditionError(
+          "session: Finish failed; no final model is available");
+    }
+    return final_view_;
+  }
+  // Hand the staged batches to the sites first: a query must reflect every
+  // accepted event (modulo in-flight delivery), not stop at the last full
+  // dispatch batch.
+  DSGM_RETURN_IF_ERROR(FlushAll());
+  return ViewFromCoordinator(events_pushed_);
+}
+
+// --- kThreads backend ---------------------------------------------------
+
+namespace {
+
+class ThreadsSession final : public ClusterSessionBase {
+ public:
+  ThreadsSession(const BayesianNetwork& network, const SessionOptions& options,
+                 const SeedSchedule& seeds)
+      : ClusterSessionBase(Backend::kThreads, network, options, seeds) {
+    const int k = num_sites_;
+    transport_ = options_.transport ? options_.transport(k)
+                                    : MakeLoopbackTransport(k);
+    DSGM_CHECK_EQ(transport_->num_sites(), k);
+    const CoordinatorEndpoints endpoints = transport_->coordinator();
+    event_channels_ = endpoints.events;
+    StartCoordinator(endpoints.updates, endpoints.commands);
+    for (int s = 0; s < k; ++s) {
+      const SiteEndpoints site_endpoints = transport_->site(s);
+      sites_.push_back(std::make_unique<SiteNode>(
+          s, network, seeds.site_seeds[static_cast<size_t>(s)],
+          site_endpoints.events, site_endpoints.commands,
+          site_endpoints.updates));
+    }
+    for (int s = 0; s < k; ++s) {
+      site_threads_.emplace_back(
+          [this, s] { sites_[static_cast<size_t>(s)]->Run(); });
+    }
+  }
+
+  ~ThreadsSession() override { Teardown(); }
+
+  StatusOr<RunReport> Finish() override {
+    if (finished_) return FailedPreconditionError("session: Finish called twice");
+    finished_ = true;
+    // Tear down even when the flush fails (a site lane closed early):
+    // leaving protocol threads running behind an error return would leak
+    // them until the destructor.
+    const Status flushed = FlushAll();
+    Teardown();
+    DSGM_RETURN_IF_ERROR(flushed);
+
+    ClusterResult result;
+    result.wall_seconds = wall_.ElapsedSeconds();
+    const TransportStats transport_stats = transport_->stats();
+    result.transport_bytes_up = transport_stats.bytes_up;
+    result.transport_bytes_down = transport_stats.bytes_down;
+    result.transport_measured = transport_stats.measured;
+    for (const auto& site : sites_) {
+      result.events_processed += site->events_processed();
+    }
+    DSGM_CHECK_EQ(result.events_processed, events_pushed_);
+
+    std::vector<uint64_t> exact_totals(
+        static_cast<size_t>(layout_->total_counters()), 0);
+    for (const auto& site : sites_) {
+      for (size_t c = 0; c < exact_totals.size(); ++c) {
+        exact_totals[c] += site->local_counts()[c];
+      }
+    }
+    FinalizeClusterResult(*coordinator_, exact_totals, &result);
+    transport_->Shutdown();
+
+    RunReport report = ReportFromClusterResult(result, Backend::kThreads);
+    report.model = ViewFromCoordinator(result.events_processed);
+    final_view_ = report.model;
+    return report;
+  }
+
+ private:
+  /// Ends the stream and joins every backend thread. Safe to call twice;
+  /// also runs from the destructor so dropping an unfinished session never
+  /// leaks running threads.
+  void Teardown() {
+    if (torn_down_) return;
+    torn_down_ = true;
+    CloseEventChannels();
+    for (std::thread& thread : site_threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    JoinCoordinator();
+  }
+
+  std::unique_ptr<ClusterTransport> transport_;
+  std::vector<std::unique_ptr<SiteNode>> sites_;
+  std::vector<std::thread> site_threads_;
+  bool torn_down_ = false;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Session>> CreateThreadsSession(
+    const BayesianNetwork& network, const SessionOptions& options) {
+  return std::unique_ptr<Session>(new ThreadsSession(
+      network, options, DeriveSeedSchedule(options.tracker)));
+}
+
+}  // namespace internal
+}  // namespace dsgm

@@ -2,15 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
-#include <thread>
 #include <vector>
 
-#include "bayes/sampler.h"
 #include "cluster/coordinator_node.h"
-#include "cluster/site_node.h"
-#include "common/check.h"
-#include "common/timer.h"
 #include "core/error_allocation.h"
 
 namespace dsgm {
@@ -59,111 +53,6 @@ void FinalizeClusterResult(const CoordinatorNode& coordinator,
                        static_cast<double>(exact);
     result->max_counter_rel_error = std::max(result->max_counter_rel_error, rel);
   }
-}
-
-void DispatchEvents(const BayesianNetwork& network, int64_t num_events,
-                    int batch_size, uint64_t sampler_seed, uint64_t router_seed,
-                    const std::vector<Channel<EventBatch>*>& events) {
-  const int k = static_cast<int>(events.size());
-  DSGM_CHECK_GT(k, 0);
-  DSGM_CHECK_GT(batch_size, 0);
-  ForwardSampler sampler(network, sampler_seed);
-  Rng router(router_seed);
-  const int n = network.num_variables();
-  std::vector<EventBatch> pending(static_cast<size_t>(k));
-  Instance instance;
-  for (int64_t e = 0; e < num_events; ++e) {
-    const int site = static_cast<int>(router.NextBounded(static_cast<uint64_t>(k)));
-    EventBatch& batch = pending[static_cast<size_t>(site)];
-    sampler.Sample(&instance);
-    batch.values.insert(batch.values.end(), instance.begin(), instance.end());
-    if (++batch.num_events >= batch_size) {
-      events[static_cast<size_t>(site)]->Push(std::move(batch));
-      batch = EventBatch{};
-      batch.values.reserve(static_cast<size_t>(batch_size) * n);
-    }
-  }
-  for (int s = 0; s < k; ++s) {
-    EventBatch& batch = pending[static_cast<size_t>(s)];
-    if (batch.num_events > 0) {
-      events[static_cast<size_t>(s)]->Push(std::move(batch));
-    }
-    events[static_cast<size_t>(s)]->Close();
-  }
-}
-
-ClusterResult RunCluster(const BayesianNetwork& network,
-                         const ClusterConfig& config) {
-  DSGM_CHECK(config.tracker.Validate().ok());
-  DSGM_CHECK_GT(config.num_events, 0);
-  const int k = config.tracker.num_sites;
-  const int64_t total_counters =
-      network.TotalJointCells() + network.TotalParentCells();
-
-  WallTimer wall;
-
-  // --- Plumbing: loopback queues unless the config supplies a transport.
-  std::unique_ptr<ClusterTransport> transport =
-      config.transport ? config.transport(k) : MakeLoopbackTransport(k);
-  DSGM_CHECK_EQ(transport->num_sites(), k);
-  const CoordinatorEndpoints coordinator_endpoints = transport->coordinator();
-
-  CoordinatorNode coordinator(LayoutEpsilons(network, config.tracker),
-                              total_counters, k,
-                              config.tracker.probability_constant,
-                              coordinator_endpoints.updates,
-                              coordinator_endpoints.commands);
-
-  Rng seeder(config.tracker.seed);
-  std::vector<std::unique_ptr<SiteNode>> sites;
-  for (int s = 0; s < k; ++s) {
-    const SiteEndpoints endpoints = transport->site(s);
-    sites.push_back(std::make_unique<SiteNode>(s, network, seeder.Next(),
-                                               endpoints.events,
-                                               endpoints.commands,
-                                               endpoints.updates));
-  }
-
-  // --- Threads.
-  std::vector<std::thread> threads;
-  threads.emplace_back([&coordinator] { coordinator.Run(); });
-  for (int s = 0; s < k; ++s) {
-    threads.emplace_back([&sites, s] { sites[static_cast<size_t>(s)]->Run(); });
-  }
-
-  // --- Dispatch: sample instances, route each to a uniformly random site.
-  {
-    const uint64_t sampler_seed = seeder.Next();
-    const uint64_t router_seed = seeder.Next();
-    DispatchEvents(network, config.num_events, config.batch_size, sampler_seed,
-                   router_seed, coordinator_endpoints.events);
-  }
-
-  for (std::thread& thread : threads) thread.join();
-
-  // --- Results & validation.
-  ClusterResult result;
-  result.wall_seconds = wall.ElapsedSeconds();
-  const TransportStats transport_stats = transport->stats();
-  result.transport_bytes_up = transport_stats.bytes_up;
-  result.transport_bytes_down = transport_stats.bytes_down;
-  result.transport_measured = transport_stats.measured;
-  for (const auto& site : sites) result.events_processed += site->events_processed();
-  // Site -> coordinator wire/update accounting happened coordinator-side.
-  DSGM_CHECK_EQ(result.events_processed, config.num_events);
-
-  // Validate coordinator estimates against summed exact site counts.
-  std::vector<uint64_t> exact_totals(static_cast<size_t>(total_counters), 0);
-  for (const auto& site : sites) {
-    for (int64_t c = 0; c < total_counters; ++c) {
-      exact_totals[static_cast<size_t>(c)] +=
-          site->local_counts()[static_cast<size_t>(c)];
-    }
-  }
-  FinalizeClusterResult(coordinator, exact_totals, &result);
-
-  transport->Shutdown();
-  return result;
 }
 
 }  // namespace dsgm

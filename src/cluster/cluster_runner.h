@@ -1,4 +1,7 @@
-// Orchestration of the threaded cluster experiment (paper Figs. 7-8).
+// Shared result/config types and protocol-side helpers of the cluster
+// drivers. The orchestration itself lives behind the public Session API
+// (include/dsgm/session.h, Backend::kThreads / kLocalTcp); this header
+// keeps the legacy free-function entry point as a deprecated wrapper.
 
 #ifndef DSGM_CLUSTER_CLUSTER_RUNNER_H_
 #define DSGM_CLUSTER_CLUSTER_RUNNER_H_
@@ -65,18 +68,14 @@ void FinalizeClusterResult(const CoordinatorNode& coordinator,
                            const std::vector<uint64_t>& exact_totals,
                            ClusterResult* result);
 
-/// Samples `num_events` instances from `network`'s ground truth and routes
-/// each to a uniformly random site's event channel in batches of
-/// `batch_size`, closing every channel afterwards. Shared by RunCluster and
-/// the multi-process coordinator driver.
-void DispatchEvents(const BayesianNetwork& network, int64_t num_events,
-                    int batch_size, uint64_t sampler_seed, uint64_t router_seed,
-                    const std::vector<Channel<EventBatch>*>& events);
-
-/// Spawns one thread per site plus a coordinator thread, streams
-/// `num_events` instances sampled from `network`'s ground truth to uniformly
-/// random sites, and reports timing/communication. Deterministic in
-/// `config.tracker.seed` up to thread scheduling (which only affects timing).
+/// DEPRECATED: thin wrapper over SessionBuilder (Backend::kThreads) +
+/// StreamGroundTruth + Finish, kept so pre-session callers keep working.
+/// It spawns one thread per site plus a coordinator thread, streams
+/// `num_events` instances sampled from `network`'s ground truth to
+/// uniformly random sites, and reports timing/communication; deterministic
+/// in `config.tracker.seed` up to thread scheduling. Defined in the
+/// dsgm_api library (link dsgm_api, not just dsgm_cluster). New code
+/// should build a Session — it can additionally query the model mid-run.
 ClusterResult RunCluster(const BayesianNetwork& network, const ClusterConfig& config);
 
 }  // namespace dsgm

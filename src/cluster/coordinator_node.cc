@@ -124,6 +124,7 @@ void CoordinatorNode::Run() {
       saw_message_ = true;
     }
     last_message_ = now;
+    std::lock_guard<std::mutex> lock(mu_);
     for (const UpdateBundle& bundle : batch) {
       // Bundles can arrive from a real network peer; ids must be validated
       // before they index protocol state (a forged site/counter would be an
@@ -167,6 +168,13 @@ void CoordinatorNode::Run() {
     }
   }
   for (Channel<RoundAdvance>* channel : commands_) channel->Close();
+}
+
+void CoordinatorNode::SnapshotState(std::vector<double>* estimates,
+                                    CommStats* comm) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *estimates = estimates_;
+  if (comm != nullptr) *comm = comm_;
 }
 
 double CoordinatorNode::ActiveSeconds() const {

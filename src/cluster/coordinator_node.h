@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "net/wire.h"
@@ -33,11 +34,21 @@ class CoordinatorNode {
   /// are outstanding, then closes the command queues.
   void Run();
 
+  /// Post-join accessors: valid once Run() has returned (the joining thread
+  /// synchronizes with the coordinator thread). For queries while Run() is
+  /// still live on another thread, use SnapshotState().
   const CommStats& comm() const { return comm_; }
   double Estimate(int64_t counter) const {
     return estimates_[static_cast<size_t>(counter)];
   }
   int64_t num_counters() const { return num_counters_; }
+
+  /// Thread-safe mid-run snapshot — the coordinator-side half of the
+  /// paper's Algorithm 3 QUERY: copies the current per-counter estimates
+  /// (and, when `comm` is non-null, the communication stats) while Run()
+  /// keeps consuming updates on its own thread. Consistent at bundle-batch
+  /// granularity: Run() applies each popped batch under the same lock.
+  void SnapshotState(std::vector<double>* estimates, CommStats* comm) const;
 
   /// Seconds between the first and the last message the coordinator
   /// received — the paper's Fig. 7 "total runtime" definition.
@@ -71,6 +82,9 @@ class CoordinatorNode {
   int done_sites_ = 0;
   int64_t outstanding_syncs_ = 0;
   CommStats comm_;
+  /// Guards estimates_/comm_ (and the protocol state mutated alongside
+  /// them) between Run()'s batch processing and SnapshotState() callers.
+  mutable std::mutex mu_;
 
   using Clock = std::chrono::steady_clock;
   Clock::time_point first_message_;

@@ -1,153 +1,15 @@
 #include "cluster/remote_runner.h"
 
-#include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "cluster/coordinator_node.h"
 #include "cluster/site_node.h"
-#include "common/check.h"
-#include "common/rng.h"
-#include "common/timer.h"
 #include "net/tcp_socket.h"
 #include "net/tcp_transport.h"
 
 namespace dsgm {
-namespace {
-
-Status WritePortFile(const std::string& path, int port) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return InternalError("cannot write port file " + tmp);
-    out << port << "\n";
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return InternalError("cannot rename port file into place: " + path);
-  }
-  return Status::Ok();
-}
-
-}  // namespace
-
-StatusOr<ClusterResult> RunRemoteCoordinator(const BayesianNetwork& network,
-                                             const RemoteCoordinatorConfig& config) {
-  DSGM_RETURN_IF_ERROR(config.cluster.tracker.Validate());
-  if (config.cluster.num_events <= 0) {
-    return InvalidArgumentError("num_events must be positive");
-  }
-  const int k = config.cluster.tracker.num_sites;
-  const int64_t total_counters =
-      network.TotalJointCells() + network.TotalParentCells();
-
-  StatusOr<TcpListener> listener = TcpListener::Listen(config.port, k + 8);
-  if (!listener.ok()) return listener.status();
-  if (!config.port_file.empty()) {
-    DSGM_RETURN_IF_ERROR(WritePortFile(config.port_file, listener->port()));
-  }
-
-  WallTimer wall;
-
-  // Accept one connection per site; the hello frame carries the site id.
-  // When the last reader exits (every site gone), the merged update queue
-  // closes, so a cluster whose sites all vanished fails cleanly instead of
-  // blocking forever in a pop. (A single site dying mid-run while others
-  // stay connected can still stall the protocol — see ROADMAP, transport
-  // follow-ons.)
-  BoundedQueue<UpdateBundle> merged_updates(8192);
-  QueueChannel<UpdateBundle> update_channel(&merged_updates);
-  std::atomic<int> active_readers{k};
-  TcpConnection::Options options;
-  options.shared_updates = &merged_updates;
-  options.buffered_commands = true;  // Deadlock avoidance; see Options.
-  options.on_reader_exit = [&active_readers, &merged_updates] {
-    if (active_readers.fetch_sub(1) == 1) merged_updates.Close();
-  };
-  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
-      AcceptSiteConnections(&listener.value(), k, options);
-  if (!accepted.ok()) return accepted.status();
-  std::vector<std::unique_ptr<TcpConnection>> connections =
-      std::move(accepted).value();
-
-  std::vector<Channel<EventBatch>*> event_channels;
-  std::vector<Channel<RoundAdvance>*> command_channels;
-  for (int s = 0; s < k; ++s) {
-    event_channels.push_back(connections[static_cast<size_t>(s)]->events());
-    command_channels.push_back(connections[static_cast<size_t>(s)]->commands());
-  }
-
-  CoordinatorNode coordinator(LayoutEpsilons(network, config.cluster.tracker),
-                              total_counters, k,
-                              config.cluster.tracker.probability_constant,
-                              &update_channel, command_channels);
-  std::thread coordinator_thread([&coordinator] { coordinator.Run(); });
-
-  // Same seed schedule as RunCluster (k site seeds are burned even though
-  // remote sites seed themselves), so the dispatched stream is identical to
-  // an in-process run with the same config.
-  Rng seeder(config.cluster.tracker.seed);
-  for (int s = 0; s < k; ++s) seeder.Next();
-  const uint64_t sampler_seed = seeder.Next();
-  const uint64_t router_seed = seeder.Next();
-  DispatchEvents(network, config.cluster.num_events, config.cluster.batch_size,
-                 sampler_seed, router_seed, event_channels);
-
-  coordinator_thread.join();
-
-  // Protocol finished (every site acknowledged; command channels closed).
-  // Each site now reports its exact totals for validation.
-  std::vector<uint64_t> exact(static_cast<size_t>(total_counters), 0);
-  std::vector<uint8_t> reported(static_cast<size_t>(k), 0);
-  int final_reports = 0;
-  std::vector<UpdateBundle> batch;
-  while (final_reports < k) {
-    batch.clear();
-    if (update_channel.PopBatch(&batch, 64) == 0) {
-      // Closed and drained: every site's connection ended without all
-      // final counts arriving.
-      return InternalError("a site disconnected before sending final counts");
-    }
-    for (UpdateBundle& bundle : batch) {
-      // One report per distinct site: a duplicated or forged bundle must
-      // not satisfy the wait while a real site's totals are still missing.
-      if (bundle.kind != UpdateBundle::Kind::kFinalCounts) continue;
-      if (bundle.site < 0 || bundle.site >= k ||
-          reported[static_cast<size_t>(bundle.site)]) {
-        continue;
-      }
-      reported[static_cast<size_t>(bundle.site)] = 1;
-      ++final_reports;
-      for (const CounterReport& report : bundle.reports) {
-        if (report.counter < 0 || report.counter >= total_counters) {
-          return InvalidArgumentError("final counts report an unknown counter id");
-        }
-        exact[static_cast<size_t>(report.counter)] += report.value;
-      }
-    }
-  }
-
-  ClusterResult result;
-  result.wall_seconds = wall.ElapsedSeconds();
-  // Sites are remote; "processed" is the dispatched stream length (the
-  // validation counts confirm delivery).
-  result.events_processed = config.cluster.num_events;
-  result.transport_measured = true;
-  for (const auto& connection : connections) {
-    result.transport_bytes_down += connection->bytes_sent();
-    result.transport_bytes_up += connection->bytes_received();
-  }
-  FinalizeClusterResult(coordinator, exact, &result);
-
-  for (auto& connection : connections) connection->Shutdown();
-  return result;
-}
 
 StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
                                          const RemoteSiteConfig& config) {

@@ -1,16 +1,14 @@
-// Drivers for the genuinely multi-process cluster: one coordinator process
-// and k site processes talking localhost (or LAN) TCP through net/. The
-// dsgm_coordinator and dsgm_site example binaries are thin wrappers over
-// these functions, which keeps the protocol logic testable in-process.
+// The multi-process cluster roles: one coordinator process and k site
+// processes talking localhost (or LAN) TCP through net/.
 //
-// Roles:
-//   RunRemoteCoordinator — listens, accepts k hello-identified connections,
-//     runs the CoordinatorNode plus the event dispatcher against them, and
-//     after protocol shutdown collects each site's exact counter totals
-//     (UpdateBundle::kFinalCounts) to compute the same
-//     max_counter_rel_error validation metric as the in-process run.
-//   RunRemoteSite — connects (with retry while the coordinator boots),
-//     announces its site id, runs the SiteNode, then reports final counts.
+//   RunRemoteSite — the site side: connects (with retry while the
+//     coordinator boots), announces its site id and protocol version, runs
+//     the SiteNode, then reports final counts. The public ServeSite()
+//     (include/dsgm/site_service.h) is a thin alias over this.
+//   RunRemoteCoordinator — DEPRECATED coordinator-side wrapper over the
+//     Session API (Backend::kLocalTcp + WithExternalSites); defined in the
+//     dsgm_api library. New code should build a Session — it can
+//     additionally query the model mid-run.
 
 #ifndef DSGM_CLUSTER_REMOTE_RUNNER_H_
 #define DSGM_CLUSTER_REMOTE_RUNNER_H_

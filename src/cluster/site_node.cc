@@ -13,31 +13,9 @@ SiteNode::SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
       events_(events),
       commands_(commands),
       to_coordinator_(to_coordinator),
-      num_vars_(network.num_variables()) {
-  cards_.resize(static_cast<size_t>(num_vars_));
-  parent_begin_.resize(static_cast<size_t>(num_vars_) + 1);
-  joint_base_.resize(static_cast<size_t>(num_vars_));
-  parent_base_.resize(static_cast<size_t>(num_vars_));
-  int64_t total_joint = 0;
-  for (int i = 0; i < num_vars_; ++i) {
-    cards_[static_cast<size_t>(i)] = network.cardinality(i);
-    joint_base_[static_cast<size_t>(i)] = total_joint;
-    total_joint += network.parent_cardinality(i) * network.cardinality(i);
-    parent_begin_[static_cast<size_t>(i)] = static_cast<int64_t>(parent_ids_.size());
-    for (int parent : network.dag().parents(i)) {
-      parent_ids_.push_back(parent);
-      parent_cards_.push_back(network.cardinality(parent));
-    }
-  }
-  parent_begin_[static_cast<size_t>(num_vars_)] =
-      static_cast<int64_t>(parent_ids_.size());
-  int64_t total_parent = 0;
-  for (int i = 0; i < num_vars_; ++i) {
-    parent_base_[static_cast<size_t>(i)] = total_joint + total_parent;
-    total_parent += network.parent_cardinality(i);
-  }
-  local_counts_.assign(static_cast<size_t>(total_joint + total_parent), 0);
-  probs_.assign(static_cast<size_t>(total_joint + total_parent), 1.0f);
+      layout_(network) {
+  local_counts_.assign(static_cast<size_t>(layout_.total_counters()), 0);
+  probs_.assign(static_cast<size_t>(layout_.total_counters()), 1.0f);
 }
 
 void SiteNode::ProcessEvent(const int32_t* values) {
@@ -49,18 +27,10 @@ void SiteNode::ProcessEvent(const int32_t* values) {
       outbox_.push_back(CounterReport{counter, local});
     }
   };
-  for (int i = 0; i < num_vars_; ++i) {
-    const int64_t begin = parent_begin_[static_cast<size_t>(i)];
-    const int64_t end = parent_begin_[static_cast<size_t>(i) + 1];
-    int64_t row = 0;
-    for (int64_t j = begin; j < end; ++j) {
-      row = row * parent_cards_[static_cast<size_t>(j)] +
-            values[parent_ids_[static_cast<size_t>(j)]];
-    }
-    const int value = values[i];
-    increment(joint_base_[static_cast<size_t>(i)] +
-              row * cards_[static_cast<size_t>(i)] + value);
-    increment(parent_base_[static_cast<size_t>(i)] + row);
+  for (int i = 0; i < layout_.num_vars; ++i) {
+    const int64_t row = layout_.ParentRowOf(i, values);
+    increment(layout_.JointId(i, row, values[i]));
+    increment(layout_.ParentId(i, row));
   }
   ++events_processed_;
   if (!outbox_.empty()) {
@@ -116,7 +86,7 @@ void SiteNode::Run() {
       const int32_t* cursor = batch.values.data();
       for (int32_t e = 0; e < batch.num_events; ++e) {
         ProcessEvent(cursor);
-        cursor += num_vars_;
+        cursor += layout_.num_vars;
       }
     }
     DrainCommands(/*block_until_closed=*/false);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bayes/network.h"
+#include "core/counter_layout.h"
 #include "net/wire.h"
 #include "common/rng.h"
 #include "net/channel.h"
@@ -47,14 +48,8 @@ class SiteNode {
   Channel<RoundAdvance>* commands_;
   Channel<UpdateBundle>* to_coordinator_;
 
-  // Structure metadata (same flattening as MleTracker).
-  int num_vars_;
-  std::vector<int32_t> cards_;
-  std::vector<int32_t> parent_ids_;
-  std::vector<int32_t> parent_cards_;
-  std::vector<int64_t> parent_begin_;
-  std::vector<int64_t> joint_base_;
-  std::vector<int64_t> parent_base_;
+  // Structure metadata (the canonical MleTracker counter flattening).
+  CounterLayout layout_;
 
   // Per-counter site state.
   std::vector<uint32_t> local_counts_;

@@ -35,6 +35,12 @@ int PredictImpl(const BayesianNetwork& network, int target,
 
 }  // namespace
 
+int PredictWithCpd(const BayesianNetwork& network, int target,
+                   const Instance& evidence,
+                   const std::function<double(int, int, int64_t)>& cpd) {
+  return PredictImpl(network, target, evidence, cpd);
+}
+
 int PredictWithTracker(const MleTracker& tracker, int target,
                        const Instance& evidence) {
   return PredictImpl(tracker.network(), target, evidence,

@@ -3,10 +3,22 @@
 #ifndef DSGM_CORE_CLASSIFIER_H_
 #define DSGM_CORE_CLASSIFIER_H_
 
+#include <cstdint>
+#include <functional>
+
 #include "bayes/network.h"
 #include "core/mle_tracker.h"
 
 namespace dsgm {
+
+/// The generic decision rule behind both entry points below: argmax over
+/// candidate target values of the Markov-blanket factors supplied by
+/// `cpd(variable, value, parent_row)` — the only chain-rule terms that
+/// depend on the target's value. Also used by the public ModelView
+/// Predict(), so every classifier surface shares one argmax.
+int PredictWithCpd(const BayesianNetwork& network, int target,
+                   const Instance& evidence,
+                   const std::function<double(int, int, int64_t)>& cpd);
 
 /// Predicts the value of `target` given the values of all other variables
 /// in `evidence` (evidence[target] is ignored), using the CPD estimates of

@@ -1,0 +1,29 @@
+#include "core/counter_layout.h"
+
+namespace dsgm {
+
+CounterLayout::CounterLayout(const BayesianNetwork& network)
+    : num_vars(network.num_variables()) {
+  const size_t n = static_cast<size_t>(num_vars);
+  cards.resize(n);
+  parent_begin.resize(n + 1);
+  joint_base.resize(n);
+  parent_base.resize(n);
+  for (int i = 0; i < num_vars; ++i) {
+    cards[static_cast<size_t>(i)] = network.cardinality(i);
+    joint_base[static_cast<size_t>(i)] = total_joint;
+    total_joint += network.parent_cardinality(i) * network.cardinality(i);
+    parent_begin[static_cast<size_t>(i)] = static_cast<int64_t>(parent_ids.size());
+    for (int parent : network.dag().parents(i)) {
+      parent_ids.push_back(parent);
+      parent_cards.push_back(network.cardinality(parent));
+    }
+  }
+  parent_begin[n] = static_cast<int64_t>(parent_ids.size());
+  for (int i = 0; i < num_vars; ++i) {
+    parent_base[static_cast<size_t>(i)] = total_joint + total_parent;
+    total_parent += network.parent_cardinality(i);
+  }
+}
+
+}  // namespace dsgm

@@ -1,0 +1,108 @@
+// Canonical counter-id layout shared by every component that flattens a
+// Bayesian network's CPD cells into one dense id space: joint counters
+// A_i(x_i, x^par) first (grouped by variable, row-major over parent rows),
+// then parent counters A_i(x^par). MleTracker, the cluster site nodes, the
+// coordinator's epsilon vector, and the public ModelView all index counters
+// through this layout, so an id means the same cell everywhere.
+
+#ifndef DSGM_CORE_COUNTER_LAYOUT_H_
+#define DSGM_CORE_COUNTER_LAYOUT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bayes/network.h"
+#include "common/check.h"
+
+namespace dsgm {
+
+struct CounterLayout {
+  explicit CounterLayout(const BayesianNetwork& network);
+
+  int num_vars = 0;
+  /// Domain size J_i per variable.
+  std::vector<int32_t> cards;
+  /// Parents of variable i are parent_ids[parent_begin[i] ..
+  /// parent_begin[i+1]), with their cardinalities alongside.
+  std::vector<int32_t> parent_ids;
+  std::vector<int32_t> parent_cards;
+  std::vector<int64_t> parent_begin;  // size num_vars + 1
+  /// First joint / parent counter id of each variable.
+  std::vector<int64_t> joint_base;
+  std::vector<int64_t> parent_base;
+  int64_t total_joint = 0;
+  int64_t total_parent = 0;
+
+  int64_t total_counters() const { return total_joint + total_parent; }
+
+  int64_t JointId(int variable, int64_t parent_row, int value) const {
+    return joint_base[static_cast<size_t>(variable)] +
+           parent_row * cards[static_cast<size_t>(variable)] + value;
+  }
+  int64_t ParentId(int variable, int64_t parent_row) const {
+    return parent_base[static_cast<size_t>(variable)] + parent_row;
+  }
+
+  /// Row index of `variable`'s parent assignment under a full instance,
+  /// given as a flat values array (one value per variable).
+  int64_t ParentRowOf(int variable, const int32_t* values) const {
+    const int64_t begin = parent_begin[static_cast<size_t>(variable)];
+    const int64_t end = parent_begin[static_cast<size_t>(variable) + 1];
+    int64_t row = 0;
+    for (int64_t j = begin; j < end; ++j) {
+      row = row * parent_cards[static_cast<size_t>(j)] +
+            values[parent_ids[static_cast<size_t>(j)]];
+    }
+    return row;
+  }
+  int64_t ParentRowOf(int variable, const Instance& instance) const {
+    const int64_t begin = parent_begin[static_cast<size_t>(variable)];
+    const int64_t end = parent_begin[static_cast<size_t>(variable) + 1];
+    int64_t row = 0;
+    for (int64_t j = begin; j < end; ++j) {
+      row = row * parent_cards[static_cast<size_t>(j)] +
+            instance[static_cast<size_t>(parent_ids[static_cast<size_t>(j)])];
+    }
+    return row;
+  }
+};
+
+/// Probability of an ancestrally-closed partial assignment under the CPD
+/// supplied by `cpd(variable, value, parent_row)` — the chain rule factors
+/// over the member variables (Algorithm 3). `assignment.nodes` must be
+/// sorted ascending and contain every parent of every member (checked in
+/// debug builds). Shared by MleTracker and the public ModelView so the
+/// query semantics cannot drift apart.
+template <typename CpdFn>
+double ClosedAssignmentProbability(const CounterLayout& layout,
+                                   const PartialAssignment& assignment,
+                                   CpdFn&& cpd) {
+  DSGM_DCHECK(assignment.nodes.size() == assignment.values.size());
+  DSGM_DCHECK(std::is_sorted(assignment.nodes.begin(), assignment.nodes.end()));
+  double prob = 1.0;
+  for (size_t j = 0; j < assignment.nodes.size(); ++j) {
+    const int i = assignment.nodes[j];
+    // Parent row from the values present in the subset (ancestral closure
+    // guarantees every parent is present).
+    const int64_t begin = layout.parent_begin[static_cast<size_t>(i)];
+    const int64_t end = layout.parent_begin[static_cast<size_t>(i) + 1];
+    int64_t row = 0;
+    for (int64_t u = begin; u < end; ++u) {
+      const int parent = layout.parent_ids[static_cast<size_t>(u)];
+      const auto it = std::lower_bound(assignment.nodes.begin(),
+                                       assignment.nodes.end(), parent);
+      DSGM_DCHECK(it != assignment.nodes.end() && *it == parent)
+          << "assignment is not ancestrally closed";
+      const size_t pos = static_cast<size_t>(it - assignment.nodes.begin());
+      row = row * layout.parent_cards[static_cast<size_t>(u)] +
+            assignment.values[pos];
+    }
+    prob *= cpd(i, assignment.values[j], row);
+  }
+  return prob;
+}
+
+}  // namespace dsgm
+
+#endif  // DSGM_CORE_COUNTER_LAYOUT_H_

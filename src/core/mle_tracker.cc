@@ -11,37 +11,12 @@
 namespace dsgm {
 
 MleTracker::MleTracker(const BayesianNetwork& network, const TrackerConfig& config)
-    : network_(&network), config_(config) {
+    : network_(&network), config_(config), layout_(network) {
   DSGM_CHECK(config_.Validate().ok()) << config_.Validate();
   const int n = network.num_variables();
 
-  // --- Counter id layout.
-  joint_base_.resize(static_cast<size_t>(n));
-  parent_base_.resize(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    joint_base_[static_cast<size_t>(i)] = total_joint_;
-    total_joint_ += network.parent_cardinality(i) * network.cardinality(i);
-  }
-  for (int i = 0; i < n; ++i) {
-    parent_base_[static_cast<size_t>(i)] = total_joint_ + total_parent_;
-    total_parent_ += network.parent_cardinality(i);
-  }
-
-  // --- Flattened structure metadata for Observe().
-  cards_.resize(static_cast<size_t>(n));
-  parent_begin_.resize(static_cast<size_t>(n) + 1);
-  for (int i = 0; i < n; ++i) {
-    cards_[static_cast<size_t>(i)] = network.cardinality(i);
-    parent_begin_[static_cast<size_t>(i)] = static_cast<int64_t>(parent_ids_.size());
-    for (int parent : network.dag().parents(i)) {
-      parent_ids_.push_back(parent);
-      parent_cards_.push_back(network.cardinality(parent));
-    }
-  }
-  parent_begin_[static_cast<size_t>(n)] = static_cast<int64_t>(parent_ids_.size());
-
   // --- Counter families.
-  const int64_t total = total_joint_ + total_parent_;
+  const int64_t total = layout_.total_counters();
   const int replicas =
       config_.strategy == TrackingStrategy::kExactMle ? 1 : config_.replicas;
   if (config_.strategy == TrackingStrategy::kExactMle) {
@@ -60,13 +35,13 @@ MleTracker::MleTracker(const BayesianNetwork& network, const TrackerConfig& conf
           network.parent_cardinality(i) * network.cardinality(i);
       const float joint_eps = effective(allocation_.joint[static_cast<size_t>(i)]);
       for (int64_t c = 0; c < joint_cells; ++c) {
-        epsilons[static_cast<size_t>(joint_base_[static_cast<size_t>(i)] + c)] =
-            joint_eps;
+        epsilons[static_cast<size_t>(
+            layout_.joint_base[static_cast<size_t>(i)] + c)] = joint_eps;
       }
       const float parent_eps = effective(allocation_.parent[static_cast<size_t>(i)]);
       for (int64_t c = 0; c < network.parent_cardinality(i); ++c) {
-        epsilons[static_cast<size_t>(parent_base_[static_cast<size_t>(i)] + c)] =
-            parent_eps;
+        epsilons[static_cast<size_t>(
+            layout_.parent_base[static_cast<size_t>(i)] + c)] = parent_eps;
       }
     }
     if (config_.counter_type == CounterType::kDeterministic) {
@@ -88,29 +63,17 @@ MleTracker::MleTracker(const BayesianNetwork& network, const TrackerConfig& conf
   }
 }
 
-int64_t MleTracker::ParentRowOf(int variable, const Instance& instance) const {
-  const int64_t begin = parent_begin_[static_cast<size_t>(variable)];
-  const int64_t end = parent_begin_[static_cast<size_t>(variable) + 1];
-  int64_t row = 0;
-  for (int64_t j = begin; j < end; ++j) {
-    row = row * parent_cards_[static_cast<size_t>(j)] +
-          instance[static_cast<size_t>(parent_ids_[static_cast<size_t>(j)])];
-  }
-  return row;
-}
-
 void MleTracker::Observe(const Instance& instance, int site) {
   DSGM_DCHECK(static_cast<int>(instance.size()) == network_->num_variables());
   DSGM_DCHECK(site >= 0 && site < config_.num_sites);
   const int n = network_->num_variables();
   bool any_sent = false;
   for (int i = 0; i < n; ++i) {
-    const int64_t row = ParentRowOf(i, instance);
+    const int64_t row = layout_.ParentRowOf(i, instance);
     const int value = instance[static_cast<size_t>(i)];
-    DSGM_DCHECK(value >= 0 && value < cards_[static_cast<size_t>(i)]);
-    const int64_t joint_id = joint_base_[static_cast<size_t>(i)] +
-                             row * cards_[static_cast<size_t>(i)] + value;
-    const int64_t parent_id = parent_base_[static_cast<size_t>(i)] + row;
+    DSGM_DCHECK(value >= 0 && value < layout_.cards[static_cast<size_t>(i)]);
+    const int64_t joint_id = layout_.JointId(i, row, value);
+    const int64_t parent_id = layout_.ParentId(i, row);
     for (auto& family : replicas_) {
       any_sent |= family->Increment(joint_id, site);
       any_sent |= family->Increment(parent_id, site);
@@ -133,18 +96,17 @@ double MleTracker::MedianEstimate(int64_t counter) const {
 int64_t MleTracker::JointCounterId(int variable, int value,
                                    int64_t parent_row) const {
   DSGM_DCHECK(variable >= 0 && variable < network_->num_variables());
-  DSGM_DCHECK(value >= 0 && value < cards_[static_cast<size_t>(variable)]);
+  DSGM_DCHECK(value >= 0 && value < layout_.cards[static_cast<size_t>(variable)]);
   DSGM_DCHECK(parent_row >= 0 &&
               parent_row < network_->parent_cardinality(variable));
-  return joint_base_[static_cast<size_t>(variable)] +
-         parent_row * cards_[static_cast<size_t>(variable)] + value;
+  return layout_.JointId(variable, parent_row, value);
 }
 
 int64_t MleTracker::ParentCounterId(int variable, int64_t parent_row) const {
   DSGM_DCHECK(variable >= 0 && variable < network_->num_variables());
   DSGM_DCHECK(parent_row >= 0 &&
               parent_row < network_->parent_cardinality(variable));
-  return parent_base_[static_cast<size_t>(variable)] + parent_row;
+  return layout_.ParentId(variable, parent_row);
 }
 
 double MleTracker::JointCounterEstimate(int variable, int value,
@@ -168,7 +130,7 @@ uint64_t MleTracker::ParentCounterExact(int variable, int64_t parent_row) const 
 double MleTracker::CpdEstimate(int variable, int value, int64_t parent_row) const {
   const double joint = MedianEstimate(JointCounterId(variable, value, parent_row));
   const double parent = MedianEstimate(ParentCounterId(variable, parent_row));
-  const double cardinality = cards_[static_cast<size_t>(variable)];
+  const double cardinality = layout_.cards[static_cast<size_t>(variable)];
   if (config_.laplace_alpha > 0.0) {
     return (joint + config_.laplace_alpha) /
            (parent + config_.laplace_alpha * cardinality);
@@ -183,28 +145,10 @@ double MleTracker::CpdEstimate(int variable, int value, int64_t parent_row) cons
 }
 
 double MleTracker::JointProbability(const PartialAssignment& assignment) const {
-  DSGM_DCHECK(assignment.nodes.size() == assignment.values.size());
-  DSGM_DCHECK(std::is_sorted(assignment.nodes.begin(), assignment.nodes.end()));
-  double prob = 1.0;
-  for (size_t j = 0; j < assignment.nodes.size(); ++j) {
-    const int i = assignment.nodes[j];
-    // Parent row from the values present in the subset (ancestral closure
-    // guarantees every parent is present).
-    const int64_t begin = parent_begin_[static_cast<size_t>(i)];
-    const int64_t end = parent_begin_[static_cast<size_t>(i) + 1];
-    int64_t row = 0;
-    for (int64_t u = begin; u < end; ++u) {
-      const int parent = parent_ids_[static_cast<size_t>(u)];
-      const auto it = std::lower_bound(assignment.nodes.begin(),
-                                       assignment.nodes.end(), parent);
-      DSGM_DCHECK(it != assignment.nodes.end() && *it == parent)
-          << "assignment is not ancestrally closed";
-      const size_t pos = static_cast<size_t>(it - assignment.nodes.begin());
-      row = row * parent_cards_[static_cast<size_t>(u)] + assignment.values[pos];
-    }
-    prob *= CpdEstimate(i, assignment.values[j], row);
-  }
-  return prob;
+  return ClosedAssignmentProbability(
+      layout_, assignment, [this](int variable, int value, int64_t row) {
+        return CpdEstimate(variable, value, row);
+      });
 }
 
 double MleTracker::JointProbability(const Instance& instance) const {
@@ -212,7 +156,7 @@ double MleTracker::JointProbability(const Instance& instance) const {
   double prob = 1.0;
   for (int i = 0; i < network_->num_variables(); ++i) {
     prob *= CpdEstimate(i, instance[static_cast<size_t>(i)],
-                        ParentRowOf(i, instance));
+                        layout_.ParentRowOf(i, instance));
   }
   return prob;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bayes/network.h"
+#include "core/counter_layout.h"
 #include "core/error_allocation.h"
 #include "core/tracker_config.h"
 #include "monitor/comm_stats.h"
@@ -69,14 +70,12 @@ class MleTracker {
   double ParentCounterEstimate(int variable, int64_t parent_row) const;
   uint64_t ParentCounterExact(int variable, int64_t parent_row) const;
 
-  int64_t num_joint_counters() const { return total_joint_; }
-  int64_t num_parent_counters() const { return total_parent_; }
+  int64_t num_joint_counters() const { return layout_.total_joint; }
+  int64_t num_parent_counters() const { return layout_.total_parent; }
 
  private:
   int64_t JointCounterId(int variable, int value, int64_t parent_row) const;
   int64_t ParentCounterId(int variable, int64_t parent_row) const;
-  /// Parent row of `variable` under a full instance.
-  int64_t ParentRowOf(int variable, const Instance& instance) const;
   /// Median across replicas of one counter's estimate.
   double MedianEstimate(int64_t counter) const;
 
@@ -85,19 +84,9 @@ class MleTracker {
   ErrorAllocation allocation_;
   CommStats comm_;
 
-  // Counter id layout: joint counters first ([joint_base_[i], ...)), then
-  // parent counters ([parent_base_[i], ...)); one id space per replica.
-  std::vector<int64_t> joint_base_;
-  std::vector<int64_t> parent_base_;
-  int64_t total_joint_ = 0;
-  int64_t total_parent_ = 0;
-
-  // Flattened parent metadata for the hot update loop:
-  // parents of variable i are parent_ids_[parent_begin_[i] .. parent_begin_[i+1]).
-  std::vector<int32_t> parent_ids_;
-  std::vector<int32_t> parent_cards_;
-  std::vector<int64_t> parent_begin_;
-  std::vector<int32_t> cards_;
+  // The canonical counter-id flattening (core/counter_layout.h): joint
+  // counters first, then parent counters; one id space per replica.
+  CounterLayout layout_;
 
   // One counter family per replica (Theorem 1's median amplification).
   std::vector<std::unique_ptr<CounterFamily>> replicas_;

@@ -239,6 +239,7 @@ void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
       out->push_back(static_cast<uint8_t>(frame.channel));
       break;
     case FrameType::kHello:
+      out->push_back(frame.protocol_version);
       AppendZigzag(frame.site, out);
       break;
   }
@@ -280,6 +281,7 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
       break;
     }
     case FrameType::kHello: {
+      DSGM_RETURN_IF_ERROR(reader.ReadU8(&out->protocol_version));
       int64_t site = 0;
       DSGM_RETURN_IF_ERROR(reader.ReadZigzag(&site));
       if (site < INT32_MIN || site > INT32_MAX) {

@@ -35,6 +35,12 @@ enum class FrameType : uint8_t {
   kHello = 5,         // transport control: connection announces its site id
 };
 
+/// Wire protocol revision, carried in every kHello frame ahead of the site
+/// id. Bump on any frame-format change; the accepting side rejects a
+/// mismatched hello with a clear Status instead of misparsing later frames.
+/// History: 1 = varint codec with versioned hello (2026-07).
+constexpr uint8_t kProtocolVersion = 1;
+
 /// Tagged union of everything a connection can carry. Only the member
 /// selected by `type` is meaningful.
 struct Frame {
@@ -44,8 +50,11 @@ struct Frame {
   EventBatch batch;      // kEventBatch
   /// kChannelClose: which logical channel the sender closed.
   FrameType channel = FrameType::kUpdateBundle;
-  /// kHello: the connecting site's id.
+  /// kHello: the connecting site's id and the protocol revision it speaks.
+  /// The codec round-trips any version value; rejecting mismatches is the
+  /// transport's job (it owns the error message and the Status code).
   int32_t site = -1;
+  uint8_t protocol_version = kProtocolVersion;
 };
 
 Frame MakeFrame(UpdateBundle bundle);

@@ -60,6 +60,16 @@ StatusOr<int32_t> TcpConnection::ReadHello() {
   if (frame.type != FrameType::kHello) {
     return InvalidArgumentError("tcp: expected hello frame");
   }
+  // kFailedPrecondition distinguishes a genuine dsgm peer speaking another
+  // protocol revision (fatal misconfiguration, surfaced to the operator)
+  // from line noise (kInvalidArgument, dropped as a stray connection).
+  if (frame.protocol_version != kProtocolVersion) {
+    return FailedPreconditionError(
+        "tcp: protocol version mismatch: peer speaks v" +
+        std::to_string(frame.protocol_version) + ", this build speaks v" +
+        std::to_string(kProtocolVersion) +
+        " — rebuild both ends from the same revision");
+  }
   return frame.site;
 }
 
@@ -164,6 +174,12 @@ StatusOr<std::vector<std::unique_ptr<TcpConnection>>> AcceptSiteConnections(
     auto connection =
         std::make_unique<TcpConnection>(std::move(socket).value(), options);
     StatusOr<int32_t> site = connection->ReadHello();
+    if (!site.ok() &&
+        site.status().code() == StatusCode::kFailedPrecondition) {
+      // A version-mismatched dsgm site is a deployment error, not a stray
+      // probe; dropping it silently would leave both ends hung.
+      return site.status();
+    }
     if (!site.ok() || *site < 0 || *site >= num_sites) {
       if (--rejects_left < 0) {
         return InvalidArgumentError(

@@ -96,6 +96,30 @@ TEST(CodecTest, ControlFramesRoundTrip) {
   Frame hello = DecodeOrDie(Encode(MakeHello(17)));
   ASSERT_EQ(hello.type, FrameType::kHello);
   EXPECT_EQ(hello.site, 17);
+  EXPECT_EQ(hello.protocol_version, kProtocolVersion);
+}
+
+TEST(CodecTest, HelloRoundTripsForeignProtocolVersions) {
+  // The codec must transport ANY version value faithfully — rejecting a
+  // mismatch is the transport's job, and it can only produce a clear error
+  // if the decoded frame still says what the peer claimed.
+  for (uint8_t version : {uint8_t{0}, uint8_t{2}, uint8_t{255}}) {
+    Frame hello = MakeHello(3);
+    hello.protocol_version = version;
+    const Frame decoded = DecodeOrDie(Encode(hello));
+    ASSERT_EQ(decoded.type, FrameType::kHello);
+    EXPECT_EQ(decoded.protocol_version, version);
+    EXPECT_EQ(decoded.site, 3);
+  }
+}
+
+TEST(CodecTest, TruncatedHelloMissingSiteFails) {
+  // A hello that ends right after the version byte (an old-format peer
+  // would not even have the version) must fail cleanly, not misparse.
+  std::vector<uint8_t> payload = {static_cast<uint8_t>(FrameType::kHello),
+                                  kProtocolVersion};
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
 }
 
 TEST(CodecTest, RandomizedBundleRoundTripProperty) {

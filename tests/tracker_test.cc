@@ -256,5 +256,107 @@ TEST(MleTrackerTest, MemoryAccountingPositive) {
   EXPECT_GT(tracker.MemoryBytes(), 0u);
 }
 
+// --- TrackerConfig::Validate edge cases --------------------------------
+
+TEST(TrackerConfigTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(TrackerConfig().Validate().ok());
+}
+
+TEST(TrackerConfigTest, EpsilonMustBeInOpenUnitInterval) {
+  TrackerConfig config;
+  config.epsilon = -0.1;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.epsilon = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.epsilon = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.epsilon = 0.999;
+  EXPECT_TRUE(config.Validate().ok());
+  config.epsilon = 1e-9;  // Tiny but legal: approaches exact maintenance.
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(TrackerConfigTest, SitesAndReplicasMustBePositive) {
+  TrackerConfig config;
+  config.num_sites = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.num_sites = -3;
+  EXPECT_FALSE(config.Validate().ok());
+  config.num_sites = 1;  // A one-site "distributed" stream is legal.
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.replicas = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.replicas = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.replicas = 1;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(TrackerConfigTest, ConstantsMustBePositiveAndLaplaceNonNegative) {
+  TrackerConfig config;
+  config.probability_constant = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.probability_constant = 1.0;
+  config.allocation_relaxation = -4.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.allocation_relaxation = 4.0;
+  config.laplace_alpha = -0.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.laplace_alpha = 0.0;  // Zero is the paper's raw MLE.
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// --- TrackingStrategyFromName edge cases -------------------------------
+
+TEST(TrackerConfigTest, StrategyNamesParseCaseAndSeparatorInsensitively) {
+  const struct {
+    const char* name;
+    TrackingStrategy expected;
+  } kCases[] = {
+      {"exact", TrackingStrategy::kExactMle},
+      {"EXACT", TrackingStrategy::kExactMle},
+      {"Exact-MLE", TrackingStrategy::kExactMle},
+      {"exact_mle", TrackingStrategy::kExactMle},
+      {"baseline", TrackingStrategy::kBaseline},
+      {"BaseLine", TrackingStrategy::kBaseline},
+      {"uniform", TrackingStrategy::kUniform},
+      {"UnIfOrM", TrackingStrategy::kUniform},
+      {"nonuniform", TrackingStrategy::kNonUniform},
+      {"non-uniform", TrackingStrategy::kNonUniform},
+      {"NON_UNIFORM", TrackingStrategy::kNonUniform},
+      {"naive-bayes", TrackingStrategy::kNaiveBayes},
+      {"NaiveBayes", TrackingStrategy::kNaiveBayes},
+      {"NB", TrackingStrategy::kNaiveBayes},
+  };
+  for (const auto& test_case : kCases) {
+    const StatusOr<TrackingStrategy> parsed =
+        TrackingStrategyFromName(test_case.name);
+    ASSERT_TRUE(parsed.ok()) << test_case.name;
+    EXPECT_EQ(*parsed, test_case.expected) << test_case.name;
+  }
+}
+
+TEST(TrackerConfigTest, UnknownStrategyNamesAreNotFound) {
+  for (const char* name : {"", "exactly", "uniform2", "non", "bayes",
+                           "naive bayes", "-", "__"}) {
+    const StatusOr<TrackingStrategy> parsed = TrackingStrategyFromName(name);
+    ASSERT_FALSE(parsed.ok()) << name;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound) << name;
+  }
+}
+
+TEST(TrackerConfigTest, ParsedNamesRoundTripThroughToString) {
+  for (TrackingStrategy strategy :
+       {TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
+        TrackingStrategy::kUniform, TrackingStrategy::kNonUniform,
+        TrackingStrategy::kNaiveBayes}) {
+    const StatusOr<TrackingStrategy> parsed =
+        TrackingStrategyFromName(ToString(strategy));
+    ASSERT_TRUE(parsed.ok()) << ToString(strategy);
+    EXPECT_EQ(*parsed, strategy);
+  }
+}
+
 }  // namespace
 }  // namespace dsgm

@@ -6,10 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/cluster_transport.h"
+#include "net/codec.h"
+#include "net/tcp_socket.h"
+#include "net/tcp_transport.h"
 
 namespace dsgm {
 namespace {
@@ -210,6 +215,66 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<TransportParam>& info) {
       return std::string(info.param.name);
     });
+
+// --- Hello protocol versioning ------------------------------------------
+
+TEST(ProtocolVersionTest, MismatchedHelloIsRejectedWithClearStatus) {
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  // A "future" dsgm site: perfectly valid framing, wrong protocol
+  // revision. Unlike a stray port probe (dropped and re-accepted), this
+  // must fail the accept loop loudly — both ends would otherwise hang.
+  std::thread peer([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    Frame hello = MakeHello(/*site=*/0);
+    hello.protocol_version = static_cast<uint8_t>(kProtocolVersion + 1);
+    std::vector<uint8_t> bytes;
+    AppendFrame(hello, &bytes);
+    (void)socket->SendAll(bytes.data(), bytes.size());
+    // Wait for the coordinator to react (it closes without replying).
+    uint8_t unused = 0;
+    (void)socket->RecvAll(&unused, 1);
+  });
+
+  TcpConnection::Options options;
+  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+      AcceptSiteConnections(&listener.value(), /*num_sites=*/1, options);
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(accepted.status().message().find("protocol version mismatch"),
+            std::string::npos)
+      << accepted.status();
+  listener->Close();
+  peer.join();
+}
+
+TEST(ProtocolVersionTest, CurrentVersionHelloIsAccepted) {
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  std::thread peer([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    TcpConnection connection(std::move(socket).value());
+    // SendHello stamps the current kProtocolVersion.
+    if (!connection.SendHello(/*site=*/0).ok()) return;
+    connection.Start();
+    connection.Shutdown();
+  });
+
+  TcpConnection::Options options;
+  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+      AcceptSiteConnections(&listener.value(), /*num_sites=*/1, options);
+  EXPECT_TRUE(accepted.ok()) << accepted.status();
+  peer.join();
+  if (accepted.ok()) {
+    for (auto& connection : *accepted) connection->Shutdown();
+  }
+}
 
 }  // namespace
 }  // namespace dsgm
