@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "dsgm/dsgm.h"
 #include "harness/experiment.h"
+#include "harness/json_report.h"
 
 namespace dsgm {
 namespace {
@@ -20,6 +21,8 @@ int Main(int argc, char** argv) {
                     "training instances per run (paper: 500000)");
   flags.DefineString("networks", "alarm,hepar", "comma-separated network list");
   flags.DefineString("site-counts", "2,4,6,8,10", "cluster sizes to sweep");
+  flags.DefineString("json", "BENCH_cluster_runtime.json",
+                     "machine-readable results file (empty disables)");
   ParseFlagsOrDie(&flags, argc, argv);
 
   const int64_t events =
@@ -28,6 +31,7 @@ int Main(int argc, char** argv) {
       TrackingStrategy::kExactMle, TrackingStrategy::kBaseline,
       TrackingStrategy::kUniform, TrackingStrategy::kNonUniform};
 
+  Json records = Json::Array();
   for (const std::string& name : SplitCommaList(flags.GetString("networks"))) {
     StatusOr<BayesianNetwork> net = NetworkByName(name);
     if (!net.ok()) {
@@ -65,11 +69,31 @@ int Main(int argc, char** argv) {
           return 1;
         }
         row.push_back(FormatDouble(report->runtime_seconds, 3));
+        Json record = RunReportToJson(*report);
+        record.Add("network", Json::Str(net->name()))
+            .Add("sites", Json::Int(sites))
+            .Add("strategy", Json::Str(ToString(strategy)));
+        records.Append(std::move(record));
       }
       table.AddRow(row);
     }
     table.Print(std::cout);
     std::cout << "\n";
+  }
+
+  if (!flags.GetString("json").empty()) {
+    Json root = Json::Object();
+    root.Add("bench", Json::Str("fig7_cluster_runtime"))
+        .Add("events_per_run", Json::Int(events))
+        .Add("epsilon", Json::Double(flags.GetDouble("eps")))
+        .Add("seed", Json::Int(flags.GetInt64("seed")))
+        .Add("results", std::move(records));
+    const Status written = WriteJsonReport(flags.GetString("json"), root);
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.GetString("json") << "\n";
   }
   return 0;
 }

@@ -68,10 +68,9 @@ class Json {
 /// trailing newline.
 Status WriteJsonReport(const std::string& path, const Json& root);
 
-/// Flattens one legacy ClusterResult into the same record shape as
-/// RunReportToJson. `backend` tags the record: pass Backend::kLocalTcp for
-/// a RunRemoteCoordinator result (the default fits RunCluster and the
-/// threaded benches).
+/// Flattens one cluster-layer ClusterResult into the same record shape as
+/// RunReportToJson. `backend` tags the record (the default fits the
+/// threaded benches; pass Backend::kLocalTcp for a socketed coordinator).
 Json ClusterResultToJson(const ClusterResult& result,
                          Backend backend = Backend::kThreads);
 

@@ -32,6 +32,14 @@ int main(int argc, char** argv) {
   flags.DefineInt64("seed", 7, "seed for sampling and routing");
   flags.DefineInt64("port", 7700, "TCP port to listen on (0 = ephemeral)");
   flags.DefineString("port-file", "", "write the bound port to this file (for scripts)");
+  flags.DefineString("bind", "127.0.0.1",
+                     "listener bind address; 0.0.0.0 accepts sites from other hosts");
+  flags.DefineInt64("liveness-timeout-ms", 5000,
+                    "fail the run (UNAVAILABLE) if a site sends no traffic — not "
+                    "even a heartbeat — for this long; 0 disables liveness");
+  flags.DefineInt64("heartbeat-ms", 500,
+                    "heartbeat cadence for in-process sites (ignored with external "
+                    "dsgm_site processes, which set their own --heartbeat-ms)");
   flags.DefineDouble("max-rel-error", -1.0,
                      "fail (exit 1) if the max counter relative error exceeds this; "
                      "negative disables the gate");
@@ -72,6 +80,9 @@ int main(int argc, char** argv) {
           .WithBatchSize(static_cast<int>(flags.GetInt64("batch-size")))
           .WithListenPort(port)
           .WithPortFile(flags.GetString("port-file"))
+          .WithBindAddress(flags.GetString("bind"))
+          .WithLivenessTimeout(static_cast<int>(flags.GetInt64("liveness-timeout-ms")))
+          .WithHeartbeatInterval(static_cast<int>(flags.GetInt64("heartbeat-ms")))
           .Build();
   if (!session.ok()) {
     std::cerr << "coordinator failed: " << session.status() << "\n";

@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
   flags.DefineInt64("seed", 7, "seed for the site's sampling decisions");
   flags.DefineInt64("connect-timeout-ms", 10000,
                     "how long to retry the initial connect");
+  flags.DefineInt64("heartbeat-ms", 500,
+                    "liveness heartbeat cadence; keep well below the "
+                    "coordinator's --liveness-timeout-ms (0 disables)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     if (parsed.code() == StatusCode::kNotFound) return 0;  // --help
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
   config.coordinator_host = flags.GetString("host");
   config.coordinator_port = static_cast<int>(flags.GetInt64("port"));
   config.connect_timeout_ms = static_cast<int>(flags.GetInt64("connect-timeout-ms"));
+  config.heartbeat_interval_ms = static_cast<int>(flags.GetInt64("heartbeat-ms"));
   // Decorrelate the per-site reporting decisions while keeping runs
   // reproducible from one --seed.
   config.seed = static_cast<uint64_t>(flags.GetInt64("seed")) +

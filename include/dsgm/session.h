@@ -126,12 +126,28 @@ struct SessionOptions {
   /// bound port is atomically published to (for scripts).
   int listen_port = 0;
   std::string port_file;
+  /// kLocalTcp only: listener bind address. The default binds loopback
+  /// only; "0.0.0.0" (or a specific interface address) accepts dsgm_site
+  /// processes from other hosts — the multi-host deployment posture.
+  std::string bind_address = "127.0.0.1";
   /// kLocalTcp only: expect `tracker.num_sites` external dsgm_site
   /// processes to connect instead of spawning in-process site threads.
   /// Build() then blocks until all sites complete the hello handshake.
   bool external_sites = false;
   /// kLocalTcp internal sites: how long each site retries its connect.
   int site_connect_timeout_ms = 10000;
+  /// kLocalTcp only: per-site liveness deadline, enforced by the
+  /// coordinator's reactor I/O thread. A site that sends no traffic (not
+  /// even a kHeartbeat) for this long — or whose connection drops mid-run —
+  /// is declared dead and the run fails with an UNAVAILABLE status naming
+  /// the site (the FailRun policy): outstanding syncs are cancelled and
+  /// every session call reports the failure instead of stalling forever.
+  /// 0 disables liveness (a dead site can then stall the run).
+  int liveness_timeout_ms = 5000;
+  /// kLocalTcp internal sites: heartbeat cadence of the in-process site
+  /// threads. Must stay below liveness_timeout_ms. External dsgm_site
+  /// processes configure their own cadence (--heartbeat-ms).
+  int heartbeat_interval_ms = 500;
 };
 
 class SessionBuilder {
@@ -156,8 +172,12 @@ class SessionBuilder {
   SessionBuilder& WithTransport(TransportFactory transport);
   SessionBuilder& WithListenPort(int port);
   SessionBuilder& WithPortFile(std::string path);
+  SessionBuilder& WithBindAddress(std::string address);
   SessionBuilder& WithExternalSites();
   SessionBuilder& WithSiteConnectTimeout(int timeout_ms);
+  /// 0 disables per-site liveness; see SessionOptions::liveness_timeout_ms.
+  SessionBuilder& WithLivenessTimeout(int timeout_ms);
+  SessionBuilder& WithHeartbeatInterval(int interval_ms);
 
   const SessionOptions& options() const { return options_; }
 

@@ -25,6 +25,10 @@ struct SiteServiceConfig {
   /// How long to keep retrying the initial connect while the coordinator
   /// is still starting up.
   int connect_timeout_ms = 10000;
+  /// kHeartbeat cadence proving this site alive to the coordinator's
+  /// liveness deadline (coordinator default: 5000 ms — keep the interval
+  /// well below it). 0 disables heartbeats.
+  int heartbeat_interval_ms = 500;
 };
 
 struct SiteServiceResult {

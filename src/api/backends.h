@@ -5,6 +5,7 @@
 #define DSGM_API_BACKENDS_H_
 
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -31,10 +32,9 @@ struct SeedSchedule {
 
 SeedSchedule DeriveSeedSchedule(const TrackerConfig& tracker);
 
-/// Converts between the legacy ClusterResult shape and the unified report
+/// Converts the cluster-layer result shape into the unified report
 /// (everything except the model snapshot, which only sessions can take).
 RunReport ReportFromClusterResult(const ClusterResult& result, Backend backend);
-ClusterResult ClusterResultFromReport(const RunReport& report);
 
 /// Machinery shared by the kThreads and kLocalTcp backends: a
 /// CoordinatorNode running on its own thread, per-site event lanes with
@@ -56,11 +56,23 @@ class ClusterSessionBase : public Session {
                         std::vector<Channel<RoundAdvance>*> commands);
 
   /// Pushes the staged batch of `site` (no-op when empty). Fails if the
-  /// site's event lane has closed underneath the session.
+  /// site's event lane has closed underneath the session; a recorded run
+  /// failure (see below) takes precedence as the error.
   Status FlushSite(int site);
   Status FlushAll();
   void CloseEventChannels();
   void JoinCoordinator();
+
+  /// Records the first run-level failure — e.g. a site declared dead by
+  /// the transport's liveness protocol (the FailRun policy). Thread-safe
+  /// (transport I/O threads call it); later failures are ignored. Once
+  /// recorded, Push/Snapshot/Finish report this status instead of the
+  /// secondary symptom (a closed lane or queue).
+  void RecordRunFailure(const Status& status);
+  Status run_failure() const;
+  /// `fallback` unless a run failure was recorded, which then explains WHY
+  /// the fallback symptom happened and is returned instead.
+  Status RunFailureOr(Status fallback) const;
 
   /// Consistent model snapshot from the (possibly live) coordinator.
   ModelView ViewFromCoordinator(int64_t events_observed) const;
@@ -75,6 +87,10 @@ class ClusterSessionBase : public Session {
   std::vector<Channel<EventBatch>*> event_channels_;
   std::vector<EventBatch> pending_;
   ModelView final_view_;
+
+ private:
+  mutable std::mutex failure_mu_;
+  Status run_failure_;
 };
 
 StatusOr<std::unique_ptr<Session>> CreateInProcessSession(

@@ -269,12 +269,24 @@ SessionBuilder& SessionBuilder::WithPortFile(std::string path) {
   options_.port_file = std::move(path);
   return *this;
 }
+SessionBuilder& SessionBuilder::WithBindAddress(std::string address) {
+  options_.bind_address = std::move(address);
+  return *this;
+}
 SessionBuilder& SessionBuilder::WithExternalSites() {
   options_.external_sites = true;
   return *this;
 }
 SessionBuilder& SessionBuilder::WithSiteConnectTimeout(int timeout_ms) {
   options_.site_connect_timeout_ms = timeout_ms;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithLivenessTimeout(int timeout_ms) {
+  options_.liveness_timeout_ms = timeout_ms;
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithHeartbeatInterval(int interval_ms) {
+  options_.heartbeat_interval_ms = interval_ms;
   return *this;
 }
 
@@ -287,12 +299,30 @@ StatusOr<std::unique_ptr<Session>> SessionBuilder::Build() const {
     return InvalidArgumentError(
         "session: WithTransport applies only to Backend::kThreads");
   }
-  const bool has_tcp_options = options_.external_sites ||
-                               options_.listen_port != 0 ||
-                               !options_.port_file.empty();
+  const SessionOptions defaults;
+  const bool has_tcp_options =
+      options_.external_sites || options_.listen_port != 0 ||
+      !options_.port_file.empty() ||
+      options_.bind_address != defaults.bind_address ||
+      options_.liveness_timeout_ms != defaults.liveness_timeout_ms ||
+      options_.heartbeat_interval_ms != defaults.heartbeat_interval_ms;
   if (has_tcp_options && options_.backend != Backend::kLocalTcp) {
     return InvalidArgumentError(
-        "session: listener options apply only to Backend::kLocalTcp");
+        "session: listener/liveness options apply only to Backend::kLocalTcp");
+  }
+  if (options_.liveness_timeout_ms < 0 || options_.heartbeat_interval_ms < 0) {
+    return InvalidArgumentError(
+        "session: liveness timeout and heartbeat interval must be >= 0");
+  }
+  if (options_.backend == Backend::kLocalTcp && !options_.external_sites &&
+      options_.liveness_timeout_ms > 0 &&
+      (options_.heartbeat_interval_ms == 0 ||
+       options_.heartbeat_interval_ms >= options_.liveness_timeout_ms)) {
+    // In-process sites heartbeat at the session-configured cadence; a
+    // cadence at or past the deadline guarantees spurious site deaths.
+    return InvalidArgumentError(
+        "session: heartbeat_interval_ms must be in (0, liveness_timeout_ms) "
+        "when liveness is enabled with in-process sites");
   }
   switch (options_.backend) {
     case Backend::kInProcess:

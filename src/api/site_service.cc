@@ -12,6 +12,7 @@ StatusOr<SiteServiceResult> ServeSite(const BayesianNetwork& network,
   remote.port = config.coordinator_port;
   remote.seed = config.seed;
   remote.connect_timeout_ms = config.connect_timeout_ms;
+  remote.heartbeat_interval_ms = config.heartbeat_interval_ms;
   StatusOr<RemoteSiteResult> result = RunRemoteSite(network, remote);
   if (!result.ok()) return result.status();
   SiteServiceResult out;

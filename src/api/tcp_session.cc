@@ -1,9 +1,20 @@
 // The kLocalTcp backend: the coordinator side of a genuinely socketed
-// cluster. One TCP connection per site carries codec-serialized frames;
-// sites either run as in-process threads serving the full site role
-// through ServeSite/RunRemoteSite (the default, self-contained mode) or as
+// cluster, served by the reactor transport — ONE I/O thread owns every
+// site connection (net/reactor_transport.h), so the coordinator scales to
+// hundreds of sites without hundreds of reader/writer threads. Sites
+// either run as in-process threads serving the full site role through
+// ServeSite/RunRemoteSite (the default, self-contained mode) or as
 // external dsgm_site processes (SessionOptions::external_sites — the
-// multi-host deployment the dsgm_coordinator binary drives).
+// multi-host deployment the dsgm_coordinator binary drives, reachable from
+// other hosts via SessionOptions::bind_address).
+//
+// Liveness (the FailRun policy): the reactor arms a per-site deadline; a
+// site silent past SessionOptions::liveness_timeout_ms — or whose
+// connection drops mid-run — is declared dead. The failure handler records
+// an UNAVAILABLE status naming the site, cancels the site's outstanding
+// syncs on the CoordinatorNode, and closes the merged update queue so the
+// protocol loop exits; every subsequent session call reports the recorded
+// status instead of stalling.
 
 #include <atomic>
 #include <cstdio>
@@ -15,8 +26,8 @@
 #include "api/backends.h"
 #include "cluster/remote_runner.h"
 #include "common/check.h"
+#include "net/reactor_transport.h"
 #include "net/tcp_socket.h"
-#include "net/tcp_transport.h"
 
 namespace dsgm {
 namespace internal {
@@ -40,43 +51,45 @@ class LocalTcpSession final : public ClusterSessionBase {
   LocalTcpSession(const BayesianNetwork& network, const SessionOptions& options,
                   const SeedSchedule& seeds)
       : ClusterSessionBase(Backend::kLocalTcp, network, options, seeds),
-        seeds_(seeds),
-        merged_updates_(8192),
-        update_channel_(&merged_updates_),
-        active_readers_(options.tracker.num_sites) {}
+        seeds_(seeds) {}
 
   ~LocalTcpSession() override { Abort(); }
 
   /// Listens, (optionally) spawns the in-process site threads, accepts one
-  /// hello-identified connection per site, and starts the coordinator.
+  /// hello-identified connection per site onto the reactor, and starts the
+  /// coordinator.
   Status Init() {
     const int k = num_sites_;
     StatusOr<TcpListener> listener =
-        TcpListener::Listen(options_.listen_port, k + 8);
+        TcpListener::Listen(options_.listen_port, k + 8, options_.bind_address);
     if (!listener.ok()) return listener.status();
     if (!options_.port_file.empty()) {
       DSGM_RETURN_IF_ERROR(WritePortFile(options_.port_file, listener->port()));
     }
 
-    TcpConnection::Options connection_options;
-    connection_options.shared_updates = &merged_updates_;
-    connection_options.buffered_commands = true;  // Deadlock avoidance.
-    // When the last reader exits (every site gone), the merged update queue
-    // closes, so a cluster whose sites all vanished fails cleanly instead
-    // of blocking forever in a pop.
-    connection_options.on_reader_exit = [this] {
-      if (active_readers_.fetch_sub(1) == 1) merged_updates_.Close();
+    ReactorCoordinator::Options io_options;
+    io_options.liveness_timeout_ms = options_.liveness_timeout_ms;
+    io_options.on_site_failure = [this](int site, const Status& status) {
+      OnSiteFailure(site, status);
     };
+    coordinator_io_ = std::make_unique<ReactorCoordinator>(k, io_options);
 
     if (!options_.external_sites) {
       site_status_.assign(static_cast<size_t>(k), Status::Ok());
       const int port = listener->port();
+      // A wildcard bind still answers on loopback; a specific interface
+      // address only answers there.
+      const std::string host = options_.bind_address == "0.0.0.0"
+                                   ? "127.0.0.1"
+                                   : options_.bind_address;
       for (int s = 0; s < k; ++s) {
         RemoteSiteConfig site_config;
         site_config.site_id = s;
+        site_config.host = host;
         site_config.port = port;
         site_config.seed = seeds_.site_seeds[static_cast<size_t>(s)];
         site_config.connect_timeout_ms = options_.site_connect_timeout_ms;
+        site_config.heartbeat_interval_ms = options_.heartbeat_interval_ms;
         site_threads_.emplace_back([this, s, site_config] {
           site_status_[static_cast<size_t>(s)] =
               RunRemoteSite(network(), site_config).status();
@@ -84,25 +97,25 @@ class LocalTcpSession final : public ClusterSessionBase {
       }
     }
 
-    StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
-        AcceptSiteConnections(&listener.value(), k, connection_options);
+    const Status accepted = coordinator_io_->AcceptSites(&listener.value());
     if (!accepted.ok()) {
-      // Partial accepts were torn down by the StatusOr. Close the listener
-      // BEFORE joining: a site parked in the accept backlog only sees its
-      // connection die when the listening socket goes away, and a site
-      // still retrying its connect runs out its (bounded) timeout.
+      // Close the listener BEFORE joining: a site parked in the accept
+      // backlog only sees its connection die when the listening socket
+      // goes away, and a site still retrying its connect runs out its
+      // (bounded) timeout.
       listener->Close();
+      coordinator_io_->Shutdown();
       JoinSiteThreads();
-      return accepted.status();
+      return accepted;
     }
-    connections_ = std::move(accepted).value();
 
     std::vector<Channel<RoundAdvance>*> command_channels;
     for (int s = 0; s < k; ++s) {
-      event_channels_.push_back(connections_[static_cast<size_t>(s)]->events());
-      command_channels.push_back(connections_[static_cast<size_t>(s)]->commands());
+      event_channels_.push_back(coordinator_io_->events(s));
+      command_channels.push_back(coordinator_io_->commands(s));
     }
-    StartCoordinator(&update_channel_, std::move(command_channels));
+    StartCoordinator(coordinator_io_->updates(), std::move(command_channels));
+    coordinator_started_.store(true, std::memory_order_release);
     return Status::Ok();
   }
 
@@ -119,14 +132,14 @@ class LocalTcpSession final : public ClusterSessionBase {
     CloseEventChannels();
     JoinCoordinator();
 
-    // Protocol finished (every site acknowledged; command channels
+    // Protocol finished (every live site acknowledged; command channels
     // closed). Each site now reports its exact totals for validation.
     std::vector<uint64_t> exact_totals(
         static_cast<size_t>(layout_->total_counters()), 0);
     const Status collected = CollectFinalCounts(&exact_totals);
     if (!collected.ok()) {
       Abort();
-      return collected;
+      return RunFailureOr(collected);
     }
 
     ClusterResult result;
@@ -135,18 +148,21 @@ class LocalTcpSession final : public ClusterSessionBase {
     // stream length (the validation counts confirm delivery).
     result.events_processed = events_pushed_;
     result.transport_measured = true;
-    for (const auto& connection : connections_) {
-      result.transport_bytes_down += connection->bytes_sent();
-      result.transport_bytes_up += connection->bytes_received();
-    }
+    result.transport_bytes_up = coordinator_io_->bytes_up();
+    result.transport_bytes_down = coordinator_io_->bytes_down();
     FinalizeClusterResult(*coordinator_, exact_totals, &result);
 
-    for (auto& connection : connections_) connection->Shutdown();
+    // Closing the connections from our side releases the sites' post-final-
+    // counts linger; only then are the in-process site threads joinable.
+    coordinator_io_->Shutdown();
     JoinSiteThreads();
-    // A failed in-process site fails the run BEFORE the final model is
-    // published: Snapshot() after a failed Finish must error, not present
-    // a model validated against incomplete sites.
+    // A failed site fails the run BEFORE the final model is published:
+    // Snapshot() after a failed Finish must error, not present a model
+    // validated against incomplete sites. A liveness failure recorded
+    // during the final-counts window (rare, but a site can die between its
+    // last sync and its final report) is surfaced the same way.
     DSGM_RETURN_IF_ERROR(FirstSiteError());
+    DSGM_RETURN_IF_ERROR(run_failure());
 
     RunReport report = ReportFromClusterResult(result, Backend::kLocalTcp);
     report.model = ViewFromCoordinator(result.events_processed);
@@ -155,17 +171,33 @@ class LocalTcpSession final : public ClusterSessionBase {
   }
 
  private:
+  /// Reactor-thread handler for a site declared dead (liveness timeout or
+  /// mid-run disconnect) — the FailRun policy. Must not call
+  /// ReactorCoordinator::Shutdown (it would join the thread running this).
+  void OnSiteFailure(int site, const Status& status) {
+    RecordRunFailure(status);
+    // Cancel the dead site's outstanding syncs so the protocol state can
+    // settle, then close the merged queue so the coordinator loop (and a
+    // Finish() blocked collecting final counts) wakes up and observes the
+    // failure instead of waiting for a reply that will never come.
+    if (coordinator_started_.load(std::memory_order_acquire)) {
+      coordinator_->CancelSite(site);
+    }
+    coordinator_io_->merged_updates()->Close();
+  }
+
   Status CollectFinalCounts(std::vector<uint64_t>* exact_totals) {
     const int k = num_sites_;
     const int64_t total_counters = layout_->total_counters();
     std::vector<uint8_t> reported(static_cast<size_t>(k), 0);
     int final_reports = 0;
     std::vector<UpdateBundle> batch;
+    Channel<UpdateBundle>* updates = coordinator_io_->updates();
     while (final_reports < k) {
       batch.clear();
-      if (update_channel_.PopBatch(&batch, 64) == 0) {
-        // Closed and drained: every site's connection ended without all
-        // final counts arriving.
+      if (updates->PopBatch(&batch, 64) == 0) {
+        // Closed and drained: every site's connection ended (or the run
+        // failed) without all final counts arriving.
         return InternalError("a site disconnected before sending final counts");
       }
       for (UpdateBundle& bundle : batch) {
@@ -207,22 +239,19 @@ class LocalTcpSession final : public ClusterSessionBase {
   }
 
   /// Best-effort teardown for sessions dropped mid-run (or failed runs):
-  /// shutting every connection down unblocks the site threads and the
-  /// coordinator (the merged queue closes when the last reader exits).
+  /// stopping the reactor and shutting the connections down unblocks the
+  /// site threads and the coordinator.
   void Abort() {
-    for (auto& connection : connections_) {
-      if (connection != nullptr) connection->Shutdown();
-    }
-    merged_updates_.Close();
+    if (coordinator_io_ != nullptr) coordinator_io_->Shutdown();
     JoinCoordinator();
     JoinSiteThreads();
   }
 
   const SeedSchedule seeds_;
-  BoundedQueue<UpdateBundle> merged_updates_;
-  QueueChannel<UpdateBundle> update_channel_;
-  std::atomic<int> active_readers_;
-  std::vector<std::unique_ptr<TcpConnection>> connections_;
+  std::unique_ptr<ReactorCoordinator> coordinator_io_;
+  /// OnSiteFailure can fire while Init is still accepting sites, before
+  /// coordinator_ exists; it must not touch a null CoordinatorNode.
+  std::atomic<bool> coordinator_started_{false};
   std::vector<std::thread> site_threads_;
   std::vector<Status> site_status_;
 };

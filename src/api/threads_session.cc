@@ -13,6 +13,21 @@
 namespace dsgm {
 namespace internal {
 
+RunReport ReportFromClusterResult(const ClusterResult& result, Backend backend) {
+  RunReport report;
+  report.backend = backend;
+  report.events_processed = result.events_processed;
+  report.runtime_seconds = result.runtime_seconds;
+  report.wall_seconds = result.wall_seconds;
+  report.throughput_events_per_sec = result.throughput_events_per_sec;
+  report.comm = result.comm;
+  report.max_counter_rel_error = result.max_counter_rel_error;
+  report.transport_bytes_up = result.transport_bytes_up;
+  report.transport_bytes_down = result.transport_bytes_down;
+  report.transport_measured = result.transport_measured;
+  return report;
+}
+
 // --- ClusterSessionBase -------------------------------------------------
 
 ClusterSessionBase::ClusterSessionBase(Backend backend,
@@ -59,10 +74,26 @@ Status ClusterSessionBase::FlushSite(int site) {
   batch.values.reserve(static_cast<size_t>(options_.batch_size) *
                        static_cast<size_t>(layout_->num_vars));
   if (!pushed) {
-    return InternalError("session: site " + std::to_string(site) +
-                         "'s event lane closed mid-run");
+    return RunFailureOr(InternalError("session: site " + std::to_string(site) +
+                                      "'s event lane closed mid-run"));
   }
   return Status::Ok();
+}
+
+void ClusterSessionBase::RecordRunFailure(const Status& status) {
+  DSGM_CHECK(!status.ok());
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  if (run_failure_.ok()) run_failure_ = status;
+}
+
+Status ClusterSessionBase::run_failure() const {
+  std::lock_guard<std::mutex> lock(failure_mu_);
+  return run_failure_;
+}
+
+Status ClusterSessionBase::RunFailureOr(Status fallback) const {
+  Status failure = run_failure();
+  return failure.ok() ? fallback : failure;
 }
 
 Status ClusterSessionBase::FlushAll() {
@@ -91,11 +122,14 @@ ModelView ClusterSessionBase::ViewFromCoordinator(int64_t events_observed) const
 StatusOr<ModelView> ClusterSessionBase::Snapshot() {
   if (finished_) {
     if (final_view_.empty()) {
-      return FailedPreconditionError(
-          "session: Finish failed; no final model is available");
+      return RunFailureOr(FailedPreconditionError(
+          "session: Finish failed; no final model is available"));
     }
     return final_view_;
   }
+  // A failed run has no valid model to present, even if the estimates are
+  // still readable.
+  DSGM_RETURN_IF_ERROR(run_failure());
   // Hand the staged batches to the sites first: a query must reflect every
   // accepted event (modulo in-flight delivery), not stop at the last full
   // dispatch batch.

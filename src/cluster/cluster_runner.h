@@ -1,7 +1,8 @@
 // Shared result/config types and protocol-side helpers of the cluster
 // drivers. The orchestration itself lives behind the public Session API
-// (include/dsgm/session.h, Backend::kThreads / kLocalTcp); this header
-// keeps the legacy free-function entry point as a deprecated wrapper.
+// (include/dsgm/session.h, Backend::kThreads / kLocalTcp); the old
+// free-function entry points (RunCluster, RunRemoteCoordinator) are gone —
+// build a Session instead.
 
 #ifndef DSGM_CLUSTER_CLUSTER_RUNNER_H_
 #define DSGM_CLUSTER_CLUSTER_RUNNER_H_
@@ -67,16 +68,6 @@ class CoordinatorNode;
 void FinalizeClusterResult(const CoordinatorNode& coordinator,
                            const std::vector<uint64_t>& exact_totals,
                            ClusterResult* result);
-
-/// DEPRECATED: thin wrapper over SessionBuilder (Backend::kThreads) +
-/// StreamGroundTruth + Finish, kept so pre-session callers keep working.
-/// It spawns one thread per site plus a coordinator thread, streams
-/// `num_events` instances sampled from `network`'s ground truth to
-/// uniformly random sites, and reports timing/communication; deterministic
-/// in `config.tracker.seed` up to thread scheduling. Defined in the
-/// dsgm_api library (link dsgm_api, not just dsgm_cluster). New code
-/// should build a Session — it can additionally query the model mid-run.
-ClusterResult RunCluster(const BayesianNetwork& network, const ClusterConfig& config);
 
 }  // namespace dsgm
 

@@ -8,10 +8,12 @@
 namespace dsgm {
 namespace {
 
-// Approximate wire payloads, matching monitor/approx_counter.cc.
-constexpr uint64_t kUpdateBytes = 12;
-constexpr uint64_t kBroadcastBytes = 10;
-constexpr uint64_t kSyncBytes = 12;
+// Codec-calibrated wire payloads, matching monitor/approx_counter.cc (the
+// constants live in monitor/comm_stats.h; tests/codec_test.cc verifies them
+// against actually encoded frames).
+constexpr uint64_t kUpdateBytes = kEstimatedUpdateBytes;
+constexpr uint64_t kBroadcastBytes = kEstimatedBroadcastBytes;
+constexpr uint64_t kSyncBytes = kEstimatedSyncBytes;
 
 }  // namespace
 
@@ -38,7 +40,9 @@ CoordinatorNode::CoordinatorNode(std::vector<float> epsilons, int64_t num_counte
   sync_pending_.assign(n, 0);
   sync_counts_.assign(n * static_cast<size_t>(num_sites_), 0);
   best_reports_.assign(n * static_cast<size_t>(num_sites_), 0);
+  sync_owed_.assign(n * static_cast<size_t>(num_sites_), 0);
   site_done_.assign(static_cast<size_t>(num_sites_), 0);
+  site_dead_.assign(static_cast<size_t>(num_sites_), 0);
 }
 
 double CoordinatorNode::SiteEstimate(size_t cell, double p) const {
@@ -70,14 +74,40 @@ void CoordinatorNode::OnSync(int site, const CounterReport& report) {
   // information beyond it.
   best_reports_[cell] = std::max(best_reports_[cell], sync_counts_[cell]);
   estimates_[c] += SiteEstimate(cell, p) - before;
-  // Count the reply against the round only while replies are actually
-  // outstanding for this counter: an unsolicited (forged or duplicate) sync
-  // must not drive outstanding_syncs_ negative, which would keep Run's exit
-  // condition false forever. This keeps the invariant
-  // outstanding_syncs_ == sum(sync_pending_).
-  if (sync_pending_[c] > 0) {
+  // Count the reply against the round only while THIS site actually owes
+  // one for this counter: an unsolicited (forged or duplicate) sync must
+  // not drive outstanding_syncs_ negative — which would keep Run's exit
+  // condition false forever — nor consume another site's pending slot.
+  // Invariant: outstanding_syncs_ == sum(sync_pending_) == sum(sync_owed_).
+  if (sync_owed_[cell] && sync_pending_[c] > 0) {
+    sync_owed_[cell] = 0;
     --outstanding_syncs_;
     if (--sync_pending_[c] == 0) MaybeAdvance(report.counter);
+  }
+}
+
+void CoordinatorNode::CancelSite(int site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (site < 0 || site >= num_sites_) return;
+  const size_t s = static_cast<size_t>(site);
+  if (site_dead_[s]) return;
+  site_dead_[s] = 1;
+  ++dead_sites_;
+  if (!site_done_[s]) {
+    site_done_[s] = 1;
+    ++done_sites_;
+  }
+  // Forgive every sync reply the site still owes. MaybeAdvance is NOT
+  // re-entered here: the run is being failed by the caller's policy, and
+  // advancing rounds against a shrinking quorum would only send commands
+  // nobody needs.
+  for (size_t c = 0; c < static_cast<size_t>(num_counters_); ++c) {
+    const size_t cell = c * static_cast<size_t>(num_sites_) + s;
+    if (sync_owed_[cell] && sync_pending_[c] > 0) {
+      sync_owed_[cell] = 0;
+      --sync_pending_[c];
+      --outstanding_syncs_;
+    }
   }
 }
 
@@ -97,12 +127,17 @@ void CoordinatorNode::MaybeAdvance(int64_t counter) {
   }
   probs_[c] = static_cast<float>(new_p);
   ++comm_.rounds_advanced;
-  sync_pending_[c] = static_cast<uint8_t>(num_sites_);
-  outstanding_syncs_ += num_sites_;
-  comm_.broadcast_messages += static_cast<uint64_t>(num_sites_);
-  comm_.wire_messages += static_cast<uint64_t>(num_sites_);
-  comm_.bytes_down += kBroadcastBytes * static_cast<uint64_t>(num_sites_);
+  // Only sites that can still answer owe a sync; a cancelled (dead) site
+  // would otherwise re-wedge outstanding_syncs_ forever.
+  const int alive = num_sites_ - dead_sites_;
+  sync_pending_[c] = static_cast<uint8_t>(alive);
+  outstanding_syncs_ += alive;
+  comm_.broadcast_messages += static_cast<uint64_t>(alive);
+  comm_.wire_messages += static_cast<uint64_t>(alive);
+  comm_.bytes_down += kBroadcastBytes * static_cast<uint64_t>(alive);
   for (int s = 0; s < num_sites_; ++s) {
+    if (site_dead_[static_cast<size_t>(s)]) continue;
+    sync_owed_[c * static_cast<size_t>(num_sites_) + static_cast<size_t>(s)] = 1;
     RoundAdvance advance;
     advance.counter = counter;
     advance.round = round;
@@ -114,10 +149,15 @@ void CoordinatorNode::MaybeAdvance(int64_t counter) {
 void CoordinatorNode::Run() {
   std::vector<UpdateBundle> batch;
   while (true) {
-    if (done_sites_ == num_sites_ && outstanding_syncs_ == 0) break;
+    {
+      // Under the lock: CancelSite mutates done/outstanding from the
+      // transport's liveness thread while this loop is live.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (done_sites_ == num_sites_ && outstanding_syncs_ == 0) break;
+    }
     batch.clear();
     const size_t got = from_sites_->PopBatch(&batch, 64);
-    if (got == 0) break;  // Queue closed externally (shouldn't happen).
+    if (got == 0) break;  // Queue closed: all readers gone or run failed.
     const auto now = Clock::now();
     if (!saw_message_) {
       first_message_ = now;

@@ -50,6 +50,13 @@ class CoordinatorNode {
   /// granularity: Run() applies each popped batch under the same lock.
   void SnapshotState(std::vector<double>* estimates, CommStats* comm) const;
 
+  /// Thread-safe outstanding-sync cancellation for a site declared dead by
+  /// the transport's liveness protocol: marks the site done and forgives
+  /// every sync reply it still owes, so Run()'s exit condition can settle
+  /// instead of waiting forever on a peer that will never answer. Future
+  /// round advances skip the site. Idempotent.
+  void CancelSite(int site);
+
   /// Seconds between the first and the last message the coordinator
   /// received — the paper's Fig. 7 "total runtime" definition.
   double ActiveSeconds() const;
@@ -77,9 +84,12 @@ class CoordinatorNode {
   std::vector<uint8_t> sync_pending_;   // outstanding sync replies per counter
   std::vector<uint32_t> sync_counts_;   // [counter * k + site]
   std::vector<uint32_t> best_reports_;  // [counter * k + site]
+  std::vector<uint8_t> sync_owed_;      // [counter * k + site]: reply pending
   std::vector<uint8_t> site_done_;      // which sites reported kSiteDone
+  std::vector<uint8_t> site_dead_;      // sites cancelled via CancelSite
 
   int done_sites_ = 0;
+  int dead_sites_ = 0;
   int64_t outstanding_syncs_ = 0;
   CommStats comm_;
   /// Guards estimates_/comm_ (and the protocol state mutated alongside

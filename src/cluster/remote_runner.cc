@@ -1,15 +1,60 @@
 #include "cluster/remote_runner.h"
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "cluster/site_node.h"
+#include "net/codec.h"
 #include "net/tcp_socket.h"
 #include "net/tcp_transport.h"
 
 namespace dsgm {
+namespace {
+
+/// Sends kHeartbeat frames on a fixed cadence until stopped (or until the
+/// connection breaks). Runs beside the SiteNode thread so liveness evidence
+/// flows even while the site is parked in a blocking push or pop.
+class HeartbeatSender {
+ public:
+  HeartbeatSender(TcpConnection* connection, int site_id, int interval_ms) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, connection, site_id, interval_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                     [this] { return stop_; });
+        if (stop_) break;
+        lock.unlock();
+        const bool sent = connection->SendFrame(MakeHeartbeat(site_id));
+        lock.lock();
+        if (!sent) break;  // Peer gone; nothing left to prove alive to.
+      }
+    });
+  }
+
+  ~HeartbeatSender() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
                                          const RemoteSiteConfig& config) {
@@ -29,6 +74,8 @@ StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
   TcpConnection connection(std::move(socket).value());
   DSGM_RETURN_IF_ERROR(connection.SendHello(config.site_id));
   connection.Start();
+  HeartbeatSender heartbeats(&connection, config.site_id,
+                             config.heartbeat_interval_ms);
 
   SiteNode site(config.site_id, network, config.seed, connection.events(),
                 connection.commands(), connection.updates());
@@ -49,6 +96,20 @@ StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
   if (!connection.updates()->Push(std::move(final_counts))) {
     return InternalError("coordinator vanished before the final counts report");
   }
+
+  // Linger until the coordinator closes the connection (bounded): the
+  // coordinator's liveness policy treats any mid-run EOF as a site failure,
+  // so the site must not be the one to hang up while the coordinator is
+  // still collecting final counts from its peers. Heartbeats keep flowing
+  // through the wait.
+  const auto linger_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config.shutdown_linger_ms);
+  while (!connection.finished() &&
+         std::chrono::steady_clock::now() < linger_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  heartbeats.Stop();
   connection.Shutdown();
 
   RemoteSiteResult result;

@@ -3,12 +3,14 @@
 //
 //   RunRemoteSite — the site side: connects (with retry while the
 //     coordinator boots), announces its site id and protocol version, runs
-//     the SiteNode, then reports final counts. The public ServeSite()
+//     the SiteNode while a background thread sends kHeartbeat liveness
+//     beacons, then reports final counts and lingers until the coordinator
+//     closes the connection. The public ServeSite()
 //     (include/dsgm/site_service.h) is a thin alias over this.
-//   RunRemoteCoordinator — DEPRECATED coordinator-side wrapper over the
-//     Session API (Backend::kLocalTcp + WithExternalSites); defined in the
-//     dsgm_api library. New code should build a Session — it can
-//     additionally query the model mid-run.
+//
+// The coordinator side is the Session API (Backend::kLocalTcp +
+// WithExternalSites) — it runs the reactor transport with per-site
+// liveness; see src/api/tcp_session.cc.
 
 #ifndef DSGM_CLUSTER_REMOTE_RUNNER_H_
 #define DSGM_CLUSTER_REMOTE_RUNNER_H_
@@ -17,30 +19,9 @@
 #include <string>
 
 #include "bayes/network.h"
-#include "cluster/cluster_runner.h"
 #include "common/status.h"
 
 namespace dsgm {
-
-struct RemoteCoordinatorConfig {
-  /// Strategy, epsilon, num_sites (= number of site processes expected),
-  /// seed, num_events, batch_size. The transport field is ignored; the
-  /// coordinator always serves TCP.
-  ClusterConfig cluster;
-  /// Port to listen on; 0 picks an ephemeral port.
-  int port = 0;
-  /// When non-empty, the bound port is written here (atomically, via
-  /// rename) once the coordinator is accepting — lets scripts start site
-  /// processes without guessing ports.
-  std::string port_file;
-};
-
-/// Serves one full cluster run. Blocks until all sites finished and
-/// reported their final counts. `result.events_processed` is the number of
-/// events dispatched (the sites are remote; their processed totals arrive
-/// only via the validation counts).
-StatusOr<ClusterResult> RunRemoteCoordinator(const BayesianNetwork& network,
-                                             const RemoteCoordinatorConfig& config);
 
 struct RemoteSiteConfig {
   int site_id = 0;
@@ -51,6 +32,16 @@ struct RemoteSiteConfig {
   /// How long to keep retrying the initial connect while the coordinator
   /// is still starting up.
   int connect_timeout_ms = 10000;
+  /// kHeartbeat cadence, feeding the coordinator's liveness deadline (its
+  /// default timeout is 5000 ms — keep interval well below the timeout).
+  /// 0 disables heartbeats (the coordinator will declare the site dead
+  /// unless its liveness is disabled too).
+  int heartbeat_interval_ms = 500;
+  /// After reporting final counts, how long to wait for the coordinator to
+  /// close the connection before giving up. Lingering (instead of closing
+  /// immediately) is what lets the coordinator treat ANY mid-run EOF as a
+  /// site failure.
+  int shutdown_linger_ms = 30000;
 };
 
 struct RemoteSiteResult {

@@ -25,6 +25,7 @@ enum class StatusCode {
   kOutOfRange = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  kUnavailable = 7,
 };
 
 /// Returns the canonical spelling of a status code, e.g. "INVALID_ARGUMENT".
@@ -67,6 +68,7 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Either a value of type T or a non-OK Status explaining why there is none.
 ///

@@ -8,10 +8,10 @@
 namespace dsgm {
 namespace {
 
-// Approximate wire payloads (counter id + fields); used for byte accounting.
-constexpr uint64_t kUpdateBytes = 12;
-constexpr uint64_t kBroadcastBytes = 10;
-constexpr uint64_t kSyncBytes = 12;
+// Codec-calibrated wire payloads; see monitor/comm_stats.h.
+constexpr uint64_t kUpdateBytes = kEstimatedUpdateBytes;
+constexpr uint64_t kBroadcastBytes = kEstimatedBroadcastBytes;
+constexpr uint64_t kSyncBytes = kEstimatedSyncBytes;
 
 }  // namespace
 

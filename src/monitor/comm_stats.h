@@ -8,6 +8,25 @@
 
 namespace dsgm {
 
+/// Per-message wire-byte estimates used for CommStats byte accounting,
+/// calibrated against the net/codec.h varint wire format (the layer below;
+/// these are plain numbers so the monitor layer stays independent of net/).
+/// tests/codec_test.cc re-derives them from actually encoded frames and
+/// fails if the codec drifts, keeping fig6/fig11 byte counts honest at the
+/// source. History: before calibration these were 12/10/12 — flat guesses
+/// that overshot the delta+varint wire by the ~2.8x ratio bench_net_transport
+/// measures; now they match the marginal cost of one message:
+///   - update: one CounterReport inside a kReports bundle — delta-coded
+///     counter id (~1 byte, ids within a bundle are near-sorted) + varint
+///     cumulative count (~3 bytes mid-run), amortized bundle header.
+///   - broadcast: one RoundAdvance frame — 4B length prefix + type + zigzag
+///     counter id (~2 bytes for networks up to ~8k counters) + round + f32.
+///   - sync: one CounterReport inside a kSync reply — dense counter ranges
+///     make the delta 1 byte; count ~3 bytes.
+constexpr uint64_t kEstimatedUpdateBytes = 4;
+constexpr uint64_t kEstimatedBroadcastBytes = 12;
+constexpr uint64_t kEstimatedSyncBytes = 4;
+
 /// Message counters shared by every counter family of one tracker.
 ///
 /// The unit of `update_messages` is ONE counter update, matching the paper's

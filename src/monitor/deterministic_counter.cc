@@ -7,7 +7,8 @@
 namespace dsgm {
 namespace {
 
-constexpr uint64_t kUpdateBytes = 12;
+// Codec-calibrated wire payload of one update message (comm_stats.h).
+constexpr uint64_t kUpdateBytes = kEstimatedUpdateBytes;
 
 }  // namespace
 

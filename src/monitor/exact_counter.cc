@@ -5,8 +5,8 @@
 namespace dsgm {
 namespace {
 
-// Approximate wire payload of one update message: counter id + count.
-constexpr uint64_t kUpdateBytes = 12;
+// Codec-calibrated wire payload of one update message (comm_stats.h).
+constexpr uint64_t kUpdateBytes = kEstimatedUpdateBytes;
 
 }  // namespace
 

@@ -78,6 +78,13 @@ std::unique_ptr<ClusterTransport> MakeLoopbackTransport(int num_sites);
 /// unavailable (an environment problem, not a recoverable input).
 std::unique_ptr<ClusterTransport> MakeLocalTcpTransport(int num_sites);
 
+/// Same localhost socket pairs, but served by TWO reactor event-loop
+/// threads total (one owning every coordinator-side connection, one owning
+/// every site side) instead of 2-3 threads per site — the transport that
+/// lets one coordinator scale to hundreds of sites. Implemented in
+/// net/reactor_transport.{h,cc}; passes the same conformance suite.
+std::unique_ptr<ClusterTransport> MakeReactorTransport(int num_sites);
+
 }  // namespace dsgm
 
 #endif  // DSGM_NET_CLUSTER_TRANSPORT_H_

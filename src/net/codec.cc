@@ -221,6 +221,13 @@ Frame MakeHello(int32_t site) {
   return frame;
 }
 
+Frame MakeHeartbeat(int32_t site) {
+  Frame frame;
+  frame.type = FrameType::kHeartbeat;
+  frame.site = site;
+  return frame;
+}
+
 void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
   const size_t prefix_at = out->size();
   out->resize(prefix_at + 4);  // Patched below.
@@ -242,6 +249,9 @@ void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
       out->push_back(frame.protocol_version);
       AppendZigzag(frame.site, out);
       break;
+    case FrameType::kHeartbeat:
+      AppendZigzag(frame.site, out);
+      break;
   }
   const size_t payload = out->size() - prefix_at - 4;
   DSGM_CHECK_LE(payload, kMaxFramePayload);
@@ -256,7 +266,7 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
   uint8_t type = 0;
   DSGM_RETURN_IF_ERROR(reader.ReadU8(&type));
   if (type < static_cast<uint8_t>(FrameType::kUpdateBundle) ||
-      type > static_cast<uint8_t>(FrameType::kHello)) {
+      type > static_cast<uint8_t>(FrameType::kHeartbeat)) {
     return InvalidArgumentError("codec: bad frame type tag");
   }
   out->type = static_cast<FrameType>(type);
@@ -290,6 +300,15 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
       out->site = static_cast<int32_t>(site);
       break;
     }
+    case FrameType::kHeartbeat: {
+      int64_t site = 0;
+      DSGM_RETURN_IF_ERROR(reader.ReadZigzag(&site));
+      if (site < INT32_MIN || site > INT32_MAX) {
+        return InvalidArgumentError("codec: heartbeat site out of range");
+      }
+      out->site = static_cast<int32_t>(site);
+      break;
+    }
   }
   if (!reader.done()) {
     return InvalidArgumentError("codec: trailing bytes after frame payload");
@@ -299,10 +318,7 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
 
 Status DecodeFrame(const uint8_t* data, size_t size, Frame* out, size_t* consumed) {
   if (size < 4) return InvalidArgumentError("codec: truncated length prefix");
-  uint32_t length = 0;
-  for (int i = 0; i < 4; ++i) {
-    length |= static_cast<uint32_t>(data[i]) << (8 * i);
-  }
+  const uint32_t length = DecodeLengthPrefix(data);
   if (length > kMaxFramePayload) {
     return InvalidArgumentError("codec: frame payload exceeds kMaxFramePayload");
   }

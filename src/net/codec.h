@@ -33,13 +33,15 @@ enum class FrameType : uint8_t {
   kEventBatch = 3,    // dispatcher -> site
   kChannelClose = 4,  // transport control: sender closed one logical channel
   kHello = 5,         // transport control: connection announces its site id
+  kHeartbeat = 6,     // transport control: liveness beacon (site -> coordinator)
 };
 
 /// Wire protocol revision, carried in every kHello frame ahead of the site
 /// id. Bump on any frame-format change; the accepting side rejects a
 /// mismatched hello with a clear Status instead of misparsing later frames.
-/// History: 1 = varint codec with versioned hello (2026-07).
-constexpr uint8_t kProtocolVersion = 1;
+/// History: 1 = varint codec with versioned hello (2026-07);
+///          2 = kHeartbeat liveness frames (2026-07).
+constexpr uint8_t kProtocolVersion = 2;
 
 /// Tagged union of everything a connection can carry. Only the member
 /// selected by `type` is meaningful.
@@ -53,6 +55,10 @@ struct Frame {
   /// kHello: the connecting site's id and the protocol revision it speaks.
   /// The codec round-trips any version value; rejecting mismatches is the
   /// transport's job (it owns the error message and the Status code).
+  /// kHeartbeat reuses `site`: the sender's claimed site id. Receivers treat
+  /// heartbeats as per-connection liveness evidence only — the claimed id is
+  /// never used to index protocol state, so a forged id proves nothing but
+  /// the forger's own connection being alive.
   int32_t site = -1;
   uint8_t protocol_version = kProtocolVersion;
 };
@@ -62,10 +68,20 @@ Frame MakeFrame(RoundAdvance advance);
 Frame MakeFrame(EventBatch batch);
 Frame MakeChannelClose(FrameType channel);
 Frame MakeHello(int32_t site);
+Frame MakeHeartbeat(int32_t site);
 
 /// Upper bound on one frame's payload; a length prefix above this is
 /// rejected before any allocation (protects against corrupt peers).
 constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+/// Reads the u32-LE length prefix from the first 4 bytes of `data` — THE
+/// framing rule, shared by every transport's parser so it cannot diverge.
+constexpr uint32_t DecodeLengthPrefix(const uint8_t* data) {
+  return static_cast<uint32_t>(data[0]) |
+         (static_cast<uint32_t>(data[1]) << 8) |
+         (static_cast<uint32_t>(data[2]) << 16) |
+         (static_cast<uint32_t>(data[3]) << 24);
+}
 
 /// Appends the length prefix plus encoded payload of `frame` to `out`.
 void AppendFrame(const Frame& frame, std::vector<uint8_t>* out);

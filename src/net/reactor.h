@@ -1,0 +1,150 @@
+// A single-threaded epoll event loop — the I/O substrate that lets ONE
+// coordinator thread own hundreds of site connections (the thread-per-
+// connection transport needs 2-3 threads per site; see net/reactor_transport.h
+// for the transport built on top).
+//
+// Pieces:
+//   - TimerWheel: a hashed timer wheel (fixed tick, power-of-two slots) for
+//     the per-site liveness deadlines and heartbeat periods. Pure tick
+//     arithmetic, no clock — unit-testable without sleeping.
+//   - Reactor: epoll (edge-triggered) + an eventfd wakeup so other threads
+//     can inject work, + the wheel driven from the epoll wait timeout.
+//
+// Threading model: the loop runs on one dedicated thread (Start/Stop). All
+// fd and timer mutation happens on that thread; other threads communicate
+// exclusively through Post(), which enqueues a closure and wakes the loop.
+// This keeps every handler single-threaded — no locks in the I/O path.
+
+#ifndef DSGM_NET_REACTOR_H_
+#define DSGM_NET_REACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dsgm {
+
+/// Hashed timer wheel: timers hash into `num_slots` buckets by expiry tick;
+/// advancing the wheel visits only the buckets whose turn came up. Entries
+/// scheduled more than one rotation out stay bucketed and are skipped (and
+/// re-kept) once per rotation — O(1) amortized for the short deadlines the
+/// transport uses. Cancellation is lazy: cancelled ids are dropped when
+/// their bucket is next visited.
+class TimerWheel {
+ public:
+  TimerWheel(int tick_ms, size_t num_slots);
+
+  int tick_ms() const { return tick_ms_; }
+  size_t live() const { return live_; }
+  uint64_t current_tick() const { return current_tick_; }
+
+  /// Schedules `id` to fire `delay_ms` from the current tick (rounded up to
+  /// a whole tick, minimum one: a timer never fires on the tick it was
+  /// scheduled). Ids are caller-assigned and must be unique among live
+  /// timers.
+  void Schedule(uint64_t id, int delay_ms);
+
+  void Cancel(uint64_t id);
+
+  /// Advances the wheel to `now_tick`, appending every due, uncancelled id
+  /// to `fired`. Ticks never move backwards; a stale `now_tick` is a no-op.
+  void Advance(uint64_t now_tick, std::vector<uint64_t>* fired);
+
+ private:
+  struct Entry {
+    uint64_t id;
+    uint64_t expiry_tick;
+  };
+
+  void DrainSlot(size_t slot, uint64_t now_tick, std::vector<uint64_t>* fired);
+
+  int tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  std::unordered_set<uint64_t> cancelled_;
+  uint64_t current_tick_ = 0;
+  size_t live_ = 0;
+};
+
+class Reactor {
+ public:
+  /// Bitmask of EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP, as delivered by
+  /// epoll_wait. Registration is always edge-triggered (EPOLLET is added
+  /// internally); handlers must therefore drain the fd to EAGAIN.
+  using FdHandler = std::function<void(uint32_t events)>;
+  using TimerId = uint64_t;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawns the loop thread. Call exactly once.
+  void Start();
+
+  /// Requests exit, wakes the loop, and joins it. Idempotent; must not be
+  /// called from the loop thread. Pending posted closures that have not run
+  /// yet are discarded.
+  void Stop();
+
+  bool InLoopThread() const;
+
+  /// Runs `fn` on the loop thread: inline when already there, else enqueued
+  /// and the loop woken. The only thread-safe entry point.
+  void Post(std::function<void()> fn);
+
+  // --- Loop-thread only (or before Start) ---------------------------------
+
+  /// Registers `fd` with the given interest set (EPOLLET is implied).
+  void AddFd(int fd, uint32_t events, FdHandler handler);
+  void ModifyFd(int fd, uint32_t events);
+  void RemoveFd(int fd);
+
+  /// One-shot (or periodic) timer; fires on the loop thread. Returns an id
+  /// for CancelTimer. Granularity is the wheel tick (kTickMs).
+  TimerId AddTimer(int delay_ms, std::function<void()> fn, bool periodic = false);
+  void CancelTimer(TimerId id);
+
+  static constexpr int kTickMs = 5;
+
+ private:
+  struct TimerEntry {
+    std::function<void()> fn;
+    int period_ms;  // 0 = one-shot
+  };
+
+  void Loop();
+  void Wake();
+  void DrainWakeFd();
+  void RunPosted();
+  void AdvanceTimers();
+  uint64_t NowTick() const;
+  int NextWaitMs() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, FdHandler> handlers_;
+
+  TimerWheel wheel_;
+  std::unordered_map<TimerId, TimerEntry> timers_;
+  TimerId next_timer_id_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::thread::id> loop_id_{};
+  std::thread thread_;
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_REACTOR_H_

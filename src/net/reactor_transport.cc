@@ -1,0 +1,647 @@
+#include "net/reactor_transport.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <utility>
+
+#include "net/cluster_transport.h"
+
+namespace dsgm {
+namespace {
+
+// One recv()'s worth of fresh buffer space; frames larger than this grow
+// the buffer to their exact need (bounded by kMaxFramePayload).
+constexpr size_t kReadChunk = 64 << 10;
+// Consumed-prefix compaction threshold for the read buffer.
+constexpr size_t kCompactThreshold = 256 << 10;
+
+}  // namespace
+
+// --- Hello helpers -------------------------------------------------------
+
+Status SendHelloBlocking(TcpSocket* socket, int32_t site) {
+  std::vector<uint8_t> bytes;
+  AppendFrame(MakeHello(site), &bytes);
+  return socket->SendAll(bytes.data(), bytes.size());
+}
+
+StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket) {
+  uint8_t prefix[4];
+  DSGM_RETURN_IF_ERROR(socket->RecvAll(prefix, 4));
+  const uint32_t length = DecodeLengthPrefix(prefix);
+  // A hello is a handful of bytes; anything bigger is not a dsgm site.
+  if (length > 16) return InvalidArgumentError("reactor: oversized hello frame");
+  std::vector<uint8_t> payload(length);
+  DSGM_RETURN_IF_ERROR(socket->RecvAll(payload.data(), payload.size()));
+  Frame frame;
+  DSGM_RETURN_IF_ERROR(DecodeFramePayload(payload.data(), payload.size(), &frame));
+  if (frame.type != FrameType::kHello) {
+    return InvalidArgumentError("reactor: expected hello frame");
+  }
+  // Same code split as TcpConnection::ReadHello: version mismatch is a
+  // deployment error surfaced loudly, anything else is a droppable stray.
+  if (frame.protocol_version != kProtocolVersion) {
+    return FailedPreconditionError(
+        "reactor: protocol version mismatch: peer speaks v" +
+        std::to_string(frame.protocol_version) + ", this build speaks v" +
+        std::to_string(kProtocolVersion) +
+        " — rebuild both ends from the same revision");
+  }
+  return frame.site;
+}
+
+// --- ReactorConnection ---------------------------------------------------
+
+ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
+                                     int site, const Options& options)
+    : reactor_(reactor),
+      socket_(std::move(socket)),
+      site_(site),
+      options_(options),
+      event_inbox_(options.event_capacity),
+      command_inbox_(options.command_capacity),
+      owned_update_inbox_(options.shared_updates == nullptr
+                              ? std::make_unique<FlowQueue<UpdateBundle>>(
+                                    options.update_capacity)
+                              : nullptr),
+      update_inbox_(options.shared_updates != nullptr ? options.shared_updates
+                                                      : owned_update_inbox_.get()),
+      shared_updates_(options.shared_updates != nullptr),
+      events_(this, FrameType::kEventBatch, &event_inbox_),
+      commands_(this, FrameType::kRoundAdvance, &command_inbox_),
+      updates_(this, FrameType::kUpdateBundle, update_inbox_) {
+  DSGM_CHECK(socket_.SetNonBlocking().ok());
+  // A pop that frees space in one of OUR lanes resumes OUR socket. The
+  // shared update queue's callback belongs to the owner (it must resume
+  // every connection feeding the queue).
+  const auto resume = [this] {
+    reactor_->Post([this] { ResumeRead(); });
+  };
+  event_inbox_.set_space_callback(resume);
+  command_inbox_.set_space_callback(resume);
+  if (owned_update_inbox_ != nullptr) {
+    owned_update_inbox_->set_space_callback(resume);
+  }
+}
+
+ReactorConnection::~ReactorConnection() {
+  // The owner must have stopped the reactor and called ShutdownFromOwner
+  // (both idempotent); this is only a backstop for error paths.
+  ShutdownFromOwner();
+}
+
+void ReactorConnection::Start() {
+  reactor_->Post([this] { RegisterOnLoop(); });
+}
+
+void ReactorConnection::RegisterOnLoop() {
+  if (read_done_) return;  // Owner shut down before the loop saw us.
+  last_rx_ = std::chrono::steady_clock::now();
+  reactor_->AddFd(socket_.fd(), EPOLLIN | EPOLLOUT,
+                  [this](uint32_t events) { HandleEvents(events); });
+  if (options_.liveness_timeout_ms > 0) {
+    const int period = std::max(1, options_.liveness_timeout_ms / 4);
+    liveness_timer_ =
+        reactor_->AddTimer(period, [this] { CheckLiveness(); }, /*periodic=*/true);
+    liveness_armed_ = true;
+  }
+}
+
+void ReactorConnection::HandleEvents(uint32_t events) {
+  if (read_done_) return;
+  if (events & EPOLLOUT) TryWrite();
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) HandleReadable();
+}
+
+bool ReactorConnection::SendFrame(const Frame& frame, bool bypass_backpressure) {
+  // Encode OUTSIDE the lock: producers pay only for the byte append, never
+  // for each other's encoding or the loop's kernel writes.
+  static thread_local std::vector<uint8_t> scratch;
+  scratch.clear();
+  AppendFrame(frame, &scratch);
+  std::unique_lock<std::mutex> lock(outbox_mu_);
+  if (!bypass_backpressure) {
+    while (!broken_ && unsent_bytes_ >= options_.outbox_capacity_bytes) {
+      // The loop thread must never park on its own outbox: it is the only
+      // thread that can drain it.
+      if (reactor_->InLoopThread()) break;
+      can_send_.wait(lock);
+    }
+  }
+  if (broken_) return false;
+  outbox_.insert(outbox_.end(), scratch.begin(), scratch.end());
+  unsent_bytes_ += scratch.size();
+  ScheduleFlushLocked(&lock);
+  return true;
+}
+
+void ReactorConnection::ScheduleFlushLocked(std::unique_lock<std::mutex>* lock) {
+  const bool need = !flush_scheduled_;
+  flush_scheduled_ = true;
+  lock->unlock();
+  if (need) {
+    reactor_->Post([this] { TryWrite(); });
+  }
+}
+
+void ReactorConnection::TryWrite() {
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    flush_scheduled_ = false;
+  }
+  while (true) {
+    if (write_offset_ == write_buffer_.size()) {
+      write_buffer_.clear();
+      write_offset_ = 0;
+      std::lock_guard<std::mutex> lock(outbox_mu_);
+      if (broken_ || outbox_.empty()) return;
+      write_buffer_.swap(outbox_);
+    }
+    // The send syscall runs WITHOUT the lock; only the byte accounting
+    // that releases blocked producers retakes it.
+    const ssize_t n =
+        ::send(socket_.fd(), write_buffer_.data() + write_offset_,
+               write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      bytes_sent_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      bool room;
+      {
+        std::lock_guard<std::mutex> lock(outbox_mu_);
+        unsent_bytes_ -= static_cast<size_t>(n);
+        room = unsent_bytes_ < options_.outbox_capacity_bytes;
+      }
+      if (room) can_send_.notify_all();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // The EPOLLOUT edge resumes this when the socket drains.
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Peer gone mid-write. The read side surfaces the failure policy; here
+    // just stop accepting frames and release anyone blocked on the cap.
+    {
+      std::lock_guard<std::mutex> lock(outbox_mu_);
+      broken_ = true;
+    }
+    can_send_.notify_all();
+    return;
+  }
+}
+
+void ReactorConnection::HandleReadable() {
+  if (read_paused_ || read_done_) return;
+  while (true) {
+    if (read_buffer_.size() - read_size_ < kReadChunk) {
+      read_buffer_.resize(read_size_ + kReadChunk);
+    }
+    const ssize_t n = ::recv(socket_.fd(), read_buffer_.data() + read_size_,
+                             read_buffer_.size() - read_size_, 0);
+    if (n > 0) {
+      read_size_ += static_cast<size_t>(n);
+      bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      last_rx_ = std::chrono::steady_clock::now();
+      if (!ParseFrames()) return;  // Paused or ended inside.
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      // EOF. Mid-run this is a vanished site when liveness is on; during
+      // shutdown the owner has already stopped caring (read_done_).
+      EndRead(options_.liveness_timeout_ms > 0
+                  ? UnavailableError(
+                        "site " + std::to_string(site_) +
+                        " closed its connection mid-run")
+                  : Status::Ok());
+      return;
+    }
+    EndRead(options_.liveness_timeout_ms > 0
+                ? UnavailableError("site " + std::to_string(site_) +
+                                   " connection error: " + std::strerror(errno))
+                : Status::Ok());
+    return;
+  }
+}
+
+bool ReactorConnection::ParseFrames() {
+  while (true) {
+    if (pending_frame_.has_value()) {
+      Frame frame = std::move(*pending_frame_);
+      pending_frame_.reset();
+      if (!TryDeliver(&frame)) {
+        pending_frame_ = std::move(frame);
+        PauseRead();
+        return false;
+      }
+    }
+    const size_t available = read_size_ - parse_offset_;
+    if (available < 4) break;
+    const uint32_t length = DecodeLengthPrefix(read_buffer_.data() + parse_offset_);
+    if (length > kMaxFramePayload) {
+      EndRead(options_.liveness_timeout_ms > 0
+                  ? UnavailableError("site " + std::to_string(site_) +
+                                     " sent an oversized frame")
+                  : Status::Ok());
+      return false;
+    }
+    if (available - 4 < length) {
+      // Make room for the whole frame so the next recv can complete it.
+      if (read_buffer_.size() - parse_offset_ < 4 + static_cast<size_t>(length)) {
+        read_buffer_.resize(parse_offset_ + 4 + length + kReadChunk);
+      }
+      break;
+    }
+    Frame frame;
+    const Status decoded = DecodeFramePayload(
+        read_buffer_.data() + parse_offset_ + 4, length, &frame);
+    if (!decoded.ok()) {
+      EndRead(options_.liveness_timeout_ms > 0
+                  ? UnavailableError("site " + std::to_string(site_) +
+                                     " sent a malformed frame: " +
+                                     decoded.message())
+                  : Status::Ok());
+      return false;
+    }
+    parse_offset_ += 4 + length;
+    if (!TryDeliver(&frame)) {
+      pending_frame_ = std::move(frame);
+      PauseRead();
+      return false;
+    }
+  }
+  if (parse_offset_ == read_size_) {
+    read_size_ = 0;
+    parse_offset_ = 0;
+  } else if (parse_offset_ >= kCompactThreshold) {
+    std::memmove(read_buffer_.data(), read_buffer_.data() + parse_offset_,
+                 read_size_ - parse_offset_);
+    read_size_ -= parse_offset_;
+    parse_offset_ = 0;
+  }
+  return true;
+}
+
+bool ReactorConnection::TryDeliver(Frame* frame) {
+  switch (frame->type) {
+    case FrameType::kEventBatch:
+      return event_inbox_.TryPush(std::move(frame->batch)) != FlowPush::kFull;
+    case FrameType::kRoundAdvance:
+      return command_inbox_.TryPush(std::move(frame->advance)) != FlowPush::kFull;
+    case FrameType::kUpdateBundle:
+      return update_inbox_->TryPush(std::move(frame->bundle)) != FlowPush::kFull;
+    case FrameType::kChannelClose:
+      switch (frame->channel) {
+        case FrameType::kEventBatch:
+          event_inbox_.Close();
+          break;
+        case FrameType::kRoundAdvance:
+          command_inbox_.Close();
+          break;
+        case FrameType::kUpdateBundle:
+          // A shared update queue aggregates several connections; losing
+          // one lane must not end the stream for the others.
+          if (!shared_updates_) update_inbox_->Close();
+          break;
+        default:
+          break;  // Unreachable: the codec validates channel tags.
+      }
+      return true;
+    case FrameType::kHello:
+      return true;  // Only legal during the handshake; ignore defensively.
+    case FrameType::kHeartbeat:
+      // Liveness is credited by the read itself (last_rx_); the claimed
+      // site id is deliberately ignored — a forged id proves nothing
+      // beyond this connection being alive.
+      return true;
+  }
+  return true;
+}
+
+void ReactorConnection::PauseRead() {
+  if (read_paused_ || read_done_) return;
+  read_paused_ = true;
+  // Keep write interest; drop read interest until an inbox frees space.
+  reactor_->ModifyFd(socket_.fd(), EPOLLOUT);
+}
+
+void ReactorConnection::ResumeRead() {
+  if (!read_paused_ || read_done_) return;
+  read_paused_ = false;
+  // The pause may have outlived real progress: treat resumption as liveness
+  // evidence, since unread bytes were (possibly) waiting on us.
+  last_rx_ = std::chrono::steady_clock::now();
+  if (!ParseFrames()) return;  // Still blocked (or ended): stay paused.
+  reactor_->ModifyFd(socket_.fd(), EPOLLIN | EPOLLOUT);
+  // An edge may have been missed while unsubscribed; drain manually.
+  HandleReadable();
+}
+
+void ReactorConnection::CheckLiveness() {
+  if (read_done_) return;
+  if (read_paused_) {
+    // We are the bottleneck (full inbox), not the peer; bytes may be
+    // sitting unread in the kernel. Do not count this window against it.
+    last_rx_ = std::chrono::steady_clock::now();
+    return;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - last_rx_;
+  const auto timeout = std::chrono::milliseconds(options_.liveness_timeout_ms);
+  if (elapsed <= timeout) return;
+  const int64_t elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  EndRead(UnavailableError(
+      "site " + std::to_string(site_) + " sent no traffic (not even a "
+      "heartbeat) for " + std::to_string(elapsed_ms) +
+      " ms, past the " + std::to_string(options_.liveness_timeout_ms) +
+      " ms liveness timeout"));
+}
+
+void ReactorConnection::EndRead(const Status& failure) {
+  if (read_done_) return;
+  read_done_ = true;
+  reactor_->RemoveFd(socket_.fd());
+  if (liveness_armed_) {
+    reactor_->CancelTimer(liveness_timer_);
+    liveness_armed_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    broken_ = true;
+  }
+  can_send_.notify_all();
+  // Wake the peer's reader too (it sees EOF) and stop the kernel from
+  // buffering more; the fd itself stays open until the owner destroys us.
+  socket_.ShutdownBoth();
+  event_inbox_.Close();
+  command_inbox_.Close();
+  if (!shared_updates_) update_inbox_->Close();
+  if (!failure.ok() && !failure_reported_) {
+    failure_reported_ = true;
+    if (options_.on_failure) options_.on_failure(failure);
+  }
+  if (options_.on_read_end) options_.on_read_end();
+}
+
+void ReactorConnection::ShutdownFromOwner() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    broken_ = true;
+  }
+  can_send_.notify_all();
+  // The reactor is stopped: loop state is ours now.
+  read_done_ = true;
+  event_inbox_.Close();
+  command_inbox_.Close();
+  if (!shared_updates_) update_inbox_->Close();
+  socket_.ShutdownBoth();
+  socket_.Close();
+}
+
+// --- ReactorCoordinator --------------------------------------------------
+
+ReactorCoordinator::ReactorCoordinator(int num_sites, const Options& options)
+    : num_sites_(num_sites),
+      options_(options),
+      merged_updates_(8192),
+      update_channel_(&merged_updates_),
+      connections_(static_cast<size_t>(num_sites)),
+      live_reads_(num_sites) {
+  DSGM_CHECK_GT(num_sites, 0);
+  // Space in the merged queue can unblock ANY paused site connection. The
+  // slot lock orders this against AcceptSites still publishing connections.
+  merged_updates_.set_space_callback([this] {
+    reactor_.Post([this] {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      for (auto& connection : connections_) {
+        if (connection != nullptr) connection->ResumeAfterSharedSpace();
+      }
+    });
+  });
+  reactor_.Start();
+}
+
+ReactorCoordinator::~ReactorCoordinator() { Shutdown(); }
+
+Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
+  // Stray-connection policy mirrors AcceptSiteConnections: port probes and
+  // pre-hello deaths are dropped and re-accepted (bounded), a version
+  // mismatch or duplicate valid site id is fatal.
+  constexpr int kHelloTimeoutMs = 10000;
+  int rejects_left = 16 + 4 * num_sites_;
+  int accepted = 0;
+  while (accepted < num_sites_) {
+    StatusOr<TcpSocket> socket = listener->Accept();
+    if (!socket.ok()) return socket.status();
+    socket->SetRecvTimeout(kHelloTimeoutMs);
+    StatusOr<int32_t> site = ReadHelloBlocking(&socket.value());
+    if (!site.ok() && site.status().code() == StatusCode::kFailedPrecondition) {
+      return site.status();
+    }
+    if (!site.ok() || *site < 0 || *site >= num_sites_) {
+      if (--rejects_left < 0) {
+        return InvalidArgumentError(
+            "too many defective connections while waiting for sites");
+      }
+      continue;  // Drop the stray connection; keep listening.
+    }
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      if (connections_[static_cast<size_t>(*site)] != nullptr) {
+        return InvalidArgumentError("two connections announced site id " +
+                                    std::to_string(*site));
+      }
+    }
+    socket->SetRecvTimeout(0);
+    ReactorConnection::Options connection_options;
+    connection_options.shared_updates = &merged_updates_;
+    connection_options.liveness_timeout_ms = options_.liveness_timeout_ms;
+    const int site_id = *site;
+    if (options_.on_site_failure) {
+      connection_options.on_failure = [this, site_id](const Status& status) {
+        options_.on_site_failure(site_id, status);
+      };
+    }
+    connection_options.on_read_end = [this] {
+      // No connection will ever feed the merged queue again: close it so
+      // the coordinator drains and exits instead of blocking forever.
+      if (live_reads_.fetch_sub(1) == 1) merged_updates_.Close();
+    };
+    auto connection = std::make_unique<ReactorConnection>(
+        &reactor_, std::move(socket).value(), site_id, connection_options);
+    connection->Start();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_[static_cast<size_t>(site_id)] = std::move(connection);
+    }
+    ++accepted;
+  }
+  return Status::Ok();
+}
+
+Channel<EventBatch>* ReactorCoordinator::events(int site) {
+  return connections_[static_cast<size_t>(site)]->events();
+}
+
+Channel<RoundAdvance>* ReactorCoordinator::commands(int site) {
+  return connections_[static_cast<size_t>(site)]->commands();
+}
+
+uint64_t ReactorCoordinator::bytes_up() const {
+  uint64_t total = 0;
+  for (const auto& connection : connections_) {
+    if (connection != nullptr) total += connection->bytes_received();
+  }
+  return total;
+}
+
+uint64_t ReactorCoordinator::bytes_down() const {
+  uint64_t total = 0;
+  for (const auto& connection : connections_) {
+    if (connection != nullptr) total += connection->bytes_sent();
+  }
+  return total;
+}
+
+void ReactorCoordinator::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  reactor_.Stop();
+  for (auto& connection : connections_) {
+    if (connection != nullptr) connection->ShutdownFromOwner();
+  }
+  merged_updates_.Close();
+}
+
+// --- In-process transport (conformance suite, kThreads factory) ----------
+
+namespace {
+
+class ReactorTransport : public ClusterTransport {
+ public:
+  explicit ReactorTransport(int num_sites)
+      : num_sites_(num_sites),
+        merged_updates_(8192),
+        update_channel_(&merged_updates_) {
+    StatusOr<TcpListener> listener = TcpListener::Listen(0, num_sites + 8);
+    DSGM_CHECK(listener.ok()) << listener.status();
+
+    std::vector<TcpSocket> site_sockets(static_cast<size_t>(num_sites));
+    std::vector<TcpSocket> coordinator_sockets(static_cast<size_t>(num_sites));
+    for (int s = 0; s < num_sites; ++s) {
+      StatusOr<TcpSocket> socket =
+          TcpSocket::Connect("127.0.0.1", listener->port());
+      DSGM_CHECK(socket.ok()) << socket.status();
+      DSGM_CHECK(SendHelloBlocking(&socket.value(), s).ok());
+      site_sockets[static_cast<size_t>(s)] = std::move(socket).value();
+    }
+    for (int s = 0; s < num_sites; ++s) {
+      StatusOr<TcpSocket> socket = listener->Accept();
+      DSGM_CHECK(socket.ok()) << socket.status();
+      StatusOr<int32_t> site = ReadHelloBlocking(&socket.value());
+      DSGM_CHECK(site.ok()) << site.status();
+      DSGM_CHECK(*site >= 0 && *site < num_sites);
+      DSGM_CHECK(coordinator_sockets[static_cast<size_t>(*site)].valid() == false);
+      coordinator_sockets[static_cast<size_t>(*site)] = std::move(socket).value();
+    }
+
+    merged_updates_.set_space_callback([this] {
+      coordinator_reactor_.Post([this] {
+        for (auto& connection : coordinator_connections_) {
+          connection->ResumeAfterSharedSpace();
+        }
+      });
+    });
+    coordinator_reactor_.Start();
+    site_reactor_.Start();
+
+    ReactorConnection::Options coordinator_options;
+    coordinator_options.shared_updates = &merged_updates_;
+    for (int s = 0; s < num_sites; ++s) {
+      coordinator_connections_.push_back(std::make_unique<ReactorConnection>(
+          &coordinator_reactor_,
+          std::move(coordinator_sockets[static_cast<size_t>(s)]), s,
+          coordinator_options));
+      coordinator_connections_.back()->Start();
+      site_connections_.push_back(std::make_unique<ReactorConnection>(
+          &site_reactor_, std::move(site_sockets[static_cast<size_t>(s)]), s,
+          ReactorConnection::Options()));
+      site_connections_.back()->Start();
+    }
+  }
+
+  ~ReactorTransport() override { Shutdown(); }
+
+  int num_sites() const override { return num_sites_; }
+
+  CoordinatorEndpoints coordinator() override {
+    CoordinatorEndpoints endpoints;
+    endpoints.updates = &update_channel_;
+    for (int s = 0; s < num_sites_; ++s) {
+      endpoints.events.push_back(
+          coordinator_connections_[static_cast<size_t>(s)]->events());
+      endpoints.commands.push_back(
+          coordinator_connections_[static_cast<size_t>(s)]->commands());
+    }
+    return endpoints;
+  }
+
+  SiteEndpoints site(int s) override {
+    DSGM_CHECK_GE(s, 0);
+    DSGM_CHECK_LT(s, num_sites_);
+    SiteEndpoints endpoints;
+    ReactorConnection* connection = site_connections_[static_cast<size_t>(s)].get();
+    endpoints.events = connection->events();
+    endpoints.commands = connection->commands();
+    endpoints.updates = connection->updates();
+    return endpoints;
+  }
+
+  TransportStats stats() const override {
+    // Coordinator side only; the site side of each pair would double every
+    // byte.
+    TransportStats stats;
+    stats.measured = true;
+    for (const auto& connection : coordinator_connections_) {
+      stats.bytes_down += connection->bytes_sent();
+      stats.bytes_up += connection->bytes_received();
+    }
+    return stats;
+  }
+
+  void Shutdown() override {
+    if (shutdown_) return;
+    shutdown_ = true;
+    coordinator_reactor_.Stop();
+    site_reactor_.Stop();
+    for (auto& connection : coordinator_connections_) connection->ShutdownFromOwner();
+    for (auto& connection : site_connections_) connection->ShutdownFromOwner();
+    merged_updates_.Close();
+  }
+
+ private:
+  int num_sites_;
+  Reactor coordinator_reactor_;
+  Reactor site_reactor_;
+  FlowQueue<UpdateBundle> merged_updates_;
+  FlowChannel<UpdateBundle> update_channel_;
+  std::vector<std::unique_ptr<ReactorConnection>> coordinator_connections_;
+  std::vector<std::unique_ptr<ReactorConnection>> site_connections_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<ClusterTransport> MakeReactorTransport(int num_sites) {
+  DSGM_CHECK_GT(num_sites, 0);
+  return std::make_unique<ReactorTransport>(num_sites);
+}
+
+}  // namespace dsgm

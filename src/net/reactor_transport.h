@@ -1,0 +1,406 @@
+// The reactor-based cluster transport: ONE I/O thread (per endpoint group)
+// owns every site connection, replacing the thread-per-connection reader
+// and writer threads of net/tcp_transport.h. Nonblocking framed reads and
+// writes run on a net/reactor.h event loop; each connection keeps a
+// per-connection outbox buffer (staged by any thread, drained by the loop)
+// and per-lane inboxes with receiver-driven flow control (a full inbox
+// pauses reading THAT socket, never the loop).
+//
+// On top of the loop sits the liveness protocol: sites send kHeartbeat
+// frames (net/codec.h) on an interval, the coordinator arms a per-site
+// deadline timer, and a site that goes silent past the timeout — or whose
+// connection drops mid-run — is declared dead with an UNAVAILABLE status
+// naming the site. The session layer's default policy (FailRun) cancels
+// the dead site's outstanding syncs and fails the run instead of stalling
+// the protocol forever.
+//
+// Deadlock discipline: RoundAdvance and kChannelClose sends bypass the
+// outbox backpressure cap. The coordinator thread is the sole consumer of
+// the merged update queue; if it could block staging a command while that
+// queue is full, the cycle coordinator -> outbox -> site socket -> site
+// inboxes -> site updates -> merged queue -> coordinator would deadlock the
+// cluster (the same cycle Options::buffered_commands breaks in the
+// thread-per-connection transport). Commands are protocol-bounded (at most
+// counters x rounds frames), so the exemption cannot grow the outbox
+// without bound. EventBatch and UpdateBundle pushes block on the cap —
+// that is the transport's backpressure, mirroring the loopback queues.
+
+#ifndef DSGM_NET_REACTOR_TRANSPORT_H_
+#define DSGM_NET_REACTOR_TRANSPORT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "net/channel.h"
+#include "net/codec.h"
+#include "net/reactor.h"
+#include "net/tcp_socket.h"
+#include "net/wire.h"
+
+namespace dsgm {
+
+enum class FlowPush { kOk, kFull, kClosed };
+
+/// A bounded MPMC queue shaped for an event loop producer: pushes never
+/// block (TryPush reports kFull) and the first pop that frees space after a
+/// failed push fires a registered callback — the loop uses it to resume
+/// reading a paused socket. Pop/close semantics match common/queue.h's
+/// BoundedQueue (PopBatch blocks until data or close, then drains).
+template <typename T>
+class FlowQueue {
+ public:
+  explicit FlowQueue(size_t capacity) : capacity_(capacity) {}
+
+  FlowQueue(const FlowQueue&) = delete;
+  FlowQueue& operator=(const FlowQueue&) = delete;
+
+  /// Set before any concurrent use. Invoked on the popping (or closing)
+  /// thread, outside the queue lock.
+  void set_space_callback(std::function<void()> fn) { space_cb_ = std::move(fn); }
+
+  /// Moves from `item` only on kOk; on kFull (or kClosed) the caller's
+  /// object is left intact, so the event loop can hold the frame and
+  /// re-deliver it once the space callback fires.
+  FlowPush TryPush(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return FlowPush::kClosed;
+    if (items_.size() >= capacity_) {
+      starving_ = true;
+      return FlowPush::kFull;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return FlowPush::kOk;
+  }
+
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return TakeLocked(out, max_items, &lock);
+  }
+
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return TakeLocked(out, max_items, &lock);
+  }
+
+  /// After Close, pushes fail and pops drain then report 0. Also fires the
+  /// space callback if a producer was paused on this queue: a reader
+  /// waiting to deliver into a queue that will never drain must resume (and
+  /// drop) rather than stay paused forever.
+  void Close() {
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      fire = starving_;
+      starving_ = false;
+    }
+    not_empty_.notify_all();
+    if (fire && space_cb_) space_cb_();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  size_t TakeLocked(std::vector<T>* out, size_t max_items,
+                    std::unique_lock<std::mutex>* lock) {
+    const size_t take = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    const bool fire = starving_ && take > 0 && items_.size() < capacity_;
+    if (fire) starving_ = false;
+    lock->unlock();
+    if (take > 0) not_empty_.notify_all();
+    if (fire && space_cb_) space_cb_();
+    return take;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+  bool starving_ = false;
+  std::function<void()> space_cb_;
+};
+
+/// Receive-only Channel view over a FlowQueue — the coordinator's merged
+/// update stream. Push aborts: every producer reaches the queue through a
+/// socket, never through this endpoint.
+template <typename T>
+class FlowChannel : public Channel<T> {
+ public:
+  explicit FlowChannel(FlowQueue<T>* queue) : queue_(queue) {}
+
+  bool Push(T) override {
+    DSGM_CHECK(false) << "FlowChannel is receive-only";
+    return false;
+  }
+  size_t PopBatch(std::vector<T>* out, size_t max_items) override {
+    return queue_->PopBatch(out, max_items);
+  }
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) override {
+    return queue_->TryPopBatch(out, max_items);
+  }
+  void Close() override { queue_->Close(); }
+
+ private:
+  FlowQueue<T>* queue_;
+};
+
+class ReactorConnection;
+
+/// One logical lane of a ReactorConnection; same role as TcpChannel but
+/// sends stage bytes into the connection outbox instead of writing the
+/// socket inline.
+template <typename T>
+class ReactorChannel : public Channel<T> {
+ public:
+  ReactorChannel(ReactorConnection* connection, FrameType type,
+                 FlowQueue<T>* inbox)
+      : connection_(connection), type_(type), inbox_(inbox) {}
+
+  bool Push(T item) override;
+  size_t PopBatch(std::vector<T>* out, size_t max_items) override {
+    return inbox_->PopBatch(out, max_items);
+  }
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) override {
+    return inbox_->TryPopBatch(out, max_items);
+  }
+  void Close() override;
+
+ private:
+  ReactorConnection* connection_;
+  FrameType type_;
+  FlowQueue<T>* inbox_;
+  std::atomic<bool> send_closed_{false};
+};
+
+/// A framed, bidirectional cluster connection multiplexed on a Reactor.
+/// All I/O runs on the reactor loop; SendFrame may be called from any
+/// thread (it stages bytes and wakes the loop).
+class ReactorConnection {
+ public:
+  struct Options {
+    /// Inbox bounds, matching the loopback/TCP queue capacities so every
+    /// transport exerts the same backpressure.
+    size_t event_capacity = 64;
+    size_t command_capacity = 1 << 16;
+    size_t update_capacity = 8192;
+    /// Staged-but-unwritten byte cap per connection; non-exempt pushes
+    /// block while it is exceeded (a single frame larger than the cap is
+    /// still accepted once the outbox drains below it).
+    size_t outbox_capacity_bytes = 4u << 20;
+    /// Coordinator side: incoming UpdateBundles land in this shared queue.
+    /// Lane-close frames and connection loss do NOT close it (other
+    /// connections still feed it); the owner closes it.
+    FlowQueue<UpdateBundle>* shared_updates = nullptr;
+    /// Liveness deadline: >0 arms a per-connection timer that declares the
+    /// peer dead after this long without ANY received traffic (heartbeats
+    /// count, as does protocol data), and treats a mid-run EOF or read
+    /// error as a peer failure too. 0 = a silent or vanished peer just
+    /// closes its inboxes (the thread-per-connection semantics).
+    int liveness_timeout_ms = 0;
+    /// Invoked (reactor thread, at most once) when the peer is declared
+    /// dead under liveness_timeout_ms, with the UNAVAILABLE status.
+    std::function<void(const Status&)> on_failure;
+    /// Invoked (reactor thread, exactly once) when the read side ends for
+    /// any reason except owner shutdown: EOF, error, or liveness failure.
+    std::function<void()> on_read_end;
+  };
+
+  /// Takes a connected, hello-paired socket; makes it nonblocking. `site`
+  /// labels diagnostics. The reactor must outlive the connection.
+  ReactorConnection(Reactor* reactor, TcpSocket socket, int site,
+                    const Options& options);
+  ~ReactorConnection();
+
+  ReactorConnection(const ReactorConnection&) = delete;
+  ReactorConnection& operator=(const ReactorConnection&) = delete;
+
+  /// Registers with the reactor (posted to the loop). Call exactly once;
+  /// the reactor may be started before or after.
+  void Start();
+
+  Channel<EventBatch>* events() { return &events_; }
+  Channel<RoundAdvance>* commands() { return &commands_; }
+  Channel<UpdateBundle>* updates() { return &updates_; }
+
+  int site() const { return site_; }
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+  /// Encodes `frame` into the outbox and schedules a flush. Blocks while
+  /// the outbox is over capacity unless `bypass_backpressure` (commands,
+  /// close markers — see the header comment) or called from the loop
+  /// thread. Returns false once the connection is broken.
+  bool SendFrame(const Frame& frame, bool bypass_backpressure);
+
+  /// Teardown with the reactor ALREADY STOPPED (single-threaded): releases
+  /// blocked senders, closes inboxes (not a shared update queue) and the
+  /// socket. Idempotent.
+  void ShutdownFromOwner();
+
+  /// Loop-thread only (posted by the shared update queue's owner when that
+  /// queue frees space): resume reading if this connection was paused
+  /// delivering into it. No-op otherwise.
+  void ResumeAfterSharedSpace() { ResumeRead(); }
+
+ private:
+  // Loop-thread methods.
+  void RegisterOnLoop();
+  void HandleEvents(uint32_t events);
+  void HandleReadable();
+  void TryWrite();
+  void ScheduleFlushLocked(std::unique_lock<std::mutex>* lock);
+  bool ParseFrames();
+  bool TryDeliver(Frame* frame);
+  void ResumeRead();
+  void PauseRead();
+  void CheckLiveness();
+  void EndRead(const Status& failure);
+
+  Reactor* reactor_;
+  TcpSocket socket_;
+  const int site_;
+  const Options options_;
+
+  // --- Loop-thread state ---------------------------------------------------
+  std::vector<uint8_t> read_buffer_;
+  size_t read_size_ = 0;    // Bytes valid in read_buffer_.
+  size_t parse_offset_ = 0; // Bytes already consumed by the frame parser.
+  std::optional<Frame> pending_frame_;  // Decoded but undeliverable (inbox full).
+  bool read_paused_ = false;
+  bool read_done_ = false;
+  bool failure_reported_ = false;
+  std::chrono::steady_clock::time_point last_rx_;
+  Reactor::TimerId liveness_timer_ = 0;
+  bool liveness_armed_ = false;
+
+  // --- Outbox (any thread) -------------------------------------------------
+  std::mutex outbox_mu_;
+  std::condition_variable can_send_;
+  std::vector<uint8_t> outbox_;  // Staged by producers; swapped out by the loop.
+  size_t unsent_bytes_ = 0;      // outbox_ plus the unwritten write_buffer_ tail.
+  bool flush_scheduled_ = false;
+  bool broken_ = false;
+
+  // Loop-thread write state: the buffer currently being written, swapped
+  // out of outbox_ so send() syscalls never run under outbox_mu_.
+  std::vector<uint8_t> write_buffer_;
+  size_t write_offset_ = 0;
+
+  FlowQueue<EventBatch> event_inbox_;
+  FlowQueue<RoundAdvance> command_inbox_;
+  std::unique_ptr<FlowQueue<UpdateBundle>> owned_update_inbox_;
+  FlowQueue<UpdateBundle>* update_inbox_;
+  const bool shared_updates_;
+
+  ReactorChannel<EventBatch> events_;
+  ReactorChannel<RoundAdvance> commands_;
+  ReactorChannel<UpdateBundle> updates_;
+
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  bool shutdown_ = false;
+};
+
+/// The coordinator side of a multi-process cluster on one reactor thread:
+/// accepts and hello-pairs `num_sites` connections (same stray/version/
+/// duplicate handling as AcceptSiteConnections), merges their update lanes,
+/// and enforces per-site liveness.
+class ReactorCoordinator {
+ public:
+  struct Options {
+    /// 0 disables liveness (a dead site can then stall the run again, like
+    /// the thread-per-connection transport).
+    int liveness_timeout_ms = 5000;
+    /// Reactor thread, at most once per site: the site was declared dead.
+    std::function<void(int site, const Status&)> on_site_failure;
+  };
+
+  ReactorCoordinator(int num_sites, const Options& options);
+  ~ReactorCoordinator();
+
+  /// Blocks until every site completed its hello handshake. On error the
+  /// caller should close the listener and Shutdown().
+  Status AcceptSites(TcpListener* listener);
+
+  int num_sites() const { return num_sites_; }
+  Channel<UpdateBundle>* updates() { return &update_channel_; }
+  FlowQueue<UpdateBundle>* merged_updates() { return &merged_updates_; }
+  Channel<EventBatch>* events(int site);
+  Channel<RoundAdvance>* commands(int site);
+
+  uint64_t bytes_up() const;
+  uint64_t bytes_down() const;
+
+  /// Stops the reactor and tears down every connection. Idempotent.
+  void Shutdown();
+
+ private:
+  const int num_sites_;
+  const Options options_;
+  Reactor reactor_;
+  FlowQueue<UpdateBundle> merged_updates_;
+  FlowChannel<UpdateBundle> update_channel_;
+  /// Guards connections_ slot publication: AcceptSites assigns slots on the
+  /// caller's thread while the merged queue's space callback (reactor
+  /// thread) may already be iterating them — a liveness failure or a
+  /// flooding peer can fire it before the accept loop finishes.
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<ReactorConnection>> connections_;
+  std::atomic<int> live_reads_;
+  bool shutdown_ = false;
+};
+
+// Blocking hello exchange over a not-yet-reactor-owned socket (shared by
+// the in-process transport and ReactorCoordinator::AcceptSites; framing
+// identical to TcpConnection's handshake).
+Status SendHelloBlocking(TcpSocket* socket, int32_t site);
+StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket);
+
+template <typename T>
+bool ReactorChannel<T>::Push(T item) {
+  if (send_closed_.load(std::memory_order_acquire)) return false;
+  return connection_->SendFrame(
+      MakeFrame(std::move(item)),
+      /*bypass_backpressure=*/type_ == FrameType::kRoundAdvance);
+}
+
+template <typename T>
+void ReactorChannel<T>::Close() {
+  if (!send_closed_.exchange(true, std::memory_order_acq_rel)) {
+    connection_->SendFrame(MakeChannelClose(type_), /*bypass_backpressure=*/true);
+  }
+}
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_REACTOR_TRANSPORT_H_

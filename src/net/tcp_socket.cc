@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -113,6 +114,16 @@ void TcpSocket::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+Status TcpSocket::SetNonBlocking() {
+  if (fd_ < 0) return FailedPreconditionError("tcp: fcntl on closed socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return ErrnoError("tcp: fcntl(F_GETFL)");
+  if (::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoError("tcp: fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
 void TcpSocket::Close() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -139,18 +150,24 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   return *this;
 }
 
-StatusOr<TcpListener> TcpListener::Listen(int port, int backlog) {
+StatusOr<TcpListener> TcpListener::Listen(int port, int backlog,
+                                          const std::string& bind_address) {
   if (port < 0 || port > 65535) {
     return InvalidArgumentError("tcp: bad port " + std::to_string(port));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  const std::string target =
+      (bind_address == "localhost" || bind_address.empty()) ? "127.0.0.1"
+                                                            : bind_address;
+  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("tcp: cannot parse bind address '" + target + "'");
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return ErrnoError("tcp: socket()");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const Status status = ErrnoError("tcp: bind(:" + std::to_string(port) + ")");

@@ -51,6 +51,13 @@ class TcpSocket {
   /// safely after the thread is joined.
   void ShutdownBoth();
 
+  /// O_NONBLOCK, for sockets handed to the reactor event loop. SendAll /
+  /// RecvAll assume a blocking socket; do not mix them with this.
+  Status SetNonBlocking();
+
+  /// The raw descriptor (reactor registration). Ownership stays here.
+  int fd() const { return fd_; }
+
   void Close();
 
  private:
@@ -58,8 +65,10 @@ class TcpSocket {
 };
 
 /// A listening socket bound to the given port (0 picks an ephemeral port,
-/// readable via port()). Binds 127.0.0.1 only: everything the transport
-/// promises today is localhost; multi-host bind control is a ROADMAP item.
+/// readable via port()). `bind_address` defaults to 127.0.0.1 — the safe
+/// localhost-only posture; pass "0.0.0.0" (or a specific interface address)
+/// to accept sites from other hosts (the coordinator binaries expose this
+/// as --bind).
 class TcpListener {
  public:
   TcpListener() = default;
@@ -70,7 +79,8 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  static StatusOr<TcpListener> Listen(int port, int backlog = 64);
+  static StatusOr<TcpListener> Listen(int port, int backlog = 64,
+                                      const std::string& bind_address = "127.0.0.1");
 
   int port() const { return port_; }
   bool valid() const { return fd_ >= 0; }

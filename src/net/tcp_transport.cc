@@ -40,10 +40,7 @@ Status TcpConnection::SendHello(int32_t site) {
 Status TcpConnection::ReadFrame(Frame* out, uint32_t max_payload) {
   uint8_t prefix[4];
   DSGM_RETURN_IF_ERROR(socket_.RecvAll(prefix, 4));
-  uint32_t length = 0;
-  for (int i = 0; i < 4; ++i) {
-    length |= static_cast<uint32_t>(prefix[i]) << (8 * i);
-  }
+  const uint32_t length = DecodeLengthPrefix(prefix);
   if (length > max_payload) {
     return InvalidArgumentError("tcp: frame payload exceeds limit");
   }
@@ -140,6 +137,10 @@ void TcpConnection::ReaderLoop() {
         break;
       case FrameType::kHello:
         break;  // Only legal during the handshake; ignore defensively.
+      case FrameType::kHeartbeat:
+        // Liveness beacons; this transport's blocking reader does not track
+        // deadlines (the reactor transport does), so they are just ignored.
+        break;
     }
   }
   CloseInboxes();

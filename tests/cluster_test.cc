@@ -7,10 +7,10 @@
 #include <thread>
 
 #include "bayes/repository.h"
-#include "cluster/cluster_runner.h"
 #include "cluster/coordinator_node.h"
 #include "cluster/site_node.h"
 #include "common/queue.h"
+#include "dsgm/dsgm.h"
 #include "net/channel.h"
 
 namespace dsgm {
@@ -153,20 +153,28 @@ TEST(SiteNodeTest, IgnoresForgedRoundAdvances) {
   EXPECT_EQ(out[0].kind, UpdateBundle::Kind::kSiteDone);
 }
 
-ClusterConfig MakeConfig(TrackingStrategy strategy, int sites, int64_t events) {
-  ClusterConfig config;
-  config.tracker.strategy = strategy;
-  config.tracker.num_sites = sites;
-  config.tracker.epsilon = 0.1;
-  config.tracker.seed = 12345;
-  config.num_events = events;
-  return config;
+/// One threaded-cluster run through the Session API (the former RunCluster
+/// free function's behavior: same seed schedule, same report fields).
+RunReport RunThreadedCluster(const BayesianNetwork& net, TrackingStrategy strategy,
+                             int sites, int64_t events) {
+  StatusOr<std::unique_ptr<Session>> session = SessionBuilder(net)
+                                                   .WithBackend(Backend::kThreads)
+                                                   .WithStrategy(strategy)
+                                                   .WithSites(sites)
+                                                   .WithEpsilon(0.1)
+                                                   .WithSeed(12345)
+                                                   .Build();
+  EXPECT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE((*session)->StreamGroundTruth(events).ok());
+  StatusOr<RunReport> report = (*session)->Finish();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return *report;
 }
 
 TEST(ClusterTest, ExactModeReproducesCountsExactly) {
   const BayesianNetwork net = StudentNetwork();
-  const ClusterResult result =
-      RunCluster(net, MakeConfig(TrackingStrategy::kExactMle, 3, 20000));
+  const RunReport result =
+      RunThreadedCluster(net, TrackingStrategy::kExactMle, 3, 20000);
   EXPECT_EQ(result.events_processed, 20000);
   // Exact mode: coordinator estimates equal summed site counts.
   EXPECT_DOUBLE_EQ(result.max_counter_rel_error, 0.0);
@@ -179,8 +187,8 @@ TEST(ClusterTest, ExactModeReproducesCountsExactly) {
 
 TEST(ClusterTest, ApproxModeBoundedError) {
   const BayesianNetwork net = StudentNetwork();
-  const ClusterResult result =
-      RunCluster(net, MakeConfig(TrackingStrategy::kUniform, 4, 50000));
+  const RunReport result =
+      RunThreadedCluster(net, TrackingStrategy::kUniform, 4, 50000);
   EXPECT_EQ(result.events_processed, 50000);
   // Counter-level deviation stays within a few epsilon' bands. The
   // per-counter epsilon for UNIFORM on n=5 is 0.1/(16*sqrt(5)) ~ 0.0028;
@@ -192,10 +200,10 @@ TEST(ClusterTest, ApproxModeBoundedError) {
 
 TEST(ClusterTest, ApproxSendsFewerMessagesThanExact) {
   const BayesianNetwork net = Alarm();
-  const ClusterResult exact =
-      RunCluster(net, MakeConfig(TrackingStrategy::kExactMle, 4, 30000));
-  const ClusterResult approx =
-      RunCluster(net, MakeConfig(TrackingStrategy::kNonUniform, 4, 30000));
+  const RunReport exact =
+      RunThreadedCluster(net, TrackingStrategy::kExactMle, 4, 30000);
+  const RunReport approx =
+      RunThreadedCluster(net, TrackingStrategy::kNonUniform, 4, 30000);
   EXPECT_LT(approx.comm.TotalMessages(), exact.comm.TotalMessages());
   // Bundled wire messages stay ~1/event for every algorithm (the paper makes
   // the same observation about its cluster runs); the payload shrinks.
@@ -205,8 +213,8 @@ TEST(ClusterTest, ApproxSendsFewerMessagesThanExact) {
 TEST(ClusterTest, ScalesAcrossSiteCounts) {
   const BayesianNetwork net = StudentNetwork();
   for (int sites : {2, 6, 10}) {
-    const ClusterResult result =
-        RunCluster(net, MakeConfig(TrackingStrategy::kUniform, sites, 10000));
+    const RunReport result =
+        RunThreadedCluster(net, TrackingStrategy::kUniform, sites, 10000);
     EXPECT_EQ(result.events_processed, 10000) << "sites=" << sites;
     EXPECT_LT(result.max_counter_rel_error, 0.1) << "sites=" << sites;
   }
@@ -214,8 +222,8 @@ TEST(ClusterTest, ScalesAcrossSiteCounts) {
 
 TEST(ClusterTest, SingleSiteWorks) {
   const BayesianNetwork net = StudentNetwork();
-  const ClusterResult result =
-      RunCluster(net, MakeConfig(TrackingStrategy::kBaseline, 1, 5000));
+  const RunReport result =
+      RunThreadedCluster(net, TrackingStrategy::kBaseline, 1, 5000);
   EXPECT_EQ(result.events_processed, 5000);
   // The realized error is scheduling-dependent (round advances race event
   // processing), and under sanitizer timings this short run was observed up

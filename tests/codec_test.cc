@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "monitor/comm_stats.h"
 #include "net/codec.h"
 
 namespace dsgm {
@@ -113,6 +114,31 @@ TEST(CodecTest, HelloRoundTripsForeignProtocolVersions) {
   }
 }
 
+TEST(CodecTest, HeartbeatRoundTrip) {
+  for (int32_t site : {0, 1, 511, std::numeric_limits<int32_t>::max(), -1}) {
+    const Frame decoded = DecodeOrDie(Encode(MakeHeartbeat(site)));
+    EXPECT_EQ(decoded.type, FrameType::kHeartbeat);
+    EXPECT_EQ(decoded.site, site);
+  }
+}
+
+TEST(CodecTest, TruncatedHeartbeatFails) {
+  // A bare kHeartbeat tag with no site id must fail, not read past the end.
+  const std::vector<uint8_t> payload = {
+      static_cast<uint8_t>(FrameType::kHeartbeat)};
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
+TEST(CodecTest, ForgedHeartbeatWithHugeSiteIdFails) {
+  // site ids beyond int32 are rejected by the decoder (consumers also
+  // ignore heartbeat site ids entirely, but the codec is the first gate).
+  std::vector<uint8_t> payload = {static_cast<uint8_t>(FrameType::kHeartbeat)};
+  AppendVarint(ZigzagEncode(int64_t{1} << 40), &payload);
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
 TEST(CodecTest, TruncatedHelloMissingSiteFails) {
   // A hello that ends right after the version byte (an old-format peer
   // would not even have the version) must fail cleanly, not misparse.
@@ -197,7 +223,8 @@ TEST(CodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
 }
 
 TEST(CodecTest, BadFrameTypeTagFails) {
-  for (uint8_t tag : {uint8_t{0}, uint8_t{6}, uint8_t{99}, uint8_t{255}}) {
+  // 6 became kHeartbeat in protocol v2; the first invalid tag is now 7.
+  for (uint8_t tag : {uint8_t{0}, uint8_t{7}, uint8_t{99}, uint8_t{255}}) {
     const std::vector<uint8_t> payload = {tag};
     Frame frame;
     EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
@@ -247,6 +274,65 @@ TEST(CodecTest, OverlongVarintFails) {
   for (int i = 0; i < 11; ++i) payload.push_back(0x80);
   Frame frame;
   EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
+// --- CommStats byte-constant calibration ---------------------------------
+//
+// The per-message byte estimates in monitor/comm_stats.h claim to match
+// this codec's wire format; these tests re-derive them from actually
+// encoded representative frames so the constants cannot silently drift
+// from the wire (they are what fig6/fig11 byte counts are built from).
+
+TEST(CodecCalibrationTest, UpdateBytesMatchEncodedReportsBundle) {
+  // Representative mid-run kReports bundle: the counter ids an event
+  // touches are near-sorted in layout order (small deltas), cumulative
+  // counts sit in the thousands-to-hundred-thousands varint band.
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kReports;
+  bundle.site = 2;
+  for (int64_t i = 0; i < 74; ++i) {
+    bundle.reports.push_back(CounterReport{i * 5, 50000});
+  }
+  const std::vector<uint8_t> encoded = Encode(MakeFrame(bundle));
+  // Exact wire size so ANY codec change trips this test: 9-byte frame
+  // header (4 length + type + kind + site + round + count) plus 4 bytes per
+  // report (1-byte delta + 3-byte varint count). The constant is the
+  // rounded per-report cost with the header amortized (305/74 = 4.12).
+  ASSERT_EQ(encoded.size(), 9u + 74u * 4u);
+  const double per_report =
+      static_cast<double>(encoded.size()) / static_cast<double>(bundle.reports.size());
+  EXPECT_EQ(kEstimatedUpdateBytes, static_cast<uint64_t>(per_report + 0.5));
+}
+
+TEST(CodecCalibrationTest, BroadcastBytesMatchEncodedRoundAdvance) {
+  // One RoundAdvance travels as its own frame: length prefix + type +
+  // zigzag counter id (2 bytes for networks up to ~8k counters) + round +
+  // f32 probability.
+  RoundAdvance advance;
+  advance.counter = 1500;
+  advance.round = 3;
+  advance.probability = 0.25f;
+  const std::vector<uint8_t> encoded = Encode(MakeFrame(advance));
+  EXPECT_EQ(encoded.size(), kEstimatedBroadcastBytes);
+}
+
+TEST(CodecCalibrationTest, SyncBytesMatchEncodedSyncBundle) {
+  // Sync replies enumerate dense counter ranges: deltas collapse to one
+  // byte each.
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  bundle.site = 1;
+  bundle.round = 2;
+  for (int64_t c = 100; c < 164; ++c) {
+    bundle.reports.push_back(CounterReport{c, 50000});
+  }
+  const std::vector<uint8_t> encoded = Encode(MakeFrame(bundle));
+  // Exact wire size: 9-byte header, a 5-byte first report (2-byte delta to
+  // id 100 + 3-byte count), then 4 bytes per dense-range report.
+  ASSERT_EQ(encoded.size(), 9u + 5u + 63u * 4u);
+  const double per_report =
+      static_cast<double>(encoded.size()) / static_cast<double>(bundle.reports.size());
+  EXPECT_EQ(kEstimatedSyncBytes, static_cast<uint64_t>(per_report + 0.5));
 }
 
 TEST(CodecTest, RandomizedFuzzNeverCrashes) {

@@ -1,84 +1,108 @@
-// End-to-end cluster runs over real localhost TCP sockets: RunCluster with
-// the MakeLocalTcpTransport factory must satisfy the same correctness
-// bounds as the in-process loopback run (tests/cluster_test.cc), with every
-// frame codec-serialized through the kernel socket layer.
+// End-to-end cluster runs over real localhost TCP sockets: a kThreads
+// Session with the MakeLocalTcpTransport / MakeReactorTransport factories
+// must satisfy the same correctness bounds as the in-process loopback run
+// (tests/cluster_test.cc), with every frame codec-serialized through the
+// kernel socket layer.
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "bayes/repository.h"
-#include "cluster/cluster_runner.h"
+#include "dsgm/dsgm.h"
 #include "net/cluster_transport.h"
 
 namespace dsgm {
 namespace {
 
-ClusterConfig MakeTcpConfig(TrackingStrategy strategy, int sites, int64_t events) {
-  ClusterConfig config;
-  config.tracker.strategy = strategy;
-  config.tracker.num_sites = sites;
-  config.tracker.epsilon = 0.1;
-  config.tracker.seed = 12345;
-  config.num_events = events;
-  config.transport = MakeLocalTcpTransport;
-  return config;
+RunReport RunWithTransport(const BayesianNetwork& net, TrackingStrategy strategy,
+                           int sites, int64_t events, TransportFactory transport) {
+  SessionBuilder builder(net);
+  builder.WithBackend(Backend::kThreads)
+      .WithStrategy(strategy)
+      .WithSites(sites)
+      .WithEpsilon(0.1)
+      .WithSeed(12345);
+  if (transport) builder.WithTransport(std::move(transport));
+  StatusOr<std::unique_ptr<Session>> session = builder.Build();
+  EXPECT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE((*session)->StreamGroundTruth(events).ok());
+  StatusOr<RunReport> report = (*session)->Finish();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return *report;
 }
 
-TEST(NetClusterTest, ExactModeOverTcpReproducesCountsExactly) {
+struct NetClusterParam {
+  const char* name;
+  TransportFactory factory;
+};
+
+/// Both socketed transports (thread-per-connection and reactor) must meet
+/// the same end-to-end bounds.
+class NetClusterTest : public ::testing::TestWithParam<NetClusterParam> {};
+
+TEST_P(NetClusterTest, ExactModeOverTcpReproducesCountsExactly) {
   const BayesianNetwork net = StudentNetwork();
-  const ClusterResult result =
-      RunCluster(net, MakeTcpConfig(TrackingStrategy::kExactMle, 3, 20000));
+  const RunReport result = RunWithTransport(net, TrackingStrategy::kExactMle, 3,
+                                            20000, GetParam().factory);
   EXPECT_EQ(result.events_processed, 20000);
   EXPECT_DOUBLE_EQ(result.max_counter_rel_error, 0.0);
   EXPECT_EQ(result.comm.update_messages,
             static_cast<uint64_t>(20000 * 2 * net.num_variables()));
 }
 
-TEST(NetClusterTest, ApproxModeOverTcpStaysWithinValidationBound) {
-  // The acceptance bar for the transport: >= 2 sites, >= 50k events over
+TEST_P(NetClusterTest, ApproxModeOverTcpStaysWithinValidationBound) {
+  // The acceptance bar for a transport: >= 2 sites, >= 50k events over
   // localhost TCP, and the same max_counter_rel_error bound as the
   // in-process run (cluster_test.cc's ApproxModeBoundedError).
   const BayesianNetwork net = StudentNetwork();
-  const ClusterResult result =
-      RunCluster(net, MakeTcpConfig(TrackingStrategy::kUniform, 4, 50000));
+  const RunReport result = RunWithTransport(net, TrackingStrategy::kUniform, 4,
+                                            50000, GetParam().factory);
   EXPECT_EQ(result.events_processed, 50000);
   EXPECT_LT(result.max_counter_rel_error, 0.05);
   EXPECT_LT(result.comm.update_messages,
             static_cast<uint64_t>(50000 * 2 * net.num_variables()));
 }
 
-TEST(NetClusterTest, TcpTransportMeasuresRealBytes) {
+TEST_P(NetClusterTest, TransportMeasuresRealBytes) {
   const BayesianNetwork net = StudentNetwork();
-  const ClusterResult result =
-      RunCluster(net, MakeTcpConfig(TrackingStrategy::kUniform, 2, 10000));
+  const RunReport result = RunWithTransport(net, TrackingStrategy::kUniform, 2,
+                                            10000, GetParam().factory);
   EXPECT_TRUE(result.transport_measured);
   // Every event crosses the wire downstream, and reports flow upstream.
   EXPECT_GT(result.transport_bytes_down, static_cast<uint64_t>(10000));
   EXPECT_GT(result.transport_bytes_up, 0u);
 }
 
-TEST(NetClusterTest, LoopbackReportsNoMeasuredBytes) {
-  const BayesianNetwork net = StudentNetwork();
-  ClusterConfig config = MakeTcpConfig(TrackingStrategy::kUniform, 2, 5000);
-  config.transport = TransportFactory();  // Default: loopback.
-  const ClusterResult result = RunCluster(net, config);
-  EXPECT_FALSE(result.transport_measured);
-  EXPECT_EQ(result.transport_bytes_up, 0u);
-}
-
-TEST(NetClusterTest, TcpAndLoopbackAgreeOnProtocolTraffic) {
+TEST_P(NetClusterTest, TcpAndLoopbackAgreeOnProtocolTraffic) {
   // The transport must be invisible to the protocol: same seed, same
   // strategy => identical logical message counts on both substrates
   // (scheduling can only reorder, not create or destroy updates, because
   // reports are Bernoulli draws from per-site RNGs and rounds are
   // threshold-driven... in exact mode there is no randomness at all).
   const BayesianNetwork net = StudentNetwork();
-  ClusterConfig loopback = MakeTcpConfig(TrackingStrategy::kExactMle, 3, 15000);
-  loopback.transport = TransportFactory();
-  const ClusterResult a = RunCluster(net, loopback);
-  const ClusterResult b =
-      RunCluster(net, MakeTcpConfig(TrackingStrategy::kExactMle, 3, 15000));
+  const RunReport a = RunWithTransport(net, TrackingStrategy::kExactMle, 3,
+                                       15000, TransportFactory());
+  const RunReport b = RunWithTransport(net, TrackingStrategy::kExactMle, 3,
+                                       15000, GetParam().factory);
   EXPECT_EQ(a.comm.update_messages, b.comm.update_messages);
   EXPECT_EQ(a.comm.broadcast_messages, b.comm.broadcast_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SocketTransports, NetClusterTest,
+    ::testing::Values(NetClusterParam{"LocalTcp", MakeLocalTcpTransport},
+                      NetClusterParam{"Reactor", MakeReactorTransport}),
+    [](const ::testing::TestParamInfo<NetClusterParam>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(NetClusterTest, LoopbackReportsNoMeasuredBytes) {
+  const BayesianNetwork net = StudentNetwork();
+  const RunReport result = RunWithTransport(net, TrackingStrategy::kUniform, 2,
+                                            5000, TransportFactory());
+  EXPECT_FALSE(result.transport_measured);
+  EXPECT_EQ(result.transport_bytes_up, 0u);
 }
 
 }  // namespace

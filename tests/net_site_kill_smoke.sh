@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Site-kill liveness smoke test, run by ctest as net.site_kill_smoke:
+# starts one dsgm_coordinator and THREE dsgm_site processes over localhost
+# TCP, SIGKILLs one site mid-run, and requires the coordinator to fail with
+# a clear UNAVAILABLE status naming the dead site within the liveness
+# timeout — the regression guard for the pre-reactor behavior, where a
+# single dead site stalled the protocol until the coordinator was killed.
+#
+# Usage: net_site_kill_smoke.sh <dsgm_coordinator> <dsgm_site>
+set -uo pipefail
+
+COORDINATOR_BIN="$1"
+SITE_BIN="$2"
+NETWORK=alarm
+EVENTS=2000000     # Big enough that the stream is still flowing at kill time.
+SITES=3
+KILL_SITE=2
+LIVENESS_MS=2000
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+PORT_FILE="$WORKDIR/port"
+COORD_LOG="$WORKDIR/coordinator.log"
+
+"$COORDINATOR_BIN" \
+  --network "$NETWORK" --strategy uniform --sites "$SITES" \
+  --events "$EVENTS" --seed 12345 \
+  --liveness-timeout-ms "$LIVENESS_MS" \
+  --port 0 --port-file "$PORT_FILE" > "$COORD_LOG" 2>&1 &
+COORDINATOR_PID=$!
+PIDS+=("$COORDINATOR_PID")
+
+for _ in $(seq 1 200); do
+  [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$COORDINATOR_PID" 2>/dev/null; then
+    echo "FAIL: coordinator exited before publishing its port" >&2
+    cat "$COORD_LOG" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "FAIL: port file never appeared" >&2
+  exit 1
+fi
+PORT="$(cat "$PORT_FILE")"
+echo "coordinator listening on port $PORT"
+
+SITE_PIDS=()
+for site in $(seq 0 $((SITES - 1))); do
+  "$SITE_BIN" --network "$NETWORK" --site "$site" --port "$PORT" --seed 12345 &
+  SITE_PIDS+=("$!")
+  PIDS+=("$!")
+done
+
+# Let the run get going, then kill one site the way a crashed machine would.
+sleep 1
+if ! kill -0 "${SITE_PIDS[$KILL_SITE]}" 2>/dev/null; then
+  echo "FAIL: site $KILL_SITE already exited before the kill (run too short?)" >&2
+  exit 1
+fi
+kill -9 "${SITE_PIDS[$KILL_SITE]}"
+KILL_EPOCH=$(date +%s)
+echo "killed site $KILL_SITE (pid ${SITE_PIDS[$KILL_SITE]})"
+
+# The coordinator must now terminate ON ITS OWN, quickly, with a failure.
+# Allow the liveness timeout plus generous slack, but nowhere near the old
+# behavior (hang forever).
+DEADLINE=$((KILL_EPOCH + (LIVENESS_MS / 1000) + 30))
+while kill -0 "$COORDINATOR_PID" 2>/dev/null; do
+  if [ "$(date +%s)" -gt "$DEADLINE" ]; then
+    echo "FAIL: coordinator still running $((LIVENESS_MS / 1000 + 30))s after the kill (stall regression)" >&2
+    cat "$COORD_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+wait "$COORDINATOR_PID"
+COORD_STATUS=$?
+echo "coordinator exited with status $COORD_STATUS, $(($(date +%s) - KILL_EPOCH))s after the kill"
+
+if [ "$COORD_STATUS" -eq 0 ]; then
+  echo "FAIL: coordinator exited 0 despite a dead site" >&2
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+if ! grep -q "UNAVAILABLE" "$COORD_LOG"; then
+  echo "FAIL: coordinator did not report UNAVAILABLE" >&2
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+if ! grep -q "site $KILL_SITE" "$COORD_LOG"; then
+  echo "FAIL: failure status does not name site $KILL_SITE" >&2
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+
+# The surviving sites must also unwind on their own once the coordinator is
+# gone (their connections die), not linger as zombies.
+for site in $(seq 0 $((SITES - 1))); do
+  [ "$site" -eq "$KILL_SITE" ] && continue
+  wait "${SITE_PIDS[$site]}" 2>/dev/null || true
+done
+
+echo "PASS: killing site $KILL_SITE failed the run with UNAVAILABLE naming it; no stall"

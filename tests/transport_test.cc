@@ -211,7 +211,8 @@ TEST_P(TransportConformanceTest, ShutdownIsIdempotent) {
 INSTANTIATE_TEST_SUITE_P(
     AllTransports, TransportConformanceTest,
     ::testing::Values(TransportParam{"Loopback", MakeLoopbackTransport},
-                      TransportParam{"LocalTcp", MakeLocalTcpTransport}),
+                      TransportParam{"LocalTcp", MakeLocalTcpTransport},
+                      TransportParam{"Reactor", MakeReactorTransport}),
     [](const ::testing::TestParamInfo<TransportParam>& info) {
       return std::string(info.param.name);
     });
@@ -249,6 +250,45 @@ TEST(ProtocolVersionTest, MismatchedHelloIsRejectedWithClearStatus) {
       << accepted.status();
   listener->Close();
   peer.join();
+}
+
+TEST(ProtocolVersionTest, EarlyHeartbeatIsDroppedAsStray) {
+  // A peer whose first frame is a kHeartbeat (never a hello) is line noise
+  // as far as the handshake is concerned: it must be dropped and the slot
+  // re-accepted, exactly like a port probe — not crash, not hang, not
+  // occupy a site slot.
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  std::thread early_peer([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    std::vector<uint8_t> bytes;
+    AppendFrame(MakeHeartbeat(/*site=*/0), &bytes);
+    (void)socket->SendAll(bytes.data(), bytes.size());
+    uint8_t unused = 0;
+    (void)socket->RecvAll(&unused, 1);  // Wait for the coordinator's close.
+  });
+  std::thread real_site([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    TcpConnection connection(std::move(socket).value());
+    if (!connection.SendHello(/*site=*/0).ok()) return;
+    connection.Start();
+    connection.Shutdown();
+  });
+
+  TcpConnection::Options options;
+  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+      AcceptSiteConnections(&listener.value(), /*num_sites=*/1, options);
+  EXPECT_TRUE(accepted.ok()) << accepted.status();
+  listener->Close();
+  early_peer.join();
+  real_site.join();
+  if (accepted.ok()) {
+    for (auto& connection : *accepted) connection->Shutdown();
+  }
 }
 
 TEST(ProtocolVersionTest, CurrentVersionHelloIsAccepted) {
