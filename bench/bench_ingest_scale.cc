@@ -1,0 +1,320 @@
+// Ingest scaling bench: N producer threads hammering Push on ONE Session
+// (the sharded-router hot path) × a Snapshot() poller, sweeping producer
+// counts and poller frequencies. The claims under test:
+//
+//   1. Multi-producer Push scales: with the per-caller shards + SPSC site
+//      lanes, 8 producer threads beat 1 by >= 3x on machines with >= 16
+//      hardware threads — enough for the producers AND the 8 sites +
+//      coordinator to run in parallel. The machine's parallelism is the
+//      ceiling, so the gate auto-derates below that (1.5x at 8-15 threads,
+//      parity floors below — see --assert-scaling's help): no ingest path
+//      can extract a parallel speedup from hardware that cannot run the
+//      pipeline's stages in parallel.
+//   2. Queries are near-free: a 100 Hz Snapshot() poller costs < 10%
+//      throughput, because the coordinator publishes double-buffered
+//      snapshots in O(touched cells) and readers never block the protocol.
+//
+// Also runs ctest-gated as session.ingest_scale_smoke (reduced events,
+// --assert-scaling) so a concurrency regression on either path shows up
+// per commit. Emits BENCH_ingest.json for the perf trajectory;
+// bench/harness/bench_diff.py diffs two such files across commits.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bayes/repository.h"
+#include "bayes/sampler.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "dsgm/dsgm.h"
+#include "harness/experiment.h"
+#include "harness/json_report.h"
+
+namespace dsgm {
+namespace {
+
+// Sanitizer builds run this bench too (the smoke is part of the ASan/TSan
+// CI jobs), but instrumented snapshot copies on an oversubscribed machine
+// are not a perf environment: the poller-cost gate derates there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitizedBuild = true;
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+
+struct IngestRun {
+  int producers = 0;
+  int poller_hz = 0;
+  double events_per_sec = 0.0;  // end-to-end: first Push to Finish return
+  double push_seconds = 0.0;    // producers' start to last Push return
+  int64_t snapshots_taken = 0;
+};
+
+StatusOr<IngestRun> RunOnce(const BayesianNetwork& net,
+                            const std::vector<Instance>& events, int sites,
+                            int producers, int poller_hz, double eps,
+                            uint64_t seed, int batch_size) {
+  SessionBuilder builder(net);
+  builder.WithBackend(Backend::kThreads)
+      .WithStrategy(TrackingStrategy::kUniform)
+      .WithSites(sites)
+      .WithEpsilon(eps)
+      .WithSeed(seed)
+      .WithBatchSize(batch_size);
+  StatusOr<std::unique_ptr<Session>> built = builder.Build();
+  if (!built.ok()) return built.status();
+  Session& session = **built;
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> snapshots{0};
+  std::thread poller;
+  if (poller_hz > 0) {
+    const auto period =
+        std::chrono::microseconds(1000000 / poller_hz);
+    poller = std::thread([&session, &done, &snapshots, period] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (session.Snapshot().ok()) {
+          snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(period);
+      }
+    });
+  }
+
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  std::atomic<double> push_seconds{0.0};
+  const size_t per = events.size() / static_cast<size_t>(producers);
+  for (int t = 0; t < producers; ++t) {
+    const size_t begin = static_cast<size_t>(t) * per;
+    const size_t end = t + 1 == producers ? events.size() : begin + per;
+    threads.emplace_back([&session, &events, &wall, &push_seconds, begin, end] {
+      for (size_t e = begin; e < end; ++e) {
+        if (!session.Push(events[e]).ok()) return;
+      }
+      const double elapsed = wall.ElapsedSeconds();
+      // Keep the slowest producer's finish line (max via CAS).
+      double seen = push_seconds.load(std::memory_order_relaxed);
+      while (elapsed > seen &&
+             !push_seconds.compare_exchange_weak(seen, elapsed)) {
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Stop the poller before Finish: Snapshot is cross-thread-safe against
+  // ingest, but Finish's final-model publication is not a concurrent query
+  // target (see the Session::Finish contract).
+  done.store(true, std::memory_order_release);
+  if (poller.joinable()) poller.join();
+  StatusOr<RunReport> report = session.Finish();
+  const double total_seconds = wall.ElapsedSeconds();
+  if (!report.ok()) return report.status();
+  if (report->events_processed != static_cast<int64_t>(events.size())) {
+    return InternalError("ingest bench: event count mismatch");
+  }
+
+  IngestRun run;
+  run.producers = producers;
+  run.poller_hz = poller_hz;
+  run.push_seconds = push_seconds.load();
+  run.events_per_sec =
+      total_seconds > 0.0 ? static_cast<double>(events.size()) / total_seconds
+                          : 0.0;
+  run.snapshots_taken = snapshots.load();
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(&flags);
+  flags.DefineInt64("events", 200000, "training instances per run");
+  flags.DefineString("network", "alarm", "network to stream");
+  flags.DefineInt64("sites", 8, "cluster size (kThreads backend)");
+  flags.DefineInt64("batch", 256, "events per dispatch batch");
+  flags.DefineString("producers", "1,2,4,8,16", "producer thread counts to sweep");
+  flags.DefineString("poller-hz", "0,100", "Snapshot() poller frequencies to sweep");
+  flags.DefineInt64("repeats", 2, "runs per config; the best run is reported "
+                    "(throughput benches measure capacity, not scheduler noise)");
+  flags.DefineBool("assert-scaling", false,
+                   "exit 1 unless (a) 8-producer throughput clears the "
+                   "hardware-derated multiple of 1-producer throughput "
+                   "(>= 3x with >= 16 hardware threads, >= 1.5x with >= 8, "
+                   ">= 0.85x with >= 2, >= 0.5x on a single core — below "
+                   "~16 threads the 8 sites + coordinator saturate the "
+                   "machine in BOTH configs, so parity, not speedup, is "
+                   "the honest floor) and (b) the 100 Hz poller costs "
+                   "< 10% throughput at every swept producer count "
+                   "(ctest smoke gate)");
+  flags.DefineString("json", "BENCH_ingest.json",
+                     "machine-readable results file (empty disables)");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const int64_t num_events = flags.GetInt64("events");
+  const int sites = static_cast<int>(flags.GetInt64("sites"));
+  const int batch = static_cast<int>(flags.GetInt64("batch"));
+  const int repeats = std::max(1, static_cast<int>(flags.GetInt64("repeats")));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  const double eps = flags.GetDouble("eps");
+  const StatusOr<BayesianNetwork> net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    std::cerr << net.status() << "\n";
+    return 1;
+  }
+  // Pre-sample the stream once so the producers measure pure Push cost.
+  ForwardSampler sampler(*net, seed + 1);
+  const std::vector<Instance> events = sampler.SampleMany(num_events);
+
+  std::vector<int> producer_counts;
+  for (const std::string& text : SplitCommaList(flags.GetString("producers"))) {
+    producer_counts.push_back(std::stoi(text));
+  }
+  std::vector<int> poller_rates;
+  for (const std::string& text : SplitCommaList(flags.GetString("poller-hz"))) {
+    poller_rates.push_back(std::stoi(text));
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  TablePrinter table("Ingest scaling (" + net->name() + ", " +
+                     FormatInstances(num_events) + " instances, " +
+                     std::to_string(sites) + " sites, hw threads: " +
+                     std::to_string(hw) + ")");
+  table.SetHeader({"producers", "poller Hz", "events/s", "vs 1 thread",
+                   "snapshots"});
+  Json records = Json::Array();
+  // best_by[{producers, poller}] keyed positionally.
+  std::vector<IngestRun> best;
+  for (const int producers : producer_counts) {
+    for (const int poller_hz : poller_rates) {
+      IngestRun best_run;
+      for (int r = 0; r < repeats; ++r) {
+        StatusOr<IngestRun> run =
+            RunOnce(*net, events, sites, producers, poller_hz, eps,
+                    seed + static_cast<uint64_t>(r), batch);
+        if (!run.ok()) {
+          std::cerr << "producers=" << producers << " poller=" << poller_hz
+                    << ": " << run.status() << "\n";
+          return 1;
+        }
+        if (run->events_per_sec > best_run.events_per_sec) best_run = *run;
+      }
+      best.push_back(best_run);
+    }
+  }
+
+  auto find_run = [&best](int producers, int poller_hz) -> const IngestRun* {
+    for (const IngestRun& run : best) {
+      if (run.producers == producers && run.poller_hz == poller_hz) return &run;
+    }
+    return nullptr;
+  };
+  // Speedups are relative to the true single-producer quiet run only; a
+  // sweep without producers=1 reports no speedup rather than a misleading
+  // ratio against whatever happened to come first.
+  const IngestRun* baseline = find_run(1, 0);
+  for (const IngestRun& run : best) {
+    const bool has_baseline =
+        baseline != nullptr && baseline->events_per_sec > 0.0;
+    const double speedup =
+        has_baseline ? run.events_per_sec / baseline->events_per_sec : 0.0;
+    table.AddRow({std::to_string(run.producers), std::to_string(run.poller_hz),
+                  FormatCount(static_cast<int64_t>(run.events_per_sec)),
+                  has_baseline ? FormatDouble(speedup, 2) + "x" : "-",
+                  std::to_string(run.snapshots_taken)});
+    Json record = Json::Object();
+    record.Add("network", Json::Str(net->name()))
+        .Add("sites", Json::Int(sites))
+        .Add("producers", Json::Int(run.producers))
+        .Add("poller_hz", Json::Int(run.poller_hz))
+        .Add("events_per_sec", Json::Double(run.events_per_sec))
+        .Add("push_seconds", Json::Double(run.push_seconds));
+    if (has_baseline) {
+      record.Add("speedup_vs_single", Json::Double(speedup));
+    }
+    record.Add("snapshots_taken", Json::Int(run.snapshots_taken));
+    records.Append(std::move(record));
+  }
+  table.Print(std::cout);
+  std::cout << "\nthroughput is end-to-end (first Push to Finish); 'snapshots' "
+               "counts live Snapshot()\nqueries served during the run by the "
+               "poller thread.\n\n";
+
+  bool gate_failed = false;
+  if (flags.GetBool("assert-scaling")) {
+    // (a) Multi-producer scaling, derated to the machine's parallelism.
+    // Producer-side speedup is only expressible once the producers AND the
+    // k sites + coordinator all get real cores (~16 threads for the
+    // default 8x8 sweep); below that the downstream stages saturate the
+    // machine in both configs and parity is the honest floor, and a single
+    // hardware thread can only show that sharded ingest does not COLLAPSE
+    // under contention.
+    const double required =
+        hw >= 16 ? 3.0 : (hw >= 8 ? 1.5 : (hw >= 2 ? 0.85 : 0.5));
+    const IngestRun* single = find_run(1, 0);
+    const IngestRun* multi = find_run(8, 0);
+    if (single != nullptr && multi != nullptr) {
+      if (multi->events_per_sec < required * single->events_per_sec) {
+        std::cerr << "GATE FAILED: 8-producer throughput "
+                  << static_cast<int64_t>(multi->events_per_sec)
+                  << " ev/s < " << required << "x single-producer "
+                  << static_cast<int64_t>(single->events_per_sec)
+                  << " ev/s (hw threads: " << hw << ")\n";
+        gate_failed = true;
+      }
+    } else {
+      std::cerr << "GATE FAILED: --assert-scaling needs producers 1 and 8 "
+                   "and poller-hz 0 in the sweep\n";
+      gate_failed = true;
+    }
+    // (b) Poller cost: 100 Hz of live queries must stay under 10% (25%
+    // under sanitizers, whose instrumented copies distort the ratio).
+    const double poller_floor = kSanitizedBuild ? 0.75 : 0.9;
+    for (const int producers : producer_counts) {
+      const IngestRun* quiet = find_run(producers, 0);
+      const IngestRun* polled = find_run(producers, 100);
+      if (quiet == nullptr || polled == nullptr) continue;
+      if (polled->events_per_sec < poller_floor * quiet->events_per_sec) {
+        std::cerr << "GATE FAILED: 100 Hz poller cut throughput to "
+                  << static_cast<int64_t>(polled->events_per_sec) << " ev/s (< "
+                  << static_cast<int64_t>(poller_floor * 100) << "% of "
+                  << static_cast<int64_t>(quiet->events_per_sec) << ") at "
+                  << producers << " producers\n";
+        gate_failed = true;
+      }
+    }
+  }
+
+  if (!flags.GetString("json").empty()) {
+    Json root = Json::Object();
+    root.Add("bench", Json::Str("ingest_scale"))
+        .Add("events_per_run", Json::Int(num_events))
+        .Add("sites", Json::Int(sites))
+        .Add("batch_size", Json::Int(batch))
+        .Add("epsilon", Json::Double(eps))
+        .Add("seed", Json::Int(flags.GetInt64("seed")))
+        .Add("hardware_threads", Json::Int(static_cast<int64_t>(hw)))
+        .Add("results", std::move(records));
+    const Status written = WriteJsonReport(flags.GetString("json"), root);
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << flags.GetString("json") << "\n";
+  }
+  return gate_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace dsgm
+
+int main(int argc, char** argv) { return dsgm::Main(argc, argv); }

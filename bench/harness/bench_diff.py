@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json perf-trajectory files and print per-metric deltas.
+
+The bench binaries (bench_fig7/8, bench_net_transport, bench_reactor_scale,
+bench_ingest_scale, ...) all emit the same shape: a root object of run-level
+scalars plus a "results" array of records. This tool aligns the two files'
+records by their identifying (non-numeric) fields plus any numeric fields
+that are sweep axes rather than measurements (sites, producers, poller_hz,
+...), then prints old -> new with absolute and relative deltas for every
+shared numeric metric.
+
+Intended as a NON-GATING report: exit code is 0 unless --fail-above is given
+a percent threshold AND a metric listed in --regress-metrics regresses past
+it. CI runs it best-effort against the previous commit's uploaded artifacts
+(see .github/workflows/ci.yml); locally:
+
+    bench/harness/bench_diff.py old/BENCH_ingest.json BENCH_ingest.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Numeric fields that identify a record (sweep axes) rather than measure it.
+KEY_FIELDS = {
+    "sites", "producers", "poller_hz", "events_per_run", "batch_size",
+    "seed", "epsilon", "events", "replicas", "num_events",
+}
+# Metrics where bigger is better; everything else numeric is assumed
+# smaller-is-better when judging "regression" for --fail-above.
+BIGGER_IS_BETTER = re.compile(
+    r"(events_per_sec|throughput|speedup|snapshots_taken)")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def record_key(record):
+    """Stable identity of one results record: its non-metric fields."""
+    parts = []
+    for field in sorted(record):
+        value = record[field]
+        if not is_number(value) or field in KEY_FIELDS:
+            parts.append(f"{field}={value}")
+    return ", ".join(parts)
+
+
+def extract_records(root):
+    """Yields (key, {metric: value}) for the results array plus root scalars."""
+    records = []
+    if isinstance(root, dict):
+        results = root.get("results", [])
+        scalars = {k: v for k, v in root.items()
+                   if is_number(v) and k not in KEY_FIELDS}
+        if scalars:
+            records.append(("<run totals>", scalars))
+        for record in results:
+            if not isinstance(record, dict):
+                continue
+            metrics = {k: v for k, v in record.items()
+                       if is_number(v) and k not in KEY_FIELDS}
+            if metrics:
+                records.append((record_key(record), metrics))
+    return records
+
+
+def fmt(value):
+    if isinstance(value, float) and value != int(value):
+        return f"{value:,.4g}"
+    return f"{int(value):,}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--metrics", default="",
+                        help="only report metrics matching this regex")
+    parser.add_argument("--fail-above", type=float, default=None, metavar="PCT",
+                        help="exit 1 if a --regress-metrics metric regresses "
+                             "by more than PCT%% (default: never fail)")
+    parser.add_argument("--regress-metrics", default="events_per_sec",
+                        help="regex of metrics judged by --fail-above")
+    args = parser.parse_args()
+
+    with open(args.old) as f:
+        old_root = json.load(f)
+    with open(args.new) as f:
+        new_root = json.load(f)
+
+    old_records = dict(extract_records(old_root))
+    new_records = dict(extract_records(new_root))
+    metric_filter = re.compile(args.metrics) if args.metrics else None
+    regress_filter = re.compile(args.regress_metrics)
+
+    bench = new_root.get("bench", "?") if isinstance(new_root, dict) else "?"
+    print(f"bench: {bench}   {args.old} -> {args.new}")
+    failed = False
+    width = max((len(k) for k in new_records), default=0)
+    for key, new_metrics in new_records.items():
+        old_metrics = old_records.get(key)
+        if old_metrics is None:
+            print(f"  {key:<{width}}  (new record; no baseline)")
+            continue
+        for metric, new_value in new_metrics.items():
+            if metric_filter and not metric_filter.search(metric):
+                continue
+            old_value = old_metrics.get(metric)
+            if old_value is None:
+                continue
+            delta = new_value - old_value
+            if old_value:
+                pct = delta / old_value * 100.0
+            else:
+                pct = 0.0 if delta == 0 else float("inf")
+            arrow = "+" if delta >= 0 else ""
+            line = (f"  {key:<{width}}  {metric}: {fmt(old_value)} -> "
+                    f"{fmt(new_value)}  ({arrow}{pct:.1f}%)")
+            if args.fail_above is not None and regress_filter.search(metric):
+                bigger_better = bool(BIGGER_IS_BETTER.search(metric))
+                regressed = (-pct if bigger_better else pct) > args.fail_above
+                if regressed:
+                    line += "  <-- REGRESSION"
+                    failed = True
+            print(line)
+    for key in old_records:
+        if key not in new_records:
+            print(f"  {key:<{width}}  (dropped; present only in baseline)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

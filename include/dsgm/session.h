@@ -17,15 +17,29 @@
 //   ModelView live = *(*session)->Snapshot();          // query mid-run
 //   RunReport report = *(*session)->Finish();          // join + validate
 //
-// Sessions are single-owner objects: call all methods from one thread (the
-// backend's protocol threads run underneath and Snapshot() synchronizes
-// with them internally). The network must outlive the session.
+// Concurrency. Push, PushBatch, Drain, and Snapshot may be called from any
+// number of threads simultaneously: every calling thread is lazily assigned
+// its own ingest shard (a private router plus per-site staged batches —
+// src/api/sharded_router.h), so concurrent producers share no lock on the
+// hot path. Each shard routes its events to uniformly random sites (the
+// paper's arrival model) and hands full batches to the sites over its own
+// single-producer lanes. Events staged in another thread's shard count as
+// in-flight for Snapshot(), which reflects the CALLING thread's accepted
+// events plus whatever the sites have absorbed; a producer thread that
+// exits parks its staged events with the session, and the next Snapshot
+// or Finish (from any thread) delivers them. StreamGroundTruth shares
+// one sampler and remains single-caller, and Finish() must be called after
+// every pushing thread has been joined (or otherwise synchronized-with):
+// it flushes all shards and closes the stream. The network must outlive
+// the session.
 
 #ifndef DSGM_INCLUDE_DSGM_SESSION_H_
 #define DSGM_INCLUDE_DSGM_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +55,50 @@
 
 namespace dsgm {
 
+class Session;
+
+namespace internal {
+
+/// One ingest caller's private state: the routing Rng, the per-site staged
+/// batches, and the per-site delivery lanes the backend binds lazily.
+/// Shards are created on a thread's first Push into a session and live in
+/// that thread's local cache plus the session's registry; `retired` flags
+/// dead sessions' shards so long-lived threads prune their caches. When a
+/// producer thread exits before the session finishes, its cache entry's
+/// destructor parks the shard as an orphan; the session's next Snapshot or
+/// Finish flush delivers the staged batches and releases the staging
+/// buffers, so an exited thread's events are never stranded until Finish.
+struct IngestShard {
+  uint64_t session_id = 0;
+  int index = 0;  // 0 = first registered; it carries the legacy routing Rng.
+  Rng router;
+  std::vector<EventBatch> pending;           // staged events, one per site
+  std::vector<Channel<EventBatch>*> lanes;   // backend-bound, one per site
+  std::atomic<bool> retired{false};
+  /// Serializes the flush paths (Finish's flush-all vs the owner thread's
+  /// exit flush). The staging hot path takes no lock: only the owner
+  /// thread mutates `pending` while it lives.
+  std::mutex flush_mu;
+};
+
+/// Shared liveness handle between a session and the thread-local shard
+/// caches: the session nulls `session` under `mu` at destruction, so an
+/// exiting producer thread can safely flush into a still-live session and
+/// quietly skip a dead one.
+struct SessionLiveHandle {
+  std::mutex mu;
+  Session* session = nullptr;
+};
+
+/// Thread-exit hook of a shard cache entry (see IngestShard): parks the
+/// shard as an orphan for the session's next Snapshot/Finish flush. It
+/// must not deliver batches itself — TLS destructor order is unspecified,
+/// so transport code (with its own thread_locals) cannot run here.
+void FlushShardOnThreadExit(Session* session,
+                            const std::shared_ptr<IngestShard>& shard);
+
+}  // namespace internal
+
 class Session {
  public:
   virtual ~Session();
@@ -48,67 +106,118 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Feeds one training instance; the session routes it to a uniformly
-  /// random site (the paper's arrival model). Validates domain bounds.
-  /// Fails with kFailedPrecondition after Finish().
+  /// Feeds one training instance; the calling thread's shard routes it to a
+  /// uniformly random site (the paper's arrival model). Validates domain
+  /// bounds. Thread-safe: any number of producer threads may push into one
+  /// session concurrently. Fails with kFailedPrecondition after Finish().
   Status Push(const Instance& event);
 
-  /// Push() in bulk.
+  /// Push() in bulk. Thread-safe like Push.
   Status PushBatch(const std::vector<Instance>& events);
 
-  /// Pulls `source` until it is exhausted, pushing every instance.
+  /// Pulls `source` until it is exhausted, pushing every instance. The
+  /// source itself is driven by the calling thread only.
   Status Drain(EventSource* source);
 
   /// Convenience for simulations: samples `num_events` instances from the
   /// session network's ground-truth CPDs and pushes them. The sampler
   /// persists across calls, so successive calls continue one stream —
   /// stream 10k, Snapshot(), stream 90k more, and the session has seen
-  /// 100k distinct events. Deterministic in the tracker seed.
+  /// 100k distinct events. Deterministic in the tracker seed. Single-caller
+  /// (one shared sampler); concurrent Push from other threads is fine.
   Status StreamGroundTruth(int64_t num_events);
 
   /// Queryable model snapshot at this instant — Algorithm 3's QUERY while
-  /// the run is live. On the cluster backends any staged dispatch batches
-  /// are flushed to the sites first, so the view reflects every accepted
-  /// event modulo in-flight delivery. After a successful Finish() it
-  /// returns the final model; after a failed one, an error.
+  /// the run is live. Thread-safe, and on the cluster backends it never
+  /// blocks the protocol: the coordinator publishes into a double-buffered
+  /// epoch snapshot at batch boundaries and Snapshot() reads the stable
+  /// buffer. The calling thread's staged dispatch batches are flushed to
+  /// the sites first, so the view reflects every event this thread pushed
+  /// (other threads' staged batches count as in-flight). After a
+  /// successful Finish() it returns the final model; after a failed one,
+  /// an error.
   virtual StatusOr<ModelView> Snapshot() = 0;
 
   /// Closes the stream, runs the protocol to completion, joins every
   /// backend thread, and returns the unified report (timing, communication,
-  /// validation against exact counts, final model). Call exactly once.
+  /// validation against exact counts, final model). Call exactly once,
+  /// after every pushing and snapshotting thread has been joined (or
+  /// otherwise synchronized-with): Finish flushes ALL shards' staged
+  /// batches and publishes the final model, which is only safe once those
+  /// threads have quiesced.
   virtual StatusOr<RunReport> Finish() = 0;
 
   Backend backend() const { return backend_; }
   const BayesianNetwork& network() const { return *network_; }
-  /// Events accepted so far (some may still be in flight to the sites).
-  int64_t events_pushed() const { return events_pushed_; }
+  /// Events accepted so far (some may still be staged or in flight to the
+  /// sites). Thread-safe.
+  int64_t events_pushed() const {
+    return events_pushed_.load(std::memory_order_relaxed);
+  }
 
  protected:
   /// `stream_seed` seeds StreamGroundTruth's sampler; `router_seed` the
   /// uniform site routing. Backends derive both from the tracker seed with
   /// the same schedule the legacy free-function drivers used, so identical
-  /// configs produce identical streams on every backend.
+  /// configs produce identical streams on every backend. `batch_size` is
+  /// the per-shard staging bound: a shard hands a site its batch once it
+  /// holds this many events (1 = deliver per event).
   Session(Backend backend, const BayesianNetwork& network, int num_sites,
-          uint64_t stream_seed, uint64_t router_seed);
+          int batch_size, uint64_t stream_seed, uint64_t router_seed);
 
-  /// Backend-specific delivery of one validated instance.
-  virtual Status PushImpl(const Instance& event) = 0;
+  /// Backend-specific delivery of one full routed batch. Must be safe to
+  /// call from any number of producer threads concurrently; `shard` is the
+  /// calling thread's shard (its `lanes` entry for `site` is the backend's
+  /// to bind and reuse).
+  virtual Status DeliverBatch(internal::IngestShard& shard, int site,
+                              EventBatch&& batch) = 0;
 
-  int NextSite() {
-    return static_cast<int>(
-        router_.NextBounded(static_cast<uint64_t>(num_sites_)));
-  }
+  /// The calling thread's shard, created and registered on first use.
+  internal::IngestShard* CurrentShard();
 
-  bool finished_ = false;
-  int64_t events_pushed_ = 0;
+  /// Delivers every staged batch of `shard` (serialized on the shard's
+  /// flush mutex against the thread-exit flush).
+  Status FlushShard(internal::IngestShard* shard);
+  /// Flushes the calling thread's shard, if it has one (Snapshot path).
+  Status FlushCallerShard();
+  /// Flushes every registered shard. Only safe once all producer threads
+  /// have quiesced with a happens-before edge to the caller (Finish path).
+  Status FlushAllShards();
+
+  int num_sites() const { return num_sites_; }
+  int batch_size() const { return batch_size_; }
+
+  std::atomic<bool> finished_{false};
+  std::atomic<int64_t> events_pushed_{0};
 
  private:
+  friend void internal::FlushShardOnThreadExit(
+      Session* session, const std::shared_ptr<internal::IngestShard>& shard);
+
+  internal::IngestShard* RegisterShard();
+  Status FlushShardLocked(internal::IngestShard* shard);
+  /// Delivers (and releases the buffers of) shards whose owner threads
+  /// exited; runs on the Snapshot and Finish flush paths.
+  Status FlushOrphanedShards();
+  Status StageRouted(internal::IngestShard* shard, const Instance& event);
+
   Backend backend_;
   const BayesianNetwork* network_;
   int num_sites_;
+  int batch_size_;
   uint64_t stream_seed_;
-  Rng router_;
+  uint64_t router_seed_;
+  uint64_t id_;
   std::unique_ptr<ForwardSampler> ground_truth_;  // lazy, StreamGroundTruth
+  /// Shard registry: touched only on a thread's first push (registration),
+  /// at Finish (flush-all), and at destruction (retire) — never on the
+  /// per-event path.
+  std::mutex shards_mu_;
+  std::vector<std::shared_ptr<internal::IngestShard>> shards_;
+  std::shared_ptr<internal::SessionLiveHandle> live_;
+  /// Shards parked by exited producer threads, awaiting delivery.
+  std::mutex orphans_mu_;
+  std::vector<std::shared_ptr<internal::IngestShard>> orphaned_shards_;
 };
 
 /// Everything a SessionBuilder can configure. Builders validate on Build();

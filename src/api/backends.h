@@ -37,8 +37,9 @@ SeedSchedule DeriveSeedSchedule(const TrackerConfig& tracker);
 RunReport ReportFromClusterResult(const ClusterResult& result, Backend backend);
 
 /// Machinery shared by the kThreads and kLocalTcp backends: a
-/// CoordinatorNode running on its own thread, per-site event lanes with
-/// batch staging, and mid-run snapshots via CoordinatorNode::SnapshotState.
+/// CoordinatorNode running on its own thread, per-shard per-site event
+/// lanes, and mid-run snapshots via CoordinatorNode's double-buffered
+/// SnapshotState (which never blocks the protocol loop).
 class ClusterSessionBase : public Session {
  public:
   StatusOr<ModelView> Snapshot() override;
@@ -47,7 +48,21 @@ class ClusterSessionBase : public Session {
   ClusterSessionBase(Backend backend, const BayesianNetwork& network,
                      const SessionOptions& options, const SeedSchedule& seeds);
 
-  Status PushImpl(const Instance& event) override;
+  /// Pushes a full routed batch down the shard's lane for `site`, binding
+  /// the lane on first use via ShardLane. Fails if the lane has closed
+  /// underneath the session; a recorded run failure (see below) takes
+  /// precedence as the error.
+  Status DeliverBatch(internal::IngestShard& shard, int site,
+                      EventBatch&& batch) override;
+
+  /// The delivery channel a (new) shard should use for `site`. The default
+  /// hands out the transport's event channel, whose Push is thread-safe on
+  /// every socket transport (mutex/outbox-serialized); the loopback
+  /// kThreads backend overrides this with a private SPSC hub lane per
+  /// shard. Called from producer threads — must be thread-safe.
+  virtual Channel<EventBatch>* ShardLane(int site) {
+    return event_channels_[static_cast<size_t>(site)];
+  }
 
   /// Builds the coordinator over the given plumbing and starts its thread.
   /// Called once from the derived constructor/Init after the transport is
@@ -55,11 +70,6 @@ class ClusterSessionBase : public Session {
   void StartCoordinator(Channel<UpdateBundle>* updates,
                         std::vector<Channel<RoundAdvance>*> commands);
 
-  /// Pushes the staged batch of `site` (no-op when empty). Fails if the
-  /// site's event lane has closed underneath the session; a recorded run
-  /// failure (see below) takes precedence as the error.
-  Status FlushSite(int site);
-  Status FlushAll();
   void CloseEventChannels();
   void JoinCoordinator();
 
@@ -85,7 +95,6 @@ class ClusterSessionBase : public Session {
   std::thread coordinator_thread_;
   /// One event lane per site, filled by the derived backend.
   std::vector<Channel<EventBatch>*> event_channels_;
-  std::vector<EventBatch> pending_;
   ModelView final_view_;
 
  private:

@@ -1,4 +1,5 @@
-// Session base class, SessionBuilder, and the kInProcess backend.
+// Session base class (sharded concurrent ingest), SessionBuilder, and the
+// kInProcess backend.
 
 #include "dsgm/session.h"
 
@@ -27,18 +28,215 @@ const char* ToString(Backend backend) {
 
 // --- Session base -------------------------------------------------------
 
+namespace {
+
+uint64_t NextSessionId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// A thread's shard cache: one entry per session it has pushed into. The
+/// shared_ptr keeps a shard's memory valid even after its session died;
+/// `retired` entries are pruned on the next slow-path registration so
+/// long-lived ingest threads don't accumulate shards across sessions. The
+/// destructor runs at thread exit (and on pruning): it PARKS the shard
+/// with its still-live session as an orphan, so an exited producer's
+/// staged events are delivered by the session's next Snapshot or Finish
+/// flush instead of waiting only for Finish. It must not deliver batches
+/// itself: delivery runs transport code (e.g. the reactor's thread_local
+/// encode scratch), and C++ gives no ordering among a dying thread's TLS
+/// destructors — touching another thread_local here is a use-after-free.
+struct ShardRef {
+  uint64_t session_id = 0;
+  std::shared_ptr<internal::IngestShard> shard;
+  std::shared_ptr<internal::SessionLiveHandle> live;
+
+  ShardRef(uint64_t id, std::shared_ptr<internal::IngestShard> shard_in,
+           std::shared_ptr<internal::SessionLiveHandle> live_in)
+      : session_id(id), shard(std::move(shard_in)), live(std::move(live_in)) {}
+  // Moves must not park: vector growth and remove_if shuffle entries
+  // around, and a moved-from ref holds null pointers, which the destructor
+  // treats as "nothing to do".
+  ShardRef(ShardRef&&) = default;
+  ShardRef& operator=(ShardRef&&) = default;
+  ShardRef(const ShardRef&) = delete;
+  ShardRef& operator=(const ShardRef&) = delete;
+
+  ~ShardRef() {
+    if (shard == nullptr || live == nullptr) return;
+    std::lock_guard<std::mutex> lock(live->mu);
+    if (live->session != nullptr) {
+      internal::FlushShardOnThreadExit(live->session, shard);
+    }
+  }
+};
+thread_local std::vector<ShardRef> tls_shards;
+
+}  // namespace
+
+namespace internal {
+
+void FlushShardOnThreadExit(Session* session,
+                            const std::shared_ptr<IngestShard>& shard) {
+  // A finished session has flushed everything already; leftover staged
+  // events of a thread outliving Finish are dropped, exactly as a failed
+  // flush would drop them.
+  if (session->finished_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(session->orphans_mu_);
+  session->orphaned_shards_.push_back(shard);
+}
+
+}  // namespace internal
+
 Session::Session(Backend backend, const BayesianNetwork& network, int num_sites,
-                 uint64_t stream_seed, uint64_t router_seed)
+                 int batch_size, uint64_t stream_seed, uint64_t router_seed)
     : backend_(backend),
       network_(&network),
       num_sites_(num_sites),
+      batch_size_(batch_size),
       stream_seed_(stream_seed),
-      router_(router_seed) {}
+      router_seed_(router_seed),
+      id_(NextSessionId()),
+      live_(std::make_shared<internal::SessionLiveHandle>()) {
+  live_->session = this;
+}
 
-Session::~Session() = default;
+Session::~Session() {
+  {
+    // After this, an exiting producer thread's flush hook sees a dead
+    // session and skips (the lock also waits out a flush already running).
+    std::lock_guard<std::mutex> lock(live_->mu);
+    live_->session = nullptr;
+  }
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    shard->retired.store(true, std::memory_order_release);
+  }
+}
+
+internal::IngestShard* Session::CurrentShard() {
+  for (const ShardRef& ref : tls_shards) {
+    if (ref.session_id == id_) return ref.shard.get();
+  }
+  return RegisterShard();
+}
+
+internal::IngestShard* Session::RegisterShard() {
+  tls_shards.erase(
+      std::remove_if(tls_shards.begin(), tls_shards.end(),
+                     [](const ShardRef& ref) {
+                       return ref.shard->retired.load(std::memory_order_acquire);
+                     }),
+      tls_shards.end());
+  auto shard = std::make_shared<internal::IngestShard>();
+  shard->session_id = id_;
+  const size_t reserve = static_cast<size_t>(batch_size_) *
+                         static_cast<size_t>(network_->num_variables());
+  shard->pending.resize(static_cast<size_t>(num_sites_));
+  for (EventBatch& batch : shard->pending) batch.values.reserve(reserve);
+  shard->lanes.assign(static_cast<size_t>(num_sites_), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shard->index = static_cast<int>(shards_.size());
+    if (shard->index == 0) {
+      // The first shard routes with the session's own Rng — a single-caller
+      // session assigns events to sites exactly as pre-sharding sessions
+      // did, keeping identical configs bit-reproducible across backends.
+      shard->router = Rng(router_seed_);
+    } else {
+      uint64_t derive =
+          router_seed_ ^ (0x9e3779b97f4a7c15ULL *
+                          static_cast<uint64_t>(shard->index));
+      shard->router = Rng(SplitMix64(derive));
+    }
+    shards_.push_back(shard);
+  }
+  tls_shards.emplace_back(id_, shard, live_);
+  return shard.get();
+}
+
+Status Session::StageRouted(internal::IngestShard* shard,
+                            const Instance& event) {
+  const int site =
+      static_cast<int>(shard->router.NextBounded(static_cast<uint64_t>(num_sites_)));
+  EventBatch& batch = shard->pending[static_cast<size_t>(site)];
+  batch.values.insert(batch.values.end(), event.begin(), event.end());
+  if (++batch.num_events >= batch_size_) {
+    EventBatch full = std::move(batch);
+    batch = EventBatch{};
+    batch.values.reserve(static_cast<size_t>(batch_size_) *
+                         static_cast<size_t>(network_->num_variables()));
+    DSGM_RETURN_IF_ERROR(DeliverBatch(*shard, site, std::move(full)));
+  }
+  events_pushed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Session::FlushShard(internal::IngestShard* shard) {
+  std::lock_guard<std::mutex> lock(shard->flush_mu);
+  return FlushShardLocked(shard);
+}
+
+Status Session::FlushShardLocked(internal::IngestShard* shard) {
+  // Over pending.size(), not num_sites_: an exit-flushed shard has released
+  // its (empty) staging buffers entirely.
+  for (size_t s = 0; s < shard->pending.size(); ++s) {
+    EventBatch& batch = shard->pending[s];
+    if (batch.num_events == 0) continue;
+    EventBatch full = std::move(batch);
+    batch = EventBatch{};
+    batch.values.reserve(static_cast<size_t>(batch_size_) *
+                         static_cast<size_t>(network_->num_variables()));
+    DSGM_RETURN_IF_ERROR(DeliverBatch(*shard, static_cast<int>(s),
+                                      std::move(full)));
+  }
+  return Status::Ok();
+}
+
+Status Session::FlushOrphanedShards() {
+  std::vector<std::shared_ptr<internal::IngestShard>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(orphans_mu_);
+    orphans.swap(orphaned_shards_);
+  }
+  for (const auto& shard : orphans) {
+    std::lock_guard<std::mutex> lock(shard->flush_mu);
+    DSGM_RETURN_IF_ERROR(FlushShardLocked(shard.get()));
+    // The owner thread is gone; nothing will stage into this shard again,
+    // so the reserved staging buffers can go now instead of at teardown.
+    shard->pending.clear();
+    shard->pending.shrink_to_fit();
+  }
+  return Status::Ok();
+}
+
+Status Session::FlushCallerShard() {
+  DSGM_RETURN_IF_ERROR(FlushOrphanedShards());
+  for (const ShardRef& ref : tls_shards) {
+    if (ref.session_id == id_) return FlushShard(ref.shard.get());
+  }
+  return Status::Ok();  // This thread never pushed; nothing staged.
+}
+
+Status Session::FlushAllShards() {
+  std::vector<std::shared_ptr<internal::IngestShard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards = shards_;
+  }
+  {
+    // The registry already covers every orphan; just drop the parked refs.
+    std::lock_guard<std::mutex> lock(orphans_mu_);
+    orphaned_shards_.clear();
+  }
+  for (const auto& shard : shards) {
+    DSGM_RETURN_IF_ERROR(FlushShard(shard.get()));
+  }
+  return Status::Ok();
+}
 
 Status Session::Push(const Instance& event) {
-  if (finished_) {
+  if (finished_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("session: Push after Finish");
   }
   const int n = network_->num_variables();
@@ -56,9 +254,7 @@ Status Session::Push(const Instance& event) {
           std::to_string(network_->cardinality(i)) + ")");
     }
   }
-  DSGM_RETURN_IF_ERROR(PushImpl(event));
-  ++events_pushed_;
-  return Status::Ok();
+  return StageRouted(CurrentShard(), event);
 }
 
 Status Session::PushBatch(const std::vector<Instance>& events) {
@@ -80,20 +276,20 @@ Status Session::StreamGroundTruth(int64_t num_events) {
   if (num_events < 0) {
     return InvalidArgumentError("session: num_events must be non-negative");
   }
-  if (finished_) {
+  if (finished_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("session: StreamGroundTruth after Finish");
   }
   if (ground_truth_ == nullptr) {
     ground_truth_ = std::make_unique<ForwardSampler>(*network_, stream_seed_);
   }
+  internal::IngestShard* shard = CurrentShard();
   Instance event;
   for (int64_t e = 0; e < num_events; ++e) {
     ground_truth_->Sample(&event);
-    // Straight to the backend: the sampler produces in-domain values by
+    // Straight to the shard: the sampler produces in-domain values by
     // construction, and this is the Figs. 7-8 dispatch hot path — Push's
     // per-event domain validation is for external input.
-    DSGM_RETURN_IF_ERROR(PushImpl(event));
-    ++events_pushed_;
+    DSGM_RETURN_IF_ERROR(StageRouted(shard, event));
   }
   return Status::Ok();
 }
@@ -120,19 +316,31 @@ class InProcessSession final : public Session {
  public:
   InProcessSession(const BayesianNetwork& network, const SessionOptions& options,
                    const SeedSchedule& seeds)
+      // Batch size 1: events reach the tracker in push order, so a
+      // single-caller session reproduces pre-sharding results bit-exactly
+      // even in approx mode (the simulated protocol is order-sensitive).
+      // Concurrent producers serialize on tracker_mu_ per event — correct,
+      // and the scaling story belongs to the cluster backends.
       : Session(Backend::kInProcess, network, options.tracker.num_sites,
-                seeds.sampler_seed, seeds.router_seed),
+                /*batch_size=*/1, seeds.sampler_seed, seeds.router_seed),
         layout_(std::make_shared<CounterLayout>(network)),
+        scratch_(static_cast<size_t>(network.num_variables())),
         tracker_(network, options.tracker) {}
 
   StatusOr<ModelView> Snapshot() override {
-    if (finished_) return final_view_;
+    if (finished_.load(std::memory_order_acquire)) return final_view_;
+    DSGM_RETURN_IF_ERROR(FlushCallerShard());
+    std::lock_guard<std::mutex> lock(tracker_mu_);
     return BuildView();
   }
 
   StatusOr<RunReport> Finish() override {
-    if (finished_) return FailedPreconditionError("session: Finish called twice");
-    finished_ = true;
+    if (finished_.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("session: Finish called twice");
+    }
+    DSGM_RETURN_IF_ERROR(FlushAllShards());
+    finished_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(tracker_mu_);
     RunReport report;
     report.backend = Backend::kInProcess;
     report.events_processed = tracker_.events_observed();
@@ -151,12 +359,21 @@ class InProcessSession final : public Session {
   }
 
  protected:
-  Status PushImpl(const Instance& event) override {
-    tracker_.Observe(event, NextSite());
+  Status DeliverBatch(internal::IngestShard& /*shard*/, int site,
+                      EventBatch&& batch) override {
+    std::lock_guard<std::mutex> lock(tracker_mu_);
+    const int n = layout_->num_vars;
+    const int32_t* cursor = batch.values.data();
+    for (int32_t e = 0; e < batch.num_events; ++e) {
+      scratch_.assign(cursor, cursor + n);
+      tracker_.Observe(scratch_, site);
+      cursor += n;
+    }
     return Status::Ok();
   }
 
  private:
+  // BuildView/MaxRelErrorToExact read the tracker; callers hold tracker_mu_.
   ModelView BuildView() const {
     std::vector<double> estimates(
         static_cast<size_t>(layout_->total_counters()), 0.0);
@@ -201,6 +418,10 @@ class InProcessSession final : public Session {
   }
 
   std::shared_ptr<const CounterLayout> layout_;
+  /// Serializes tracker access between concurrent producers (one lock per
+  /// delivered event) and snapshot/finish readers.
+  std::mutex tracker_mu_;
+  Instance scratch_;  // DeliverBatch decode buffer, guarded by tracker_mu_
   MleTracker tracker_;
   WallTimer wall_;
   ModelView final_view_;

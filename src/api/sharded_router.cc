@@ -1,0 +1,170 @@
+#include "api/sharded_router.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace dsgm {
+namespace internal {
+
+/// One producer's private SPSC lane. Push is single-producer by contract;
+/// the pop side is only ever called by the hub's single consumer.
+class SpscLaneHub::Lane final : public Channel<EventBatch> {
+ public:
+  Lane(SpscLaneHub* hub, size_t capacity) : hub_(hub), ring_(capacity) {}
+
+  bool Push(EventBatch item) override {
+    while (true) {
+      if (ring_.closed()) return false;
+      if (ring_.TryPush(std::move(item))) break;
+      // Lane full: park until the consumer frees space. The sleeper flag +
+      // locked re-check pairs with NotifySpace below; the timed wait bounds
+      // the one unfenced window (flag store vs the consumer's pop) without
+      // costing anything in the steady state.
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_waiting_.store(true, std::memory_order_seq_cst);
+      if (ring_.closed()) {
+        producer_waiting_.store(false, std::memory_order_relaxed);
+        return false;
+      }
+      if (ring_.TryPush(std::move(item))) {
+        producer_waiting_.store(false, std::memory_order_relaxed);
+        break;
+      }
+      space_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      producer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    hub_->NotifyData();
+    return true;
+  }
+
+  size_t PopBatch(std::vector<EventBatch>*, size_t) override {
+    DSGM_CHECK(false) << "lane pops go through the hub";
+    return 0;
+  }
+
+  size_t TryPopBatch(std::vector<EventBatch>* out, size_t max_items) override {
+    const size_t got = ring_.TryPopBatch(out, max_items);
+    if (got > 0 && producer_waiting_.load(std::memory_order_seq_cst)) {
+      NotifySpace();
+    }
+    return got;
+  }
+
+  void Close() override {
+    ring_.Close();
+    NotifySpace();
+  }
+
+  bool Drained() {
+    // Consumer side: closed and nothing left to pop. The acquire load in
+    // size_approx keeps a racing final push visible before the close.
+    return ring_.closed() && ring_.size_approx() == 0;
+  }
+
+ private:
+  void NotifySpace() {
+    // Taking the lane mutex serializes with the producer's locked re-check,
+    // so the wake cannot slip between its failed TryPush and its wait.
+    std::lock_guard<std::mutex> lock(mu_);
+    space_cv_.notify_one();
+  }
+
+  SpscLaneHub* hub_;
+  SpscRing<EventBatch> ring_;
+  std::mutex mu_;
+  std::condition_variable space_cv_;
+  std::atomic<bool> producer_waiting_{false};
+};
+
+SpscLaneHub::SpscLaneHub(size_t lane_capacity) : lane_capacity_(lane_capacity) {}
+
+SpscLaneHub::~SpscLaneHub() = default;
+
+Channel<EventBatch>* SpscLaneHub::AddLane() {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  lanes_.push_back(std::make_unique<Lane>(this, lane_capacity_));
+  Lane* lane = lanes_.back().get();
+  if (closed_.load(std::memory_order_acquire)) lane->Close();
+  lane_count_.store(lanes_.size(), std::memory_order_release);
+  return lane;
+}
+
+bool SpscLaneHub::Push(EventBatch) {
+  DSGM_CHECK(false) << "SpscLaneHub: producers must push through AddLane()";
+  return false;
+}
+
+size_t SpscLaneHub::SweepLanes(std::vector<EventBatch>* out, size_t max_items) {
+  if (cached_lanes_.size() != lane_count_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    cached_lanes_.clear();
+    for (const auto& lane : lanes_) cached_lanes_.push_back(lane.get());
+  }
+  size_t got = 0;
+  const size_t n = cached_lanes_.size();
+  for (size_t i = 0; i < n && got < max_items; ++i) {
+    // Rotate the starting lane so one chatty producer cannot starve the
+    // others out of their round-robin share.
+    Lane* lane = cached_lanes_[(cursor_ + i) % n];
+    got += lane->TryPopBatch(out, max_items - got);
+  }
+  if (n > 0) cursor_ = (cursor_ + 1) % n;
+  return got;
+}
+
+size_t SpscLaneHub::TryPopBatch(std::vector<EventBatch>* out, size_t max_items) {
+  return SweepLanes(out, max_items);
+}
+
+size_t SpscLaneHub::PopBatch(std::vector<EventBatch>* out, size_t max_items) {
+  while (true) {
+    const size_t got = SweepLanes(out, max_items);
+    if (got > 0) return got;
+    if (closed_.load(std::memory_order_acquire)) {
+      // Closed: report 0 only once every lane is drained (a producer may
+      // have completed a push that raced the close).
+      bool drained = true;
+      for (Lane* lane : cached_lanes_) drained = drained && lane->Drained();
+      if (drained &&
+          cached_lanes_.size() == lane_count_.load(std::memory_order_acquire)) {
+        return 0;
+      }
+      continue;
+    }
+    // Park until a producer pushes. Flag first, then one more sweep: a push
+    // that lands between the sweep above and the flag store is caught by
+    // the re-check; one that races the re-check itself is caught by the
+    // producer seeing the flag, or at worst by the timed wake.
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    consumer_waiting_.store(true, std::memory_order_seq_cst);
+    const size_t again = SweepLanes(out, max_items);
+    if (again > 0 || closed_.load(std::memory_order_acquire)) {
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+      if (again > 0) return again;
+      continue;
+    }
+    data_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    consumer_waiting_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void SpscLaneHub::NotifyData() {
+  if (consumer_waiting_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    data_cv_.notify_one();
+  }
+}
+
+void SpscLaneHub::Close() {
+  closed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    for (const auto& lane : lanes_) lane->Close();
+  }
+  std::lock_guard<std::mutex> lock(sleep_mu_);
+  data_cv_.notify_all();
+}
+
+}  // namespace internal
+}  // namespace dsgm

@@ -1,0 +1,101 @@
+// The concurrent-ingest plumbing behind Session::Push: per-caller ingest
+// shards and the per-site SPSC lane hub.
+//
+// Ingest model. Every thread that calls Push/PushBatch/Drain on a Session
+// gets its own IngestShard — a thread-local router holding a private Rng
+// (the paper's uniformly-random site assignment), per-site staged
+// EventBatches, and per-site delivery lanes. The hot path therefore touches
+// no shared mutable state at all: route with the shard's own Rng, append to
+// the shard's own staging batch, and only when a batch fills does the shard
+// cross a thread boundary — through its own SPSC lane (in-process backends)
+// or the transport's thread-safe channel Push (socket backends).
+//
+// Lane hub. On the in-process substrates (kInProcess delivery, kThreads
+// over the loopback transport) the consumer of a site's events is a single
+// thread, so a SpscLaneHub gives each producing shard its own
+// common/spsc_ring.h lane and multiplexes them on the consumer side: the
+// SiteNode pops round-robin across lanes with no producer-shared lock.
+// Blocking happens only at the edges — a producer parks when its lane is
+// full, the consumer parks when every lane is empty — via condition
+// variables that the opposite side signals only when a sleeper flag is set,
+// so the steady state stays wait-free. The socket transports keep their own
+// (already thread-safe, mutex-serialized) channel Push at the transport
+// boundary; the hub is not used there.
+
+#ifndef DSGM_API_SHARDED_ROUTER_H_
+#define DSGM_API_SHARDED_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "net/channel.h"
+#include "net/wire.h"
+
+namespace dsgm {
+namespace internal {
+
+/// One-producer/one-consumer multiplexer for a site's event stream:
+/// producers register private SPSC lanes with AddLane(); the single
+/// consumer drains all lanes through the Channel<EventBatch> interface.
+/// Close() closes every lane; the consumer drains buffered batches and then
+/// sees 0, matching BoundedQueue/Channel close semantics.
+class SpscLaneHub final : public Channel<EventBatch> {
+ public:
+  /// `lane_capacity` bounds each producer's ring (backpressure per
+  /// producer). The default matches the loopback transport's per-site event
+  /// queue bound so the hub exerts comparable end-to-end backpressure.
+  explicit SpscLaneHub(size_t lane_capacity = 64);
+  ~SpscLaneHub() override;
+
+  /// Registers a new producer lane. The returned channel's Push may be
+  /// called by ONE thread only (the registering shard); it blocks while the
+  /// lane is full and returns false once the hub is closed. Thread-safe.
+  /// The hub owns the lane.
+  Channel<EventBatch>* AddLane();
+
+  /// Producers reach the hub only through their own lanes.
+  bool Push(EventBatch item) override;
+
+  /// Single consumer: round-robin drain across every registered lane.
+  size_t PopBatch(std::vector<EventBatch>* out, size_t max_items) override;
+  size_t TryPopBatch(std::vector<EventBatch>* out, size_t max_items) override;
+
+  void Close() override;
+
+ private:
+  class Lane;
+
+  /// Round-robin sweep over the lanes; returns items appended. Refreshes
+  /// the consumer's cached lane snapshot when producers registered since
+  /// the last sweep.
+  size_t SweepLanes(std::vector<EventBatch>* out, size_t max_items);
+  /// Producer-side: wake the consumer if it parked waiting for data.
+  void NotifyData();
+
+  const size_t lane_capacity_;
+
+  std::mutex lanes_mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<size_t> lane_count_{0};
+  std::atomic<bool> closed_{false};
+
+  /// Consumer park/wake. consumer_waiting_ is the sleeper flag producers
+  /// check after a push; the timed wait below is belt-and-braces against
+  /// the unfenced flag/data race window (see PopBatch).
+  std::mutex sleep_mu_;
+  std::condition_variable data_cv_;
+  std::atomic<bool> consumer_waiting_{false};
+
+  // Consumer-thread-only state (single consumer by contract).
+  std::vector<Lane*> cached_lanes_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace internal
+}  // namespace dsgm
+
+#endif  // DSGM_API_SHARDED_ROUTER_H_

@@ -120,9 +120,11 @@ class LocalTcpSession final : public ClusterSessionBase {
   }
 
   StatusOr<RunReport> Finish() override {
-    if (finished_) return FailedPreconditionError("session: Finish called twice");
-    finished_ = true;
-    const Status flushed = FlushAll();
+    if (finished_.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("session: Finish called twice");
+    }
+    finished_.store(true, std::memory_order_release);
+    const Status flushed = FlushAllShards();
     if (!flushed.ok()) {
       // A site vanished mid-run: tear everything down before reporting,
       // so the error return does not leak live threads and sockets.
@@ -146,7 +148,7 @@ class LocalTcpSession final : public ClusterSessionBase {
     result.wall_seconds = wall_.ElapsedSeconds();
     // In external mode the sites are remote; "processed" is the accepted
     // stream length (the validation counts confirm delivery).
-    result.events_processed = events_pushed_;
+    result.events_processed = events_pushed();
     result.transport_measured = true;
     result.transport_bytes_up = coordinator_io_->bytes_up();
     result.transport_bytes_down = coordinator_io_->bytes_down();

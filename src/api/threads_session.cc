@@ -3,10 +3,12 @@
 // coordinator thread, wired by a pluggable ClusterTransport — the
 // substrate of the paper's Figs. 7-8).
 
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "api/backends.h"
+#include "api/sharded_router.h"
 #include "cluster/site_node.h"
 #include "common/check.h"
 
@@ -34,16 +36,11 @@ ClusterSessionBase::ClusterSessionBase(Backend backend,
                                        const BayesianNetwork& network,
                                        const SessionOptions& options,
                                        const SeedSchedule& seeds)
-    : Session(backend, network, options.tracker.num_sites, seeds.sampler_seed,
-              seeds.router_seed),
+    : Session(backend, network, options.tracker.num_sites, options.batch_size,
+              seeds.sampler_seed, seeds.router_seed),
       options_(options),
       num_sites_(options.tracker.num_sites),
-      layout_(std::make_shared<CounterLayout>(network)),
-      pending_(static_cast<size_t>(options.tracker.num_sites)) {
-  const size_t reserve = static_cast<size_t>(options_.batch_size) *
-                         static_cast<size_t>(layout_->num_vars);
-  for (EventBatch& batch : pending_) batch.values.reserve(reserve);
-}
+      layout_(std::make_shared<CounterLayout>(network)) {}
 
 void ClusterSessionBase::StartCoordinator(
     Channel<UpdateBundle>* updates,
@@ -55,25 +52,11 @@ void ClusterSessionBase::StartCoordinator(
   coordinator_thread_ = std::thread([this] { coordinator_->Run(); });
 }
 
-Status ClusterSessionBase::PushImpl(const Instance& event) {
-  const int site = NextSite();
-  EventBatch& batch = pending_[static_cast<size_t>(site)];
-  batch.values.insert(batch.values.end(), event.begin(), event.end());
-  if (++batch.num_events >= options_.batch_size) {
-    return FlushSite(site);
-  }
-  return Status::Ok();
-}
-
-Status ClusterSessionBase::FlushSite(int site) {
-  EventBatch& batch = pending_[static_cast<size_t>(site)];
-  if (batch.num_events == 0) return Status::Ok();
-  const bool pushed =
-      event_channels_[static_cast<size_t>(site)]->Push(std::move(batch));
-  batch = EventBatch{};
-  batch.values.reserve(static_cast<size_t>(options_.batch_size) *
-                       static_cast<size_t>(layout_->num_vars));
-  if (!pushed) {
+Status ClusterSessionBase::DeliverBatch(internal::IngestShard& shard, int site,
+                                        EventBatch&& batch) {
+  Channel<EventBatch>*& lane = shard.lanes[static_cast<size_t>(site)];
+  if (lane == nullptr) lane = ShardLane(site);
+  if (!lane->Push(std::move(batch))) {
     return RunFailureOr(InternalError("session: site " + std::to_string(site) +
                                       "'s event lane closed mid-run"));
   }
@@ -96,13 +79,6 @@ Status ClusterSessionBase::RunFailureOr(Status fallback) const {
   return failure.ok() ? fallback : failure;
 }
 
-Status ClusterSessionBase::FlushAll() {
-  for (int s = 0; s < num_sites_; ++s) {
-    DSGM_RETURN_IF_ERROR(FlushSite(s));
-  }
-  return Status::Ok();
-}
-
 void ClusterSessionBase::CloseEventChannels() {
   for (Channel<EventBatch>* channel : event_channels_) channel->Close();
 }
@@ -120,7 +96,7 @@ ModelView ClusterSessionBase::ViewFromCoordinator(int64_t events_observed) const
 }
 
 StatusOr<ModelView> ClusterSessionBase::Snapshot() {
-  if (finished_) {
+  if (finished_.load(std::memory_order_acquire)) {
     if (final_view_.empty()) {
       return RunFailureOr(FailedPreconditionError(
           "session: Finish failed; no final model is available"));
@@ -130,11 +106,11 @@ StatusOr<ModelView> ClusterSessionBase::Snapshot() {
   // A failed run has no valid model to present, even if the estimates are
   // still readable.
   DSGM_RETURN_IF_ERROR(run_failure());
-  // Hand the staged batches to the sites first: a query must reflect every
-  // accepted event (modulo in-flight delivery), not stop at the last full
-  // dispatch batch.
-  DSGM_RETURN_IF_ERROR(FlushAll());
-  return ViewFromCoordinator(events_pushed_);
+  // Hand this thread's staged batches to the sites first: a query must
+  // reflect every event the calling thread pushed (modulo in-flight
+  // delivery); other producer threads' staged batches count as in-flight.
+  DSGM_RETURN_IF_ERROR(FlushCallerShard());
+  return ViewFromCoordinator(events_pushed());
 }
 
 // --- kThreads backend ---------------------------------------------------
@@ -147,18 +123,37 @@ class ThreadsSession final : public ClusterSessionBase {
                  const SeedSchedule& seeds)
       : ClusterSessionBase(Backend::kThreads, network, options, seeds) {
     const int k = num_sites_;
+    const bool loopback = !options_.transport;
     transport_ = options_.transport ? options_.transport(k)
                                     : MakeLoopbackTransport(k);
     DSGM_CHECK_EQ(transport_->num_sites(), k);
     const CoordinatorEndpoints endpoints = transport_->coordinator();
-    event_channels_ = endpoints.events;
+    std::vector<Channel<EventBatch>*> site_events = endpoints.events;
+    if (loopback) {
+      // In-process sites: bypass the transport's MPMC event queues with one
+      // SPSC lane hub per site, so N producer shards dispatch without any
+      // shared lock. Socket transports keep their own (thread-safe) channel
+      // Push at the transport boundary instead.
+      for (int s = 0; s < k; ++s) {
+        hubs_.push_back(std::make_unique<SpscLaneHub>());
+      }
+      site_events.clear();
+      event_channels_.clear();
+      for (int s = 0; s < k; ++s) {
+        site_events.push_back(hubs_[static_cast<size_t>(s)].get());
+        event_channels_.push_back(hubs_[static_cast<size_t>(s)].get());
+      }
+    } else {
+      event_channels_ = endpoints.events;
+    }
     StartCoordinator(endpoints.updates, endpoints.commands);
     for (int s = 0; s < k; ++s) {
       const SiteEndpoints site_endpoints = transport_->site(s);
+      Channel<EventBatch>* events =
+          loopback ? site_events[static_cast<size_t>(s)] : site_endpoints.events;
       sites_.push_back(std::make_unique<SiteNode>(
-          s, network, seeds.site_seeds[static_cast<size_t>(s)],
-          site_endpoints.events, site_endpoints.commands,
-          site_endpoints.updates));
+          s, network, seeds.site_seeds[static_cast<size_t>(s)], events,
+          site_endpoints.commands, site_endpoints.updates));
     }
     for (int s = 0; s < k; ++s) {
       site_threads_.emplace_back(
@@ -169,12 +164,14 @@ class ThreadsSession final : public ClusterSessionBase {
   ~ThreadsSession() override { Teardown(); }
 
   StatusOr<RunReport> Finish() override {
-    if (finished_) return FailedPreconditionError("session: Finish called twice");
-    finished_ = true;
+    if (finished_.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("session: Finish called twice");
+    }
+    finished_.store(true, std::memory_order_release);
     // Tear down even when the flush fails (a site lane closed early):
     // leaving protocol threads running behind an error return would leak
     // them until the destructor.
-    const Status flushed = FlushAll();
+    const Status flushed = FlushAllShards();
     Teardown();
     DSGM_RETURN_IF_ERROR(flushed);
 
@@ -187,7 +184,7 @@ class ThreadsSession final : public ClusterSessionBase {
     for (const auto& site : sites_) {
       result.events_processed += site->events_processed();
     }
-    DSGM_CHECK_EQ(result.events_processed, events_pushed_);
+    DSGM_CHECK_EQ(result.events_processed, events_pushed());
 
     std::vector<uint64_t> exact_totals(
         static_cast<size_t>(layout_->total_counters()), 0);
@@ -205,6 +202,12 @@ class ThreadsSession final : public ClusterSessionBase {
     return report;
   }
 
+ protected:
+  Channel<EventBatch>* ShardLane(int site) override {
+    if (!hubs_.empty()) return hubs_[static_cast<size_t>(site)]->AddLane();
+    return ClusterSessionBase::ShardLane(site);
+  }
+
  private:
   /// Ends the stream and joins every backend thread. Safe to call twice;
   /// also runs from the destructor so dropping an unfinished session never
@@ -220,6 +223,9 @@ class ThreadsSession final : public ClusterSessionBase {
   }
 
   std::unique_ptr<ClusterTransport> transport_;
+  /// Loopback mode only: per-site SPSC lane hubs (they ARE the site event
+  /// channels then). Destroyed after Teardown joined every consumer.
+  std::vector<std::unique_ptr<SpscLaneHub>> hubs_;
   std::vector<std::unique_ptr<SiteNode>> sites_;
   std::vector<std::thread> site_threads_;
   bool torn_down_ = false;

@@ -3,6 +3,7 @@
 #ifndef DSGM_CLUSTER_COORDINATOR_NODE_H_
 #define DSGM_CLUSTER_COORDINATOR_NODE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -44,10 +45,24 @@ class CoordinatorNode {
   int64_t num_counters() const { return num_counters_; }
 
   /// Thread-safe mid-run snapshot — the coordinator-side half of the
-  /// paper's Algorithm 3 QUERY: copies the current per-counter estimates
-  /// (and, when `comm` is non-null, the communication stats) while Run()
-  /// keeps consuming updates on its own thread. Consistent at bundle-batch
-  /// granularity: Run() applies each popped batch under the same lock.
+  /// paper's Algorithm 3 QUERY: copies the latest PUBLISHED estimates (and,
+  /// when `comm` is non-null, the communication stats) while Run() keeps
+  /// consuming updates on its own thread.
+  ///
+  /// Publication is double-buffered and activates on the first query (a
+  /// run that never snapshots pays nothing on the update path): Run()
+  /// periodically writes the cells touched since a buffer's last publish
+  /// into the inactive buffer — O(touched cells), not O(counters) — and
+  /// flips an epoch-style front index; it also publishes right before
+  /// blocking on an empty queue, so snapshots of a quiet stream are exact.
+  /// Readers copy the front buffer under that buffer's own mutex; the
+  /// writer only try_locks the back buffer and defers a publish (keeping
+  /// the cells dirty) when a laggard reader still holds it. In steady
+  /// state Run() therefore NEVER blocks on snapshot readers, no matter how
+  /// fast they poll (only the activating queries, before the first publish
+  /// lands, are served from the live state under the protocol lock), and a
+  /// snapshot is consistent at bundle-batch granularity — at most a few
+  /// batches behind the live state while the stream is hot.
   void SnapshotState(std::vector<double>* estimates, CommStats* comm) const;
 
   /// Thread-safe outstanding-sync cancellation for a site declared dead by
@@ -67,6 +82,27 @@ class CoordinatorNode {
   void MaybeAdvance(int64_t counter);
   /// Current per-site estimate contribution of a cell.
   double SiteEstimate(size_t cell, double p) const;
+  /// Records that estimates_[counter] changed since each buffer's last
+  /// publish (deduplicated per buffer via dirty bits). No-op until the
+  /// first query activates publication, so runs nobody queries pay nothing
+  /// on the report path. Run thread only.
+  void TouchEstimate(size_t counter);
+  /// Starts dirty tracking on the Run thread after the first query: marks
+  /// every cell pending once (the catch-up publish is one full copy, like
+  /// a single pre-PR5 snapshot), after which publishes are incremental.
+  void ActivatePublication();
+  /// The per-batch publish decision: no-op in state 0; immediate publish
+  /// on activation (state 1) or when `force` or the cadence counter says
+  /// so. Run thread only.
+  void MaybePublish(bool force);
+  /// Publishes the dirty cells + comm stats into the back buffer and flips
+  /// the front index; returns whether it published. With `wait` false
+  /// (cadence publishes), a reader holding the back buffer defers the
+  /// publish — the caller must keep the cells dirty and retry; with `wait`
+  /// true (pre-block and Run exit), spins out the reader's bounded copy so
+  /// the published state is current whenever Run goes quiet. Run thread
+  /// only.
+  bool PublishSnapshot(bool wait);
 
   int64_t num_counters_;
   int num_sites_;
@@ -92,9 +128,33 @@ class CoordinatorNode {
   int dead_sites_ = 0;
   int64_t outstanding_syncs_ = 0;
   CommStats comm_;
-  /// Guards estimates_/comm_ (and the protocol state mutated alongside
-  /// them) between Run()'s batch processing and SnapshotState() callers.
+  /// Guards the protocol bookkeeping (done/dead/outstanding-sync state)
+  /// between Run()'s batch processing and CancelSite, which the transport's
+  /// liveness thread may call mid-run. Snapshot readers do NOT take it —
+  /// they read the published buffers below.
   mutable std::mutex mu_;
+
+  // --- Double-buffered snapshot publication ------------------------------
+  // estimates_/comm_ are owned by the Run thread; readers see them only
+  // through these published copies (see SnapshotState's contract).
+  struct PublishedState {
+    std::mutex mu;
+    std::vector<double> estimates;
+    CommStats comm;
+  };
+  mutable PublishedState published_[2];
+  std::atomic<int> published_front_{0};
+  /// 0 = no query yet (Run skips publishing entirely); 1 = a query arrived,
+  /// Run publishes at the next opportunity; 2 = published state is live,
+  /// readers use the buffers. Monotone 0 -> 1 -> 2.
+  mutable std::atomic<int> publish_state_{0};
+  /// Bit b set: the cell is pending publication into buffer b.
+  std::vector<uint8_t> publish_dirty_;
+  std::vector<int64_t> publish_pending_[2];
+  /// Run-thread mirror of "publication is on" (avoids an atomic load per
+  /// report) plus the publish cadence counter.
+  bool publish_tracking_ = false;
+  int batches_since_publish_ = 0;
 
   using Clock = std::chrono::steady_clock;
   Clock::time_point first_message_;

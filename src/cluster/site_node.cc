@@ -16,6 +16,10 @@ SiteNode::SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
       layout_(network) {
   local_counts_.assign(static_cast<size_t>(layout_.total_counters()), 0);
   probs_.assign(static_cast<size_t>(layout_.total_counters()), 1.0f);
+  // Hot-path buffers sized once: an event reports at most two counters per
+  // variable, and DrainCommands pops at most kCommandPopBatch commands.
+  outbox_.reserve(2 * static_cast<size_t>(layout_.num_vars));
+  command_buffer_.reserve(kCommandPopBatch);
 }
 
 void SiteNode::ProcessEvent(const int32_t* values) {
@@ -43,11 +47,12 @@ void SiteNode::ProcessEvent(const int32_t* values) {
 }
 
 void SiteNode::DrainCommands(bool block_until_closed) {
-  std::vector<RoundAdvance> commands;
+  std::vector<RoundAdvance>& commands = command_buffer_;
   while (true) {
     commands.clear();
-    size_t got = block_until_closed ? commands_->PopBatch(&commands, 256)
-                                    : commands_->TryPopBatch(&commands, 256);
+    size_t got = block_until_closed
+                     ? commands_->PopBatch(&commands, kCommandPopBatch)
+                     : commands_->TryPopBatch(&commands, kCommandPopBatch);
     if (got == 0) {
       // Blocking mode: queue closed and drained. Non-blocking: nothing now.
       return;
@@ -78,9 +83,10 @@ void SiteNode::DrainCommands(bool block_until_closed) {
 
 void SiteNode::Run() {
   std::vector<EventBatch> batches;
+  batches.reserve(kEventPopBatch);
   while (true) {
     batches.clear();
-    const size_t got = events_->PopBatch(&batches, 4);
+    const size_t got = events_->PopBatch(&batches, kEventPopBatch);
     if (got == 0) break;  // Stream finished.
     for (const EventBatch& batch : batches) {
       const int32_t* cursor = batch.values.data();

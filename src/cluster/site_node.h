@@ -38,6 +38,11 @@ class SiteNode {
   const std::vector<uint32_t>& local_counts() const { return local_counts_; }
 
  private:
+  /// Pop-batch bounds of the two consume loops (also the reserve sizes of
+  /// the reused buffers below).
+  static constexpr size_t kEventPopBatch = 4;
+  static constexpr size_t kCommandPopBatch = 256;
+
   void ProcessEvent(const int32_t* values);
   void DrainCommands(bool block_until_closed);
 
@@ -56,6 +61,7 @@ class SiteNode {
   std::vector<float> probs_;
 
   std::vector<CounterReport> outbox_;
+  std::vector<RoundAdvance> command_buffer_;
   int64_t events_processed_ = 0;
 };
 

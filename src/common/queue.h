@@ -47,7 +47,12 @@ class BoundedQueue {
       while (pushed < batch.size() && items_.size() < capacity_) {
         items_.push_back(std::move(batch[pushed++]));
       }
-      not_empty_.notify_all();
+      // One waiter per chunk suffices: with multiple consumers parked, the
+      // woken one re-arms the next (PopBatch/TryPopBatch notify not_empty_
+      // again whenever items remain after their take), so MPMC liveness is
+      // preserved by wakeup chaining instead of a notify_all storm on every
+      // capacity-sized chunk.
+      not_empty_.notify_one();
     }
     batch.clear();
     return true;
@@ -58,27 +63,13 @@ class BoundedQueue {
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    const size_t take = std::min(max_items, items_.size());
-    for (size_t i = 0; i < take; ++i) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-    }
-    lock.unlock();
-    if (take > 0) not_full_.notify_all();
-    return take;
+    return TakeLocked(out, max_items, &lock);
   }
 
   /// Non-blocking variant: appends whatever is immediately available.
   size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
     std::unique_lock<std::mutex> lock(mutex_);
-    const size_t take = std::min(max_items, items_.size());
-    for (size_t i = 0; i < take; ++i) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-    }
-    lock.unlock();
-    if (take > 0) not_full_.notify_all();
-    return take;
+    return TakeLocked(out, max_items, &lock);
   }
 
   void Close() {
@@ -102,6 +93,24 @@ class BoundedQueue {
   }
 
  private:
+  size_t TakeLocked(std::vector<T>* out, size_t max_items,
+                    std::unique_lock<std::mutex>* lock) {
+    const size_t take = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    const bool items_remain = !items_.empty();
+    lock->unlock();
+    if (take > 0) {
+      not_full_.notify_all();
+      // The chaining half of PushBatch's single-notify: if this consumer
+      // left items behind, re-arm one more parked consumer.
+      if (items_remain) not_empty_.notify_one();
+    }
+    return take;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

@@ -1,0 +1,109 @@
+// Single-producer/single-consumer bounded ring buffer — the lock-free lane
+// underneath the sharded ingest path (src/api/sharded_router.h).
+//
+// Why not BoundedQueue: the MPMC queue takes one mutex per operation, so N
+// ingest threads funneling event batches through it serialize on that lock
+// even though each (producer, site) pair is logically its own FIFO. An SPSC
+// ring needs no lock at all on the hot path: the producer owns the tail
+// index, the consumer owns the head index, and a release/acquire pair per
+// side publishes the slots. Each side additionally caches the other side's
+// index so an uncontended push/pop touches only its OWN cache line plus the
+// slot (the classic Rigtorp/folly ProducerConsumerQueue layout).
+//
+// The ring itself is non-blocking (TryPush/TryPopBatch); blocking, close
+// semantics, and many-lane multiplexing live one level up in
+// api/sharded_router.h, which composes rings with condition variables only
+// on the empty/full edges.
+
+#ifndef DSGM_COMMON_SPSC_RING_H_
+#define DSGM_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dsgm {
+
+/// Fixed-capacity SPSC FIFO. Exactly one thread may call the producer
+/// methods (TryPush) and exactly one thread the consumer methods
+/// (TryPopBatch); Close/closed may be called from either side.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (index masking instead of
+  /// modulo). `min_capacity` must be positive.
+  explicit SpscRing(size_t min_capacity) {
+    DSGM_CHECK(min_capacity > 0);
+    size_t capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer. Moves from `item` and returns true on success; on a full
+  /// ring returns false with `item` left intact, so the caller can hold the
+  /// value and retry (or block) without a copy.
+  bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: appends up to `max_items` to `out`, moving them out of their
+  /// slots (a popped slot does not retain heap buffers). Returns the number
+  /// appended; 0 means the ring was empty at the time of the call.
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return 0;
+    }
+    size_t take = cached_tail_ - head;
+    if (take > max_items) take = max_items;
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(slots_[(head + i) & mask_]));
+    }
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Either side. After Close, the producer should stop pushing (the lane
+  /// owner checks closed() in its blocking loop); buffered items remain
+  /// poppable so the consumer can drain.
+  void Close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Racy by nature; for introspection and tests.
+  size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Consumer-owned line: head plus the consumer's cache of tail.
+  alignas(64) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  /// Producer-owned line: tail plus the producer's cache of head.
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_COMMON_SPSC_RING_H_

@@ -59,8 +59,16 @@ TEST_P(NetClusterTest, ApproxModeOverTcpStaysWithinValidationBound) {
   const RunReport result = RunWithTransport(net, TrackingStrategy::kUniform, 4,
                                             50000, GetParam().factory);
   EXPECT_EQ(result.events_processed, 50000);
-  EXPECT_LT(result.max_counter_rel_error, 0.05);
-  EXPECT_LT(result.comm.update_messages,
+  // 0.1, not 0.05: in-flight reports at shutdown make the realized error
+  // scheduling-dependent, and on loaded single-core machines the tighter
+  // bound fails ~1/15 runs on an unmodified tree (same rationale as
+  // ClusterTest.SingleSiteWorks and session_test.cc).
+  EXPECT_LT(result.max_counter_rel_error, 0.1);
+  // <=, not <: every-increment-reports (exactly 2 * num_variables per
+  // event) is legal protocol behavior — under heavy scheduling contention
+  // the sites can drain the whole stream at p = 1.0 before the first round
+  // advance reaches them. The guarantee is "never MORE than exact mode".
+  EXPECT_LE(result.comm.update_messages,
             static_cast<uint64_t>(50000 * 2 * net.num_variables()));
 }
 
