@@ -39,14 +39,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bayes/network.h"
 #include "bayes/sampler.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/tracker_config.h"
 #include "dsgm/event_source.h"
 #include "dsgm/model_view.h"
@@ -72,13 +73,20 @@ struct IngestShard {
   uint64_t session_id = 0;
   int index = 0;  // 0 = first registered; it carries the legacy routing Rng.
   Rng router;
+  /// `router`, `pending`, and `lanes` are OWNERSHIP-guarded, not
+  /// lock-guarded: while the owner thread lives, only it touches them (the
+  /// per-event staging hot path must stay lock-free), so they carry no
+  /// GUARDED_BY. The flush paths that do cross threads (Finish/Snapshot vs
+  /// the owner's exit flush) serialize on `flush_mu`, and the orphan
+  /// handoff itself publishes with a happens-before edge (the orphans
+  /// mutex), so post-exit flushes see the owner's final writes.
   std::vector<EventBatch> pending;           // staged events, one per site
   std::vector<Channel<EventBatch>*> lanes;   // backend-bound, one per site
   std::atomic<bool> retired{false};
   /// Serializes the flush paths (Finish's flush-all vs the owner thread's
   /// exit flush). The staging hot path takes no lock: only the owner
   /// thread mutates `pending` while it lives.
-  std::mutex flush_mu;
+  Mutex flush_mu;
 };
 
 /// Shared liveness handle between a session and the thread-local shard
@@ -86,8 +94,8 @@ struct IngestShard {
 /// exiting producer thread can safely flush into a still-live session and
 /// quietly skip a dead one.
 struct SessionLiveHandle {
-  std::mutex mu;
-  Session* session = nullptr;
+  Mutex mu;
+  Session* session DSGM_GUARDED_BY(mu) = nullptr;
 };
 
 /// Thread-exit hook of a shard cache entry (see IngestShard): parks the
@@ -177,12 +185,13 @@ class Session {
 
   /// Delivers every staged batch of `shard` (serialized on the shard's
   /// flush mutex against the thread-exit flush).
-  Status FlushShard(internal::IngestShard* shard);
+  Status FlushShard(internal::IngestShard* shard)
+      DSGM_EXCLUDES(shard->flush_mu);
   /// Flushes the calling thread's shard, if it has one (Snapshot path).
   Status FlushCallerShard();
   /// Flushes every registered shard. Only safe once all producer threads
   /// have quiesced with a happens-before edge to the caller (Finish path).
-  Status FlushAllShards();
+  Status FlushAllShards() DSGM_EXCLUDES(shards_mu_, orphans_mu_);
 
   int num_sites() const { return num_sites_; }
   int batch_size() const { return batch_size_; }
@@ -194,11 +203,12 @@ class Session {
   friend void internal::FlushShardOnThreadExit(
       Session* session, const std::shared_ptr<internal::IngestShard>& shard);
 
-  internal::IngestShard* RegisterShard();
-  Status FlushShardLocked(internal::IngestShard* shard);
+  internal::IngestShard* RegisterShard() DSGM_EXCLUDES(shards_mu_);
+  Status FlushShardLocked(internal::IngestShard* shard)
+      DSGM_REQUIRES(shard->flush_mu);
   /// Delivers (and releases the buffers of) shards whose owner threads
   /// exited; runs on the Snapshot and Finish flush paths.
-  Status FlushOrphanedShards();
+  Status FlushOrphanedShards() DSGM_EXCLUDES(orphans_mu_);
   Status StageRouted(internal::IngestShard* shard, const Instance& event);
 
   Backend backend_;
@@ -212,12 +222,14 @@ class Session {
   /// Shard registry: touched only on a thread's first push (registration),
   /// at Finish (flush-all), and at destruction (retire) — never on the
   /// per-event path.
-  std::mutex shards_mu_;
-  std::vector<std::shared_ptr<internal::IngestShard>> shards_;
+  Mutex shards_mu_;
+  std::vector<std::shared_ptr<internal::IngestShard>> shards_
+      DSGM_GUARDED_BY(shards_mu_);
   std::shared_ptr<internal::SessionLiveHandle> live_;
   /// Shards parked by exited producer threads, awaiting delivery.
-  std::mutex orphans_mu_;
-  std::vector<std::shared_ptr<internal::IngestShard>> orphaned_shards_;
+  Mutex orphans_mu_;
+  std::vector<std::shared_ptr<internal::IngestShard>> orphaned_shards_
+      DSGM_GUARDED_BY(orphans_mu_);
 };
 
 /// Everything a SessionBuilder can configure. Builders validate on Build();

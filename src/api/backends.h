@@ -5,12 +5,13 @@
 #define DSGM_API_BACKENDS_H_
 
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster_runner.h"
 #include "cluster/coordinator_node.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/counter_layout.h"
 #include "dsgm/session.h"
@@ -78,11 +79,17 @@ class ClusterSessionBase : public Session {
   /// (transport I/O threads call it); later failures are ignored. Once
   /// recorded, Push/Snapshot/Finish report this status instead of the
   /// secondary symptom (a closed lane or queue).
-  void RecordRunFailure(const Status& status);
-  Status run_failure() const;
+  void RecordRunFailure(const Status& status) DSGM_EXCLUDES(failure_mu_);
+  Status run_failure() const DSGM_EXCLUDES(failure_mu_);
   /// `fallback` unless a run failure was recorded, which then explains WHY
   /// the fallback symptom happened and is returned instead.
-  Status RunFailureOr(Status fallback) const;
+  Status RunFailureOr(Status fallback) const DSGM_EXCLUDES(failure_mu_);
+
+  /// Publishes the final model for post-Finish snapshots. The guard exists
+  /// for the same reason as InProcessSession's: the annotation pass flagged
+  /// final_view_ as written after finished_ flips, so a snapshot racing
+  /// Finish (a contract violation) could read a half-written ModelView.
+  void SetFinalView(const ModelView& view) DSGM_EXCLUDES(view_mu_);
 
   /// Consistent model snapshot from the (possibly live) coordinator.
   ModelView ViewFromCoordinator(int64_t events_observed) const;
@@ -95,11 +102,12 @@ class ClusterSessionBase : public Session {
   std::thread coordinator_thread_;
   /// One event lane per site, filled by the derived backend.
   std::vector<Channel<EventBatch>*> event_channels_;
-  ModelView final_view_;
 
  private:
-  mutable std::mutex failure_mu_;
-  Status run_failure_;
+  mutable Mutex failure_mu_;
+  Status run_failure_ DSGM_GUARDED_BY(failure_mu_);
+  mutable Mutex view_mu_;
+  ModelView final_view_ DSGM_GUARDED_BY(view_mu_);
 };
 
 StatusOr<std::unique_ptr<Session>> CreateInProcessSession(

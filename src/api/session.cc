@@ -64,7 +64,7 @@ struct ShardRef {
 
   ~ShardRef() {
     if (shard == nullptr || live == nullptr) return;
-    std::lock_guard<std::mutex> lock(live->mu);
+    MutexLock lock(&live->mu);
     if (live->session != nullptr) {
       internal::FlushShardOnThreadExit(live->session, shard);
     }
@@ -82,7 +82,7 @@ void FlushShardOnThreadExit(Session* session,
   // events of a thread outliving Finish are dropped, exactly as a failed
   // flush would drop them.
   if (session->finished_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(session->orphans_mu_);
+  MutexLock lock(&session->orphans_mu_);
   session->orphaned_shards_.push_back(shard);
 }
 
@@ -105,10 +105,10 @@ Session::~Session() {
   {
     // After this, an exiting producer thread's flush hook sees a dead
     // session and skips (the lock also waits out a flush already running).
-    std::lock_guard<std::mutex> lock(live_->mu);
+    MutexLock lock(&live_->mu);
     live_->session = nullptr;
   }
-  std::lock_guard<std::mutex> lock(shards_mu_);
+  MutexLock lock(&shards_mu_);
   for (const auto& shard : shards_) {
     shard->retired.store(true, std::memory_order_release);
   }
@@ -136,7 +136,7 @@ internal::IngestShard* Session::RegisterShard() {
   for (EventBatch& batch : shard->pending) batch.values.reserve(reserve);
   shard->lanes.assign(static_cast<size_t>(num_sites_), nullptr);
   {
-    std::lock_guard<std::mutex> lock(shards_mu_);
+    MutexLock lock(&shards_mu_);
     shard->index = static_cast<int>(shards_.size());
     if (shard->index == 0) {
       // The first shard routes with the session's own Rng — a single-caller
@@ -173,7 +173,7 @@ Status Session::StageRouted(internal::IngestShard* shard,
 }
 
 Status Session::FlushShard(internal::IngestShard* shard) {
-  std::lock_guard<std::mutex> lock(shard->flush_mu);
+  MutexLock lock(&shard->flush_mu);
   return FlushShardLocked(shard);
 }
 
@@ -196,11 +196,11 @@ Status Session::FlushShardLocked(internal::IngestShard* shard) {
 Status Session::FlushOrphanedShards() {
   std::vector<std::shared_ptr<internal::IngestShard>> orphans;
   {
-    std::lock_guard<std::mutex> lock(orphans_mu_);
+    MutexLock lock(&orphans_mu_);
     orphans.swap(orphaned_shards_);
   }
   for (const auto& shard : orphans) {
-    std::lock_guard<std::mutex> lock(shard->flush_mu);
+    MutexLock lock(&shard->flush_mu);
     DSGM_RETURN_IF_ERROR(FlushShardLocked(shard.get()));
     // The owner thread is gone; nothing will stage into this shard again,
     // so the reserved staging buffers can go now instead of at teardown.
@@ -221,12 +221,12 @@ Status Session::FlushCallerShard() {
 Status Session::FlushAllShards() {
   std::vector<std::shared_ptr<internal::IngestShard>> shards;
   {
-    std::lock_guard<std::mutex> lock(shards_mu_);
+    MutexLock lock(&shards_mu_);
     shards = shards_;
   }
   {
     // The registry already covers every orphan; just drop the parked refs.
-    std::lock_guard<std::mutex> lock(orphans_mu_);
+    MutexLock lock(&orphans_mu_);
     orphaned_shards_.clear();
   }
   for (const auto& shard : shards) {
@@ -328,9 +328,16 @@ class InProcessSession final : public Session {
         tracker_(network, options.tracker) {}
 
   StatusOr<ModelView> Snapshot() override {
-    if (finished_.load(std::memory_order_acquire)) return final_view_;
+    if (finished_.load(std::memory_order_acquire)) {
+      // Under tracker_mu_, not bare: the annotation pass flagged final_view_
+      // as written by Finish after the finished_ flag flips, so a snapshot
+      // racing Finish (a contract violation, but one that must stay
+      // memory-safe) could read a half-written ModelView.
+      MutexLock lock(&tracker_mu_);
+      return final_view_;
+    }
     DSGM_RETURN_IF_ERROR(FlushCallerShard());
-    std::lock_guard<std::mutex> lock(tracker_mu_);
+    MutexLock lock(&tracker_mu_);
     return BuildView();
   }
 
@@ -340,7 +347,7 @@ class InProcessSession final : public Session {
     }
     DSGM_RETURN_IF_ERROR(FlushAllShards());
     finished_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(tracker_mu_);
+    MutexLock lock(&tracker_mu_);
     RunReport report;
     report.backend = Backend::kInProcess;
     report.events_processed = tracker_.events_observed();
@@ -361,7 +368,7 @@ class InProcessSession final : public Session {
  protected:
   Status DeliverBatch(internal::IngestShard& /*shard*/, int site,
                       EventBatch&& batch) override {
-    std::lock_guard<std::mutex> lock(tracker_mu_);
+    MutexLock lock(&tracker_mu_);
     const int n = layout_->num_vars;
     const int32_t* cursor = batch.values.data();
     for (int32_t e = 0; e < batch.num_events; ++e) {
@@ -373,8 +380,7 @@ class InProcessSession final : public Session {
   }
 
  private:
-  // BuildView/MaxRelErrorToExact read the tracker; callers hold tracker_mu_.
-  ModelView BuildView() const {
+  ModelView BuildView() const DSGM_REQUIRES(tracker_mu_) {
     std::vector<double> estimates(
         static_cast<size_t>(layout_->total_counters()), 0.0);
     ForEachCell([&estimates](int64_t id, double estimate, uint64_t /*exact*/) {
@@ -388,7 +394,7 @@ class InProcessSession final : public Session {
   /// Same validation metric as the cluster backends: max relative error of
   /// the estimates against the exact totals, over counters with exact
   /// total >= 64.
-  double MaxRelErrorToExact() const {
+  double MaxRelErrorToExact() const DSGM_REQUIRES(tracker_mu_) {
     double max_rel = 0.0;
     ForEachCell([&max_rel](int64_t /*id*/, double estimate, uint64_t exact) {
       if (exact < 64) return;
@@ -400,7 +406,7 @@ class InProcessSession final : public Session {
   }
 
   template <typename Fn>
-  void ForEachCell(Fn&& fn) const {
+  void ForEachCell(Fn&& fn) const DSGM_REQUIRES(tracker_mu_) {
     const int n = layout_->num_vars;
     for (int i = 0; i < n; ++i) {
       const int64_t rows = network().parent_cardinality(i);
@@ -419,12 +425,13 @@ class InProcessSession final : public Session {
 
   std::shared_ptr<const CounterLayout> layout_;
   /// Serializes tracker access between concurrent producers (one lock per
-  /// delivered event) and snapshot/finish readers.
-  std::mutex tracker_mu_;
-  Instance scratch_;  // DeliverBatch decode buffer, guarded by tracker_mu_
-  MleTracker tracker_;
+  /// delivered event) and snapshot/finish readers. Also covers final_view_:
+  /// the finished-path read in Snapshot must not race Finish's write.
+  mutable Mutex tracker_mu_;
+  Instance scratch_ DSGM_GUARDED_BY(tracker_mu_);  // DeliverBatch decode buffer
+  MleTracker tracker_ DSGM_GUARDED_BY(tracker_mu_);
   WallTimer wall_;
-  ModelView final_view_;
+  ModelView final_view_ DSGM_GUARDED_BY(tracker_mu_);
 };
 
 }  // namespace

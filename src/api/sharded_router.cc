@@ -21,7 +21,7 @@ class SpscLaneHub::Lane final : public Channel<EventBatch> {
       // locked re-check pairs with NotifySpace below; the timed wait bounds
       // the one unfenced window (flag store vs the consumer's pop) without
       // costing anything in the steady state.
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       producer_waiting_.store(true, std::memory_order_seq_cst);
       if (ring_.closed()) {
         producer_waiting_.store(false, std::memory_order_relaxed);
@@ -31,7 +31,7 @@ class SpscLaneHub::Lane final : public Channel<EventBatch> {
         producer_waiting_.store(false, std::memory_order_relaxed);
         break;
       }
-      space_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      space_cv_.WaitFor(&lock, std::chrono::milliseconds(50));
       producer_waiting_.store(false, std::memory_order_relaxed);
     }
     hub_->NotifyData();
@@ -66,14 +66,14 @@ class SpscLaneHub::Lane final : public Channel<EventBatch> {
   void NotifySpace() {
     // Taking the lane mutex serializes with the producer's locked re-check,
     // so the wake cannot slip between its failed TryPush and its wait.
-    std::lock_guard<std::mutex> lock(mu_);
-    space_cv_.notify_one();
+    MutexLock lock(&mu_);
+    space_cv_.NotifyOne();
   }
 
   SpscLaneHub* hub_;
   SpscRing<EventBatch> ring_;
-  std::mutex mu_;
-  std::condition_variable space_cv_;
+  Mutex mu_;
+  CondVar space_cv_;
   std::atomic<bool> producer_waiting_{false};
 };
 
@@ -82,7 +82,7 @@ SpscLaneHub::SpscLaneHub(size_t lane_capacity) : lane_capacity_(lane_capacity) {
 SpscLaneHub::~SpscLaneHub() = default;
 
 Channel<EventBatch>* SpscLaneHub::AddLane() {
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  MutexLock lock(&lanes_mu_);
   lanes_.push_back(std::make_unique<Lane>(this, lane_capacity_));
   Lane* lane = lanes_.back().get();
   if (closed_.load(std::memory_order_acquire)) lane->Close();
@@ -97,7 +97,7 @@ bool SpscLaneHub::Push(EventBatch) {
 
 size_t SpscLaneHub::SweepLanes(std::vector<EventBatch>* out, size_t max_items) {
   if (cached_lanes_.size() != lane_count_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(lanes_mu_);
+    MutexLock lock(&lanes_mu_);
     cached_lanes_.clear();
     for (const auto& lane : lanes_) cached_lanes_.push_back(lane.get());
   }
@@ -136,7 +136,7 @@ size_t SpscLaneHub::PopBatch(std::vector<EventBatch>* out, size_t max_items) {
     // that lands between the sweep above and the flag store is caught by
     // the re-check; one that races the re-check itself is caught by the
     // producer seeing the flag, or at worst by the timed wake.
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    MutexLock lock(&sleep_mu_);
     consumer_waiting_.store(true, std::memory_order_seq_cst);
     const size_t again = SweepLanes(out, max_items);
     if (again > 0 || closed_.load(std::memory_order_acquire)) {
@@ -144,26 +144,26 @@ size_t SpscLaneHub::PopBatch(std::vector<EventBatch>* out, size_t max_items) {
       if (again > 0) return again;
       continue;
     }
-    data_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    data_cv_.WaitFor(&lock, std::chrono::milliseconds(50));
     consumer_waiting_.store(false, std::memory_order_relaxed);
   }
 }
 
 void SpscLaneHub::NotifyData() {
   if (consumer_waiting_.load(std::memory_order_seq_cst)) {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
-    data_cv_.notify_one();
+    MutexLock lock(&sleep_mu_);
+    data_cv_.NotifyOne();
   }
 }
 
 void SpscLaneHub::Close() {
   closed_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(lanes_mu_);
+    MutexLock lock(&lanes_mu_);
     for (const auto& lane : lanes_) lane->Close();
   }
-  std::lock_guard<std::mutex> lock(sleep_mu_);
-  data_cv_.notify_all();
+  MutexLock lock(&sleep_mu_);
+  data_cv_.NotifyAll();
 }
 
 }  // namespace internal

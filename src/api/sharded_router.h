@@ -26,12 +26,12 @@
 #define DSGM_API_SHARDED_ROUTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/spsc_ring.h"
+#include "common/thread_annotations.h"
 #include "net/channel.h"
 #include "net/wire.h"
 
@@ -43,6 +43,17 @@ namespace internal {
 /// consumer drains all lanes through the Channel<EventBatch> interface.
 /// Close() closes every lane; the consumer drains buffered batches and then
 /// sees 0, matching BoundedQueue/Channel close semantics.
+///
+/// Concurrency contract (the hub-level half of common/spsc_ring.h's SPSC
+/// contract): each lane's Push side belongs to exactly one producer at a
+/// time — the registering shard's owner thread, or, after that thread
+/// exits, whichever thread runs the session's serialized orphan flush (the
+/// shard flush mutex provides the happens-before handoff). The pop side
+/// (PopBatch/TryPopBatch and the consumer-only cached_lanes_/cursor_
+/// below) belongs to exactly one consumer thread — the SiteNode. Both
+/// sides are enforced dynamically in debug builds by SpscRing's
+/// reentrancy guards; AddLane/Close/Push-parking are thread-safe through
+/// the annotated mutexes below.
 class SpscLaneHub final : public Channel<EventBatch> {
  public:
   /// `lane_capacity` bounds each producer's ring (backpressure per
@@ -55,7 +66,7 @@ class SpscLaneHub final : public Channel<EventBatch> {
   /// called by ONE thread only (the registering shard); it blocks while the
   /// lane is full and returns false once the hub is closed. Thread-safe.
   /// The hub owns the lane.
-  Channel<EventBatch>* AddLane();
+  Channel<EventBatch>* AddLane() DSGM_EXCLUDES(lanes_mu_);
 
   /// Producers reach the hub only through their own lanes.
   bool Push(EventBatch item) override;
@@ -78,19 +89,20 @@ class SpscLaneHub final : public Channel<EventBatch> {
 
   const size_t lane_capacity_;
 
-  std::mutex lanes_mu_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  Mutex lanes_mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_ DSGM_GUARDED_BY(lanes_mu_);
   std::atomic<size_t> lane_count_{0};
   std::atomic<bool> closed_{false};
 
   /// Consumer park/wake. consumer_waiting_ is the sleeper flag producers
   /// check after a push; the timed wait below is belt-and-braces against
   /// the unfenced flag/data race window (see PopBatch).
-  std::mutex sleep_mu_;
-  std::condition_variable data_cv_;
+  Mutex sleep_mu_;
+  CondVar data_cv_;
   std::atomic<bool> consumer_waiting_{false};
 
-  // Consumer-thread-only state (single consumer by contract).
+  /// OWNERSHIP-guarded, not lock-guarded: single consumer by contract (see
+  /// the class comment), so no annotation — the ring guards catch misuse.
   std::vector<Lane*> cached_lanes_;
   size_t cursor_ = 0;
 };

@@ -168,7 +168,7 @@ class LocalTcpSession final : public ClusterSessionBase {
 
     RunReport report = ReportFromClusterResult(result, Backend::kLocalTcp);
     report.model = ViewFromCoordinator(result.events_processed);
-    final_view_ = report.model;
+    SetFinalView(report.model);
     return report;
   }
 

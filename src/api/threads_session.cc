@@ -65,13 +65,18 @@ Status ClusterSessionBase::DeliverBatch(internal::IngestShard& shard, int site,
 
 void ClusterSessionBase::RecordRunFailure(const Status& status) {
   DSGM_CHECK(!status.ok());
-  std::lock_guard<std::mutex> lock(failure_mu_);
+  MutexLock lock(&failure_mu_);
   if (run_failure_.ok()) run_failure_ = status;
 }
 
 Status ClusterSessionBase::run_failure() const {
-  std::lock_guard<std::mutex> lock(failure_mu_);
+  MutexLock lock(&failure_mu_);
   return run_failure_;
+}
+
+void ClusterSessionBase::SetFinalView(const ModelView& view) {
+  MutexLock lock(&view_mu_);
+  final_view_ = view;
 }
 
 Status ClusterSessionBase::RunFailureOr(Status fallback) const {
@@ -97,6 +102,7 @@ ModelView ClusterSessionBase::ViewFromCoordinator(int64_t events_observed) const
 
 StatusOr<ModelView> ClusterSessionBase::Snapshot() {
   if (finished_.load(std::memory_order_acquire)) {
+    MutexLock lock(&view_mu_);
     if (final_view_.empty()) {
       return RunFailureOr(FailedPreconditionError(
           "session: Finish failed; no final model is available"));
@@ -198,7 +204,7 @@ class ThreadsSession final : public ClusterSessionBase {
 
     RunReport report = ReportFromClusterResult(result, Backend::kThreads);
     report.model = ViewFromCoordinator(result.events_processed);
-    final_view_ = report.model;
+    SetFinalView(report.model);
     return report;
   }
 

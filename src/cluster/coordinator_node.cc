@@ -1,7 +1,6 @@
 #include "cluster/coordinator_node.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/check.h"
 #include "monitor/round_schedule.h"
@@ -105,17 +104,16 @@ void CoordinatorNode::MaybePublish(bool force) {
 bool CoordinatorNode::PublishSnapshot(bool wait) {
   const int back = published_front_.load(std::memory_order_relaxed) ^ 1;
   PublishedState& state = published_[back];
-  std::unique_lock<std::mutex> lock(state.mu, std::try_to_lock);
-  while (!lock.owns_lock()) {
+  if (!state.mu.TryLock()) {
     // A reader is copying this buffer (it loaded the front index just
     // before we flipped it last time). On a cadence publish we simply
     // defer — the caller keeps the cells dirty and retries next batch — so
     // a fast poller can never block the protocol loop. Pre-block and at
     // Run exit we must land the state, and the reader's copy is bounded,
-    // so spinning is fine (Run has nothing else to do then anyway).
+    // so a blocking acquisition is fine (Run has nothing else to do then
+    // anyway).
     if (!wait) return false;
-    std::this_thread::yield();
-    lock.try_lock();
+    state.mu.Lock();
   }
   for (const int64_t counter : publish_pending_[back]) {
     state.estimates[static_cast<size_t>(counter)] =
@@ -125,7 +123,7 @@ bool CoordinatorNode::PublishSnapshot(bool wait) {
   }
   publish_pending_[back].clear();
   state.comm = comm_;
-  lock.unlock();
+  state.mu.Unlock();
   published_front_.store(back, std::memory_order_release);
   return true;
 }
@@ -180,7 +178,7 @@ void CoordinatorNode::OnSync(int site, const CounterReport& report) {
 }
 
 void CoordinatorNode::CancelSite(int site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (site < 0 || site >= num_sites_) return;
   const size_t s = static_cast<size_t>(site);
   if (site_dead_[s]) return;
@@ -245,26 +243,32 @@ void CoordinatorNode::Run() {
     {
       // Under the lock: CancelSite mutates done/outstanding from the
       // transport's liveness thread while this loop is live.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (done_sites_ == num_sites_ && outstanding_syncs_ == 0) break;
     }
     batch.clear();
     size_t got = from_sites_->TryPopBatch(&batch, 64);
     if (got == 0) {
       // About to block: land the pending cells first, so a snapshot taken
-      // while the sites are idle reflects everything received.
-      MaybePublish(/*force=*/true);
+      // while the sites are idle reflects everything received. The pops
+      // themselves stay OUTSIDE mu_: holding it across a blocking PopBatch
+      // would deadlock CancelSite — which is exactly what un-wedges a
+      // dead-site run.
+      {
+        MutexLock lock(&mu_);
+        MaybePublish(/*force=*/true);
+      }
       got = from_sites_->PopBatch(&batch, 64);
       if (got == 0) break;  // Queue closed: all readers gone or run failed.
     }
     const auto now = Clock::now();
-    if (!saw_message_) {
-      first_message_ = now;
-      saw_message_ = true;
-    }
-    last_message_ = now;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
+      if (!saw_message_) {
+        first_message_ = now;
+        saw_message_ = true;
+      }
+      last_message_ = now;
       for (const UpdateBundle& bundle : batch) {
         // Bundles can arrive from a real network peer; ids must be
         // validated before they index protocol state (a forged site/counter
@@ -306,23 +310,25 @@ void CoordinatorNode::Run() {
             break;
         }
       }
+      // Publishing happens under mu_ (it reads estimates_/comm_), but
+      // steady-state snapshot readers synchronize on the BUFFER locks, so a
+      // poller still never delays the next PopBatch. State 0 (nobody ever
+      // queried) skips publication entirely; state 1 (first query just
+      // arrived) publishes immediately and moves readers onto the buffers.
+      MaybePublish(/*force=*/false);
     }
-    // Publish outside mu_: estimates_/comm_ are Run-thread-owned (CancelSite
-    // only touches the sync bookkeeping), and snapshot readers synchronize
-    // on the buffer locks, so a poller can never delay the next PopBatch.
-    // State 0 (nobody ever queried) skips publication entirely; state 1
-    // (first query just arrived) publishes immediately and moves readers
-    // onto the buffers.
-    MaybePublish(/*force=*/false);
   }
-  // Land the final state even if a reader momentarily holds the back
-  // buffer: post-join accessors and the session's final model read the
-  // published front. A run nobody queried keeps skipping (post-join
-  // readers are served from the live state).
-  if (publish_state_.load(std::memory_order_acquire) != 0) {
-    if (!publish_tracking_) ActivatePublication();
-    PublishSnapshot(/*wait=*/true);
-    publish_state_.store(2, std::memory_order_release);
+  {
+    // Land the final state even if a reader momentarily holds the back
+    // buffer: post-join accessors and the session's final model read the
+    // published front. A run nobody queried keeps skipping (post-join
+    // readers are served from the live state).
+    MutexLock lock(&mu_);
+    if (publish_state_.load(std::memory_order_acquire) != 0) {
+      if (!publish_tracking_) ActivatePublication();
+      PublishSnapshot(/*wait=*/true);
+      publish_state_.store(2, std::memory_order_release);
+    }
   }
   for (Channel<RoundAdvance>* channel : commands_) channel->Close();
 }
@@ -338,14 +344,14 @@ void CoordinatorNode::SnapshotState(std::vector<double>* estimates,
     int expected = 0;
     publish_state_.compare_exchange_strong(expected, 1,
                                            std::memory_order_acq_rel);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     *estimates = estimates_;
     if (comm != nullptr) *comm = comm_;
     return;
   }
   const int front = published_front_.load(std::memory_order_acquire);
   PublishedState& state = published_[front];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   // If the front flipped between the load and the lock, this buffer is now
   // the back: holding its mutex makes the writer's try_lock fail (it skips
   // that publish), so the copy is still a complete, consistent published
@@ -355,6 +361,7 @@ void CoordinatorNode::SnapshotState(std::vector<double>* estimates,
 }
 
 double CoordinatorNode::ActiveSeconds() const {
+  MutexLock lock(&mu_);
   if (!saw_message_) return 0.0;
   return std::chrono::duration<double>(last_message_ - first_message_).count();
 }

@@ -6,9 +6,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "net/wire.h"
 #include "net/channel.h"
 #include "monitor/comm_stats.h"
@@ -33,13 +34,17 @@ class CoordinatorNode {
 
   /// Thread body: runs until every site reported done and no sync replies
   /// are outstanding, then closes the command queues.
-  void Run();
+  void Run() DSGM_EXCLUDES(mu_);
 
-  /// Post-join accessors: valid once Run() has returned (the joining thread
-  /// synchronizes with the coordinator thread). For queries while Run() is
-  /// still live on another thread, use SnapshotState().
-  const CommStats& comm() const { return comm_; }
-  double Estimate(int64_t counter) const {
+  /// Authoritative-state accessors, safe at any time (they take the
+  /// protocol lock). For high-rate mid-run polling prefer SnapshotState(),
+  /// which reads the published buffers and never contends with Run().
+  CommStats comm() const DSGM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return comm_;
+  }
+  double Estimate(int64_t counter) const DSGM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return estimates_[static_cast<size_t>(counter)];
   }
   int64_t num_counters() const { return num_counters_; }
@@ -63,46 +68,46 @@ class CoordinatorNode {
   /// lands, are served from the live state under the protocol lock), and a
   /// snapshot is consistent at bundle-batch granularity — at most a few
   /// batches behind the live state while the stream is hot.
-  void SnapshotState(std::vector<double>* estimates, CommStats* comm) const;
+  void SnapshotState(std::vector<double>* estimates, CommStats* comm) const
+      DSGM_EXCLUDES(mu_);
 
   /// Thread-safe outstanding-sync cancellation for a site declared dead by
   /// the transport's liveness protocol: marks the site done and forgives
   /// every sync reply it still owes, so Run()'s exit condition can settle
   /// instead of waiting forever on a peer that will never answer. Future
   /// round advances skip the site. Idempotent.
-  void CancelSite(int site);
+  void CancelSite(int site) DSGM_EXCLUDES(mu_);
 
   /// Seconds between the first and the last message the coordinator
   /// received — the paper's Fig. 7 "total runtime" definition.
-  double ActiveSeconds() const;
+  double ActiveSeconds() const DSGM_EXCLUDES(mu_);
 
  private:
-  void OnReport(int site, const CounterReport& report);
-  void OnSync(int site, const CounterReport& report);
-  void MaybeAdvance(int64_t counter);
+  void OnReport(int site, const CounterReport& report) DSGM_REQUIRES(mu_);
+  void OnSync(int site, const CounterReport& report) DSGM_REQUIRES(mu_);
+  void MaybeAdvance(int64_t counter) DSGM_REQUIRES(mu_);
   /// Current per-site estimate contribution of a cell.
-  double SiteEstimate(size_t cell, double p) const;
+  double SiteEstimate(size_t cell, double p) const DSGM_REQUIRES(mu_);
   /// Records that estimates_[counter] changed since each buffer's last
   /// publish (deduplicated per buffer via dirty bits). No-op until the
   /// first query activates publication, so runs nobody queries pay nothing
-  /// on the report path. Run thread only.
-  void TouchEstimate(size_t counter);
-  /// Starts dirty tracking on the Run thread after the first query: marks
-  /// every cell pending once (the catch-up publish is one full copy, like
-  /// a single pre-PR5 snapshot), after which publishes are incremental.
-  void ActivatePublication();
+  /// on the report path.
+  void TouchEstimate(size_t counter) DSGM_REQUIRES(mu_);
+  /// Starts dirty tracking after the first query: marks every cell pending
+  /// once (the catch-up publish is one full copy, like a single pre-PR5
+  /// snapshot), after which publishes are incremental.
+  void ActivatePublication() DSGM_REQUIRES(mu_);
   /// The per-batch publish decision: no-op in state 0; immediate publish
   /// on activation (state 1) or when `force` or the cadence counter says
-  /// so. Run thread only.
-  void MaybePublish(bool force);
+  /// so.
+  void MaybePublish(bool force) DSGM_REQUIRES(mu_);
   /// Publishes the dirty cells + comm stats into the back buffer and flips
   /// the front index; returns whether it published. With `wait` false
   /// (cadence publishes), a reader holding the back buffer defers the
   /// publish — the caller must keep the cells dirty and retry; with `wait`
-  /// true (pre-block and Run exit), spins out the reader's bounded copy so
-  /// the published state is current whenever Run goes quiet. Run thread
-  /// only.
-  bool PublishSnapshot(bool wait);
+  /// true (pre-block and Run exit), waits out the reader's bounded copy so
+  /// the published state is current whenever Run goes quiet.
+  bool PublishSnapshot(bool wait) DSGM_REQUIRES(mu_);
 
   int64_t num_counters_;
   int num_sites_;
@@ -111,36 +116,45 @@ class CoordinatorNode {
   Channel<UpdateBundle>* from_sites_;
   std::vector<Channel<RoundAdvance>*> commands_;
 
-  // Coordinator protocol state (see monitor/approx_counter.h).
-  std::vector<float> epsilons_;
-  std::vector<float> probs_;
-  std::vector<double> estimates_;
-  std::vector<double> thresholds_;
-  std::vector<uint8_t> rounds_;
-  std::vector<uint8_t> sync_pending_;   // outstanding sync replies per counter
-  std::vector<uint32_t> sync_counts_;   // [counter * k + site]
-  std::vector<uint32_t> best_reports_;  // [counter * k + site]
-  std::vector<uint8_t> sync_owed_;      // [counter * k + site]: reply pending
-  std::vector<uint8_t> site_done_;      // which sites reported kSiteDone
-  std::vector<uint8_t> site_dead_;      // sites cancelled via CancelSite
+  /// Guards every piece of protocol and estimate state below: Run()'s
+  /// batch processing, CancelSite (called from the transport's liveness
+  /// thread mid-run), and the authoritative accessors (comm/Estimate/
+  /// ActiveSeconds/the pre-publication SnapshotState path). Steady-state
+  /// snapshot readers do NOT take it — they read the published buffers.
+  /// Lock order: mu_ before a published_[i].mu (Run publishes while
+  /// holding mu_); readers take exactly one of the two, never both.
+  mutable Mutex mu_;
 
-  int done_sites_ = 0;
-  int dead_sites_ = 0;
-  int64_t outstanding_syncs_ = 0;
-  CommStats comm_;
-  /// Guards the protocol bookkeeping (done/dead/outstanding-sync state)
-  /// between Run()'s batch processing and CancelSite, which the transport's
-  /// liveness thread may call mid-run. Snapshot readers do NOT take it —
-  /// they read the published buffers below.
-  mutable std::mutex mu_;
+  // Coordinator protocol state (see monitor/approx_counter.h).
+  std::vector<float> epsilons_ DSGM_GUARDED_BY(mu_);
+  std::vector<float> probs_ DSGM_GUARDED_BY(mu_);
+  std::vector<double> estimates_ DSGM_GUARDED_BY(mu_);
+  std::vector<double> thresholds_ DSGM_GUARDED_BY(mu_);
+  std::vector<uint8_t> rounds_ DSGM_GUARDED_BY(mu_);
+  // outstanding sync replies per counter
+  std::vector<uint8_t> sync_pending_ DSGM_GUARDED_BY(mu_);
+  std::vector<uint32_t> sync_counts_ DSGM_GUARDED_BY(mu_);   // [counter*k+site]
+  std::vector<uint32_t> best_reports_ DSGM_GUARDED_BY(mu_);  // [counter*k+site]
+  // [counter * k + site]: reply pending
+  std::vector<uint8_t> sync_owed_ DSGM_GUARDED_BY(mu_);
+  // which sites reported kSiteDone
+  std::vector<uint8_t> site_done_ DSGM_GUARDED_BY(mu_);
+  // sites cancelled via CancelSite
+  std::vector<uint8_t> site_dead_ DSGM_GUARDED_BY(mu_);
+
+  int done_sites_ DSGM_GUARDED_BY(mu_) = 0;
+  int dead_sites_ DSGM_GUARDED_BY(mu_) = 0;
+  int64_t outstanding_syncs_ DSGM_GUARDED_BY(mu_) = 0;
+  CommStats comm_ DSGM_GUARDED_BY(mu_);
 
   // --- Double-buffered snapshot publication ------------------------------
-  // estimates_/comm_ are owned by the Run thread; readers see them only
-  // through these published copies (see SnapshotState's contract).
+  // estimates_/comm_ are written only by the Run thread; steady-state
+  // readers see them through these published copies (see SnapshotState's
+  // contract).
   struct PublishedState {
-    std::mutex mu;
-    std::vector<double> estimates;
-    CommStats comm;
+    Mutex mu;
+    std::vector<double> estimates DSGM_GUARDED_BY(mu);
+    CommStats comm DSGM_GUARDED_BY(mu);
   };
   mutable PublishedState published_[2];
   std::atomic<int> published_front_{0};
@@ -149,17 +163,20 @@ class CoordinatorNode {
   /// readers use the buffers. Monotone 0 -> 1 -> 2.
   mutable std::atomic<int> publish_state_{0};
   /// Bit b set: the cell is pending publication into buffer b.
-  std::vector<uint8_t> publish_dirty_;
-  std::vector<int64_t> publish_pending_[2];
+  std::vector<uint8_t> publish_dirty_ DSGM_GUARDED_BY(mu_);
+  std::vector<int64_t> publish_pending_[2] DSGM_GUARDED_BY(mu_);
   /// Run-thread mirror of "publication is on" (avoids an atomic load per
   /// report) plus the publish cadence counter.
-  bool publish_tracking_ = false;
-  int batches_since_publish_ = 0;
+  bool publish_tracking_ DSGM_GUARDED_BY(mu_) = false;
+  int batches_since_publish_ DSGM_GUARDED_BY(mu_) = 0;
 
   using Clock = std::chrono::steady_clock;
-  Clock::time_point first_message_;
-  Clock::time_point last_message_;
-  bool saw_message_ = false;
+  // The annotation pass flagged these three: they were written by Run()
+  // outside any lock while ActiveSeconds() read them bare — benign for
+  // post-join callers, a data race for mid-run ones. Guarded now.
+  Clock::time_point first_message_ DSGM_GUARDED_BY(mu_);
+  Clock::time_point last_message_ DSGM_GUARDED_BY(mu_);
+  bool saw_message_ DSGM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dsgm

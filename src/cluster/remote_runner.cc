@@ -1,12 +1,12 @@
 #include "cluster/remote_runner.h"
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "cluster/site_node.h"
 #include "net/codec.h"
 #include "net/tcp_socket.h"
@@ -23,14 +23,16 @@ class HeartbeatSender {
   HeartbeatSender(TcpConnection* connection, int site_id, int interval_ms) {
     if (interval_ms <= 0) return;
     thread_ = std::thread([this, connection, site_id, interval_ms] {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       while (!stop_) {
-        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                     [this] { return stop_; });
+        // A spurious or racing wakeup before the interval elapses just
+        // sends the heartbeat a little early — harmless, so no need to
+        // re-arm the timed wait in an inner loop.
+        cv_.WaitFor(&lock, std::chrono::milliseconds(interval_ms));
         if (stop_) break;
-        lock.unlock();
+        lock.Unlock();
         const bool sent = connection->SendFrame(MakeHeartbeat(site_id));
-        lock.lock();
+        lock.Lock();
         if (!sent) break;  // Peer gone; nothing left to prove alive to.
       }
     });
@@ -38,19 +40,19 @@ class HeartbeatSender {
 
   ~HeartbeatSender() { Stop(); }
 
-  void Stop() {
+  void Stop() DSGM_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (thread_.joinable()) thread_.join();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ DSGM_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -21,6 +21,12 @@ namespace dsgm {
 /// Counter ids use the MleTracker layout (joint counters first, then parent
 /// counters); the structural metadata needed to map an instance to counter
 /// ids is precomputed at construction.
+///
+/// Concurrency contract: a SiteNode is single-threaded by construction —
+/// every member is touched only by the thread running Run() (cross-thread
+/// traffic flows through the Channels, which carry their own locks), so
+/// there is no mutex and nothing to annotate. local_counts()/
+/// events_processed() are for AFTER that thread joined.
 class SiteNode {
  public:
   SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,

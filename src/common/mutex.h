@@ -1,0 +1,170 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over std::mutex / std::unique_lock / std::condition_variable
+// that carry the Clang thread-safety attributes from
+// common/thread_annotations.h, so "guarded by mu_" becomes a compile error
+// instead of a comment. Under GCC they compile to the std primitives with
+// zero overhead.
+//
+// Usage conventions in this codebase:
+//
+//   dsgm::Mutex mu_;
+//   int value_ DSGM_GUARDED_BY(mu_);
+//
+//   {
+//     dsgm::MutexLock lock(&mu_);
+//     while (value_ == 0) cv_.Wait(&lock);   // explicit loop, no predicate
+//     ...
+//   }
+//
+// CondVar waits take the MutexLock and are written as explicit while-loops:
+// a predicate lambda would read guarded fields in a context the analysis
+// cannot attribute to the held lock.
+//
+// ThreadRole models "this state is owned by one thread" (the reactor loop,
+// a node's protocol thread) as a capability without a lock. The owning
+// thread Grant()s itself the role; functions touching owned state are
+// annotated DSGM_REQUIRES(role). Closures that arrive over a
+// std::function boundary (Reactor::Post, timers, fd handlers) cannot carry
+// the static capability, so their bodies start with role.AssertHeld() —
+// which both satisfies the analysis and, in !NDEBUG builds, verifies the
+// calling thread really is the owner.
+
+#ifndef DSGM_COMMON_MUTEX_H_
+#define DSGM_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/thread_annotations.h"
+
+namespace dsgm {
+
+class CondVar;
+
+/// Annotated std::mutex. Prefer MutexLock for scoped acquisition; the bare
+/// Lock/Unlock/TryLock exist for protocols that need them (double-buffer
+/// try-then-block in the coordinator's snapshot path).
+class DSGM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DSGM_ACQUIRE() { mu_.lock(); }
+  void Unlock() DSGM_RELEASE() { mu_.unlock(); }
+  bool TryLock() DSGM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a dsgm::Mutex. Supports mid-scope Unlock()/Lock() (both
+/// visible to the analysis) for the "drop the lock around a blocking call"
+/// pattern; the destructor releases only if currently held.
+class DSGM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DSGM_ACQUIRE(mu) : lock_(mu->mu_) {}
+
+  /// Adopts a mutex the caller already locked (e.g. after Mutex::TryLock()).
+  struct AdoptLock {};
+  MutexLock(Mutex* mu, AdoptLock) DSGM_REQUIRES(mu)
+      : lock_(mu->mu_, std::adopt_lock) {}
+
+  ~MutexLock() DSGM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Mid-scope release/reacquire; the destructor handles either state.
+  void Unlock() DSGM_RELEASE() { lock_.unlock(); }
+  void Lock() DSGM_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Annotated condition variable. Waits are not annotated (the lock is held
+/// across them from the analysis's point of view, which matches reality at
+/// both entry and exit); callers write explicit while-loops.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock* lock) { cv_.wait(lock->lock_); }
+
+  /// Returns true on timeout, false when notified (possibly spuriously);
+  /// either way the caller re-checks its condition in the enclosing loop.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock* lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock->lock_, timeout) == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability for single-owner-thread disciplines (the reactor loop, a
+/// coordinator's protocol thread). Not a lock: Grant()/Yield() mark the
+/// current thread as owner, and DSGM_REQUIRES(role) on a method means "only
+/// the owner calls this". Closures crossing a std::function boundary begin
+/// with AssertHeld(), which re-establishes the capability for the analysis
+/// and — in !NDEBUG builds — verifies the caller really is the owner.
+class DSGM_CAPABILITY("thread role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// The calling thread takes the role. The role must be free.
+  void Grant() DSGM_ACQUIRE() {
+#ifndef NDEBUG
+    std::thread::id expected{};
+    DSGM_CHECK(owner_.compare_exchange_strong(expected,
+                                              std::this_thread::get_id()))
+        << "ThreadRole granted while another thread holds it";
+#endif
+  }
+
+  /// The owning thread gives the role up (so another thread — e.g. the
+  /// object's owner after the loop stopped — may Grant() it).
+  void Yield() DSGM_RELEASE() {
+#ifndef NDEBUG
+    std::thread::id self = std::this_thread::get_id();
+    DSGM_CHECK(owner_.compare_exchange_strong(self, std::thread::id{}))
+        << "ThreadRole yielded by a thread that does not hold it";
+#endif
+  }
+
+  /// Asserts (statically and, in debug builds, dynamically) that the
+  /// calling thread holds the role.
+  void AssertHeld() const DSGM_ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    DSGM_CHECK(owner_.load(std::memory_order_relaxed) ==
+               std::this_thread::get_id())
+        << "called from a thread that does not hold the required role";
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+}  // namespace dsgm
+
+#endif  // DSGM_COMMON_MUTEX_H_

@@ -3,10 +3,12 @@
 #ifndef DSGM_COMMON_QUEUE_H_
 #define DSGM_COMMON_QUEUE_H_
 
-#include <condition_variable>
+#include <algorithm>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dsgm {
 
@@ -21,13 +23,14 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while full. Returns false iff the queue is closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T item) DSGM_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(&mutex_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&lock);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -37,12 +40,12 @@ class BoundedQueue {
   /// contiguous and in order, but other producers may interleave between
   /// chunks. Returns false iff closed (a close mid-batch drops the
   /// unpushed remainder; already-pushed chunks stay poppable).
-  bool PushBatch(std::vector<T>&& batch) {
+  bool PushBatch(std::vector<T>&& batch) DSGM_EXCLUDES(mutex_) {
     if (batch.empty()) return true;
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     size_t pushed = 0;
     while (pushed < batch.size()) {
-      not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&lock);
       if (closed_) return false;
       while (pushed < batch.size() && items_.size() < capacity_) {
         items_.push_back(std::move(batch[pushed++]));
@@ -52,7 +55,7 @@ class BoundedQueue {
       // again whenever items remain after their take), so MPMC liveness is
       // preserved by wakeup chaining instead of a notify_all storm on every
       // capacity-sized chunk.
-      not_empty_.notify_one();
+      not_empty_.NotifyOne();
     }
     batch.clear();
     return true;
@@ -60,63 +63,82 @@ class BoundedQueue {
 
   /// Blocks until at least one item or close. Appends up to `max_items` to
   /// `out` and returns the number appended (0 means closed and drained).
-  size_t PopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    return TakeLocked(out, max_items, &lock);
+  size_t PopBatch(std::vector<T>* out, size_t max_items)
+      DSGM_EXCLUDES(mutex_) {
+    Take take;
+    {
+      MutexLock lock(&mutex_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&lock);
+      take = TakeLocked(out, max_items);
+    }
+    NotifyAfterTake(take);
+    return take.count;
   }
 
   /// Non-blocking variant: appends whatever is immediately available.
-  size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    return TakeLocked(out, max_items, &lock);
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items)
+      DSGM_EXCLUDES(mutex_) {
+    Take take;
+    {
+      MutexLock lock(&mutex_);
+      take = TakeLocked(out, max_items);
+    }
+    NotifyAfterTake(take);
+    return take.count;
   }
 
-  void Close() {
+  void Close() DSGM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const DSGM_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return closed_;
   }
 
   /// Momentary item count (for tests and introspection; racy by nature).
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const DSGM_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return items_.size();
   }
 
  private:
-  size_t TakeLocked(std::vector<T>* out, size_t max_items,
-                    std::unique_lock<std::mutex>* lock) {
-    const size_t take = std::min(max_items, items_.size());
-    for (size_t i = 0; i < take; ++i) {
+  struct Take {
+    size_t count = 0;
+    bool items_remain = false;
+  };
+
+  Take TakeLocked(std::vector<T>* out, size_t max_items)
+      DSGM_REQUIRES(mutex_) {
+    Take take;
+    take.count = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take.count; ++i) {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    const bool items_remain = !items_.empty();
-    lock->unlock();
-    if (take > 0) {
-      not_full_.notify_all();
-      // The chaining half of PushBatch's single-notify: if this consumer
-      // left items behind, re-arm one more parked consumer.
-      if (items_remain) not_empty_.notify_one();
-    }
+    take.items_remain = !items_.empty();
     return take;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
+  void NotifyAfterTake(const Take& take) {
+    if (take.count == 0) return;
+    not_full_.NotifyAll();
+    // The chaining half of PushBatch's single-notify: if this consumer
+    // left items behind, re-arm one more parked consumer.
+    if (take.items_remain) not_empty_.NotifyOne();
+  }
+
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ DSGM_GUARDED_BY(mutex_);
   size_t capacity_;
-  bool closed_ = false;
+  bool closed_ DSGM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dsgm

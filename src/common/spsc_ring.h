@@ -14,6 +14,27 @@
 // semantics, and many-lane multiplexing live one level up in
 // api/sharded_router.h, which composes rings with condition variables only
 // on the empty/full edges.
+//
+// === The SPSC contract (not expressible in thread-safety annotations) ===
+//
+// Clang's analysis models locks; this ring has none, so the contract is
+// stated here and enforced dynamically in !NDEBUG builds:
+//
+//   1. At any instant, at most ONE thread may be inside a producer method
+//      (TryPush) and at most ONE thread inside a consumer method
+//      (TryPopBatch). Concurrent calls on the SAME side are the violation.
+//   2. A side may migrate between threads — the sharded ingest path hands
+//      the producer role to an orphan-flushing thread after the original
+//      producer exits — provided the handoff is ordered by a happens-before
+//      edge (the router serializes handoffs under the shard's flush mutex).
+//      TSan validates those edges; the asserts below catch the same-side
+//      concurrency that TSan can only catch when the race actually lands.
+//   3. Close()/closed()/size_approx() are safe from either side at any
+//      time.
+//
+// The debug guard is a per-side reentrancy counter: entering a side while
+// another thread is mid-call on that side trips a CHECK deterministically,
+// whereas the underlying index race would corrupt the ring silently.
 
 #ifndef DSGM_COMMON_SPSC_RING_H_
 #define DSGM_COMMON_SPSC_RING_H_
@@ -27,9 +48,36 @@
 
 namespace dsgm {
 
-/// Fixed-capacity SPSC FIFO. Exactly one thread may call the producer
-/// methods (TryPush) and exactly one thread the consumer methods
-/// (TryPopBatch); Close/closed may be called from either side.
+namespace internal {
+
+/// Debug-build guard asserting that a ring side is not entered
+/// concurrently. Compiles away entirely under NDEBUG.
+class SpscSideGuard {
+ public:
+#ifndef NDEBUG
+  explicit SpscSideGuard(std::atomic<int>* depth, const char* side)
+      : depth_(depth) {
+    DSGM_CHECK(depth_->fetch_add(1, std::memory_order_acq_rel) == 0)
+        << "SPSC contract violated: concurrent " << side
+        << " calls on one SpscRing";
+  }
+  ~SpscSideGuard() { depth_->fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int>* depth_;
+#else
+  SpscSideGuard(std::atomic<int>*, const char*) {}
+#endif
+  SpscSideGuard(const SpscSideGuard&) = delete;
+  SpscSideGuard& operator=(const SpscSideGuard&) = delete;
+};
+
+}  // namespace internal
+
+/// Fixed-capacity SPSC FIFO. Exactly one thread may be inside the producer
+/// method (TryPush) and one inside the consumer method (TryPopBatch) at a
+/// time — see the contract block above; Close/closed may be called from
+/// either side.
 template <typename T>
 class SpscRing {
  public:
@@ -52,6 +100,7 @@ class SpscRing {
   /// ring returns false with `item` left intact, so the caller can hold the
   /// value and retry (or block) without a copy.
   bool TryPush(T&& item) {
+    internal::SpscSideGuard guard(&push_depth_, "producer");
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ == slots_.size()) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -66,6 +115,7 @@ class SpscRing {
   /// slots (a popped slot does not retain heap buffers). Returns the number
   /// appended; 0 means the ring was empty at the time of the call.
   size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
+    internal::SpscSideGuard guard(&pop_depth_, "consumer");
     const size_t head = head_.load(std::memory_order_relaxed);
     if (cached_tail_ == head) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -102,6 +152,9 @@ class SpscRing {
   alignas(64) std::atomic<size_t> tail_{0};
   size_t cached_head_ = 0;
   alignas(64) std::atomic<bool> closed_{false};
+  /// Debug reentrancy counters for the SPSC contract (see header comment).
+  std::atomic<int> push_depth_{0};
+  std::atomic<int> pop_depth_{0};
 };
 
 }  // namespace dsgm

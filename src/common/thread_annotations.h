@@ -1,0 +1,64 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap the attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html in DSGM_-prefixed
+// macros that expand to nothing on compilers without the attributes (GCC
+// builds them as plain comments). The build turns the analysis into a hard
+// error under clang (-Werror=thread-safety), so an annotation here is a
+// compile-time contract, not documentation:
+//
+//   - DSGM_GUARDED_BY(mu): field may only be touched while `mu` is held.
+//   - DSGM_REQUIRES(mu): function may only be called with `mu` held.
+//   - DSGM_ACQUIRE/DSGM_RELEASE: function takes/drops the capability.
+//   - DSGM_EXCLUDES(mu): caller must NOT hold `mu` (the function takes it).
+//   - DSGM_CAPABILITY / DSGM_SCOPED_CAPABILITY: mark lock-like classes.
+//
+// The analysis is intraprocedural over annotated capabilities only. It can
+// NOT see through std::function boundaries (posted closures re-assert their
+// capability dynamically — see ThreadRole in common/mutex.h), and it cannot
+// express lock-free protocols (SPSC rings, atomics); those keep dynamic
+// asserts and TSan as their rail.
+
+#ifndef DSGM_COMMON_THREAD_ANNOTATIONS_H_
+#define DSGM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DSGM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DSGM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define DSGM_CAPABILITY(x) DSGM_THREAD_ANNOTATION(capability(x))
+
+#define DSGM_SCOPED_CAPABILITY DSGM_THREAD_ANNOTATION(scoped_lockable)
+
+#define DSGM_GUARDED_BY(x) DSGM_THREAD_ANNOTATION(guarded_by(x))
+
+#define DSGM_PT_GUARDED_BY(x) DSGM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define DSGM_REQUIRES(...) \
+  DSGM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define DSGM_REQUIRES_SHARED(...) \
+  DSGM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define DSGM_ACQUIRE(...) \
+  DSGM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define DSGM_RELEASE(...) \
+  DSGM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define DSGM_TRY_ACQUIRE(...) \
+  DSGM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define DSGM_EXCLUDES(...) DSGM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define DSGM_ASSERT_CAPABILITY(x) \
+  DSGM_THREAD_ANNOTATION(assert_capability(x))
+
+#define DSGM_RETURN_CAPABILITY(x) DSGM_THREAD_ANNOTATION(lock_returned(x))
+
+#define DSGM_NO_THREAD_SAFETY_ANALYSIS \
+  DSGM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DSGM_COMMON_THREAD_ANNOTATIONS_H_

@@ -86,7 +86,14 @@ Reactor::Reactor()
   DSGM_CHECK_GE(epoll_fd_, 0) << "epoll_create1 failed";
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   DSGM_CHECK_GE(wake_fd_, 0) << "eventfd failed";
-  AddFd(wake_fd_, EPOLLIN, [this](uint32_t) { DrainWakeFd(); });
+  // The loop has not started; the constructing thread holds the role for
+  // the initial registration.
+  loop_role.Grant();
+  AddFd(wake_fd_, EPOLLIN, [this](uint32_t) {
+    loop_role.AssertHeld();
+    DrainWakeFd();
+  });
+  loop_role.Yield();
 }
 
 Reactor::~Reactor() {
@@ -121,7 +128,7 @@ void Reactor::Post(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    MutexLock lock(&post_mu_);
     posted_.push_back(std::move(fn));
   }
   Wake();
@@ -143,7 +150,7 @@ void Reactor::DrainWakeFd() {
 void Reactor::RunPosted() {
   std::vector<std::function<void()>> batch;
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    MutexLock lock(&post_mu_);
     batch.swap(posted_);
   }
   for (std::function<void()>& fn : batch) fn();
@@ -222,6 +229,7 @@ void Reactor::AdvanceTimers() {
 
 void Reactor::Loop() {
   loop_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  loop_role.Grant();
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
@@ -237,6 +245,9 @@ void Reactor::Loop() {
     AdvanceTimers();
     RunPosted();
   }
+  // Free the role so the owner may Grant() it for post-Stop teardown of
+  // loop-owned state (connections deregistering their fds).
+  loop_role.Yield();
 }
 
 }  // namespace dsgm

@@ -14,6 +14,12 @@
 // fd and timer mutation happens on that thread; other threads communicate
 // exclusively through Post(), which enqueues a closure and wakes the loop.
 // This keeps every handler single-threaded — no locks in the I/O path.
+//
+// That discipline is a compile-time contract: `loop_role` is a ThreadRole
+// capability held by the loop thread, and every loop-only method requires
+// it. Closures that cross the Post/timer/fd-handler boundary re-assert it
+// with loop_role.AssertHeld() at their top (a std::function erases the
+// static capability), which also CHECKs the calling thread in debug builds.
 
 #ifndef DSGM_NET_REACTOR_H_
 #define DSGM_NET_REACTOR_H_
@@ -22,11 +28,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dsgm {
 
@@ -97,19 +105,27 @@ class Reactor {
 
   /// Runs `fn` on the loop thread: inline when already there, else enqueued
   /// and the loop woken. The only thread-safe entry point.
-  void Post(std::function<void()> fn);
+  void Post(std::function<void()> fn) DSGM_EXCLUDES(post_mu_);
 
-  // --- Loop-thread only (or before Start) ---------------------------------
+  // --- Loop-thread only (or, before Start / after Stop, by a thread that
+  // --- Grant()s itself the role) ------------------------------------------
 
   /// Registers `fd` with the given interest set (EPOLLET is implied).
-  void AddFd(int fd, uint32_t events, FdHandler handler);
-  void ModifyFd(int fd, uint32_t events);
-  void RemoveFd(int fd);
+  void AddFd(int fd, uint32_t events, FdHandler handler)
+      DSGM_REQUIRES(loop_role);
+  void ModifyFd(int fd, uint32_t events) DSGM_REQUIRES(loop_role);
+  void RemoveFd(int fd) DSGM_REQUIRES(loop_role);
 
   /// One-shot (or periodic) timer; fires on the loop thread. Returns an id
   /// for CancelTimer. Granularity is the wheel tick (kTickMs).
-  TimerId AddTimer(int delay_ms, std::function<void()> fn, bool periodic = false);
-  void CancelTimer(TimerId id);
+  TimerId AddTimer(int delay_ms, std::function<void()> fn, bool periodic = false)
+      DSGM_REQUIRES(loop_role);
+  void CancelTimer(TimerId id) DSGM_REQUIRES(loop_role);
+
+  /// The loop-thread capability. Held by the loop between Start and Stop;
+  /// while the loop is not running, an external thread may Grant()/Yield()
+  /// it to operate on loop-owned state (e.g. handler teardown).
+  ThreadRole loop_role;
 
   static constexpr int kTickMs = 5;
 
@@ -119,25 +135,25 @@ class Reactor {
     int period_ms;  // 0 = one-shot
   };
 
-  void Loop();
+  void Loop() DSGM_EXCLUDES(post_mu_);
   void Wake();
-  void DrainWakeFd();
-  void RunPosted();
-  void AdvanceTimers();
+  void DrainWakeFd() DSGM_REQUIRES(loop_role);
+  void RunPosted() DSGM_REQUIRES(loop_role) DSGM_EXCLUDES(post_mu_);
+  void AdvanceTimers() DSGM_REQUIRES(loop_role);
   uint64_t NowTick() const;
-  int NextWaitMs() const;
+  int NextWaitMs() const DSGM_REQUIRES(loop_role);
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
-  std::unordered_map<int, FdHandler> handlers_;
+  std::unordered_map<int, FdHandler> handlers_ DSGM_GUARDED_BY(loop_role);
 
-  TimerWheel wheel_;
-  std::unordered_map<TimerId, TimerEntry> timers_;
-  TimerId next_timer_id_ = 1;
+  TimerWheel wheel_ DSGM_GUARDED_BY(loop_role);
+  std::unordered_map<TimerId, TimerEntry> timers_ DSGM_GUARDED_BY(loop_role);
+  TimerId next_timer_id_ DSGM_GUARDED_BY(loop_role) = 1;
   std::chrono::steady_clock::time_point epoch_;
 
-  std::mutex post_mu_;
-  std::vector<std::function<void()>> posted_;
+  Mutex post_mu_;
+  std::vector<std::function<void()>> posted_ DSGM_GUARDED_BY(post_mu_);
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};

@@ -19,6 +19,16 @@ constexpr size_t kReadChunk = 64 << 10;
 // Consumed-prefix compaction threshold for the read buffer.
 constexpr size_t kCompactThreshold = 256 << 10;
 
+#ifndef NDEBUG
+// Set once the thread begins destroying its thread_local objects. The
+// canary is first constructed (and therefore destroyed before) SendFrame's
+// thread_local scratch buffer, so the flag flips before the scratch dies.
+thread_local bool tls_teardown_begun = false;
+struct TlsTeardownCanary {
+  ~TlsTeardownCanary() { tls_teardown_begun = true; }
+};
+#endif
+
 }  // namespace
 
 // --- Hello helpers -------------------------------------------------------
@@ -79,7 +89,10 @@ ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
   // shared update queue's callback belongs to the owner (it must resume
   // every connection feeding the queue).
   const auto resume = [this] {
-    reactor_->Post([this] { ResumeRead(); });
+    reactor_->Post([this] {
+      reactor_->loop_role.AssertHeld();
+      ResumeRead();
+    });
   };
   event_inbox_.set_space_callback(resume);
   command_inbox_.set_space_callback(resume);
@@ -95,18 +108,28 @@ ReactorConnection::~ReactorConnection() {
 }
 
 void ReactorConnection::Start() {
-  reactor_->Post([this] { RegisterOnLoop(); });
+  reactor_->Post([this] {
+    reactor_->loop_role.AssertHeld();
+    RegisterOnLoop();
+  });
 }
 
 void ReactorConnection::RegisterOnLoop() {
   if (read_done_) return;  // Owner shut down before the loop saw us.
   last_rx_ = std::chrono::steady_clock::now();
-  reactor_->AddFd(socket_.fd(), EPOLLIN | EPOLLOUT,
-                  [this](uint32_t events) { HandleEvents(events); });
+  reactor_->AddFd(socket_.fd(), EPOLLIN | EPOLLOUT, [this](uint32_t events) {
+    reactor_->loop_role.AssertHeld();
+    HandleEvents(events);
+  });
   if (options_.liveness_timeout_ms > 0) {
     const int period = std::max(1, options_.liveness_timeout_ms / 4);
-    liveness_timer_ =
-        reactor_->AddTimer(period, [this] { CheckLiveness(); }, /*periodic=*/true);
+    liveness_timer_ = reactor_->AddTimer(
+        period,
+        [this] {
+          reactor_->loop_role.AssertHeld();
+          CheckLiveness();
+        },
+        /*periodic=*/true);
     liveness_armed_ = true;
   }
 }
@@ -121,43 +144,56 @@ bool ReactorConnection::SendFrame(const Frame& frame, bool bypass_backpressure) 
   // Encode OUTSIDE the lock: producers pay only for the byte append, never
   // for each other's encoding or the loop's kernel writes.
   static thread_local std::vector<uint8_t> scratch;
+#ifndef NDEBUG
+  // Constructed on first use — i.e. after `scratch` — so it is destroyed
+  // first during thread exit. A send from a thread_local destructor (the
+  // TLS-teardown hazard the orphan-shard flush dodges by parking instead of
+  // delivering) would touch `scratch` after or during its destruction;
+  // this trips deterministically instead.
+  static thread_local TlsTeardownCanary canary;
+  (void)canary;
+  DSGM_CHECK(!tls_teardown_begun)
+      << "SendFrame called during thread-local teardown (site " << site_
+      << "); transport sends from TLS destructors are forbidden";
+#endif
   scratch.clear();
   AppendFrame(frame, &scratch);
-  std::unique_lock<std::mutex> lock(outbox_mu_);
-  if (!bypass_backpressure) {
-    while (!broken_ && unsent_bytes_ >= options_.outbox_capacity_bytes) {
-      // The loop thread must never park on its own outbox: it is the only
-      // thread that can drain it.
-      if (reactor_->InLoopThread()) break;
-      can_send_.wait(lock);
+  bool need_flush = false;
+  {
+    MutexLock lock(&outbox_mu_);
+    if (!bypass_backpressure) {
+      while (!broken_ && unsent_bytes_ >= options_.outbox_capacity_bytes) {
+        // The loop thread must never park on its own outbox: it is the only
+        // thread that can drain it.
+        if (reactor_->InLoopThread()) break;
+        can_send_.Wait(&lock);
+      }
     }
+    if (broken_) return false;
+    outbox_.insert(outbox_.end(), scratch.begin(), scratch.end());
+    unsent_bytes_ += scratch.size();
+    need_flush = !flush_scheduled_;
+    flush_scheduled_ = true;
   }
-  if (broken_) return false;
-  outbox_.insert(outbox_.end(), scratch.begin(), scratch.end());
-  unsent_bytes_ += scratch.size();
-  ScheduleFlushLocked(&lock);
+  if (need_flush) {
+    reactor_->Post([this] {
+      reactor_->loop_role.AssertHeld();
+      TryWrite();
+    });
+  }
   return true;
-}
-
-void ReactorConnection::ScheduleFlushLocked(std::unique_lock<std::mutex>* lock) {
-  const bool need = !flush_scheduled_;
-  flush_scheduled_ = true;
-  lock->unlock();
-  if (need) {
-    reactor_->Post([this] { TryWrite(); });
-  }
 }
 
 void ReactorConnection::TryWrite() {
   {
-    std::lock_guard<std::mutex> lock(outbox_mu_);
+    MutexLock lock(&outbox_mu_);
     flush_scheduled_ = false;
   }
   while (true) {
     if (write_offset_ == write_buffer_.size()) {
       write_buffer_.clear();
       write_offset_ = 0;
-      std::lock_guard<std::mutex> lock(outbox_mu_);
+      MutexLock lock(&outbox_mu_);
       if (broken_ || outbox_.empty()) return;
       write_buffer_.swap(outbox_);
     }
@@ -171,11 +207,11 @@ void ReactorConnection::TryWrite() {
       bytes_sent_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
       bool room;
       {
-        std::lock_guard<std::mutex> lock(outbox_mu_);
+        MutexLock lock(&outbox_mu_);
         unsent_bytes_ -= static_cast<size_t>(n);
         room = unsent_bytes_ < options_.outbox_capacity_bytes;
       }
-      if (room) can_send_.notify_all();
+      if (room) can_send_.NotifyAll();
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -185,10 +221,10 @@ void ReactorConnection::TryWrite() {
     // Peer gone mid-write. The read side surfaces the failure policy; here
     // just stop accepting frames and release anyone blocked on the cap.
     {
-      std::lock_guard<std::mutex> lock(outbox_mu_);
+      MutexLock lock(&outbox_mu_);
       broken_ = true;
     }
-    can_send_.notify_all();
+    can_send_.NotifyAll();
     return;
   }
 }
@@ -371,10 +407,10 @@ void ReactorConnection::EndRead(const Status& failure) {
     liveness_armed_ = false;
   }
   {
-    std::lock_guard<std::mutex> lock(outbox_mu_);
+    MutexLock lock(&outbox_mu_);
     broken_ = true;
   }
-  can_send_.notify_all();
+  can_send_.NotifyAll();
   // Wake the peer's reader too (it sees EOF) and stop the kernel from
   // buffering more; the fd itself stays open until the owner destroys us.
   socket_.ShutdownBoth();
@@ -392,12 +428,15 @@ void ReactorConnection::ShutdownFromOwner() {
   if (shutdown_) return;
   shutdown_ = true;
   {
-    std::lock_guard<std::mutex> lock(outbox_mu_);
+    MutexLock lock(&outbox_mu_);
     broken_ = true;
   }
-  can_send_.notify_all();
-  // The reactor is stopped: loop state is ours now.
+  can_send_.NotifyAll();
+  // The reactor is stopped: its loop role is free, so this thread takes it
+  // for the teardown (and debug builds CHECK the loop really exited).
+  reactor_->loop_role.Grant();
   read_done_ = true;
+  reactor_->loop_role.Yield();
   event_inbox_.Close();
   command_inbox_.Close();
   if (!shared_updates_) update_inbox_->Close();
@@ -419,7 +458,8 @@ ReactorCoordinator::ReactorCoordinator(int num_sites, const Options& options)
   // slot lock orders this against AcceptSites still publishing connections.
   merged_updates_.set_space_callback([this] {
     reactor_.Post([this] {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      reactor_.loop_role.AssertHeld();
+      MutexLock lock(&connections_mu_);
       for (auto& connection : connections_) {
         if (connection != nullptr) connection->ResumeAfterSharedSpace();
       }
@@ -453,7 +493,7 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
       continue;  // Drop the stray connection; keep listening.
     }
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(&connections_mu_);
       if (connections_[static_cast<size_t>(*site)] != nullptr) {
         return InvalidArgumentError("two connections announced site id " +
                                     std::to_string(*site));
@@ -478,7 +518,7 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
         &reactor_, std::move(socket).value(), site_id, connection_options);
     connection->Start();
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(&connections_mu_);
       connections_[static_cast<size_t>(site_id)] = std::move(connection);
     }
     ++accepted;
@@ -487,14 +527,21 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
 }
 
 Channel<EventBatch>* ReactorCoordinator::events(int site) {
+  MutexLock lock(&connections_mu_);
   return connections_[static_cast<size_t>(site)]->events();
 }
 
 Channel<RoundAdvance>* ReactorCoordinator::commands(int site) {
+  MutexLock lock(&connections_mu_);
   return connections_[static_cast<size_t>(site)]->commands();
 }
 
+// The annotation pass flagged these: both counters iterated connections_
+// bare, racing AcceptSites' slot publication when stats are sampled during
+// an ongoing accept (mid-run stats were fine only by accident of call
+// order). They take the slot lock now.
 uint64_t ReactorCoordinator::bytes_up() const {
+  MutexLock lock(&connections_mu_);
   uint64_t total = 0;
   for (const auto& connection : connections_) {
     if (connection != nullptr) total += connection->bytes_received();
@@ -503,6 +550,7 @@ uint64_t ReactorCoordinator::bytes_up() const {
 }
 
 uint64_t ReactorCoordinator::bytes_down() const {
+  MutexLock lock(&connections_mu_);
   uint64_t total = 0;
   for (const auto& connection : connections_) {
     if (connection != nullptr) total += connection->bytes_sent();
@@ -514,8 +562,11 @@ void ReactorCoordinator::Shutdown() {
   if (shutdown_) return;
   shutdown_ = true;
   reactor_.Stop();
-  for (auto& connection : connections_) {
-    if (connection != nullptr) connection->ShutdownFromOwner();
+  {
+    MutexLock lock(&connections_mu_);
+    for (auto& connection : connections_) {
+      if (connection != nullptr) connection->ShutdownFromOwner();
+    }
   }
   merged_updates_.Close();
 }
@@ -552,8 +603,13 @@ class ReactorTransport : public ClusterTransport {
       coordinator_sockets[static_cast<size_t>(*site)] = std::move(socket).value();
     }
 
+    // coordinator_connections_ needs no lock here: the vector is fully
+    // populated before this transport is handed to any consumer, and only a
+    // consumer's pop can fire the space callback (Post's queue then orders
+    // the loop's read after construction).
     merged_updates_.set_space_callback([this] {
       coordinator_reactor_.Post([this] {
+        coordinator_reactor_.loop_role.AssertHeld();
         for (auto& connection : coordinator_connections_) {
           connection->ResumeAfterSharedSpace();
         }

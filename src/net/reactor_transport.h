@@ -24,6 +24,10 @@
 // counters x rounds frames), so the exemption cannot grow the outbox
 // without bound. EventBatch and UpdateBundle pushes block on the cap —
 // that is the transport's backpressure, mirroring the loopback queues.
+//
+// Concurrency contracts are compile-checked: loop-only state is guarded by
+// the reactor's `loop_role` capability, the cross-thread outbox by
+// `outbox_mu_` (see common/thread_annotations.h).
 
 #ifndef DSGM_NET_REACTOR_TRANSPORT_H_
 #define DSGM_NET_REACTOR_TRANSPORT_H_
@@ -31,18 +35,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/channel.h"
 #include "net/codec.h"
 #include "net/reactor.h"
@@ -66,85 +70,104 @@ class FlowQueue {
   FlowQueue(const FlowQueue&) = delete;
   FlowQueue& operator=(const FlowQueue&) = delete;
 
-  /// Set before any concurrent use. Invoked on the popping (or closing)
-  /// thread, outside the queue lock.
+  /// Set before any concurrent use (which is why it needs no guard).
+  /// Invoked on the popping (or closing) thread, outside the queue lock.
   void set_space_callback(std::function<void()> fn) { space_cb_ = std::move(fn); }
 
   /// Moves from `item` only on kOk; on kFull (or kClosed) the caller's
   /// object is left intact, so the event loop can hold the frame and
   /// re-deliver it once the space callback fires.
-  FlowPush TryPush(T&& item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (closed_) return FlowPush::kClosed;
-    if (items_.size() >= capacity_) {
-      starving_ = true;
-      return FlowPush::kFull;
+  FlowPush TryPush(T&& item) DSGM_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      if (closed_) return FlowPush::kClosed;
+      if (items_.size() >= capacity_) {
+        starving_ = true;
+        return FlowPush::kFull;
+      }
+      items_.push_back(std::move(item));
     }
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return FlowPush::kOk;
   }
 
-  size_t PopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    return TakeLocked(out, max_items, &lock);
+  size_t PopBatch(std::vector<T>* out, size_t max_items) DSGM_EXCLUDES(mu_) {
+    Take take;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&lock);
+      take = TakeLocked(out, max_items);
+    }
+    NotifyAfterTake(take);
+    return take.count;
   }
 
-  size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mu_);
-    return TakeLocked(out, max_items, &lock);
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items)
+      DSGM_EXCLUDES(mu_) {
+    Take take;
+    {
+      MutexLock lock(&mu_);
+      take = TakeLocked(out, max_items);
+    }
+    NotifyAfterTake(take);
+    return take.count;
   }
 
   /// After Close, pushes fail and pops drain then report 0. Also fires the
   /// space callback if a producer was paused on this queue: a reader
   /// waiting to deliver into a queue that will never drain must resume (and
   /// drop) rather than stay paused forever.
-  void Close() {
+  void Close() DSGM_EXCLUDES(mu_) {
     bool fire = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
       fire = starving_;
       starving_ = false;
     }
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
     if (fire && space_cb_) space_cb_();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const DSGM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const DSGM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
-  size_t TakeLocked(std::vector<T>* out, size_t max_items,
-                    std::unique_lock<std::mutex>* lock) {
-    const size_t take = std::min(max_items, items_.size());
-    for (size_t i = 0; i < take; ++i) {
+  struct Take {
+    size_t count = 0;
+    bool fire = false;
+  };
+
+  Take TakeLocked(std::vector<T>* out, size_t max_items) DSGM_REQUIRES(mu_) {
+    Take take;
+    take.count = std::min(max_items, items_.size());
+    for (size_t i = 0; i < take.count; ++i) {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    const bool fire = starving_ && take > 0 && items_.size() < capacity_;
-    if (fire) starving_ = false;
-    lock->unlock();
-    if (take > 0) not_empty_.notify_all();
-    if (fire && space_cb_) space_cb_();
+    take.fire = starving_ && take.count > 0 && items_.size() < capacity_;
+    if (take.fire) starving_ = false;
     return take;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  void NotifyAfterTake(const Take& take) {
+    if (take.count > 0) not_empty_.NotifyAll();
+    if (take.fire && space_cb_) space_cb_();
+  }
+
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  std::deque<T> items_ DSGM_GUARDED_BY(mu_);
   size_t capacity_;
-  bool closed_ = false;
-  bool starving_ = false;
+  bool closed_ DSGM_GUARDED_BY(mu_) = false;
+  bool starving_ DSGM_GUARDED_BY(mu_) = false;
   std::function<void()> space_cb_;
 };
 
@@ -260,31 +283,35 @@ class ReactorConnection {
   /// the outbox is over capacity unless `bypass_backpressure` (commands,
   /// close markers — see the header comment) or called from the loop
   /// thread. Returns false once the connection is broken.
-  bool SendFrame(const Frame& frame, bool bypass_backpressure);
+  bool SendFrame(const Frame& frame, bool bypass_backpressure)
+      DSGM_EXCLUDES(outbox_mu_);
 
   /// Teardown with the reactor ALREADY STOPPED (single-threaded): releases
   /// blocked senders, closes inboxes (not a shared update queue) and the
-  /// socket. Idempotent.
+  /// socket. Idempotent. Takes the freed loop role for the loop-state
+  /// teardown — which also CHECKs, in debug builds, that the reactor really
+  /// was stopped first.
   void ShutdownFromOwner();
 
   /// Loop-thread only (posted by the shared update queue's owner when that
   /// queue frees space): resume reading if this connection was paused
   /// delivering into it. No-op otherwise.
-  void ResumeAfterSharedSpace() { ResumeRead(); }
+  void ResumeAfterSharedSpace() DSGM_REQUIRES(reactor_->loop_role) {
+    ResumeRead();
+  }
 
  private:
   // Loop-thread methods.
-  void RegisterOnLoop();
-  void HandleEvents(uint32_t events);
-  void HandleReadable();
-  void TryWrite();
-  void ScheduleFlushLocked(std::unique_lock<std::mutex>* lock);
-  bool ParseFrames();
-  bool TryDeliver(Frame* frame);
-  void ResumeRead();
-  void PauseRead();
-  void CheckLiveness();
-  void EndRead(const Status& failure);
+  void RegisterOnLoop() DSGM_REQUIRES(reactor_->loop_role);
+  void HandleEvents(uint32_t events) DSGM_REQUIRES(reactor_->loop_role);
+  void HandleReadable() DSGM_REQUIRES(reactor_->loop_role);
+  void TryWrite() DSGM_REQUIRES(reactor_->loop_role);
+  bool ParseFrames() DSGM_REQUIRES(reactor_->loop_role);
+  bool TryDeliver(Frame* frame) DSGM_REQUIRES(reactor_->loop_role);
+  void ResumeRead() DSGM_REQUIRES(reactor_->loop_role);
+  void PauseRead() DSGM_REQUIRES(reactor_->loop_role);
+  void CheckLiveness() DSGM_REQUIRES(reactor_->loop_role);
+  void EndRead(const Status& failure) DSGM_REQUIRES(reactor_->loop_role);
 
   Reactor* reactor_;
   TcpSocket socket_;
@@ -292,29 +319,35 @@ class ReactorConnection {
   const Options options_;
 
   // --- Loop-thread state ---------------------------------------------------
-  std::vector<uint8_t> read_buffer_;
-  size_t read_size_ = 0;    // Bytes valid in read_buffer_.
-  size_t parse_offset_ = 0; // Bytes already consumed by the frame parser.
-  std::optional<Frame> pending_frame_;  // Decoded but undeliverable (inbox full).
-  bool read_paused_ = false;
-  bool read_done_ = false;
-  bool failure_reported_ = false;
-  std::chrono::steady_clock::time_point last_rx_;
-  Reactor::TimerId liveness_timer_ = 0;
-  bool liveness_armed_ = false;
+  std::vector<uint8_t> read_buffer_ DSGM_GUARDED_BY(reactor_->loop_role);
+  // Bytes valid in read_buffer_.
+  size_t read_size_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;
+  // Bytes already consumed by the frame parser.
+  size_t parse_offset_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;
+  // Decoded but undeliverable (inbox full).
+  std::optional<Frame> pending_frame_ DSGM_GUARDED_BY(reactor_->loop_role);
+  bool read_paused_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
+  bool read_done_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
+  bool failure_reported_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
+  std::chrono::steady_clock::time_point last_rx_
+      DSGM_GUARDED_BY(reactor_->loop_role);
+  Reactor::TimerId liveness_timer_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;
+  bool liveness_armed_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
 
   // --- Outbox (any thread) -------------------------------------------------
-  std::mutex outbox_mu_;
-  std::condition_variable can_send_;
-  std::vector<uint8_t> outbox_;  // Staged by producers; swapped out by the loop.
-  size_t unsent_bytes_ = 0;      // outbox_ plus the unwritten write_buffer_ tail.
-  bool flush_scheduled_ = false;
-  bool broken_ = false;
+  Mutex outbox_mu_;
+  CondVar can_send_;
+  // Staged by producers; swapped out by the loop.
+  std::vector<uint8_t> outbox_ DSGM_GUARDED_BY(outbox_mu_);
+  // outbox_ plus the unwritten write_buffer_ tail.
+  size_t unsent_bytes_ DSGM_GUARDED_BY(outbox_mu_) = 0;
+  bool flush_scheduled_ DSGM_GUARDED_BY(outbox_mu_) = false;
+  bool broken_ DSGM_GUARDED_BY(outbox_mu_) = false;
 
   // Loop-thread write state: the buffer currently being written, swapped
   // out of outbox_ so send() syscalls never run under outbox_mu_.
-  std::vector<uint8_t> write_buffer_;
-  size_t write_offset_ = 0;
+  std::vector<uint8_t> write_buffer_ DSGM_GUARDED_BY(reactor_->loop_role);
+  size_t write_offset_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;
 
   FlowQueue<EventBatch> event_inbox_;
   FlowQueue<RoundAdvance> command_inbox_;
@@ -328,7 +361,7 @@ class ReactorConnection {
 
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
-  bool shutdown_ = false;
+  bool shutdown_ = false;  // Owner thread only.
 };
 
 /// The coordinator side of a multi-process cluster on one reactor thread:
@@ -350,19 +383,19 @@ class ReactorCoordinator {
 
   /// Blocks until every site completed its hello handshake. On error the
   /// caller should close the listener and Shutdown().
-  Status AcceptSites(TcpListener* listener);
+  Status AcceptSites(TcpListener* listener) DSGM_EXCLUDES(connections_mu_);
 
   int num_sites() const { return num_sites_; }
   Channel<UpdateBundle>* updates() { return &update_channel_; }
   FlowQueue<UpdateBundle>* merged_updates() { return &merged_updates_; }
-  Channel<EventBatch>* events(int site);
-  Channel<RoundAdvance>* commands(int site);
+  Channel<EventBatch>* events(int site) DSGM_EXCLUDES(connections_mu_);
+  Channel<RoundAdvance>* commands(int site) DSGM_EXCLUDES(connections_mu_);
 
-  uint64_t bytes_up() const;
-  uint64_t bytes_down() const;
+  uint64_t bytes_up() const DSGM_EXCLUDES(connections_mu_);
+  uint64_t bytes_down() const DSGM_EXCLUDES(connections_mu_);
 
   /// Stops the reactor and tears down every connection. Idempotent.
-  void Shutdown();
+  void Shutdown() DSGM_EXCLUDES(connections_mu_);
 
  private:
   const int num_sites_;
@@ -373,11 +406,14 @@ class ReactorCoordinator {
   /// Guards connections_ slot publication: AcceptSites assigns slots on the
   /// caller's thread while the merged queue's space callback (reactor
   /// thread) may already be iterating them — a liveness failure or a
-  /// flooding peer can fire it before the accept loop finishes.
-  std::mutex connections_mu_;
-  std::vector<std::unique_ptr<ReactorConnection>> connections_;
+  /// flooding peer can fire it before the accept loop finishes. The stats
+  /// accessors (bytes_up/bytes_down, per-site lanes) take it too: they are
+  /// legal during an ongoing AcceptSites.
+  mutable Mutex connections_mu_;
+  std::vector<std::unique_ptr<ReactorConnection>> connections_
+      DSGM_GUARDED_BY(connections_mu_);
   std::atomic<int> live_reads_;
-  bool shutdown_ = false;
+  bool shutdown_ = false;  // Owner thread only.
 };
 
 // Blocking hello exchange over a not-yet-reactor-owned socket (shared by

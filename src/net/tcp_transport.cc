@@ -93,7 +93,7 @@ void TcpConnection::WriterLoop() {
 }
 
 bool TcpConnection::SendFrame(const Frame& frame) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  MutexLock lock(&send_mutex_);
   if (send_broken_) return false;
   send_buffer_.clear();
   AppendFrame(frame, &send_buffer_);
@@ -204,7 +204,7 @@ void TcpConnection::Shutdown() {
   if (shutdown_) return;
   shutdown_ = true;
   {
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    MutexLock lock(&send_mutex_);
     send_broken_ = true;
   }
   socket_.ShutdownBoth();

@@ -21,12 +21,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/queue.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/wire.h"
 #include "net/channel.h"
 #include "net/codec.h"
@@ -136,7 +137,7 @@ class TcpConnection {
   void Shutdown();
 
   /// Encodes and writes one frame. Returns false once the peer is gone.
-  bool SendFrame(const Frame& frame);
+  bool SendFrame(const Frame& frame) DSGM_EXCLUDES(send_mutex_);
 
  private:
   void ReaderLoop();
@@ -147,10 +148,10 @@ class TcpConnection {
   Status ReadFrame(Frame* out, uint32_t max_payload);
 
   TcpSocket socket_;
-  std::mutex send_mutex_;
-  std::vector<uint8_t> send_buffer_;
+  Mutex send_mutex_;
+  std::vector<uint8_t> send_buffer_ DSGM_GUARDED_BY(send_mutex_);
   std::vector<uint8_t> read_buffer_;  // handshake + reader thread only
-  bool send_broken_ = false;
+  bool send_broken_ DSGM_GUARDED_BY(send_mutex_) = false;
 
   BoundedQueue<EventBatch> event_inbox_;
   BoundedQueue<RoundAdvance> command_inbox_;
@@ -170,8 +171,8 @@ class TcpConnection {
 
   std::thread reader_;
   std::thread writer_;
-  bool started_ = false;
-  bool shutdown_ = false;
+  bool started_ = false;   // Owner thread only (handshake/Start sequence).
+  bool shutdown_ = false;  // Owner thread only.
 };
 
 /// Accepts `num_sites` connections from `listener` and pairs each by its

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_layering.py.
+
+Builds synthetic source trees with known-bad include edges and asserts the
+linter exits nonzero AND names the offending edge; also asserts the real
+repository passes. Plain python (no pytest): exits 0 on success, 1 with a
+message on the first failure.
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_layering.py"
+
+
+def run_checker(root):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def fail(message, result=None):
+    print(f"FAIL: {message}")
+    if result is not None:
+        print(f"  exit: {result.returncode}")
+        print(f"  stdout: {result.stdout}")
+        print(f"  stderr: {result.stderr}")
+    sys.exit(1)
+
+
+def write(root, rel, text):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def expect_violation(case, tree, needles):
+    """The tree must fail the lint and the report must name the edge."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        for rel, text in tree.items():
+            write(root, rel, text)
+        result = run_checker(root)
+        if result.returncode == 0:
+            fail(f"{case}: expected a violation, got exit 0", result)
+        out = result.stdout + result.stderr
+        for needle in needles:
+            if needle not in out:
+                fail(f"{case}: report does not name '{needle}'", result)
+        print(f"ok: {case}")
+
+
+def expect_clean(case, tree):
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        for rel, text in tree.items():
+            write(root, rel, text)
+        result = run_checker(root)
+        if result.returncode != 0:
+            fail(f"{case}: expected clean, got exit {result.returncode}",
+                 result)
+        print(f"ok: {case}")
+
+
+def main():
+    if not CHECKER.is_file():
+        fail(f"checker not found at {CHECKER}")
+
+    # The real repository must be layering-clean.
+    result = run_checker(REPO_ROOT)
+    if result.returncode != 0:
+        fail("the real repository has layering violations", result)
+    print("ok: real repository is clean")
+
+    # Upward include: cluster (rank 3) reaching into api (rank 4).
+    expect_violation(
+        "cluster includes api",
+        {"src/cluster/bad.h": '#include "api/backends.h"\n'},
+        ["src/cluster/bad.h:1", "cluster", "api", "upward"],
+    )
+
+    # Rank-1 subsystems are mutually independent.
+    expect_violation(
+        "net includes bayes",
+        {"src/net/bad.cc": '#include "bayes/network.h"\n'},
+        ["src/net/bad.cc:1", "net", "bayes", "independent"],
+    )
+
+    # Production code must not include test/bench code.
+    expect_violation(
+        "src includes bench harness",
+        {"src/core/bad.cc": '#include "harness/experiment.h"\n'},
+        ["src/core/bad.cc:1", "harness", "test/bench"],
+    )
+
+    # Public headers must not include internal api plumbing.
+    expect_violation(
+        "public header includes src/api",
+        {
+            "src/common/ok.h": "// fine\n",
+            "include/dsgm/bad.h": '#include "api/backends.h"\n',
+        },
+        ["include/dsgm/bad.h:1", "internal"],
+    )
+
+    # Downward and same-layer includes are legal.
+    expect_clean(
+        "legal downward edges",
+        {
+            "src/api/ok.cc": (
+                '#include "dsgm/session.h"\n'
+                '#include "cluster/coordinator_node.h"\n'
+                '#include "core/mle_tracker.h"\n'
+                '#include "net/channel.h"\n'
+                '#include "common/mutex.h"\n'
+                "#include <vector>\n"
+            ),
+            "src/core/ok.h": (
+                '#include "bayes/network.h"\n'
+                '#include "monitor/comm_stats.h"\n'
+                '#include "net/wire.h"\n'
+            ),
+            "include/dsgm/ok.h": '#include "common/status.h"\n',
+        },
+    )
+
+    # A tree with no src/ is a usage error, not a silent pass.
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_checker(tmp)
+        if result.returncode == 0:
+            fail("rootless tree should not pass", result)
+        print("ok: missing src/ rejected")
+
+    print("check_layering_test: all cases passed")
+
+
+if __name__ == "__main__":
+    main()

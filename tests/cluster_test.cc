@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -127,6 +128,49 @@ TEST(CoordinatorNodeTest, IgnoresForgedSiteAndCounterIds) {
   coordinator.Run();
   EXPECT_EQ(coordinator.Estimate(0), 0.0);  // Forged-site reports dropped.
   EXPECT_EQ(coordinator.Estimate(1), 7.0);  // The one valid report landed.
+}
+
+TEST(CoordinatorNodeTest, MidRunAccessorsDoNotRaceTheProtocolThread) {
+  // Regression for a defect the thread-safety annotation pass surfaced:
+  // Run() wrote the first/last-message timestamps (and comm_) outside any
+  // lock while ActiveSeconds()/comm() read them bare — benign for
+  // post-join callers, a data race for mid-run ones. Every accessor now
+  // takes the protocol mutex; this test exercises all of them against a
+  // live Run() thread (TSan covers this suite in CI).
+  BoundedQueue<UpdateBundle> updates(64);
+  QueueChannel<UpdateBundle> update_channel(&updates);
+  BoundedQueue<RoundAdvance> commands(64);
+  QueueChannel<RoundAdvance> command_channel(&commands);
+  CoordinatorNode coordinator(/*epsilons=*/{}, /*num_counters=*/2,
+                              /*num_sites=*/1, 1.0, &update_channel,
+                              {&command_channel});
+  std::thread protocol([&coordinator] { coordinator.Run(); });
+
+  uint64_t max_updates_seen = 0;
+  for (uint32_t i = 1; i <= 200; ++i) {
+    UpdateBundle bundle;
+    bundle.kind = UpdateBundle::Kind::kReports;
+    bundle.site = 0;
+    bundle.reports = {{0, i}};
+    ASSERT_TRUE(updates.Push(std::move(bundle)));
+    // The racing reads under test: every accessor is legal mid-run.
+    EXPECT_GE(coordinator.ActiveSeconds(), 0.0);
+    EXPECT_GE(coordinator.Estimate(0), 0.0);
+    max_updates_seen = std::max(max_updates_seen,
+                                coordinator.comm().update_messages);
+    std::vector<double> estimates;
+    CommStats comm;
+    coordinator.SnapshotState(&estimates, &comm);
+  }
+
+  UpdateBundle done;
+  done.kind = UpdateBundle::Kind::kSiteDone;
+  done.site = 0;
+  ASSERT_TRUE(updates.Push(done));
+  protocol.join();
+  EXPECT_EQ(coordinator.Estimate(0), 200.0);
+  EXPECT_EQ(coordinator.comm().update_messages, 200u);
+  EXPECT_GE(coordinator.comm().update_messages, max_updates_seen);
 }
 
 TEST(SiteNodeTest, IgnoresForgedRoundAdvances) {

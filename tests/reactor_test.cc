@@ -167,6 +167,9 @@ TEST(ReactorTest, OneShotTimerFires) {
   std::condition_variable cv;
   bool fired = false;
   reactor.Post([&] {
+    // Posted closures run on the loop thread, which holds the loop role;
+    // the assertion tells the static analysis (and debug builds) so.
+    reactor.loop_role.AssertHeld();
     reactor.AddTimer(20, [&] {
       std::lock_guard<std::mutex> lock(mu);
       fired = true;
@@ -186,11 +189,13 @@ TEST(ReactorTest, PeriodicTimerFiresRepeatedlyUntilCancelled) {
   std::condition_variable cv;
   int count = 0;
   reactor.Post([&] {
+    reactor.loop_role.AssertHeld();
     // Cancelled from inside its own callback on the third firing.
     Reactor::TimerId* id = new Reactor::TimerId(0);
     *id = reactor.AddTimer(
         10,
         [&, id] {
+          reactor.loop_role.AssertHeld();
           std::lock_guard<std::mutex> lock(mu);
           if (++count == 3) {
             reactor.CancelTimer(*id);
@@ -222,6 +227,7 @@ TEST(ReactorTest, FdReadinessInvokesHandler) {
   std::condition_variable cv;
   std::vector<uint8_t> received;
   reactor.Post([&] {
+    reactor.loop_role.AssertHeld();
     reactor.AddFd(fds[0], EPOLLIN, [&](uint32_t) {
       // Edge-triggered: drain to EAGAIN.
       uint8_t buffer[16];
@@ -245,7 +251,10 @@ TEST(ReactorTest, FdReadinessInvokesHandler) {
                             [&] { return received.size() == 3; }));
     EXPECT_EQ(received, (std::vector<uint8_t>{7, 8, 9}));
   }
-  reactor.Post([&] { reactor.RemoveFd(fds[0]); });
+  reactor.Post([&] {
+    reactor.loop_role.AssertHeld();
+    reactor.RemoveFd(fds[0]);
+  });
   reactor.Stop();
   // reader's destructor closes fds[0].
   ::close(fds[1]);

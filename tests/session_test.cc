@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -107,6 +108,55 @@ void RunMidStreamSnapshotTest(Backend backend) {
   EXPECT_EQ(after->events_observed(), 50000);
   const Status pushed = session.Push(Instance(5, 0));
   EXPECT_EQ(pushed.code(), StatusCode::kFailedPrecondition);
+}
+
+/// Regression for a defect the thread-safety annotation pass surfaced: the
+/// final model was written AFTER the finished_ flag flipped, while the
+/// post-Finish Snapshot path read it bare — so a snapshot racing Finish (a
+/// contract violation, but one that must stay memory-safe) could read a
+/// half-written ModelView. The view is now mutex-guarded on both backends'
+/// paths; pollers here deliberately overlap Finish and must get either a
+/// valid view or a defined error, never a torn read (TSan covers this
+/// suite in CI).
+void RunSnapshotRacesFinishTest(Backend backend) {
+  const BayesianNetwork truth = StudentNetwork();
+  StatusOr<std::unique_ptr<Session>> built = MakeBuilder(truth, backend).Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  Session& session = **built;
+  ASSERT_TRUE(session.StreamGroundTruth(5000).ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pollers;
+  for (int t = 0; t < 4; ++t) {
+    pollers.emplace_back([&session, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusOr<ModelView> view = session.Snapshot();
+        if (view.ok()) {
+          // A successful snapshot is never torn: it is either the live
+          // model or the complete final model.
+          EXPECT_GE(view->events_observed(), 0);
+        }
+      }
+    });
+  }
+  StatusOr<RunReport> report = session.Finish();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& poller : pollers) poller.join();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // With the race over, the finished session serves the final model.
+  StatusOr<ModelView> after = session.Snapshot();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->empty());
+  EXPECT_EQ(after->events_observed(), 5000);
+}
+
+TEST(SessionTest, SnapshotRacingFinishStaysMemorySafeInProcess) {
+  RunSnapshotRacesFinishTest(Backend::kInProcess);
+}
+
+TEST(SessionTest, SnapshotRacingFinishStaysMemorySafeThreads) {
+  RunSnapshotRacesFinishTest(Backend::kThreads);
 }
 
 TEST(SessionTest, SnapshotMidStreamInProcess) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "net/cluster_transport.h"
 #include "net/codec.h"
+#include "net/reactor_transport.h"
 #include "net/tcp_socket.h"
 #include "net/tcp_transport.h"
 
@@ -314,6 +316,60 @@ TEST(ProtocolVersionTest, CurrentVersionHelloIsAccepted) {
   if (accepted.ok()) {
     for (auto& connection : *accepted) connection->Shutdown();
   }
+}
+
+TEST(ReactorCoordinatorTest, StatsDuringAcceptDoNotRaceSlotPublication) {
+  // Regression for a defect the thread-safety annotation pass surfaced:
+  // bytes_up()/bytes_down() iterated the connection slots bare while
+  // AcceptSites published them from the accept thread — mid-run stats were
+  // fine only by accident of call order. The accessors take the slot lock
+  // now, so sampling stats during an ongoing accept is legal; this test
+  // does exactly that (TSan covers this suite in CI).
+  constexpr int kSites = 3;
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, kSites + 2);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  ReactorCoordinator::Options options;
+  options.liveness_timeout_ms = 0;  // Hello-only peers must not be "dead".
+  ReactorCoordinator coordinator(kSites, options);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&coordinator, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)coordinator.bytes_up();
+      (void)coordinator.bytes_down();
+    }
+  });
+
+  // The peers stay open past AcceptSites: an EOF mid-accept would count as
+  // a defective connection, not the race under test.
+  std::vector<TcpSocket> peers;
+  std::thread sites([port, &peers] {
+    for (int s = 0; s < kSites; ++s) {
+      StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+      if (!socket.ok() || !SendHelloBlocking(&socket.value(), s).ok()) return;
+      peers.push_back(std::move(socket).value());
+      // Gaps between hellos widen the accept window the poller races.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  const Status accepted = coordinator.AcceptSites(&listener.value());
+  sites.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  ASSERT_TRUE(accepted.ok()) << accepted;
+  ASSERT_EQ(peers.size(), static_cast<size_t>(kSites));
+  for (int s = 0; s < kSites; ++s) {
+    EXPECT_NE(coordinator.events(s), nullptr);
+    EXPECT_NE(coordinator.commands(s), nullptr);
+  }
+  // Hellos are consumed on the blocking accept path before a connection
+  // joins the reactor, so the post-accept counters legitimately read zero;
+  // the assertions that matter here are TSan's.
+  EXPECT_EQ(coordinator.bytes_down(), 0u);
+  coordinator.Shutdown();
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Enforce the dsgm include-layering DAG.
+
+The codebase is layered; lower layers must not include upward:
+
+    common                      (rank 0)
+    monitor, bayes, net         (rank 1, mutually independent)
+    core                        (rank 2)
+    cluster                     (rank 3)
+    api, dsgm (include/dsgm)    (rank 4)
+
+Rules checked, for every .h/.cc under src/ and include/:
+
+  1. No upward include: a file in layer L may only include headers whose
+     layer rank is <= L's rank.
+  2. The rank-1 subsystems (monitor, bayes, net) are independent: none of
+     them may include another.
+  3. No src/ or include/ file may include test or bench code (the
+     "harness/" prefix, or anything under tests/, bench/, examples/).
+  4. Public headers (include/) may not include "api/..." — src/api is
+     internal Session plumbing and is deliberately not installed.
+
+Prints one line per offending edge (file:line: explanation) and exits
+nonzero when any violation exists, so it can gate as a ctest entry and a
+CI step. Exits 2 on usage errors (e.g. a root with no src/ tree).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LAYER_RANK = {
+    "common": 0,
+    "monitor": 1,
+    "bayes": 1,
+    "net": 1,
+    "core": 2,
+    "cluster": 3,
+    "api": 4,
+    "dsgm": 4,  # the public include/dsgm headers sit at the api layer
+}
+
+# Rank-1 subsystems must stay independent of one another.
+INDEPENDENT = {"monitor", "bayes", "net"}
+
+# Include prefixes that live outside src/: test/bench-only code that
+# production sources must never reach into.
+NON_SRC_PREFIXES = {"harness", "tests", "bench", "examples"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def layer_of(rel_path):
+    """The layer name of a source file, or None if it has no layer."""
+    parts = rel_path.parts
+    if parts[0] == "src" and len(parts) > 1:
+        return parts[1]
+    if parts[0] == "include":
+        return "dsgm"
+    return None
+
+
+def check_file(path, rel_path, violations):
+    layer = layer_of(rel_path)
+    if layer not in LAYER_RANK:
+        return
+    rank = LAYER_RANK[layer]
+    in_public_include = rel_path.parts[0] == "include"
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as error:
+        violations.append(f"{rel_path}: unreadable: {error}")
+        return
+    for lineno, line in enumerate(lines, start=1):
+        match = INCLUDE_RE.match(line)
+        if not match:
+            continue
+        target_path = match.group(1)
+        target = target_path.split("/", 1)[0]
+        where = f"{rel_path}:{lineno}"
+        if target in NON_SRC_PREFIXES:
+            violations.append(
+                f"{where}: {layer} -> {target}: production code must not "
+                f'include test/bench code ("{target_path}")'
+            )
+            continue
+        if target not in LAYER_RANK:
+            continue  # third-party or unlayered quoted include
+        if in_public_include and target == "api":
+            violations.append(
+                f"{where}: dsgm -> api: public headers must not include "
+                f'internal Session plumbing ("{target_path}")'
+            )
+            continue
+        target_rank = LAYER_RANK[target]
+        if target_rank > rank:
+            violations.append(
+                f"{where}: upward include {layer} (rank {rank}) -> "
+                f'{target} (rank {target_rank}) ("{target_path}")'
+            )
+        elif (
+            target != layer and layer in INDEPENDENT and target in INDEPENDENT
+        ):
+            violations.append(
+                f"{where}: rank-1 subsystems are independent: "
+                f'{layer} -> {target} ("{target_path}")'
+            )
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="repository root to scan (default: this script's repo)",
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"check_layering: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = []
+    files = 0
+    for top in ("src", "include"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            files += 1
+            check_file(path, path.relative_to(root), violations)
+
+    if violations:
+        print(f"check_layering: {len(violations)} violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"check_layering: OK ({files} files, 0 violations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
