@@ -29,6 +29,7 @@
 
 #include "bayes/repository.h"
 #include "bayes/sampler.h"
+#include "common/metrics.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "dsgm/dsgm.h"
@@ -156,6 +157,11 @@ int Main(int argc, char** argv) {
                    "the honest floor) and (b) the 100 Hz poller costs "
                    "< 10% throughput at every swept producer count "
                    "(ctest smoke gate)");
+  flags.DefineBool("metrics-overhead", false,
+                   "price the metrics layer itself: run the 8-producer quiet "
+                   "config with instruments enabled and disabled "
+                   "(SetMetricsEnabled) and exit 1 if enabling them costs "
+                   "> 3% throughput (10% under sanitizers)");
   flags.DefineString("json", "BENCH_ingest.json",
                      "machine-readable results file (empty disables)");
   ParseFlagsOrDie(&flags, argc, argv);
@@ -294,7 +300,52 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (flags.GetBool("metrics-overhead")) {
+    // Alternate enabled/disabled runs so both sides see the same machine
+    // conditions, and keep the best of each: this prices the instruments,
+    // not the scheduler. Events fan out over 8 producers, so every swept
+    // hot path (ingest staging, lanes, sites, coordinator) is exercised.
+    const int overhead_repeats = std::max(repeats, 3);
+    double best_enabled = 0.0;
+    double best_disabled = 0.0;
+    for (int r = 0; r < overhead_repeats; ++r) {
+      for (const bool enabled : {true, false}) {
+        SetMetricsEnabled(enabled);
+        StatusOr<IngestRun> run =
+            RunOnce(*net, events, sites, 8, 0, eps,
+                    seed + static_cast<uint64_t>(r), batch);
+        if (!run.ok()) {
+          SetMetricsEnabled(true);
+          std::cerr << "metrics-overhead run: " << run.status() << "\n";
+          return 1;
+        }
+        double& best = enabled ? best_enabled : best_disabled;
+        if (run->events_per_sec > best) best = run->events_per_sec;
+      }
+    }
+    SetMetricsEnabled(true);
+    const double cost =
+        best_disabled > 0.0
+            ? std::max(0.0, 1.0 - best_enabled / best_disabled)
+            : 0.0;
+    const double bound = kSanitizedBuild ? 0.10 : 0.03;
+    std::cout << "metrics overhead at 8 producers: enabled "
+              << static_cast<int64_t>(best_enabled) << " ev/s vs disabled "
+              << static_cast<int64_t>(best_disabled) << " ev/s ("
+              << FormatDouble(cost * 100.0, 2) << "% cost, bound "
+              << FormatDouble(bound * 100.0, 0) << "%)\n";
+    if (cost > bound) {
+      std::cerr << "GATE FAILED: metrics instrumentation cost "
+                << FormatDouble(cost * 100.0, 2) << "% > "
+                << FormatDouble(bound * 100.0, 0) << "% of 8-producer "
+                   "throughput\n";
+      gate_failed = true;
+    }
+  }
+
   if (!flags.GetString("json").empty()) {
+    MetricsSnapshot final_metrics = MetricsRegistry::Global().Snapshot();
+    final_metrics.captured_nanos = NowNanos();
     Json root = Json::Object();
     root.Add("bench", Json::Str("ingest_scale"))
         .Add("events_per_run", Json::Int(num_events))
@@ -303,7 +354,8 @@ int Main(int argc, char** argv) {
         .Add("epsilon", Json::Double(eps))
         .Add("seed", Json::Int(flags.GetInt64("seed")))
         .Add("hardware_threads", Json::Int(static_cast<int64_t>(hw)))
-        .Add("results", std::move(records));
+        .Add("results", std::move(records))
+        .Add("metrics", MetricsSnapshotToJson(final_metrics));
     const Status written = WriteJsonReport(flags.GetString("json"), root);
     if (!written.ok()) {
       std::cerr << written << "\n";

@@ -15,7 +15,9 @@
 #include <string>
 
 #include "bayes/repository.h"
+#include "common/metrics.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "dsgm/dsgm.h"
 #include "harness/experiment.h"
 #include "harness/json_report.h"
@@ -175,12 +177,18 @@ int Main(int argc, char** argv) {
                "event loops regardless of k.\n\n";
 
   if (!flags.GetString("json").empty()) {
+    // Cumulative across the whole sweep (the registry is process-global);
+    // gives bench_diff.py per-metric series — reactor loop p99, flow-control
+    // pauses, queue blocks — alongside the throughput numbers.
+    MetricsSnapshot final_metrics = MetricsRegistry::Global().Snapshot();
+    final_metrics.captured_nanos = NowNanos();
     Json root = Json::Object();
     root.Add("bench", Json::Str("reactor_scale"))
         .Add("events_per_run", Json::Int(events))
         .Add("epsilon", Json::Double(flags.GetDouble("eps")))
         .Add("seed", Json::Int(flags.GetInt64("seed")))
-        .Add("results", std::move(records));
+        .Add("results", std::move(records))
+        .Add("metrics", MetricsSnapshotToJson(final_metrics));
     const Status written = WriteJsonReport(flags.GetString("json"), root);
     if (!written.ok()) {
       std::cerr << written << "\n";

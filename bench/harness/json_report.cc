@@ -196,6 +196,49 @@ Json RunReportToJson(const RunReport& report) {
   return record;
 }
 
+Json MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  Json record = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& counter : snapshot.counters) {
+    counters.Add(counter.name, Json::Int(static_cast<int64_t>(counter.value)));
+  }
+  Json gauges = Json::Object();
+  for (const auto& gauge : snapshot.gauges) {
+    gauges.Add(gauge.name, Json::Int(gauge.value));
+  }
+  Json histograms = Json::Object();
+  for (const auto& histogram : snapshot.histograms) {
+    Json stats = Json::Object();
+    stats.Add("count", Json::Int(static_cast<int64_t>(histogram.stats.count)))
+        .Add("sum", Json::Int(static_cast<int64_t>(histogram.stats.sum)))
+        .Add("p50", Json::Int(static_cast<int64_t>(histogram.stats.p50)))
+        .Add("p99", Json::Int(static_cast<int64_t>(histogram.stats.p99)))
+        .Add("max", Json::Int(static_cast<int64_t>(histogram.stats.max)));
+    histograms.Add(histogram.name, std::move(stats));
+  }
+  record.Add("counters", std::move(counters))
+      .Add("gauges", std::move(gauges))
+      .Add("histograms", std::move(histograms));
+  if (!snapshot.sites.empty()) {
+    Json sites = Json::Array();
+    for (const SiteHealth& site : snapshot.sites) {
+      Json row = Json::Object();
+      row.Add("site", Json::Int(site.site))
+          .Add("alive", Json::Bool(site.alive))
+          .Add("heartbeat_age_ms", Json::Double(site.heartbeat_age_ms))
+          .Add("events_processed", Json::Int(site.events_processed))
+          .Add("updates_sent", Json::Int(static_cast<int64_t>(site.updates_sent)))
+          .Add("syncs_sent", Json::Int(static_cast<int64_t>(site.syncs_sent)))
+          .Add("rounds_seen", Json::Int(static_cast<int64_t>(site.rounds_seen)))
+          .Add("stats_reports",
+               Json::Int(static_cast<int64_t>(site.stats_reports)));
+      sites.Append(std::move(row));
+    }
+    record.Add("sites", std::move(sites));
+  }
+  return record;
+}
+
 Status WriteJsonReport(const std::string& path, const Json& root) {
   const std::string tmp = path + ".tmp";
   {

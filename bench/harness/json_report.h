@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/cluster_runner.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "dsgm/report.h"
 
@@ -78,6 +79,12 @@ Json ClusterResultToJson(const ClusterResult& result,
 /// when the transport measured real bytes — the estimated/wire byte ratio,
 /// so BENCH_*.json tracks how honest the CommStats estimates are.
 Json RunReportToJson(const RunReport& report);
+
+/// Structured metrics record: {"counters":{..},"gauges":{..},
+/// "histograms":{name:{count,sum,p50,p99,max}},"sites":[..]} — the same
+/// shape as the --metrics-dump-ms lines but pretty-printed into a bench
+/// report, so bench_diff.py can diff per-metric series across commits.
+Json MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
 
 }  // namespace dsgm
 

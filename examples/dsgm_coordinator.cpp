@@ -13,7 +13,9 @@
 // Exit code is non-zero if --max-rel-error is set and the validation bound
 // is violated (used by the ctest multi-process smoke test).
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "bayes/repository.h"
 #include "common/flags.h"
@@ -43,6 +45,12 @@ int main(int argc, char** argv) {
   flags.DefineDouble("max-rel-error", -1.0,
                      "fail (exit 1) if the max counter relative error exceeds this; "
                      "negative disables the gate");
+  flags.DefineInt64("metrics-dump-ms", 0,
+                    "emit one JSON metrics snapshot line (counters, latency "
+                    "histograms, per-site health) every N ms; 0 disables. "
+                    "Render with tools/metrics_text.py");
+  flags.DefineString("metrics-dump-file", "",
+                     "metrics dump destination (default: stderr)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     if (parsed.code() == StatusCode::kNotFound) return 0;  // --help
@@ -68,6 +76,17 @@ int main(int argc, char** argv) {
             << " (network '" << net->name() << "', "
             << flags.GetInt64("events") << " events)...\n";
 
+  std::unique_ptr<std::ofstream> dump_file;
+  if (!flags.GetString("metrics-dump-file").empty()) {
+    dump_file = std::make_unique<std::ofstream>(
+        flags.GetString("metrics-dump-file"), std::ios::trunc);
+    if (!*dump_file) {
+      std::cerr << "cannot open " << flags.GetString("metrics-dump-file")
+                << " for writing\n";
+      return 1;
+    }
+  }
+
   // Build() blocks until every external site completes its hello handshake.
   const StatusOr<std::unique_ptr<Session>> session =
       SessionBuilder(*net)
@@ -83,6 +102,8 @@ int main(int argc, char** argv) {
           .WithBindAddress(flags.GetString("bind"))
           .WithLivenessTimeout(static_cast<int>(flags.GetInt64("liveness-timeout-ms")))
           .WithHeartbeatInterval(static_cast<int>(flags.GetInt64("heartbeat-ms")))
+          .WithMetricsDump(static_cast<int>(flags.GetInt64("metrics-dump-ms")),
+                           dump_file ? dump_file.get() : nullptr)
           .Build();
   if (!session.ok()) {
     std::cerr << "coordinator failed: " << session.status() << "\n";

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bayes/network.h"
+#include "common/metrics.h"
 #include "core/counter_layout.h"
 #include "monitor/comm_stats.h"
 
@@ -62,6 +64,14 @@ class ModelView {
   /// Communication spent up to the snapshot instant.
   const CommStats& comm() const { return comm_; }
 
+  /// Metrics attached to FINAL views (RunReport::model): instruments plus
+  /// the per-site health table at run end. Mid-run views from Snapshot()
+  /// leave this empty — the hot query path must not pay for a registry
+  /// walk; use Session::Metrics() for a live reading instead.
+  const MetricsSnapshot& metrics() const { return metrics_; }
+  /// Sessions attach end-of-run metrics to the final view.
+  void AttachMetrics(MetricsSnapshot metrics) { metrics_ = std::move(metrics); }
+
   const BayesianNetwork& network() const { return *network_; }
 
  private:
@@ -71,6 +81,7 @@ class ModelView {
   int64_t events_observed_ = 0;
   CommStats comm_;
   double laplace_alpha_ = 0.0;
+  MetricsSnapshot metrics_;
 };
 
 /// Predicts the value of `target` given the other variables in `evidence`

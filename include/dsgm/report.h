@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/metrics.h"
 #include "dsgm/model_view.h"
 #include "monitor/comm_stats.h"
 
@@ -63,6 +64,11 @@ struct RunReport {
   /// every ModelView it references the session's BayesianNetwork by
   /// pointer: the network must outlive this report, not just the session.
   ModelView model;
+
+  /// End-of-run metrics: every registered instrument plus the per-site
+  /// health table on the cluster backends. Captured after the protocol
+  /// joined, so the numbers are final.
+  MetricsSnapshot metrics;
 };
 
 }  // namespace dsgm

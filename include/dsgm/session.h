@@ -38,12 +38,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bayes/network.h"
 #include "bayes/sampler.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -163,6 +165,14 @@ class Session {
     return events_pushed_.load(std::memory_order_relaxed);
   }
 
+  /// Structured snapshot of the process-wide metrics registry
+  /// (common/metrics.h) — counters, gauges, latency histograms; the cluster
+  /// backends splice in their live per-site health table (heartbeat ages,
+  /// per-site event/sync/round progress). Thread-safe, callable mid-run;
+  /// deliberately separate from Snapshot() so model queries never pay for a
+  /// registry walk.
+  virtual MetricsSnapshot Metrics() const;
+
  protected:
   /// `stream_seed` seeds StreamGroundTruth's sampler; `router_seed` the
   /// uniform site routing. Backends derive both from the tracker seed with
@@ -195,6 +205,17 @@ class Session {
 
   int num_sites() const { return num_sites_; }
   int batch_size() const { return batch_size_; }
+
+  /// Starts the periodic metrics dump thread (SessionOptions::
+  /// metrics_dump_ms). Derived backends call this once their snapshot
+  /// source is live — NOT from the base constructor, since `fn` usually
+  /// captures derived state. No-op when period_ms <= 0.
+  void StartMetricsDump(int period_ms, std::ostream* out,
+                        MetricsDumper::SnapshotFn fn);
+  /// Emits the final dump line and joins the thread. Idempotent; derived
+  /// backends whose dump fn captures derived state must call this in their
+  /// own teardown, before that state dies.
+  void StopMetricsDump();
 
   std::atomic<bool> finished_{false};
   std::atomic<int64_t> events_pushed_{0};
@@ -230,6 +251,7 @@ class Session {
   Mutex orphans_mu_;
   std::vector<std::shared_ptr<internal::IngestShard>> orphaned_shards_
       DSGM_GUARDED_BY(orphans_mu_);
+  std::unique_ptr<MetricsDumper> metrics_dumper_;
 };
 
 /// Everything a SessionBuilder can configure. Builders validate on Build();
@@ -269,6 +291,14 @@ struct SessionOptions {
   /// threads. Must stay below liveness_timeout_ms. External dsgm_site
   /// processes configure their own cadence (--heartbeat-ms).
   int heartbeat_interval_ms = 500;
+  /// 0 disables (the default). >0: a background thread emits one line of
+  /// compact JSON (MetricsSnapshotToJsonLine — every registered counter,
+  /// gauge, and latency histogram, plus the cluster backends' per-site
+  /// health table) every this-many milliseconds, and a final line when the
+  /// session finishes or is torn down. Render with tools/metrics_text.py.
+  int metrics_dump_ms = 0;
+  /// Where the dump lines go; nullptr means std::cerr.
+  std::ostream* metrics_dump_stream = nullptr;
 };
 
 class SessionBuilder {
@@ -299,6 +329,9 @@ class SessionBuilder {
   /// 0 disables per-site liveness; see SessionOptions::liveness_timeout_ms.
   SessionBuilder& WithLivenessTimeout(int timeout_ms);
   SessionBuilder& WithHeartbeatInterval(int interval_ms);
+  /// Periodic one-line JSON metrics dump every `period_ms` (0 disables);
+  /// `out` nullptr means std::cerr. See SessionOptions::metrics_dump_ms.
+  SessionBuilder& WithMetricsDump(int period_ms, std::ostream* out = nullptr);
 
   const SessionOptions& options() const { return options_; }
 

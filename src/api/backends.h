@@ -45,9 +45,18 @@ class ClusterSessionBase : public Session {
  public:
   StatusOr<ModelView> Snapshot() override;
 
+  /// Registry snapshot plus this session's per-site health table.
+  MetricsSnapshot Metrics() const override;
+
  protected:
   ClusterSessionBase(Backend backend, const BayesianNetwork& network,
                      const SessionOptions& options, const SeedSchedule& seeds);
+
+  /// Backend hook run before a health-table snapshot: kThreads pushes its
+  /// in-process SiteNodes' live stats into the board here; kLocalTcp's
+  /// board is fed by the reactor I/O thread and needs no refresh. Called
+  /// from Metrics()/dump threads — must be thread-safe.
+  virtual void RefreshSiteHealth() const {}
 
   /// Pushes a full routed batch down the shard's lane for `site`, binding
   /// the lane on first use via ShardLane. Fails if the lane has closed
@@ -97,6 +106,10 @@ class ClusterSessionBase : public Session {
   const SessionOptions options_;
   const int num_sites_;
   std::shared_ptr<const CounterLayout> layout_;
+  /// Per-site liveness/progress table behind Metrics() and the dump lines;
+  /// lock-free (common/metrics.h contract). Mutable: refreshing stats into
+  /// it from the const Metrics() path mutates no logical session state.
+  mutable SiteHealthBoard health_board_;
   WallTimer wall_;
   std::unique_ptr<CoordinatorNode> coordinator_;
   std::thread coordinator_thread_;

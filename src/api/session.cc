@@ -35,6 +35,20 @@ uint64_t NextSessionId() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Ingest-path instruments, resolved once. Updated at BATCH granularity only
+// (one Add per delivered batch, never per event), so eight producers don't
+// contend on a metric cache line inside the staging hot loop.
+Counter* IngestEventsStaged() {
+  static Counter* const counter =
+      MetricsRegistry::Global().GetCounter("api.ingest.events_staged");
+  return counter;
+}
+Counter* IngestBatchesFlushed() {
+  static Counter* const counter =
+      MetricsRegistry::Global().GetCounter("api.ingest.batches_flushed");
+  return counter;
+}
+
 /// A thread's shard cache: one entry per session it has pushed into. The
 /// shared_ptr keeps a shard's memory valid even after its session died;
 /// `retired` entries are pruned on the next slow-path registration so
@@ -102,6 +116,10 @@ Session::Session(Backend backend, const BayesianNetwork& network, int num_sites,
 }
 
 Session::~Session() {
+  // Backends whose dump fn captures derived state stopped the dumper in
+  // their own teardown already; this covers the base-only case (kInProcess)
+  // and is a no-op otherwise.
+  StopMetricsDump();
   {
     // After this, an exiting producer thread's flush hook sees a dead
     // session and skips (the lock also waits out a flush already running).
@@ -112,6 +130,24 @@ Session::~Session() {
   for (const auto& shard : shards_) {
     shard->retired.store(true, std::memory_order_release);
   }
+}
+
+MetricsSnapshot Session::Metrics() const {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  snapshot.captured_nanos = NowNanos();
+  return snapshot;
+}
+
+void Session::StartMetricsDump(int period_ms, std::ostream* out,
+                               MetricsDumper::SnapshotFn fn) {
+  if (period_ms <= 0) return;
+  DSGM_CHECK(metrics_dumper_ == nullptr);
+  metrics_dumper_ =
+      std::make_unique<MetricsDumper>(period_ms, out, std::move(fn));
+}
+
+void Session::StopMetricsDump() {
+  if (metrics_dumper_ != nullptr) metrics_dumper_->Stop();
 }
 
 internal::IngestShard* Session::CurrentShard() {
@@ -166,6 +202,8 @@ Status Session::StageRouted(internal::IngestShard* shard,
     batch = EventBatch{};
     batch.values.reserve(static_cast<size_t>(batch_size_) *
                          static_cast<size_t>(network_->num_variables()));
+    IngestEventsStaged()->Add(static_cast<uint64_t>(full.num_events));
+    IngestBatchesFlushed()->Increment();
     DSGM_RETURN_IF_ERROR(DeliverBatch(*shard, site, std::move(full)));
   }
   events_pushed_.fetch_add(1, std::memory_order_relaxed);
@@ -187,6 +225,8 @@ Status Session::FlushShardLocked(internal::IngestShard* shard) {
     batch = EventBatch{};
     batch.values.reserve(static_cast<size_t>(batch_size_) *
                          static_cast<size_t>(network_->num_variables()));
+    IngestEventsStaged()->Add(static_cast<uint64_t>(full.num_events));
+    IngestBatchesFlushed()->Increment();
     DSGM_RETURN_IF_ERROR(DeliverBatch(*shard, static_cast<int>(s),
                                       std::move(full)));
   }
@@ -325,7 +365,12 @@ class InProcessSession final : public Session {
                 /*batch_size=*/1, seeds.sampler_seed, seeds.router_seed),
         layout_(std::make_shared<CounterLayout>(network)),
         scratch_(static_cast<size_t>(network.num_variables())),
-        tracker_(network, options.tracker) {}
+        tracker_(network, options.tracker) {
+    // The dump fn touches only the process-wide registry (no per-site table
+    // in-process), so the base destructor's stop is soon enough.
+    StartMetricsDump(options.metrics_dump_ms, options.metrics_dump_stream,
+                     [this] { return Metrics(); });
+  }
 
   StatusOr<ModelView> Snapshot() override {
     if (finished_.load(std::memory_order_acquire)) {
@@ -361,7 +406,10 @@ class InProcessSession final : public Session {
     report.memory_bytes = tracker_.MemoryBytes();
     report.max_counter_rel_error = MaxRelErrorToExact();
     report.model = BuildView();
+    report.metrics = Metrics();
+    report.model.AttachMetrics(report.metrics);
     final_view_ = report.model;
+    StopMetricsDump();
     return report;
   }
 
@@ -517,6 +565,12 @@ SessionBuilder& SessionBuilder::WithHeartbeatInterval(int interval_ms) {
   options_.heartbeat_interval_ms = interval_ms;
   return *this;
 }
+SessionBuilder& SessionBuilder::WithMetricsDump(int period_ms,
+                                                std::ostream* out) {
+  options_.metrics_dump_ms = period_ms;
+  options_.metrics_dump_stream = out;
+  return *this;
+}
 
 StatusOr<std::unique_ptr<Session>> SessionBuilder::Build() const {
   DSGM_RETURN_IF_ERROR(options_.tracker.Validate());
@@ -541,6 +595,9 @@ StatusOr<std::unique_ptr<Session>> SessionBuilder::Build() const {
   if (options_.liveness_timeout_ms < 0 || options_.heartbeat_interval_ms < 0) {
     return InvalidArgumentError(
         "session: liveness timeout and heartbeat interval must be >= 0");
+  }
+  if (options_.metrics_dump_ms < 0) {
+    return InvalidArgumentError("session: metrics_dump_ms must be >= 0");
   }
   if (options_.backend == Backend::kLocalTcp && !options_.external_sites &&
       options_.liveness_timeout_ms > 0 &&

@@ -3,9 +3,26 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace dsgm {
 namespace internal {
+
+namespace {
+
+// Cold-path instruments only — the lock-free steady state stays untouched.
+Counter* LaneFullStalls() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("api.lanehub.lane_full_stalls");
+  return c;
+}
+Counter* ConsumerParks() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("api.lanehub.consumer_parks");
+  return c;
+}
+
+}  // namespace
 
 /// One producer's private SPSC lane. Push is single-producer by contract;
 /// the pop side is only ever called by the hub's single consumer.
@@ -21,6 +38,7 @@ class SpscLaneHub::Lane final : public Channel<EventBatch> {
       // locked re-check pairs with NotifySpace below; the timed wait bounds
       // the one unfenced window (flag store vs the consumer's pop) without
       // costing anything in the steady state.
+      LaneFullStalls()->Increment();
       MutexLock lock(&mu_);
       producer_waiting_.store(true, std::memory_order_seq_cst);
       if (ring_.closed()) {
@@ -144,6 +162,7 @@ size_t SpscLaneHub::PopBatch(std::vector<EventBatch>* out, size_t max_items) {
       if (again > 0) return again;
       continue;
     }
+    ConsumerParks()->Increment();
     data_cv_.WaitFor(&lock, std::chrono::milliseconds(50));
     consumer_waiting_.store(false, std::memory_order_relaxed);
   }

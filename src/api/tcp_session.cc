@@ -69,6 +69,7 @@ class LocalTcpSession final : public ClusterSessionBase {
 
     ReactorCoordinator::Options io_options;
     io_options.liveness_timeout_ms = options_.liveness_timeout_ms;
+    io_options.health = &health_board_;
     io_options.on_site_failure = [this](int site, const Status& status) {
       OnSiteFailure(site, status);
     };
@@ -116,6 +117,9 @@ class LocalTcpSession final : public ClusterSessionBase {
     }
     StartCoordinator(coordinator_io_->updates(), std::move(command_channels));
     coordinator_started_.store(true, std::memory_order_release);
+    // The board is live (reactor-fed) from here on.
+    StartMetricsDump(options_.metrics_dump_ms, options_.metrics_dump_stream,
+                     [this] { return Metrics(); });
     return Status::Ok();
   }
 
@@ -166,8 +170,13 @@ class LocalTcpSession final : public ClusterSessionBase {
     DSGM_RETURN_IF_ERROR(FirstSiteError());
     DSGM_RETURN_IF_ERROR(run_failure());
 
+    // Capture metrics while the board still reflects the run, then stop
+    // the dumper (its final line is this same end-of-run snapshot).
     RunReport report = ReportFromClusterResult(result, Backend::kLocalTcp);
     report.model = ViewFromCoordinator(result.events_processed);
+    report.metrics = Metrics();
+    report.model.AttachMetrics(report.metrics);
+    StopMetricsDump();
     SetFinalView(report.model);
     return report;
   }
@@ -244,6 +253,7 @@ class LocalTcpSession final : public ClusterSessionBase {
   /// stopping the reactor and shutting the connections down unblocks the
   /// site threads and the coordinator.
   void Abort() {
+    StopMetricsDump();
     if (coordinator_io_ != nullptr) coordinator_io_->Shutdown();
     JoinCoordinator();
     JoinSiteThreads();

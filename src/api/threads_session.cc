@@ -40,7 +40,16 @@ ClusterSessionBase::ClusterSessionBase(Backend backend,
               seeds.sampler_seed, seeds.router_seed),
       options_(options),
       num_sites_(options.tracker.num_sites),
-      layout_(std::make_shared<CounterLayout>(network)) {}
+      layout_(std::make_shared<CounterLayout>(network)),
+      health_board_(options.tracker.num_sites) {}
+
+MetricsSnapshot ClusterSessionBase::Metrics() const {
+  RefreshSiteHealth();
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  snapshot.captured_nanos = NowNanos();
+  snapshot.sites = health_board_.Snapshot(snapshot.captured_nanos);
+  return snapshot;
+}
 
 void ClusterSessionBase::StartCoordinator(
     Channel<UpdateBundle>* updates,
@@ -165,6 +174,9 @@ class ThreadsSession final : public ClusterSessionBase {
       site_threads_.emplace_back(
           [this, s] { sites_[static_cast<size_t>(s)]->Run(); });
     }
+    // After the sites exist: the dump fn refreshes the board from them.
+    StartMetricsDump(options_.metrics_dump_ms, options_.metrics_dump_stream,
+                     [this] { return Metrics(); });
   }
 
   ~ThreadsSession() override { Teardown(); }
@@ -204,6 +216,8 @@ class ThreadsSession final : public ClusterSessionBase {
 
     RunReport report = ReportFromClusterResult(result, Backend::kThreads);
     report.model = ViewFromCoordinator(result.events_processed);
+    report.metrics = Metrics();
+    report.model.AttachMetrics(report.metrics);
     SetFinalView(report.model);
     return report;
   }
@@ -214,6 +228,19 @@ class ThreadsSession final : public ClusterSessionBase {
     return ClusterSessionBase::ShardLane(site);
   }
 
+  /// In-process sites: sample each SiteNode's live stats atomics straight
+  /// into the board (there is no wire for kStatsReport frames to ride).
+  void RefreshSiteHealth() const override {
+    const int64_t now = NowNanos();
+    for (size_t s = 0; s < sites_.size(); ++s) {
+      const SiteStatsReport stats = sites_[s]->StatsReport();
+      health_board_.Touch(static_cast<int>(s), now);
+      health_board_.Update(static_cast<int>(s), stats.events_processed,
+                           stats.updates_sent, stats.syncs_sent,
+                           stats.rounds_seen);
+    }
+  }
+
  private:
   /// Ends the stream and joins every backend thread. Safe to call twice;
   /// also runs from the destructor so dropping an unfinished session never
@@ -221,6 +248,9 @@ class ThreadsSession final : public ClusterSessionBase {
   void Teardown() {
     if (torn_down_) return;
     torn_down_ = true;
+    // Before anything dies: the dump fn reads the SiteNodes via
+    // RefreshSiteHealth, and its final line should see the run's totals.
+    StopMetricsDump();
     CloseEventChannels();
     for (std::thread& thread : site_threads_) {
       if (thread.joinable()) thread.join();

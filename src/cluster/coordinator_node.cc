@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "monitor/round_schedule.h"
 
 namespace dsgm {
@@ -35,7 +36,28 @@ CoordinatorNode::CoordinatorNode(std::vector<float> epsilons, int64_t num_counte
       exact_mode_(epsilons.empty()),
       from_sites_(from_sites),
       commands_(std::move(commands)),
-      epsilons_(std::move(epsilons)) {
+      epsilons_(std::move(epsilons)),
+      rounds_advanced_metric_(
+          MetricsRegistry::Global().GetCounter("cluster.coord.rounds_advanced")),
+      publishes_metric_(
+          MetricsRegistry::Global().GetCounter("cluster.coord.publishes")),
+      publish_deferred_metric_(
+          MetricsRegistry::Global().GetCounter("cluster.coord.publish_deferred")),
+      publish_ns_metric_(
+          MetricsRegistry::Global().GetHistogram("cluster.coord.publish_ns")),
+      outstanding_syncs_gauge_(
+          MetricsRegistry::Global().GetGauge("cluster.coord.outstanding_syncs")),
+      bytes_up_gauge_(MetricsRegistry::Global().GetGauge("cluster.comm.bytes_up")),
+      bytes_down_gauge_(
+          MetricsRegistry::Global().GetGauge("cluster.comm.bytes_down")),
+      wire_messages_gauge_(
+          MetricsRegistry::Global().GetGauge("cluster.comm.wire_messages")),
+      update_messages_gauge_(
+          MetricsRegistry::Global().GetGauge("cluster.comm.update_messages")),
+      sync_messages_gauge_(
+          MetricsRegistry::Global().GetGauge("cluster.comm.sync_messages")),
+      broadcast_messages_gauge_(
+          MetricsRegistry::Global().GetGauge("cluster.comm.broadcast_messages")) {
   DSGM_CHECK_EQ(static_cast<int>(commands_.size()), num_sites_);
   if (!exact_mode_) {
     DSGM_CHECK_EQ(static_cast<int64_t>(epsilons_.size()), num_counters_);
@@ -112,9 +134,14 @@ bool CoordinatorNode::PublishSnapshot(bool wait) {
     // Run exit we must land the state, and the reader's copy is bounded,
     // so a blocking acquisition is fine (Run has nothing else to do then
     // anyway).
-    if (!wait) return false;
+    if (!wait) {
+      publish_deferred_metric_->Increment();
+      Trace(TraceEventType::kSnapshotDefer, -1, 0);
+      return false;
+    }
     state.mu.Lock();
   }
+  const int64_t publish_start = NowNanos();
   for (const int64_t counter : publish_pending_[back]) {
     state.estimates[static_cast<size_t>(counter)] =
         estimates_[static_cast<size_t>(counter)];
@@ -125,6 +152,10 @@ bool CoordinatorNode::PublishSnapshot(bool wait) {
   state.comm = comm_;
   state.mu.Unlock();
   published_front_.store(back, std::memory_order_release);
+  publishes_metric_->Increment();
+  publish_ns_metric_->Record(static_cast<uint64_t>(NowNanos() - publish_start));
+  Trace(TraceEventType::kSnapshotPublish, -1,
+        static_cast<int64_t>(publishes_metric_->Value()));
   return true;
 }
 
@@ -184,6 +215,7 @@ void CoordinatorNode::CancelSite(int site) {
   if (site_dead_[s]) return;
   site_dead_[s] = 1;
   ++dead_sites_;
+  Trace(TraceEventType::kSiteCancelled, site, 0);
   if (!site_done_[s]) {
     site_done_[s] = 1;
     ++done_sites_;
@@ -218,6 +250,8 @@ void CoordinatorNode::MaybeAdvance(int64_t counter) {
   }
   probs_[c] = static_cast<float>(new_p);
   ++comm_.rounds_advanced;
+  rounds_advanced_metric_->Increment();
+  Trace(TraceEventType::kRoundAdvance, -1, counter);
   // Only sites that can still answer owe a sync; a cancelled (dead) site
   // would otherwise re-wedge outstanding_syncs_ forever.
   const int alive = num_sites_ - dead_sites_;
@@ -261,14 +295,14 @@ void CoordinatorNode::Run() {
       got = from_sites_->PopBatch(&batch, 64);
       if (got == 0) break;  // Queue closed: all readers gone or run failed.
     }
-    const auto now = Clock::now();
+    const int64_t now_nanos = NowNanos();
     {
       MutexLock lock(&mu_);
       if (!saw_message_) {
-        first_message_ = now;
+        first_message_nanos_ = now_nanos;
         saw_message_ = true;
       }
-      last_message_ = now;
+      last_message_nanos_ = now_nanos;
       for (const UpdateBundle& bundle : batch) {
         // Bundles can arrive from a real network peer; ids must be
         // validated before they index protocol state (a forged site/counter
@@ -289,6 +323,8 @@ void CoordinatorNode::Run() {
             ++comm_.wire_messages;
             comm_.sync_messages += bundle.reports.size();
             comm_.bytes_up += kSyncBytes * bundle.reports.size();
+            Trace(TraceEventType::kSyncMessage, bundle.site,
+                  static_cast<int64_t>(bundle.reports.size()));
             if (!site_ok) break;
             for (const CounterReport& report : bundle.reports) {
               if (report.counter < 0 || report.counter >= num_counters_) continue;
@@ -316,6 +352,17 @@ void CoordinatorNode::Run() {
       // queried) skips publication entirely; state 1 (first query just
       // arrived) publishes immediately and moves readers onto the buffers.
       MaybePublish(/*force=*/false);
+      // Mirror the comm totals into the registry at batch granularity: a
+      // handful of gauge stores per ≤64 bundles, invisible next to the
+      // protocol work, and a metrics dump needs no access to this node.
+      outstanding_syncs_gauge_->Set(outstanding_syncs_);
+      bytes_up_gauge_->Set(static_cast<int64_t>(comm_.bytes_up));
+      bytes_down_gauge_->Set(static_cast<int64_t>(comm_.bytes_down));
+      wire_messages_gauge_->Set(static_cast<int64_t>(comm_.wire_messages));
+      update_messages_gauge_->Set(static_cast<int64_t>(comm_.update_messages));
+      sync_messages_gauge_->Set(static_cast<int64_t>(comm_.sync_messages));
+      broadcast_messages_gauge_->Set(
+          static_cast<int64_t>(comm_.broadcast_messages));
     }
   }
   {
@@ -363,7 +410,7 @@ void CoordinatorNode::SnapshotState(std::vector<double>* estimates,
 double CoordinatorNode::ActiveSeconds() const {
   MutexLock lock(&mu_);
   if (!saw_message_) return 0.0;
-  return std::chrono::duration<double>(last_message_ - first_message_).count();
+  return static_cast<double>(last_message_nanos_ - first_message_nanos_) * 1e-9;
 }
 
 }  // namespace dsgm

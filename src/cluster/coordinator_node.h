@@ -4,10 +4,10 @@
 #define DSGM_CLUSTER_COORDINATOR_NODE_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "net/wire.h"
@@ -170,13 +170,29 @@ class CoordinatorNode {
   bool publish_tracking_ DSGM_GUARDED_BY(mu_) = false;
   int batches_since_publish_ DSGM_GUARDED_BY(mu_) = 0;
 
-  using Clock = std::chrono::steady_clock;
   // The annotation pass flagged these three: they were written by Run()
   // outside any lock while ActiveSeconds() read them bare — benign for
   // post-join callers, a data race for mid-run ones. Guarded now.
-  Clock::time_point first_message_ DSGM_GUARDED_BY(mu_);
-  Clock::time_point last_message_ DSGM_GUARDED_BY(mu_);
+  // Monotonic NowNanos() timestamps (common/timer.h).
+  int64_t first_message_nanos_ DSGM_GUARDED_BY(mu_) = 0;
+  int64_t last_message_nanos_ DSGM_GUARDED_BY(mu_) = 0;
   bool saw_message_ DSGM_GUARDED_BY(mu_) = false;
+
+  // Shared process-wide instruments (common/metrics.h). Updated at batch /
+  // publish granularity only — never per report — so instrumentation cost
+  // stays invisible next to the protocol work. Comm gauges mirror comm_
+  // (satellite of the same registry snapshot a dump or bench embeds).
+  Counter* const rounds_advanced_metric_;
+  Counter* const publishes_metric_;
+  Counter* const publish_deferred_metric_;
+  Histogram* const publish_ns_metric_;
+  Gauge* const outstanding_syncs_gauge_;
+  Gauge* const bytes_up_gauge_;
+  Gauge* const bytes_down_gauge_;
+  Gauge* const wire_messages_gauge_;
+  Gauge* const update_messages_gauge_;
+  Gauge* const sync_messages_gauge_;
+  Gauge* const broadcast_messages_gauge_;
 };
 
 }  // namespace dsgm

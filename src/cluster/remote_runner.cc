@@ -1,12 +1,14 @@
 #include "cluster/remote_runner.h"
 
 #include <chrono>
+#include <functional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/timer.h"
 #include "cluster/site_node.h"
 #include "net/codec.h"
 #include "net/tcp_socket.h"
@@ -18,11 +20,20 @@ namespace {
 /// Sends kHeartbeat frames on a fixed cadence until stopped (or until the
 /// connection breaks). Runs beside the SiteNode thread so liveness evidence
 /// flows even while the site is parked in a blocking push or pop.
+///
+/// Each heartbeat piggybacks a kStatsReport frame sampled from `stats` (when
+/// provided) — the coordinator's health table rides the liveness cadence for
+/// free, no extra timer and no extra wakeups on either end.
 class HeartbeatSender {
  public:
-  HeartbeatSender(TcpConnection* connection, int site_id, int interval_ms) {
+  using StatsFn = std::function<SiteStatsReport()>;
+
+  HeartbeatSender(TcpConnection* connection, int site_id, int interval_ms,
+                  StatsFn stats) {
     if (interval_ms <= 0) return;
-    thread_ = std::thread([this, connection, site_id, interval_ms] {
+    thread_ = std::thread([this, connection, site_id, interval_ms,
+                           stats = std::move(stats)] {
+      uint64_t heartbeats_sent = 0;
       MutexLock lock(&mu_);
       while (!stop_) {
         // A spurious or racing wakeup before the interval elapses just
@@ -31,7 +42,16 @@ class HeartbeatSender {
         cv_.WaitFor(&lock, std::chrono::milliseconds(interval_ms));
         if (stop_) break;
         lock.Unlock();
-        const bool sent = connection->SendFrame(MakeHeartbeat(site_id));
+        bool sent = connection->SendFrame(MakeHeartbeat(site_id));
+        if (sent) {
+          ++heartbeats_sent;
+          if (stats) {
+            SiteStatsReport report = stats();
+            report.site = site_id;
+            report.heartbeats_sent = heartbeats_sent;
+            sent = connection->SendFrame(MakeStatsReport(report));
+          }
+        }
         lock.Lock();
         if (!sent) break;  // Peer gone; nothing left to prove alive to.
       }
@@ -64,10 +84,10 @@ StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
 
   // The coordinator may still be booting; retry the connect until the
   // timeout budget runs out.
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(config.connect_timeout_ms);
+  const int64_t deadline_nanos =
+      NowNanos() + static_cast<int64_t>(config.connect_timeout_ms) * 1000000;
   StatusOr<TcpSocket> socket = TcpSocket::Connect(config.host, config.port);
-  while (!socket.ok() && std::chrono::steady_clock::now() < deadline) {
+  while (!socket.ok() && NowNanos() < deadline_nanos) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     socket = TcpSocket::Connect(config.host, config.port);
   }
@@ -76,11 +96,14 @@ StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
   TcpConnection connection(std::move(socket).value());
   DSGM_RETURN_IF_ERROR(connection.SendHello(config.site_id));
   connection.Start();
-  HeartbeatSender heartbeats(&connection, config.site_id,
-                             config.heartbeat_interval_ms);
 
   SiteNode site(config.site_id, network, config.seed, connection.events(),
                 connection.commands(), connection.updates());
+  // The sender samples the node's relaxed stats atomics; safe while Run()
+  // is live, and the sender is stopped before `site` leaves scope.
+  HeartbeatSender heartbeats(&connection, config.site_id,
+                             config.heartbeat_interval_ms,
+                             [&site] { return site.StatsReport(); });
   site.Run();
 
   // Protocol finished; report exact totals so the coordinator can validate
@@ -104,11 +127,9 @@ StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
   // so the site must not be the one to hang up while the coordinator is
   // still collecting final counts from its peers. Heartbeats keep flowing
   // through the wait.
-  const auto linger_deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(config.shutdown_linger_ms);
-  while (!connection.finished() &&
-         std::chrono::steady_clock::now() < linger_deadline) {
+  const int64_t linger_deadline_nanos =
+      NowNanos() + static_cast<int64_t>(config.shutdown_linger_ms) * 1000000;
+  while (!connection.finished() && NowNanos() < linger_deadline_nanos) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   heartbeats.Stop();

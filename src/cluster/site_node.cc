@@ -36,13 +36,14 @@ void SiteNode::ProcessEvent(const int32_t* values) {
     increment(layout_.JointId(i, row, values[i]));
     increment(layout_.ParentId(i, row));
   }
-  ++events_processed_;
+  events_processed_.fetch_add(1, std::memory_order_relaxed);
   if (!outbox_.empty()) {
     UpdateBundle bundle;
     bundle.kind = UpdateBundle::Kind::kReports;
     bundle.site = site_id_;
     bundle.reports = outbox_;
     to_coordinator_->Push(std::move(bundle));
+    updates_sent_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -71,12 +72,19 @@ void SiteNode::DrainCommands(bool block_until_closed) {
       sync.round = advance.round;
       sync.reports.push_back(CounterReport{
           advance.counter, local_counts_[static_cast<size_t>(advance.counter)]});
+      if (advance.round > 0 &&
+          static_cast<uint64_t>(advance.round) >
+              rounds_seen_.load(std::memory_order_relaxed)) {
+        rounds_seen_.store(static_cast<uint64_t>(advance.round),
+                           std::memory_order_relaxed);
+      }
     }
     if (sync.reports.empty()) {
       if (!block_until_closed) return;
       continue;
     }
     to_coordinator_->Push(std::move(sync));
+    syncs_sent_.fetch_add(1, std::memory_order_relaxed);
     if (!block_until_closed) return;
   }
 }

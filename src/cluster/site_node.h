@@ -3,6 +3,7 @@
 #ifndef DSGM_CLUSTER_SITE_NODE_H_
 #define DSGM_CLUSTER_SITE_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -25,8 +26,11 @@ namespace dsgm {
 /// Concurrency contract: a SiteNode is single-threaded by construction —
 /// every member is touched only by the thread running Run() (cross-thread
 /// traffic flows through the Channels, which carry their own locks), so
-/// there is no mutex and nothing to annotate. local_counts()/
-/// events_processed() are for AFTER that thread joined.
+/// there is no mutex and nothing to annotate. The one exception is the
+/// stats block below: relaxed atomics written only by the Run() thread and
+/// readable live by an observer thread (the heartbeat sender piggybacking
+/// kStatsReport frames, or an in-process health board). local_counts() is
+/// still for AFTER the thread joined.
 class SiteNode {
  public:
   SiteNode(int site_id, const BayesianNetwork& network, uint64_t seed,
@@ -37,7 +41,22 @@ class SiteNode {
   /// serving round advances until the command queue closes.
   void Run();
 
-  int64_t events_processed() const { return events_processed_; }
+  int64_t events_processed() const {
+    return events_processed_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative protocol stats, safe to sample while Run() is live. The
+  /// fields are sampled independently (no cross-field snapshot), which is
+  /// fine for monitoring: each is monotone.
+  SiteStatsReport StatsReport() const {
+    SiteStatsReport report;
+    report.site = site_id_;
+    report.events_processed = events_processed_.load(std::memory_order_relaxed);
+    report.updates_sent = updates_sent_.load(std::memory_order_relaxed);
+    report.syncs_sent = syncs_sent_.load(std::memory_order_relaxed);
+    report.rounds_seen = rounds_seen_.load(std::memory_order_relaxed);
+    return report;
+  }
 
   /// Exact cumulative local counts; read only after the thread has joined
   /// (used by the runner to validate coordinator estimates).
@@ -68,7 +87,12 @@ class SiteNode {
 
   std::vector<CounterReport> outbox_;
   std::vector<RoundAdvance> command_buffer_;
-  int64_t events_processed_ = 0;
+
+  // Live stats: single writer (the Run() thread), any reader, relaxed.
+  std::atomic<int64_t> events_processed_{0};
+  std::atomic<uint64_t> updates_sent_{0};
+  std::atomic<uint64_t> syncs_sent_{0};
+  std::atomic<uint64_t> rounds_seen_{0};  // Highest round id answered.
 };
 
 }  // namespace dsgm

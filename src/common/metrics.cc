@@ -1,0 +1,436 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace dsgm {
+
+namespace metrics_internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats stats;
+  uint64_t buckets[kBuckets];
+  // Read count last so the bucket sum can only exceed it, never fall short,
+  // under concurrent writers; quantile walks use the bucket sum.
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  stats.sum = sum_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+  stats.count = count_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) total += buckets[i];
+  if (total == 0) return stats;
+
+  auto quantile = [&](double q) -> uint64_t {
+    // Rank of the q-quantile, 1-based; the bucket containing it bounds it.
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(q * double(total) + 0.5));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return BucketUpperBound(i);
+    }
+    return BucketUpperBound(kBuckets - 1);
+  };
+  stats.p50 = quantile(0.50);
+  stats.p99 = quantile(0.99);
+  // The top bucket's upper bound can overshoot the true max; max_ is exact,
+  // so clamp quantiles to it.
+  stats.p50 = std::min(stats.p50, stats.max);
+  stats.p99 = std::min(stats.p99, stats.max);
+  return stats;
+}
+
+// --- SiteHealthBoard -------------------------------------------------------
+
+SiteHealthBoard::SiteHealthBoard(int num_sites)
+    : num_sites_(num_sites), slots_(new Slot[static_cast<size_t>(
+                                 num_sites > 0 ? num_sites : 0)]) {}
+
+void SiteHealthBoard::Touch(int site, int64_t now_nanos) {
+  if (!InRange(site)) return;
+  Slot& slot = slots_[static_cast<size_t>(site)];
+  slot.last_rx_nanos.store(now_nanos, std::memory_order_relaxed);
+  slot.alive.store(true, std::memory_order_relaxed);
+}
+
+void SiteHealthBoard::Update(int site, int64_t events_processed,
+                             uint64_t updates_sent, uint64_t syncs_sent,
+                             uint64_t rounds_seen) {
+  if (!InRange(site)) return;
+  Slot& slot = slots_[static_cast<size_t>(site)];
+  slot.events_processed.store(events_processed, std::memory_order_relaxed);
+  slot.updates_sent.store(updates_sent, std::memory_order_relaxed);
+  slot.syncs_sent.store(syncs_sent, std::memory_order_relaxed);
+  slot.rounds_seen.store(rounds_seen, std::memory_order_relaxed);
+  slot.stats_reports.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SiteHealthBoard::MarkDead(int site) {
+  if (!InRange(site)) return;
+  slots_[static_cast<size_t>(site)].alive.store(false,
+                                                std::memory_order_relaxed);
+}
+
+std::vector<SiteHealth> SiteHealthBoard::Snapshot(int64_t now_nanos) const {
+  std::vector<SiteHealth> sites;
+  sites.reserve(static_cast<size_t>(num_sites_));
+  for (int s = 0; s < num_sites_; ++s) {
+    const Slot& slot = slots_[static_cast<size_t>(s)];
+    SiteHealth health;
+    health.site = s;
+    health.alive = slot.alive.load(std::memory_order_relaxed);
+    const int64_t last_rx = slot.last_rx_nanos.load(std::memory_order_relaxed);
+    health.heartbeat_age_ms =
+        last_rx < 0 ? -1.0 : static_cast<double>(now_nanos - last_rx) * 1e-6;
+    health.events_processed =
+        slot.events_processed.load(std::memory_order_relaxed);
+    health.updates_sent = slot.updates_sent.load(std::memory_order_relaxed);
+    health.syncs_sent = slot.syncs_sent.load(std::memory_order_relaxed);
+    health.rounds_seen = slot.rounds_seen.load(std::memory_order_relaxed);
+    health.stats_reports = slot.stats_reports.load(std::memory_order_relaxed);
+    sites.push_back(health);
+  }
+  return sites;
+}
+
+// --- MetricsSnapshot -------------------------------------------------------
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::FindGauge(
+    const std::string& name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Metric names are dot-separated identifiers, but escape defensively so a
+// stray name can never produce an unparseable dump line.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshotToJsonLine(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"t_ms\":";
+  AppendDouble(&out, static_cast<double>(snapshot.captured_nanos) * 1e-6);
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, snapshot.counters[i].name);
+    out.push_back(':');
+    out += std::to_string(snapshot.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, snapshot.gauges[i].name);
+    out.push_back(':');
+    out += std::to_string(snapshot.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const MetricsSnapshot::HistogramValue& h = snapshot.histograms[i];
+    AppendJsonString(&out, h.name);
+    out += ":{\"count\":" + std::to_string(h.stats.count);
+    out += ",\"sum\":" + std::to_string(h.stats.sum);
+    out += ",\"p50\":" + std::to_string(h.stats.p50);
+    out += ",\"p99\":" + std::to_string(h.stats.p99);
+    out += ",\"max\":" + std::to_string(h.stats.max);
+    out.push_back('}');
+  }
+  out += "},\"sites\":[";
+  for (size_t i = 0; i < snapshot.sites.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const SiteHealth& s = snapshot.sites[i];
+    out += "{\"site\":" + std::to_string(s.site);
+    out += ",\"alive\":";
+    out += s.alive ? "true" : "false";
+    out += ",\"hb_age_ms\":";
+    AppendDouble(&out, s.heartbeat_age_ms);
+    out += ",\"events\":" + std::to_string(s.events_processed);
+    out += ",\"updates\":" + std::to_string(s.updates_sent);
+    out += ",\"syncs\":" + std::to_string(s.syncs_sent);
+    out += ",\"rounds\":" + std::to_string(s.rounds_seen);
+    out += ",\"stats_reports\":" + std::to_string(s.stats_reports);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  return &histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.captured_nanos = NowNanos();
+  MutexLock lock(&mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter.Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge.Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram.Stats()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  MutexLock lock(&mu_);
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    (void)name;
+    for (auto& bucket : histogram.buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    histogram.count_.store(0, std::memory_order_relaxed);
+    histogram.sum_.store(0, std::memory_order_relaxed);
+    histogram.max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Trace ring ------------------------------------------------------------
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kNone:
+      return "none";
+    case TraceEventType::kRoundAdvance:
+      return "round_advance";
+    case TraceEventType::kSyncMessage:
+      return "sync_message";
+    case TraceEventType::kHeartbeat:
+      return "heartbeat";
+    case TraceEventType::kStatsReport:
+      return "stats_report";
+    case TraceEventType::kSiteCancelled:
+      return "site_cancelled";
+    case TraceEventType::kSiteFailed:
+      return "site_failed";
+    case TraceEventType::kSnapshotPublish:
+      return "snapshot_publish";
+    case TraceEventType::kSnapshotDefer:
+      return "snapshot_defer";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t n = head < kCapacity ? head : kCapacity;
+  std::vector<TraceEvent> events;
+  events.reserve(n);
+  for (uint64_t i = head - n; i < head; ++i) {
+    const Slot& slot = slots_[i % kCapacity];
+    TraceEvent event;
+    event.type =
+        static_cast<TraceEventType>(slot.type.load(std::memory_order_relaxed));
+    if (event.type == TraceEventType::kNone) continue;
+    event.t_nanos = slot.t_nanos.load(std::memory_order_relaxed);
+    event.site = slot.site.load(std::memory_order_relaxed);
+    event.arg = slot.arg.load(std::memory_order_relaxed);
+    events.push_back(event);
+  }
+  return events;
+}
+
+namespace {
+
+/// Owns every thread's ring for the life of the process, so a merged dump
+/// after a worker thread exits still sees its events.
+class TraceLog {
+ public:
+  static TraceLog& Global() {
+    static TraceLog* log = new TraceLog;
+    return *log;
+  }
+
+  TraceRing* RingForThisThread() DSGM_EXCLUDES(mu_) {
+    auto ring = std::make_unique<TraceRing>();
+    TraceRing* raw = ring.get();
+    MutexLock lock(&mu_);
+    rings_.push_back(std::move(ring));
+    return raw;
+  }
+
+  std::vector<TraceEvent> Merged() const DSGM_EXCLUDES(mu_) {
+    std::vector<TraceEvent> merged;
+    {
+      MutexLock lock(&mu_);
+      for (const auto& ring : rings_) {
+        std::vector<TraceEvent> events = ring->Snapshot();
+        merged.insert(merged.end(), events.begin(), events.end());
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.t_nanos < b.t_nanos;
+                     });
+    return merged;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ DSGM_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+TraceRing* ThreadTraceRing() {
+  thread_local TraceRing* ring = TraceLog::Global().RingForThisThread();
+  return ring;
+}
+
+std::vector<TraceEvent> MergedTraceTimeline() {
+  return TraceLog::Global().Merged();
+}
+
+std::string FormatTraceTimeline(const std::vector<TraceEvent>& timeline) {
+  std::ostringstream out;
+  const int64_t t0 = timeline.empty() ? 0 : timeline.front().t_nanos;
+  for (const TraceEvent& event : timeline) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%12.3fms  %-16s site=%-3d arg=%" PRId64,
+                  static_cast<double>(event.t_nanos - t0) * 1e-6,
+                  TraceEventTypeName(event.type), event.site, event.arg);
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+// --- MetricsDumper ---------------------------------------------------------
+
+MetricsDumper::MetricsDumper(int period_ms, std::ostream* out, SnapshotFn fn)
+    : period_ms_(period_ms > 0 ? period_ms : 1000),
+      out_(out != nullptr ? out : &std::cerr),
+      fn_(std::move(fn)),
+      thread_([this] { Loop(); }) {}
+
+MetricsDumper::~MetricsDumper() { Stop(); }
+
+void MetricsDumper::Stop() {
+  {
+    MutexLock lock(&mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+  // Final line: the post-run snapshot (Loop already exited, no overlap).
+  EmitLine();
+}
+
+void MetricsDumper::Loop() {
+  MutexLock lock(&mu_);
+  while (!stop_) {
+    cv_.WaitFor(&lock, std::chrono::milliseconds(period_ms_));
+    if (stop_) break;
+    lock.Unlock();
+    EmitLine();
+    lock.Lock();
+  }
+}
+
+void MetricsDumper::EmitLine() {
+  const MetricsSnapshot snapshot = fn_();
+  const std::string line = MetricsSnapshotToJsonLine(snapshot);
+  MutexLock lock(&emit_mu_);
+  *out_ << line << '\n';
+  out_->flush();
+}
+
+}  // namespace dsgm

@@ -7,10 +7,29 @@
 #include <deque>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
 namespace dsgm {
+
+namespace queue_internal {
+
+// Process-wide backpressure instruments, bumped once per blocking EPISODE
+// (not per wait-loop iteration) and only on the cold paths — the
+// uncontended fast path never touches them.
+inline Counter* ProducerBlocks() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("common.queue.producer_blocks");
+  return c;
+}
+inline Counter* ConsumerBlocks() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("common.queue.consumer_blocks");
+  return c;
+}
+
+}  // namespace queue_internal
 
 /// Multi-producer multi-consumer bounded FIFO with close semantics:
 /// after Close(), pushes fail and pops drain the remaining items then fail.
@@ -26,7 +45,10 @@ class BoundedQueue {
   bool Push(T item) DSGM_EXCLUDES(mutex_) {
     {
       MutexLock lock(&mutex_);
-      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&lock);
+      if (!closed_ && items_.size() >= capacity_) {
+        queue_internal::ProducerBlocks()->Increment();
+        while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&lock);
+      }
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -45,7 +67,10 @@ class BoundedQueue {
     MutexLock lock(&mutex_);
     size_t pushed = 0;
     while (pushed < batch.size()) {
-      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&lock);
+      if (!closed_ && items_.size() >= capacity_) {
+        queue_internal::ProducerBlocks()->Increment();
+        while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&lock);
+      }
       if (closed_) return false;
       while (pushed < batch.size() && items_.size() < capacity_) {
         items_.push_back(std::move(batch[pushed++]));
@@ -68,7 +93,10 @@ class BoundedQueue {
     Take take;
     {
       MutexLock lock(&mutex_);
-      while (!closed_ && items_.empty()) not_empty_.Wait(&lock);
+      if (!closed_ && items_.empty()) {
+        queue_internal::ConsumerBlocks()->Increment();
+        while (!closed_ && items_.empty()) not_empty_.Wait(&lock);
+      }
       take = TakeLocked(out, max_items);
     }
     NotifyAfterTake(take);

@@ -1,28 +1,38 @@
-// Wall-clock timing for the cluster experiments (Figs. 7-8).
+// Monotonic time for the cluster experiments (Figs. 7-8) and the metrics
+// layer: NowNanos() is the one clock everything reads — stopwatches,
+// instrument timestamps, trace-ring events, heartbeat ages.
 
 #ifndef DSGM_COMMON_TIMER_H_
 #define DSGM_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace dsgm {
+
+/// Monotonic nanoseconds (steady_clock). Comparable only within a process;
+/// use for durations and ages, never wall-clock timestamps.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Monotonic wall-clock stopwatch, started at construction.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_nanos_(NowNanos()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_nanos_ = NowNanos(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(NowNanos() - start_nanos_) * 1e-9;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_nanos_;
 };
 
 }  // namespace dsgm

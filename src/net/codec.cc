@@ -154,6 +154,33 @@ void AppendBatchBody(const EventBatch& batch, std::vector<uint8_t>* out) {
   for (int32_t value : batch.values) AppendZigzag(value, out);
 }
 
+void AppendStatsBody(const SiteStatsReport& stats, std::vector<uint8_t>* out) {
+  AppendZigzag(stats.site, out);
+  AppendZigzag(stats.events_processed, out);
+  AppendVarint(stats.updates_sent, out);
+  AppendVarint(stats.syncs_sent, out);
+  AppendVarint(stats.rounds_seen, out);
+  AppendVarint(stats.heartbeats_sent, out);
+}
+
+Status DecodeStatsBody(ByteReader* reader, SiteStatsReport* out) {
+  int64_t site = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&site));
+  if (site < INT32_MIN || site > INT32_MAX) {
+    return InvalidArgumentError("codec: stats report site out of range");
+  }
+  out->site = static_cast<int32_t>(site);
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&out->events_processed));
+  if (out->events_processed < 0) {
+    return InvalidArgumentError("codec: stats report events out of range");
+  }
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&out->updates_sent));
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&out->syncs_sent));
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&out->rounds_seen));
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&out->heartbeats_sent));
+  return Status::Ok();
+}
+
 Status DecodeBatchBody(ByteReader* reader, EventBatch* out) {
   int64_t num_events = 0;
   DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&num_events));
@@ -228,6 +255,14 @@ Frame MakeHeartbeat(int32_t site) {
   return frame;
 }
 
+Frame MakeStatsReport(const SiteStatsReport& stats) {
+  Frame frame;
+  frame.type = FrameType::kStatsReport;
+  frame.site = stats.site;
+  frame.stats = stats;
+  return frame;
+}
+
 void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
   const size_t prefix_at = out->size();
   out->resize(prefix_at + 4);  // Patched below.
@@ -252,6 +287,9 @@ void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kHeartbeat:
       AppendZigzag(frame.site, out);
       break;
+    case FrameType::kStatsReport:
+      AppendStatsBody(frame.stats, out);
+      break;
   }
   const size_t payload = out->size() - prefix_at - 4;
   DSGM_CHECK_LE(payload, kMaxFramePayload);
@@ -266,7 +304,7 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
   uint8_t type = 0;
   DSGM_RETURN_IF_ERROR(reader.ReadU8(&type));
   if (type < static_cast<uint8_t>(FrameType::kUpdateBundle) ||
-      type > static_cast<uint8_t>(FrameType::kHeartbeat)) {
+      type > static_cast<uint8_t>(FrameType::kStatsReport)) {
     return InvalidArgumentError("codec: bad frame type tag");
   }
   out->type = static_cast<FrameType>(type);
@@ -309,6 +347,10 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
       out->site = static_cast<int32_t>(site);
       break;
     }
+    case FrameType::kStatsReport:
+      DSGM_RETURN_IF_ERROR(DecodeStatsBody(&reader, &out->stats));
+      out->site = out->stats.site;
+      break;
   }
   if (!reader.done()) {
     return InvalidArgumentError("codec: trailing bytes after frame payload");

@@ -7,9 +7,10 @@
 //
 // with varint (LEB128) packed bodies; signed integers use zigzag coding and
 // counter ids inside a bundle are delta-coded (sync bundles enumerate dense
-// counter ranges, so deltas collapse to one byte each). Three frame types
-// carry the net/wire.h messages; two more (kChannelClose, kHello) are
-// transport control frames that never reach application code.
+// counter ranges, so deltas collapse to one byte each). Four frame types
+// carry the net/wire.h messages (kStatsReport is the observability one);
+// two more (kChannelClose, kHello) are transport control frames that never
+// reach application code.
 //
 // Decoding is defensive: truncated frames, oversized length prefixes, bad
 // enum tags, and trailing bytes all return a Status error and never touch
@@ -34,14 +35,16 @@ enum class FrameType : uint8_t {
   kChannelClose = 4,  // transport control: sender closed one logical channel
   kHello = 5,         // transport control: connection announces its site id
   kHeartbeat = 6,     // transport control: liveness beacon (site -> coordinator)
+  kStatsReport = 7,   // observability: per-site stats piggybacked on heartbeats
 };
 
 /// Wire protocol revision, carried in every kHello frame ahead of the site
 /// id. Bump on any frame-format change; the accepting side rejects a
 /// mismatched hello with a clear Status instead of misparsing later frames.
 /// History: 1 = varint codec with versioned hello (2026-07);
-///          2 = kHeartbeat liveness frames (2026-07).
-constexpr uint8_t kProtocolVersion = 2;
+///          2 = kHeartbeat liveness frames (2026-07);
+///          3 = kStatsReport observability frames (2026-08).
+constexpr uint8_t kProtocolVersion = 3;
 
 /// Tagged union of everything a connection can carry. Only the member
 /// selected by `type` is meaningful.
@@ -61,6 +64,11 @@ struct Frame {
   /// the forger's own connection being alive.
   int32_t site = -1;
   uint8_t protocol_version = kProtocolVersion;
+  /// kStatsReport: the sender's cumulative stats. Like heartbeats, the
+  /// embedded site id is a claim — receivers must check it against the
+  /// connection's authenticated id and drop mismatches before letting it
+  /// index the health table.
+  SiteStatsReport stats;
 };
 
 Frame MakeFrame(UpdateBundle bundle);
@@ -69,6 +77,7 @@ Frame MakeFrame(EventBatch batch);
 Frame MakeChannelClose(FrameType channel);
 Frame MakeHello(int32_t site);
 Frame MakeHeartbeat(int32_t site);
+Frame MakeStatsReport(const SiteStatsReport& stats);
 
 /// Upper bound on one frame's payload; a length prefix above this is
 /// rejected before any allocation (protects against corrupt peers).

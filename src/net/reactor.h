@@ -25,7 +25,6 @@
 #define DSGM_NET_REACTOR_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -33,6 +32,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -150,7 +150,13 @@ class Reactor {
   TimerWheel wheel_ DSGM_GUARDED_BY(loop_role);
   std::unordered_map<TimerId, TimerEntry> timers_ DSGM_GUARDED_BY(loop_role);
   TimerId next_timer_id_ DSGM_GUARDED_BY(loop_role) = 1;
-  std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_nanos_;
+
+  // Shared process-wide instruments (common/metrics.h); resolved once here,
+  // relaxed-atomic updates from the loop thread.
+  Histogram* const loop_latency_ns_;
+  Counter* const timer_fires_;
+  Counter* const wakeups_;
 
   Mutex post_mu_;
   std::vector<std::function<void()>> posted_ DSGM_GUARDED_BY(post_mu_);

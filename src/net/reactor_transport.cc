@@ -83,7 +83,19 @@ ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
       shared_updates_(options.shared_updates != nullptr),
       events_(this, FrameType::kEventBatch, &event_inbox_),
       commands_(this, FrameType::kRoundAdvance, &command_inbox_),
-      updates_(this, FrameType::kUpdateBundle, update_inbox_) {
+      updates_(this, FrameType::kUpdateBundle, update_inbox_),
+      read_pauses_(
+          MetricsRegistry::Global().GetCounter("net.reactor.read_pauses")),
+      read_resumes_(
+          MetricsRegistry::Global().GetCounter("net.reactor.read_resumes")),
+      heartbeats_rx_(
+          MetricsRegistry::Global().GetCounter("net.reactor.heartbeats_rx")),
+      stats_reports_rx_(MetricsRegistry::Global().GetCounter(
+          "net.reactor.stats_reports_rx")),
+      forged_stats_dropped_(MetricsRegistry::Global().GetCounter(
+          "net.reactor.forged_stats_dropped")),
+      outbox_bytes_(
+          MetricsRegistry::Global().GetGauge("net.reactor.outbox_bytes")) {
   DSGM_CHECK(socket_.SetNonBlocking().ok());
   // A pop that frees space in one of OUR lanes resumes OUR socket. The
   // shared update queue's callback belongs to the owner (it must resume
@@ -116,7 +128,8 @@ void ReactorConnection::Start() {
 
 void ReactorConnection::RegisterOnLoop() {
   if (read_done_) return;  // Owner shut down before the loop saw us.
-  last_rx_ = std::chrono::steady_clock::now();
+  last_rx_nanos_ = NowNanos();
+  if (options_.health) options_.health->Touch(site_, last_rx_nanos_);
   reactor_->AddFd(socket_.fd(), EPOLLIN | EPOLLOUT, [this](uint32_t events) {
     reactor_->loop_role.AssertHeld();
     HandleEvents(events);
@@ -172,6 +185,7 @@ bool ReactorConnection::SendFrame(const Frame& frame, bool bypass_backpressure) 
     if (broken_) return false;
     outbox_.insert(outbox_.end(), scratch.begin(), scratch.end());
     unsent_bytes_ += scratch.size();
+    outbox_bytes_->Add(static_cast<int64_t>(scratch.size()));
     need_flush = !flush_scheduled_;
     flush_scheduled_ = true;
   }
@@ -209,6 +223,7 @@ void ReactorConnection::TryWrite() {
       {
         MutexLock lock(&outbox_mu_);
         unsent_bytes_ -= static_cast<size_t>(n);
+        outbox_bytes_->Add(-static_cast<int64_t>(n));
         room = unsent_bytes_ < options_.outbox_capacity_bytes;
       }
       if (room) can_send_.NotifyAll();
@@ -220,13 +235,23 @@ void ReactorConnection::TryWrite() {
     if (n < 0 && errno == EINTR) continue;
     // Peer gone mid-write. The read side surfaces the failure policy; here
     // just stop accepting frames and release anyone blocked on the cap.
-    {
-      MutexLock lock(&outbox_mu_);
-      broken_ = true;
-    }
-    can_send_.NotifyAll();
+    MarkBroken();
     return;
   }
+}
+
+void ReactorConnection::MarkBroken() {
+  {
+    MutexLock lock(&outbox_mu_);
+    if (!broken_) {
+      broken_ = true;
+      // Staged bytes will never be written; keep the process-wide gauge
+      // honest (the once-only transition prevents double subtraction).
+      outbox_bytes_->Add(-static_cast<int64_t>(unsent_bytes_));
+      unsent_bytes_ = 0;
+    }
+  }
+  can_send_.NotifyAll();
 }
 
 void ReactorConnection::HandleReadable() {
@@ -241,7 +266,8 @@ void ReactorConnection::HandleReadable() {
       read_size_ += static_cast<size_t>(n);
       bytes_received_.fetch_add(static_cast<uint64_t>(n),
                                 std::memory_order_relaxed);
-      last_rx_ = std::chrono::steady_clock::now();
+      last_rx_nanos_ = NowNanos();
+      if (options_.health) options_.health->Touch(site_, last_rx_nanos_);
       if (!ParseFrames()) return;  // Paused or ended inside.
       continue;
     }
@@ -351,9 +377,30 @@ bool ReactorConnection::TryDeliver(Frame* frame) {
     case FrameType::kHello:
       return true;  // Only legal during the handshake; ignore defensively.
     case FrameType::kHeartbeat:
-      // Liveness is credited by the read itself (last_rx_); the claimed
-      // site id is deliberately ignored — a forged id proves nothing
-      // beyond this connection being alive.
+      // Liveness is credited by the read itself (last_rx_nanos_); the
+      // claimed site id is deliberately ignored — a forged id proves
+      // nothing beyond this connection being alive.
+      heartbeats_rx_->Increment();
+      Trace(TraceEventType::kHeartbeat, site_, 0);
+      return true;
+    case FrameType::kStatsReport:
+      stats_reports_rx_->Increment();
+      // Same trust rule as heartbeats, but stats DO index per-site state
+      // (the health table), so the claimed id must match the id this
+      // connection authenticated at hello time; a forged report is dropped
+      // rather than corrupting another site's row.
+      if (frame->stats.site != site_) {
+        forged_stats_dropped_->Increment();
+        return true;
+      }
+      if (options_.health) {
+        options_.health->Update(site_, frame->stats.events_processed,
+                                frame->stats.updates_sent,
+                                frame->stats.syncs_sent,
+                                frame->stats.rounds_seen);
+      }
+      Trace(TraceEventType::kStatsReport, site_,
+            frame->stats.events_processed);
       return true;
   }
   return true;
@@ -362,6 +409,7 @@ bool ReactorConnection::TryDeliver(Frame* frame) {
 void ReactorConnection::PauseRead() {
   if (read_paused_ || read_done_) return;
   read_paused_ = true;
+  read_pauses_->Increment();
   // Keep write interest; drop read interest until an inbox frees space.
   reactor_->ModifyFd(socket_.fd(), EPOLLOUT);
 }
@@ -369,9 +417,10 @@ void ReactorConnection::PauseRead() {
 void ReactorConnection::ResumeRead() {
   if (!read_paused_ || read_done_) return;
   read_paused_ = false;
+  read_resumes_->Increment();
   // The pause may have outlived real progress: treat resumption as liveness
   // evidence, since unread bytes were (possibly) waiting on us.
-  last_rx_ = std::chrono::steady_clock::now();
+  last_rx_nanos_ = NowNanos();
   if (!ParseFrames()) return;  // Still blocked (or ended): stay paused.
   reactor_->ModifyFd(socket_.fd(), EPOLLIN | EPOLLOUT);
   // An edge may have been missed while unsubscribed; drain manually.
@@ -383,14 +432,11 @@ void ReactorConnection::CheckLiveness() {
   if (read_paused_) {
     // We are the bottleneck (full inbox), not the peer; bytes may be
     // sitting unread in the kernel. Do not count this window against it.
-    last_rx_ = std::chrono::steady_clock::now();
+    last_rx_nanos_ = NowNanos();
     return;
   }
-  const auto elapsed = std::chrono::steady_clock::now() - last_rx_;
-  const auto timeout = std::chrono::milliseconds(options_.liveness_timeout_ms);
-  if (elapsed <= timeout) return;
-  const int64_t elapsed_ms =
-      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  const int64_t elapsed_ms = (NowNanos() - last_rx_nanos_) / 1000000;
+  if (elapsed_ms <= options_.liveness_timeout_ms) return;
   EndRead(UnavailableError(
       "site " + std::to_string(site_) + " sent no traffic (not even a "
       "heartbeat) for " + std::to_string(elapsed_ms) +
@@ -406,11 +452,7 @@ void ReactorConnection::EndRead(const Status& failure) {
     reactor_->CancelTimer(liveness_timer_);
     liveness_armed_ = false;
   }
-  {
-    MutexLock lock(&outbox_mu_);
-    broken_ = true;
-  }
-  can_send_.NotifyAll();
+  MarkBroken();
   // Wake the peer's reader too (it sees EOF) and stop the kernel from
   // buffering more; the fd itself stays open until the owner destroys us.
   socket_.ShutdownBoth();
@@ -419,6 +461,8 @@ void ReactorConnection::EndRead(const Status& failure) {
   if (!shared_updates_) update_inbox_->Close();
   if (!failure.ok() && !failure_reported_) {
     failure_reported_ = true;
+    if (options_.health) options_.health->MarkDead(site_);
+    Trace(TraceEventType::kSiteFailed, site_, 0);
     if (options_.on_failure) options_.on_failure(failure);
   }
   if (options_.on_read_end) options_.on_read_end();
@@ -427,11 +471,7 @@ void ReactorConnection::EndRead(const Status& failure) {
 void ReactorConnection::ShutdownFromOwner() {
   if (shutdown_) return;
   shutdown_ = true;
-  {
-    MutexLock lock(&outbox_mu_);
-    broken_ = true;
-  }
-  can_send_.NotifyAll();
+  MarkBroken();
   // The reactor is stopped: its loop role is free, so this thread takes it
   // for the teardown (and debug builds CHECK the loop really exited).
   reactor_->loop_role.Grant();
@@ -503,6 +543,7 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
     ReactorConnection::Options connection_options;
     connection_options.shared_updates = &merged_updates_;
     connection_options.liveness_timeout_ms = options_.liveness_timeout_ms;
+    connection_options.health = options_.health;
     const int site_id = *site;
     if (options_.on_site_failure) {
       connection_options.on_failure = [this, site_id](const Status& status) {

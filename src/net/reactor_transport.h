@@ -34,7 +34,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -44,6 +43,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -56,6 +56,14 @@
 namespace dsgm {
 
 enum class FlowPush { kOk, kFull, kClosed };
+
+/// Shared across every FlowQueue instantiation: how often a loop-side
+/// delivery found an inbox full (each reject pauses that socket's reads).
+inline Counter* FlowQueueFullRejects() {
+  static Counter* const counter =
+      MetricsRegistry::Global().GetCounter("net.flowqueue.full_rejects");
+  return counter;
+}
 
 /// A bounded MPMC queue shaped for an event loop producer: pushes never
 /// block (TryPush reports kFull) and the first pop that frees space after a
@@ -83,6 +91,7 @@ class FlowQueue {
       if (closed_) return FlowPush::kClosed;
       if (items_.size() >= capacity_) {
         starving_ = true;
+        FlowQueueFullRejects()->Increment();
         return FlowPush::kFull;
       }
       items_.push_back(std::move(item));
@@ -254,6 +263,12 @@ class ReactorConnection {
     /// Invoked (reactor thread, exactly once) when the read side ends for
     /// any reason except owner shutdown: EOF, error, or liveness failure.
     std::function<void()> on_read_end;
+    /// Optional per-site health table (owned by the caller, must outlive the
+    /// connection). The connection Touch()es it on received traffic, folds
+    /// kStatsReport frames into it — after checking the claimed site id
+    /// against this connection's authenticated one — and MarkDead()s it on
+    /// a read failure.
+    SiteHealthBoard* health = nullptr;
   };
 
   /// Takes a connected, hello-paired socket; makes it nonblocking. `site`
@@ -312,6 +327,9 @@ class ReactorConnection {
   void PauseRead() DSGM_REQUIRES(reactor_->loop_role);
   void CheckLiveness() DSGM_REQUIRES(reactor_->loop_role);
   void EndRead(const Status& failure) DSGM_REQUIRES(reactor_->loop_role);
+  /// Marks the send side broken (once), releases blocked senders, and
+  /// retires the connection's staged bytes from the outbox gauge.
+  void MarkBroken() DSGM_EXCLUDES(outbox_mu_);
 
   Reactor* reactor_;
   TcpSocket socket_;
@@ -329,8 +347,8 @@ class ReactorConnection {
   bool read_paused_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
   bool read_done_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
   bool failure_reported_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
-  std::chrono::steady_clock::time_point last_rx_
-      DSGM_GUARDED_BY(reactor_->loop_role);
+  /// NowNanos() of the last received byte (the liveness clock).
+  int64_t last_rx_nanos_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;
   Reactor::TimerId liveness_timer_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;
   bool liveness_armed_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
 
@@ -362,6 +380,16 @@ class ReactorConnection {
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
   bool shutdown_ = false;  // Owner thread only.
+
+  // Shared process-wide instruments (resolved once per connection).
+  Counter* const read_pauses_;
+  Counter* const read_resumes_;
+  Counter* const heartbeats_rx_;
+  Counter* const stats_reports_rx_;
+  Counter* const forged_stats_dropped_;
+  /// Process-wide staged-but-unwritten outbox bytes, maintained as deltas
+  /// under outbox_mu_ so breaks cannot double-subtract.
+  Gauge* const outbox_bytes_;
 };
 
 /// The coordinator side of a multi-process cluster on one reactor thread:
@@ -376,6 +404,9 @@ class ReactorCoordinator {
     int liveness_timeout_ms = 5000;
     /// Reactor thread, at most once per site: the site was declared dead.
     std::function<void(int site, const Status&)> on_site_failure;
+    /// Optional live per-site health table; must outlive the coordinator.
+    /// Fed from heartbeats/kStatsReport by each connection.
+    SiteHealthBoard* health = nullptr;
   };
 
   ReactorCoordinator(int num_sites, const Options& options);

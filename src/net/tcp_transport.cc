@@ -138,8 +138,10 @@ void TcpConnection::ReaderLoop() {
       case FrameType::kHello:
         break;  // Only legal during the handshake; ignore defensively.
       case FrameType::kHeartbeat:
-        // Liveness beacons; this transport's blocking reader does not track
-        // deadlines (the reactor transport does), so they are just ignored.
+      case FrameType::kStatsReport:
+        // Liveness beacons and stats reports; this transport's blocking
+        // reader tracks neither deadlines nor a health table (the reactor
+        // transport does), so they are just ignored.
         break;
     }
   }

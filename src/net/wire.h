@@ -53,6 +53,19 @@ struct EventBatch {
   std::vector<int32_t> values;
 };
 
+/// Site -> coordinator observability frame, piggybacked on the heartbeat
+/// cadence: cumulative counters the coordinator folds into its live
+/// per-site health table (common/metrics.h SiteHealthBoard). All fields are
+/// totals since the site started, so a lost report costs nothing.
+struct SiteStatsReport {
+  int32_t site = -1;
+  int64_t events_processed = 0;
+  uint64_t updates_sent = 0;
+  uint64_t syncs_sent = 0;
+  uint64_t rounds_seen = 0;
+  uint64_t heartbeats_sent = 0;
+};
+
 // Structural equality, used by the codec round-trip and transport
 // conformance tests.
 inline bool operator==(const CounterReport& a, const CounterReport& b) {
@@ -68,6 +81,12 @@ inline bool operator==(const RoundAdvance& a, const RoundAdvance& b) {
 }
 inline bool operator==(const EventBatch& a, const EventBatch& b) {
   return a.num_events == b.num_events && a.values == b.values;
+}
+inline bool operator==(const SiteStatsReport& a, const SiteStatsReport& b) {
+  return a.site == b.site && a.events_processed == b.events_processed &&
+         a.updates_sent == b.updates_sent && a.syncs_sent == b.syncs_sent &&
+         a.rounds_seen == b.rounds_seen &&
+         a.heartbeats_sent == b.heartbeats_sent;
 }
 
 }  // namespace dsgm

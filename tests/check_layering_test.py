@@ -108,6 +108,26 @@ def main():
         ["include/dsgm/bad.h:1", "internal"],
     )
 
+    # common/metrics.h may only include its frozen allowlist — even other
+    # common/ headers are out, so it stays cheap to include from every
+    # layer's hot path.
+    expect_violation(
+        "metrics header grows a dependency",
+        {"src/common/metrics.h": '#include "common/check.h"\n'},
+        ["src/common/metrics.h:1", "allowlist", "common/check.h"],
+    )
+    expect_clean(
+        "metrics header on its allowlist",
+        {
+            "src/common/metrics.h": (
+                '#include "common/mutex.h"\n'
+                '#include "common/thread_annotations.h"\n'
+                '#include "common/timer.h"\n'
+                "#include <atomic>\n"
+            ),
+        },
+    )
+
     # Downward and same-layer includes are legal.
     expect_clean(
         "legal downward edges",

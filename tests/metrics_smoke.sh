@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# obs.metrics_smoke: run the observability demo (a real kLocalTcp cluster
+# with --metrics-dump-ms-style dumping enabled) and validate the dump with
+# tools/metrics_text.py --check-cluster — every line must be well-formed
+# JSON and the final snapshot must show a live cluster: per-site heartbeat
+# ages present, sync counts non-zero, reactor loop p99 non-zero.
+#
+# Usage: metrics_smoke.sh <observability_demo-binary> <metrics_text.py>
+set -euo pipefail
+
+demo_bin=$1
+metrics_text=$2
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+dump="$workdir/run.metrics"
+
+"$demo_bin" "$dump"
+
+test -s "$dump" || { echo "FAIL: $dump is empty"; exit 1; }
+python3 "$metrics_text" --check-cluster "$dump"
+
+# The renderer itself must also survive the dump (it is the operator UI).
+python3 "$metrics_text" "$dump" > /dev/null
+
+echo "metrics_smoke: OK"

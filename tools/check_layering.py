@@ -19,6 +19,11 @@ Rules checked, for every .h/.cc under src/ and include/:
      "harness/" prefix, or anything under tests/, bench/, examples/).
   4. Public headers (include/) may not include "api/..." — src/api is
      internal Session plumbing and is deliberately not installed.
+  5. common/metrics.h is the observability spine: every layer may include
+     it, so it must stay at the very bottom of the DAG. Its only quoted
+     includes may be the frozen allowlist below (mutex, annotations,
+     timer) — growing its dependency set would tax every hot path that
+     instruments itself.
 
 Prints one line per offending edge (file:line: explanation) and exits
 nonzero when any violation exists, so it can gate as a ctest entry and a
@@ -50,6 +55,14 @@ NON_SRC_PREFIXES = {"harness", "tests", "bench", "examples"}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
+# Rule 5: the only quoted includes common/metrics.h may have.
+METRICS_HEADER = pathlib.PurePosixPath("src/common/metrics.h")
+METRICS_ALLOWED_INCLUDES = {
+    "common/mutex.h",
+    "common/thread_annotations.h",
+    "common/timer.h",
+}
+
 
 def layer_of(rel_path):
     """The layer name of a source file, or None if it has no layer."""
@@ -72,6 +85,7 @@ def check_file(path, rel_path, violations):
     except (OSError, UnicodeDecodeError) as error:
         violations.append(f"{rel_path}: unreadable: {error}")
         return
+    is_metrics_header = rel_path.as_posix() == METRICS_HEADER.as_posix()
     for lineno, line in enumerate(lines, start=1):
         match = INCLUDE_RE.match(line)
         if not match:
@@ -79,6 +93,13 @@ def check_file(path, rel_path, violations):
         target_path = match.group(1)
         target = target_path.split("/", 1)[0]
         where = f"{rel_path}:{lineno}"
+        if is_metrics_header and target_path not in METRICS_ALLOWED_INCLUDES:
+            violations.append(
+                f"{where}: common/metrics.h must stay dependency-free "
+                f'(includable from every layer); "{target_path}" is not in '
+                f"its frozen allowlist"
+            )
+            continue
         if target in NON_SRC_PREFIXES:
             violations.append(
                 f"{where}: {layer} -> {target}: production code must not "

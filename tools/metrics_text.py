@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Render a dsgm --metrics-dump-ms stream as human-readable tables.
+
+A metrics dump is one JSON object per line (the format emitted by
+MetricsSnapshotToJsonLine in src/common/metrics.cc):
+
+    {"t_ms":..,"counters":{..},"gauges":{..},
+     "histograms":{name:{count,sum,p50,p99,max}},"sites":[..]}
+
+Default mode renders the LAST line (the end-of-run snapshot emitted by
+MetricsDumper::Stop) as counter/gauge/histogram tables plus the per-site
+health table, with per-second rates derived from the first line when the
+dump has more than one. Histogram quantiles are log2-bucket upper bounds
+(<= 2x the true value); names ending in _ns render as human durations.
+
+    tools/metrics_text.py run.metrics          # render
+    tools/metrics_text.py --check run.metrics  # validate only
+
+--check validates every line parses and carries the expected keys, and
+exits nonzero otherwise; --check-cluster additionally asserts the final
+snapshot shows a live distributed run (every site alive with a
+non-negative heartbeat age, site sync counts summing > 0, and a non-zero
+net.reactor.loop_ns p99) — the acceptance probe for a kLocalTcp run and
+the ctest obs.metrics_smoke gate.
+
+Exits 0 on success, 1 on a failed check or malformed dump, 2 on usage
+errors (missing/empty file).
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("t_ms", "counters", "gauges", "histograms", "sites")
+HISTOGRAM_STAT_KEYS = ("count", "sum", "p50", "p99", "max")
+SITE_KEYS = ("site", "alive", "hb_age_ms", "events", "updates", "syncs",
+             "rounds", "stats_reports")
+
+
+def parse_dump(stream, path):
+    """Parses and validates every line; returns the snapshot list."""
+    snapshots = []
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            snapshot = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{where}: not valid JSON: {error}")
+        if not isinstance(snapshot, dict):
+            raise ValueError(f"{where}: line is not a JSON object")
+        for key in REQUIRED_KEYS:
+            if key not in snapshot:
+                raise ValueError(f"{where}: missing key '{key}'")
+        for name, stats in snapshot["histograms"].items():
+            for key in HISTOGRAM_STAT_KEYS:
+                if key not in stats:
+                    raise ValueError(
+                        f"{where}: histogram '{name}' missing '{key}'")
+        for site in snapshot["sites"]:
+            for key in SITE_KEYS:
+                if key not in site:
+                    raise ValueError(
+                        f"{where}: site row missing '{key}'")
+        snapshots.append(snapshot)
+    if not snapshots:
+        raise ValueError(f"{path}: empty dump (no JSON lines)")
+    return snapshots
+
+
+def check_cluster(snapshot):
+    """Final-snapshot assertions for a live distributed (kLocalTcp) run."""
+    problems = []
+    sites = snapshot["sites"]
+    if not sites:
+        problems.append("no per-site health rows (cluster session expected)")
+    for site in sites:
+        if not site["alive"]:
+            problems.append(f"site {site['site']} is not alive")
+        if site["hb_age_ms"] < 0:
+            problems.append(
+                f"site {site['site']} has no heartbeat age "
+                f"(hb_age_ms={site['hb_age_ms']})")
+    if sites and sum(site["syncs"] for site in sites) == 0:
+        problems.append("no site reported any sync messages")
+    loop = snapshot["histograms"].get("net.reactor.loop_ns")
+    if loop is None:
+        problems.append("histogram net.reactor.loop_ns is absent")
+    elif loop["p99"] == 0 or loop["count"] == 0:
+        problems.append(
+            f"net.reactor.loop_ns shows no samples "
+            f"(count={loop['count']}, p99={loop['p99']})")
+    return problems
+
+
+def fmt_duration_ns(value):
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}us"
+    return f"{int(value)}ns"
+
+
+def fmt_metric(name, value):
+    return fmt_duration_ns(value) if name.endswith("_ns") else f"{value}"
+
+
+def print_table(title, header, rows):
+    if not rows:
+        return
+    widths = [len(cell) for cell in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print(title)
+    line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header))
+    print(f"  {line}")
+    print(f"  {'-' * len(line)}")
+    for row in rows:
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        print(f"  {line}")
+    print()
+
+
+def render(snapshots):
+    first, last = snapshots[0], snapshots[-1]
+    span_ms = last["t_ms"] - first["t_ms"]
+    print(f"metrics dump: {len(snapshots)} snapshot(s) over "
+          f"{span_ms / 1000.0:.2f}s; showing the final one\n")
+
+    rows = []
+    for name in sorted(last["counters"]):
+        value = last["counters"][name]
+        rate = ""
+        if span_ms > 0:
+            delta = value - first["counters"].get(name, 0)
+            rate = f"{delta * 1000.0 / span_ms:.1f}/s"
+        rows.append([name, str(value), rate])
+    print_table("counters", ["name", "value", "rate"], rows)
+
+    rows = [[name, str(last["gauges"][name])]
+            for name in sorted(last["gauges"])]
+    print_table("gauges", ["name", "value"], rows)
+
+    rows = []
+    for name in sorted(last["histograms"]):
+        stats = last["histograms"][name]
+        rows.append([
+            name,
+            str(stats["count"]),
+            fmt_metric(name, stats["p50"]),
+            fmt_metric(name, stats["p99"]),
+            fmt_metric(name, stats["max"]),
+            fmt_metric(name, stats["sum"] / stats["count"])
+            if stats["count"] else "-",
+        ])
+    print_table("histograms (quantiles are log2-bucket upper bounds)",
+                ["name", "count", "p50", "p99", "max", "mean"], rows)
+
+    rows = []
+    for site in last["sites"]:
+        rows.append([
+            str(site["site"]),
+            "yes" if site["alive"] else "NO",
+            f"{site['hb_age_ms']:.1f}" if site["hb_age_ms"] >= 0 else "-",
+            str(site["events"]),
+            str(site["updates"]),
+            str(site["syncs"]),
+            str(site["rounds"]),
+            str(site["stats_reports"]),
+        ])
+    print_table("per-site health",
+                ["site", "alive", "hb age ms", "events", "updates", "syncs",
+                 "rounds", "stats rx"], rows)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("dump", help="metrics dump file ('-' for stdin)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the dump is well-formed, render nothing")
+    parser.add_argument("--check-cluster", action="store_true",
+                        help="with --check semantics, also assert the final "
+                             "snapshot shows a live cluster (site heartbeat "
+                             "ages, syncs, reactor loop p99 all present and "
+                             "non-zero)")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.dump == "-":
+            snapshots = parse_dump(sys.stdin, "<stdin>")
+        else:
+            with open(args.dump, encoding="utf-8") as stream:
+                snapshots = parse_dump(stream, args.dump)
+    except OSError as error:
+        print(f"metrics_text: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"metrics_text: {error}", file=sys.stderr)
+        return 1
+
+    if args.check_cluster:
+        problems = check_cluster(snapshots[-1])
+        if problems:
+            for problem in problems:
+                print(f"metrics_text: cluster check: {problem}",
+                      file=sys.stderr)
+            return 1
+
+    if args.check or args.check_cluster:
+        print(f"metrics_text: OK ({len(snapshots)} well-formed snapshot(s))")
+        return 0
+
+    render(snapshots)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
