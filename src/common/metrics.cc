@@ -305,6 +305,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "snapshot_publish";
     case TraceEventType::kSnapshotDefer:
       return "snapshot_defer";
+    case TraceEventType::kProtocolViolation:
+      return "protocol_violation";
   }
   return "unknown";
 }

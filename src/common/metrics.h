@@ -291,6 +291,7 @@ enum class TraceEventType : uint8_t {
   kSiteFailed = 6,
   kSnapshotPublish = 7,
   kSnapshotDefer = 8,
+  kProtocolViolation = 9,
 };
 
 const char* TraceEventTypeName(TraceEventType type);

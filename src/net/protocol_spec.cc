@@ -1,0 +1,292 @@
+#include "net/protocol_spec.h"
+
+#include <array>
+#include <string>
+
+#include "common/check.h"
+
+namespace dsgm {
+namespace {
+
+// One allow-list row of the protocol spec. The table below is THE protocol:
+// every (state, direction, input, version) combination not covered by a row
+// is a violation. `min_version` encodes the version gates — a row applies to
+// every version from max(min_version, kMinProtocolVersion) through
+// kProtocolVersion.
+struct AllowRow {
+  ProtocolState state;
+  ProtocolDirection direction;
+  WireInput input;
+  uint8_t min_version;
+  ProtocolState next;
+};
+
+constexpr ProtocolDirection kS2C = ProtocolDirection::kSiteToCoordinator;
+constexpr ProtocolDirection kC2S = ProtocolDirection::kCoordinatorToSite;
+
+constexpr AllowRow kAllowedTransitions[] = {
+    // --- coordinator receiving from a site -------------------------------
+    // Handshake: exactly one hello, before anything else.
+    {ProtocolState::kAwaitingHello, kS2C, WireInput::kInHello, 1,
+     ProtocolState::kActive},
+    // The update lane: bundles flow until the site closes it. Closing the
+    // update lane is the site's terminal act — its data is done, only
+    // liveness traffic may follow.
+    {ProtocolState::kActive, kS2C, WireInput::kInUpdateBundle, 1,
+     ProtocolState::kActive},
+    {ProtocolState::kActive, kS2C, WireInput::kInCloseUpdates, 1,
+     ProtocolState::kDraining},
+    // Liveness traffic, by protocol revision: heartbeats exist since v2 and
+    // may linger through Draining (the site waits for the coordinator's
+    // hangup); stats reports exist since v3 and are data — data after the
+    // update-lane close is a violation.
+    {ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, 2,
+     ProtocolState::kActive},
+    {ProtocolState::kDraining, kS2C, WireInput::kInHeartbeat, 2,
+     ProtocolState::kDraining},
+    {ProtocolState::kActive, kS2C, WireInput::kInStatsReport, 3,
+     ProtocolState::kActive},
+
+    // --- site receiving from the coordinator -----------------------------
+    {ProtocolState::kAwaitingHello, kC2S, WireInput::kInHello, 1,
+     ProtocolState::kActive},
+    {ProtocolState::kActive, kC2S, WireInput::kInEventBatch, 1,
+     ProtocolState::kActive},
+    {ProtocolState::kActive, kC2S, WireInput::kInRoundAdvance, 1,
+     ProtocolState::kActive},
+    // The coordinator owns two lanes with independent lifetimes: the event
+    // dispatcher can finish (close events) while round commands continue,
+    // and on abort the command lane can close first while event stragglers
+    // are still in flight. Closing the command lane is the terminal act.
+    {ProtocolState::kActive, kC2S, WireInput::kInCloseEvents, 1,
+     ProtocolState::kActive},
+    {ProtocolState::kActive, kC2S, WireInput::kInCloseCommands, 1,
+     ProtocolState::kDraining},
+    {ProtocolState::kDraining, kC2S, WireInput::kInEventBatch, 1,
+     ProtocolState::kDraining},
+    {ProtocolState::kDraining, kC2S, WireInput::kInCloseEvents, 1,
+     ProtocolState::kDraining},
+};
+
+// Dense verdict table, built once from the allow rows.
+//   index = ((state * kNumProtocolDirections + direction) * kNumWireInputs
+//            + input) * kNumProtocolVersions + (version - kMin)
+struct ProtocolTable {
+  std::array<FrameRule, kNumProtocolStates * kNumProtocolDirections *
+                            kNumWireInputs * kNumProtocolVersions>
+      rules;  // default FrameRule{} = {kViolation, kClosed}
+
+  static constexpr size_t IndexOf(ProtocolState state,
+                                  ProtocolDirection direction, WireInput input,
+                                  uint8_t version) {
+    return ((static_cast<size_t>(state) * kNumProtocolDirections +
+             static_cast<size_t>(direction)) *
+                kNumWireInputs +
+            static_cast<size_t>(input)) *
+               kNumProtocolVersions +
+           (version - kMinProtocolVersion);
+  }
+
+  constexpr ProtocolTable() : rules() {
+    for (const AllowRow& row : kAllowedTransitions) {
+      uint8_t first = row.min_version < kMinProtocolVersion
+                          ? kMinProtocolVersion
+                          : row.min_version;
+      for (uint8_t v = first; v <= kProtocolVersion; ++v) {
+        rules[IndexOf(row.state, row.direction, row.input, v)] =
+            FrameRule{ProtocolVerdict::kAccept, row.next};
+      }
+    }
+  }
+};
+
+constexpr ProtocolTable kProtocolTable{};
+
+// The rule every out-of-table lookup resolves to.
+constexpr FrameRule kViolationRule{};
+
+}  // namespace
+
+const FrameRule& LookupRule(ProtocolState state, ProtocolDirection direction,
+                            WireInput input, uint8_t version) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
+    return kViolationRule;
+  }
+  return kProtocolTable
+      .rules[ProtocolTable::IndexOf(state, direction, input, version)];
+}
+
+WireInput WireInputOf(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kUpdateBundle:
+      return WireInput::kInUpdateBundle;
+    case FrameType::kRoundAdvance:
+      return WireInput::kInRoundAdvance;
+    case FrameType::kEventBatch:
+      return WireInput::kInEventBatch;
+    case FrameType::kChannelClose:
+      switch (frame.channel) {
+        case FrameType::kUpdateBundle:
+          return WireInput::kInCloseUpdates;
+        case FrameType::kRoundAdvance:
+          return WireInput::kInCloseCommands;
+        case FrameType::kEventBatch:
+          return WireInput::kInCloseEvents;
+        default:
+          break;  // unreachable: the codec validates the channel tag
+      }
+      break;
+    case FrameType::kHello:
+      return WireInput::kInHello;
+    case FrameType::kHeartbeat:
+      return WireInput::kInHeartbeat;
+    case FrameType::kStatsReport:
+      return WireInput::kInStatsReport;
+  }
+  DSGM_CHECK(false) << "WireInputOf: frame type "
+                    << static_cast<int>(frame.type)
+                    << " escaped codec validation";
+  return WireInput::kInHello;  // unreachable
+}
+
+const char* ProtocolStateName(ProtocolState state) {
+  switch (state) {
+    case ProtocolState::kAwaitingHello:
+      return "awaiting_hello";
+    case ProtocolState::kActive:
+      return "active";
+    case ProtocolState::kDraining:
+      return "draining";
+    case ProtocolState::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+const char* ProtocolDirectionName(ProtocolDirection direction) {
+  switch (direction) {
+    case ProtocolDirection::kSiteToCoordinator:
+      return "site_to_coordinator";
+    case ProtocolDirection::kCoordinatorToSite:
+      return "coordinator_to_site";
+  }
+  return "unknown";
+}
+
+const char* WireInputName(WireInput input) {
+  switch (input) {
+    case WireInput::kInUpdateBundle:
+      return "update_bundle";
+    case WireInput::kInRoundAdvance:
+      return "round_advance";
+    case WireInput::kInEventBatch:
+      return "event_batch";
+    case WireInput::kInCloseUpdates:
+      return "close_updates";
+    case WireInput::kInCloseCommands:
+      return "close_commands";
+    case WireInput::kInCloseEvents:
+      return "close_events";
+    case WireInput::kInHello:
+      return "hello";
+    case WireInput::kInHeartbeat:
+      return "heartbeat";
+    case WireInput::kInStatsReport:
+      return "stats_report";
+  }
+  return "unknown";
+}
+
+ProtocolConformance::ProtocolConformance(ProtocolDirection direction,
+                                         uint8_t version,
+                                         ProtocolState initial)
+    : direction_(direction),
+      version_(version),
+      state_(initial),
+      violations_metric_(
+          MetricsRegistry::Global().GetCounter(kProtocolViolationsMetric)) {}
+
+ProtocolVerdict ProtocolConformance::CountViolation(ProtocolVerdict verdict) {
+  ++violations_;
+  violations_metric_->Increment();
+  state_ = ProtocolState::kClosed;
+  return verdict;
+}
+
+ProtocolVerdict ProtocolConformance::OnFrame(const Frame& frame) {
+  const WireInput input = WireInputOf(frame);
+  // A hello carries the peer's protocol version; when it arrives where a
+  // hello is legal but the version is not ours, report the mismatch
+  // distinctly so transports can surface a deployment error instead of a
+  // generic drop. (Everywhere else a hello is just an out-of-state frame.)
+  if (input == WireInput::kInHello && state_ == ProtocolState::kAwaitingHello &&
+      frame.protocol_version != version_) {
+    return CountViolation(ProtocolVerdict::kVersionMismatch);
+  }
+  const FrameRule& rule = LookupRule(state_, direction_, input, version_);
+  if (rule.verdict != ProtocolVerdict::kAccept) {
+    return CountViolation(ProtocolVerdict::kViolation);
+  }
+  state_ = rule.next;
+  return ProtocolVerdict::kAccept;
+}
+
+ProtocolVerdict ProtocolConformance::OnMalformedFrame() {
+  return CountViolation(ProtocolVerdict::kViolation);
+}
+
+void ProtocolConformance::OnHelloSent() {
+  if (state_ == ProtocolState::kAwaitingHello) {
+    state_ = ProtocolState::kActive;
+  }
+}
+
+void ProtocolConformance::MarkClosed() { state_ = ProtocolState::kClosed; }
+
+ProtocolStreamChecker::ProtocolStreamChecker(ProtocolDirection direction,
+                                             ProtocolState initial)
+    : conformance_(direction, kProtocolVersion, initial) {}
+
+Status ProtocolStreamChecker::Append(const uint8_t* data, size_t size) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), data, data + size);
+  while (buffer_.size() - parse_offset_ >= 4) {
+    const uint32_t length = DecodeLengthPrefix(buffer_.data() + parse_offset_);
+    if (length > kMaxFramePayload) {
+      conformance_.OnMalformedFrame();
+      error_ = InvalidArgumentError("stream: frame payload exceeds limit");
+      return error_;
+    }
+    if (buffer_.size() - parse_offset_ - 4 < length) break;
+    Frame frame;
+    Status decoded =
+        DecodeFramePayload(buffer_.data() + parse_offset_ + 4, length, &frame);
+    parse_offset_ += 4 + static_cast<size_t>(length);
+    if (!decoded.ok()) {
+      conformance_.OnMalformedFrame();
+      error_ = decoded;
+      return error_;
+    }
+    const ProtocolVerdict verdict = conformance_.OnFrame(frame);
+    if (verdict != ProtocolVerdict::kAccept) {
+      error_ = verdict == ProtocolVerdict::kVersionMismatch
+                   ? FailedPreconditionError("stream: protocol version mismatch")
+                   : InvalidArgumentError(
+                         std::string("stream: protocol violation: ") +
+                         WireInputName(WireInputOf(frame)) + " in state " +
+                         ProtocolStateName(conformance_.state()));
+      return error_;
+    }
+    ++frames_accepted_;
+    // Compact once the consumed prefix dominates the buffer, so a long
+    // adversarial stream costs O(bytes) total, not O(bytes^2).
+    if (parse_offset_ >= 4096 && parse_offset_ * 2 >= buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<ptrdiff_t>(parse_offset_));
+      parse_offset_ = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dsgm

@@ -40,28 +40,41 @@ Status SendHelloBlocking(TcpSocket* socket, int32_t site) {
 }
 
 StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket) {
+  // The handshake runs the same conformance machine as the steady state:
+  // a fresh kAwaitingHello validator accepts exactly one current-version
+  // hello and counts everything else on `net.protocol.violations`.
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
   uint8_t prefix[4];
   DSGM_RETURN_IF_ERROR(socket->RecvAll(prefix, 4));
   const uint32_t length = DecodeLengthPrefix(prefix);
   // A hello is a handful of bytes; anything bigger is not a dsgm site.
-  if (length > 16) return InvalidArgumentError("reactor: oversized hello frame");
+  if (length > 16) {
+    conformance.OnMalformedFrame();
+    return InvalidArgumentError("reactor: oversized hello frame");
+  }
   std::vector<uint8_t> payload(length);
   DSGM_RETURN_IF_ERROR(socket->RecvAll(payload.data(), payload.size()));
   Frame frame;
-  DSGM_RETURN_IF_ERROR(DecodeFramePayload(payload.data(), payload.size(), &frame));
-  if (frame.type != FrameType::kHello) {
-    return InvalidArgumentError("reactor: expected hello frame");
+  Status decoded = DecodeFramePayload(payload.data(), payload.size(), &frame);
+  if (!decoded.ok()) {
+    conformance.OnMalformedFrame();
+    return decoded;
   }
-  // Same code split as TcpConnection::ReadHello: version mismatch is a
-  // deployment error surfaced loudly, anything else is a droppable stray.
-  if (frame.protocol_version != kProtocolVersion) {
-    return FailedPreconditionError(
-        "reactor: protocol version mismatch: peer speaks v" +
-        std::to_string(frame.protocol_version) + ", this build speaks v" +
-        std::to_string(kProtocolVersion) +
-        " — rebuild both ends from the same revision");
+  switch (conformance.OnFrame(frame)) {
+    case ProtocolVerdict::kAccept:
+      return frame.site;
+    case ProtocolVerdict::kVersionMismatch:
+      // Same code split as TcpConnection::ReadHello: version mismatch is a
+      // deployment error surfaced loudly, anything else a droppable stray.
+      return FailedPreconditionError(
+          "reactor: protocol version mismatch: peer speaks v" +
+          std::to_string(frame.protocol_version) + ", this build speaks v" +
+          std::to_string(kProtocolVersion) +
+          " — rebuild both ends from the same revision");
+    case ProtocolVerdict::kViolation:
+      break;
   }
-  return frame.site;
+  return InvalidArgumentError("reactor: expected hello frame");
 }
 
 // --- ReactorConnection ---------------------------------------------------
@@ -72,6 +85,8 @@ ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
       socket_(std::move(socket)),
       site_(site),
       options_(options),
+      conformance_(options.receive_direction, kProtocolVersion,
+                   ProtocolState::kActive),
       event_inbox_(options.event_capacity),
       command_inbox_(options.command_capacity),
       owned_update_inbox_(options.shared_updates == nullptr
@@ -306,6 +321,8 @@ bool ReactorConnection::ParseFrames() {
     if (available < 4) break;
     const uint32_t length = DecodeLengthPrefix(read_buffer_.data() + parse_offset_);
     if (length > kMaxFramePayload) {
+      conformance_.OnMalformedFrame();
+      Trace(TraceEventType::kProtocolViolation, site_, -1);
       EndRead(options_.liveness_timeout_ms > 0
                   ? UnavailableError("site " + std::to_string(site_) +
                                      " sent an oversized frame")
@@ -323,6 +340,8 @@ bool ReactorConnection::ParseFrames() {
     const Status decoded = DecodeFramePayload(
         read_buffer_.data() + parse_offset_ + 4, length, &frame);
     if (!decoded.ok()) {
+      conformance_.OnMalformedFrame();
+      Trace(TraceEventType::kProtocolViolation, site_, -1);
       EndRead(options_.liveness_timeout_ms > 0
                   ? UnavailableError("site " + std::to_string(site_) +
                                      " sent a malformed frame: " +
@@ -331,6 +350,22 @@ bool ReactorConnection::ParseFrames() {
       return false;
     }
     parse_offset_ += 4 + length;
+    // Conformance gates every FRESH frame exactly once, before delivery;
+    // the pending_frame_ redelivery above re-offers an already-accepted
+    // frame, so it must not (and does not) pass through the table again.
+    const char* state_name = ProtocolStateName(conformance_.state());
+    if (conformance_.OnFrame(frame) != ProtocolVerdict::kAccept) {
+      Trace(TraceEventType::kProtocolViolation, site_,
+            static_cast<int64_t>(frame.type));
+      EndRead(options_.liveness_timeout_ms > 0
+                  ? UnavailableError(
+                        "site " + std::to_string(site_) +
+                        " violated the protocol: " +
+                        WireInputName(WireInputOf(frame)) + " in state " +
+                        state_name)
+                  : Status::Ok());
+      return false;
+    }
     if (!TryDeliver(&frame)) {
       pending_frame_ = std::move(frame);
       PauseRead();
@@ -375,7 +410,10 @@ bool ReactorConnection::TryDeliver(Frame* frame) {
       }
       return true;
     case FrameType::kHello:
-      return true;  // Only legal during the handshake; ignore defensively.
+      // Unreachable: a post-handshake hello is rejected by the conformance
+      // table in ParseFrames (the connection starts kActive) and never
+      // reaches delivery.
+      return true;
     case FrameType::kHeartbeat:
       // Liveness is credited by the read itself (last_rx_nanos_); the
       // claimed site id is deliberately ignored — a forged id proves
@@ -544,6 +582,8 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
     connection_options.shared_updates = &merged_updates_;
     connection_options.liveness_timeout_ms = options_.liveness_timeout_ms;
     connection_options.health = options_.health;
+    connection_options.receive_direction =
+        ProtocolDirection::kSiteToCoordinator;
     const int site_id = *site;
     if (options_.on_site_failure) {
       connection_options.on_failure = [this, site_id](const Status& status) {
@@ -661,6 +701,10 @@ class ReactorTransport : public ClusterTransport {
 
     ReactorConnection::Options coordinator_options;
     coordinator_options.shared_updates = &merged_updates_;
+    coordinator_options.receive_direction =
+        ProtocolDirection::kSiteToCoordinator;
+    ReactorConnection::Options site_options;
+    site_options.receive_direction = ProtocolDirection::kCoordinatorToSite;
     for (int s = 0; s < num_sites; ++s) {
       coordinator_connections_.push_back(std::make_unique<ReactorConnection>(
           &coordinator_reactor_,
@@ -669,7 +713,7 @@ class ReactorTransport : public ClusterTransport {
       coordinator_connections_.back()->Start();
       site_connections_.push_back(std::make_unique<ReactorConnection>(
           &site_reactor_, std::move(site_sockets[static_cast<size_t>(s)]), s,
-          ReactorConnection::Options()));
+          site_options));
       site_connections_.back()->Start();
     }
   }

@@ -49,6 +49,7 @@
 #include "common/thread_annotations.h"
 #include "net/channel.h"
 #include "net/codec.h"
+#include "net/protocol_spec.h"
 #include "net/reactor.h"
 #include "net/tcp_socket.h"
 #include "net/wire.h"
@@ -269,6 +270,12 @@ class ReactorConnection {
     /// against this connection's authenticated one — and MarkDead()s it on
     /// a read failure.
     SiteHealthBoard* health = nullptr;
+    /// Which half of the protocol this connection RECEIVES (see
+    /// net/protocol_spec.h). Every decoded frame is checked against the
+    /// conformance table for this direction; a violation drops the
+    /// connection and counts on `net.protocol.violations`.
+    ProtocolDirection receive_direction =
+        ProtocolDirection::kSiteToCoordinator;
   };
 
   /// Takes a connected, hello-paired socket; makes it nonblocking. `site`
@@ -346,6 +353,12 @@ class ReactorConnection {
   std::optional<Frame> pending_frame_ DSGM_GUARDED_BY(reactor_->loop_role);
   bool read_paused_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
   bool read_done_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
+  /// The protocol state machine for this connection's receive half. Starts
+  /// kActive: the socket arrives hello-paired (the blocking handshake
+  /// consumed the hello before the connection existed). Fed by ParseFrames
+  /// on every freshly decoded frame — NOT on pending_frame_ redelivery,
+  /// which would double-count transitions.
+  ProtocolConformance conformance_ DSGM_GUARDED_BY(reactor_->loop_role);
   bool failure_reported_ DSGM_GUARDED_BY(reactor_->loop_role) = false;
   /// NowNanos() of the last received byte (the liveness clock).
   int64_t last_rx_nanos_ DSGM_GUARDED_BY(reactor_->loop_role) = 0;

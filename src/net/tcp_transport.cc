@@ -9,6 +9,7 @@ TcpConnection::TcpConnection(TcpSocket socket)
 
 TcpConnection::TcpConnection(TcpSocket socket, const Options& options)
     : socket_(std::move(socket)),
+      conformance_(options.receive_direction),
       event_inbox_(options.event_capacity),
       command_inbox_(options.command_capacity),
       owned_update_inbox_(options.shared_updates == nullptr
@@ -34,6 +35,9 @@ Status TcpConnection::SendHello(int32_t site) {
   if (!SendFrame(MakeHello(site))) {
     return InternalError("tcp: hello send failed");
   }
+  // The connecting side's own hello is its half of the handshake: the peer
+  // talks only after reading it, so the receive machine arms to kActive.
+  conformance_.OnHelloSent();
   return Status::Ok();
 }
 
@@ -53,21 +57,32 @@ Status TcpConnection::ReadFrame(Frame* out, uint32_t max_payload) {
 StatusOr<int32_t> TcpConnection::ReadHello() {
   Frame frame;
   // A hello is a handful of bytes; anything bigger is not a dsgm site.
-  DSGM_RETURN_IF_ERROR(ReadFrame(&frame, /*max_payload=*/16));
-  if (frame.type != FrameType::kHello) {
-    return InvalidArgumentError("tcp: expected hello frame");
+  const Status read = ReadFrame(&frame, /*max_payload=*/16);
+  if (!read.ok()) {
+    // kInvalidArgument on the read path is the codec/framing rejecting the
+    // bytes — a protocol violation. Everything else (EOF, socket error,
+    // recv timeout) is the stream ending, which breaks no contract.
+    if (read.code() == StatusCode::kInvalidArgument) {
+      conformance_.OnMalformedFrame();
+    }
+    return read;
   }
-  // kFailedPrecondition distinguishes a genuine dsgm peer speaking another
-  // protocol revision (fatal misconfiguration, surfaced to the operator)
-  // from line noise (kInvalidArgument, dropped as a stray connection).
-  if (frame.protocol_version != kProtocolVersion) {
-    return FailedPreconditionError(
-        "tcp: protocol version mismatch: peer speaks v" +
-        std::to_string(frame.protocol_version) + ", this build speaks v" +
-        std::to_string(kProtocolVersion) +
-        " — rebuild both ends from the same revision");
+  switch (conformance_.OnFrame(frame)) {
+    case ProtocolVerdict::kAccept:
+      return frame.site;
+    case ProtocolVerdict::kVersionMismatch:
+      // kFailedPrecondition distinguishes a genuine dsgm peer speaking
+      // another protocol revision (fatal misconfiguration, surfaced to the
+      // operator) from line noise (kInvalidArgument, dropped as a stray).
+      return FailedPreconditionError(
+          "tcp: protocol version mismatch: peer speaks v" +
+          std::to_string(frame.protocol_version) + ", this build speaks v" +
+          std::to_string(kProtocolVersion) +
+          " — rebuild both ends from the same revision");
+    case ProtocolVerdict::kViolation:
+      break;
   }
-  return frame.site;
+  return InvalidArgumentError("tcp: expected hello frame");
 }
 
 void TcpConnection::Start() {
@@ -108,8 +123,27 @@ bool TcpConnection::SendFrame(const Frame& frame) {
 void TcpConnection::ReaderLoop() {
   while (true) {
     Frame frame;
-    // EOF, connection error, or a malformed frame all end the stream.
-    if (!ReadFrame(&frame, kMaxFramePayload).ok()) break;
+    const Status read = ReadFrame(&frame, kMaxFramePayload);
+    if (!read.ok()) {
+      // Only a frame the codec/framing rejected (kInvalidArgument) breaks
+      // the protocol contract; EOF and socket errors end the stream
+      // without a violation.
+      if (read.code() == StatusCode::kInvalidArgument) {
+        conformance_.OnMalformedFrame();
+        Trace(TraceEventType::kProtocolViolation, -1, -1);
+      } else {
+        conformance_.MarkClosed();
+      }
+      break;
+    }
+    // Every decoded frame passes the conformance table before delivery: an
+    // out-of-state frame (duplicate hello, data after a terminal close,
+    // a kind the peer's role never sends) drops the connection.
+    if (conformance_.OnFrame(frame) != ProtocolVerdict::kAccept) {
+      Trace(TraceEventType::kProtocolViolation, -1,
+            static_cast<int64_t>(frame.type));
+      break;
+    }
     switch (frame.type) {
       case FrameType::kEventBatch:
         event_inbox_.Push(std::move(frame.batch));
@@ -136,7 +170,9 @@ void TcpConnection::ReaderLoop() {
         }
         break;
       case FrameType::kHello:
-        break;  // Only legal during the handshake; ignore defensively.
+        // Unreachable: a post-handshake hello is rejected by the
+        // conformance check above and never reaches delivery.
+        break;
       case FrameType::kHeartbeat:
       case FrameType::kStatsReport:
         // Liveness beacons and stats reports; this transport's blocking
@@ -170,12 +206,17 @@ StatusOr<std::vector<std::unique_ptr<TcpConnection>>> AcceptSiteConnections(
   // is a misconfiguration of real sites, not line noise.
   constexpr int kHelloTimeoutMs = 10000;
   int rejects_left = 16 + 4 * num_sites;
+  // Accepted connections validate the site->coordinator half of the
+  // protocol regardless of what the caller's options say (callers pass
+  // queue wiring, not direction).
+  TcpConnection::Options accept_options = options;
+  accept_options.receive_direction = ProtocolDirection::kSiteToCoordinator;
   while (accepted < num_sites) {
     StatusOr<TcpSocket> socket = listener->Accept();
     if (!socket.ok()) return socket.status();
     socket->SetRecvTimeout(kHelloTimeoutMs);
-    auto connection =
-        std::make_unique<TcpConnection>(std::move(socket).value(), options);
+    auto connection = std::make_unique<TcpConnection>(
+        std::move(socket).value(), accept_options);
     StatusOr<int32_t> site = connection->ReadHello();
     if (!site.ok() &&
         site.status().code() == StatusCode::kFailedPrecondition) {

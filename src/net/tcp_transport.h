@@ -31,6 +31,7 @@
 #include "net/wire.h"
 #include "net/channel.h"
 #include "net/codec.h"
+#include "net/protocol_spec.h"
 #include "net/tcp_socket.h"
 
 namespace dsgm {
@@ -97,6 +98,14 @@ class TcpConnection {
     /// this, a full event lane + full merged update queue can deadlock the
     /// whole cluster in a cycle through the shared socket mutex.
     bool buffered_commands = false;
+    /// Which half of the protocol this connection RECEIVES (see
+    /// net/protocol_spec.h). Defaults to the connecting (site) side, which
+    /// is what every default-constructed TcpConnection is;
+    /// AcceptSiteConnections overrides it for the coordinator side. Every
+    /// decoded frame is checked against the conformance table; a violation
+    /// ends the reader and counts on `net.protocol.violations`.
+    ProtocolDirection receive_direction =
+        ProtocolDirection::kCoordinatorToSite;
   };
 
   explicit TcpConnection(TcpSocket socket);
@@ -151,6 +160,10 @@ class TcpConnection {
   Mutex send_mutex_;
   std::vector<uint8_t> send_buffer_ DSGM_GUARDED_BY(send_mutex_);
   std::vector<uint8_t> read_buffer_;  // handshake + reader thread only
+  /// Receive-side protocol state machine. Same single-thread discipline as
+  /// read_buffer_: the handshake (SendHello/ReadHello, pre-Start) and then
+  /// the reader thread, ordered by thread creation.
+  ProtocolConformance conformance_;
   bool send_broken_ DSGM_GUARDED_BY(send_mutex_) = false;
 
   BoundedQueue<EventBatch> event_inbox_;

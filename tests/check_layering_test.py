@@ -128,6 +128,45 @@ def main():
         },
     )
 
+    # fuzz/ harnesses may reach only net/ and common/ (rule 6).
+    expect_violation(
+        "fuzz includes cluster",
+        {
+            "src/common/ok.h": "// fine\n",
+            "fuzz/bad_harness.cc": '#include "cluster/coordinator_node.h"\n',
+        },
+        ["fuzz/bad_harness.cc:1", "fuzz", "cluster", "only net/ and common/"],
+    )
+    expect_violation(
+        "fuzz includes api",
+        {
+            "src/common/ok.h": "// fine\n",
+            "fuzz/bad_harness.cc": '#include "api/backends.h"\n',
+        },
+        ["fuzz/bad_harness.cc:1", "fuzz", "api"],
+    )
+    expect_violation(
+        "fuzz includes bench harness",
+        {
+            "src/common/ok.h": "// fine\n",
+            "fuzz/bad_harness.cc": '#include "harness/experiment.h"\n',
+        },
+        ["fuzz/bad_harness.cc:1", "harness", "test/bench"],
+    )
+    expect_clean(
+        "fuzz on its allowed surface",
+        {
+            "src/common/ok.h": "// fine\n",
+            "fuzz/ok_harness.cc": (
+                '#include "net/codec.h"\n'
+                '#include "net/protocol_spec.h"\n'
+                '#include "common/rng.h"\n'
+                '#include "fuzz_util.h"\n'
+                "#include <vector>\n"
+            ),
+        },
+    )
+
     # Downward and same-layer includes are legal.
     expect_clean(
         "legal downward edges",

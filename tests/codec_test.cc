@@ -352,6 +352,63 @@ TEST(CodecTest, RandomizedFuzzNeverCrashes) {
   }
 }
 
+// --- Adversarial shapes the fuzz/ harnesses exercise continuously; pinned
+// here as always-on regressions (the fuzz sweep found no crashes against
+// these defenses — these tests keep it that way).
+
+TEST(CodecTest, ForgedHugeEventBatchCountIsRejectedWithoutAllocation) {
+  // Hand-built payload claiming ~2^40 values backed by 2 bytes: the decoder
+  // must fail on truncation, and SafeReserve must cap the reserve() at what
+  // the remaining bytes could hold — not the claimed count (an OOM lever
+  // otherwise).
+  std::vector<uint8_t> payload = {static_cast<uint8_t>(FrameType::kEventBatch)};
+  AppendVarint(ZigzagEncode(1), &payload);  // num_events
+  AppendVarint(uint64_t{1} << 40, &payload);  // forged value count
+  payload.push_back(0x00);  // one real value, then nothing
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
+TEST(CodecTest, ForgedHugeReportCountIsRejectedWithoutAllocation) {
+  std::vector<uint8_t> payload = {
+      static_cast<uint8_t>(FrameType::kUpdateBundle)};
+  payload.push_back(0);  // kind = kReports
+  AppendVarint(ZigzagEncode(0), &payload);  // site
+  AppendVarint(ZigzagEncode(0), &payload);  // round
+  AppendVarint(std::numeric_limits<uint64_t>::max(), &payload);  // count
+  Frame frame;
+  EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());
+}
+
+TEST(CodecTest, ExtremeCounterDeltasRoundTripWithoutOverflow) {
+  // Adjacent INT64 extremes force maximal-magnitude deltas; the delta
+  // arithmetic is defined-behavior unsigned wraparound on both sides, so
+  // the exact ids must survive (UBSan asserts the "defined" part).
+  UpdateBundle bundle;
+  bundle.reports = {{std::numeric_limits<int64_t>::max(), 1},
+                    {std::numeric_limits<int64_t>::min(), 2},
+                    {0, 3},
+                    {std::numeric_limits<int64_t>::min(), 4},
+                    {std::numeric_limits<int64_t>::max(), 5}};
+  const Frame decoded = DecodeOrDie(Encode(MakeFrame(bundle)));
+  EXPECT_TRUE(decoded.bundle == bundle);
+}
+
+TEST(CodecTest, NanProbabilityRoundTripsBitExactly) {
+  // The codec transports float BITS; a NaN probability (possible from a
+  // corrupted peer) must come back bit-identical, not normalized.
+  RoundAdvance advance;
+  advance.counter = 1;
+  advance.round = 2;
+  uint32_t nan_bits = 0x7fc00001u;
+  std::memcpy(&advance.probability, &nan_bits, sizeof(advance.probability));
+  const Frame decoded = DecodeOrDie(Encode(MakeFrame(advance)));
+  uint32_t decoded_bits = 0;
+  std::memcpy(&decoded_bits, &decoded.advance.probability,
+              sizeof(decoded_bits));
+  EXPECT_EQ(decoded_bits, nan_bits);
+}
+
 TEST(CodecTest, BitflipFuzzOnValidFramesNeverCrashes) {
   Rng rng(31337);
   UpdateBundle bundle;

@@ -1,0 +1,426 @@
+// Model-checks the protocol conformance table of net/protocol_spec.h by
+// exhaustive enumeration: the state space is tiny (4 states x 2 directions
+// x 9 inputs x 3 versions = 216 cells), so instead of sampling behaviors we
+// iterate all of them and prove the contract's load-bearing properties —
+// totality, hello-before-anything, nothing-after-close, version gates,
+// directional ownership, and reachability of every state. Below that, unit
+// tests drive the ProtocolConformance validator and the
+// ProtocolStreamChecker through legal and adversarial sequences.
+
+#include "net/protocol_spec.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "gtest/gtest.h"
+#include "net/codec.h"
+
+namespace dsgm {
+namespace {
+
+constexpr uint8_t kAllVersions[] = {1, 2, 3};
+static_assert(sizeof(kAllVersions) == kNumProtocolVersions,
+              "enumerate every version the table covers");
+
+// --- Table enumeration ----------------------------------------------------
+
+TEST(ProtocolSpecTable, EveryTripleHasADefinedVerdict) {
+  int cells = 0;
+  for (ProtocolState state : kAllProtocolStates) {
+    for (ProtocolDirection direction : kAllProtocolDirections) {
+      for (WireInput input : kAllWireInputs) {
+        for (uint8_t version : kAllVersions) {
+          const FrameRule& rule = LookupRule(state, direction, input, version);
+          // Totality: the verdict is one of the two table outcomes (the
+          // kVersionMismatch refinement exists only in OnFrame), and a
+          // violation always lands in the terminal state.
+          EXPECT_TRUE(rule.verdict == ProtocolVerdict::kAccept ||
+                      rule.verdict == ProtocolVerdict::kViolation)
+              << ProtocolStateName(state) << " x "
+              << ProtocolDirectionName(direction) << " x "
+              << WireInputName(input) << " v" << int(version);
+          if (rule.verdict == ProtocolVerdict::kViolation) {
+            EXPECT_EQ(rule.next, ProtocolState::kClosed)
+                << "violations must be terminal: " << ProtocolStateName(state)
+                << " x " << WireInputName(input);
+          }
+          ++cells;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(cells, 4 * 2 * 9 * 3);
+}
+
+TEST(ProtocolSpecTable, HelloBeforeAnything) {
+  for (ProtocolDirection direction : kAllProtocolDirections) {
+    for (uint8_t version : kAllVersions) {
+      for (WireInput input : kAllWireInputs) {
+        const FrameRule& rule = LookupRule(ProtocolState::kAwaitingHello,
+                                           direction, input, version);
+        if (input == WireInput::kInHello) {
+          EXPECT_EQ(rule.verdict, ProtocolVerdict::kAccept);
+          EXPECT_EQ(rule.next, ProtocolState::kActive);
+        } else {
+          EXPECT_EQ(rule.verdict, ProtocolVerdict::kViolation)
+              << WireInputName(input) << " must not precede the hello ("
+              << ProtocolDirectionName(direction) << ", v" << int(version)
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(ProtocolSpecTable, NothingAfterClose) {
+  for (ProtocolDirection direction : kAllProtocolDirections) {
+    for (uint8_t version : kAllVersions) {
+      for (WireInput input : kAllWireInputs) {
+        EXPECT_EQ(
+            LookupRule(ProtocolState::kClosed, direction, input, version)
+                .verdict,
+            ProtocolVerdict::kViolation)
+            << WireInputName(input) << " accepted in the terminal state";
+      }
+    }
+  }
+}
+
+TEST(ProtocolSpecTable, ExactlyOneHelloEver) {
+  // A hello is legal in kAwaitingHello (checked above) and nowhere else.
+  for (ProtocolState state :
+       {ProtocolState::kActive, ProtocolState::kDraining,
+        ProtocolState::kClosed}) {
+    for (ProtocolDirection direction : kAllProtocolDirections) {
+      for (uint8_t version : kAllVersions) {
+        EXPECT_EQ(
+            LookupRule(state, direction, WireInput::kInHello, version).verdict,
+            ProtocolVerdict::kViolation)
+            << "duplicate hello accepted in " << ProtocolStateName(state);
+      }
+    }
+  }
+}
+
+TEST(ProtocolSpecTable, VersionGates) {
+  constexpr ProtocolDirection kS2C = ProtocolDirection::kSiteToCoordinator;
+  // Heartbeats exist since v2: a v1 peer sending one is malformed traffic.
+  EXPECT_EQ(LookupRule(ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, 1)
+                .verdict,
+            ProtocolVerdict::kViolation);
+  for (uint8_t v : {uint8_t{2}, uint8_t{3}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, v)
+            .verdict,
+        ProtocolVerdict::kAccept);
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInHeartbeat, v)
+            .verdict,
+        ProtocolVerdict::kAccept);
+  }
+  // Stats reports exist since v3, and only while the update lane is open.
+  for (uint8_t v : {uint8_t{1}, uint8_t{2}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kS2C, WireInput::kInStatsReport, v)
+            .verdict,
+        ProtocolVerdict::kViolation);
+  }
+  EXPECT_EQ(
+      LookupRule(ProtocolState::kActive, kS2C, WireInput::kInStatsReport, 3)
+          .verdict,
+      ProtocolVerdict::kAccept);
+  EXPECT_EQ(
+      LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInStatsReport, 3)
+          .verdict,
+      ProtocolVerdict::kViolation)
+      << "stats are data; data after the terminal close is a violation";
+}
+
+TEST(ProtocolSpecTable, DirectionalOwnership) {
+  constexpr ProtocolDirection kS2C = ProtocolDirection::kSiteToCoordinator;
+  constexpr ProtocolDirection kC2S = ProtocolDirection::kCoordinatorToSite;
+  // Frame kinds only the coordinator sends must never be accepted FROM a
+  // site, in any state or version — and vice versa.
+  const WireInput never_from_site[] = {
+      WireInput::kInRoundAdvance, WireInput::kInEventBatch,
+      WireInput::kInCloseCommands, WireInput::kInCloseEvents};
+  const WireInput never_from_coordinator[] = {
+      WireInput::kInUpdateBundle, WireInput::kInCloseUpdates,
+      WireInput::kInHeartbeat, WireInput::kInStatsReport};
+  for (ProtocolState state : kAllProtocolStates) {
+    for (uint8_t version : kAllVersions) {
+      for (WireInput input : never_from_site) {
+        EXPECT_EQ(LookupRule(state, kS2C, input, version).verdict,
+                  ProtocolVerdict::kViolation)
+            << "a site may not send " << WireInputName(input);
+      }
+      for (WireInput input : never_from_coordinator) {
+        EXPECT_EQ(LookupRule(state, kC2S, input, version).verdict,
+                  ProtocolVerdict::kViolation)
+            << "the coordinator may not send " << WireInputName(input);
+      }
+    }
+  }
+}
+
+TEST(ProtocolSpecTable, OutOfRangeVersionsRejectEverything) {
+  for (uint8_t version : {uint8_t{0}, uint8_t{4}, uint8_t{200}, uint8_t{255}}) {
+    for (ProtocolState state : kAllProtocolStates) {
+      for (ProtocolDirection direction : kAllProtocolDirections) {
+        for (WireInput input : kAllWireInputs) {
+          EXPECT_EQ(LookupRule(state, direction, input, version).verdict,
+                    ProtocolVerdict::kViolation);
+        }
+      }
+    }
+  }
+}
+
+TEST(ProtocolSpecTable, NoUnreachableStates) {
+  // Fixed-point reachability from kAwaitingHello per (direction, version):
+  // accept edges plus the implicit violation edge to kClosed. Every state
+  // must be reachable — an unreachable state would be dead spec.
+  for (ProtocolDirection direction : kAllProtocolDirections) {
+    for (uint8_t version : kAllVersions) {
+      std::set<ProtocolState> reached = {ProtocolState::kAwaitingHello};
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (ProtocolState state : kAllProtocolStates) {
+          if (reached.count(state) == 0) continue;
+          for (WireInput input : kAllWireInputs) {
+            const FrameRule& rule = LookupRule(state, direction, input, version);
+            if (reached.insert(rule.next).second) grew = true;
+          }
+        }
+      }
+      EXPECT_EQ(reached.size(), kNumProtocolStates)
+          << ProtocolDirectionName(direction) << " v" << int(version)
+          << " leaves states unreachable";
+      // And specifically: the happy path reaches Draining via an ACCEPT,
+      // not just via violations.
+      const WireInput terminal_close =
+          direction == ProtocolDirection::kSiteToCoordinator
+              ? WireInput::kInCloseUpdates
+              : WireInput::kInCloseCommands;
+      const FrameRule& rule = LookupRule(ProtocolState::kActive, direction,
+                                         terminal_close, version);
+      EXPECT_EQ(rule.verdict, ProtocolVerdict::kAccept);
+      EXPECT_EQ(rule.next, ProtocolState::kDraining);
+    }
+  }
+}
+
+TEST(ProtocolSpecTable, WireInputOfCoversEveryFrameKind) {
+  EXPECT_EQ(WireInputOf(MakeFrame(UpdateBundle{})), WireInput::kInUpdateBundle);
+  EXPECT_EQ(WireInputOf(MakeFrame(RoundAdvance{})), WireInput::kInRoundAdvance);
+  EXPECT_EQ(WireInputOf(MakeFrame(EventBatch{})), WireInput::kInEventBatch);
+  EXPECT_EQ(WireInputOf(MakeChannelClose(FrameType::kUpdateBundle)),
+            WireInput::kInCloseUpdates);
+  EXPECT_EQ(WireInputOf(MakeChannelClose(FrameType::kRoundAdvance)),
+            WireInput::kInCloseCommands);
+  EXPECT_EQ(WireInputOf(MakeChannelClose(FrameType::kEventBatch)),
+            WireInput::kInCloseEvents);
+  EXPECT_EQ(WireInputOf(MakeHello(0)), WireInput::kInHello);
+  EXPECT_EQ(WireInputOf(MakeHeartbeat(0)), WireInput::kInHeartbeat);
+  EXPECT_EQ(WireInputOf(MakeStatsReport(SiteStatsReport{})),
+            WireInput::kInStatsReport);
+}
+
+// --- ProtocolConformance --------------------------------------------------
+
+TEST(ProtocolConformanceTest, HappyPathSiteToCoordinator) {
+  MetricsRegistry::Global().ResetForTest();
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  EXPECT_EQ(conformance.state(), ProtocolState::kAwaitingHello);
+
+  EXPECT_EQ(conformance.OnFrame(MakeHello(2)), ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.state(), ProtocolState::kActive);
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(UpdateBundle{})),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeHeartbeat(2)), ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(SiteStatsReport{})),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeChannelClose(FrameType::kUpdateBundle)),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.state(), ProtocolState::kDraining);
+  EXPECT_EQ(conformance.OnFrame(MakeHeartbeat(2)), ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.violations(), 0u);
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter(kProtocolViolationsMetric)
+                ->Value(),
+            0u);
+}
+
+TEST(ProtocolConformanceTest, StatsAfterCloseIsAViolation) {
+  MetricsRegistry::Global().ResetForTest();
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  ASSERT_EQ(conformance.OnFrame(MakeHello(0)), ProtocolVerdict::kAccept);
+  ASSERT_EQ(conformance.OnFrame(MakeChannelClose(FrameType::kUpdateBundle)),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(SiteStatsReport{})),
+            ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.violations(), 1u);
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter(kProtocolViolationsMetric)
+                ->Value(),
+            1u);
+}
+
+TEST(ProtocolConformanceTest, DuplicateHelloIsAViolation) {
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  ASSERT_EQ(conformance.OnFrame(MakeHello(0)), ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeHello(0)), ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.violations(), 1u);
+}
+
+TEST(ProtocolConformanceTest, VersionMismatchIsDistinctButCounted) {
+  MetricsRegistry::Global().ResetForTest();
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  Frame hello = MakeHello(0);
+  hello.protocol_version = kProtocolVersion + 1;
+  EXPECT_EQ(conformance.OnFrame(hello), ProtocolVerdict::kVersionMismatch);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.violations(), 1u);
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter(kProtocolViolationsMetric)
+                ->Value(),
+            1u);
+}
+
+TEST(ProtocolConformanceTest, OnHelloSentArmsTheConnectingSide) {
+  ProtocolConformance conformance(ProtocolDirection::kCoordinatorToSite);
+  conformance.OnHelloSent();
+  EXPECT_EQ(conformance.state(), ProtocolState::kActive);
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(EventBatch{})),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(RoundAdvance{})),
+            ProtocolVerdict::kAccept);
+  // The coordinator's terminal act; event stragglers stay legal after it.
+  EXPECT_EQ(conformance.OnFrame(MakeChannelClose(FrameType::kRoundAdvance)),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.state(), ProtocolState::kDraining);
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(EventBatch{})),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.OnFrame(MakeChannelClose(FrameType::kEventBatch)),
+            ProtocolVerdict::kAccept);
+  // But commands after the command-lane close are a violation.
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(RoundAdvance{})),
+            ProtocolVerdict::kViolation);
+}
+
+TEST(ProtocolConformanceTest, MalformedFrameIsTerminal) {
+  MetricsRegistry::Global().ResetForTest();
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator,
+                                  kProtocolVersion, ProtocolState::kActive);
+  EXPECT_EQ(conformance.OnMalformedFrame(), ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(UpdateBundle{})),
+            ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.violations(), 2u);
+  EXPECT_EQ(MetricsRegistry::Global()
+                .GetCounter(kProtocolViolationsMetric)
+                ->Value(),
+            2u);
+}
+
+TEST(ProtocolConformanceTest, MarkClosedIsNotAViolation) {
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator,
+                                  kProtocolVersion, ProtocolState::kActive);
+  conformance.MarkClosed();
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.violations(), 0u);
+  // But traffic after an orderly close still violates.
+  EXPECT_EQ(conformance.OnFrame(MakeHeartbeat(0)), ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.violations(), 1u);
+}
+
+// --- ProtocolStreamChecker ------------------------------------------------
+
+std::vector<uint8_t> EncodeStream(const std::vector<Frame>& frames) {
+  std::vector<uint8_t> bytes;
+  for (const Frame& frame : frames) AppendFrame(frame, &bytes);
+  return bytes;
+}
+
+TEST(ProtocolStreamCheckerTest, AcceptsALegalSiteStream) {
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  bundle.site = 1;
+  bundle.round = 3;
+  bundle.reports.push_back({7, 42});
+  const std::vector<uint8_t> bytes = EncodeStream(
+      {MakeHello(1), MakeFrame(bundle), MakeHeartbeat(1),
+       MakeStatsReport(SiteStatsReport{}),
+       MakeChannelClose(FrameType::kUpdateBundle), MakeHeartbeat(1)});
+
+  ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
+  // Feed byte-by-byte: frame boundaries must not matter.
+  for (uint8_t byte : bytes) ASSERT_TRUE(checker.Append(&byte, 1).ok());
+  EXPECT_EQ(checker.frames_accepted(), 6u);
+  EXPECT_EQ(checker.conformance().state(), ProtocolState::kDraining);
+  EXPECT_EQ(checker.conformance().violations(), 0u);
+}
+
+TEST(ProtocolStreamCheckerTest, RejectsSyncBeforeHello) {
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  const std::vector<uint8_t> bytes = EncodeStream({MakeFrame(bundle)});
+  ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
+  const Status status = checker.Append(bytes.data(), bytes.size());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(checker.conformance().violations(), 1u);
+  // The first error is sticky: more bytes do not resurrect the stream.
+  const std::vector<uint8_t> more = EncodeStream({MakeHello(0)});
+  EXPECT_FALSE(checker.Append(more.data(), more.size()).ok());
+  EXPECT_EQ(checker.frames_accepted(), 0u);
+}
+
+TEST(ProtocolStreamCheckerTest, RejectsMalformedBytes) {
+  // A length prefix promising 5 bytes of an unknown frame type.
+  const std::vector<uint8_t> bytes = {5, 0, 0, 0, 99, 1, 2, 3, 4};
+  ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
+  EXPECT_FALSE(checker.Append(bytes.data(), bytes.size()).ok());
+  EXPECT_EQ(checker.conformance().violations(), 1u);
+}
+
+TEST(ProtocolStreamCheckerTest, RejectsOversizedLengthPrefix) {
+  const std::vector<uint8_t> bytes = {0xff, 0xff, 0xff, 0xff};
+  ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
+  const Status status = checker.Append(bytes.data(), bytes.size());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(checker.conformance().state(), ProtocolState::kClosed);
+}
+
+TEST(ProtocolStreamCheckerTest, ReportsVersionMismatchDistinctly) {
+  Frame hello = MakeHello(0);
+  hello.protocol_version = 9;
+  const std::vector<uint8_t> bytes = EncodeStream({hello});
+  ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
+  EXPECT_EQ(checker.Append(bytes.data(), bytes.size()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolStreamCheckerTest, LongStreamStaysLinear) {
+  // Exercises the internal compaction: many small frames through a checker
+  // must all be parsed (the test bound is correctness; the compaction keeps
+  // it from going quadratic).
+  ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
+  std::vector<uint8_t> bytes = EncodeStream({MakeHello(0)});
+  ASSERT_TRUE(checker.Append(bytes.data(), bytes.size()).ok());
+  UpdateBundle bundle;
+  bundle.kind = UpdateBundle::Kind::kReports;
+  bundle.site = 0;
+  bytes = EncodeStream({MakeFrame(bundle)});
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(checker.Append(bytes.data(), bytes.size()).ok());
+  }
+  EXPECT_EQ(checker.frames_accepted(), 20001u);
+}
+
+}  // namespace
+}  // namespace dsgm

@@ -12,8 +12,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/cluster_transport.h"
 #include "net/codec.h"
+#include "net/protocol_spec.h"
 #include "net/reactor_transport.h"
 #include "net/tcp_socket.h"
 #include "net/tcp_transport.h"
@@ -370,6 +372,251 @@ TEST(ReactorCoordinatorTest, StatsDuringAcceptDoNotRaceSlotPublication) {
   // the assertions that matter here are TSan's.
   EXPECT_EQ(coordinator.bytes_down(), 0u);
   coordinator.Shutdown();
+}
+
+// --- Protocol conformance on the socket transports ------------------------
+//
+// Out-of-state frames (data before the hello, a duplicate hello, data after
+// the terminal lane close) must drop the offending connection and increment
+// `net.protocol.violations` — the table-driven contract of
+// net/protocol_spec.h, asserted here against BOTH socket transports'
+// integration points (the blocking TCP reader and the reactor loop).
+
+uint64_t ProtocolViolations() {
+  return MetricsRegistry::Global().GetCounter(kProtocolViolationsMetric)->Value();
+}
+
+std::vector<uint8_t> EncodeFrames(const std::vector<Frame>& frames) {
+  std::vector<uint8_t> bytes;
+  for (const Frame& frame : frames) AppendFrame(frame, &bytes);
+  return bytes;
+}
+
+/// Waits (bounded) for the reader of `connection` to exit.
+bool WaitFinished(TcpConnection* connection) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!connection->finished() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return connection->finished();
+}
+
+TEST(ProtocolConformanceTcpTest, SyncBeforeHelloIsCountedAndDropped) {
+  MetricsRegistry::Global().ResetForTest();
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  // The stray connects (and its bytes are in flight) BEFORE the real site,
+  // so the accept loop — which takes connections in arrival order — must
+  // reject it to finish. Data before the hello is the violation.
+  StatusOr<TcpSocket> stray = TcpSocket::Connect("127.0.0.1", port);
+  ASSERT_TRUE(stray.ok()) << stray.status();
+  UpdateBundle sync;
+  sync.kind = UpdateBundle::Kind::kSync;
+  sync.site = 0;
+  const std::vector<uint8_t> stray_bytes = EncodeFrames({MakeFrame(sync)});
+  ASSERT_TRUE(stray->SendAll(stray_bytes.data(), stray_bytes.size()).ok());
+
+  std::thread real_site([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    if (!SendHelloBlocking(&socket.value(), /*site=*/0).ok()) return;
+    uint8_t unused = 0;
+    (void)socket->RecvAll(&unused, 1);  // Linger until the coordinator closes.
+  });
+
+  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+      AcceptSiteConnections(&listener.value(), /*num_sites=*/1,
+                            TcpConnection::Options());
+  EXPECT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_EQ(ProtocolViolations(), 1u);
+  listener->Close();
+  if (accepted.ok()) {
+    for (auto& connection : *accepted) connection->Shutdown();
+  }
+  real_site.join();
+}
+
+TEST(ProtocolConformanceTcpTest, DuplicateHelloDropsTheConnection) {
+  MetricsRegistry::Global().ResetForTest();
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  std::thread peer([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    // The second hello is the violation: one handshake per connection.
+    const std::vector<uint8_t> bytes =
+        EncodeFrames({MakeHello(0), MakeHello(0)});
+    (void)socket->SendAll(bytes.data(), bytes.size());
+    uint8_t unused = 0;
+    (void)socket->RecvAll(&unused, 1);
+  });
+
+  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+      AcceptSiteConnections(&listener.value(), /*num_sites=*/1,
+                            TcpConnection::Options());
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  // The reader hits the duplicate hello and drops the connection.
+  EXPECT_TRUE(WaitFinished((*accepted)[0].get()));
+  EXPECT_EQ(ProtocolViolations(), 1u);
+  listener->Close();
+  for (auto& connection : *accepted) connection->Shutdown();
+  peer.join();
+}
+
+TEST(ProtocolConformanceTcpTest, StatsAfterCloseDropsTheConnection) {
+  MetricsRegistry::Global().ResetForTest();
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  std::thread peer([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    // Closing the update lane is the site's terminal act; a stats report
+    // (data) after it violates the contract. The preceding heartbeat is
+    // legal in Draining and must NOT trip anything.
+    const std::vector<uint8_t> bytes = EncodeFrames(
+        {MakeHello(0), MakeChannelClose(FrameType::kUpdateBundle),
+         MakeHeartbeat(0), MakeStatsReport(SiteStatsReport{})});
+    (void)socket->SendAll(bytes.data(), bytes.size());
+    uint8_t unused = 0;
+    (void)socket->RecvAll(&unused, 1);
+  });
+
+  StatusOr<std::vector<std::unique_ptr<TcpConnection>>> accepted =
+      AcceptSiteConnections(&listener.value(), /*num_sites=*/1,
+                            TcpConnection::Options());
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_TRUE(WaitFinished((*accepted)[0].get()));
+  EXPECT_EQ(ProtocolViolations(), 1u);
+  listener->Close();
+  for (auto& connection : *accepted) connection->Shutdown();
+  peer.join();
+}
+
+/// Reactor-side harness: accepts one adversarial peer under a
+/// ReactorCoordinator and returns the status on_site_failure captured.
+class ProtocolConformanceReactorTest : public ::testing::Test {
+ protected:
+  /// Runs `peer_frames` (sent after the hello the accept loop consumes)
+  /// against a one-site coordinator; returns the captured failure status,
+  /// or OK if none arrived before the deadline.
+  Status RunAdversarialPeer(const std::vector<Frame>& peer_frames) {
+    StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+    if (!listener.ok()) return listener.status();
+    const int port = listener->port();
+
+    Mutex mu;
+    Status captured;
+    bool failed = false;
+    ReactorCoordinator::Options options;
+    // Liveness on: a protocol violation is then surfaced through the same
+    // UNAVAILABLE site-failure path a vanished site uses.
+    options.liveness_timeout_ms = 5000;
+    options.on_site_failure = [&mu, &captured, &failed](int /*site*/,
+                                                        const Status& status) {
+      MutexLock lock(&mu);
+      captured = status;
+      failed = true;
+    };
+    ReactorCoordinator coordinator(1, options);
+
+    std::thread peer([port, &peer_frames] {
+      StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+      if (!socket.ok()) return;
+      if (!SendHelloBlocking(&socket.value(), /*site=*/0).ok()) return;
+      const std::vector<uint8_t> bytes = EncodeFrames(peer_frames);
+      (void)socket->SendAll(bytes.data(), bytes.size());
+      uint8_t unused = 0;
+      (void)socket->RecvAll(&unused, 1);  // Wait for the coordinator's drop.
+    });
+
+    Status result;
+    const Status accepted = coordinator.AcceptSites(&listener.value());
+    if (accepted.ok()) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (std::chrono::steady_clock::now() < deadline) {
+        {
+          MutexLock lock(&mu);
+          if (failed) {
+            result = captured;
+            break;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      result = accepted;
+    }
+    listener->Close();
+    coordinator.Shutdown();
+    peer.join();
+    return result;
+  }
+};
+
+TEST_F(ProtocolConformanceReactorTest, DuplicateHelloDropsTheSite) {
+  MetricsRegistry::Global().ResetForTest();
+  const Status failure = RunAdversarialPeer({MakeHello(0)});
+  EXPECT_EQ(failure.code(), StatusCode::kUnavailable) << failure;
+  EXPECT_NE(failure.message().find("violated the protocol"), std::string::npos)
+      << failure;
+  EXPECT_NE(failure.message().find("hello"), std::string::npos) << failure;
+  EXPECT_EQ(ProtocolViolations(), 1u);
+}
+
+TEST_F(ProtocolConformanceReactorTest, StatsAfterCloseDropsTheSite) {
+  MetricsRegistry::Global().ResetForTest();
+  const Status failure = RunAdversarialPeer(
+      {MakeFrame(UpdateBundle{}), MakeChannelClose(FrameType::kUpdateBundle),
+       MakeHeartbeat(0), MakeStatsReport(SiteStatsReport{})});
+  EXPECT_EQ(failure.code(), StatusCode::kUnavailable) << failure;
+  EXPECT_NE(failure.message().find("stats_report in state draining"),
+            std::string::npos)
+      << failure;
+  EXPECT_EQ(ProtocolViolations(), 1u);
+}
+
+TEST(ProtocolConformanceReactorAcceptTest, SyncBeforeHelloIsCountedAsStray) {
+  MetricsRegistry::Global().ResetForTest();
+  StatusOr<TcpListener> listener = TcpListener::Listen(0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  const int port = listener->port();
+
+  ReactorCoordinator::Options options;
+  options.liveness_timeout_ms = 0;
+  ReactorCoordinator coordinator(1, options);
+
+  // Stray first (arrival order = accept order), real site second.
+  StatusOr<TcpSocket> stray = TcpSocket::Connect("127.0.0.1", port);
+  ASSERT_TRUE(stray.ok()) << stray.status();
+  UpdateBundle sync;
+  sync.kind = UpdateBundle::Kind::kSync;
+  sync.site = 0;
+  const std::vector<uint8_t> stray_bytes = EncodeFrames({MakeFrame(sync)});
+  ASSERT_TRUE(stray->SendAll(stray_bytes.data(), stray_bytes.size()).ok());
+
+  std::thread real_site([port] {
+    StatusOr<TcpSocket> socket = TcpSocket::Connect("127.0.0.1", port);
+    if (!socket.ok()) return;
+    (void)SendHelloBlocking(&socket.value(), /*site=*/0);
+    uint8_t unused = 0;
+    (void)socket->RecvAll(&unused, 1);
+  });
+
+  const Status accepted = coordinator.AcceptSites(&listener.value());
+  EXPECT_TRUE(accepted.ok()) << accepted;
+  EXPECT_EQ(ProtocolViolations(), 1u);
+  listener->Close();
+  coordinator.Shutdown();
+  real_site.join();
 }
 
 }  // namespace

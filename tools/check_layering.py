@@ -24,6 +24,11 @@ Rules checked, for every .h/.cc under src/ and include/:
      includes may be the frozen allowlist below (mutex, annotations,
      timer) — growing its dependency set would tax every hot path that
      instruments itself.
+  6. fuzz/ harnesses target the untrusted wire surface and nothing else:
+     they may include only net/ and common/ headers (plus their own
+     fuzz-local helpers). A harness reaching into core/cluster/api would
+     couple the fuzz build to the whole stack and blur what "input
+     validated" means.
 
 Prints one line per offending edge (file:line: explanation) and exits
 nonzero when any violation exists, so it can gate as a ctest entry and a
@@ -63,6 +68,9 @@ METRICS_ALLOWED_INCLUDES = {
     "common/timer.h",
 }
 
+# Rule 6: the only layers a fuzz/ harness may include.
+FUZZ_ALLOWED_LAYERS = {"net", "common"}
+
 
 def layer_of(rel_path):
     """The layer name of a source file, or None if it has no layer."""
@@ -71,11 +79,42 @@ def layer_of(rel_path):
         return parts[1]
     if parts[0] == "include":
         return "dsgm"
+    if parts[0] == "fuzz":
+        return "fuzz"
     return None
+
+
+def check_fuzz_file(path, rel_path, violations):
+    """Rule 6: fuzz/ may include only net/, common/, and fuzz-local headers."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (OSError, UnicodeDecodeError) as error:
+        violations.append(f"{rel_path}: unreadable: {error}")
+        return
+    for lineno, line in enumerate(lines, start=1):
+        match = INCLUDE_RE.match(line)
+        if not match:
+            continue
+        target_path = match.group(1)
+        target = target_path.split("/", 1)[0]
+        where = f"{rel_path}:{lineno}"
+        if target in NON_SRC_PREFIXES:
+            violations.append(
+                f"{where}: fuzz -> {target}: fuzz harnesses must not "
+                f'include test/bench code ("{target_path}")'
+            )
+        elif target in LAYER_RANK and target not in FUZZ_ALLOWED_LAYERS:
+            violations.append(
+                f"{where}: fuzz -> {target}: fuzz harnesses may include "
+                f'only net/ and common/ headers ("{target_path}")'
+            )
 
 
 def check_file(path, rel_path, violations):
     layer = layer_of(rel_path)
+    if layer == "fuzz":
+        check_fuzz_file(path, rel_path, violations)
+        return
     if layer not in LAYER_RANK:
         return
     rank = LAYER_RANK[layer]
@@ -144,7 +183,7 @@ def main(argv):
 
     violations = []
     files = 0
-    for top in ("src", "include"):
+    for top in ("src", "include", "fuzz"):
         base = root / top
         if not base.is_dir():
             continue
