@@ -13,6 +13,12 @@
 //   2. Queries are near-free: a 100 Hz Snapshot() poller costs < 10%
 //      throughput, because the coordinator publishes double-buffered
 //      snapshots in O(touched cells) and readers never block the protocol.
+//   3. Observability is near-free: --metrics-overhead prices the
+//      instruments themselves (enabled vs SetMetricsEnabled(false)) and
+//      --trace-overhead prices the trace-shipping path (drain -> kTraceChunk
+//      codec -> ClusterTraceBoard ingest at 25x the production cadence);
+//      both must stay <= 3% of 8-producer throughput (derated to a 10%
+//      collapse-check under sanitizers or below 16 hardware threads).
 //
 // Also runs ctest-gated as session.ingest_scale_smoke (reduced events,
 // --assert-scaling) so a concurrency regression on either path shows up
@@ -22,6 +28,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -32,9 +39,12 @@
 #include "common/metrics.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "common/tracing.h"
 #include "dsgm/dsgm.h"
 #include "harness/experiment.h"
 #include "harness/json_report.h"
+#include "net/codec.h"
+#include "net/wire.h"
 
 namespace dsgm {
 namespace {
@@ -60,12 +70,15 @@ struct IngestRun {
   double events_per_sec = 0.0;  // end-to-end: first Push to Finish return
   double push_seconds = 0.0;    // producers' start to last Push return
   int64_t snapshots_taken = 0;
+  uint64_t trace_events_shipped = 0;  // only when the shipper thread ran
+  uint64_t trace_chunks_shipped = 0;
 };
 
 StatusOr<IngestRun> RunOnce(const BayesianNetwork& net,
                             const std::vector<Instance>& events, int sites,
                             int producers, int poller_hz, double eps,
-                            uint64_t seed, int batch_size) {
+                            uint64_t seed, int batch_size,
+                            bool ship_traces = false) {
   SessionBuilder builder(net);
   builder.WithBackend(Backend::kThreads)
       .WithStrategy(TrackingStrategy::kUniform)
@@ -87,6 +100,51 @@ StatusOr<IngestRun> RunOnce(const BayesianNetwork& net,
       while (!done.load(std::memory_order_acquire)) {
         if (session.Snapshot().ok()) {
           snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(period);
+      }
+    });
+  }
+
+  // Optional site-style trace shipper (--trace-overhead): replays the
+  // standalone site's shipping loop in-process — drain every thread's ring
+  // through one cursor, encode the chunk as a kTraceChunk frame, decode it
+  // back, fold it into a ClusterTraceBoard — so the gate prices the whole
+  // shipping path (drain + codec + board ingest), not just the Trace()
+  // writes the --metrics-overhead gate already covers. The 20 ms cadence is
+  // 25x the default 500 ms heartbeat piggyback, a deliberate
+  // over-approximation: production shipping costs less than what's measured
+  // here.
+  ClusterTraceBoard board(1);
+  std::atomic<uint64_t> shipped_events{0};
+  std::atomic<uint64_t> shipped_chunks{0};
+  std::thread shipper;
+  if (ship_traces) {
+    shipper = std::thread([&done, &board, &shipped_events, &shipped_chunks] {
+      TraceDrainCursor cursor;
+      const auto period = std::chrono::milliseconds(20);
+      bool final_pass = false;
+      while (true) {
+        TraceChunk chunk;
+        chunk.site = 0;
+        const size_t drained =
+            DrainTraceEvents(&cursor, &chunk.events, &chunk.first_seq);
+        if (drained > 0) {
+          std::vector<uint8_t> bytes;
+          AppendFrame(MakeTraceChunk(std::move(chunk)), &bytes);
+          Frame decoded;
+          size_t consumed = 0;
+          if (DecodeFrame(bytes.data(), bytes.size(), &decoded, &consumed)
+                  .ok()) {
+            board.Ingest(0, decoded.trace.first_seq, decoded.trace.events);
+          }
+          shipped_events.fetch_add(drained, std::memory_order_relaxed);
+          shipped_chunks.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (final_pass) break;
+        if (done.load(std::memory_order_acquire)) {
+          final_pass = true;  // one last drain after the producers stop
+          continue;
         }
         std::this_thread::sleep_for(period);
       }
@@ -118,6 +176,7 @@ StatusOr<IngestRun> RunOnce(const BayesianNetwork& net,
   // target (see the Session::Finish contract).
   done.store(true, std::memory_order_release);
   if (poller.joinable()) poller.join();
+  if (shipper.joinable()) shipper.join();
   StatusOr<RunReport> report = session.Finish();
   const double total_seconds = wall.ElapsedSeconds();
   if (!report.ok()) return report.status();
@@ -133,6 +192,8 @@ StatusOr<IngestRun> RunOnce(const BayesianNetwork& net,
       total_seconds > 0.0 ? static_cast<double>(events.size()) / total_seconds
                           : 0.0;
   run.snapshots_taken = snapshots.load();
+  run.trace_events_shipped = shipped_events.load(std::memory_order_relaxed);
+  run.trace_chunks_shipped = shipped_chunks.load(std::memory_order_relaxed);
   return run;
 }
 
@@ -161,7 +222,16 @@ int Main(int argc, char** argv) {
                    "price the metrics layer itself: run the 8-producer quiet "
                    "config with instruments enabled and disabled "
                    "(SetMetricsEnabled) and exit 1 if enabling them costs "
-                   "> 3% throughput (10% under sanitizers)");
+                   "> 3% throughput (10% under sanitizers or below 16 "
+                   "hardware threads, where scheduler noise exceeds the "
+                   "effect)");
+  flags.DefineBool("trace-overhead", false,
+                   "price trace shipping: run the 8-producer quiet config "
+                   "with and without a site-style shipper thread (drain -> "
+                   "kTraceChunk encode -> decode -> ClusterTraceBoard "
+                   "ingest, at 25x the production heartbeat cadence) and "
+                   "exit 1 if shipping costs > 3% throughput (10% under "
+                   "sanitizers or below 16 hardware threads)");
   flags.DefineString("json", "BENCH_ingest.json",
                      "machine-readable results file (empty disables)");
   ParseFlagsOrDie(&flags, argc, argv);
@@ -300,6 +370,22 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // The overhead gates record their measurements here; the block lands in
+  // BENCH_ingest.json under "overhead" so the perf trajectory tracks the
+  // cost of the observability layer, not just raw throughput.
+  Json overhead = Json::Object();
+  bool overhead_measured = false;
+
+  // A 3% overhead bound is only measurable when the pipeline's ~17 threads
+  // actually get cores: below 16 hardware threads the scheduler noise on an
+  // oversubscribed machine exceeds the effect being measured (observed
+  // swings of +-8% between back-to-back identical runs on 1 core), so the
+  // gate derates to a 10% collapse-check there — same philosophy as
+  // --assert-scaling's hardware ladder. Sanitizer instrumentation distorts
+  // the ratio the same way.
+  const double overhead_bound =
+      kSanitizedBuild || hw < 16 ? 0.10 : 0.03;
+
   if (flags.GetBool("metrics-overhead")) {
     // Alternate enabled/disabled runs so both sides see the same machine
     // conditions, and keep the best of each: this prices the instruments,
@@ -328,19 +414,86 @@ int Main(int argc, char** argv) {
         best_disabled > 0.0
             ? std::max(0.0, 1.0 - best_enabled / best_disabled)
             : 0.0;
-    const double bound = kSanitizedBuild ? 0.10 : 0.03;
+    const double bound = overhead_bound;
     std::cout << "metrics overhead at 8 producers: enabled "
               << static_cast<int64_t>(best_enabled) << " ev/s vs disabled "
               << static_cast<int64_t>(best_disabled) << " ev/s ("
               << FormatDouble(cost * 100.0, 2) << "% cost, bound "
-              << FormatDouble(bound * 100.0, 0) << "%)\n";
+              << static_cast<int64_t>(bound * 100.0 + 0.5) << "%)\n";
     if (cost > bound) {
       std::cerr << "GATE FAILED: metrics instrumentation cost "
                 << FormatDouble(cost * 100.0, 2) << "% > "
-                << FormatDouble(bound * 100.0, 0) << "% of 8-producer "
+                << static_cast<int64_t>(bound * 100.0 + 0.5) << "% of 8-producer "
                    "throughput\n";
       gate_failed = true;
     }
+    Json gate = Json::Object();
+    gate.Add("enabled_events_per_sec", Json::Double(best_enabled))
+        .Add("disabled_events_per_sec", Json::Double(best_disabled))
+        .Add("cost_fraction", Json::Double(cost))
+        .Add("bound_fraction", Json::Double(bound));
+    overhead.Add("metrics", std::move(gate));
+    overhead_measured = true;
+  }
+
+  if (flags.GetBool("trace-overhead")) {
+    // Same shape as the metrics gate: alternate shipper-on/shipper-off runs
+    // under identical machine conditions and compare the best of each. The
+    // shipper replays the standalone site's whole shipping path at 25x the
+    // production cadence (see RunOnce), so the measured cost upper-bounds
+    // what a real deployment pays for cluster-wide tracing.
+    const int overhead_repeats = std::max(repeats, 3);
+    IngestRun best_shipping;
+    double best_quiet = 0.0;
+    for (int r = 0; r < overhead_repeats; ++r) {
+      for (const bool ship : {true, false}) {
+        StatusOr<IngestRun> run =
+            RunOnce(*net, events, sites, 8, 0, eps,
+                    seed + static_cast<uint64_t>(r), batch, ship);
+        if (!run.ok()) {
+          std::cerr << "trace-overhead run: " << run.status() << "\n";
+          return 1;
+        }
+        if (ship) {
+          if (run->events_per_sec > best_shipping.events_per_sec) {
+            best_shipping = *run;
+          }
+        } else if (run->events_per_sec > best_quiet) {
+          best_quiet = run->events_per_sec;
+        }
+      }
+    }
+    const double cost =
+        best_quiet > 0.0
+            ? std::max(0.0, 1.0 - best_shipping.events_per_sec / best_quiet)
+            : 0.0;
+    const double bound = overhead_bound;
+    std::cout << "trace shipping overhead at 8 producers: shipping "
+              << static_cast<int64_t>(best_shipping.events_per_sec)
+              << " ev/s vs quiet " << static_cast<int64_t>(best_quiet)
+              << " ev/s (" << FormatDouble(cost * 100.0, 2)
+              << "% cost, bound " << static_cast<int64_t>(bound * 100.0 + 0.5) << "%); "
+              << best_shipping.trace_events_shipped << " events in "
+              << best_shipping.trace_chunks_shipped << " chunks\n";
+    if (cost > bound) {
+      std::cerr << "GATE FAILED: trace shipping cost "
+                << FormatDouble(cost * 100.0, 2) << "% > "
+                << static_cast<int64_t>(bound * 100.0 + 0.5) << "% of 8-producer "
+                   "throughput\n";
+      gate_failed = true;
+    }
+    Json gate = Json::Object();
+    gate.Add("shipping_events_per_sec",
+             Json::Double(best_shipping.events_per_sec))
+        .Add("quiet_events_per_sec", Json::Double(best_quiet))
+        .Add("cost_fraction", Json::Double(cost))
+        .Add("bound_fraction", Json::Double(bound))
+        .Add("trace_events_shipped",
+             Json::Int(static_cast<int64_t>(best_shipping.trace_events_shipped)))
+        .Add("trace_chunks_shipped",
+             Json::Int(static_cast<int64_t>(best_shipping.trace_chunks_shipped)));
+    overhead.Add("trace_shipping", std::move(gate));
+    overhead_measured = true;
   }
 
   if (!flags.GetString("json").empty()) {
@@ -354,8 +507,11 @@ int Main(int argc, char** argv) {
         .Add("epsilon", Json::Double(eps))
         .Add("seed", Json::Int(flags.GetInt64("seed")))
         .Add("hardware_threads", Json::Int(static_cast<int64_t>(hw)))
-        .Add("results", std::move(records))
-        .Add("metrics", MetricsSnapshotToJson(final_metrics));
+        .Add("results", std::move(records));
+    if (overhead_measured) {
+      root.Add("overhead", std::move(overhead));
+    }
+    root.Add("metrics", MetricsSnapshotToJson(final_metrics));
     const Status written = WriteJsonReport(flags.GetString("json"), root);
     if (!written.ok()) {
       std::cerr << written << "\n";

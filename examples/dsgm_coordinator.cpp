@@ -51,6 +51,14 @@ int main(int argc, char** argv) {
                     "Render with tools/metrics_text.py");
   flags.DefineString("metrics-dump-file", "",
                      "metrics dump destination (default: stderr)");
+  flags.DefineString("trace-out", "",
+                     "write the merged, skew-corrected cluster timeline "
+                     "(coordinator + every site process) as Chrome-trace JSON "
+                     "here at the end of the run; empty disables");
+  flags.DefineString("postmortem-dir", "",
+                     "directory for the flight recorder: a failed run dumps "
+                     "<dir>/dsgm_postmortem.json (failure reason, metrics + "
+                     "health table, last trace events); empty disables");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     if (parsed.code() == StatusCode::kNotFound) return 0;  // --help
@@ -104,6 +112,8 @@ int main(int argc, char** argv) {
           .WithHeartbeatInterval(static_cast<int>(flags.GetInt64("heartbeat-ms")))
           .WithMetricsDump(static_cast<int>(flags.GetInt64("metrics-dump-ms")),
                            dump_file ? dump_file.get() : nullptr)
+          .WithTraceExport(flags.GetString("trace-out"))
+          .WithPostmortemDir(flags.GetString("postmortem-dir"))
           .Build();
   if (!session.ok()) {
     std::cerr << "coordinator failed: " << session.status() << "\n";
@@ -112,12 +122,21 @@ int main(int argc, char** argv) {
   const Status streamed = (*session)->StreamGroundTruth(flags.GetInt64("events"));
   if (!streamed.ok()) {
     std::cerr << "coordinator failed: " << streamed << "\n";
+    // Finish still runs the teardown AND the flight recorder: with
+    // --postmortem-dir its error message names the post-mortem bundle.
+    const StatusOr<RunReport> aborted = (*session)->Finish();
+    if (!aborted.ok()) {
+      std::cerr << "coordinator failed: " << aborted.status() << "\n";
+    }
     return 1;
   }
   const StatusOr<RunReport> report = (*session)->Finish();
   if (!report.ok()) {
     std::cerr << "coordinator failed: " << report.status() << "\n";
     return 1;
+  }
+  if (!report->trace_path.empty()) {
+    std::cout << "trace timeline written to " << report->trace_path << "\n";
   }
 
   TablePrinter table("Multi-process cluster run (" + std::string(ToString(*strategy)) + ")");

@@ -7,13 +7,17 @@
 //   1. dumps periodic one-line JSON snapshots to a file
 //      (WithMetricsDump — the programmatic twin of --metrics-dump-ms),
 //   2. queries Session::Metrics() mid-run and prints the health table,
-//   3. prints the tail of the merged protocol trace timeline after Finish.
+//   3. prints the tail of the merged protocol trace timeline after Finish,
+//   4. exports the merged, skew-corrected cluster timeline as Chrome-trace
+//      JSON (WithTraceExport — the programmatic twin of --trace-out); open
+//      it in chrome://tracing or ui.perfetto.dev.
 //
-//   $ ./build/examples/observability_demo [dump-file]
+//   $ ./build/examples/observability_demo [dump-file] [trace-file]
 //   $ python3 tools/metrics_text.py observability.metrics
 //
 // The ctest gate obs.metrics_smoke runs this binary and validates the dump
-// with tools/metrics_text.py --check-cluster.
+// with tools/metrics_text.py --check-cluster and the trace JSON with
+// --timeline-summary.
 
 #include <fstream>
 #include <iostream>
@@ -27,6 +31,7 @@
 int main(int argc, char** argv) {
   using namespace dsgm;
   const std::string dump_path = argc > 1 ? argv[1] : "observability.metrics";
+  const std::string trace_path = argc > 2 ? argv[2] : "observability_trace.json";
   const BayesianNetwork net = Alarm();
   constexpr int kSites = 4;
   constexpr int64_t kEvents = 100000;
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
                      .WithSeed(7)
                      .WithHeartbeatInterval(20)   // stats ride the heartbeats
                      .WithMetricsDump(50, &dump)  // one JSON line per 50 ms
+                     .WithTraceExport(trace_path)
                      .Build();
   if (!session.ok()) {
     std::cerr << session.status() << "\n";
@@ -100,5 +106,11 @@ int main(int argc, char** argv) {
 
   std::cout << "\nwrote " << dump_path << " — render it with:\n"
             << "  python3 tools/metrics_text.py " << dump_path << "\n";
+  if (!report->trace_path.empty()) {
+    std::cout << "wrote " << report->trace_path
+              << " — open it in chrome://tracing or ui.perfetto.dev, or:\n"
+              << "  python3 tools/metrics_text.py --timeline-summary "
+              << report->trace_path << "\n";
+  }
   return 0;
 }

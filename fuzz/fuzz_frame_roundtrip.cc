@@ -1,10 +1,11 @@
 // Structure-aware round-trip harness: the input is a decision stream that
-// builds a structurally VALID frame of any of the seven wire types, which
+// builds a structurally VALID frame of any of the eight wire types, which
 // is then encoded and decoded back. Unlike fuzz_codec_decode (which mostly
 // explores the decoder's reject paths), every iteration here exercises the
 // encoder and the decoder's accept path with hostile field values —
-// INT32_MIN sites, NaN probabilities, maximal counter deltas — so the
-// round-trip oracle bites on every single run.
+// INT32_MIN sites, NaN probabilities, maximal counter deltas, trace-event
+// timestamp deltas that wrap int64 — so the round-trip oracle bites on
+// every single run.
 
 #include <cstddef>
 #include <cstdint>
@@ -24,9 +25,10 @@ using fuzz::ByteStream;
 // CHECK cannot trip on a legitimately built frame.
 constexpr size_t kMaxReports = 4096;
 constexpr size_t kMaxValues = 8192;
+constexpr size_t kMaxTraceEvents = 4096;
 
 Frame BuildArbitraryValidFrame(ByteStream* stream) {
-  switch (stream->NextByte() % 7) {
+  switch (stream->NextByte() % 8) {
     case 0: {
       UpdateBundle bundle;
       bundle.kind = static_cast<UpdateBundle::Kind>(stream->NextByte() % 4);
@@ -66,9 +68,16 @@ Frame BuildArbitraryValidFrame(ByteStream* stream) {
       hello.protocol_version = stream->NextByte();  // Codec carries any rev.
       return hello;
     }
-    case 5:
-      return MakeHeartbeat(stream->NextI32());
-    default: {
+    case 5: {
+      // v4 heartbeats carry three clock samples; arbitrary int64 values
+      // (including the zeros of the "no echo yet" state) must round-trip.
+      HeartbeatTimestamps hb;
+      hb.send_nanos = stream->NextI64();
+      hb.echo_nanos = stream->NextI64();
+      hb.echo_recv_nanos = stream->NextI64();
+      return MakeHeartbeat(stream->NextI32(), hb);
+    }
+    case 6: {
       SiteStatsReport stats;
       stats.site = stream->NextI32();
       stats.events_processed = stream->NextI64() & INT64_MAX;  // Contract: >= 0.
@@ -77,6 +86,26 @@ Frame BuildArbitraryValidFrame(ByteStream* stream) {
       stats.rounds_seen = stream->NextU64();
       stats.heartbeats_sent = stream->NextU64();
       return MakeStatsReport(stats);
+    }
+    default: {
+      TraceChunk trace;
+      trace.site = stream->NextI32();
+      trace.first_seq = stream->NextU64();
+      const size_t events = stream->NextU32() % (kMaxTraceEvents + 1);
+      trace.events.reserve(events);
+      for (size_t i = 0; i < events; ++i) {
+        TraceEvent event;
+        event.t_nanos = stream->NextI64();  // Deltas wrap unsigned: any pair legal.
+        // Only valid type tags (0..kAlert) round-trip; the decoder rejects
+        // the rest by design (fuzz_codec_decode owns that reject path).
+        event.type = static_cast<TraceEventType>(
+            stream->NextByte() %
+            (static_cast<uint8_t>(TraceEventType::kAlert) + 1));
+        event.site = stream->NextI32();
+        event.arg = stream->NextI64();
+        trace.events.push_back(event);
+      }
+      return MakeTraceChunk(std::move(trace));
     }
   }
 }

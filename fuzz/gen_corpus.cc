@@ -65,13 +65,24 @@ std::vector<Frame> RepresentativeFrames() {
   stats.syncs_sent = 17;
   stats.rounds_seen = 17;
   stats.heartbeats_sent = 250;
+  HeartbeatTimestamps hb;
+  hb.send_nanos = 1'000'000'000;
+  hb.echo_nanos = 999'000'000;
+  hb.echo_recv_nanos = 999'500'000;
+  TraceChunk trace;
+  trace.site = 1;
+  trace.first_seq = 4096;
+  trace.events.push_back(TraceEvent{1'000'000, TraceEventType::kHeartbeat, 1, 7});
+  trace.events.push_back(TraceEvent{900'000, TraceEventType::kSyncMessage, -1, -3});
+  trace.events.push_back(TraceEvent{1'100'000, TraceEventType::kAlert, 0, 2});
   return {MakeFrame(std::move(bundle)),
           MakeFrame(advance),
           MakeFrame(std::move(batch)),
           MakeChannelClose(FrameType::kUpdateBundle),
           MakeHello(3),
-          MakeHeartbeat(3),
-          MakeStatsReport(stats)};
+          MakeHeartbeat(3, hb),
+          MakeStatsReport(stats),
+          MakeTraceChunk(std::move(trace))};
 }
 
 void GenCodecDecode(const fs::path& dir) {
@@ -127,7 +138,7 @@ void GenCodecDecode(const fs::path& dir) {
 void GenFrameRoundtrip(const fs::path& dir) {
   // The round-trip harness reads its input as a decision stream (first byte
   // selects the frame type). One directed seed per type...
-  for (uint8_t type = 0; type < 7; ++type) {
+  for (uint8_t type = 0; type < 8; ++type) {
     std::vector<uint8_t> seed = {type};
     for (int i = 0; i < 48; ++i) {
       seed.push_back(static_cast<uint8_t>((i * 37 + type) & 0xff));
@@ -163,10 +174,18 @@ void GenProtocolStream(const fs::path& dir) {
   batch.values = {0, 1};
   RoundAdvance advance;
 
-  // Legal site->coordinator life cycle.
+  // Legal site->coordinator life cycle. Payload site ids must match the
+  // hello's: since v4 the conformance machine binds the connection to its
+  // hello id and rejects forged kStatsReport/kTraceChunk claims.
+  SiteStatsReport stats;
+  stats.site = 0;
+  TraceChunk trace;
+  trace.site = 0;
+  trace.events.push_back(TraceEvent{500, TraceEventType::kHeartbeat, 0, 1});
   WriteSeed(dir, "legal-s2c.bin",
             stream(0, {MakeHello(0), MakeFrame(bundle), MakeHeartbeat(0),
-                       MakeStatsReport(SiteStatsReport{}), MakeFrame(bundle),
+                       MakeStatsReport(stats), MakeTraceChunk(trace),
+                       MakeFrame(bundle),
                        MakeChannelClose(FrameType::kUpdateBundle),
                        MakeHeartbeat(0)}));
   // Legal coordinator->site life cycle (straggler events while draining).
@@ -185,6 +204,18 @@ void GenProtocolStream(const fs::path& dir) {
                        MakeStatsReport(SiteStatsReport{})}));
   WriteSeed(dir, "viol-wrong-direction.bin",
             stream(0, {MakeHello(0), MakeFrame(advance)}));
+  // Forged observability payloads: site id claims that contradict the
+  // connection's bound hello id.
+  {
+    SiteStatsReport forged_stats;
+    forged_stats.site = 5;
+    WriteSeed(dir, "viol-forged-stats.bin",
+              stream(0, {MakeHello(0), MakeStatsReport(forged_stats)}));
+    TraceChunk forged_trace;
+    forged_trace.site = 5;
+    WriteSeed(dir, "viol-forged-trace.bin",
+              stream(0, {MakeHello(0), MakeTraceChunk(forged_trace)}));
+  }
   // Version-mismatched hello.
   {
     Frame old_hello = MakeHello(0);

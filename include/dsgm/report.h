@@ -69,6 +69,16 @@ struct RunReport {
   /// health table on the cluster backends. Captured after the protocol
   /// joined, so the numbers are final.
   MetricsSnapshot metrics;
+
+  /// Where SessionOptions::trace_out wrote the merged Chrome-trace JSON
+  /// timeline; empty when export is off (or the write failed — the run
+  /// itself never fails over observability output).
+  std::string trace_path;
+  /// Where the flight recorder wrote a post-mortem bundle during this
+  /// session, if it did (SessionOptions::postmortem_dir). Usually empty on
+  /// a successful run; a failed run surfaces the path in its error message
+  /// since Finish() then returns no report.
+  std::string postmortem_path;
 };
 
 }  // namespace dsgm

@@ -299,6 +299,20 @@ struct SessionOptions {
   int metrics_dump_ms = 0;
   /// Where the dump lines go; nullptr means std::cerr.
   std::ostream* metrics_dump_stream = nullptr;
+  /// kLocalTcp only: empty disables (the default). A path: Finish() writes
+  /// the merged, skew-corrected cluster timeline there as Chrome/Perfetto
+  /// trace-event JSON (chrome://tracing, ui.perfetto.dev). Covers the
+  /// coordinator process AND every site — external dsgm_site processes ship
+  /// their trace rings over kTraceChunk frames; in-process site threads
+  /// share the coordinator's rings. RunReport::trace_path records where it
+  /// landed.
+  std::string trace_out;
+  /// kLocalTcp only: empty disables (the default). A directory: when the
+  /// run fails (a site dies, a protocol violation, a liveness timeout), the
+  /// coordinator dumps a post-mortem bundle — failure reason, final metrics
+  /// + health table, the last merged trace events — to
+  /// <dir>/dsgm_postmortem.json (the "flight recorder").
+  std::string postmortem_dir;
 };
 
 class SessionBuilder {
@@ -332,6 +346,12 @@ class SessionBuilder {
   /// Periodic one-line JSON metrics dump every `period_ms` (0 disables);
   /// `out` nullptr means std::cerr. See SessionOptions::metrics_dump_ms.
   SessionBuilder& WithMetricsDump(int period_ms, std::ostream* out = nullptr);
+  /// Chrome-trace JSON of the merged cluster timeline, written by Finish().
+  /// See SessionOptions::trace_out.
+  SessionBuilder& WithTraceExport(std::string path);
+  /// Directory for the failed-run post-mortem bundle. See
+  /// SessionOptions::postmortem_dir.
+  SessionBuilder& WithPostmortemDir(std::string dir);
 
   const SessionOptions& options() const { return options_; }
 

@@ -571,6 +571,14 @@ SessionBuilder& SessionBuilder::WithMetricsDump(int period_ms,
   options_.metrics_dump_stream = out;
   return *this;
 }
+SessionBuilder& SessionBuilder::WithTraceExport(std::string path) {
+  options_.trace_out = std::move(path);
+  return *this;
+}
+SessionBuilder& SessionBuilder::WithPostmortemDir(std::string dir) {
+  options_.postmortem_dir = std::move(dir);
+  return *this;
+}
 
 StatusOr<std::unique_ptr<Session>> SessionBuilder::Build() const {
   DSGM_RETURN_IF_ERROR(options_.tracker.Validate());

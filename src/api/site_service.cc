@@ -13,6 +13,9 @@ StatusOr<SiteServiceResult> ServeSite(const BayesianNetwork& network,
   remote.seed = config.seed;
   remote.connect_timeout_ms = config.connect_timeout_ms;
   remote.heartbeat_interval_ms = config.heartbeat_interval_ms;
+  // A served site is its own process with its own trace rings; ship them so
+  // the coordinator's merged timeline covers every process in the cluster.
+  remote.ship_traces = true;
   StatusOr<RemoteSiteResult> result = RunRemoteSite(network, remote);
   if (!result.ok()) return result.status();
   SiteServiceResult out;

@@ -26,6 +26,7 @@
 #include "api/backends.h"
 #include "cluster/remote_runner.h"
 #include "common/check.h"
+#include "common/tracing.h"
 #include "net/reactor_transport.h"
 #include "net/tcp_socket.h"
 
@@ -43,6 +44,15 @@ Status WritePortFile(const std::string& path, int port) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return InternalError("cannot rename port file into place: " + path);
   }
+  return Status::Ok();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("cannot write " + path);
+  out << contents;
+  out.flush();
+  if (!out) return InternalError("short write to " + path);
   return Status::Ok();
 }
 
@@ -67,9 +77,20 @@ class LocalTcpSession final : public ClusterSessionBase {
       DSGM_RETURN_IF_ERROR(WritePortFile(options_.port_file, listener->port()));
     }
 
+    trace_board_ = std::make_unique<ClusterTraceBoard>(k);
+    {
+      AlertConfig alert_config;
+      if (options_.heartbeat_interval_ms > 0) {
+        alert_config.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+      }
+      MutexLock lock(&alert_mu_);
+      alert_engine_ = std::make_unique<AlertEngine>(alert_config);
+    }
+
     ReactorCoordinator::Options io_options;
     io_options.liveness_timeout_ms = options_.liveness_timeout_ms;
     io_options.health = &health_board_;
+    io_options.trace_board = trace_board_.get();
     io_options.on_site_failure = [this](int site, const Status& status) {
       OnSiteFailure(site, status);
     };
@@ -133,7 +154,7 @@ class LocalTcpSession final : public ClusterSessionBase {
       // A site vanished mid-run: tear everything down before reporting,
       // so the error return does not leak live threads and sockets.
       Abort();
-      return flushed;
+      return WithPostmortem(flushed);
     }
     CloseEventChannels();
     JoinCoordinator();
@@ -145,7 +166,7 @@ class LocalTcpSession final : public ClusterSessionBase {
     const Status collected = CollectFinalCounts(&exact_totals);
     if (!collected.ok()) {
       Abort();
-      return RunFailureOr(collected);
+      return WithPostmortem(RunFailureOr(collected));
     }
 
     ClusterResult result;
@@ -167,8 +188,10 @@ class LocalTcpSession final : public ClusterSessionBase {
     // validated against incomplete sites. A liveness failure recorded
     // during the final-counts window (rare, but a site can die between its
     // last sync and its final report) is surfaced the same way.
-    DSGM_RETURN_IF_ERROR(FirstSiteError());
-    DSGM_RETURN_IF_ERROR(run_failure());
+    const Status site_error = FirstSiteError();
+    if (!site_error.ok()) return WithPostmortem(site_error);
+    const Status failure = run_failure();
+    if (!failure.ok()) return WithPostmortem(failure);
 
     // Capture metrics while the board still reflects the run, then stop
     // the dumper (its final line is this same end-of-run snapshot).
@@ -178,10 +201,57 @@ class LocalTcpSession final : public ClusterSessionBase {
     report.model.AttachMetrics(report.metrics);
     StopMetricsDump();
     SetFinalView(report.model);
+    if (!options_.trace_out.empty()) {
+      // Observability output must never fail an otherwise-healthy run: a
+      // write error leaves trace_path empty instead of erroring Finish.
+      const Status written = WriteTextFile(
+          options_.trace_out,
+          TimelineToChromeJson(trace_board_->MergedClusterTimeline(),
+                               trace_board_->OffsetsNanos()));
+      if (written.ok()) report.trace_path = options_.trace_out;
+    }
+    report.postmortem_path = postmortem_path_;
     return report;
   }
 
  private:
+  /// Alert rules ride the health cadence: every Metrics() poll — the dump
+  /// thread's tick, or an explicit Metrics() call — scores the live board
+  /// before it is spliced into the snapshot. The engine itself is
+  /// single-threaded by contract, so concurrent pollers serialize here.
+  void RefreshSiteHealth() const override {
+    MutexLock lock(&alert_mu_);
+    if (alert_engine_ == nullptr) return;
+    const int64_t now = NowNanos();
+    alert_engine_->Evaluate(health_board_.Snapshot(now), now);
+  }
+
+  /// The flight recorder: dumps the post-mortem bundle (once per session)
+  /// and returns `reason` annotated with the bundle's path — Finish()
+  /// returns no report on failure, so the path must travel in the status.
+  /// A bundle write error changes nothing: observability output explains
+  /// failures, it never replaces or causes them.
+  Status WithPostmortem(Status reason) {
+    if (options_.postmortem_dir.empty() || postmortem_written_) return reason;
+    postmortem_written_ = true;
+    FlightRecord record;
+    record.failure_reason = reason.message();
+    record.metrics = Metrics();
+    record.timeline = trace_board_->MergedClusterTimeline();
+    record.offsets_nanos = trace_board_->OffsetsNanos();
+    for (int s = 0; s < num_sites_; ++s) {
+      record.trace_events_lost += trace_board_->EventsLost(s);
+    }
+    const std::string path =
+        options_.postmortem_dir + "/dsgm_postmortem.json";
+    if (WriteTextFile(path, FlightRecordToJson(record)).ok()) {
+      postmortem_path_ = path;
+      return Status(reason.code(),
+                    reason.message() + " (post-mortem: " + path + ")");
+    }
+    return reason;
+  }
+
   /// Reactor-thread handler for a site declared dead (liveness timeout or
   /// mid-run disconnect) — the FailRun policy. Must not call
   /// ReactorCoordinator::Shutdown (it would join the thread running this).
@@ -260,6 +330,16 @@ class LocalTcpSession final : public ClusterSessionBase {
   }
 
   const SeedSchedule seeds_;
+  /// Fed by the reactor I/O thread (trace chunks, skew samples); read by
+  /// Finish's export and the flight recorder. Outlives the reactor.
+  std::unique_ptr<ClusterTraceBoard> trace_board_;
+  /// AlertEngine is single-threaded by contract; Metrics() is not.
+  mutable Mutex alert_mu_;
+  mutable std::unique_ptr<AlertEngine> alert_engine_
+      DSGM_GUARDED_BY(alert_mu_);
+  /// Where the flight recorder dumped, if it did. Finish-thread only.
+  std::string postmortem_path_;
+  bool postmortem_written_ = false;
   std::unique_ptr<ReactorCoordinator> coordinator_io_;
   /// OnSiteFailure can fire while Init is still accepting sites, before
   /// coordinator_ exists; it must not touch a null CoordinatorNode.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
@@ -17,23 +18,40 @@
 namespace dsgm {
 namespace {
 
+/// Latest coordinator heartbeat echo: written by the connection's reader
+/// thread (TcpConnection::Options::on_heartbeat), read by the heartbeat
+/// sender when it builds the next beat. Closing the NTP timestamp loop is
+/// the only coupling between the two threads, hence the dedicated mutex.
+struct EchoBox {
+  Mutex mu;
+  /// The echo's send_nanos (coordinator clock); 0 until the first echo.
+  int64_t echo_nanos DSGM_GUARDED_BY(mu) = 0;
+  /// Local clock when that echo arrived.
+  int64_t echo_recv_nanos DSGM_GUARDED_BY(mu) = 0;
+};
+
 /// Sends kHeartbeat frames on a fixed cadence until stopped (or until the
 /// connection breaks). Runs beside the SiteNode thread so liveness evidence
 /// flows even while the site is parked in a blocking push or pop.
 ///
 /// Each heartbeat piggybacks a kStatsReport frame sampled from `stats` (when
 /// provided) — the coordinator's health table rides the liveness cadence for
-/// free, no extra timer and no extra wakeups on either end.
+/// free, no extra timer and no extra wakeups on either end. With
+/// `ship_traces`, an incremental kTraceChunk drain of this process's trace
+/// rings rides the same cadence (loss-tolerant: the drain cursor accounts
+/// for ring overwrite, and the coordinator reads gaps from the sequence
+/// numbers).
 class HeartbeatSender {
  public:
   using StatsFn = std::function<SiteStatsReport()>;
 
   HeartbeatSender(TcpConnection* connection, int site_id, int interval_ms,
-                  StatsFn stats) {
+                  StatsFn stats, EchoBox* echo, bool ship_traces) {
     if (interval_ms <= 0) return;
     thread_ = std::thread([this, connection, site_id, interval_ms,
-                           stats = std::move(stats)] {
+                           stats = std::move(stats), echo, ship_traces] {
       uint64_t heartbeats_sent = 0;
+      TraceDrainCursor cursor;
       MutexLock lock(&mu_);
       while (!stop_) {
         // A spurious or racing wakeup before the interval elapses just
@@ -42,7 +60,19 @@ class HeartbeatSender {
         cv_.WaitFor(&lock, std::chrono::milliseconds(interval_ms));
         if (stop_) break;
         lock.Unlock();
-        bool sent = connection->SendFrame(MakeHeartbeat(site_id));
+        HeartbeatTimestamps hb;
+        if (echo != nullptr) {
+          MutexLock echo_lock(&echo->mu);
+          hb.echo_nanos = echo->echo_nanos;
+          hb.echo_recv_nanos = echo->echo_recv_nanos;
+        }
+        hb.send_nanos = NowNanos();
+        // Recorded before the drain below, so the beat's own trace event
+        // ships in the chunk that rides it — the coordinator's post-mortem
+        // of a dead site ends with that site's final heartbeat.
+        Trace(TraceEventType::kHeartbeat, site_id,
+              static_cast<int64_t>(heartbeats_sent + 1));
+        bool sent = connection->SendFrame(MakeHeartbeat(site_id, hb));
         if (sent) {
           ++heartbeats_sent;
           if (stats) {
@@ -50,6 +80,13 @@ class HeartbeatSender {
             report.site = site_id;
             report.heartbeats_sent = heartbeats_sent;
             sent = connection->SendFrame(MakeStatsReport(report));
+          }
+        }
+        if (sent && ship_traces) {
+          TraceChunk chunk;
+          chunk.site = site_id;
+          if (DrainTraceEvents(&cursor, &chunk.events, &chunk.first_seq) > 0) {
+            sent = connection->SendFrame(MakeTraceChunk(std::move(chunk)));
           }
         }
         lock.Lock();
@@ -93,17 +130,28 @@ StatusOr<RemoteSiteResult> RunRemoteSite(const BayesianNetwork& network,
   }
   if (!socket.ok()) return socket.status();
 
-  TcpConnection connection(std::move(socket).value());
+  EchoBox echo;
+  TcpConnection::Options options;
+  options.on_heartbeat = [&echo](const HeartbeatTimestamps& frame_hb,
+                                 int64_t recv_nanos) {
+    MutexLock lock(&echo.mu);
+    echo.echo_nanos = frame_hb.send_nanos;
+    echo.echo_recv_nanos = recv_nanos;
+  };
+  TcpConnection connection(std::move(socket).value(), options);
   DSGM_RETURN_IF_ERROR(connection.SendHello(config.site_id));
   connection.Start();
 
   SiteNode site(config.site_id, network, config.seed, connection.events(),
                 connection.commands(), connection.updates());
   // The sender samples the node's relaxed stats atomics; safe while Run()
-  // is live, and the sender is stopped before `site` leaves scope.
+  // is live, and the sender is stopped before `site` leaves scope. The
+  // echo box is written by the connection's reader thread, which Shutdown()
+  // joins before either outlives this frame.
   HeartbeatSender heartbeats(&connection, config.site_id,
                              config.heartbeat_interval_ms,
-                             [&site] { return site.StatsReport(); });
+                             [&site] { return site.StatsReport(); }, &echo,
+                             config.ship_traces);
   site.Run();
 
   // Protocol finished; report exact totals so the coordinator can validate

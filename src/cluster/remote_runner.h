@@ -42,6 +42,12 @@ struct RemoteSiteConfig {
   /// immediately) is what lets the coordinator treat ANY mid-run EOF as a
   /// site failure.
   int shutdown_linger_ms = 30000;
+  /// Ship this process's trace rings to the coordinator in kTraceChunk
+  /// frames on the heartbeat cadence. True only for standalone site
+  /// processes (ServeSite): a kLocalTcp in-process site shares the
+  /// coordinator's trace log already, and shipping would duplicate every
+  /// event on the merged timeline.
+  bool ship_traces = false;
 };
 
 struct RemoteSiteResult {

@@ -307,6 +307,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "snapshot_defer";
     case TraceEventType::kProtocolViolation:
       return "protocol_violation";
+    case TraceEventType::kAlert:
+      return "alert";
   }
   return "unknown";
 }
@@ -328,6 +330,21 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     events.push_back(event);
   }
   return events;
+}
+
+void TraceRing::CopyRange(uint64_t begin, uint64_t end,
+                          std::vector<TraceEvent>* out) const {
+  for (uint64_t i = begin; i < end; ++i) {
+    const Slot& slot = slots_[i % kCapacity];
+    TraceEvent event;
+    event.type =
+        static_cast<TraceEventType>(slot.type.load(std::memory_order_relaxed));
+    if (event.type == TraceEventType::kNone) continue;
+    event.t_nanos = slot.t_nanos.load(std::memory_order_relaxed);
+    event.site = slot.site.load(std::memory_order_relaxed);
+    event.arg = slot.arg.load(std::memory_order_relaxed);
+    out->push_back(event);
+  }
 }
 
 namespace {
@@ -365,6 +382,43 @@ class TraceLog {
     return merged;
   }
 
+  size_t DrainInto(TraceDrainCursor* cursor, std::vector<TraceEvent>* out,
+                   uint64_t* first_seq) const DSGM_EXCLUDES(mu_) {
+    const size_t before = out->size();
+    uint64_t consumed = 0;
+    {
+      MutexLock lock(&mu_);
+      if (cursor->positions.size() < rings_.size()) {
+        cursor->positions.resize(rings_.size(), 0);
+      }
+      for (size_t r = 0; r < rings_.size(); ++r) {
+        const TraceRing& ring = *rings_[r];
+        uint64_t pos = cursor->positions[r];
+        const uint64_t head = ring.head();
+        consumed += head - pos;
+        // Positions the writer lapped are gone; start at the oldest
+        // resident slot. The skipped span shows up as a sequence gap.
+        if (head > pos + TraceRing::kCapacity) pos = head - TraceRing::kCapacity;
+        ring.CopyRange(pos, head, out);
+        cursor->positions[r] = head;
+      }
+    }
+    std::stable_sort(out->begin() + static_cast<std::ptrdiff_t>(before),
+                     out->end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.t_nanos < b.t_nanos;
+                     });
+    const size_t appended = out->size() - before;
+    // Every consumed ring position gets exactly one global sequence number;
+    // positions that yielded no event (overwritten before the drain, or the
+    // rare torn slot) read as a gap ahead of this chunk downstream.
+    const uint64_t lost = consumed - static_cast<uint64_t>(appended);
+    *first_seq = cursor->next_seq + lost;
+    cursor->next_seq += consumed;
+    cursor->dropped += lost;
+    return appended;
+  }
+
  private:
   mutable Mutex mu_;
   std::vector<std::unique_ptr<TraceRing>> rings_ DSGM_GUARDED_BY(mu_);
@@ -379,6 +433,11 @@ TraceRing* ThreadTraceRing() {
 
 std::vector<TraceEvent> MergedTraceTimeline() {
   return TraceLog::Global().Merged();
+}
+
+size_t DrainTraceEvents(TraceDrainCursor* cursor, std::vector<TraceEvent>* out,
+                        uint64_t* first_seq) {
+  return TraceLog::Global().DrainInto(cursor, out, first_seq);
 }
 
 std::string FormatTraceTimeline(const std::vector<TraceEvent>& timeline) {

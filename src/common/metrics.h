@@ -292,6 +292,7 @@ enum class TraceEventType : uint8_t {
   kSnapshotPublish = 7,
   kSnapshotDefer = 8,
   kProtocolViolation = 9,
+  kAlert = 10,  // a health alert rule fired (arg = rule id)
 };
 
 const char* TraceEventTypeName(TraceEventType type);
@@ -305,6 +306,11 @@ struct TraceEvent {
   /// publish latency in nanos for kSnapshotPublish, 0 otherwise.
   int64_t arg = 0;
 };
+
+inline bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.t_nanos == b.t_nanos && a.type == b.type && a.site == b.site &&
+         a.arg == b.arg;
+}
 
 /// Fixed-capacity single-writer event ring. The owning thread Record()s;
 /// overflow overwrites the oldest slot, so the ring always holds the newest
@@ -329,6 +335,17 @@ class TraceRing {
   }
 
   std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever recorded (monotone). The natural shipping cursor:
+  /// events [head - kCapacity, head) are the ones still resident.
+  uint64_t head() const { return head_.load(std::memory_order_acquire); }
+
+  /// Copies events at absolute positions [begin, end) oldest-first,
+  /// skipping unwritten slots. The caller must clamp `begin` to at least
+  /// head() - kCapacity; slots racing a live writer follow the same
+  /// benign-tear contract as Snapshot().
+  void CopyRange(uint64_t begin, uint64_t end,
+                 std::vector<TraceEvent>* out) const;
 
  private:
   struct Slot {
@@ -356,6 +373,26 @@ inline void Trace(TraceEventType type, int32_t site, int64_t arg) {
 
 /// Every thread's ring spliced into one timeline, sorted by timestamp.
 std::vector<TraceEvent> MergedTraceTimeline();
+
+/// Incremental-drain position over the global trace log (all threads'
+/// rings), for shipping trace events off the process in loss-tolerant
+/// chunks. `next_seq` is a process-global monotone sequence number that
+/// advances once per drained AND per overwritten-before-drained event, so
+/// a receiver detects loss as a gap between chunks without any
+/// retransmission machinery. Single-owner: one cursor belongs to one
+/// draining thread.
+struct TraceDrainCursor {
+  std::vector<uint64_t> positions;  // per-ring drained-up-to heads
+  uint64_t next_seq = 0;
+  uint64_t dropped = 0;  // cumulative events lost to ring overwrite
+};
+
+/// Appends every event recorded since `cursor` (across all threads' rings,
+/// time-sorted) to `out` and advances the cursor. Returns the number of
+/// events appended; `*first_seq` receives the global sequence number of
+/// the first appended event (meaningful only when the return is > 0).
+size_t DrainTraceEvents(TraceDrainCursor* cursor, std::vector<TraceEvent>* out,
+                        uint64_t* first_seq);
 
 /// Human-readable one-event-per-line rendering of a timeline.
 std::string FormatTraceTimeline(const std::vector<TraceEvent>& timeline);

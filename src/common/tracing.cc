@@ -1,0 +1,385 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dsgm {
+namespace {
+
+// Same defensive escaping as the metrics dump (common/metrics.cc); the
+// strings here are enum names and failure reasons, but a Status message can
+// carry arbitrary bytes.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+// EWMA weight of one new skew sample. 1/8 matches the classic NTP loop
+// filter: heavy enough to track drift at the heartbeat cadence, light
+// enough that one queueing-delayed sample cannot yank the offset.
+constexpr double kSkewAlpha = 0.125;
+
+}  // namespace
+
+void ClockSkewEstimator::AddSample(int64_t t1, int64_t t2, int64_t t3,
+                                   int64_t t4) {
+  // Differences of nearby clock readings are small; keep the subtraction in
+  // integers so 1e14-scale absolute timestamps never meet a double mantissa.
+  double offset;
+  const bool two_way = t1 != 0 && t2 != 0;
+  if (two_way) {
+    const int64_t forward = t2 - t1;   // echo leg, includes +offset
+    const int64_t backward = t3 - t4;  // heartbeat leg, includes +offset
+    offset = (static_cast<double>(forward) + static_cast<double>(backward)) / 2;
+    const int64_t rtt = (t4 - t1) - (t3 - t2);
+    if (rtt >= 0) {
+      rtt_nanos_ = two_way_samples_ == 0
+                       ? static_cast<double>(rtt)
+                       : rtt_nanos_ + kSkewAlpha * (rtt - rtt_nanos_);
+    }
+    ++two_way_samples_;
+  } else {
+    // No echo reflected yet: the one-way estimate is offset + delay, an
+    // upper bound. Good enough to seed the filter.
+    offset = static_cast<double>(t3 - t4);
+  }
+  offset_nanos_ = samples_ == 0 ? offset
+                                : offset_nanos_ + kSkewAlpha * (offset - offset_nanos_);
+  ++samples_;
+}
+
+ClusterTraceBoard::ClusterTraceBoard(int num_sites)
+    : num_sites_(num_sites < 0 ? 0 : num_sites),
+      sites_(new SiteLog[static_cast<size_t>(num_sites_)]) {}
+
+bool ClusterTraceBoard::Ingest(int site, uint64_t first_seq,
+                               const std::vector<TraceEvent>& events) {
+  if (!InRange(site)) return false;
+  MutexLock lock(&mu_);
+  SiteLog& log = sites_[site];
+  ++log.chunks;
+  size_t skip = 0;
+  if (first_seq > log.next_seq) {
+    log.lost += first_seq - log.next_seq;
+  } else if (first_seq < log.next_seq) {
+    // Reconnect replay: positions below next_seq were already folded in.
+    skip = static_cast<size_t>(
+        std::min<uint64_t>(log.next_seq - first_seq, events.size()));
+  }
+  log.ingested += events.size() - skip;
+  log.events.insert(log.events.end(), events.begin() + static_cast<std::ptrdiff_t>(skip),
+                    events.end());
+  const uint64_t end_seq = first_seq + events.size();
+  if (end_seq > log.next_seq) log.next_seq = end_seq;
+  if (log.events.size() > kMaxEventsPerSite) {
+    log.events.erase(log.events.begin(),
+                     log.events.begin() + static_cast<std::ptrdiff_t>(
+                                              log.events.size() - kMaxEventsPerSite));
+  }
+  return true;
+}
+
+void ClusterTraceBoard::AddSkewSample(int site, int64_t t1, int64_t t2,
+                                      int64_t t3, int64_t t4) {
+  if (!InRange(site)) return;
+  MutexLock lock(&mu_);
+  sites_[site].skew.AddSample(t1, t2, t3, t4);
+}
+
+std::vector<int64_t> ClusterTraceBoard::OffsetsNanos() const {
+  std::vector<int64_t> offsets(static_cast<size_t>(num_sites_), 0);
+  MutexLock lock(&mu_);
+  for (int s = 0; s < num_sites_; ++s) {
+    offsets[static_cast<size_t>(s)] = sites_[s].skew.offset_nanos();
+  }
+  return offsets;
+}
+
+uint64_t ClusterTraceBoard::EventsIngested(int site) const {
+  if (!InRange(site)) return 0;
+  MutexLock lock(&mu_);
+  return sites_[site].ingested;
+}
+
+uint64_t ClusterTraceBoard::EventsLost(int site) const {
+  if (!InRange(site)) return 0;
+  MutexLock lock(&mu_);
+  return sites_[site].lost;
+}
+
+uint64_t ClusterTraceBoard::ChunksIngested(int site) const {
+  if (!InRange(site)) return 0;
+  MutexLock lock(&mu_);
+  return sites_[site].chunks;
+}
+
+std::vector<ClusterTraceEvent> ClusterTraceBoard::MergedClusterTimeline()
+    const {
+  std::vector<ClusterTraceEvent> timeline;
+  for (const TraceEvent& event : MergedTraceTimeline()) {
+    timeline.push_back(ClusterTraceEvent{event, -1});
+  }
+  {
+    MutexLock lock(&mu_);
+    for (int s = 0; s < num_sites_; ++s) {
+      const SiteLog& log = sites_[s];
+      const int64_t offset = log.skew.offset_nanos();
+      for (TraceEvent event : log.events) {
+        event.t_nanos -= offset;  // site clock -> coordinator clock
+        timeline.push_back(ClusterTraceEvent{event, s});
+      }
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const ClusterTraceEvent& a, const ClusterTraceEvent& b) {
+                     return a.event.t_nanos < b.event.t_nanos;
+                   });
+  return timeline;
+}
+
+std::string TimelineToChromeJson(const std::vector<ClusterTraceEvent>& timeline,
+                                 const std::vector<int64_t>& offsets_nanos) {
+  std::string out;
+  out.reserve(256 + timeline.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  // Process-name metadata rows for every origin present, coordinator first.
+  std::vector<int32_t> origins;
+  for (const ClusterTraceEvent& e : timeline) {
+    if (std::find(origins.begin(), origins.end(), e.origin) == origins.end()) {
+      origins.push_back(e.origin);
+    }
+  }
+  std::sort(origins.begin(), origins.end());
+  for (int32_t origin : origins) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(origin + 1);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(&out, origin < 0 ? std::string("coordinator")
+                                      : "site " + std::to_string(origin));
+    out += "}}";
+  }
+  for (const ClusterTraceEvent& e : timeline) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"ph\":\"i\",\"s\":\"g\",\"name\":";
+    AppendJsonString(&out, TraceEventTypeName(e.event.type));
+    out += ",\"pid\":";
+    out += std::to_string(e.origin + 1);
+    out += ",\"tid\":";
+    out += std::to_string(e.event.site + 1);
+    out += ",\"ts\":";
+    AppendDouble(&out, static_cast<double>(e.event.t_nanos) * 1e-3);
+    out += ",\"args\":{\"site\":";
+    out += std::to_string(e.event.site);
+    out += ",\"arg\":";
+    out += std::to_string(e.event.arg);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock_offsets_nanos\":{";
+  for (size_t s = 0; s < offsets_nanos.size(); ++s) {
+    if (s > 0) out.push_back(',');
+    AppendJsonString(&out, std::to_string(s));
+    out.push_back(':');
+    out += std::to_string(offsets_nanos[s]);
+  }
+  out += "}}}";
+  return out;
+}
+
+std::string FlightRecordToJson(const FlightRecord& record) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\"failure_reason\":";
+  AppendJsonString(&out, record.failure_reason);
+  out += ",\"captured_ms\":";
+  AppendDouble(&out, static_cast<double>(record.metrics.captured_nanos) * 1e-6);
+  // The full metrics dump line (counters, gauges, histograms, health table)
+  // is already a JSON object — embed it verbatim.
+  out += ",\"metrics\":";
+  out += MetricsSnapshotToJsonLine(record.metrics);
+  out += ",\"clock_offsets_nanos\":[";
+  for (size_t s = 0; s < record.offsets_nanos.size(); ++s) {
+    if (s > 0) out.push_back(',');
+    out += std::to_string(record.offsets_nanos[s]);
+  }
+  out += "],\"trace_events_lost\":";
+  out += std::to_string(record.trace_events_lost);
+  out += ",\"timeline\":[";
+  for (size_t i = 0; i < record.timeline.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const ClusterTraceEvent& e = record.timeline[i];
+    out += "{\"t_ms\":";
+    AppendDouble(&out, static_cast<double>(e.event.t_nanos) * 1e-6);
+    out += ",\"type\":";
+    AppendJsonString(&out, TraceEventTypeName(e.event.type));
+    out += ",\"site\":";
+    out += std::to_string(e.event.site);
+    out += ",\"arg\":";
+    out += std::to_string(e.event.arg);
+    out += ",\"origin\":";
+    out += std::to_string(e.origin);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+// --- AlertEngine -----------------------------------------------------------
+
+const char* AlertRuleName(AlertRule rule) {
+  switch (rule) {
+    case AlertRule::kHeartbeatStale:
+      return "heartbeat_stale";
+    case AlertRule::kSyncRateCollapse:
+      return "sync_collapse";
+    case AlertRule::kEventRateOutlier:
+      return "event_rate_outlier";
+  }
+  return "unknown";
+}
+
+AlertEngine::AlertEngine(AlertConfig config)
+    : config_(config),
+      alerts_total_(MetricsRegistry::Global().GetCounter("obs.alerts.total")),
+      alerts_by_rule_{
+          MetricsRegistry::Global().GetCounter("obs.alerts.heartbeat_stale"),
+          MetricsRegistry::Global().GetCounter("obs.alerts.sync_collapse"),
+          MetricsRegistry::Global().GetCounter(
+              "obs.alerts.event_rate_outlier")} {}
+
+void AlertEngine::Fire(int site, AlertRule rule, double value,
+                       double threshold, std::vector<Alert>* out) {
+  out->push_back(Alert{site, rule, value, threshold});
+  ++alerts_fired_;
+  alerts_total_->Increment();
+  alerts_by_rule_[static_cast<size_t>(rule) - 1]->Increment();
+  Trace(TraceEventType::kAlert, site, static_cast<int64_t>(rule));
+}
+
+std::vector<Alert> AlertEngine::Evaluate(const std::vector<SiteHealth>& sites,
+                                         int64_t now_nanos) {
+  std::vector<Alert> fired;
+  size_t max_site = states_.size();
+  for (const SiteHealth& s : sites) {
+    if (s.site >= 0 && static_cast<size_t>(s.site) + 1 > max_site) {
+      max_site = static_cast<size_t>(s.site) + 1;
+    }
+  }
+  states_.resize(max_site);
+
+  // Pass 1: per-site rates this tick (needed cluster-wide for the median).
+  struct Rates {
+    bool valid = false;
+    double events_per_sec = 0.0;
+    double syncs_per_sec = 0.0;
+  };
+  std::vector<Rates> rates(sites.size());
+  std::vector<double> alive_event_rates;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const SiteHealth& s = sites[i];
+    if (s.site < 0) continue;
+    SiteState& state = states_[static_cast<size_t>(s.site)];
+    const double dt_sec =
+        static_cast<double>(now_nanos - state.prev_nanos) * 1e-9;
+    if (state.ticks > 0 && dt_sec > 0) {
+      rates[i].valid = true;
+      rates[i].events_per_sec =
+          static_cast<double>(s.events_processed - state.prev_events) / dt_sec;
+      rates[i].syncs_per_sec =
+          static_cast<double>(s.syncs_sent - state.prev_syncs) / dt_sec;
+      if (s.alive) alive_event_rates.push_back(rates[i].events_per_sec);
+    }
+  }
+  double median_event_rate = 0.0;
+  if (!alive_event_rates.empty()) {
+    const size_t mid = alive_event_rates.size() / 2;
+    std::nth_element(alive_event_rates.begin(), alive_event_rates.begin() + mid,
+                     alive_event_rates.end());
+    median_event_rate = alive_event_rates[mid];
+  }
+
+  // Pass 2: evaluate the rules, edge-triggered, then roll the state forward.
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const SiteHealth& s = sites[i];
+    if (s.site < 0) continue;
+    SiteState& state = states_[static_cast<size_t>(s.site)];
+
+    const double stale_threshold_ms =
+        config_.stale_multiplier * config_.heartbeat_interval_ms;
+    const bool stale =
+        s.alive && s.heartbeat_age_ms > stale_threshold_ms;
+    if (stale && !state.latched[0]) {
+      Fire(s.site, AlertRule::kHeartbeatStale, s.heartbeat_age_ms,
+           stale_threshold_ms, &fired);
+    }
+    state.latched[0] = stale;
+
+    bool collapse = false;
+    bool outlier = false;
+    if (rates[i].valid && s.alive) {
+      if (state.ticks >= config_.warmup_ticks &&
+          state.sync_rate_ewma >= config_.min_rate_per_sec) {
+        const double floor = config_.collapse_fraction * state.sync_rate_ewma;
+        collapse = rates[i].syncs_per_sec < floor;
+        if (collapse && !state.latched[1]) {
+          Fire(s.site, AlertRule::kSyncRateCollapse, rates[i].syncs_per_sec,
+               floor, &fired);
+        }
+      }
+      if (state.ticks >= config_.warmup_ticks &&
+          median_event_rate >= config_.min_rate_per_sec) {
+        const double floor = config_.outlier_fraction * median_event_rate;
+        outlier = rates[i].events_per_sec < floor;
+        if (outlier && !state.latched[2]) {
+          Fire(s.site, AlertRule::kEventRateOutlier, rates[i].events_per_sec,
+               floor, &fired);
+        }
+      }
+      // Trailing mean over this site's own history. Heavier weight than the
+      // skew filter — sync rates move with the round schedule, and the rule
+      // compares against recent behavior, not the run's lifetime average.
+      state.sync_rate_ewma =
+          state.ticks == 1 ? rates[i].syncs_per_sec
+                           : state.sync_rate_ewma +
+                                 0.3 * (rates[i].syncs_per_sec -
+                                        state.sync_rate_ewma);
+    }
+    state.latched[1] = collapse;
+    state.latched[2] = outlier;
+
+    state.prev_nanos = now_nanos;
+    state.prev_events = s.events_processed;
+    state.prev_syncs = s.syncs_sent;
+    ++state.ticks;
+  }
+  return fired;
+}
+
+}  // namespace dsgm

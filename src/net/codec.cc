@@ -181,6 +181,62 @@ Status DecodeStatsBody(ByteReader* reader, SiteStatsReport* out) {
   return Status::Ok();
 }
 
+void AppendTraceChunkBody(const TraceChunk& chunk, std::vector<uint8_t>* out) {
+  AppendZigzag(chunk.site, out);
+  AppendVarint(chunk.first_seq, out);
+  AppendVarint(chunk.events.size(), out);
+  int64_t previous = 0;
+  for (const TraceEvent& event : chunk.events) {
+    // Delta-coded timestamps (events are near-sorted, so deltas are small);
+    // two's-complement wraparound like bundle counter ids.
+    AppendZigzag(static_cast<int64_t>(static_cast<uint64_t>(event.t_nanos) -
+                                      static_cast<uint64_t>(previous)),
+                 out);
+    out->push_back(static_cast<uint8_t>(event.type));
+    AppendZigzag(event.site, out);
+    AppendZigzag(event.arg, out);
+    previous = event.t_nanos;
+  }
+}
+
+Status DecodeTraceChunkBody(ByteReader* reader, TraceChunk* out) {
+  int64_t site = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&site));
+  if (site < INT32_MIN || site > INT32_MAX) {
+    return InvalidArgumentError("codec: trace chunk site out of range");
+  }
+  out->site = static_cast<int32_t>(site);
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&out->first_seq));
+  uint64_t count = 0;
+  DSGM_RETURN_IF_ERROR(reader->ReadVarint(&count));
+  out->events.clear();
+  out->events.reserve(SafeReserve(count, reader->remaining(), 4));
+  int64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    int64_t delta = 0;
+    DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&delta));
+    previous = static_cast<int64_t>(static_cast<uint64_t>(previous) +
+                                    static_cast<uint64_t>(delta));
+    event.t_nanos = previous;
+    uint8_t type = 0;
+    DSGM_RETURN_IF_ERROR(reader->ReadU8(&type));
+    if (type > static_cast<uint8_t>(TraceEventType::kAlert)) {
+      return InvalidArgumentError("codec: bad trace event type tag");
+    }
+    event.type = static_cast<TraceEventType>(type);
+    int64_t event_site = 0;
+    DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&event_site));
+    if (event_site < INT32_MIN || event_site > INT32_MAX) {
+      return InvalidArgumentError("codec: trace event site out of range");
+    }
+    event.site = static_cast<int32_t>(event_site);
+    DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&event.arg));
+    out->events.push_back(event);
+  }
+  return Status::Ok();
+}
+
 Status DecodeBatchBody(ByteReader* reader, EventBatch* out) {
   int64_t num_events = 0;
   DSGM_RETURN_IF_ERROR(reader->ReadZigzag(&num_events));
@@ -255,11 +311,27 @@ Frame MakeHeartbeat(int32_t site) {
   return frame;
 }
 
+Frame MakeHeartbeat(int32_t site, const HeartbeatTimestamps& hb) {
+  Frame frame;
+  frame.type = FrameType::kHeartbeat;
+  frame.site = site;
+  frame.hb = hb;
+  return frame;
+}
+
 Frame MakeStatsReport(const SiteStatsReport& stats) {
   Frame frame;
   frame.type = FrameType::kStatsReport;
   frame.site = stats.site;
   frame.stats = stats;
+  return frame;
+}
+
+Frame MakeTraceChunk(TraceChunk chunk) {
+  Frame frame;
+  frame.type = FrameType::kTraceChunk;
+  frame.site = chunk.site;
+  frame.trace = std::move(chunk);
   return frame;
 }
 
@@ -286,9 +358,15 @@ void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
       break;
     case FrameType::kHeartbeat:
       AppendZigzag(frame.site, out);
+      AppendZigzag(frame.hb.send_nanos, out);
+      AppendZigzag(frame.hb.echo_nanos, out);
+      AppendZigzag(frame.hb.echo_recv_nanos, out);
       break;
     case FrameType::kStatsReport:
       AppendStatsBody(frame.stats, out);
+      break;
+    case FrameType::kTraceChunk:
+      AppendTraceChunkBody(frame.trace, out);
       break;
   }
   const size_t payload = out->size() - prefix_at - 4;
@@ -304,7 +382,7 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
   uint8_t type = 0;
   DSGM_RETURN_IF_ERROR(reader.ReadU8(&type));
   if (type < static_cast<uint8_t>(FrameType::kUpdateBundle) ||
-      type > static_cast<uint8_t>(FrameType::kStatsReport)) {
+      type > static_cast<uint8_t>(FrameType::kTraceChunk)) {
     return InvalidArgumentError("codec: bad frame type tag");
   }
   out->type = static_cast<FrameType>(type);
@@ -345,11 +423,18 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
         return InvalidArgumentError("codec: heartbeat site out of range");
       }
       out->site = static_cast<int32_t>(site);
+      DSGM_RETURN_IF_ERROR(reader.ReadZigzag(&out->hb.send_nanos));
+      DSGM_RETURN_IF_ERROR(reader.ReadZigzag(&out->hb.echo_nanos));
+      DSGM_RETURN_IF_ERROR(reader.ReadZigzag(&out->hb.echo_recv_nanos));
       break;
     }
     case FrameType::kStatsReport:
       DSGM_RETURN_IF_ERROR(DecodeStatsBody(&reader, &out->stats));
       out->site = out->stats.site;
+      break;
+    case FrameType::kTraceChunk:
+      DSGM_RETURN_IF_ERROR(DecodeTraceChunkBody(&reader, &out->trace));
+      out->site = out->trace.site;
       break;
   }
   if (!reader.done()) {

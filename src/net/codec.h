@@ -34,8 +34,11 @@ enum class FrameType : uint8_t {
   kEventBatch = 3,    // dispatcher -> site
   kChannelClose = 4,  // transport control: sender closed one logical channel
   kHello = 5,         // transport control: connection announces its site id
-  kHeartbeat = 6,     // transport control: liveness beacon (site -> coordinator)
+  kHeartbeat = 6,     // transport control: liveness beacon; v4 adds clock
+                      // samples and a coordinator -> site echo leg
   kStatsReport = 7,   // observability: per-site stats piggybacked on heartbeats
+  kTraceChunk = 8,    // observability: incremental TraceRing drain (site ->
+                      // coordinator), piggybacked on the heartbeat cadence
 };
 
 /// Wire protocol revision, carried in every kHello frame ahead of the site
@@ -43,8 +46,10 @@ enum class FrameType : uint8_t {
 /// mismatched hello with a clear Status instead of misparsing later frames.
 /// History: 1 = varint codec with versioned hello (2026-07);
 ///          2 = kHeartbeat liveness frames (2026-07);
-///          3 = kStatsReport observability frames (2026-08).
-constexpr uint8_t kProtocolVersion = 3;
+///          3 = kStatsReport observability frames (2026-08);
+///          4 = kTraceChunk trace shipping + heartbeat clock samples and
+///              coordinator echoes (2026-08).
+constexpr uint8_t kProtocolVersion = 4;
 
 /// Tagged union of everything a connection can carry. Only the member
 /// selected by `type` is meaningful.
@@ -69,6 +74,12 @@ struct Frame {
   /// connection's authenticated id and drop mismatches before letting it
   /// index the health table.
   SiteStatsReport stats;
+  /// kHeartbeat: the v4 clock samples for skew estimation (net/wire.h).
+  /// Zeros on the legacy make-path and before the first echo round-trip.
+  HeartbeatTimestamps hb;
+  /// kTraceChunk: the shipped trace events. The embedded site id is a
+  /// claim, checked against the connection's hello id like stats reports.
+  TraceChunk trace;
 };
 
 Frame MakeFrame(UpdateBundle bundle);
@@ -77,7 +88,9 @@ Frame MakeFrame(EventBatch batch);
 Frame MakeChannelClose(FrameType channel);
 Frame MakeHello(int32_t site);
 Frame MakeHeartbeat(int32_t site);
+Frame MakeHeartbeat(int32_t site, const HeartbeatTimestamps& hb);
 Frame MakeStatsReport(const SiteStatsReport& stats);
+Frame MakeTraceChunk(TraceChunk chunk);
 
 /// Upper bound on one frame's payload; a length prefix above this is
 /// rejected before any allocation (protects against corrupt peers).

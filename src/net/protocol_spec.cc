@@ -46,6 +46,10 @@ constexpr AllowRow kAllowedTransitions[] = {
      ProtocolState::kDraining},
     {ProtocolState::kActive, kS2C, WireInput::kInStatsReport, 3,
      ProtocolState::kActive},
+    // Trace chunks exist since v4 and, like stats reports, are data: legal
+    // only while the update lane is open.
+    {ProtocolState::kActive, kS2C, WireInput::kInTraceChunk, 4,
+     ProtocolState::kActive},
 
     // --- site receiving from the coordinator -----------------------------
     {ProtocolState::kAwaitingHello, kC2S, WireInput::kInHello, 1,
@@ -65,6 +69,14 @@ constexpr AllowRow kAllowedTransitions[] = {
     {ProtocolState::kDraining, kC2S, WireInput::kInEventBatch, 1,
      ProtocolState::kDraining},
     {ProtocolState::kDraining, kC2S, WireInput::kInCloseEvents, 1,
+     ProtocolState::kDraining},
+    // Heartbeat echoes exist since v4: the coordinator reflects each site
+    // heartbeat so the site can close the NTP timestamp loop. They follow
+    // the site's heartbeats, so they may arrive any time after the
+    // handshake — including while the coordinator's command lane is closed.
+    {ProtocolState::kActive, kC2S, WireInput::kInHeartbeat, 4,
+     ProtocolState::kActive},
+    {ProtocolState::kDraining, kC2S, WireInput::kInHeartbeat, 4,
      ProtocolState::kDraining},
 };
 
@@ -142,6 +154,8 @@ WireInput WireInputOf(const Frame& frame) {
       return WireInput::kInHeartbeat;
     case FrameType::kStatsReport:
       return WireInput::kInStatsReport;
+    case FrameType::kTraceChunk:
+      return WireInput::kInTraceChunk;
   }
   DSGM_CHECK(false) << "WireInputOf: frame type "
                     << static_cast<int>(frame.type)
@@ -193,6 +207,8 @@ const char* WireInputName(WireInput input) {
       return "heartbeat";
     case WireInput::kInStatsReport:
       return "stats_report";
+    case WireInput::kInTraceChunk:
+      return "trace_chunk";
   }
   return "unknown";
 }
@@ -226,6 +242,20 @@ ProtocolVerdict ProtocolConformance::OnFrame(const Frame& frame) {
   const FrameRule& rule = LookupRule(state_, direction_, input, version_);
   if (rule.verdict != ProtocolVerdict::kAccept) {
     return CountViolation(ProtocolVerdict::kViolation);
+  }
+  // Payload semantics: observability frames embed a site-id claim that must
+  // match the connection's authenticated (hello) id. A mismatch is forged
+  // attribution — terminal, like any structural violation.
+  if (bound_site_ >= 0) {
+    if ((input == WireInput::kInStatsReport &&
+         frame.stats.site != bound_site_) ||
+        (input == WireInput::kInTraceChunk &&
+         frame.trace.site != bound_site_)) {
+      return CountViolation(ProtocolVerdict::kViolation);
+    }
+  }
+  if (input == WireInput::kInHello && state_ == ProtocolState::kAwaitingHello) {
+    bound_site_ = frame.site;
   }
   state_ = rule.next;
   return ProtocolVerdict::kAccept;

@@ -4,7 +4,7 @@
 // implicitly — a stray check in an accept loop here, an "ignore defensively"
 // switch arm there. This header makes the contract explicit and machine
 // checkable: a connection is in one of four states, every decodable frame is
-// one of nine wire inputs, and a dense (state × direction × input × version)
+// one of ten wire inputs, and a dense (state × direction × input × version)
 // table assigns each combination a verdict. Anything the table does not
 // explicitly allow is a violation — the table is built allow-list-first, so
 // a new frame kind is rejected everywhere until the spec says otherwise.
@@ -12,19 +12,21 @@
 // The two directions are the two receive machines of one connection:
 //
 //   kSiteToCoordinator   what a coordinator accepts FROM a site
-//       hello first; then update bundles, heartbeats (v>=2) and stats
-//       reports (v>=3); the site may close its update lane (-> Draining),
-//       after which only heartbeats are legal while it lingers for the
-//       coordinator's hangup. Sites never send events, commands, or closes
-//       for lanes they do not own.
+//       hello first; then update bundles, heartbeats (v>=2), stats reports
+//       (v>=3) and trace chunks (v>=4); the site may close its update lane
+//       (-> Draining), after which only heartbeats are legal while it
+//       lingers for the coordinator's hangup. Sites never send events,
+//       commands, or closes for lanes they do not own.
 //
 //   kCoordinatorToSite   what a site accepts FROM the coordinator
-//       hello first; then event batches and round-advance commands. The
+//       hello first; then event batches and round-advance commands, plus
+//       heartbeat echoes since v4 (the coordinator reflects each site
+//       heartbeat so the site can close the NTP timestamp loop). The
 //       event lane may close while commands continue (dispatcher finishes
 //       before the protocol loop); closing the command lane is the
 //       coordinator's final word (-> Draining), after which only straggler
-//       events and the event-lane close are legal. Coordinators never send
-//       updates, heartbeats, or stats.
+//       events, the event-lane close, and heartbeat echoes are legal.
+//       Coordinators never send updates, stats, or trace chunks.
 //
 // A violation is terminal (-> Closed, where everything is a violation), is
 // counted on the process-wide `net.protocol.violations` counter, and makes
@@ -81,14 +83,15 @@ enum class WireInput : uint8_t {
   kInHello = 6,
   kInHeartbeat = 7,
   kInStatsReport = 8,
+  kInTraceChunk = 9,
 };
-inline constexpr size_t kNumWireInputs = 9;
+inline constexpr size_t kNumWireInputs = 10;
 inline constexpr WireInput kAllWireInputs[kNumWireInputs] = {
     WireInput::kInUpdateBundle, WireInput::kInRoundAdvance,
     WireInput::kInEventBatch,   WireInput::kInCloseUpdates,
     WireInput::kInCloseCommands, WireInput::kInCloseEvents,
     WireInput::kInHello,        WireInput::kInHeartbeat,
-    WireInput::kInStatsReport};
+    WireInput::kInStatsReport,  WireInput::kInTraceChunk};
 
 /// The oldest protocol revision the table covers; kProtocolVersion
 /// (net/codec.h) is the newest. The version axis encodes the gates: a v1
@@ -155,12 +158,22 @@ class ProtocolConformance {
   /// the receive machine (the peer talks only after reading the hello).
   void OnHelloSent();
 
+  /// Binds the connection's authenticated site id so payload-embedded site
+  /// claims can be checked at the spec layer: a kStatsReport or kTraceChunk
+  /// whose payload names a different site than the connection's hello is a
+  /// protocol violation (forged attribution), terminal like any other.
+  /// Called automatically when OnFrame accepts a hello; call it explicitly
+  /// for connections constructed kActive (out-of-band handshake). Unbound
+  /// connections (site id < 0) skip the payload check.
+  void BindSiteId(int32_t site) { bound_site_ = site; }
+
   /// Orderly end of the byte stream (EOF, owner shutdown). Not a violation.
   void MarkClosed();
 
   ProtocolState state() const { return state_; }
   ProtocolDirection direction() const { return direction_; }
   uint8_t version() const { return version_; }
+  int32_t bound_site() const { return bound_site_; }
   /// Violations charged to THIS connection (the metric is process-wide).
   uint64_t violations() const { return violations_; }
 
@@ -170,6 +183,7 @@ class ProtocolConformance {
   const ProtocolDirection direction_;
   const uint8_t version_;
   ProtocolState state_;
+  int32_t bound_site_ = -1;
   uint64_t violations_ = 0;
   Counter* const violations_metric_;
 };

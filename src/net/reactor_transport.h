@@ -45,6 +45,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/tracing.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "net/channel.h"
@@ -270,10 +271,23 @@ class ReactorConnection {
     /// against this connection's authenticated one — and MarkDead()s it on
     /// a read failure.
     SiteHealthBoard* health = nullptr;
+    /// Optional cluster trace board (owned by the caller, must outlive the
+    /// connection). Validated kTraceChunk frames are Ingest()ed into it and
+    /// v4 heartbeat clock samples feed its per-site skew estimator.
+    ClusterTraceBoard* trace_board = nullptr;
+    /// Coordinator side: reflect every received heartbeat back to the site
+    /// (stamped with the local clock) so the site can close the NTP
+    /// timestamp loop. Echoes bypass backpressure like commands — they are
+    /// heartbeat-cadence bounded, so they cannot grow the outbox unbounded.
+    bool echo_heartbeats = false;
     /// Which half of the protocol this connection RECEIVES (see
     /// net/protocol_spec.h). Every decoded frame is checked against the
     /// conformance table for this direction; a violation drops the
-    /// connection and counts on `net.protocol.violations`.
+    /// connection and counts on `net.protocol.violations`. For the
+    /// site-to-coordinator half the conformance machine is bound to this
+    /// connection's site id, so a payload claiming another site id
+    /// (kStatsReport, kTraceChunk) is a protocol violation, not just a
+    /// dropped report.
     ProtocolDirection receive_direction =
         ProtocolDirection::kSiteToCoordinator;
   };
@@ -400,6 +414,8 @@ class ReactorConnection {
   Counter* const heartbeats_rx_;
   Counter* const stats_reports_rx_;
   Counter* const forged_stats_dropped_;
+  Counter* const trace_chunks_rx_;
+  Counter* const forged_trace_dropped_;
   /// Process-wide staged-but-unwritten outbox bytes, maintained as deltas
   /// under outbox_mu_ so breaks cannot double-subtract.
   Gauge* const outbox_bytes_;
@@ -420,6 +436,9 @@ class ReactorCoordinator {
     /// Optional live per-site health table; must outlive the coordinator.
     /// Fed from heartbeats/kStatsReport by each connection.
     SiteHealthBoard* health = nullptr;
+    /// Optional cluster trace board; must outlive the coordinator. Fed from
+    /// kTraceChunk frames and heartbeat clock samples by each connection.
+    ClusterTraceBoard* trace_board = nullptr;
   };
 
   ReactorCoordinator(int num_sites, const Options& options);

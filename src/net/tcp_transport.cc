@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/timer.h"
+
 namespace dsgm {
 
 TcpConnection::TcpConnection(TcpSocket socket)
@@ -20,6 +22,7 @@ TcpConnection::TcpConnection(TcpSocket socket, const Options& options)
                                                       : owned_update_inbox_.get()),
       shared_updates_(options.shared_updates != nullptr),
       on_reader_exit_(options.on_reader_exit),
+      on_heartbeat_(options.on_heartbeat),
       command_outbox_(options.buffered_commands
                           ? std::make_unique<BoundedQueue<Frame>>(
                                 options.command_capacity)
@@ -38,6 +41,7 @@ Status TcpConnection::SendHello(int32_t site) {
   // The connecting side's own hello is its half of the handshake: the peer
   // talks only after reading it, so the receive machine arms to kActive.
   conformance_.OnHelloSent();
+  site_label_ = site;
   return Status::Ok();
 }
 
@@ -69,6 +73,7 @@ StatusOr<int32_t> TcpConnection::ReadHello() {
   }
   switch (conformance_.OnFrame(frame)) {
     case ProtocolVerdict::kAccept:
+      site_label_ = frame.site;
       return frame.site;
     case ProtocolVerdict::kVersionMismatch:
       // kFailedPrecondition distinguishes a genuine dsgm peer speaking
@@ -130,7 +135,7 @@ void TcpConnection::ReaderLoop() {
       // without a violation.
       if (read.code() == StatusCode::kInvalidArgument) {
         conformance_.OnMalformedFrame();
-        Trace(TraceEventType::kProtocolViolation, -1, -1);
+        Trace(TraceEventType::kProtocolViolation, site_label_, -1);
       } else {
         conformance_.MarkClosed();
       }
@@ -140,7 +145,7 @@ void TcpConnection::ReaderLoop() {
     // out-of-state frame (duplicate hello, data after a terminal close,
     // a kind the peer's role never sends) drops the connection.
     if (conformance_.OnFrame(frame) != ProtocolVerdict::kAccept) {
-      Trace(TraceEventType::kProtocolViolation, -1,
+      Trace(TraceEventType::kProtocolViolation, site_label_,
             static_cast<int64_t>(frame.type));
       break;
     }
@@ -174,10 +179,16 @@ void TcpConnection::ReaderLoop() {
         // conformance check above and never reaches delivery.
         break;
       case FrameType::kHeartbeat:
+        // The site side of the v4 echo loop: hand the coordinator's echo
+        // timestamps (plus the local receive time) to the heartbeat sender
+        // so the next beat can reflect them.
+        if (on_heartbeat_) on_heartbeat_(frame.hb, NowNanos());
+        break;
       case FrameType::kStatsReport:
-        // Liveness beacons and stats reports; this transport's blocking
-        // reader tracks neither deadlines nor a health table (the reactor
-        // transport does), so they are just ignored.
+      case FrameType::kTraceChunk:
+        // Observability frames; this transport's blocking reader tracks
+        // neither deadlines nor a health/trace board (the reactor transport
+        // does), so they are just ignored.
         break;
     }
   }

@@ -91,6 +91,12 @@ class TcpConnection {
     /// closes the shared update queue when the last reader exits, so a
     /// vanished site fails the run instead of hanging it.
     std::function<void()> on_reader_exit;
+    /// Site side: invoked (reader thread) for every received kHeartbeat —
+    /// the coordinator's v4 echo — with the echo's timestamps and the local
+    /// receive time. The heartbeat sender reflects both in the site's next
+    /// beat, closing the NTP timestamp loop for skew estimation.
+    std::function<void(const HeartbeatTimestamps&, int64_t recv_nanos)>
+        on_heartbeat;
     /// Coordinator side only: stage RoundAdvance frames in a bounded outbox
     /// (command_capacity, matching the loopback command queue) drained by a
     /// dedicated writer thread, so pushing a command never blocks on the
@@ -172,6 +178,12 @@ class TcpConnection {
   BoundedQueue<UpdateBundle>* update_inbox_;
   bool shared_updates_;
   std::function<void()> on_reader_exit_;
+  std::function<void(const HeartbeatTimestamps&, int64_t)> on_heartbeat_;
+  /// Site id for trace/diagnostic attribution: the peer's hello id on the
+  /// accepting side, our own announced id on the connecting side, -1 until
+  /// a handshake ran. Same single-thread discipline as conformance_
+  /// (handshake, then reader thread, ordered by thread creation).
+  int32_t site_label_ = -1;
   std::unique_ptr<BoundedQueue<Frame>> command_outbox_;  // buffered_commands
 
   TcpChannel<EventBatch> events_;

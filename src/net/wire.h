@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace dsgm {
 
 /// One counter report inside an UpdateBundle: the site's cumulative local
@@ -66,6 +68,37 @@ struct SiteStatsReport {
   uint64_t heartbeats_sent = 0;
 };
 
+/// Heartbeat timing payload (protocol v4). Heartbeats carry three clock
+/// samples so the coordinator can estimate each site's clock offset with
+/// the NTP four-timestamp method, closed over two legs: the coordinator
+/// echoes every site heartbeat (stamping `send_nanos` with its own clock),
+/// and the site's NEXT heartbeat carries that echo back together with its
+/// own receive time. The fourth timestamp — when this heartbeat reached
+/// the coordinator — is measured locally at delivery, never trusted from
+/// the wire. Zeros mean "no sample yet" (v4 sites before their first echo
+/// round-trip completes).
+struct HeartbeatTimestamps {
+  /// Sender's clock at the moment this frame was built.
+  int64_t send_nanos = 0;
+  /// Site->coordinator only: the coordinator clock stamped into the last
+  /// echo this site received (the echo's send_nanos, reflected back).
+  int64_t echo_nanos = 0;
+  /// Site->coordinator only: the site clock when that echo arrived.
+  int64_t echo_recv_nanos = 0;
+};
+
+/// Site -> coordinator observability frame (protocol v4), piggybacked on
+/// the heartbeat cadence like kStatsReport: an incremental drain of the
+/// site's per-thread TraceRings. `first_seq` is the site-local sequence
+/// number of events[0]; the cursor is monotone, so the coordinator can
+/// account for events lost to ring overwrite (gaps) without any
+/// retransmission — chunks are loss-tolerant by construction.
+struct TraceChunk {
+  int32_t site = -1;
+  uint64_t first_seq = 0;
+  std::vector<TraceEvent> events;
+};
+
 // Structural equality, used by the codec round-trip and transport
 // conformance tests.
 inline bool operator==(const CounterReport& a, const CounterReport& b) {
@@ -87,6 +120,21 @@ inline bool operator==(const SiteStatsReport& a, const SiteStatsReport& b) {
          a.updates_sent == b.updates_sent && a.syncs_sent == b.syncs_sent &&
          a.rounds_seen == b.rounds_seen &&
          a.heartbeats_sent == b.heartbeats_sent;
+}
+inline bool operator==(const HeartbeatTimestamps& a,
+                       const HeartbeatTimestamps& b) {
+  return a.send_nanos == b.send_nanos && a.echo_nanos == b.echo_nanos &&
+         a.echo_recv_nanos == b.echo_recv_nanos;
+}
+inline bool operator==(const TraceChunk& a, const TraceChunk& b) {
+  if (a.site != b.site || a.first_seq != b.first_seq ||
+      a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    if (!(a.events[i] == b.events[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace dsgm

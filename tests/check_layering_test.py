@@ -128,6 +128,25 @@ def main():
         },
     )
 
+    # common/tracing.h has its own frozen allowlist: it may build on the
+    # metrics spine but must not reach sideways (status, timer, ...).
+    expect_violation(
+        "tracing header grows a dependency",
+        {"src/common/tracing.h": '#include "common/status.h"\n'},
+        ["src/common/tracing.h:1", "allowlist", "common/status.h"],
+    )
+    expect_clean(
+        "tracing header on its allowlist",
+        {
+            "src/common/tracing.h": (
+                '#include "common/metrics.h"\n'
+                '#include "common/mutex.h"\n'
+                '#include "common/thread_annotations.h"\n'
+                "#include <vector>\n"
+            ),
+        },
+    )
+
     # fuzz/ harnesses may reach only net/ and common/ (rule 6).
     expect_violation(
         "fuzz includes cluster",

@@ -223,8 +223,8 @@ TEST(CodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
 }
 
 TEST(CodecTest, BadFrameTypeTagFails) {
-  // 7 became kStatsReport in protocol v3; the first invalid tag is now 8.
-  for (uint8_t tag : {uint8_t{0}, uint8_t{8}, uint8_t{99}, uint8_t{255}}) {
+  // 8 became kTraceChunk in protocol v4; the first invalid tag is now 9.
+  for (uint8_t tag : {uint8_t{0}, uint8_t{9}, uint8_t{99}, uint8_t{255}}) {
     const std::vector<uint8_t> payload = {tag};
     Frame frame;
     EXPECT_FALSE(DecodeFramePayload(payload.data(), payload.size(), &frame).ok());

@@ -5,6 +5,12 @@
 # JSON and the final snapshot must show a live cluster: per-site heartbeat
 # ages present, sync counts non-zero, reactor loop p99 non-zero.
 #
+# The demo also exports the merged, skew-corrected cluster timeline as
+# Chrome-trace JSON; the smoke schema-validates it with --timeline-summary
+# and requires events from the coordinator AND every site, with per-site
+# clock offsets embedded. The timeline is left in the working directory as
+# BENCH_trace_timeline.json (a named CI artifact, like BENCH_ingest.json).
+#
 # Usage: metrics_smoke.sh <observability_demo-binary> <metrics_text.py>
 set -euo pipefail
 
@@ -14,13 +20,36 @@ metrics_text=$2
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 dump="$workdir/run.metrics"
+timeline="$PWD/BENCH_trace_timeline.json"
 
-"$demo_bin" "$dump"
+"$demo_bin" "$dump" "$timeline"
 
 test -s "$dump" || { echo "FAIL: $dump is empty"; exit 1; }
 python3 "$metrics_text" --check-cluster "$dump"
 
 # The renderer itself must also survive the dump (it is the operator UI).
 python3 "$metrics_text" "$dump" > /dev/null
+
+# Trace timeline: schema-valid Chrome trace JSON covering the whole cluster.
+test -s "$timeline" || { echo "FAIL: $timeline is empty"; exit 1; }
+python3 "$metrics_text" --timeline-summary "$timeline" > /dev/null
+python3 - "$timeline" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+sites = {e["args"]["site"] for e in events}
+offsets = doc["otherData"]["clock_offsets_nanos"]
+# The demo runs 4 kLocalTcp sites: the timeline must carry events from the
+# coordinator (site -1) and every site, and an offset estimate per site.
+missing = {-1, 0, 1, 2, 3} - sites
+if missing:
+    sys.exit(f"FAIL: timeline has no events for sites {sorted(missing)}")
+if sorted(offsets) != ["0", "1", "2", "3"]:
+    sys.exit(f"FAIL: expected 4 per-site clock offsets, got {sorted(offsets)}")
+print(f"timeline: {len(events)} events, sites {sorted(sites)}, "
+      f"offsets {offsets}")
+EOF
 
 echo "metrics_smoke: OK"

@@ -450,10 +450,12 @@ int ReadPortFile(const std::string& path) {
 }
 
 TEST(MetricsClusterTest, ForgedStatsReportIsDroppedNeverIndexed) {
-  // Site 0's connection sends a stats report CLAIMING to be site 1 (valid
-  // range, wrong connection) with a poisoned event count, then a truthful
-  // report. The forged frame must bump the drop counter and leave site 1's
-  // health row untouched; the truthful one must land on site 0's row.
+  // Site 0's connection sends a truthful stats report, then one CLAIMING to
+  // be site 1 (valid range, wrong connection) with a poisoned event count.
+  // The truthful one must land on site 0's row; the forged frame is a
+  // protocol violation at the spec layer (the conformance machine is bound
+  // to the connection's hello id) — it must bump the drop counter, kill the
+  // connection, and leave site 1's health row untouched.
   const BayesianNetwork net = StudentNetwork();
   const std::string port_file = TempPortFile("forged");
   std::unique_ptr<FakeSite> site0;
@@ -463,16 +465,16 @@ TEST(MetricsClusterTest, ForgedStatsReportIsDroppedNeverIndexed) {
     const int port = ReadPortFile(port_file);
     ASSERT_GT(port, 0);
     site0 = std::make_unique<FakeSite>(port, 0, [&stop](TcpSocket* socket) {
-      SiteStatsReport forged;
-      forged.site = 1;
-      forged.events_processed = 999999;
       SiteStatsReport honest;
       honest.site = 0;
       honest.events_processed = 4242;
       honest.syncs_sent = 7;
+      SiteStatsReport forged;
+      forged.site = 1;
+      forged.events_processed = 999999;
       std::vector<uint8_t> frames;
-      AppendFrame(MakeStatsReport(forged), &frames);
       AppendFrame(MakeStatsReport(honest), &frames);
+      AppendFrame(MakeStatsReport(forged), &frames);
       if (!socket->SendAll(frames.data(), frames.size()).ok()) return;
       while (!stop.load(std::memory_order_acquire)) {
         std::vector<uint8_t> beat;

@@ -6,6 +6,12 @@
 # timeout — the regression guard for the pre-reactor behavior, where a
 # single dead site stalled the protocol until the coordinator was killed.
 #
+# The coordinator runs with --postmortem-dir: the failed run must leave a
+# flight-recorder bundle (dsgm_postmortem.json) whose failure reason names
+# the dead site and whose merged timeline ends, for that site, on a shipped
+# heartbeat — the post-mortem proof that trace shipping survived up to the
+# moment of death.
+#
 # Usage: net_site_kill_smoke.sh <dsgm_coordinator> <dsgm_site>
 set -uo pipefail
 
@@ -34,6 +40,7 @@ COORD_LOG="$WORKDIR/coordinator.log"
   --network "$NETWORK" --strategy uniform --sites "$SITES" \
   --events "$EVENTS" --seed 12345 \
   --liveness-timeout-ms "$LIVENESS_MS" \
+  --postmortem-dir "$WORKDIR" \
   --port 0 --port-file "$PORT_FILE" > "$COORD_LOG" 2>&1 &
 COORDINATOR_PID=$!
 PIDS+=("$COORDINATOR_PID")
@@ -56,7 +63,10 @@ echo "coordinator listening on port $PORT"
 
 SITE_PIDS=()
 for site in $(seq 0 $((SITES - 1))); do
-  "$SITE_BIN" --network "$NETWORK" --site "$site" --port "$PORT" --seed 12345 &
+  # A fast heartbeat ships several trace chunks before the kill, so the
+  # post-mortem has the dead site's timeline to show.
+  "$SITE_BIN" --network "$NETWORK" --site "$site" --port "$PORT" \
+    --seed 12345 --heartbeat-ms 100 &
   SITE_PIDS+=("$!")
   PIDS+=("$!")
 done
@@ -103,6 +113,50 @@ if ! grep -q "site $KILL_SITE" "$COORD_LOG"; then
   exit 1
 fi
 
+# The flight recorder must have dumped a post-mortem bundle naming the dead
+# site, with the site's shipped trace ending on its final heartbeat.
+POSTMORTEM="$WORKDIR/dsgm_postmortem.json"
+if [ ! -s "$POSTMORTEM" ]; then
+  echo "FAIL: no post-mortem bundle at $POSTMORTEM" >&2
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+if ! grep -q "dsgm_postmortem.json" "$COORD_LOG"; then
+  echo "FAIL: the failure message does not name the post-mortem bundle" >&2
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+if ! python3 - "$POSTMORTEM" "$KILL_SITE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+dead = int(sys.argv[2])
+reason = doc["failure_reason"]
+if f"site {dead}" not in reason:
+    sys.exit(f"FAIL: failure_reason does not name site {dead}: {reason!r}")
+if "metrics" not in doc or "clock_offsets_nanos" not in doc:
+    sys.exit("FAIL: post-mortem is missing the metrics/offsets sections")
+shipped = [e for e in doc["timeline"] if e["origin"] == dead]
+if not shipped:
+    sys.exit(f"FAIL: no shipped trace events from dead site {dead}")
+beats = [e for e in shipped if e["type"] == "heartbeat"]
+if not beats:
+    sys.exit(f"FAIL: dead site {dead} shipped no heartbeat trace events")
+# The site traces its heartbeat immediately before draining the chunk that
+# carries it, so its shipped timeline must END on (or within a drain's width
+# of) that final heartbeat.
+tail = shipped[-5:]
+if not any(e["type"] == "heartbeat" for e in tail):
+    sys.exit(f"FAIL: dead site {dead}'s last events hold no heartbeat: {tail}")
+print(f"post-mortem: reason names site {dead}; {len(shipped)} shipped events, "
+      f"{len(beats)} heartbeats, last events OK")
+EOF
+then
+  cat "$COORD_LOG" >&2
+  exit 1
+fi
+
 # The surviving sites must also unwind on their own once the coordinator is
 # gone (their connections die), not linger as zombies.
 for site in $(seq 0 $((SITES - 1))); do
@@ -110,4 +164,4 @@ for site in $(seq 0 $((SITES - 1))); do
   wait "${SITE_PIDS[$site]}" 2>/dev/null || true
 done
 
-echo "PASS: killing site $KILL_SITE failed the run with UNAVAILABLE naming it; no stall"
+echo "PASS: killing site $KILL_SITE failed the run with UNAVAILABLE naming it; no stall; post-mortem validated"

@@ -1,11 +1,12 @@
 // Model-checks the protocol conformance table of net/protocol_spec.h by
 // exhaustive enumeration: the state space is tiny (4 states x 2 directions
-// x 9 inputs x 3 versions = 216 cells), so instead of sampling behaviors we
+// x 10 inputs x 4 versions = 320 cells), so instead of sampling behaviors we
 // iterate all of them and prove the contract's load-bearing properties —
 // totality, hello-before-anything, nothing-after-close, version gates,
 // directional ownership, and reachability of every state. Below that, unit
-// tests drive the ProtocolConformance validator and the
-// ProtocolStreamChecker through legal and adversarial sequences.
+// tests drive the ProtocolConformance validator (including the v4 payload
+// site binding) and the ProtocolStreamChecker through legal and adversarial
+// sequences.
 
 #include "net/protocol_spec.h"
 
@@ -20,7 +21,7 @@
 namespace dsgm {
 namespace {
 
-constexpr uint8_t kAllVersions[] = {1, 2, 3};
+constexpr uint8_t kAllVersions[] = {1, 2, 3, 4};
 static_assert(sizeof(kAllVersions) == kNumProtocolVersions,
               "enumerate every version the table covers");
 
@@ -51,7 +52,7 @@ TEST(ProtocolSpecTable, EveryTripleHasADefinedVerdict) {
       }
     }
   }
-  EXPECT_EQ(cells, 4 * 2 * 9 * 3);
+  EXPECT_EQ(cells, 4 * 2 * 10 * 4);
 }
 
 TEST(ProtocolSpecTable, HelloBeforeAnything) {
@@ -106,11 +107,12 @@ TEST(ProtocolSpecTable, ExactlyOneHelloEver) {
 
 TEST(ProtocolSpecTable, VersionGates) {
   constexpr ProtocolDirection kS2C = ProtocolDirection::kSiteToCoordinator;
+  constexpr ProtocolDirection kC2S = ProtocolDirection::kCoordinatorToSite;
   // Heartbeats exist since v2: a v1 peer sending one is malformed traffic.
   EXPECT_EQ(LookupRule(ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, 1)
                 .verdict,
             ProtocolVerdict::kViolation);
-  for (uint8_t v : {uint8_t{2}, uint8_t{3}}) {
+  for (uint8_t v : {uint8_t{2}, uint8_t{3}, uint8_t{4}}) {
     EXPECT_EQ(
         LookupRule(ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, v)
             .verdict,
@@ -127,28 +129,65 @@ TEST(ProtocolSpecTable, VersionGates) {
             .verdict,
         ProtocolVerdict::kViolation);
   }
+  for (uint8_t v : {uint8_t{3}, uint8_t{4}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kS2C, WireInput::kInStatsReport, v)
+            .verdict,
+        ProtocolVerdict::kAccept);
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInStatsReport,
+                   v)
+            .verdict,
+        ProtocolVerdict::kViolation)
+        << "stats are data; data after the terminal close is a violation";
+  }
+  // Trace chunks exist since v4, and, like stats, only while the update
+  // lane is open.
+  for (uint8_t v : {uint8_t{1}, uint8_t{2}, uint8_t{3}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kS2C, WireInput::kInTraceChunk, v)
+            .verdict,
+        ProtocolVerdict::kViolation);
+  }
   EXPECT_EQ(
-      LookupRule(ProtocolState::kActive, kS2C, WireInput::kInStatsReport, 3)
+      LookupRule(ProtocolState::kActive, kS2C, WireInput::kInTraceChunk, 4)
           .verdict,
       ProtocolVerdict::kAccept);
   EXPECT_EQ(
-      LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInStatsReport, 3)
+      LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInTraceChunk, 4)
           .verdict,
-      ProtocolVerdict::kViolation)
-      << "stats are data; data after the terminal close is a violation";
+      ProtocolVerdict::kViolation);
+  // Coordinator heartbeat echoes exist since v4; they follow the site's own
+  // heartbeat lifetime (legal through Draining, gone after close).
+  for (uint8_t v : {uint8_t{1}, uint8_t{2}, uint8_t{3}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kC2S, WireInput::kInHeartbeat, v)
+            .verdict,
+        ProtocolVerdict::kViolation);
+  }
+  EXPECT_EQ(
+      LookupRule(ProtocolState::kActive, kC2S, WireInput::kInHeartbeat, 4)
+          .verdict,
+      ProtocolVerdict::kAccept);
+  EXPECT_EQ(
+      LookupRule(ProtocolState::kDraining, kC2S, WireInput::kInHeartbeat, 4)
+          .verdict,
+      ProtocolVerdict::kAccept);
 }
 
 TEST(ProtocolSpecTable, DirectionalOwnership) {
   constexpr ProtocolDirection kS2C = ProtocolDirection::kSiteToCoordinator;
   constexpr ProtocolDirection kC2S = ProtocolDirection::kCoordinatorToSite;
   // Frame kinds only the coordinator sends must never be accepted FROM a
-  // site, in any state or version — and vice versa.
+  // site, in any state or version — and vice versa. Heartbeats left this
+  // list in v4 (the coordinator echoes them); their C2S version gate is
+  // checked in VersionGates above.
   const WireInput never_from_site[] = {
       WireInput::kInRoundAdvance, WireInput::kInEventBatch,
       WireInput::kInCloseCommands, WireInput::kInCloseEvents};
   const WireInput never_from_coordinator[] = {
       WireInput::kInUpdateBundle, WireInput::kInCloseUpdates,
-      WireInput::kInHeartbeat, WireInput::kInStatsReport};
+      WireInput::kInStatsReport, WireInput::kInTraceChunk};
   for (ProtocolState state : kAllProtocolStates) {
     for (uint8_t version : kAllVersions) {
       for (WireInput input : never_from_site) {
@@ -166,7 +205,7 @@ TEST(ProtocolSpecTable, DirectionalOwnership) {
 }
 
 TEST(ProtocolSpecTable, OutOfRangeVersionsRejectEverything) {
-  for (uint8_t version : {uint8_t{0}, uint8_t{4}, uint8_t{200}, uint8_t{255}}) {
+  for (uint8_t version : {uint8_t{0}, uint8_t{5}, uint8_t{200}, uint8_t{255}}) {
     for (ProtocolState state : kAllProtocolStates) {
       for (ProtocolDirection direction : kAllProtocolDirections) {
         for (WireInput input : kAllWireInputs) {
@@ -227,6 +266,8 @@ TEST(ProtocolSpecTable, WireInputOfCoversEveryFrameKind) {
   EXPECT_EQ(WireInputOf(MakeHeartbeat(0)), WireInput::kInHeartbeat);
   EXPECT_EQ(WireInputOf(MakeStatsReport(SiteStatsReport{})),
             WireInput::kInStatsReport);
+  EXPECT_EQ(WireInputOf(MakeTraceChunk(TraceChunk{})),
+            WireInput::kInTraceChunk);
 }
 
 // --- ProtocolConformance --------------------------------------------------
@@ -238,10 +279,17 @@ TEST(ProtocolConformanceTest, HappyPathSiteToCoordinator) {
 
   EXPECT_EQ(conformance.OnFrame(MakeHello(2)), ProtocolVerdict::kAccept);
   EXPECT_EQ(conformance.state(), ProtocolState::kActive);
+  EXPECT_EQ(conformance.bound_site(), 2);  // Auto-bound by the hello.
   EXPECT_EQ(conformance.OnFrame(MakeFrame(UpdateBundle{})),
             ProtocolVerdict::kAccept);
   EXPECT_EQ(conformance.OnFrame(MakeHeartbeat(2)), ProtocolVerdict::kAccept);
-  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(SiteStatsReport{})),
+  SiteStatsReport stats;
+  stats.site = 2;
+  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(stats)),
+            ProtocolVerdict::kAccept);
+  TraceChunk chunk;
+  chunk.site = 2;
+  EXPECT_EQ(conformance.OnFrame(MakeTraceChunk(chunk)),
             ProtocolVerdict::kAccept);
   EXPECT_EQ(conformance.OnFrame(MakeChannelClose(FrameType::kUpdateBundle)),
             ProtocolVerdict::kAccept);
@@ -328,6 +376,58 @@ TEST(ProtocolConformanceTest, MalformedFrameIsTerminal) {
             2u);
 }
 
+TEST(ProtocolConformanceTest, ForgedStatsSiteIsAViolation) {
+  MetricsRegistry::Global().ResetForTest();
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  ASSERT_EQ(conformance.OnFrame(MakeHello(2)), ProtocolVerdict::kAccept);
+  SiteStatsReport honest;
+  honest.site = 2;
+  ASSERT_EQ(conformance.OnFrame(MakeStatsReport(honest)),
+            ProtocolVerdict::kAccept);
+  // A report claiming another site's identity is a terminal violation —
+  // the payload's site id is part of the contract, not advisory.
+  SiteStatsReport forged;
+  forged.site = 5;
+  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(forged)),
+            ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.violations(), 1u);
+}
+
+TEST(ProtocolConformanceTest, ForgedTraceChunkSiteIsAViolation) {
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  ASSERT_EQ(conformance.OnFrame(MakeHello(3)), ProtocolVerdict::kAccept);
+  TraceChunk forged;
+  forged.site = 0;
+  EXPECT_EQ(conformance.OnFrame(MakeTraceChunk(forged)),
+            ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+}
+
+TEST(ProtocolConformanceTest, BindSiteIdArmsConnectionsConstructedActive) {
+  // Connections that skip OnFrame's hello (the reactor transport does its
+  // handshake in the accept loop, then constructs kActive) bind explicitly.
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator,
+                                  kProtocolVersion, ProtocolState::kActive);
+  EXPECT_EQ(conformance.bound_site(), -1);
+  conformance.BindSiteId(4);
+  EXPECT_EQ(conformance.bound_site(), 4);
+  SiteStatsReport forged;
+  forged.site = 2;
+  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(forged)),
+            ProtocolVerdict::kViolation);
+}
+
+TEST(ProtocolConformanceTest, UnboundConnectionSkipsThePayloadSiteCheck) {
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator,
+                                  kProtocolVersion, ProtocolState::kActive);
+  SiteStatsReport stats;
+  stats.site = 7;  // Any site id passes while nothing is bound.
+  EXPECT_EQ(conformance.OnFrame(MakeStatsReport(stats)),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.violations(), 0u);
+}
+
 TEST(ProtocolConformanceTest, MarkClosedIsNotAViolation) {
   ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator,
                                   kProtocolVersion, ProtocolState::kActive);
@@ -353,15 +453,21 @@ TEST(ProtocolStreamCheckerTest, AcceptsALegalSiteStream) {
   bundle.site = 1;
   bundle.round = 3;
   bundle.reports.push_back({7, 42});
+  SiteStatsReport stats;
+  stats.site = 1;  // Must match the hello: the checker binds the site id.
+  TraceChunk chunk;
+  chunk.site = 1;
+  chunk.events.push_back(
+      TraceEvent{/*t_nanos=*/123, TraceEventType::kHeartbeat, 1, 0});
   const std::vector<uint8_t> bytes = EncodeStream(
       {MakeHello(1), MakeFrame(bundle), MakeHeartbeat(1),
-       MakeStatsReport(SiteStatsReport{}),
+       MakeStatsReport(stats), MakeTraceChunk(chunk),
        MakeChannelClose(FrameType::kUpdateBundle), MakeHeartbeat(1)});
 
   ProtocolStreamChecker checker(ProtocolDirection::kSiteToCoordinator);
   // Feed byte-by-byte: frame boundaries must not matter.
   for (uint8_t byte : bytes) ASSERT_TRUE(checker.Append(&byte, 1).ok());
-  EXPECT_EQ(checker.frames_accepted(), 6u);
+  EXPECT_EQ(checker.frames_accepted(), 7u);
   EXPECT_EQ(checker.conformance().state(), ProtocolState::kDraining);
   EXPECT_EQ(checker.conformance().violations(), 0u);
 }

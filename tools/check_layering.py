@@ -19,10 +19,11 @@ Rules checked, for every .h/.cc under src/ and include/:
      "harness/" prefix, or anything under tests/, bench/, examples/).
   4. Public headers (include/) may not include "api/..." — src/api is
      internal Session plumbing and is deliberately not installed.
-  5. common/metrics.h is the observability spine: every layer may include
-     it, so it must stay at the very bottom of the DAG. Its only quoted
-     includes may be the frozen allowlist below (mutex, annotations,
-     timer) — growing its dependency set would tax every hot path that
+  5. Frozen-allowlist headers: common/metrics.h is the observability spine
+     (every layer includes it, so it must stay at the very bottom of the
+     DAG) and common/tracing.h is the coordinator-side tracing stack built
+     directly on it. Each may only have the quoted includes frozen below —
+     growing their dependency sets would tax every hot path that
      instruments itself.
   6. fuzz/ harnesses target the untrusted wire surface and nothing else:
      they may include only net/ and common/ headers (plus their own
@@ -60,12 +61,20 @@ NON_SRC_PREFIXES = {"harness", "tests", "bench", "examples"}
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
-# Rule 5: the only quoted includes common/metrics.h may have.
-METRICS_HEADER = pathlib.PurePosixPath("src/common/metrics.h")
-METRICS_ALLOWED_INCLUDES = {
-    "common/mutex.h",
-    "common/thread_annotations.h",
-    "common/timer.h",
+# Rule 5: headers whose quoted includes are frozen, keyed by repo-relative
+# path. Growing one of these sets is a deliberate layering decision, not a
+# convenience edit.
+FROZEN_ALLOWLISTS = {
+    "src/common/metrics.h": {
+        "common/mutex.h",
+        "common/thread_annotations.h",
+        "common/timer.h",
+    },
+    "src/common/tracing.h": {
+        "common/metrics.h",
+        "common/mutex.h",
+        "common/thread_annotations.h",
+    },
 }
 
 # Rule 6: the only layers a fuzz/ harness may include.
@@ -124,7 +133,7 @@ def check_file(path, rel_path, violations):
     except (OSError, UnicodeDecodeError) as error:
         violations.append(f"{rel_path}: unreadable: {error}")
         return
-    is_metrics_header = rel_path.as_posix() == METRICS_HEADER.as_posix()
+    frozen = FROZEN_ALLOWLISTS.get(rel_path.as_posix())
     for lineno, line in enumerate(lines, start=1):
         match = INCLUDE_RE.match(line)
         if not match:
@@ -132,9 +141,9 @@ def check_file(path, rel_path, violations):
         target_path = match.group(1)
         target = target_path.split("/", 1)[0]
         where = f"{rel_path}:{lineno}"
-        if is_metrics_header and target_path not in METRICS_ALLOWED_INCLUDES:
+        if frozen is not None and target_path not in frozen:
             violations.append(
-                f"{where}: common/metrics.h must stay dependency-free "
+                f"{where}: {rel_path.as_posix()} must stay dependency-light "
                 f'(includable from every layer); "{target_path}" is not in '
                 f"its frozen allowlist"
             )

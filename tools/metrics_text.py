@@ -15,6 +15,8 @@ dump has more than one. Histogram quantiles are log2-bucket upper bounds
 
     tools/metrics_text.py run.metrics          # render
     tools/metrics_text.py --check run.metrics  # validate only
+    tools/metrics_text.py --alerts run.metrics # alert-rule firings
+    tools/metrics_text.py --timeline-summary trace.json
 
 --check validates every line parses and carries the expected keys, and
 exits nonzero otherwise; --check-cluster additionally asserts the final
@@ -23,7 +25,16 @@ non-negative heartbeat age, site sync counts summing > 0, and a non-zero
 net.reactor.loop_ns p99) — the acceptance probe for a kLocalTcp run and
 the ctest obs.metrics_smoke gate.
 
-Exits 0 on success, 1 on a failed check or malformed dump, 2 on usage
+--alerts renders the obs.alerts.* counters (the AlertEngine's health-rule
+firings) from the final snapshot, with the same dump validation.
+
+--timeline-summary reads a Chrome-trace JSON file written by --trace-out /
+WithTraceExport (NOT a metrics dump), validates its schema (traceEvents
+rows, per-process metadata, clock offsets), and prints per-process and
+per-event-type counts; it is the schema gate obs.metrics_smoke runs over
+the exported timeline.
+
+Exits 0 on success, 1 on a failed check or malformed input, 2 on usage
 errors (missing/empty file).
 """
 
@@ -93,6 +104,79 @@ def check_cluster(snapshot):
             f"net.reactor.loop_ns shows no samples "
             f"(count={loop['count']}, p99={loop['p99']})")
     return problems
+
+
+ALERT_COUNTERS = ("obs.alerts.total", "obs.alerts.heartbeat_stale",
+                  "obs.alerts.sync_collapse", "obs.alerts.event_rate_outlier")
+
+
+def render_alerts(snapshots):
+    """Alert-rule firings (obs.alerts.*) from the final snapshot."""
+    first, last = snapshots[0], snapshots[-1]
+    rows = []
+    for name in ALERT_COUNTERS:
+        value = last["counters"].get(name, 0)
+        delta = value - first["counters"].get(name, 0)
+        rows.append([name, str(value), str(delta)])
+    print_table("alert firings (edge-triggered; see common/tracing.h)",
+                ["rule counter", "total", "during dump"], rows)
+    total = last["counters"].get("obs.alerts.total", 0)
+    print(f"{total} alert(s) fired over the run")
+
+
+def validate_timeline(doc, path):
+    """Schema check for Chrome-trace JSON written by TimelineToChromeJson."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: missing 'traceEvents' array")
+    offsets = doc.get("otherData", {}).get("clock_offsets_nanos")
+    if not isinstance(offsets, dict):
+        raise ValueError(
+            f"{path}: missing otherData.clock_offsets_nanos object")
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "process_name" or "pid" not in event:
+                raise ValueError(f"{where}: malformed metadata row")
+        elif ph == "i":
+            for key in ("name", "pid", "tid", "ts", "args"):
+                if key not in event:
+                    raise ValueError(f"{where}: missing '{key}'")
+            if "site" not in event["args"]:
+                raise ValueError(f"{where}: args missing 'site'")
+        else:
+            raise ValueError(f"{where}: unexpected ph {ph!r}")
+    return events, offsets
+
+
+def render_timeline_summary(doc, path):
+    events, offsets = validate_timeline(doc, path)
+    names = {e["pid"]: e["args"]["name"]
+             for e in events if e.get("ph") == "M"}
+    instants = [e for e in events if e.get("ph") == "i"]
+    by_process = {}
+    by_type = {}
+    for event in instants:
+        by_process[event["pid"]] = by_process.get(event["pid"], 0) + 1
+        by_type[event["name"]] = by_type.get(event["name"], 0) + 1
+
+    span_us = (max(e["ts"] for e in instants) -
+               min(e["ts"] for e in instants)) if instants else 0.0
+    print(f"timeline: {len(instants)} event(s) across "
+          f"{len(by_process)} process(es) over {span_us / 1e3:.2f} ms "
+          f"(coordinator clock)\n")
+    rows = [[names.get(pid, f"pid {pid}"), str(count),
+             offsets.get(str(pid - 1), "-") if pid > 0 else "-"]
+            for pid, count in sorted(by_process.items())]
+    print_table("events per process",
+                ["process", "events", "clock offset ns"], rows)
+    rows = [[name, str(by_type[name])] for name in sorted(by_type)]
+    print_table("events per type", ["type", "count"], rows)
 
 
 def fmt_duration_ns(value):
@@ -190,7 +274,30 @@ def main(argv):
                              "snapshot shows a live cluster (site heartbeat "
                              "ages, syncs, reactor loop p99 all present and "
                              "non-zero)")
+    parser.add_argument("--alerts", action="store_true",
+                        help="render the obs.alerts.* health-rule firings "
+                             "from the final snapshot")
+    parser.add_argument("--timeline-summary", action="store_true",
+                        help="treat the input as Chrome-trace JSON written "
+                             "by --trace-out, validate its schema, and "
+                             "summarize events per process and type")
     args = parser.parse_args(argv)
+
+    if args.timeline_summary:
+        try:
+            if args.dump == "-":
+                doc = json.load(sys.stdin)
+            else:
+                with open(args.dump, encoding="utf-8") as stream:
+                    doc = json.load(stream)
+            render_timeline_summary(doc, args.dump)
+        except OSError as error:
+            print(f"metrics_text: {error}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError, TypeError) as error:
+            print(f"metrics_text: {error}", file=sys.stderr)
+            return 1
+        return 0
 
     try:
         if args.dump == "-":
@@ -204,6 +311,10 @@ def main(argv):
     except ValueError as error:
         print(f"metrics_text: {error}", file=sys.stderr)
         return 1
+
+    if args.alerts:
+        render_alerts(snapshots)
+        return 0
 
     if args.check_cluster:
         problems = check_cluster(snapshots[-1])
