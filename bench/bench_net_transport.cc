@@ -7,21 +7,38 @@
 // (and the estimated_to_wire_byte_ratio JSON field) is the factor by which
 // the protocol-level byte estimate overshoots the varint-coded wire —
 // about 3x, which also scales the fig6/fig11 byte reproductions.
+//
+// The TCP rows additionally sweep negotiated wire compression (protocol
+// v5, --compression): each point runs once with the capability disabled
+// (the v4 wire) and once with it on, reporting the realized byte reduction
+// and its throughput cost. Compression targets the event stream (EventBatch
+// frames) plus final-count bundles — kReports/kSync bundles ride the
+// latency path raw — so the headline ratio is measured on the downstream
+// (coordinator->site) direction the codec actually compresses; the total
+// two-direction ratio is reported alongside. --assert-compression gates
+// the sweep-wide numbers (>= 1.5x fewer event-stream bytes at >= 60% of
+// the raw throughput in-gate; the <= 10% cost acceptance claim is judged
+// on the full bench numbers).
 
 #include <iostream>
 
 #include "bayes/repository.h"
+#include "common/metrics.h"
 #include "common/table.h"
 #include "dsgm/dsgm.h"
 #include "harness/experiment.h"
 #include "harness/json_report.h"
+#include "net/compress.h"
 
 namespace dsgm {
 namespace {
 
 StatusOr<RunReport> RunOnce(const BayesianNetwork& net, TrackingStrategy strategy,
                             int sites, int64_t events, double eps, uint64_t seed,
-                            bool tcp) {
+                            bool tcp, bool compression) {
+  // Process-global switch: flip for the duration of this run only. Off
+  // reproduces the v4 wire exactly (the capability is never advertised).
+  SetWireCompressionEnabled(compression);
   SessionBuilder builder(net);
   builder.WithBackend(Backend::kThreads)
       .WithStrategy(strategy)
@@ -30,9 +47,15 @@ StatusOr<RunReport> RunOnce(const BayesianNetwork& net, TrackingStrategy strateg
       .WithSeed(seed);
   if (tcp) builder.WithTransport(MakeLocalTcpTransport);
   StatusOr<std::unique_ptr<Session>> session = builder.Build();
-  if (!session.ok()) return session.status();
-  DSGM_RETURN_IF_ERROR((*session)->StreamGroundTruth(events));
-  return (*session)->Finish();
+  if (!session.ok()) {
+    SetWireCompressionEnabled(true);
+    return session.status();
+  }
+  Status streamed = (*session)->StreamGroundTruth(events);
+  StatusOr<RunReport> report =
+      streamed.ok() ? (*session)->Finish() : StatusOr<RunReport>(streamed);
+  SetWireCompressionEnabled(true);
+  return report;
 }
 
 int Main(int argc, char** argv) {
@@ -41,11 +64,24 @@ int Main(int argc, char** argv) {
   flags.DefineInt64("events", 100000, "training instances per run");
   flags.DefineString("network", "alarm", "network to stream");
   flags.DefineString("site-counts", "2,4,8", "cluster sizes to sweep");
+  flags.DefineBool("compression", true,
+                   "also run each TCP point with negotiated v5 wire "
+                   "compression and report the byte reduction + throughput "
+                   "cost (off: v4 wire only)");
+  flags.DefineBool("assert-compression", false,
+                   "exit 1 unless, summed over the whole TCP sweep, "
+                   "compression cuts event-stream (downstream) wire bytes "
+                   ">= 1.5x AND the mean compressed-run throughput stays "
+                   ">= 60% of uncompressed (noise-tolerant gate; the <= 10% "
+                   "cost acceptance claim is judged on the full bench "
+                   "numbers). Implies --compression");
   flags.DefineString("json", "BENCH_net.json",
                      "machine-readable results file (empty disables)");
   ParseFlagsOrDie(&flags, argc, argv);
 
   const int64_t events = flags.GetInt64("events");
+  const bool sweep_compression =
+      flags.GetBool("compression") || flags.GetBool("assert-compression");
   const StatusOr<BayesianNetwork> net = NetworkByName(flags.GetString("network"));
   if (!net.ok()) {
     std::cerr << net.status() << "\n";
@@ -59,17 +95,32 @@ int Main(int argc, char** argv) {
                      " instances): loopback vs localhost TCP");
   table.SetHeader({"sites", "algorithm", "loopback events/s", "tcp events/s",
                    "tcp/loopback", "tcp MiB up", "tcp MiB down", "est/wire"});
+  TablePrinter compression_table(
+      "Wire compression (protocol v5): raw vs negotiated-LZ TCP bytes");
+  compression_table.SetHeader({"sites", "algorithm", "raw MiB", "LZ MiB",
+                               "stream ratio", "total ratio", "raw events/s",
+                               "LZ events/s", "throughput"});
   Json records = Json::Array();
+  uint64_t raw_wire_total = 0;
+  uint64_t lz_wire_total = 0;
+  uint64_t raw_down_total = 0;
+  uint64_t lz_down_total = 0;
+  double throughput_ratio_sum = 0.0;
+  int throughput_ratio_count = 0;
   for (const std::string& sites_text : SplitCommaList(flags.GetString("site-counts"))) {
     const int sites = std::stoi(sites_text);
     for (TrackingStrategy strategy : strategies) {
       const double eps = flags.GetDouble("eps");
       const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
 
-      const StatusOr<RunReport> loopback =
-          RunOnce(*net, strategy, sites, events, eps, seed, /*tcp=*/false);
-      const StatusOr<RunReport> tcp =
-          RunOnce(*net, strategy, sites, events, eps, seed, /*tcp=*/true);
+      const StatusOr<RunReport> loopback = RunOnce(
+          *net, strategy, sites, events, eps, seed, /*tcp=*/false,
+          /*compression=*/false);
+      // The headline TCP row is the UNCOMPRESSED wire: est/wire calibration
+      // and cross-commit throughput history stay comparable either way.
+      const StatusOr<RunReport> tcp = RunOnce(*net, strategy, sites, events,
+                                              eps, seed, /*tcp=*/true,
+                                              /*compression=*/false);
       if (!loopback.ok() || !tcp.ok()) {
         std::cerr << loopback.status() << " " << tcp.status() << "\n";
         return 1;
@@ -102,9 +153,60 @@ int Main(int argc, char** argv) {
         record.Add("network", Json::Str(net->name()))
             .Add("sites", Json::Int(sites))
             .Add("strategy", Json::Str(ToString(strategy)))
-            .Add("transport", Json::Str(entry.first));
+            .Add("transport", Json::Str(entry.first))
+            .Add("compression", Json::Str("off"));
         records.Append(std::move(record));
       }
+
+      if (!sweep_compression) continue;
+      const StatusOr<RunReport> tcp_lz = RunOnce(*net, strategy, sites, events,
+                                                 eps, seed, /*tcp=*/true,
+                                                 /*compression=*/true);
+      if (!tcp_lz.ok()) {
+        std::cerr << tcp_lz.status() << "\n";
+        return 1;
+      }
+      const uint64_t lz_wire_bytes =
+          tcp_lz->transport_bytes_up + tcp_lz->transport_bytes_down;
+      const double total_ratio =
+          lz_wire_bytes > 0
+              ? static_cast<double>(wire_bytes) / static_cast<double>(lz_wire_bytes)
+              : 0.0;
+      // The event stream is the compressed direction; kReports syncs ride
+      // upstream raw and would dilute the ratio the codec is judged on.
+      const double stream_ratio =
+          tcp_lz->transport_bytes_down > 0
+              ? static_cast<double>(tcp->transport_bytes_down) /
+                    static_cast<double>(tcp_lz->transport_bytes_down)
+              : 0.0;
+      const double throughput_ratio =
+          tcp->throughput_events_per_sec > 0.0
+              ? tcp_lz->throughput_events_per_sec / tcp->throughput_events_per_sec
+              : 0.0;
+      raw_wire_total += wire_bytes;
+      lz_wire_total += lz_wire_bytes;
+      raw_down_total += tcp->transport_bytes_down;
+      lz_down_total += tcp_lz->transport_bytes_down;
+      throughput_ratio_sum += throughput_ratio;
+      ++throughput_ratio_count;
+      compression_table.AddRow(
+          {std::to_string(sites), ToString(strategy),
+           FormatDouble(static_cast<double>(wire_bytes) / (1 << 20), 2),
+           FormatDouble(static_cast<double>(lz_wire_bytes) / (1 << 20), 2),
+           FormatDouble(stream_ratio, 2), FormatDouble(total_ratio, 2),
+           FormatCount(static_cast<int64_t>(tcp->throughput_events_per_sec)),
+           FormatCount(static_cast<int64_t>(tcp_lz->throughput_events_per_sec)),
+           FormatDouble(throughput_ratio, 2)});
+      Json record = RunReportToJson(*tcp_lz);
+      record.Add("network", Json::Str(net->name()))
+          .Add("sites", Json::Int(sites))
+          .Add("strategy", Json::Str(ToString(strategy)))
+          .Add("transport", Json::Str("tcp"))
+          .Add("compression", Json::Str("on"))
+          .Add("stream_compression_ratio", Json::Double(stream_ratio))
+          .Add("wire_compression_ratio", Json::Double(total_ratio))
+          .Add("compressed_throughput_ratio", Json::Double(throughput_ratio));
+      records.Append(std::move(record));
     }
   }
   table.Print(std::cout);
@@ -113,13 +215,68 @@ int Main(int argc, char** argv) {
                "byte reproductions use the estimate, so divide\nby this "
                "factor for wire-honest numbers.\n\n";
 
+  double sweep_total_ratio = 0.0;
+  double sweep_stream_ratio = 0.0;
+  double sweep_throughput_ratio = 0.0;
+  bool gate_failed = false;
+  if (sweep_compression && lz_wire_total > 0 && lz_down_total > 0 &&
+      throughput_ratio_count > 0) {
+    sweep_total_ratio = static_cast<double>(raw_wire_total) /
+                        static_cast<double>(lz_wire_total);
+    sweep_stream_ratio = static_cast<double>(raw_down_total) /
+                         static_cast<double>(lz_down_total);
+    sweep_throughput_ratio = throughput_ratio_sum / throughput_ratio_count;
+    compression_table.Print(std::cout);
+    std::cout << "\nsweep total: " << FormatDouble(sweep_stream_ratio, 2)
+              << "x fewer event-stream bytes ("
+              << FormatDouble(sweep_total_ratio, 2)
+              << "x both directions) at "
+              << FormatDouble(sweep_throughput_ratio, 2)
+              << "x the uncompressed throughput\n\n";
+    if (flags.GetBool("assert-compression")) {
+      if (sweep_stream_ratio < 1.5) {
+        std::cerr << "GATE FAILED: compression cut event-stream bytes only "
+                  << FormatDouble(sweep_stream_ratio, 2) << "x (< 1.5x) over "
+                  << "the TCP sweep\n";
+        gate_failed = true;
+      }
+      if (sweep_throughput_ratio < 0.6) {
+        std::cerr << "GATE FAILED: mean compressed throughput "
+                  << FormatDouble(sweep_throughput_ratio, 2)
+                  << "x of uncompressed (< 0.6x) over the TCP sweep\n";
+        gate_failed = true;
+      }
+    }
+  } else if (flags.GetBool("assert-compression")) {
+    std::cerr << "GATE FAILED: --assert-compression ran no compressed TCP "
+                 "points\n";
+    gate_failed = true;
+  }
+
   if (!flags.GetString("json").empty()) {
     Json root = Json::Object();
+    // Cumulative across the sweep; carries the codec-level
+    // net.compress.{bytes_in,bytes_out,ratio_x1000} series for
+    // bench_diff.py alongside the per-run wire numbers.
+    MetricsSnapshot final_metrics = MetricsRegistry::Global().Snapshot();
+    final_metrics.captured_nanos = NowNanos();
     root.Add("bench", Json::Str("net_transport"))
         .Add("events_per_run", Json::Int(events))
         .Add("epsilon", Json::Double(flags.GetDouble("eps")))
         .Add("seed", Json::Int(flags.GetInt64("seed")))
-        .Add("results", std::move(records));
+        .Add("results", std::move(records))
+        .Add("metrics", MetricsSnapshotToJson(final_metrics));
+    if (sweep_compression) {
+      Json summary = Json::Object();
+      summary.Add("wire_bytes_uncompressed", Json::Int(static_cast<int64_t>(raw_wire_total)))
+          .Add("wire_bytes_compressed", Json::Int(static_cast<int64_t>(lz_wire_total)))
+          .Add("stream_bytes_uncompressed", Json::Int(static_cast<int64_t>(raw_down_total)))
+          .Add("stream_bytes_compressed", Json::Int(static_cast<int64_t>(lz_down_total)))
+          .Add("stream_compression_ratio", Json::Double(sweep_stream_ratio))
+          .Add("wire_compression_ratio", Json::Double(sweep_total_ratio))
+          .Add("compressed_throughput_ratio", Json::Double(sweep_throughput_ratio));
+      root.Add("compression_summary", std::move(summary));
+    }
     const Status written = WriteJsonReport(flags.GetString("json"), root);
     if (!written.ok()) {
       std::cerr << written << "\n";
@@ -127,7 +284,7 @@ int Main(int argc, char** argv) {
     }
     std::cout << "wrote " << flags.GetString("json") << "\n";
   }
-  return 0;
+  return gate_failed ? 1 : 0;
 }
 
 }  // namespace

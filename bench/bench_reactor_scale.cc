@@ -6,6 +6,12 @@
 // sites, where the latter spends ~3 threads per site (coordinator-side
 // reader + writer, site-side reader).
 //
+// The reactor rows sweep the readiness backend (--io-backends): "reactor"
+// is the epoll loop (name kept stable for bench_diff.py history),
+// "reactor-io_uring" the multishot io_uring loop; the io_uring rows
+// auto-skip on kernels without rings. --assert-io-uring gates the
+// epoll-vs-io_uring comparison at the largest swept site count.
+//
 // Also runs ctest-gated as net.reactor_scale_smoke (16 sites,
 // --assert-o1-io) so a thread-count or throughput regression in the
 // reactor shows up per commit.
@@ -44,13 +50,15 @@ int CountThreads() {
 struct ScaleRun {
   int sites = 0;
   std::string transport;
-  int threads_total = 0;  // Peak process thread count during the run.
-  int io_threads = 0;     // threads_total - baseline - protocol threads.
+  std::string io_backend;  // "epoll" / "io_uring"; "none" off the reactor.
+  int threads_total = 0;   // Peak process thread count during the run.
+  int io_threads = 0;      // threads_total - baseline - protocol threads.
   double events_per_sec = 0.0;
   uint64_t wire_bytes = 0;
 };
 
-StatusOr<ScaleRun> RunOnce(const BayesianNetwork& net, const char* name,
+StatusOr<ScaleRun> RunOnce(const BayesianNetwork& net, const std::string& name,
+                           const std::string& io_backend,
                            const TransportFactory& factory, int sites,
                            int64_t events, double eps, uint64_t seed) {
   const int baseline_threads = CountThreads();
@@ -73,6 +81,7 @@ StatusOr<ScaleRun> RunOnce(const BayesianNetwork& net, const char* name,
   ScaleRun run;
   run.sites = sites;
   run.transport = name;
+  run.io_backend = io_backend;
   run.threads_total = running_threads;
   run.io_threads = running_threads - baseline_threads - sites - 1;
   run.events_per_sec = report->throughput_events_per_sec;
@@ -94,6 +103,15 @@ int Main(int argc, char** argv) {
                    "acceptance claim is judged on the full bench numbers)");
   flags.DefineBool("reactor-only", false,
                    "skip the thread-per-connection baseline (fast smoke)");
+  flags.DefineString("io-backends", "epoll,io_uring",
+                     "readiness backends to sweep the reactor over; io_uring "
+                     "entries auto-skip on kernels without rings");
+  flags.DefineBool("assert-io-uring", false,
+                   "exit 1 unless io_uring reactor throughput reaches >= 85% "
+                   "of the epoll reactor at the largest swept site count "
+                   "(noise-tolerant smoke gate; the >= 1x acceptance claim is "
+                   "judged on the full bench numbers). No-op (skip, not fail) "
+                   "when the kernel lacks io_uring");
   flags.DefineString("json", "BENCH_reactor.json",
                      "machine-readable results file (empty disables)");
   ParseFlagsOrDie(&flags, argc, argv);
@@ -106,29 +124,57 @@ int Main(int argc, char** argv) {
   }
 
   struct TransportEntry {
-    const char* name;
+    std::string name;
     TransportFactory factory;
+    std::string io_backend;
   };
   std::vector<TransportEntry> transports;
   if (!flags.GetBool("reactor-only")) {
-    transports.push_back({"thread-per-conn", MakeLocalTcpTransport});
+    transports.push_back({"thread-per-conn", MakeLocalTcpTransport, "none"});
   }
-  transports.push_back({"reactor", MakeReactorTransport});
+  bool io_uring_skipped = false;
+  for (const std::string& backend_text :
+       SplitCommaList(flags.GetString("io-backends"))) {
+    IoBackendKind kind;
+    if (!ParseIoBackendKind(backend_text, &kind)) {
+      std::cerr << "unknown io backend: " << backend_text << "\n";
+      return 1;
+    }
+    if (kind == IoBackendKind::kIoUring && !IoUringAvailable()) {
+      std::cout << "io_uring unavailable on this kernel; skipping the "
+                   "reactor-io_uring sweep\n";
+      io_uring_skipped = true;
+      continue;
+    }
+    // The epoll rows keep the historical "reactor" name so bench_diff.py
+    // compares like against like across commits that predate the sweep.
+    const std::string name = kind == IoBackendKind::kEpoll
+                                 ? "reactor"
+                                 : std::string("reactor-") +
+                                       IoBackendKindName(kind);
+    transports.push_back(
+        {name,
+         [kind](int n) { return MakeReactorTransport(n, kind); },
+         IoBackendKindName(kind)});
+  }
 
   TablePrinter table("Reactor scaling (" + net->name() + ", " +
                      FormatInstances(events) +
                      " instances): sites vs threads vs throughput");
-  table.SetHeader({"sites", "transport", "threads", "I/O threads", "events/s",
-                   "wire MiB"});
+  table.SetHeader({"sites", "transport", "backend", "threads", "I/O threads",
+                   "events/s", "wire MiB"});
   Json records = Json::Array();
   bool gate_failed = false;
+  double epoll_at_max_sites = 0.0;
+  double io_uring_at_max_sites = 0.0;
+  int max_sites = 0;
   for (const std::string& sites_text : SplitCommaList(flags.GetString("site-counts"))) {
     const int sites = std::stoi(sites_text);
     double baseline_throughput = 0.0;
     for (const TransportEntry& transport : transports) {
       StatusOr<ScaleRun> run =
-          RunOnce(*net, transport.name, transport.factory, sites, events,
-                  flags.GetDouble("eps"),
+          RunOnce(*net, transport.name, transport.io_backend,
+                  transport.factory, sites, events, flags.GetDouble("eps"),
                   static_cast<uint64_t>(flags.GetInt64("seed")));
       if (!run.ok()) {
         std::cerr << "sites=" << sites << " " << transport.name << ": "
@@ -138,7 +184,17 @@ int Main(int argc, char** argv) {
       if (run->transport == "thread-per-conn") {
         baseline_throughput = run->events_per_sec;
       }
+      // The io_uring gate compares the two reactor rows at the largest
+      // swept site count (the regime the backend exists for).
+      if (sites >= max_sites) {
+        max_sites = sites;
+        if (run->io_backend == "epoll") epoll_at_max_sites = run->events_per_sec;
+        if (run->io_backend == "io_uring") {
+          io_uring_at_max_sites = run->events_per_sec;
+        }
+      }
       table.AddRow({std::to_string(run->sites), run->transport,
+                    run->io_backend,
                     std::to_string(run->threads_total),
                     std::to_string(run->io_threads),
                     FormatCount(static_cast<int64_t>(run->events_per_sec)),
@@ -147,6 +203,7 @@ int Main(int argc, char** argv) {
       record.Add("network", Json::Str(net->name()))
           .Add("sites", Json::Int(run->sites))
           .Add("transport", Json::Str(run->transport))
+          .Add("io_backend", Json::Str(run->io_backend))
           .Add("threads_total", Json::Int(run->threads_total))
           .Add("io_threads", Json::Int(run->io_threads))
           .Add("events_per_sec", Json::Double(run->events_per_sec))
@@ -168,6 +225,20 @@ int Main(int argc, char** argv) {
           gate_failed = true;
         }
       }
+    }
+  }
+  if (flags.GetBool("assert-io-uring") && !io_uring_skipped) {
+    if (io_uring_at_max_sites <= 0.0 || epoll_at_max_sites <= 0.0) {
+      std::cerr << "GATE FAILED: --assert-io-uring needs both the epoll and "
+                   "io_uring reactor rows in --io-backends\n";
+      gate_failed = true;
+    } else if (io_uring_at_max_sites < 0.85 * epoll_at_max_sites) {
+      std::cerr << "GATE FAILED: io_uring reactor "
+                << static_cast<int64_t>(io_uring_at_max_sites)
+                << " ev/s < 85% of epoll "
+                << static_cast<int64_t>(epoll_at_max_sites) << " ev/s at "
+                << max_sites << " sites\n";
+      gate_failed = true;
     }
   }
   table.Print(std::cout);

@@ -78,6 +78,10 @@ def main():
     parser.add_argument("new", help="candidate BENCH_*.json")
     parser.add_argument("--metrics", default="",
                         help="only report metrics matching this regex")
+    parser.add_argument("--records", default="",
+                        help="only report (and gate) records whose identity "
+                             "key matches this regex — scopes --fail-above to "
+                             "e.g. the 8-producer row or the tcp transport")
     parser.add_argument("--fail-above", type=float, default=None, metavar="PCT",
                         help="exit 1 if a --regress-metrics metric regresses "
                              "by more than PCT%% (default: never fail)")
@@ -93,6 +97,12 @@ def main():
     old_records = dict(extract_records(old_root))
     new_records = dict(extract_records(new_root))
     metric_filter = re.compile(args.metrics) if args.metrics else None
+    record_filter = re.compile(args.records) if args.records else None
+    if record_filter:
+        old_records = {k: v for k, v in old_records.items()
+                       if record_filter.search(k)}
+        new_records = {k: v for k, v in new_records.items()
+                       if record_filter.search(k)}
     regress_filter = re.compile(args.regress_metrics)
 
     bench = new_root.get("bench", "?") if isinstance(new_root, dict) else "?"
@@ -128,6 +138,10 @@ def main():
     for key in old_records:
         if key not in new_records:
             print(f"  {key:<{width}}  (dropped; present only in baseline)")
+    if args.fail_above is not None and record_filter and not new_records:
+        # A gate whose record vanished must fail loudly, not pass vacuously.
+        print(f"  no records match --records '{args.records}'  <-- REGRESSION")
+        failed = True
     return 1 if failed else 0
 
 

@@ -1,0 +1,48 @@
+# Compile-time probe for the io_uring reactor backend.
+#
+# Sets DSGM_HAVE_IO_URING when the toolchain's kernel headers carry
+# everything the backend needs: the setup/enter syscall numbers, multishot
+# poll (IORING_POLL_ADD_MULTI, kernel headers >= 5.13), and enter-with-
+# timeout (IORING_ENTER_EXT_ARG + io_uring_getevents_arg, >= 5.11). The
+# probe is about HEADERS only — whether the running kernel (or a seccomp
+# sandbox) actually allows io_uring_setup is decided again at runtime by
+# MakeIoUringBackend(), which falls back to epoll. Without the headers the
+# backend source compiles to a stub factory and everything runs on epoll.
+
+include(CheckCXXSourceCompiles)
+
+function(dsgm_probe_io_uring)
+  check_cxx_source_compiles("
+    #include <linux/io_uring.h>
+    #include <linux/time_types.h>
+    #include <sys/syscall.h>
+    #if !defined(__NR_io_uring_setup) || !defined(__NR_io_uring_enter)
+    #error no io_uring syscalls
+    #endif
+    int main() {
+      io_uring_params params{};
+      params.flags = IORING_SETUP_CQSIZE;
+      io_uring_sqe sqe{};
+      sqe.opcode = IORING_OP_POLL_ADD;
+      sqe.poll32_events = 0;
+      sqe.len = IORING_POLL_ADD_MULTI;
+      sqe.opcode = IORING_OP_POLL_REMOVE;
+      io_uring_cqe cqe{};
+      (void)(cqe.flags & IORING_CQE_F_MORE);
+      io_uring_getevents_arg arg{};
+      __kernel_timespec ts{};
+      arg.ts = 0;
+      unsigned feats = IORING_FEAT_EXT_ARG | IORING_FEAT_SINGLE_MMAP;
+      unsigned enter = IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG;
+      (void)params; (void)ts; (void)feats; (void)enter;
+      return 0;
+    }
+  " DSGM_HAVE_IO_URING)
+  if(DSGM_HAVE_IO_URING)
+    message(STATUS "io_uring backend: headers OK (runtime probe decides per process)")
+  else()
+    message(STATUS "io_uring backend: headers missing or too old; epoll only")
+  endif()
+endfunction()
+
+dsgm_probe_io_uring()

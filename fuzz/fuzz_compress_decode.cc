@@ -1,0 +1,39 @@
+// Adversarial decompressor harness: raw attacker bytes go straight into
+// LzDecompress, the routine every coordinator runs on payloads it has NOT
+// produced itself. The declared size comes from the input too (first two
+// bytes, little-endian), so the fuzzer controls both the block and the
+// bound it is checked against. Oracles: never crash, never read or write
+// outside the declared window, and any ACCEPTED block must produce exactly
+// the declared byte count and survive a re-compress / re-decompress round
+// trip (a decoder that accepts garbage the compressor cannot reproduce is
+// a spec divergence even when it is memory-safe).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "net/compress.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace dsgm;
+  if (size < 2) return 0;
+  // 0..65535 keeps the per-exec cost bounded while covering every
+  // interesting boundary (0, the 15/255 length-nibble edges, > block size).
+  const size_t declared = static_cast<size_t>(data[0]) |
+                          (static_cast<size_t>(data[1]) << 8);
+  std::vector<uint8_t> out;
+  const Status status = LzDecompress(data + 2, size - 2, declared, &out);
+  if (!status.ok()) return 0;
+
+  DSGM_CHECK_EQ(out.size(), declared)
+      << "accepted block decoded to the wrong size";
+  std::vector<uint8_t> repacked;
+  LzCompress(out.data(), out.size(), &repacked);
+  std::vector<uint8_t> again;
+  DSGM_CHECK(
+      LzDecompress(repacked.data(), repacked.size(), out.size(), &again).ok())
+      << "re-compress of an accepted block was rejected";
+  DSGM_CHECK(again == out) << "accepted block not stable across round trip";
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "net/codec.h"
+#include "net/compress.h"
 #include "net/protocol_spec.h"
 #include "net/wire.h"
 
@@ -238,6 +239,160 @@ void GenProtocolStream(const fs::path& dir) {
   }
 }
 
+/// Raw payload textures the wire actually carries, for the compressor
+/// harnesses: an encoded event-batch frame (tiny alphabet, highly
+/// repetitive), a pure run, interleaved repeats, and incompressible noise.
+std::vector<std::vector<uint8_t>> CompressiblePayloads() {
+  std::vector<std::vector<uint8_t>> payloads;
+  EventBatch batch;
+  batch.num_events = 256;
+  for (int i = 0; i < 1024; ++i) {
+    batch.values.push_back(static_cast<uint8_t>(i % 3));
+  }
+  payloads.push_back(Encode(MakeFrame(std::move(batch))));
+  payloads.push_back(std::vector<uint8_t>(512, 0x61));
+  {
+    std::vector<uint8_t> interleaved;
+    for (int i = 0; i < 300; ++i) {
+      const char* word = (i % 2) ? "alarm" : "sync!";
+      interleaved.insert(interleaved.end(), word, word + 5);
+    }
+    payloads.push_back(std::move(interleaved));
+  }
+  {
+    Rng rng(90210);
+    std::vector<uint8_t> noise;
+    for (int i = 0; i < 256; ++i) {
+      noise.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    payloads.push_back(std::move(noise));
+  }
+  payloads.push_back({});
+  payloads.push_back({'x', 'y', 'z'});
+  return payloads;
+}
+
+void GenCompressRoundtrip(const fs::path& dir) {
+  // The round-trip harness takes raw bytes directly.
+  const auto payloads = CompressiblePayloads();
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    WriteSeed(dir, "payload-" + std::to_string(i) + ".bin", payloads[i]);
+  }
+}
+
+void GenCompressDecode(const fs::path& dir) {
+  // The decode harness reads a 2-byte little-endian declared size, then the
+  // LZ block. Valid seeds (honest size + honest block) give coverage deep
+  // inside the decoder; the fuzzer mutates them into the adversarial cases.
+  const auto pack = [](const std::vector<uint8_t>& payload) {
+    std::vector<uint8_t> seed = {
+        static_cast<uint8_t>(payload.size() & 0xff),
+        static_cast<uint8_t>((payload.size() >> 8) & 0xff)};
+    LzCompress(payload.data(), payload.size(), &seed);
+    return seed;
+  };
+  const auto payloads = CompressiblePayloads();
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    WriteSeed(dir, "valid-" + std::to_string(i) + ".bin", pack(payloads[i]));
+  }
+  // Dishonest declared size on an otherwise-valid block.
+  {
+    std::vector<uint8_t> lying = pack(payloads[1]);
+    lying[0] = 0x10;
+    lying[1] = 0x00;
+    WriteSeed(dir, "wrong-declared-size.bin", lying);
+  }
+  // Truncation ladder on the richest valid block.
+  {
+    const std::vector<uint8_t> whole = pack(payloads[0]);
+    for (size_t keep : {size_t{3}, size_t{8}, whole.size() / 2,
+                        whole.size() - 1}) {
+      WriteSeed(dir, "trunc-" + std::to_string(keep) + ".bin",
+                std::vector<uint8_t>(whole.begin(),
+                                     whole.begin() +
+                                         static_cast<std::ptrdiff_t>(keep)));
+    }
+  }
+  // Directed adversarial shapes from compress_test.cc: zero offset,
+  // out-of-window offset, and a length-extension 255-run bomb.
+  WriteSeed(dir, "zero-offset.bin",
+            {0x08, 0x00, 0x41, 'a', 'b', 'c', 'd', 0x00, 0x00});
+  WriteSeed(dir, "oow-offset.bin",
+            {0x08, 0x00, 0x41, 'a', 'b', 'c', 'd', 0x05, 0x00});
+  {
+    std::vector<uint8_t> bomb = {0xff, 0xff, 0xf0};
+    bomb.insert(bomb.end(), 64, 0xff);
+    WriteSeed(dir, "extension-bomb.bin", bomb);
+  }
+}
+
+void GenReactorStream(const fs::path& dir) {
+  // Byte 0: bit 0 = receive direction, bit 1 = negotiated version (set =
+  // v4); the rest is the wire stream. The connection arrives hello-paired
+  // (conformance starts kActive), so streams begin with data frames.
+  const auto stream = [](uint8_t head, const std::vector<Frame>& frames) {
+    std::vector<uint8_t> bytes = {head};
+    for (const Frame& frame : frames) AppendFrame(frame, &bytes);
+    return bytes;
+  };
+  UpdateBundle bundle;
+  bundle.site = 0;
+  bundle.kind = UpdateBundle::Kind::kSync;
+  bundle.round = 1;
+  bundle.reports.push_back(CounterReport{7, 1});
+  SiteStatsReport stats;
+  stats.site = 0;
+  EventBatch batch;
+  batch.num_events = 1;
+  batch.values = {0, 1};
+  RoundAdvance advance;
+  advance.round = 1;
+
+  // Legal post-hello traffic, both directions.
+  WriteSeed(dir, "legal-s2c.bin",
+            stream(0, {MakeFrame(bundle), MakeHeartbeat(0),
+                       MakeStatsReport(stats), MakeFrame(bundle),
+                       MakeChannelClose(FrameType::kUpdateBundle)}));
+  WriteSeed(dir, "legal-c2s.bin",
+            stream(1, {MakeFrame(batch), MakeFrame(advance),
+                       MakeChannelClose(FrameType::kEventBatch),
+                       MakeChannelClose(FrameType::kRoundAdvance)}));
+  // A compressed envelope mid-stream (v5): a big compressible batch that
+  // AppendFrameMaybeCompressed provably wraps, between raw frames.
+  {
+    EventBatch big;
+    big.num_events = 512;
+    big.values.assign(2048, 1);
+    std::vector<uint8_t> bytes = stream(1, {MakeFrame(batch)});
+    AppendFrameMaybeCompressed(MakeFrame(std::move(big)), &bytes);
+    AppendFrame(MakeFrame(advance), &bytes);
+    WriteSeed(dir, "legal-c2s-compressed.bin", bytes);
+    // The same stream at a v4-negotiated connection: the envelope is now a
+    // model-checked violation the reactor must turn into a clean drop.
+    bytes[0] = 3;
+    WriteSeed(dir, "viol-compressed-at-v4.bin", bytes);
+  }
+  // Direction violation: a coordinator-only frame on the s2c half.
+  WriteSeed(dir, "viol-wrong-direction.bin", stream(0, {MakeFrame(advance)}));
+  // Malformed bytes after a legal prefix: bad tag, then oversized prefix.
+  {
+    std::vector<uint8_t> bytes = stream(0, {MakeFrame(bundle)});
+    bytes.insert(bytes.end(), {5, 0, 0, 0, 99, 1, 2, 3, 4});
+    WriteSeed(dir, "malformed-bad-tag.bin", bytes);
+  }
+  {
+    std::vector<uint8_t> bytes = stream(0, {MakeHeartbeat(0)});
+    bytes.insert(bytes.end(), {0xff, 0xff, 0xff, 0xff});
+    WriteSeed(dir, "malformed-oversized-prefix.bin", bytes);
+  }
+  // Partial frame then EOF: the reassembly buffer ends mid-frame.
+  {
+    std::vector<uint8_t> whole = stream(0, {MakeFrame(bundle)});
+    WriteSeed(dir, "trunc-mid-frame.bin",
+              std::vector<uint8_t>(whole.begin(), whole.end() - 2));
+  }
+}
+
 int Run(int argc, char** argv) {
   const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::path("corpus");
   const struct {
@@ -245,7 +400,10 @@ int Run(int argc, char** argv) {
     void (*generate)(const fs::path&);
   } kCorpora[] = {{"codec_decode", GenCodecDecode},
                   {"frame_roundtrip", GenFrameRoundtrip},
-                  {"protocol_stream", GenProtocolStream}};
+                  {"protocol_stream", GenProtocolStream},
+                  {"compress_roundtrip", GenCompressRoundtrip},
+                  {"compress_decode", GenCompressDecode},
+                  {"reactor_stream", GenReactorStream}};
   for (const auto& corpus : kCorpora) {
     const fs::path dir = root / corpus.name;
     fs::create_directories(dir);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "net/io_backend.h"
 #include "net/wire.h"
 
 namespace dsgm {
@@ -84,6 +85,12 @@ std::unique_ptr<ClusterTransport> MakeLocalTcpTransport(int num_sites);
 /// lets one coordinator scale to hundreds of sites. Implemented in
 /// net/reactor_transport.{h,cc}; passes the same conformance suite.
 std::unique_ptr<ClusterTransport> MakeReactorTransport(int num_sites);
+
+/// Same, with an explicit readiness backend for both reactor threads
+/// (io_uring requests fall back to epoll when the kernel refuses; see
+/// net/io_backend.h).
+std::unique_ptr<ClusterTransport> MakeReactorTransport(int num_sites,
+                                                       IoBackendKind io_backend);
 
 }  // namespace dsgm
 

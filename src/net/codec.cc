@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "net/compress.h"
+
 namespace dsgm {
 namespace {
 
@@ -12,6 +14,8 @@ class ByteReader {
 
   size_t remaining() const { return size_ - pos_; }
   bool done() const { return pos_ == size_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+  void SkipRemaining() { pos_ = size_; }
 
   Status ReadU8(uint8_t* out) {
     if (remaining() < 1) return InvalidArgumentError("codec: truncated frame");
@@ -298,9 +302,14 @@ Frame MakeChannelClose(FrameType channel) {
 }
 
 Frame MakeHello(int32_t site) {
+  return MakeHello(site, WireCompressionEnabled() ? kCapCompression : 0);
+}
+
+Frame MakeHello(int32_t site, uint64_t caps) {
   Frame frame;
   frame.type = FrameType::kHello;
   frame.site = site;
+  frame.caps = caps;
   return frame;
 }
 
@@ -355,6 +364,9 @@ void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kHello:
       out->push_back(frame.protocol_version);
       AppendZigzag(frame.site, out);
+      // The caps varint exists since v5; older (or forged-older) hellos
+      // must stay byte-identical to what a real old peer would send.
+      if (frame.protocol_version >= 5) AppendVarint(frame.caps, out);
       break;
     case FrameType::kHeartbeat:
       AppendZigzag(frame.site, out);
@@ -367,6 +379,12 @@ void AppendFrame(const Frame& frame, std::vector<uint8_t>* out) {
       break;
     case FrameType::kTraceChunk:
       AppendTraceChunkBody(frame.trace, out);
+      break;
+    case FrameType::kCompressed:
+      // kCompressed is a wire envelope, not a Frame value: the decoder
+      // unwraps it (Frame::compressed) and the encoder wraps via
+      // AppendFrameMaybeCompressed. A Frame typed kCompressed is a bug.
+      DSGM_CHECK(false) << "AppendFrame: kCompressed is not a frame value";
       break;
   }
   const size_t payload = out->size() - prefix_at - 4;
@@ -382,10 +400,11 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
   uint8_t type = 0;
   DSGM_RETURN_IF_ERROR(reader.ReadU8(&type));
   if (type < static_cast<uint8_t>(FrameType::kUpdateBundle) ||
-      type > static_cast<uint8_t>(FrameType::kTraceChunk)) {
+      type > static_cast<uint8_t>(FrameType::kCompressed)) {
     return InvalidArgumentError("codec: bad frame type tag");
   }
   out->type = static_cast<FrameType>(type);
+  out->compressed = false;
   switch (out->type) {
     case FrameType::kUpdateBundle:
       DSGM_RETURN_IF_ERROR(DecodeBundleBody(&reader, &out->bundle));
@@ -414,6 +433,14 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
         return InvalidArgumentError("codec: hello site out of range");
       }
       out->site = static_cast<int32_t>(site);
+      // v5+ hellos carry a caps varint; tolerate its absence (caps = none)
+      // so a minimal v5 hello decodes, but never read it from older hellos
+      // — their byte layout is frozen and the trailing-bytes check below
+      // keeps rejecting any extra.
+      out->caps = 0;
+      if (out->protocol_version >= 5 && !reader.done()) {
+        DSGM_RETURN_IF_ERROR(reader.ReadVarint(&out->caps));
+      }
       break;
     }
     case FrameType::kHeartbeat: {
@@ -436,11 +463,100 @@ Status DecodeFramePayload(const uint8_t* data, size_t size, Frame* out) {
       DSGM_RETURN_IF_ERROR(DecodeTraceChunkBody(&reader, &out->trace));
       out->site = out->trace.site;
       break;
+    case FrameType::kCompressed: {
+      // Envelope: varint declared raw size | LZ block. Every remote claim
+      // is bounded before use: the declared size is capped like any frame
+      // payload, the block must decompress to EXACTLY that size, and the
+      // inner payload is re-decoded with the same defenses. One level only
+      // — a nested envelope (or an enveloped hello, which must stay
+      // readable pre-negotiation) is rejected by tag before recursing.
+      uint64_t raw_size = 0;
+      DSGM_RETURN_IF_ERROR(reader.ReadVarint(&raw_size));
+      if (raw_size == 0 || raw_size > kMaxFramePayload) {
+        return InvalidArgumentError(
+            "codec: compressed declared size out of range");
+      }
+      std::vector<uint8_t> inner;
+      DSGM_RETURN_IF_ERROR(LzDecompress(reader.cursor(), reader.remaining(),
+                                        static_cast<size_t>(raw_size),
+                                        &inner));
+      reader.SkipRemaining();
+      if (inner[0] == static_cast<uint8_t>(FrameType::kCompressed)) {
+        return InvalidArgumentError("codec: nested compressed envelope");
+      }
+      if (inner[0] == static_cast<uint8_t>(FrameType::kHello)) {
+        return InvalidArgumentError("codec: compressed hello");
+      }
+      DSGM_RETURN_IF_ERROR(
+          DecodeFramePayload(inner.data(), inner.size(), out));
+      out->compressed = true;
+      break;
+    }
   }
   if (!reader.done()) {
     return InvalidArgumentError("codec: trailing bytes after frame payload");
   }
   return Status::Ok();
+}
+
+bool CompressionEligible(const Frame& frame) {
+  return frame.type == FrameType::kEventBatch ||
+         (frame.type == FrameType::kUpdateBundle &&
+          frame.bundle.kind == UpdateBundle::Kind::kFinalCounts);
+}
+
+void AppendFrameMaybeCompressed(const Frame& frame, std::vector<uint8_t>* out) {
+  // Payloads below this floor can't amortize the envelope header and are
+  // not worth the instrument noise either.
+  constexpr size_t kCompressMinPayload = 64;
+  if (!CompressionEligible(frame) || !WireCompressionEnabled()) {
+    AppendFrame(frame, out);
+    return;
+  }
+  std::vector<uint8_t> raw;
+  AppendFrame(frame, &raw);
+  const size_t payload_size = raw.size() - 4;
+  if (payload_size < kCompressMinPayload) {
+    out->insert(out->end(), raw.begin(), raw.end());
+    return;
+  }
+  std::vector<uint8_t> packed;
+  packed.reserve(LzCompressBound(payload_size));
+  LzCompress(raw.data() + 4, payload_size, &packed);
+  static Counter* const bytes_in =
+      MetricsRegistry::Global().GetCounter("net.compress.bytes_in");
+  static Counter* const bytes_out =
+      MetricsRegistry::Global().GetCounter("net.compress.bytes_out");
+  static Gauge* const ratio_x1000 =
+      MetricsRegistry::Global().GetGauge("net.compress.ratio_x1000");
+  size_t wire_payload = payload_size;
+  // Envelope payload: type byte + declared-size varint + LZ block. Emit it
+  // only when it actually beats the raw encoding; incompressible batches
+  // ship raw (and still count, so the ratio reflects the wire, not the
+  // codec's best case).
+  std::vector<uint8_t> header;
+  header.push_back(static_cast<uint8_t>(FrameType::kCompressed));
+  AppendVarint(payload_size, &header);
+  if (header.size() + packed.size() < payload_size) {
+    wire_payload = header.size() + packed.size();
+    const size_t prefix_at = out->size();
+    out->resize(prefix_at + 4);
+    out->insert(out->end(), header.begin(), header.end());
+    out->insert(out->end(), packed.begin(), packed.end());
+    for (int i = 0; i < 4; ++i) {
+      (*out)[prefix_at + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(wire_payload >> (8 * i));
+    }
+  } else {
+    out->insert(out->end(), raw.begin(), raw.end());
+  }
+  bytes_in->Add(payload_size);
+  bytes_out->Add(wire_payload);
+  const uint64_t in_total = bytes_in->Value();
+  const uint64_t out_total = bytes_out->Value();
+  if (out_total > 0) {
+    ratio_x1000->Set(static_cast<int64_t>(in_total * 1000 / out_total));
+  }
 }
 
 Status DecodeFrame(const uint8_t* data, size_t size, Frame* out, size_t* consumed) {

@@ -39,6 +39,11 @@ enum class FrameType : uint8_t {
   kStatsReport = 7,   // observability: per-site stats piggybacked on heartbeats
   kTraceChunk = 8,    // observability: incremental TraceRing drain (site ->
                       // coordinator), piggybacked on the heartbeat cadence
+  kCompressed = 9,    // v5 envelope: varint declared raw size + LZ block that
+                      // decompresses to another frame's payload. Exists only
+                      // on the wire — DecodeFramePayload unwraps it (setting
+                      // Frame::compressed), so application code never sees
+                      // the type.
 };
 
 /// Wire protocol revision, carried in every kHello frame ahead of the site
@@ -48,8 +53,20 @@ enum class FrameType : uint8_t {
 ///          2 = kHeartbeat liveness frames (2026-07);
 ///          3 = kStatsReport observability frames (2026-08);
 ///          4 = kTraceChunk trace shipping + heartbeat clock samples and
-///              coordinator echoes (2026-08).
-constexpr uint8_t kProtocolVersion = 4;
+///              coordinator echoes (2026-08);
+///          5 = capability hellos (trailing caps varint) + negotiated
+///              kCompressed batch envelopes (2026-08).
+constexpr uint8_t kProtocolVersion = 5;
+
+/// The oldest peer revision a hello may negotiate down to. v4 and v5 frame
+/// bodies are wire-compatible (v5 only ADDS the caps varint and the
+/// kCompressed envelope, both gated on the negotiated version), so a v5
+/// endpoint accepts a v4 hello and runs the connection at v4 — uncompressed,
+/// caps-less. Anything older changed frame bodies and is still a mismatch.
+constexpr uint8_t kMinNegotiableVersion = 4;
+
+/// kHello capability bits (v5+, carried in the trailing caps varint).
+constexpr uint64_t kCapCompression = 1;
 
 /// Tagged union of everything a connection can carry. Only the member
 /// selected by `type` is meaningful.
@@ -69,6 +86,14 @@ struct Frame {
   /// the forger's own connection being alive.
   int32_t site = -1;
   uint8_t protocol_version = kProtocolVersion;
+  /// kHello (v5+): capability bits (kCapCompression). v4 hellos decode with
+  /// caps == 0; encoders emit the caps varint only when protocol_version
+  /// >= 5 so a forged-v4 hello round-trips byte-identically.
+  uint64_t caps = 0;
+  /// Set by the decoder when this frame arrived inside a kCompressed
+  /// envelope. The conformance layer uses it to reject compressed traffic
+  /// on connections that negotiated v4 (protocol_spec.h kInCompressed).
+  bool compressed = false;
   /// kStatsReport: the sender's cumulative stats. Like heartbeats, the
   /// embedded site id is a claim — receivers must check it against the
   /// connection's authenticated id and drop mismatches before letting it
@@ -86,7 +111,10 @@ Frame MakeFrame(UpdateBundle bundle);
 Frame MakeFrame(RoundAdvance advance);
 Frame MakeFrame(EventBatch batch);
 Frame MakeChannelClose(FrameType channel);
+/// The default hello advertises kCapCompression when the process-wide
+/// wire-compression switch (net/compress.h) is on.
 Frame MakeHello(int32_t site);
+Frame MakeHello(int32_t site, uint64_t caps);
 Frame MakeHeartbeat(int32_t site);
 Frame MakeHeartbeat(int32_t site, const HeartbeatTimestamps& hb);
 Frame MakeStatsReport(const SiteStatsReport& stats);
@@ -107,6 +135,21 @@ constexpr uint32_t DecodeLengthPrefix(const uint8_t* data) {
 
 /// Appends the length prefix plus encoded payload of `frame` to `out`.
 void AppendFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+/// True for the frame kinds the v5 compression envelope may carry: event
+/// batches and final-count bundles — the bulk-data frames whose varint
+/// payloads still tile repetitively. Control and liveness frames stay raw.
+bool CompressionEligible(const Frame& frame);
+
+/// Like AppendFrame, but when `frame` is CompressionEligible, the
+/// process-wide switch is on, and the LZ pass actually shrinks the payload
+/// (past a small floor), emits a kCompressed envelope instead of the raw
+/// encoding. Callers gate this on the connection's NEGOTIATED capability —
+/// the codec only decides eligibility and profitability. Updates the
+/// net.compress.{bytes_in,bytes_out,ratio_x1000} instruments on every
+/// eligible frame (raw fallbacks count too, so the ratio reflects the real
+/// wire effect).
+void AppendFrameMaybeCompressed(const Frame& frame, std::vector<uint8_t>* out);
 
 /// Decodes one payload (the bytes after the length prefix). The payload
 /// must be consumed exactly; trailing bytes are an error.

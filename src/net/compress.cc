@@ -1,0 +1,207 @@
+#include "net/compress.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace dsgm {
+namespace {
+
+constexpr int kHashLog = 13;
+constexpr size_t kHashSize = size_t{1} << kHashLog;
+// Candidates remembered per hash bucket. Event-batch payloads are short
+// strings over a tiny alphabet: most 4-byte windows recur many times, and
+// keeping only the latest occurrence (a single-probe LZ4-style table)
+// forfeits most long matches to hash-slot churn. Four ways with
+// longest-match selection buys ~2x better ratios on that traffic for a
+// still-trivial probe cost.
+constexpr size_t kWays = 4;
+constexpr size_t kMaxOffset = 65535;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Fibonacci hashing of the 4-byte window at a position.
+inline uint32_t HashOf(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+// Emits a nibble-15 length continuation (the nibble itself is in the token).
+void AppendLengthExtension(size_t len, std::vector<uint8_t>* out) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+std::atomic<bool> g_wire_compression_enabled{true};
+
+}  // namespace
+
+void SetWireCompressionEnabled(bool enabled) {
+  g_wire_compression_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool WireCompressionEnabled() {
+  return g_wire_compression_enabled.load(std::memory_order_relaxed);
+}
+
+// Pushes `pos` as bucket newest, aging the other ways down one slot.
+inline void BucketInsert(uint32_t* bucket, size_t pos) {
+  for (size_t way = kWays - 1; way > 0; --way) bucket[way] = bucket[way - 1];
+  bucket[0] = static_cast<uint32_t>(pos + 1);
+}
+
+void LzCompress(const uint8_t* in, size_t in_size, std::vector<uint8_t>* out) {
+  // Positions + 1 of recent 4-byte windows per (bucket, way); 0 = empty.
+  // Greedy longest-of-kWays matcher with backward extension; every scanned
+  // AND matched position is seeded so interleaved repeat patterns stay
+  // findable (single-probe tables churn them out).
+  std::vector<uint32_t> table(kHashSize * kWays, 0);
+  out->reserve(out->size() + in_size / 2 + 16);
+  size_t anchor = 0;
+  size_t pos = 0;
+  while (pos + kLzMinMatch <= in_size) {
+    const uint32_t window = Load32(in + pos);
+    uint32_t* bucket = &table[static_cast<size_t>(HashOf(window)) * kWays];
+    size_t best_len = 0;
+    size_t best_cand = 0;
+    for (size_t way = 0; way < kWays; ++way) {
+      if (bucket[way] == 0) continue;
+      const size_t cand_pos = bucket[way] - 1;
+      const size_t offset = pos - cand_pos;
+      if (offset == 0 || offset > kMaxOffset ||
+          Load32(in + cand_pos) != window) {
+        continue;
+      }
+      size_t len = kLzMinMatch;
+      while (pos + len < in_size && in[cand_pos + len] == in[pos + len]) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_cand = cand_pos;
+      }
+    }
+    BucketInsert(bucket, pos);
+    if (best_len == 0) {
+      ++pos;
+      continue;
+    }
+    // Grow the match backward into pending literals (bytes already scanned
+    // past without a match of their own often complete this one). The
+    // offset is invariant: both cursors step together.
+    size_t cand_pos = best_cand;
+    size_t match_len = best_len;
+    while (pos > anchor && cand_pos > 0 && in[cand_pos - 1] == in[pos - 1]) {
+      --pos;
+      --cand_pos;
+      ++match_len;
+    }
+    const size_t offset = pos - cand_pos;
+    const size_t literal_len = pos - anchor;
+    const size_t match_extra = match_len - kLzMinMatch;
+    const uint8_t literal_nibble =
+        literal_len >= 15 ? 15 : static_cast<uint8_t>(literal_len);
+    const uint8_t match_nibble =
+        match_extra >= 15 ? 15 : static_cast<uint8_t>(match_extra);
+    out->push_back(static_cast<uint8_t>((literal_nibble << 4) | match_nibble));
+    if (literal_len >= 15) AppendLengthExtension(literal_len - 15, out);
+    out->insert(out->end(), in + anchor, in + pos);
+    out->push_back(static_cast<uint8_t>(offset & 0xff));
+    out->push_back(static_cast<uint8_t>((offset >> 8) & 0xff));
+    if (match_extra >= 15) AppendLengthExtension(match_extra - 15, out);
+    const size_t match_end = pos + match_len;
+    for (size_t seed = pos + 1;
+         seed < match_end && seed + kLzMinMatch <= in_size; ++seed) {
+      BucketInsert(
+          &table[static_cast<size_t>(HashOf(Load32(in + seed))) * kWays],
+          seed);
+    }
+    pos = match_end;
+    anchor = pos;
+  }
+  // Terminal literals-only sequence (always present, even when empty, so a
+  // block is never zero bytes).
+  const size_t literal_len = in_size - anchor;
+  const uint8_t literal_nibble =
+      literal_len >= 15 ? 15 : static_cast<uint8_t>(literal_len);
+  out->push_back(static_cast<uint8_t>(literal_nibble << 4));
+  if (literal_len >= 15) AppendLengthExtension(literal_len - 15, out);
+  out->insert(out->end(), in + anchor, in + in_size);
+}
+
+Status LzDecompress(const uint8_t* in, size_t in_size, size_t expected_size,
+                    std::vector<uint8_t>* out) {
+  const size_t out_base = out->size();
+  out->reserve(out_base + expected_size);
+  size_t ip = 0;
+  // Reads a nibble-15 continuation; `limit` bounds the result so a crafted
+  // 255-run cannot climb past the declared size (and cannot overflow).
+  const auto read_length = [&](size_t nibble, size_t limit,
+                               size_t* len) -> Status {
+    *len = nibble;
+    if (nibble != 15) return Status::Ok();
+    uint8_t byte = 0;
+    do {
+      if (ip >= in_size) {
+        return InvalidArgumentError("compress: truncated length extension");
+      }
+      byte = in[ip++];
+      *len += byte;
+      if (*len > limit + 15) {
+        return InvalidArgumentError(
+            "compress: length extension exceeds declared size");
+      }
+    } while (byte == 255);
+    return Status::Ok();
+  };
+  while (ip < in_size) {
+    const uint8_t token = in[ip++];
+    size_t literal_len = 0;
+    DSGM_RETURN_IF_ERROR(
+        read_length(token >> 4, expected_size, &literal_len));
+    if (literal_len > in_size - ip) {
+      return InvalidArgumentError("compress: truncated literals");
+    }
+    const size_t produced = out->size() - out_base;
+    if (literal_len > expected_size - produced) {
+      return InvalidArgumentError(
+          "compress: literals exceed declared size");
+    }
+    out->insert(out->end(), in + ip, in + ip + literal_len);
+    ip += literal_len;
+    if (ip == in_size) break;  // Terminal sequence: literals only.
+    if (in_size - ip < 2) {
+      return InvalidArgumentError("compress: truncated match offset");
+    }
+    const size_t offset = static_cast<size_t>(in[ip]) |
+                          (static_cast<size_t>(in[ip + 1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > out->size() - out_base) {
+      return InvalidArgumentError("compress: match offset outside window");
+    }
+    size_t match_extra = 0;
+    DSGM_RETURN_IF_ERROR(
+        read_length(token & 0x0f, expected_size, &match_extra));
+    const size_t match_len = match_extra + kLzMinMatch;
+    if (match_len > expected_size - (out->size() - out_base)) {
+      return InvalidArgumentError("compress: match exceeds declared size");
+    }
+    // Byte-by-byte on purpose: offsets shorter than the match length
+    // overlap the bytes being produced (RLE-style runs).
+    size_t src = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[src + i]);
+    }
+  }
+  if (out->size() - out_base != expected_size) {
+    return InvalidArgumentError("compress: block decodes to wrong size");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dsgm

@@ -1,0 +1,100 @@
+// The Reactor's pluggable readiness backend.
+//
+// Reactor (net/reactor.h) owns handlers, timers, posting, and the
+// single-loop-thread ThreadRole contract; what it delegates here is the
+// narrow OS surface: register interest in an fd, wait for readiness. Two
+// implementations exist —
+//
+//   epoll     (reactor.cc)            edge-triggered epoll, always available
+//   io_uring  (io_uring_backend.cc)   multishot IORING_OP_POLL_ADD over raw
+//                                     io_uring_setup/enter syscalls (no
+//                                     liburing); compile-gated by the cmake
+//                                     probe and runtime-gated by a setup
+//                                     probe, falling back to epoll when the
+//                                     kernel (or a seccomp policy) refuses
+//
+// Both deliver the SAME edge-ish contract the fd handlers were written
+// against: a readiness record means "the fd transitioned; drain it to
+// EAGAIN". Multishot poll only posts completions on waitqueue wakeups
+// (plus one level-check at arm time), which matches EPOLLET closely enough
+// that ReactorConnection runs unchanged on either backend.
+//
+// Thread contract: every method except construction is called from the
+// reactor loop thread only (enforced at the Reactor layer, whose wrappers
+// carry DSGM_REQUIRES(loop_role)).
+
+#ifndef DSGM_NET_IO_BACKEND_H_
+#define DSGM_NET_IO_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dsgm {
+
+/// One readiness record: `events` is an EPOLL*-style bitmask (EPOLLIN /
+/// EPOLLOUT / EPOLLERR / EPOLLHUP — numerically identical to the POLL*
+/// constants, which is what lets the io_uring backend pass them through).
+struct IoReady {
+  int fd = -1;
+  uint32_t events = 0;
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Registers / re-registers / removes interest. `events` is an EPOLL*
+  /// mask without EPOLLET (edge semantics are the backend's job).
+  virtual void Add(int fd, uint32_t events) = 0;
+  virtual void Modify(int fd, uint32_t events) = 0;
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` and appends readiness records to `out`.
+  /// Returns the number of records appended (0 on timeout/EINTR), or -1 on
+  /// an unrecoverable backend failure (the loop exits).
+  virtual int Wait(int timeout_ms, std::vector<IoReady>* out) = 0;
+};
+
+/// Which backend a Reactor should use.
+enum class IoBackendKind : uint8_t {
+  /// Honor the DSGM_IO_BACKEND environment variable ("epoll", "io_uring",
+  /// "auto") when set, else epoll. This is what default-constructed
+  /// Reactors use, so existing tests can be re-run wholesale on io_uring
+  /// by the CI leg without touching every construction site.
+  kDefault = 0,
+  kEpoll = 1,
+  /// io_uring when the kernel provides it, epoll otherwise (requesting
+  /// io_uring is a preference, not a demand — the runtime probe decides;
+  /// check Reactor::io_backend_name() for what actually ran).
+  kIoUring = 2,
+  kAuto = 3,
+};
+
+const char* IoBackendKindName(IoBackendKind kind);
+
+/// Parses "epoll" / "io_uring" / "auto" (the --io-backend flag values).
+bool ParseIoBackendKind(const std::string& text, IoBackendKind* out);
+
+/// Maps kDefault through the environment; identity for explicit kinds.
+IoBackendKind ResolveIoBackendKind(IoBackendKind kind);
+
+/// Constructs the backend for `kind`, applying the runtime probe and the
+/// epoll fallback. Never returns null.
+std::unique_ptr<IoBackend> MakeIoBackend(IoBackendKind kind);
+
+/// True when this build AND this kernel can actually run the io_uring
+/// backend (probed once, cached). Benches and tests use it to skip-not-fail
+/// io_uring comparisons on kernels (or seccomp sandboxes) without support.
+bool IoUringAvailable();
+
+/// Factory for the io_uring backend alone: null when the compile probe was
+/// off or the runtime probe fails. Implemented in io_uring_backend.cc.
+std::unique_ptr<IoBackend> MakeIoUringBackend();
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_IO_BACKEND_H_

@@ -1,0 +1,367 @@
+// io_uring readiness backend: multishot IORING_OP_POLL_ADD over the raw
+// io_uring_setup/io_uring_enter syscalls (no liburing).
+//
+// Why POLL and not direct recv/send ops: the transports own their buffers
+// and their drain-to-EAGAIN loops; what the Reactor contracts for is
+// *readiness*, and multishot poll delivers it with epoll-edge-like
+// semantics — completions post on waitqueue wakeups (plus one level check
+// at arm time), so an always-writable socket does not storm the CQ the way
+// a single-shot (level-triggered) poll re-armed every loop would.
+//
+// Mechanics:
+//   - one ring per backend (256 SQ entries, 4096 CQ entries via
+//     IORING_SETUP_CQSIZE so a burst across hundreds of fds cannot overflow)
+//   - Add/Modify/Remove prep SQEs but do NOT syscall; Wait publishes the SQ
+//     tail and submits the whole batch in the same io_uring_enter that
+//     waits for completions (IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG
+//     with a timespec — the reason IORING_FEAT_EXT_ARG is required)
+//   - user_data packs (generation << 32) | fd; Modify/Remove bump or drop
+//     the generation, so CQEs from a cancelled registration are filtered
+//     instead of misdelivered to a reused fd number
+//   - a CQE without IORING_CQE_F_MORE means the kernel ended the multishot
+//     (CQ pressure, or terminal condition); re-arm if the fd is still
+//     registered — POLL_ADD level-checks at arm, so no wakeup is lost
+//   - Create() probes at runtime: setup (seccomp policies commonly deny
+//     it → EPERM), EXT_ARG feature, and an actual multishot arm on an
+//     eventfd whose first CQE must carry F_MORE (old kernels reject the
+//     flag with -EINVAL). Any failure → nullptr → the caller uses epoll.
+//
+// Thread contract is the Reactor's: everything after Create runs on the
+// loop thread (or the constructing thread before Start — ordered by thread
+// creation).
+
+#include "net/io_uring_backend.h"
+
+#if defined(DSGM_HAVE_IO_URING)
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+#endif
+
+namespace dsgm {
+
+#if defined(DSGM_HAVE_IO_URING) && defined(__NR_io_uring_setup) && \
+    defined(__NR_io_uring_enter)
+
+namespace {
+
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kCqEntries = 4096;
+
+/// user_data of POLL_REMOVE SQEs: their completions (and the -ENOENT when
+/// the target already completed) carry no readiness information.
+constexpr uint64_t kCancelUserData = ~0ull;
+
+uint64_t PackUserData(uint32_t gen, int fd) {
+  return (static_cast<uint64_t>(gen) << 32) |
+         static_cast<uint32_t>(fd);
+}
+
+class IoUringBackend final : public IoBackend {
+ public:
+  static std::unique_ptr<IoBackend> Create() {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = kCqEntries;
+    const int ring_fd = static_cast<int>(
+        ::syscall(__NR_io_uring_setup, kSqEntries, &params));
+    if (ring_fd < 0) return nullptr;  // ENOSYS / EPERM (seccomp) / ...
+    if ((params.features & IORING_FEAT_EXT_ARG) == 0) {
+      ::close(ring_fd);
+      return nullptr;  // No enter-with-timeout; pre-5.11 kernel.
+    }
+    std::unique_ptr<IoUringBackend> backend(
+        new IoUringBackend(ring_fd, params));
+    if (!backend->ok_ || !backend->ProbeMultishot()) return nullptr;
+    return backend;
+  }
+
+  ~IoUringBackend() override {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+    if (cq_ring_ptr_ != nullptr && cq_ring_ptr_ != sq_ring_ptr_) {
+      ::munmap(cq_ring_ptr_, cq_ring_size_);
+    }
+    if (sq_ring_ptr_ != nullptr) ::munmap(sq_ring_ptr_, sq_ring_size_);
+    // Closing the ring cancels every in-flight poll and releases its file
+    // references.
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  const char* name() const override { return "io_uring"; }
+
+  void Add(int fd, uint32_t events) override {
+    const uint32_t gen = ++next_gen_;
+    DSGM_CHECK(fds_.emplace(fd, FdState{gen, events}).second)
+        << "fd registered twice: " << fd;
+    ArmPoll(fd, events, gen);
+  }
+
+  void Modify(int fd, uint32_t events) override {
+    auto it = fds_.find(fd);
+    DSGM_CHECK(it != fds_.end()) << "Modify of unregistered fd " << fd;
+    CancelPoll(PackUserData(it->second.gen, fd));
+    it->second.gen = ++next_gen_;
+    it->second.events = events;
+    ArmPoll(fd, events, it->second.gen);
+  }
+
+  void Remove(int fd) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return;
+    CancelPoll(PackUserData(it->second.gen, fd));
+    fds_.erase(it);
+  }
+
+  int Wait(int timeout_ms, std::vector<IoReady>* out) override {
+    // Publish every SQE prepped since the last Wait; the enter below both
+    // submits the batch and waits, one syscall per loop iteration.
+    sq_tail_->store(sq_tail_local_, std::memory_order_release);
+    const unsigned to_submit = sq_tail_local_ - sq_submitted_;
+    __kernel_timespec ts;
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    io_uring_getevents_arg arg;
+    std::memset(&arg, 0, sizeof(arg));
+    arg.ts = reinterpret_cast<uint64_t>(&ts);
+    const int ret =
+        Enter(to_submit, /*min_complete=*/1,
+              IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
+              sizeof(arg));
+    if (ret >= 0) {
+      // Returns the submit count even when the wait phase timed out.
+      sq_submitted_ += static_cast<unsigned>(ret);
+    } else if (errno != ETIME && errno != EINTR && errno != EBUSY) {
+      return -1;  // Unrecoverable; the loop exits (mirrors epoll).
+    }
+    return Reap(out);
+  }
+
+ private:
+  struct FdState {
+    uint32_t gen;
+    uint32_t events;
+  };
+
+  IoUringBackend(int ring_fd, const io_uring_params& params)
+      : ring_fd_(ring_fd) {
+    sq_ring_size_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_size_ =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    if ((params.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_ring_size_ = cq_ring_size_ = std::max(sq_ring_size_, cq_ring_size_);
+    }
+    sq_ring_ptr_ = ::mmap(nullptr, sq_ring_size_, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, ring_fd_,
+                          IORING_OFF_SQ_RING);
+    if (sq_ring_ptr_ == MAP_FAILED) {
+      sq_ring_ptr_ = nullptr;
+      return;
+    }
+    if ((params.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_ring_ptr_ = sq_ring_ptr_;
+    } else {
+      cq_ring_ptr_ = ::mmap(nullptr, cq_ring_size_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                            IORING_OFF_CQ_RING);
+      if (cq_ring_ptr_ == MAP_FAILED) {
+        cq_ring_ptr_ = nullptr;
+        return;
+      }
+    }
+    sqes_size_ = params.sq_entries * sizeof(io_uring_sqe);
+    void* sqes = ::mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) return;
+    sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+    // The ring head/tail words are shared with the kernel; atomic access
+    // through the mmap'd memory is the documented protocol (acquire loads
+    // of the side the kernel writes, release stores of the side we write).
+    auto* sq = static_cast<uint8_t*>(sq_ring_ptr_);
+    sq_head_ = reinterpret_cast<std::atomic<unsigned>*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<unsigned>*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ring_ptr_);
+    cq_head_ = reinterpret_cast<std::atomic<unsigned>*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<unsigned>*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+
+    sq_entries_ = params.sq_entries;
+    sq_tail_local_ = sq_tail_->load(std::memory_order_relaxed);
+    sq_submitted_ = sq_tail_local_;
+    cq_head_local_ = cq_head_->load(std::memory_order_relaxed);
+    ok_ = true;
+  }
+
+  /// Arms a multishot poll on an already-readable eventfd and requires the
+  /// first completion to carry IORING_CQE_F_MORE. Kernels without multishot
+  /// poll reject the arm with -EINVAL (delivered here as EPOLLERR), and a
+  /// single-shot-degraded arm completes without F_MORE — both fail the
+  /// probe, and the caller falls back to epoll.
+  bool ProbeMultishot() {
+    const int efd = ::eventfd(1, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (efd < 0) return false;
+    Add(efd, POLLIN);
+    std::vector<IoReady> ready;
+    const int n = Wait(/*timeout_ms=*/1000, &ready);
+    const bool ok = n == 1 && ready[0].fd == efd &&
+                    (ready[0].events & POLLIN) != 0 && saw_multishot_more_;
+    Remove(efd);
+    // Flush the cancel so the poll's file reference on efd is dropped
+    // before the close (timeout 0: submit, return).
+    ready.clear();
+    Wait(/*timeout_ms=*/0, &ready);
+    ::close(efd);
+    return ok;
+  }
+
+  int Enter(unsigned to_submit, unsigned min_complete, unsigned flags,
+            const void* arg, size_t argsz) {
+    return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd_,
+                                      to_submit, min_complete, flags, arg,
+                                      argsz));
+  }
+
+  io_uring_sqe* GetSqe() {
+    if (sq_tail_local_ - sq_head_->load(std::memory_order_acquire) >=
+        sq_entries_) {
+      // Ring full mid-batch (a re-registration storm): flush inline.
+      sq_tail_->store(sq_tail_local_, std::memory_order_release);
+      while (sq_submitted_ != sq_tail_local_) {
+        const int ret =
+            Enter(sq_tail_local_ - sq_submitted_, 0, 0, nullptr, 0);
+        if (ret < 0) {
+          DSGM_CHECK(errno == EINTR)
+              << "io_uring_enter(submit) failed: errno " << errno;
+          continue;
+        }
+        sq_submitted_ += static_cast<unsigned>(ret);
+      }
+    }
+    const unsigned idx = sq_tail_local_ & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[idx] = idx;
+    ++sq_tail_local_;
+    return sqe;
+  }
+
+  void ArmPoll(int fd, uint32_t events, uint32_t gen) {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    // EPOLL* and POLL* share values for IN/OUT/ERR/HUP/RDHUP; the interest
+    // mask passes through. (poll32_events: the 32-bit field liburing uses.)
+    sqe->poll32_events = events;
+    sqe->len = IORING_POLL_ADD_MULTI;
+    sqe->user_data = PackUserData(gen, fd);
+  }
+
+  void CancelPoll(uint64_t target_user_data) {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->fd = -1;
+    sqe->addr = target_user_data;
+    sqe->user_data = kCancelUserData;
+  }
+
+  int Reap(std::vector<IoReady>* out) {
+    int count = 0;
+    unsigned head = cq_head_local_;
+    const unsigned tail = cq_tail_->load(std::memory_order_acquire);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      ++head;
+      count += HandleCqe(cqe, out);
+    }
+    cq_head_->store(head, std::memory_order_release);
+    cq_head_local_ = head;
+    return count;
+  }
+
+  int HandleCqe(const io_uring_cqe& cqe, std::vector<IoReady>* out) {
+    if (cqe.user_data == kCancelUserData) return 0;
+    const int fd = static_cast<int>(cqe.user_data & 0xffffffffu);
+    const uint32_t gen = static_cast<uint32_t>(cqe.user_data >> 32);
+    auto it = fds_.find(fd);
+    // Stale: the registration was modified or removed after this CQE was
+    // decided (includes the -ECANCELED completion of a cancelled poll).
+    if (it == fds_.end() || it->second.gen != gen) return 0;
+    if (cqe.res < 0) {
+      if (cqe.res == -ECANCELED) return 0;
+      // Arm or poll failure: surface as EPOLLERR so the handler tears the
+      // connection down; do not re-arm a failing poll.
+      out->push_back(IoReady{fd, EPOLLERR});
+      return 1;
+    }
+    if ((cqe.flags & IORING_CQE_F_MORE) != 0) {
+      saw_multishot_more_ = true;
+    } else {
+      // Kernel ended the multishot (CQ pressure or terminal event). Re-arm
+      // with the current interest: POLL_ADD level-checks at arm time, so
+      // readiness that appeared meanwhile still produces a completion.
+      ArmPoll(fd, it->second.events, gen);
+    }
+    if (cqe.res == 0) return 0;
+    out->push_back(IoReady{fd, static_cast<uint32_t>(cqe.res)});
+    return 1;
+  }
+
+  int ring_fd_ = -1;
+  bool ok_ = false;
+  bool saw_multishot_more_ = false;
+
+  void* sq_ring_ptr_ = nullptr;
+  void* cq_ring_ptr_ = nullptr;
+  size_t sq_ring_size_ = 0;
+  size_t cq_ring_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_size_ = 0;
+
+  std::atomic<unsigned>* sq_head_ = nullptr;
+  std::atomic<unsigned>* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_entries_ = 0;
+  unsigned sq_tail_local_ = 0;
+  unsigned sq_submitted_ = 0;
+
+  std::atomic<unsigned>* cq_head_ = nullptr;
+  std::atomic<unsigned>* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned cq_head_local_ = 0;
+
+  uint32_t next_gen_ = 0;
+  std::unordered_map<int, FdState> fds_;
+};
+
+}  // namespace
+
+std::unique_ptr<IoBackend> MakeIoUringBackend() {
+  return IoUringBackend::Create();
+}
+
+#else  // !DSGM_HAVE_IO_URING (or no syscall numbers on this platform)
+
+std::unique_ptr<IoBackend> MakeIoUringBackend() { return nullptr; }
+
+#endif
+
+}  // namespace dsgm

@@ -1,0 +1,21 @@
+// io_uring readiness backend (see net/io_backend.h for the contract).
+//
+// Implementation notes live in io_uring_backend.cc; the public surface is
+// just the factory, declared in io_backend.h and re-declared here for
+// direct includers. Builds without the cmake io_uring probe compile this
+// translation unit down to a factory that always returns null.
+
+#ifndef DSGM_NET_IO_URING_BACKEND_H_
+#define DSGM_NET_IO_URING_BACKEND_H_
+
+#include <memory>
+
+#include "net/io_backend.h"
+
+namespace dsgm {
+
+std::unique_ptr<IoBackend> MakeIoUringBackend();
+
+}  // namespace dsgm
+
+#endif  // DSGM_NET_IO_URING_BACKEND_H_

@@ -50,6 +50,13 @@ constexpr AllowRow kAllowedTransitions[] = {
     // only while the update lane is open.
     {ProtocolState::kActive, kS2C, WireInput::kInTraceChunk, 4,
      ProtocolState::kActive},
+    // The v5 compression envelope is a carrier, not a message: it may wrap
+    // data frames wherever they are legal, so its rows mirror the states
+    // where a compressible frame could arrive. S2C that is kActive only
+    // (final-count bundles precede the update-lane close); data after the
+    // close stays a violation, wrapped or not.
+    {ProtocolState::kActive, kS2C, WireInput::kInCompressed, 5,
+     ProtocolState::kActive},
 
     // --- site receiving from the coordinator -----------------------------
     {ProtocolState::kAwaitingHello, kC2S, WireInput::kInHello, 1,
@@ -77,6 +84,21 @@ constexpr AllowRow kAllowedTransitions[] = {
     {ProtocolState::kActive, kC2S, WireInput::kInHeartbeat, 4,
      ProtocolState::kActive},
     {ProtocolState::kDraining, kC2S, WireInput::kInHeartbeat, 4,
+     ProtocolState::kDraining},
+    // v5 capability reply-hello: the coordinator answers a v5 site hello
+    // with a hello of its own so the site learns the coordinator's caps
+    // (the original handshake is site->coordinator only). It arrives after
+    // the site armed its machine via OnHelloSent, hence in kActive; it is
+    // state-preserving and idempotent. v4 coordinators never send one, and
+    // on a v4-negotiated connection the row does not apply — a late hello
+    // stays a violation there.
+    {ProtocolState::kActive, kC2S, WireInput::kInHello, 5,
+     ProtocolState::kActive},
+    // Compressed envelopes C2S wrap event batches, which stay legal as
+    // stragglers through Draining.
+    {ProtocolState::kActive, kC2S, WireInput::kInCompressed, 5,
+     ProtocolState::kActive},
+    {ProtocolState::kDraining, kC2S, WireInput::kInCompressed, 5,
      ProtocolState::kDraining},
 };
 
@@ -156,6 +178,11 @@ WireInput WireInputOf(const Frame& frame) {
       return WireInput::kInStatsReport;
     case FrameType::kTraceChunk:
       return WireInput::kInTraceChunk;
+    case FrameType::kCompressed:
+      // The codec unwraps envelopes before a Frame exists (the inner type
+      // lands in Frame::type, with Frame::compressed set); classification
+      // of the ENVELOPE happens via that flag in OnFrame, never here.
+      break;
   }
   DSGM_CHECK(false) << "WireInputOf: frame type "
                     << static_cast<int>(frame.type)
@@ -209,6 +236,8 @@ const char* WireInputName(WireInput input) {
       return "stats_report";
     case WireInput::kInTraceChunk:
       return "trace_chunk";
+    case WireInput::kInCompressed:
+      return "compressed";
   }
   return "unknown";
 }
@@ -218,9 +247,19 @@ ProtocolConformance::ProtocolConformance(ProtocolDirection direction,
                                          ProtocolState initial)
     : direction_(direction),
       version_(version),
+      negotiated_version_(version),
       state_(initial),
       violations_metric_(
           MetricsRegistry::Global().GetCounter(kProtocolViolationsMetric)) {}
+
+bool ProtocolConformance::VersionAcceptable(uint8_t peer_version) const {
+  // Exactly ours, or anything we can negotiate down to. The down-range
+  // opens only when WE are past kMinNegotiableVersion: an endpoint pinned
+  // to an old version (tests, forced downgrades) still demands an exact
+  // match, like that old build would.
+  return peer_version == version_ ||
+         (peer_version >= kMinNegotiableVersion && peer_version < version_);
+}
 
 ProtocolVerdict ProtocolConformance::CountViolation(ProtocolVerdict verdict) {
   ++violations_;
@@ -232,15 +271,36 @@ ProtocolVerdict ProtocolConformance::CountViolation(ProtocolVerdict verdict) {
 ProtocolVerdict ProtocolConformance::OnFrame(const Frame& frame) {
   const WireInput input = WireInputOf(frame);
   // A hello carries the peer's protocol version; when it arrives where a
-  // hello is legal but the version is not ours, report the mismatch
-  // distinctly so transports can surface a deployment error instead of a
-  // generic drop. (Everywhere else a hello is just an out-of-state frame.)
+  // hello is legal but the version is not one we can run, report the
+  // mismatch distinctly so transports can surface a deployment error
+  // instead of a generic drop. (Everywhere else a hello is just an
+  // out-of-state frame.)
   if (input == WireInput::kInHello && state_ == ProtocolState::kAwaitingHello &&
-      frame.protocol_version != version_) {
+      !VersionAcceptable(frame.protocol_version)) {
     return CountViolation(ProtocolVerdict::kVersionMismatch);
   }
-  const FrameRule& rule = LookupRule(state_, direction_, input, version_);
+  // A frame that arrived inside a compression envelope must pass the
+  // envelope's own rule first: kInCompressed exists only at v5+, so a peer
+  // that negotiated (or was accepted at) v4 violates here — the
+  // model-checked "forged compressed flag" case.
+  if (frame.compressed) {
+    const FrameRule& wrap = LookupRule(state_, direction_,
+                                       WireInput::kInCompressed,
+                                       negotiated_version_);
+    if (wrap.verdict != ProtocolVerdict::kAccept) {
+      return CountViolation(ProtocolVerdict::kViolation);
+    }
+  }
+  const FrameRule& rule =
+      LookupRule(state_, direction_, input, negotiated_version_);
   if (rule.verdict != ProtocolVerdict::kAccept) {
+    return CountViolation(ProtocolVerdict::kViolation);
+  }
+  // The v5 capability reply-hello (accepted in kActive by the table) still
+  // must claim a version we can run; the table's version axis is OUR
+  // negotiated version, not the frame's claim.
+  if (input == WireInput::kInHello &&
+      !VersionAcceptable(frame.protocol_version)) {
     return CountViolation(ProtocolVerdict::kViolation);
   }
   // Payload semantics: observability frames embed a site-id claim that must
@@ -254,8 +314,12 @@ ProtocolVerdict ProtocolConformance::OnFrame(const Frame& frame) {
       return CountViolation(ProtocolVerdict::kViolation);
     }
   }
-  if (input == WireInput::kInHello && state_ == ProtocolState::kAwaitingHello) {
-    bound_site_ = frame.site;
+  if (input == WireInput::kInHello) {
+    if (state_ == ProtocolState::kAwaitingHello) bound_site_ = frame.site;
+    negotiated_version_ = frame.protocol_version < version_
+                              ? frame.protocol_version
+                              : version_;
+    peer_caps_ = frame.caps;
   }
   state_ = rule.next;
   return ProtocolVerdict::kAccept;

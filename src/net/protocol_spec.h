@@ -4,7 +4,7 @@
 // implicitly — a stray check in an accept loop here, an "ignore defensively"
 // switch arm there. This header makes the contract explicit and machine
 // checkable: a connection is in one of four states, every decodable frame is
-// one of ten wire inputs, and a dense (state × direction × input × version)
+// one of eleven wire inputs, and a dense (state × direction × input × version)
 // table assigns each combination a verdict. Anything the table does not
 // explicitly allow is a violation — the table is built allow-list-first, so
 // a new frame kind is rejected everywhere until the spec says otherwise.
@@ -21,7 +21,9 @@
 //   kCoordinatorToSite   what a site accepts FROM the coordinator
 //       hello first; then event batches and round-advance commands, plus
 //       heartbeat echoes since v4 (the coordinator reflects each site
-//       heartbeat so the site can close the NTP timestamp loop). The
+//       heartbeat so the site can close the NTP timestamp loop) and, since
+//       v5, one state-preserving capability reply-hello and compressed
+//       event-batch envelopes on connections that negotiated v5. The
 //       event lane may close while commands continue (dispatcher finishes
 //       before the protocol loop); closing the command lane is the
 //       coordinator's final word (-> Draining), after which only straggler
@@ -84,14 +86,22 @@ enum class WireInput : uint8_t {
   kInHeartbeat = 7,
   kInStatsReport = 8,
   kInTraceChunk = 9,
+  /// The v5 compression envelope AS AN ENVELOPE: a frame whose bytes
+  /// arrived wrapped (Frame::compressed) is checked against this input
+  /// first — legal only on connections that negotiated v5 — and then
+  /// against its inner input as usual. A v4-negotiated peer sending a
+  /// wrapped frame therefore violates here, before the inner frame is even
+  /// considered.
+  kInCompressed = 10,
 };
-inline constexpr size_t kNumWireInputs = 10;
+inline constexpr size_t kNumWireInputs = 11;
 inline constexpr WireInput kAllWireInputs[kNumWireInputs] = {
     WireInput::kInUpdateBundle, WireInput::kInRoundAdvance,
     WireInput::kInEventBatch,   WireInput::kInCloseUpdates,
     WireInput::kInCloseCommands, WireInput::kInCloseEvents,
     WireInput::kInHello,        WireInput::kInHeartbeat,
-    WireInput::kInStatsReport,  WireInput::kInTraceChunk};
+    WireInput::kInStatsReport,  WireInput::kInTraceChunk,
+    WireInput::kInCompressed};
 
 /// The oldest protocol revision the table covers; kProtocolVersion
 /// (net/codec.h) is the newest. The version axis encodes the gates: a v1
@@ -137,9 +147,16 @@ inline constexpr char kProtocolViolationsMetric[] = "net.protocol.violations";
 /// by thread creation).
 class ProtocolConformance {
  public:
-  /// `version` is the revision this endpoint speaks (a hello must match it
-  /// exactly); `initial` is kActive for connections created after an
-  /// out-of-band handshake already consumed the hello.
+  /// `version` is the highest revision this endpoint speaks on this
+  /// connection. A hello negotiates the connection down to
+  /// min(version, peer) when the peer's version is acceptable — equal to
+  /// ours, or in [kMinNegotiableVersion, ours) — and every subsequent table
+  /// lookup uses the NEGOTIATED version, so v5-only traffic (compressed
+  /// envelopes, capability re-hellos) from a v4-negotiated peer violates.
+  /// Pass an explicit `version` for connections whose handshake happened
+  /// out-of-band (the reactor transport's accept loop constructs them
+  /// kActive at the version it read from the hello); `initial` is kActive
+  /// in that case.
   explicit ProtocolConformance(
       ProtocolDirection direction, uint8_t version = kProtocolVersion,
       ProtocolState initial = ProtocolState::kAwaitingHello);
@@ -173,15 +190,24 @@ class ProtocolConformance {
   ProtocolState state() const { return state_; }
   ProtocolDirection direction() const { return direction_; }
   uint8_t version() const { return version_; }
+  /// min(version(), last accepted hello's version); == version() before any
+  /// hello is seen. Table lookups run at this version.
+  uint8_t negotiated_version() const { return negotiated_version_; }
+  /// Capability bits from the last accepted hello (0 before one, and for
+  /// v4 peers, whose hellos carry no caps).
+  uint64_t peer_caps() const { return peer_caps_; }
   int32_t bound_site() const { return bound_site_; }
   /// Violations charged to THIS connection (the metric is process-wide).
   uint64_t violations() const { return violations_; }
 
  private:
   ProtocolVerdict CountViolation(ProtocolVerdict verdict);
+  bool VersionAcceptable(uint8_t peer_version) const;
 
   const ProtocolDirection direction_;
   const uint8_t version_;
+  uint8_t negotiated_version_;
+  uint64_t peer_caps_ = 0;
   ProtocolState state_;
   int32_t bound_site_ = -1;
   uint64_t violations_ = 0;

@@ -6,11 +6,123 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <utility>
 
 #include "common/check.h"
+#include "net/io_uring_backend.h"
 
 namespace dsgm {
+
+// --- IoBackend: epoll implementation + selection -------------------------
+
+namespace {
+
+class EpollBackend final : public IoBackend {
+ public:
+  EpollBackend() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    DSGM_CHECK_GE(epoll_fd_, 0) << "epoll_create1 failed";
+  }
+
+  ~EpollBackend() override { ::close(epoll_fd_); }
+
+  const char* name() const override { return "epoll"; }
+
+  void Add(int fd, uint32_t events) override {
+    epoll_event event{};
+    event.events = events | EPOLLET;
+    event.data.fd = fd;
+    DSGM_CHECK_EQ(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event), 0)
+        << "epoll_ctl(ADD) failed for fd " << fd;
+  }
+
+  void Modify(int fd, uint32_t events) override {
+    epoll_event event{};
+    event.events = events | EPOLLET;
+    event.data.fd = fd;
+    DSGM_CHECK_EQ(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event), 0)
+        << "epoll_ctl(MOD) failed for fd " << fd;
+  }
+
+  void Remove(int fd) override {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int Wait(int timeout_ms, std::vector<IoReady>* out) override {
+    epoll_event events[kMaxWaitEvents];
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxWaitEvents, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (int i = 0; i < n; ++i) {
+      out->push_back(IoReady{events[i].data.fd, events[i].events});
+    }
+    return n;
+  }
+
+ private:
+  static constexpr int kMaxWaitEvents = 128;
+
+  int epoll_fd_ = -1;
+};
+
+}  // namespace
+
+const char* IoBackendKindName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kDefault:
+      return "default";
+    case IoBackendKind::kEpoll:
+      return "epoll";
+    case IoBackendKind::kIoUring:
+      return "io_uring";
+    case IoBackendKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool ParseIoBackendKind(const std::string& text, IoBackendKind* out) {
+  if (text == "epoll") {
+    *out = IoBackendKind::kEpoll;
+    return true;
+  }
+  if (text == "io_uring") {
+    *out = IoBackendKind::kIoUring;
+    return true;
+  }
+  if (text == "auto") {
+    *out = IoBackendKind::kAuto;
+    return true;
+  }
+  return false;
+}
+
+IoBackendKind ResolveIoBackendKind(IoBackendKind kind) {
+  if (kind != IoBackendKind::kDefault) return kind;
+  const char* env = std::getenv("DSGM_IO_BACKEND");
+  IoBackendKind parsed;
+  if (env != nullptr && ParseIoBackendKind(env, &parsed)) return parsed;
+  return IoBackendKind::kEpoll;
+}
+
+std::unique_ptr<IoBackend> MakeIoBackend(IoBackendKind kind) {
+  switch (ResolveIoBackendKind(kind)) {
+    case IoBackendKind::kIoUring:
+    case IoBackendKind::kAuto: {
+      std::unique_ptr<IoBackend> uring = MakeIoUringBackend();
+      if (uring != nullptr) return uring;
+      break;  // Build or kernel lacks io_uring; epoll serves the request.
+    }
+    default:
+      break;
+  }
+  return std::make_unique<EpollBackend>();
+}
+
+bool IoUringAvailable() {
+  static const bool available = MakeIoUringBackend() != nullptr;
+  return available;
+}
 
 // --- TimerWheel ----------------------------------------------------------
 
@@ -79,15 +191,14 @@ namespace {
 constexpr size_t kWheelSlots = 256;
 }  // namespace
 
-Reactor::Reactor()
-    : wheel_(kTickMs, kWheelSlots),
+Reactor::Reactor(IoBackendKind backend)
+    : backend_(MakeIoBackend(backend)),
+      wheel_(kTickMs, kWheelSlots),
       epoch_nanos_(NowNanos()),
       loop_latency_ns_(
           MetricsRegistry::Global().GetHistogram("net.reactor.loop_ns")),
       timer_fires_(MetricsRegistry::Global().GetCounter("net.reactor.timer_fires")),
       wakeups_(MetricsRegistry::Global().GetCounter("net.reactor.wakeups")) {
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  DSGM_CHECK_GE(epoll_fd_, 0) << "epoll_create1 failed";
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   DSGM_CHECK_GE(wake_fd_, 0) << "eventfd failed";
   // The loop has not started; the constructing thread holds the role for
@@ -103,7 +214,6 @@ Reactor::Reactor()
 Reactor::~Reactor() {
   Stop();
   ::close(wake_fd_);
-  ::close(epoll_fd_);
 }
 
 void Reactor::Start() {
@@ -164,24 +274,16 @@ void Reactor::RunPosted() {
 void Reactor::AddFd(int fd, uint32_t events, FdHandler handler) {
   DSGM_CHECK(handlers_.emplace(fd, std::move(handler)).second)
       << "fd registered twice: " << fd;
-  epoll_event event{};
-  event.events = events | EPOLLET;
-  event.data.fd = fd;
-  DSGM_CHECK_EQ(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event), 0)
-      << "epoll_ctl(ADD) failed for fd " << fd;
+  backend_->Add(fd, events);
 }
 
 void Reactor::ModifyFd(int fd, uint32_t events) {
-  epoll_event event{};
-  event.events = events | EPOLLET;
-  event.data.fd = fd;
-  DSGM_CHECK_EQ(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event), 0)
-      << "epoll_ctl(MOD) failed for fd " << fd;
+  backend_->Modify(fd, events);
 }
 
 void Reactor::RemoveFd(int fd) {
   if (handlers_.erase(fd) == 0) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  backend_->Remove(fd);
 }
 
 Reactor::TimerId Reactor::AddTimer(int delay_ms, std::function<void()> fn,
@@ -233,21 +335,22 @@ void Reactor::AdvanceTimers() {
 void Reactor::Loop() {
   loop_id_.store(std::this_thread::get_id(), std::memory_order_release);
   loop_role.Grant();
-  constexpr int kMaxEvents = 128;
-  epoll_event events[kMaxEvents];
+  std::vector<IoReady> ready;
+  ready.reserve(128);
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, NextWaitMs());
-    if (n < 0 && errno != EINTR) break;  // Unrecoverable epoll failure.
-    // Iteration latency = the work between two epoll_waits (handlers,
-    // timers, posted closures) — the time a newly-ready fd can wait before
-    // the loop gets back to epoll. The sleep itself is not latency.
+    ready.clear();
+    const int n = backend_->Wait(NextWaitMs(), &ready);
+    if (n < 0) break;  // Unrecoverable backend failure.
+    // Iteration latency = the work between two waits (handlers, timers,
+    // posted closures) — the time a newly-ready fd can wait before the
+    // loop gets back to the backend. The sleep itself is not latency.
     const int64_t work_start = NowNanos();
-    for (int i = 0; i < n; ++i) {
+    for (const IoReady& r : ready) {
       // A handler earlier in this batch may have removed a later fd; the
       // map lookup (not a stale pointer) makes that safe.
-      auto it = handlers_.find(events[i].data.fd);
+      auto it = handlers_.find(r.fd);
       if (it == handlers_.end()) continue;
-      it->second(events[i].events);
+      it->second(r.events);
     }
     AdvanceTimers();
     RunPosted();

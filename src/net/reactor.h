@@ -1,4 +1,4 @@
-// A single-threaded epoll event loop — the I/O substrate that lets ONE
+// A single-threaded event loop — the I/O substrate that lets ONE
 // coordinator thread own hundreds of site connections (the thread-per-
 // connection transport needs 2-3 threads per site; see net/reactor_transport.h
 // for the transport built on top).
@@ -7,8 +7,10 @@
 //   - TimerWheel: a hashed timer wheel (fixed tick, power-of-two slots) for
 //     the per-site liveness deadlines and heartbeat periods. Pure tick
 //     arithmetic, no clock — unit-testable without sleeping.
-//   - Reactor: epoll (edge-triggered) + an eventfd wakeup so other threads
-//     can inject work, + the wheel driven from the epoll wait timeout.
+//   - Reactor: a readiness backend (edge-triggered epoll, or multishot-poll
+//     io_uring when the kernel provides it — see net/io_backend.h) + an
+//     eventfd wakeup so other threads can inject work, + the wheel driven
+//     from the wait timeout.
 //
 // Threading model: the loop runs on one dedicated thread (Start/Stop). All
 // fd and timer mutation happens on that thread; other threads communicate
@@ -27,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -35,6 +38,7 @@
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "net/io_backend.h"
 
 namespace dsgm {
 
@@ -82,12 +86,17 @@ class TimerWheel {
 class Reactor {
  public:
   /// Bitmask of EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP, as delivered by
-  /// epoll_wait. Registration is always edge-triggered (EPOLLET is added
-  /// internally); handlers must therefore drain the fd to EAGAIN.
+  /// the readiness backend. Registration is always edge-ish (EPOLLET for
+  /// the epoll backend, multishot poll for io_uring); handlers must
+  /// therefore drain the fd to EAGAIN.
   using FdHandler = std::function<void(uint32_t events)>;
   using TimerId = uint64_t;
 
-  Reactor();
+  /// `backend` selects the readiness backend (net/io_backend.h). The
+  /// default honors the DSGM_IO_BACKEND environment variable, else epoll;
+  /// an unsatisfiable io_uring request falls back to epoll — consult
+  /// io_backend_name() for what actually runs.
+  explicit Reactor(IoBackendKind backend = IoBackendKind::kDefault);
   ~Reactor();
 
   Reactor(const Reactor&) = delete;
@@ -103,6 +112,10 @@ class Reactor {
 
   bool InLoopThread() const;
 
+  /// The readiness backend actually in use ("epoll" or "io_uring") — the
+  /// fallback may differ from what the constructor was asked for.
+  const char* io_backend_name() const { return backend_->name(); }
+
   /// Runs `fn` on the loop thread: inline when already there, else enqueued
   /// and the loop woken. The only thread-safe entry point.
   void Post(std::function<void()> fn) DSGM_EXCLUDES(post_mu_);
@@ -110,7 +123,7 @@ class Reactor {
   // --- Loop-thread only (or, before Start / after Stop, by a thread that
   // --- Grant()s itself the role) ------------------------------------------
 
-  /// Registers `fd` with the given interest set (EPOLLET is implied).
+  /// Registers `fd` with the given interest set (edge semantics implied).
   void AddFd(int fd, uint32_t events, FdHandler handler)
       DSGM_REQUIRES(loop_role);
   void ModifyFd(int fd, uint32_t events) DSGM_REQUIRES(loop_role);
@@ -143,7 +156,7 @@ class Reactor {
   uint64_t NowTick() const;
   int NextWaitMs() const DSGM_REQUIRES(loop_role);
 
-  int epoll_fd_ = -1;
+  const std::unique_ptr<IoBackend> backend_;
   int wake_fd_ = -1;
   std::unordered_map<int, FdHandler> handlers_ DSGM_GUARDED_BY(loop_role);
 

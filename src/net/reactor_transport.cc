@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "net/cluster_transport.h"
+#include "net/compress.h"
 
 namespace dsgm {
 namespace {
@@ -39,9 +40,9 @@ Status SendHelloBlocking(TcpSocket* socket, int32_t site) {
   return socket->SendAll(bytes.data(), bytes.size());
 }
 
-StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket) {
+StatusOr<HelloInfo> ReadHelloInfoBlocking(TcpSocket* socket) {
   // The handshake runs the same conformance machine as the steady state:
-  // a fresh kAwaitingHello validator accepts exactly one current-version
+  // a fresh kAwaitingHello validator accepts exactly one acceptable-version
   // hello and counts everything else on `net.protocol.violations`.
   ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
   uint8_t prefix[4];
@@ -61,8 +62,13 @@ StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket) {
     return decoded;
   }
   switch (conformance.OnFrame(frame)) {
-    case ProtocolVerdict::kAccept:
-      return frame.site;
+    case ProtocolVerdict::kAccept: {
+      HelloInfo info;
+      info.site = frame.site;
+      info.version = frame.protocol_version;
+      info.caps = frame.caps;
+      return info;
+    }
     case ProtocolVerdict::kVersionMismatch:
       // Same code split as TcpConnection::ReadHello: version mismatch is a
       // deployment error surfaced loudly, anything else a droppable stray.
@@ -77,6 +83,12 @@ StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket) {
   return InvalidArgumentError("reactor: expected hello frame");
 }
 
+StatusOr<int32_t> ReadHelloBlocking(TcpSocket* socket) {
+  StatusOr<HelloInfo> info = ReadHelloInfoBlocking(socket);
+  if (!info.ok()) return info.status();
+  return info->site;
+}
+
 // --- ReactorConnection ---------------------------------------------------
 
 ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
@@ -85,7 +97,7 @@ ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
       socket_(std::move(socket)),
       site_(site),
       options_(options),
-      conformance_(options.receive_direction, kProtocolVersion,
+      conformance_(options.receive_direction, options.negotiated_version,
                    ProtocolState::kActive),
       event_inbox_(options.event_capacity),
       command_inbox_(options.command_capacity),
@@ -99,6 +111,7 @@ ReactorConnection::ReactorConnection(Reactor* reactor, TcpSocket socket,
       events_(this, FrameType::kEventBatch, &event_inbox_),
       commands_(this, FrameType::kRoundAdvance, &command_inbox_),
       updates_(this, FrameType::kUpdateBundle, update_inbox_),
+      compress_tx_(options.compress_tx),
       read_pauses_(
           MetricsRegistry::Global().GetCounter("net.reactor.read_pauses")),
       read_resumes_(
@@ -196,7 +209,14 @@ bool ReactorConnection::SendFrame(const Frame& frame, bool bypass_backpressure) 
       << "); transport sends from TLS destructors are forbidden";
 #endif
   scratch.clear();
-  AppendFrame(frame, &scratch);
+  if (compress_tx_.load(std::memory_order_relaxed)) {
+    // Negotiated v5 with kCapCompression: the codec decides per frame
+    // whether the envelope actually pays (eligibility, size floor,
+    // profitability) and falls back to the raw encoding otherwise.
+    AppendFrameMaybeCompressed(frame, &scratch);
+  } else {
+    AppendFrame(frame, &scratch);
+  }
   bool need_flush = false;
   {
     MutexLock lock(&outbox_mu_);
@@ -430,9 +450,18 @@ bool ReactorConnection::TryDeliver(Frame* frame) {
       }
       return true;
     case FrameType::kHello:
-      // Unreachable: a post-handshake hello is rejected by the conformance
-      // table in ParseFrames (the connection starts kActive) and never
-      // reaches delivery.
+      // The coordinator's v5 capability reply-hello (the only hello the
+      // table accepts post-handshake, and only on the coordinator-to-site
+      // half): the conformance machine recorded the peer's capability bits;
+      // begin compressing eligible sends if both ends opted in.
+      if ((conformance_.peer_caps() & kCapCompression) != 0 &&
+          WireCompressionEnabled()) {
+        compress_tx_.store(true, std::memory_order_relaxed);
+      }
+      return true;
+    case FrameType::kCompressed:
+      // Unreachable: the codec unwraps envelopes before a Frame exists
+      // (Frame::type holds the inner type, Frame::compressed the flag).
       return true;
     case FrameType::kHeartbeat: {
       // Liveness is credited by the read itself (last_rx_nanos_); the
@@ -572,6 +601,7 @@ void ReactorConnection::ShutdownFromOwner() {
 ReactorCoordinator::ReactorCoordinator(int num_sites, const Options& options)
     : num_sites_(num_sites),
       options_(options),
+      reactor_(options.io_backend),
       merged_updates_(8192),
       update_channel_(&merged_updates_),
       connections_(static_cast<size_t>(num_sites)),
@@ -604,11 +634,12 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
     StatusOr<TcpSocket> socket = listener->Accept();
     if (!socket.ok()) return socket.status();
     socket->SetRecvTimeout(kHelloTimeoutMs);
-    StatusOr<int32_t> site = ReadHelloBlocking(&socket.value());
-    if (!site.ok() && site.status().code() == StatusCode::kFailedPrecondition) {
-      return site.status();
+    StatusOr<HelloInfo> hello = ReadHelloInfoBlocking(&socket.value());
+    if (!hello.ok() &&
+        hello.status().code() == StatusCode::kFailedPrecondition) {
+      return hello.status();
     }
-    if (!site.ok() || *site < 0 || *site >= num_sites_) {
+    if (!hello.ok() || hello->site < 0 || hello->site >= num_sites_) {
       if (--rejects_left < 0) {
         return InvalidArgumentError(
             "too many defective connections while waiting for sites");
@@ -617,12 +648,19 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
     }
     {
       MutexLock lock(&connections_mu_);
-      if (connections_[static_cast<size_t>(*site)] != nullptr) {
+      if (connections_[static_cast<size_t>(hello->site)] != nullptr) {
         return InvalidArgumentError("two connections announced site id " +
-                                    std::to_string(*site));
+                                    std::to_string(hello->site));
       }
     }
     socket->SetRecvTimeout(0);
+    if (hello->version >= 5) {
+      // v5 handshake half two: reply with our own hello so the site learns
+      // the coordinator's capability bits (a v4 site would reject it, so
+      // v4-negotiated connections never see one). Best-effort: a send
+      // failure surfaces through the connection's read side.
+      (void)SendHelloBlocking(&socket.value(), hello->site);
+    }
     ReactorConnection::Options connection_options;
     connection_options.shared_updates = &merged_updates_;
     connection_options.liveness_timeout_ms = options_.liveness_timeout_ms;
@@ -631,7 +669,11 @@ Status ReactorCoordinator::AcceptSites(TcpListener* listener) {
     connection_options.echo_heartbeats = true;
     connection_options.receive_direction =
         ProtocolDirection::kSiteToCoordinator;
-    const int site_id = *site;
+    connection_options.negotiated_version =
+        std::min<uint8_t>(kProtocolVersion, hello->version);
+    connection_options.compress_tx =
+        (hello->caps & kCapCompression) != 0 && WireCompressionEnabled();
+    const int site_id = hello->site;
     if (options_.on_site_failure) {
       connection_options.on_failure = [this, site_id](const Status& status) {
         options_.on_site_failure(site_id, status);
@@ -705,8 +747,10 @@ namespace {
 
 class ReactorTransport : public ClusterTransport {
  public:
-  explicit ReactorTransport(int num_sites)
+  ReactorTransport(int num_sites, IoBackendKind io_backend)
       : num_sites_(num_sites),
+        coordinator_reactor_(io_backend),
+        site_reactor_(io_backend),
         merged_updates_(8192),
         update_channel_(&merged_updates_) {
     StatusOr<TcpListener> listener = TcpListener::Listen(0, num_sites + 8);
@@ -714,6 +758,7 @@ class ReactorTransport : public ClusterTransport {
 
     std::vector<TcpSocket> site_sockets(static_cast<size_t>(num_sites));
     std::vector<TcpSocket> coordinator_sockets(static_cast<size_t>(num_sites));
+    bool compress = false;
     for (int s = 0; s < num_sites; ++s) {
       StatusOr<TcpSocket> socket =
           TcpSocket::Connect("127.0.0.1", listener->port());
@@ -724,11 +769,17 @@ class ReactorTransport : public ClusterTransport {
     for (int s = 0; s < num_sites; ++s) {
       StatusOr<TcpSocket> socket = listener->Accept();
       DSGM_CHECK(socket.ok()) << socket.status();
-      StatusOr<int32_t> site = ReadHelloBlocking(&socket.value());
-      DSGM_CHECK(site.ok()) << site.status();
-      DSGM_CHECK(*site >= 0 && *site < num_sites);
-      DSGM_CHECK(coordinator_sockets[static_cast<size_t>(*site)].valid() == false);
-      coordinator_sockets[static_cast<size_t>(*site)] = std::move(socket).value();
+      StatusOr<HelloInfo> hello = ReadHelloInfoBlocking(&socket.value());
+      DSGM_CHECK(hello.ok()) << hello.status();
+      const int32_t site = hello->site;
+      DSGM_CHECK(site >= 0 && site < num_sites);
+      DSGM_CHECK(coordinator_sockets[static_cast<size_t>(site)].valid() == false);
+      // v5 handshake half two: the capability reply-hello. The bytes sit in
+      // the socket buffer until the site connection starts reading.
+      DSGM_CHECK(SendHelloBlocking(&socket.value(), site).ok());
+      compress =
+          (hello->caps & kCapCompression) != 0 && WireCompressionEnabled();
+      coordinator_sockets[static_cast<size_t>(site)] = std::move(socket).value();
     }
 
     // coordinator_connections_ needs no lock here: the vector is fully
@@ -750,8 +801,11 @@ class ReactorTransport : public ClusterTransport {
     coordinator_options.shared_updates = &merged_updates_;
     coordinator_options.receive_direction =
         ProtocolDirection::kSiteToCoordinator;
+    coordinator_options.compress_tx = compress;
     ReactorConnection::Options site_options;
     site_options.receive_direction = ProtocolDirection::kCoordinatorToSite;
+    // The site side flips its own compress_tx_ when it reads the
+    // coordinator's reply-hello (TryDeliver's kHello arm).
     for (int s = 0; s < num_sites; ++s) {
       coordinator_connections_.push_back(std::make_unique<ReactorConnection>(
           &coordinator_reactor_,
@@ -828,8 +882,13 @@ class ReactorTransport : public ClusterTransport {
 }  // namespace
 
 std::unique_ptr<ClusterTransport> MakeReactorTransport(int num_sites) {
+  return MakeReactorTransport(num_sites, IoBackendKind::kDefault);
+}
+
+std::unique_ptr<ClusterTransport> MakeReactorTransport(int num_sites,
+                                                       IoBackendKind io_backend) {
   DSGM_CHECK_GT(num_sites, 0);
-  return std::make_unique<ReactorTransport>(num_sites);
+  return std::make_unique<ReactorTransport>(num_sites, io_backend);
 }
 
 }  // namespace dsgm

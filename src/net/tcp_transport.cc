@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "net/compress.h"
 
 namespace dsgm {
 
@@ -116,7 +117,13 @@ bool TcpConnection::SendFrame(const Frame& frame) {
   MutexLock lock(&send_mutex_);
   if (send_broken_) return false;
   send_buffer_.clear();
-  AppendFrame(frame, &send_buffer_);
+  if (compress_tx_.load(std::memory_order_relaxed)) {
+    // Negotiated v5 with kCapCompression: the codec decides per frame
+    // whether the envelope pays and falls back to the raw encoding.
+    AppendFrameMaybeCompressed(frame, &send_buffer_);
+  } else {
+    AppendFrame(frame, &send_buffer_);
+  }
   if (!socket_.SendAll(send_buffer_.data(), send_buffer_.size()).ok()) {
     send_broken_ = true;
     return false;
@@ -175,8 +182,17 @@ void TcpConnection::ReaderLoop() {
         }
         break;
       case FrameType::kHello:
-        // Unreachable: a post-handshake hello is rejected by the
-        // conformance check above and never reaches delivery.
+        // The coordinator's v5 capability reply-hello (the only hello the
+        // table accepts post-handshake, coordinator-to-site half only):
+        // begin compressing eligible sends if both ends opted in.
+        if ((conformance_.peer_caps() & kCapCompression) != 0 &&
+            WireCompressionEnabled()) {
+          EnableCompressedSends();
+        }
+        break;
+      case FrameType::kCompressed:
+        // Unreachable: the codec unwraps envelopes before a Frame exists
+        // (Frame::type holds the inner type, Frame::compressed the flag).
         break;
       case FrameType::kHeartbeat:
         // The site side of the v4 echo loop: hand the coordinator's echo
@@ -247,6 +263,17 @@ StatusOr<std::vector<std::unique_ptr<TcpConnection>>> AcceptSiteConnections(
                                   std::to_string(*site));
     }
     connection->SetRecvTimeout(0);  // Steady-state reads block indefinitely.
+    if (connection->negotiated_version() >= 5) {
+      // v5 handshake half two: reply with our own hello so the site learns
+      // the coordinator's capability bits (v4-negotiated connections never
+      // see one — the row is version-gated, and a v4 peer would treat it as
+      // a violation).
+      connection->SendFrame(MakeHello(*site));
+      if ((connection->peer_caps() & kCapCompression) != 0 &&
+          WireCompressionEnabled()) {
+        connection->EnableCompressedSends();
+      }
+    }
     connection->Start();
     connections[static_cast<size_t>(*site)] = std::move(connection);
     ++accepted;

@@ -126,6 +126,20 @@ class TcpConnection {
   Status SendHello(int32_t site);
   StatusOr<int32_t> ReadHello();
 
+  /// Post-ReadHello, accepting side: what the hello negotiated. Same
+  /// single-thread discipline as the handshake (owner thread, before
+  /// Start).
+  uint8_t negotiated_version() const { return conformance_.negotiated_version(); }
+  uint64_t peer_caps() const { return conformance_.peer_caps(); }
+
+  /// Begin compressing eligible outbound frames (negotiated v5 peer that
+  /// advertised kCapCompression). Called by the accepting side after the
+  /// handshake, or by the reader thread when the coordinator's capability
+  /// reply-hello arrives.
+  void EnableCompressedSends() {
+    compress_tx_.store(true, std::memory_order_relaxed);
+  }
+
   /// Receive timeout for handshake reads (0 = blocking again); delegates
   /// to the socket. Only meaningful before Start().
   void SetRecvTimeout(int timeout_ms) { socket_.SetRecvTimeout(timeout_ms); }
@@ -193,6 +207,8 @@ class TcpConnection {
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> bytes_received_{0};
   std::atomic<bool> reader_done_{false};
+  /// Compress eligible outbound frames (negotiated v5 + kCapCompression).
+  std::atomic<bool> compress_tx_{false};
 
   std::thread reader_;
   std::thread writer_;

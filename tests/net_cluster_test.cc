@@ -100,7 +100,10 @@ TEST_P(NetClusterTest, TcpAndLoopbackAgreeOnProtocolTraffic) {
 INSTANTIATE_TEST_SUITE_P(
     SocketTransports, NetClusterTest,
     ::testing::Values(NetClusterParam{"LocalTcp", MakeLocalTcpTransport},
-                      NetClusterParam{"Reactor", MakeReactorTransport}),
+                      NetClusterParam{"Reactor",
+                                      [](int n) {
+                                        return MakeReactorTransport(n);
+                                      }}),
     [](const ::testing::TestParamInfo<NetClusterParam>& info) {
       return std::string(info.param.name);
     });

@@ -1,12 +1,12 @@
 // Model-checks the protocol conformance table of net/protocol_spec.h by
 // exhaustive enumeration: the state space is tiny (4 states x 2 directions
-// x 10 inputs x 4 versions = 320 cells), so instead of sampling behaviors we
+// x 11 inputs x 5 versions = 440 cells), so instead of sampling behaviors we
 // iterate all of them and prove the contract's load-bearing properties —
 // totality, hello-before-anything, nothing-after-close, version gates,
 // directional ownership, and reachability of every state. Below that, unit
 // tests drive the ProtocolConformance validator (including the v4 payload
-// site binding) and the ProtocolStreamChecker through legal and adversarial
-// sequences.
+// site binding and the v5 downgrade negotiation) and the
+// ProtocolStreamChecker through legal and adversarial sequences.
 
 #include "net/protocol_spec.h"
 
@@ -21,7 +21,7 @@
 namespace dsgm {
 namespace {
 
-constexpr uint8_t kAllVersions[] = {1, 2, 3, 4};
+constexpr uint8_t kAllVersions[] = {1, 2, 3, 4, 5};
 static_assert(sizeof(kAllVersions) == kNumProtocolVersions,
               "enumerate every version the table covers");
 
@@ -52,7 +52,7 @@ TEST(ProtocolSpecTable, EveryTripleHasADefinedVerdict) {
       }
     }
   }
-  EXPECT_EQ(cells, 4 * 2 * 10 * 4);
+  EXPECT_EQ(cells, 4 * 2 * 11 * 5);
 }
 
 TEST(ProtocolSpecTable, HelloBeforeAnything) {
@@ -90,16 +90,29 @@ TEST(ProtocolSpecTable, NothingAfterClose) {
 }
 
 TEST(ProtocolSpecTable, ExactlyOneHelloEver) {
-  // A hello is legal in kAwaitingHello (checked above) and nowhere else.
+  // A hello is legal in kAwaitingHello (checked above) and nowhere else —
+  // with ONE carve-out: the v5 capability reply-hello the coordinator sends
+  // a site (kCoordinatorToSite, kActive, v5 only), which must be
+  // state-preserving. Every other late hello stays a violation.
   for (ProtocolState state :
        {ProtocolState::kActive, ProtocolState::kDraining,
         ProtocolState::kClosed}) {
     for (ProtocolDirection direction : kAllProtocolDirections) {
       for (uint8_t version : kAllVersions) {
-        EXPECT_EQ(
-            LookupRule(state, direction, WireInput::kInHello, version).verdict,
-            ProtocolVerdict::kViolation)
-            << "duplicate hello accepted in " << ProtocolStateName(state);
+        const FrameRule& rule =
+            LookupRule(state, direction, WireInput::kInHello, version);
+        if (state == ProtocolState::kActive &&
+            direction == ProtocolDirection::kCoordinatorToSite &&
+            version == 5) {
+          EXPECT_EQ(rule.verdict, ProtocolVerdict::kAccept);
+          EXPECT_EQ(rule.next, ProtocolState::kActive)
+              << "the capability reply-hello must not change state";
+        } else {
+          EXPECT_EQ(rule.verdict, ProtocolVerdict::kViolation)
+              << "duplicate hello accepted in " << ProtocolStateName(state)
+              << " (" << ProtocolDirectionName(direction) << ", v"
+              << int(version) << ")";
+        }
       }
     }
   }
@@ -112,7 +125,7 @@ TEST(ProtocolSpecTable, VersionGates) {
   EXPECT_EQ(LookupRule(ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, 1)
                 .verdict,
             ProtocolVerdict::kViolation);
-  for (uint8_t v : {uint8_t{2}, uint8_t{3}, uint8_t{4}}) {
+  for (uint8_t v : {uint8_t{2}, uint8_t{3}, uint8_t{4}, uint8_t{5}}) {
     EXPECT_EQ(
         LookupRule(ProtocolState::kActive, kS2C, WireInput::kInHeartbeat, v)
             .verdict,
@@ -129,7 +142,7 @@ TEST(ProtocolSpecTable, VersionGates) {
             .verdict,
         ProtocolVerdict::kViolation);
   }
-  for (uint8_t v : {uint8_t{3}, uint8_t{4}}) {
+  for (uint8_t v : {uint8_t{3}, uint8_t{4}, uint8_t{5}}) {
     EXPECT_EQ(
         LookupRule(ProtocolState::kActive, kS2C, WireInput::kInStatsReport, v)
             .verdict,
@@ -149,14 +162,16 @@ TEST(ProtocolSpecTable, VersionGates) {
             .verdict,
         ProtocolVerdict::kViolation);
   }
-  EXPECT_EQ(
-      LookupRule(ProtocolState::kActive, kS2C, WireInput::kInTraceChunk, 4)
-          .verdict,
-      ProtocolVerdict::kAccept);
-  EXPECT_EQ(
-      LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInTraceChunk, 4)
-          .verdict,
-      ProtocolVerdict::kViolation);
+  for (uint8_t v : {uint8_t{4}, uint8_t{5}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kS2C, WireInput::kInTraceChunk, v)
+            .verdict,
+        ProtocolVerdict::kAccept);
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInTraceChunk, v)
+            .verdict,
+        ProtocolVerdict::kViolation);
+  }
   // Coordinator heartbeat echoes exist since v4; they follow the site's own
   // heartbeat lifetime (legal through Draining, gone after close).
   for (uint8_t v : {uint8_t{1}, uint8_t{2}, uint8_t{3}}) {
@@ -165,14 +180,49 @@ TEST(ProtocolSpecTable, VersionGates) {
             .verdict,
         ProtocolVerdict::kViolation);
   }
+  for (uint8_t v : {uint8_t{4}, uint8_t{5}}) {
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kActive, kC2S, WireInput::kInHeartbeat, v)
+            .verdict,
+        ProtocolVerdict::kAccept);
+    EXPECT_EQ(
+        LookupRule(ProtocolState::kDraining, kC2S, WireInput::kInHeartbeat, v)
+            .verdict,
+        ProtocolVerdict::kAccept);
+  }
+  // Compression envelopes exist since v5: a wrapped frame from any older
+  // revision is a violation in every state, and even at v5 the envelope
+  // follows the wrapped data's lifetime — S2C data ends at the update-lane
+  // close, C2S event stragglers stay legal through Draining.
+  for (uint8_t v : {uint8_t{1}, uint8_t{2}, uint8_t{3}, uint8_t{4}}) {
+    for (ProtocolState state : kAllProtocolStates) {
+      for (ProtocolDirection direction : kAllProtocolDirections) {
+        EXPECT_EQ(
+            LookupRule(state, direction, WireInput::kInCompressed, v).verdict,
+            ProtocolVerdict::kViolation)
+            << "compressed envelope accepted at v" << int(v) << " in "
+            << ProtocolStateName(state);
+      }
+    }
+  }
   EXPECT_EQ(
-      LookupRule(ProtocolState::kActive, kC2S, WireInput::kInHeartbeat, 4)
+      LookupRule(ProtocolState::kActive, kS2C, WireInput::kInCompressed, 5)
           .verdict,
       ProtocolVerdict::kAccept);
   EXPECT_EQ(
-      LookupRule(ProtocolState::kDraining, kC2S, WireInput::kInHeartbeat, 4)
+      LookupRule(ProtocolState::kDraining, kS2C, WireInput::kInCompressed, 5)
+          .verdict,
+      ProtocolVerdict::kViolation)
+      << "S2C data after the update-lane close stays illegal, wrapped or not";
+  EXPECT_EQ(
+      LookupRule(ProtocolState::kActive, kC2S, WireInput::kInCompressed, 5)
           .verdict,
       ProtocolVerdict::kAccept);
+  EXPECT_EQ(
+      LookupRule(ProtocolState::kDraining, kC2S, WireInput::kInCompressed, 5)
+          .verdict,
+      ProtocolVerdict::kAccept)
+      << "compressed event stragglers mirror raw ones through Draining";
 }
 
 TEST(ProtocolSpecTable, DirectionalOwnership) {
@@ -205,7 +255,7 @@ TEST(ProtocolSpecTable, DirectionalOwnership) {
 }
 
 TEST(ProtocolSpecTable, OutOfRangeVersionsRejectEverything) {
-  for (uint8_t version : {uint8_t{0}, uint8_t{5}, uint8_t{200}, uint8_t{255}}) {
+  for (uint8_t version : {uint8_t{0}, uint8_t{6}, uint8_t{200}, uint8_t{255}}) {
     for (ProtocolState state : kAllProtocolStates) {
       for (ProtocolDirection direction : kAllProtocolDirections) {
         for (WireInput input : kAllWireInputs) {
@@ -437,6 +487,102 @@ TEST(ProtocolConformanceTest, MarkClosedIsNotAViolation) {
   // But traffic after an orderly close still violates.
   EXPECT_EQ(conformance.OnFrame(MakeHeartbeat(0)), ProtocolVerdict::kViolation);
   EXPECT_EQ(conformance.violations(), 1u);
+}
+
+// --- v5 negotiation: downgrades, capabilities, compression ---------------
+
+TEST(ProtocolConformanceTest, V4HelloNegotiatesTheConnectionDown) {
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  ASSERT_EQ(conformance.version(), kProtocolVersion);
+  Frame hello = MakeHello(1);
+  hello.protocol_version = 4;
+  hello.caps = 0;
+  EXPECT_EQ(conformance.OnFrame(hello), ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.negotiated_version(), 4);
+  EXPECT_EQ(conformance.peer_caps(), 0u);
+  // v4 traffic flows as ever.
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(UpdateBundle{})),
+            ProtocolVerdict::kAccept);
+}
+
+TEST(ProtocolConformanceTest, TooOldHelloIsStillAVersionMismatch) {
+  // kMinNegotiableVersion bounds the downgrade: v3 changed frame bodies, so
+  // a v3 hello at a v5 endpoint is the same deployment error it always was.
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  Frame hello = MakeHello(0);
+  hello.protocol_version = 3;
+  EXPECT_EQ(conformance.OnFrame(hello), ProtocolVerdict::kVersionMismatch);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+}
+
+TEST(ProtocolConformanceTest, ForgedCompressedFlagFromV4PeerIsTerminal) {
+  // The model-checked forgery: a peer that negotiated v4 ships a frame
+  // inside a kCompressed envelope anyway. The wrapper rule is checked FIRST
+  // (kInCompressed has no row below v5), so the inner frame being otherwise
+  // legal does not save it.
+  MetricsRegistry::Global().ResetForTest();
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  Frame hello = MakeHello(1);
+  hello.protocol_version = 4;
+  ASSERT_EQ(conformance.OnFrame(hello), ProtocolVerdict::kAccept);
+  Frame wrapped = MakeFrame(UpdateBundle{});
+  wrapped.compressed = true;
+  EXPECT_EQ(conformance.OnFrame(wrapped), ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+  EXPECT_EQ(conformance.violations(), 1u);
+}
+
+TEST(ProtocolConformanceTest, CompressedFramesFlowOnAV5Connection) {
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator);
+  ASSERT_EQ(conformance.OnFrame(MakeHello(1, kCapCompression)),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.negotiated_version(), kProtocolVersion);
+  EXPECT_EQ(conformance.peer_caps(), kCapCompression);
+  Frame wrapped = MakeFrame(UpdateBundle{});
+  wrapped.compressed = true;
+  EXPECT_EQ(conformance.OnFrame(wrapped), ProtocolVerdict::kAccept);
+  // But not past the update-lane close: the envelope follows its cargo.
+  ASSERT_EQ(conformance.OnFrame(MakeChannelClose(FrameType::kUpdateBundle)),
+            ProtocolVerdict::kAccept);
+  Frame late = MakeFrame(UpdateBundle{});
+  late.compressed = true;
+  EXPECT_EQ(conformance.OnFrame(late), ProtocolVerdict::kViolation);
+}
+
+TEST(ProtocolConformanceTest, ReplyHelloIsStatePreservingAndCarriesCaps) {
+  // The site side: its own hello armed the machine (OnHelloSent); the
+  // coordinator's v5 capability reply-hello then lands in kActive, must not
+  // disturb the state, and delivers the coordinator's capability bits.
+  ProtocolConformance conformance(ProtocolDirection::kCoordinatorToSite);
+  conformance.OnHelloSent();
+  ASSERT_EQ(conformance.state(), ProtocolState::kActive);
+  EXPECT_EQ(conformance.OnFrame(MakeHello(1, kCapCompression)),
+            ProtocolVerdict::kAccept);
+  EXPECT_EQ(conformance.state(), ProtocolState::kActive);
+  EXPECT_EQ(conformance.peer_caps(), kCapCompression);
+  EXPECT_EQ(conformance.OnFrame(MakeFrame(EventBatch{})),
+            ProtocolVerdict::kAccept);
+}
+
+TEST(ProtocolConformanceTest, ReplyHelloClaimingAncientVersionIsTerminal) {
+  // The reply-hello row is in the table, but the frame's own version claim
+  // still has to be one this endpoint can run.
+  ProtocolConformance conformance(ProtocolDirection::kCoordinatorToSite);
+  conformance.OnHelloSent();
+  Frame hello = MakeHello(0);
+  hello.protocol_version = 2;
+  EXPECT_EQ(conformance.OnFrame(hello), ProtocolVerdict::kViolation);
+  EXPECT_EQ(conformance.state(), ProtocolState::kClosed);
+}
+
+TEST(ProtocolConformanceTest, V4PinnedEndpointStillDemandsAnExactMatch) {
+  // An endpoint explicitly pinned to v4 (as an actual v4 build would be)
+  // must reject a v5 hello: negotiation only runs DOWN from the newer end.
+  ProtocolConformance conformance(ProtocolDirection::kSiteToCoordinator,
+                                  /*version=*/4);
+  Frame hello = MakeHello(0);
+  hello.protocol_version = 5;
+  EXPECT_EQ(conformance.OnFrame(hello), ProtocolVerdict::kVersionMismatch);
 }
 
 // --- ProtocolStreamChecker ------------------------------------------------
